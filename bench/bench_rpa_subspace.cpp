@@ -1,0 +1,68 @@
+// Companion-result reproduction: static subspace approximation for RPA
+// correlation energies (the paper's refs [40, 41], same C2SEPEM code line
+// as the GW-FF work benchmarked in Fig. 3). MEASURED: E_c^RPA captured
+// fraction and frequency-sweep cost vs subspace fraction.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/rpa.h"
+#include "core/sigma.h"
+#include "mf/epm.h"
+
+using namespace xgw;
+using namespace xgw::bench;
+
+int main() {
+  std::printf("xgw — RPA correlation energy with static subspace "
+              "(paper refs [40, 41]), measured\n");
+
+  GwParameters p;
+  p.eps_cutoff = 1.4;
+  GwCalculation gw(EpmModel::silicon(1), p);
+  std::printf("\nsystem: Si2, N_G = %lld, N_b = %lld\n",
+              static_cast<long long>(gw.n_g()),
+              static_cast<long long>(gw.n_bands()));
+
+  RpaOptions full;
+  full.n_freq = 24;
+  Stopwatch sw;
+  const RpaResult ref = rpa_correlation_energy(gw, full);
+  const double t_full = sw.elapsed();
+  std::printf("full basis: E_c = %.6f Ha (%.3f eV), %d-node quadrature, "
+              "%.3f s\n",
+              ref.e_c, ref.e_c * kHartreeToEv, static_cast<int>(full.n_freq),
+              t_full);
+
+  section("captured correlation vs subspace fraction");
+  Table t({"fraction", "N_Eig", "E_c (Ha)", "captured", "sweep time (s)"});
+  for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    RpaOptions o = full;
+    o.subspace_fraction = frac;
+    sw.reset();
+    const RpaResult r = rpa_correlation_energy(gw, o);
+    const double tt = sw.elapsed();
+    t.row({fmt(frac, 2), fmt_int(r.n_eig_used), fmt(r.e_c, 6),
+           fmt(100.0 * r.e_c / ref.e_c, 1) + "%", fmt(tt, 3)});
+  }
+  t.print();
+
+  section("quadrature convergence (Gauss-Legendre on [0, inf))");
+  Table tq({"n_freq", "E_c (Ha)", "change (mHa)"});
+  double prev = 0.0;
+  for (idx n : {idx{4}, idx{8}, idx{16}, idx{32}}) {
+    RpaOptions o;
+    o.n_freq = n;
+    const double e = rpa_correlation_energy(gw, o).e_c;
+    tq.row({fmt_int(n), fmt(e, 6),
+            prev == 0.0 ? "-" : fmt(1000.0 * (e - prev), 3)});
+    prev = e;
+  }
+  tq.print();
+  std::printf(
+      "\nShape check vs refs [40, 41]: E_c converges quickly with the\n"
+      "imaginary-frequency quadrature, and the subspace captures an\n"
+      "increasing fraction of the correlation energy as the retained\n"
+      "eigenvector count grows — the energy is extensive in the chi modes,\n"
+      "so larger fractions are needed than for QP energies.\n");
+  return 0;
+}

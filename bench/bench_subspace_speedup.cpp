@@ -1,0 +1,134 @@
+// Sec. 5.2 claims, MEASURED on real computations:
+//  * static-subspace chi(omega != 0) runs the frequency sweep in the
+//    N_Eig basis instead of N_G, giving large speedups at 10-20% fraction;
+//  * GW quasiparticle energies converge rapidly with the subspace fraction;
+//  * the FF Epsilon total (one full-PW frequency + N_omega subspace
+//    frequencies) is only ~2x the one-frequency (GPP-model) cost.
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/sigma_ff.h"
+#include "mf/epm.h"
+
+using namespace xgw;
+using namespace xgw::bench;
+
+int main() {
+  std::printf("xgw — static subspace approximation (Sec. 5.2), measured\n");
+
+  GwParameters p;
+  p.eps_cutoff = 1.4;
+  GwCalculation gw(EpmModel::silicon(2), p);
+  const Wavefunctions& wf = gw.wavefunctions();
+  const Mtxel& mt = gw.mtxel();
+  const CoulombPotential& v = gw.coulomb();
+  const idx ng = gw.n_g();
+  std::printf("\nsystem: Si16, N_G = %lld, N_b = %lld\n",
+              static_cast<long long>(ng),
+              static_cast<long long>(gw.n_bands()));
+
+  // Frequency sweep workloads: 1 vs 9 frequencies; the difference isolates
+  // the per-frequency CHI-Freq cost from the shared MTXEL stage (which is
+  // paid once per sweep in the CHI-0/Transf/CHI-Freq staging).
+  std::vector<double> omega1{0.1};
+  std::vector<double> omega9;
+  for (int k = 1; k <= 17; ++k) omega9.push_back(0.05 * k);
+
+  // min-of-3 timing to suppress scheduler noise.
+  auto timed = [](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Stopwatch s;
+      fn();
+      best = std::min(best, s.elapsed());
+    }
+    return best;
+  };
+
+  Stopwatch sw;
+  const double t_full1 = timed([&] { (void)chi_multi(mt, wf, omega1); });
+  const auto full9 = chi_multi(mt, wf, omega9);
+  const double t_full9 =
+      timed([&] { (void)chi_multi(mt, wf, omega9); });
+  const double marg_full = (t_full9 - t_full1) / 16.0;
+
+  const ZMatrix& chi0 = gw.chi0();
+  const ZMatrix epsinv_full = epsilon_inverse(full9[2], v);
+
+  section("per-frequency CHI-Freq cost and screening accuracy vs fraction");
+  Table t({"fraction", "N_Eig", "marginal s/freq", "CHI-Freq speedup",
+           "epsinv body err @ w=0.15"});
+  t.row({"1.00 (full PW)", fmt_int(ng), fmt(marg_full, 4), "1.0x", "0"});
+  for (double frac : {0.05, 0.10, 0.20, 0.40}) {
+    const Subspace sub = build_subspace(chi0, v, -1, frac);
+    const double t_sub1 =
+        timed([&] { (void)chi_multi(mt, wf, omega1, {}, &sub); });
+    const auto sub9 = chi_multi(mt, wf, omega9, {}, &sub);
+    const double t_sub9 =
+        timed([&] { (void)chi_multi(mt, wf, omega9, {}, &sub); });
+    const double marg_sub = (t_sub9 - t_sub1) / 16.0;
+
+    // Screening-relevant error: the leading body element of eps^{-1} at
+    // the third grid frequency (the G = 0 head is handled exactly by the
+    // rank-1 head correction in production runs and is excluded here).
+    const double body_full = epsinv_full(1, 1).real();
+    const double body_sub =
+        epsilon_inverse_subspace(sub, sub9[2], v).dense()(1, 1).real();
+
+    const std::string speedup =
+        marg_sub > 5e-4 ? fmt(marg_full / marg_sub, 1) + "x"
+                        : std::string("> ") + fmt(marg_full / 5e-4, 0) + "x";
+    t.row({fmt(frac, 2), fmt_int(sub.n_eig()), fmt(std::max(marg_sub, 0.0), 4),
+           speedup, fmt_sci(std::abs(body_sub - body_full), 2)});
+  }
+  t.print();
+  std::printf(
+      "\n(Paper: 10-20%% fraction, 25-100x speedup of the frequency sweep on\n"
+      "production basis sizes. The marginal per-frequency cost above is the\n"
+      "honest analogue at N_G = %lld: it scales as (N_G/N_Eig)^2 once the\n"
+      "GEMM dominates; the full-sweep wall time is Amdahl-bounded by the\n"
+      "shared MTXEL stage on a system this small.)\n",
+      static_cast<long long>(ng));
+
+  section("QP energy convergence with subspace fraction (FF Sigma)");
+  const idx vband = gw.n_valence() - 1, cband = gw.n_valence();
+  FfOptions ref_opt;
+  ref_opt.n_freq = 12;
+  const FfScreening ref_scr = build_ff_screening(gw, ref_opt);
+  const auto ref = sigma_ff_diag(gw, ref_scr, {vband, cband});
+  const double ref_gap = (ref[1].e_qp - ref[0].e_qp) * kHartreeToEv;
+
+  Table tq({"fraction", "QP gap (eV)", "error vs full PW (meV)"});
+  for (double frac : {0.05, 0.10, 0.20, 0.40}) {
+    FfOptions o = ref_opt;
+    o.subspace_fraction = frac;
+    const FfScreening scr = build_ff_screening(gw, o);
+    const auto res = sigma_ff_diag(gw, scr, {vband, cband});
+    const double gap = (res[1].e_qp - res[0].e_qp) * kHartreeToEv;
+    tq.row({fmt(frac, 2), fmt(gap, 3), fmt(1000.0 * (gap - ref_gap), 1)});
+  }
+  tq.row({"1.00 (full PW)", fmt(ref_gap, 3), "0.0"});
+  tq.print();
+
+  section("FF Epsilon total vs single-frequency (GPP-model) cost");
+  sw.reset();
+  const std::vector<double> w0{0.0};
+  const auto chi_once = chi_multi(mt, wf, w0);
+  const double t_gpp_eps = sw.elapsed();
+  (void)chi_once;
+  const Subspace sub20 = build_subspace(chi0, v, -1, 0.2);
+  std::vector<double> omegas19;
+  for (int k = 0; k < 19; ++k) omegas19.push_back(0.08 * (k + 1));
+  sw.reset();
+  const auto chifreq = chi_multi(mt, wf, omegas19, {}, &sub20);
+  const double t_ff_eps = sw.elapsed();
+  (void)chifreq;
+  std::printf(
+      "one-frequency full-PW chi (GPP input): %.3f s\n"
+      "19-frequency CHI-Freq sweep (20%% subspace): %.3f s  -> FF total = "
+      "%.2fx the GPP-model Epsilon\n"
+      "(paper Sec. 7.2: the 19 frequencies at ~20%% subspace fraction take\n"
+      " 'about the same time as the initial zero-frequency calculation')\n",
+      t_gpp_eps, t_ff_eps, (t_gpp_eps + t_ff_eps) / t_gpp_eps);
+  return 0;
+}

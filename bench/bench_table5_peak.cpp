@@ -1,0 +1,98 @@
+// Table 5 reproduction: best throughput performance on Frontier and Aurora.
+//
+// Machine-scale rows come from the scaling simulator (documented model:
+// exact Eq. 7/8 FLOP counts, published hardware parameters, paper-derived
+// kernel efficiencies). The per-row workload parameters (N_Sigma, N_E) were
+// inferred from the paper's own (time, PFLOP/s) pairs via Eqs. 7/8 — the
+// off-diagonal rows pin N_Sigma = 512 for Si998 exactly (see DESIGN.md).
+
+#include "bench_util.h"
+#include "perf/scaling.h"
+
+using namespace xgw;
+using namespace xgw::bench;
+
+namespace {
+
+struct Row {
+  const char* system;
+  const char* calc;
+  MachineKind machine;
+  idx nodes;
+  double paper_time, paper_pflops, paper_pct;
+  enum { kKernel, kTotExcl, kTotIncl } kind;
+};
+
+SigmaWorkload find_workload(MachineKind m, const std::string& name) {
+  for (const auto& w : paper_workloads(m))
+    if (w.system == name) return w;
+  std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("xgw — Table 5 reproduction (best throughput, simulated)\n");
+
+  const std::vector<std::pair<Row, std::string>> rows{
+      {{"BN867", "Kernel (F)", MachineKind::kFrontier, 9408, 188.45, 558.32,
+        31.04, Row::kKernel},
+       "BN867"},
+      {{"Si2742", "Kernel (F)", MachineKind::kFrontier, 9408, 445.02, 534.80,
+        29.73, Row::kKernel},
+       "Si2742"},
+      {{"Si2742'", "Kernel (A)", MachineKind::kAurora, 9296, -1.0, 500.97,
+        39.39, Row::kKernel},
+       "Si2742p"},
+      {{"LiH998 GWPT", "Kernel (F)", MachineKind::kFrontier, 9408, 92.91,
+        479.27, 26.64, Row::kKernel},
+       "LiH998-GWPT"},
+      {{"Si998-a", "Kernel (F)", MachineKind::kFrontier, 9408, 116.4, 1069.36,
+        59.45, Row::kKernel},
+       "Si998-a"},
+      {{"Si998-b", "Kernel (F)", MachineKind::kFrontier, 9408, 303.13, 1051.21,
+        58.44, Row::kKernel},
+       "Si998-b"},
+      {{"Si998-b", "Tot. excl. I/O (F)", MachineKind::kFrontier, 9408, 390.75,
+        815.49, 45.33, Row::kTotExcl},
+       "Si998-b"},
+      {{"Si998-b", "Tot. incl. I/O (F)", MachineKind::kFrontier, 9408, 604.96,
+        526.73, 29.28, Row::kTotIncl},
+       "Si998-b"},
+      {{"Si998-c", "Kernel (A)", MachineKind::kAurora, 9600, 179.52, 707.52,
+        48.79, Row::kKernel},
+       "Si998-c"},
+      {{"LiH998 GWPT", "off-diag Kernel (F)", MachineKind::kFrontier, 9408,
+        30.13, 691.10, 38.42, Row::kKernel},
+       "LiH998-GWPT-offdiag"},
+  };
+
+  section("Table 5: paper vs simulated");
+  Table t({"System", "Calculation", "Nodes", "t_paper (s)", "t_xgw (s)",
+           "PF/s paper", "PF/s xgw", "%peak paper", "%peak xgw"});
+  for (const auto& [r, wname] : rows) {
+    ScalingSimulator sim(machine_by_kind(r.machine));
+    const SigmaWorkload w = find_workload(r.machine, wname);
+    const ProgModel pm = native_model(r.machine);
+    PerfPoint pt;
+    switch (r.kind) {
+      case Row::kTotExcl: pt = sim.sigma_total_excl_io(w, r.nodes, pm); break;
+      case Row::kTotIncl: pt = sim.sigma_total_incl_io(w, r.nodes, pm); break;
+      default: pt = sim.sigma_kernel(w, r.nodes, pm); break;
+    }
+    t.row({r.system, r.calc, fmt_int(r.nodes),
+           r.paper_time > 0 ? fmt(r.paper_time, 2) : "n/a", fmt(pt.seconds, 2),
+           fmt(r.paper_pflops, 2), fmt(pt.pflops, 2), fmt(r.paper_pct, 2),
+           fmt(pt.pct_peak, 2)});
+  }
+  t.print();
+
+  std::printf(
+      "\nHeadline check: the off-diagonal ZGEMM-recast kernel crosses\n"
+      "1.0 ExaFLOP/s on full Frontier (Si998-a) at ~59%% of peak, roughly\n"
+      "2x the diagonal kernel's fraction of peak — the Sec. 5.6 result.\n"
+      "Percent-of-peak uses the used-node aggregate (theoretical for\n"
+      "Frontier, measured-attainable for Aurora).\n");
+  return 0;
+}

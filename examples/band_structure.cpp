@@ -1,0 +1,38 @@
+// band_structure — silicon band structure along L-Gamma-X from the EPM
+// mean field (the substrate's validation: realistic valence manifold and
+// the indirect gap with the conduction minimum along Gamma-X), printed as
+// an ASCII table ready for plotting.
+//
+//   $ ./band_structure
+
+#include <cstdio>
+
+#include "mf/bandstructure.h"
+
+using namespace xgw;
+
+int main() {
+  const EpmModel si = EpmModel::silicon(1);
+  const idx n_bands = 8;
+  const auto bands = band_path(si, fcc_lgx_path(), 16, n_bands);
+
+  std::printf("silicon EPM band structure, L - Gamma - X (energies in eV)\n");
+  std::printf("%-10s", "k-path");
+  for (idx b = 0; b < n_bands; ++b) std::printf("  band%-4lld", static_cast<long long>(b));
+  std::printf("\n");
+  for (const BandsAtK& bk : bands) {
+    std::printf("%-10.4f", bk.path_length);
+    for (double e : bk.energy) std::printf("  %8.3f", e * kHartreeToEv);
+    std::printf("\n");
+  }
+
+  const GapInfo g = path_gaps(bands, si.n_valence_bands());
+  std::printf(
+      "\nindirect gap: %.3f eV   direct gap: %.3f eV\n"
+      "VBM at k = (%.2f, %.2f, %.2f)  CBM at k = (%.2f, %.2f, %.2f)\n"
+      "(silicon's CBM sits along Gamma-X — the EPM substrate reproduces the\n"
+      " qualitative band topology the GW corrections then refine)\n",
+      g.indirect * kHartreeToEv, g.direct * kHartreeToEv, g.vbm_k[0],
+      g.vbm_k[1], g.vbm_k[2], g.cbm_k[0], g.cbm_k[1], g.cbm_k[2]);
+  return 0;
+}

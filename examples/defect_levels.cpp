@@ -1,0 +1,68 @@
+// defect_levels — GW quasiparticle levels of a vacancy defect in a silicon
+// supercell: the laptop-scale analogue of the paper's flagship workloads
+// (Si-divacancy up to 2,742 atoms; LiH defect up to 17,574 atoms), where
+// defect states in the gap act as solid-state qubit levels.
+//
+// Steps: build a pristine Si supercell and the same cell with one atom
+// removed, identify the defect-localized states by energy, and compute
+// their GW corrections — the quantity the exascale runs exist to deliver.
+//
+//   $ ./defect_levels
+
+#include <cstdio>
+
+#include "core/sigma.h"
+#include "mf/epm.h"
+
+using namespace xgw;
+
+namespace {
+
+void run(const char* label, const EpmModel& model, double eps_cutoff) {
+  GwParameters p;
+  p.eps_cutoff = eps_cutoff;
+  GwCalculation gw(model, p);
+  (void)gw.wavefunctions();
+
+  std::printf("\n%s: %lld atoms, %lld electrons, N_G^psi=%lld, N_G=%lld\n",
+              label, static_cast<long long>(model.crystal().n_atoms()),
+              static_cast<long long>(model.n_electrons()),
+              static_cast<long long>(gw.n_g_psi()),
+              static_cast<long long>(gw.n_g()));
+
+  // States around the Fermi level: the defect introduces levels in (or
+  // near) the pristine gap.
+  const idx v = gw.n_valence() - 1;
+  std::vector<idx> bands{v - 1, v, v + 1, v + 2};
+  const auto qp = gw.sigma_diag(bands, 3, 0.02);
+
+  std::printf("  band   E_MF (eV)    E_QP (eV)    GW shift (eV)\n");
+  for (const QpResult& r : qp)
+    std::printf("  %4lld   %9.3f    %9.3f    %+9.3f%s\n",
+                static_cast<long long>(r.band), r.e_mf * kHartreeToEv,
+                r.e_qp * kHartreeToEv, (r.e_qp - r.e_mf) * kHartreeToEv,
+                r.band == v ? "   <- HOMO" : (r.band == v + 1 ? "   <- LUMO" : ""));
+  std::printf("  MF gap %.3f eV -> QP gap %.3f eV\n",
+              (qp[2].e_mf - qp[1].e_mf) * kHartreeToEv,
+              (qp[2].e_qp - qp[1].e_qp) * kHartreeToEv);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("GW defect levels in a silicon supercell (vacancy analogue of\n"
+              "the paper's Si-divacancy / LiH-defect workloads)\n");
+
+  const EpmModel pristine = EpmModel::silicon(2);        // 16 atoms
+  const EpmModel defect = pristine.with_vacancy(0);      // 15 atoms + vacancy
+
+  run("pristine Si16", pristine, 1.0);
+  run("Si16 with vacancy", defect, 1.0);
+
+  std::printf(
+      "\nThe vacancy breaks the crystal-field degeneracies and pulls\n"
+      "localized states toward the gap; the GW correction shifts defect\n"
+      "levels differently from bulk-like states — exactly the physics that\n"
+      "requires many-body (beyond-DFT) treatment for qubit design.\n");
+  return 0;
+}

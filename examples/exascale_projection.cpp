@@ -1,0 +1,76 @@
+// exascale_projection — project a GW workload onto Frontier / Aurora /
+// Perlmutter with the calibrated performance model: node counts, kernel
+// choice (diag vs ZGEMM-recast off-diag), time-to-solution and sustained
+// throughput, as a user planning an INCITE-scale campaign would.
+//
+//   $ ./exascale_projection
+
+#include <cstdio>
+
+#include "perf/scaling.h"
+
+using namespace xgw;
+
+namespace {
+
+void project(const char* title, const SigmaWorkload& w_f,
+             const SigmaWorkload& w_a) {
+  std::printf("\n%s\n", title);
+  std::printf("  %-12s %8s %12s %12s %10s\n", "machine", "nodes", "time (s)",
+              "PFLOP/s", "% peak");
+  struct Target {
+    MachineKind kind;
+    idx nodes;
+    const SigmaWorkload* w;
+  };
+  const Target targets[] = {
+      {MachineKind::kPerlmutter, 1792, &w_f},
+      {MachineKind::kFrontier, 4704, &w_f},
+      {MachineKind::kFrontier, 9408, &w_f},
+      {MachineKind::kAurora, 9600, &w_a},
+  };
+  for (const Target& t : targets) {
+    const Machine m = machine_by_kind(t.kind);
+    ScalingSimulator sim(m);
+    const auto pt = sim.sigma_kernel(*t.w, t.nodes, native_model(t.kind));
+    std::printf("  %-12s %8lld %12.2f %12.2f %9.1f%%\n", m.name.c_str(),
+                static_cast<long long>(t.nodes), pt.seconds, pt.pflops,
+                pt.pct_peak);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("exascale campaign projection with the xgw performance model\n"
+              "(hardware constants from the paper's Sec. 6; kernel\n"
+              " efficiencies calibrated to its Tables 4-5)\n");
+
+  // A user-defined workload: a hypothetical 5000-atom Si defect cell,
+  // parameters extrapolated linearly from Si998 (Table 1 scaling).
+  const double s = 5000.0 / 998.0;
+  SigmaWorkload diag_f{"Si5000 diag", 512,
+                       static_cast<idx>(28000 * s), static_cast<idx>(51627 * s),
+                       static_cast<idx>(145837 * s), 3, false, 83.50};
+  SigmaWorkload diag_a = diag_f;
+  diag_a.alpha = 94.27;
+
+  SigmaWorkload off_f = diag_f;
+  off_f.system = "Si5000 off-diag";
+  off_f.offdiag = true;
+  off_f.n_e = 200;
+  SigmaWorkload off_a = off_f;
+  off_a.alpha = 94.27;
+
+  project("GPP diag kernel (quasiparticle energies, N_Sigma = 512):",
+          diag_f, diag_a);
+  project("GPP off-diag kernel (full Dyson / GWPT, N_E = 200):", off_f,
+          off_a);
+
+  std::printf(
+      "\nReading the projection: the off-diag ZGEMM recast runs at ~2x the\n"
+      "fraction of peak, so full-Sigma physics (Dyson solutions, GWPT)\n"
+      "costs far less than naive scaling suggests — the design insight\n"
+      "behind the paper's 1.069 EF/s Frontier run.\n");
+  return 0;
+}

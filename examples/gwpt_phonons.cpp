@@ -1,0 +1,67 @@
+// gwpt_phonons — electron-phonon coupling at the GW level (GWPT, Sec. 5.1
+// of the paper) for a LiH-like cell: all 3*N_atom displacement
+// perturbations, DFPT vs GWPT matrix elements, and the dynamical behavior
+// of dSigma over the energy grid.
+//
+//   $ ./gwpt_phonons
+
+#include <cstdio>
+
+#include "gwpt/gwpt.h"
+#include "mf/epm.h"
+
+using namespace xgw;
+
+int main() {
+  std::printf("GWPT electron-phonon coupling, LiH-like rocksalt cell\n");
+
+  GwParameters p;
+  p.eps_cutoff = 1.5;
+  GwCalculation gw(EpmModel::lih(1), p);
+  const Wavefunctions& wf = gw.wavefunctions();
+  std::printf("  %lld bands on %lld plane waves; MF gap %.2f eV\n",
+              static_cast<long long>(gw.n_bands()),
+              static_cast<long long>(gw.n_g_psi()),
+              wf.gap() * kHartreeToEv);
+
+  // External states: band edges (the carriers that scatter off phonons).
+  const idx v = gw.n_valence() - 1;
+  const idx c = gw.n_valence();
+  const std::vector<idx> bands{v, c};
+
+  GwptOptions opt;
+  opt.n_e_points = 4;
+  GwptCalculation gwpt(gw, opt);
+
+  std::printf("\n  %-18s %14s %14s %10s\n", "perturbation",
+              "|g_DFPT| (meV/B)", "|g_GW| (meV/B)", "GW/DFPT");
+  for (idx atom = 0; atom < gw.hamiltonian().model().crystal().n_atoms();
+       ++atom) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const GwptResult r = gwpt.run_perturbation({atom, axis}, bands);
+      const double gd = std::abs(r.g_dfpt(0, 1)) * kHartreeToEv * 1000.0;
+      const double gg = std::abs(r.g_gw(0, 1)) * kHartreeToEv * 1000.0;
+      char label[32];
+      std::snprintf(label, sizeof(label), "atom %lld, axis %d",
+                    static_cast<long long>(atom), axis);
+      std::printf("  %-18s %14.2f %14.2f %10s\n", label, gd, gg,
+                  gd > 1e-9 ? (std::to_string(gg / gd).substr(0, 5)).c_str()
+                            : "n/a");
+    }
+  }
+
+  // Dynamical behavior: dSigma_vc over the energy grid for one mode.
+  const GwptResult r = gwpt.run_perturbation({1, 0}, bands);
+  std::printf("\n  dSigma_vc(E) over the Sec. 5.6 energy grid (atom 1, x):\n");
+  for (std::size_t ie = 0; ie < r.e_grid.size(); ++ie)
+    std::printf("    E = %7.3f eV : dSigma_vc = %+8.3f %+8.3fi meV/Bohr\n",
+                r.e_grid[ie] * kHartreeToEv,
+                r.dsigma[ie](0, 1).real() * kHartreeToEv * 1e3,
+                r.dsigma[ie](0, 1).imag() * kHartreeToEv * 1e3);
+
+  std::printf(
+      "\nGWPT adds the self-energy response dSigma/dR on top of the bare\n"
+      "potential response — the correlation enhancement of electron-phonon\n"
+      "coupling that DFPT misses (paper refs [6, 7]: Ba1-xKxBiO3, cuprates).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// optical_absorption — GW-BSE optical spectrum vs the independent-
+// quasiparticle spectrum: the excitonic physics the paper's introduction
+// motivates GW-BSE for ("optical spectra and excitonic properties of
+// materials ranging from bulk solids to 2D materials to molecules").
+//
+//   $ ./optical_absorption
+
+#include <cstdio>
+
+#include "bse/bse.h"
+#include "mf/epm.h"
+
+using namespace xgw;
+
+int main() {
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), p);
+  const Wavefunctions& wf = gw.wavefunctions();
+
+  // GW first: scissors from the band-edge QP corrections.
+  const idx v = gw.n_valence() - 1, c = gw.n_valence();
+  const auto qp = gw.sigma_diag({v, c}, 3, 0.02);
+  const double scissors =
+      (qp[1].e_qp - qp[1].e_mf) - (qp[0].e_qp - qp[0].e_mf);
+  std::printf("GW scissors correction: %.3f eV (MF gap %.3f -> QP gap %.3f eV)\n",
+              scissors * kHartreeToEv, wf.gap() * kHartreeToEv,
+              (wf.gap() + scissors) * kHartreeToEv);
+
+  // BSE on top.
+  BseOptions opt;
+  opt.n_val = 4;
+  opt.n_cond = 4;
+  opt.scissors = scissors;
+  BseCalculation bse(gw, opt);
+  const BseResult res = bse.solve();
+
+  const double qp_gap = wf.gap() + scissors;
+  std::printf("\nlowest excitons (QP gap = %.3f eV):\n", qp_gap * kHartreeToEv);
+  for (int s = 0; s < 5; ++s)
+    std::printf("  Omega_%d = %.3f eV  (binding %+.1f meV)\n", s,
+                res.energy[static_cast<std::size_t>(s)] * kHartreeToEv,
+                (qp_gap - res.energy[static_cast<std::size_t>(s)]) *
+                    kHartreeToEv * 1000.0);
+
+  const auto sp = bse.absorption(res, qp_gap + 0.4, 60, 0.01);
+  std::printf("\n  omega(eV)   eps2_BSE    eps2_IP\n");
+  for (std::size_t k = 0; k < sp.omega.size(); k += 3)
+    std::printf("  %8.3f  %9.3f  %9.3f\n", sp.omega[k] * kHartreeToEv,
+                sp.eps2_bse[k], sp.eps2_ip[k]);
+
+  std::printf(
+      "\nThe BSE spectrum is redshifted and reshaped relative to the\n"
+      "independent-QP spectrum: oscillator strength transfers into the\n"
+      "bound excitons below the QP continuum onset.\n");
+  return 0;
+}

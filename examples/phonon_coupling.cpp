@@ -1,0 +1,75 @@
+// phonon_coupling — the full frozen-phonon + GWPT chain: force constants
+// -> dynamical matrix -> Gamma phonon modes -> mode-resolved
+// electron-phonon coupling at the DFPT and GW levels (Fig. 1c of the
+// paper: perturbations as phonon eigenmodes).
+//
+//   $ ./phonon_coupling
+
+#include <cstdio>
+
+#include "gwpt/phonons.h"
+
+using namespace xgw;
+
+int main() {
+  const EpmModel si = EpmModel::silicon(1);
+  std::printf("frozen phonons + GWPT, silicon primitive cell\n");
+
+  // 1. Force constants and Gamma phonons.
+  const DMatrix phi = force_constants(si, 1.8);
+  const PhononModes modes = phonon_modes(si, phi);
+  std::printf("\nGamma phonon modes:\n");
+  for (idx nu = 0; nu < modes.n_modes(); ++nu)
+    std::printf("  mode %lld: omega = %8.2f meV %s\n",
+                static_cast<long long>(nu),
+                modes.omega[static_cast<std::size_t>(nu)] * kHartreeToEv * 1e3,
+                std::abs(modes.omega[static_cast<std::size_t>(nu)]) < 2e-4
+                    ? "(acoustic)"
+                    : "(optical)");
+
+  // 2. GWPT for all six displacements.
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  GwCalculation gw(si, p);
+  // Window of four states around the gap: Gamma selection rules null some
+  // specific (l, m) elements, so we report the largest coupling in the
+  // window per mode.
+  const std::vector<idx> bands{gw.n_valence() - 2, gw.n_valence() - 1,
+                               gw.n_valence(), gw.n_valence() + 1};
+  GwptOptions go;
+  go.n_e_points = 2;
+  GwptCalculation gwpt(gw, go);
+  std::vector<Perturbation> ps;
+  for (idx a = 0; a < si.crystal().n_atoms(); ++a)
+    for (int ax = 0; ax < 3; ++ax) ps.push_back({a, ax});
+  const auto per_disp = gwpt.run_all(ps, bands);
+
+  // 3. Mode-resolved coupling.
+  const auto mc = mode_couplings(si, modes, per_disp);
+  std::printf("\nmode-resolved max |g| over the band window, meV:\n");
+  std::printf("  %-6s %-12s %-12s %-12s %s\n", "mode", "omega (meV)",
+              "|g_DFPT|", "|g_GW|", "GW/DFPT");
+  for (const ModeCoupling& m : mc) {
+    double gd = 0.0, gg = 0.0;
+    for (idx i = 0; i < m.g_dfpt.rows(); ++i)
+      for (idx j = 0; j < m.g_dfpt.cols(); ++j)
+        if (i != j && std::abs(m.g_dfpt(i, j)) > gd) {
+          gd = std::abs(m.g_dfpt(i, j));
+          gg = std::abs(m.g_gw(i, j));
+        }
+    gd *= kHartreeToEv * 1e3;
+    gg *= kHartreeToEv * 1e3;
+    std::printf("  %-6lld %-12.2f %-12.4f %-12.4f %s\n",
+                static_cast<long long>(m.mode), m.omega * kHartreeToEv * 1e3,
+                gd, gg,
+                gd > 1e-9 ? std::to_string(gg / gd).substr(0, 5).c_str()
+                          : "n/a");
+  }
+
+  std::printf(
+      "\nThe 1/sqrt(2 M omega) zero-point vertex weights each displacement\n"
+      "pattern; GWPT's self-energy response renormalizes the coupling\n"
+      "beyond DFPT — the quantity controlling phonon-limited mobility and\n"
+      "superconducting pairing in the paper's target applications.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// pseudobands_compression — the mixed stochastic-deterministic band
+// compression of Sec. 5.3: replace high-energy Kohn-Sham states by a few
+// stochastic pseudobands per energy slice, then run the identical GW
+// pipeline on the compressed set and compare quasiparticle energies.
+//
+//   $ ./pseudobands_compression
+
+#include <cstdio>
+
+#include "core/sigma.h"
+#include "mf/epm.h"
+#include "pseudobands/pseudobands.h"
+
+using namespace xgw;
+
+int main() {
+  std::printf("stochastic pseudobands compression (Sec. 5.3)\n");
+
+  GwParameters p;
+  p.eps_cutoff = 1.2;
+  GwCalculation gw(EpmModel::silicon(2), p);
+  const Wavefunctions& wf = gw.wavefunctions();
+  const idx v = gw.n_valence() - 1, c = gw.n_valence();
+
+  const auto ref = gw.sigma_diag({v, c}, 3, 0.02);
+  const double gap_ref = (ref[1].e_qp - ref[0].e_qp) * kHartreeToEv;
+  std::printf("\n  deterministic: N_b = %lld, QP gap = %.3f eV\n",
+              static_cast<long long>(wf.n_bands()), gap_ref);
+
+  PseudobandsOptions opt;
+  opt.n_xi = 3;
+  opt.protect_conduction = 6;
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, opt);
+  std::printf("\n  slice plan: %lld protected states + %zu slices\n",
+              static_cast<long long>(plan.n_protected), plan.slices.size());
+  for (std::size_t i = 0; i < plan.slices.size(); ++i) {
+    const Slice& s = plan.slices[i];
+    std::printf("    slice %2zu: %3lld states, <E> = %7.2f eV -> %lld pseudobands\n",
+                i, static_cast<long long>(s.count()),
+                s.e_avg * kHartreeToEv,
+                static_cast<long long>(std::min<idx>(opt.n_xi, s.count())));
+  }
+
+  const Wavefunctions pb = build_pseudobands(wf, opt);
+  std::printf("\n  compression: %lld -> %lld bands (%.2fx)\n",
+              static_cast<long long>(wf.n_bands()),
+              static_cast<long long>(pb.n_bands()),
+              compression_ratio(wf, pb));
+
+  GwCalculation gw2(EpmModel::silicon(2), p);
+  gw2.set_wavefunctions(pb);
+  const auto res = gw2.sigma_diag({v, c}, 3, 0.02);
+  const double gap_pb = (res[1].e_qp - res[0].e_qp) * kHartreeToEv;
+  std::printf("  compressed QP gap = %.3f eV (error %+.1f meV)\n", gap_pb,
+              1000.0 * (gap_pb - gap_ref));
+
+  std::printf(
+      "\nThe slices widen geometrically with energy, so the band count\n"
+      "needed in the Eq. 2/4 sums grows only logarithmically — the\n"
+      "'exponential compression' that lets Si2742 converge with N_b=15,840\n"
+      "instead of 80,695 (the paper's Si2742' configuration).\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// quickstart — a complete GW quasiparticle calculation in ~40 lines.
+//
+// Pipeline (Fig. 1 of the paper): empirical-pseudopotential mean field
+// (the DFT substitute) -> Parabands band generation -> static chi
+// (CHI_SUM) -> eps^{-1} -> Hybertsen-Louie GPP model -> Sigma (GPP diag
+// kernel) -> quasiparticle energies around the gap.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/sigma.h"
+#include "mf/epm.h"
+
+using namespace xgw;
+
+int main() {
+  // 1. Material: silicon, 2-atom primitive cell, Cohen-Bergstresser-like
+  //    empirical pseudopotential.
+  const EpmModel si = EpmModel::silicon(1);
+
+  // 2. GW calculation driver. Defaults: model cutoff for psi, psi/4 for
+  //    the chi/epsilon sphere, spherical-average Coulomb head, q->0 head
+  //    correction from velocity matrix elements.
+  GwParameters params;
+  GwCalculation gw(si, params);
+
+  std::printf("silicon GW quickstart\n");
+  std::printf("  N_G^psi = %lld plane waves, N_G = %lld, N_b = %lld bands\n",
+              static_cast<long long>(gw.n_g_psi()),
+              static_cast<long long>(gw.n_g()),
+              static_cast<long long>(gw.n_bands()));
+
+  const Wavefunctions& wf = gw.wavefunctions();
+  std::printf("  mean-field gap: %.3f eV\n", wf.gap() * kHartreeToEv);
+  std::printf("  macroscopic screening eps^-1_00 = %.4f\n",
+              gw.epsinv0()(0, 0).real());
+
+  // 3. Quasiparticle energies for the band edges (diagonal Sigma, GPP).
+  const idx vbm = gw.n_valence() - 1;
+  const idx cbm = gw.n_valence();
+  const auto qp = gw.sigma_diag({vbm, cbm}, /*n_e_points=*/5, /*e_step=*/0.02);
+
+  std::printf("\n  band   E_MF (eV)   Sigma (eV)     Z     E_QP (eV)\n");
+  for (const QpResult& r : qp)
+    std::printf("  %4lld   %9.3f   %10.3f   %5.2f   %9.3f\n",
+                static_cast<long long>(r.band), r.e_mf * kHartreeToEv,
+                r.sigma.total().real() * kHartreeToEv, r.z,
+                r.e_qp * kHartreeToEv);
+
+  const double gap_mf = (qp[1].e_mf - qp[0].e_mf) * kHartreeToEv;
+  const double gap_qp = (qp[1].e_qp - qp[0].e_qp) * kHartreeToEv;
+  std::printf("\n  gap: %.3f eV (mean field) -> %.3f eV (GW)\n", gap_mf,
+              gap_qp);
+  std::printf(
+      "  (no V_xc is subtracted — the EPM reference is Hartree-like, so the\n"
+      "   GW self-energy opens the gap, the hallmark many-body correction)\n");
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "bse/bse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "la/eig.h"
+#include "mf/velocity.h"
+
+namespace xgw {
+
+BseCalculation::BseCalculation(GwCalculation& gw, const BseOptions& opt)
+    : gw_(gw), opt_(opt) {
+  XGW_REQUIRE(opt.n_val >= 1 && opt.n_val <= gw.n_valence(),
+              "bse: bad valence window");
+  XGW_REQUIRE(opt.n_cond >= 1 &&
+                  opt.n_cond <= gw.n_bands() - gw.n_valence(),
+              "bse: bad conduction window");
+}
+
+idx BseCalculation::val_band(idx iv) const {
+  // iv = 0 is the DEEPEST included valence band so pair indices grow with
+  // transition energy ordering conventions stay simple.
+  return gw_.n_valence() - opt_.n_val + iv;
+}
+
+idx BseCalculation::cond_band(idx ic) const { return gw_.n_valence() + ic; }
+
+const ZMatrix& BseCalculation::hamiltonian() {
+  if (h_) return *h_;
+
+  const Wavefunctions& wf = gw_.wavefunctions();
+  const Mtxel& mt = gw_.mtxel();
+  const CoulombPotential& v = gw_.coulomb();
+  const idx ng = gw_.n_g();
+  const idx nv = opt_.n_val, nc = opt_.n_cond;
+  const idx np = nv * nc;
+
+  ZMatrix h(np, np);
+
+  // Diagonal: QP transition energies. Per-band corrections (when supplied)
+  // override the scissors treatment.
+  auto qp_shift = [&](idx band, double fallback) {
+    const auto it = opt_.qp_corrections.find(band);
+    return it != opt_.qp_corrections.end() ? it->second : fallback;
+  };
+  for (idx iv = 0; iv < nv; ++iv)
+    for (idx ic = 0; ic < nc; ++ic) {
+      const idx vb = val_band(iv), cb = cond_band(ic);
+      const double de = (wf.energy[static_cast<std::size_t>(cb)] +
+                         qp_shift(cb, opt_.scissors)) -
+                        (wf.energy[static_cast<std::size_t>(vb)] +
+                         qp_shift(vb, 0.0));
+      h(pair_index(iv, ic), pair_index(iv, ic)) = de;
+    }
+
+  // Pair matrix elements M_vc(G) for all pairs (rows = pairs).
+  ZMatrix m_pairs(np, ng);
+  {
+    std::vector<cplx> row(static_cast<std::size_t>(ng));
+    for (idx iv = 0; iv < nv; ++iv)
+      for (idx ic = 0; ic < nc; ++ic) {
+        mt.compute_pair(val_band(iv), cond_band(ic), row.data());
+        for (idx g = 0; g < ng; ++g)
+          m_pairs(pair_index(iv, ic), g) = row[static_cast<std::size_t>(g)];
+      }
+  }
+
+  if (opt_.exchange) {
+    // 2 K^x = 2 M* diag(v, head excluded) M^T in the pair basis.
+    for (idx p = 0; p < np; ++p)
+      for (idx q = 0; q < np; ++q) {
+        cplx acc{};
+        const cplx* mp = m_pairs.row(p);
+        const cplx* mq = m_pairs.row(q);
+        for (idx g = 1; g < ng; ++g)
+          acc += std::conj(mp[g]) * v(g) * mq[g];
+        h(p, q) += 2.0 * acc;
+      }
+  }
+
+  if (opt_.direct) {
+    // Screened direct kernel with the Hermitized static W = eps^{-1} v.
+    const ZMatrix& epsinv = gw_.epsinv0();
+    ZMatrix w(ng, ng);
+    for (idx g = 0; g < ng; ++g)
+      for (idx gp = 0; gp < ng; ++gp) {
+        const cplx wggp = epsinv(g, gp) * v(gp);
+        const cplx wpgg = epsinv(gp, g) * v(g);
+        w(g, gp) = 0.5 * (wggp + std::conj(wpgg));
+      }
+
+    // Intra-valence and intra-conduction pair matrix elements.
+    ZMatrix m_vv(nv * nv, ng), m_cc(nc * nc, ng);
+    {
+      std::vector<cplx> row(static_cast<std::size_t>(ng));
+      for (idx i = 0; i < nv; ++i)
+        for (idx j = 0; j < nv; ++j) {
+          mt.compute_pair(val_band(i), val_band(j), row.data());
+          for (idx g = 0; g < ng; ++g)
+            m_vv(i * nv + j, g) = row[static_cast<std::size_t>(g)];
+        }
+      for (idx i = 0; i < nc; ++i)
+        for (idx j = 0; j < nc; ++j) {
+          mt.compute_pair(cond_band(i), cond_band(j), row.data());
+          for (idx g = 0; g < ng; ++g)
+            m_cc(i * nc + j, g) = row[static_cast<std::size_t>(g)];
+        }
+    }
+
+    // K^d_{vc,v'c'} = sum_GG' M_cc'(G)^* W_GG' M_vv'(G').
+    std::vector<cplx> wm(static_cast<std::size_t>(ng));
+    for (idx iv = 0; iv < nv; ++iv)
+      for (idx ivp = 0; ivp < nv; ++ivp) {
+        const cplx* mvv = m_vv.row(iv * nv + ivp);
+        // wm(G) = sum_G' W_GG' M_vv'(G').
+        for (idx g = 0; g < ng; ++g) {
+          cplx acc{};
+          const cplx* wrow = w.row(g);
+          for (idx gp = 0; gp < ng; ++gp) acc += wrow[gp] * mvv[gp];
+          wm[static_cast<std::size_t>(g)] = acc;
+        }
+        for (idx ic = 0; ic < nc; ++ic)
+          for (idx icp = 0; icp < nc; ++icp) {
+            const cplx* mcc = m_cc.row(ic * nc + icp);
+            cplx acc{};
+            for (idx g = 0; g < ng; ++g)
+              acc += std::conj(mcc[g]) * wm[static_cast<std::size_t>(g)];
+            h(pair_index(iv, ic), pair_index(ivp, icp)) -= acc;
+          }
+      }
+  }
+
+  // Hermitize residual asymmetry (finite-basis W wings).
+  for (idx p = 0; p < np; ++p)
+    for (idx q = p; q < np; ++q) {
+      const cplx s = 0.5 * (h(p, q) + std::conj(h(q, p)));
+      h(p, q) = s;
+      h(q, p) = std::conj(s);
+    }
+
+  h_ = std::move(h);
+  return *h_;
+}
+
+BseResult BseCalculation::solve() {
+  const EigResult eig = heev(hamiltonian());
+  BseResult res;
+  res.energy = eig.values;
+  res.amplitude = eig.vectors;
+  res.n_val = opt_.n_val;
+  res.n_cond = opt_.n_cond;
+  return res;
+}
+
+BseCalculation::ExcitonCharacter BseCalculation::analyze(const BseResult& res,
+                                                         idx s) const {
+  XGW_REQUIRE(s >= 0 && s < res.n_pairs(), "analyze: exciton index range");
+  ExcitonCharacter ec;
+  double inv_pr = 0.0;
+  for (idx iv = 0; iv < res.n_val; ++iv)
+    for (idx ic = 0; ic < res.n_cond; ++ic) {
+      const double w = std::norm(res.amplitude(pair_index(iv, ic), s));
+      inv_pr += w * w;
+      ec.contributions.push_back({val_band(iv), cond_band(ic), w});
+    }
+  std::sort(ec.contributions.begin(), ec.contributions.end(),
+            [](const auto& a, const auto& b) { return a.weight > b.weight; });
+  ec.participation = (inv_pr > 0.0) ? 1.0 / inv_pr : 0.0;
+  return ec;
+}
+
+std::array<cplx, 3> BseCalculation::dipole(idx v, idx c) const {
+  const Wavefunctions& wf = gw_.wavefunctions();
+  const MomentumOperator mom(gw_.psi_sphere(),
+                             gw_.hamiltonian().model().crystal().lattice());
+  const double wcv = wf.energy[static_cast<std::size_t>(c)] -
+                     wf.energy[static_cast<std::size_t>(v)];
+  XGW_REQUIRE(wcv > 1e-10, "bse dipole: degenerate v/c pair");
+  // d = <v|p|c> / (i w_cv), velocity gauge.
+  std::array<cplx, 3> d = mom.pair(wf, v, c);
+  const cplx inv_iw = 1.0 / (cplx{0.0, 1.0} * wcv);
+  for (auto& comp : d) comp *= inv_iw;
+  return d;
+}
+
+BseCalculation::Spectrum BseCalculation::absorption(const BseResult& res,
+                                                    double w_max, idx n_omega,
+                                                    double eta) {
+  XGW_REQUIRE(n_omega >= 2 && w_max > 0.0 && eta > 0.0,
+              "bse absorption: bad grid");
+  const double omega_cell =
+      gw_.hamiltonian().model().crystal().lattice().cell_volume();
+  const double pref = 8.0 * kPi * kPi / omega_cell / 3.0;  // direction avg
+
+  // Pair dipoles.
+  const idx np = res.n_pairs();
+  std::vector<std::array<cplx, 3>> d(static_cast<std::size_t>(np));
+  for (idx iv = 0; iv < res.n_val; ++iv)
+    for (idx ic = 0; ic < res.n_cond; ++ic)
+      d[static_cast<std::size_t>(pair_index(iv, ic))] =
+          dipole(val_band(iv), cond_band(ic));
+
+  // Exciton dipoles D_S = sum_pairs A^S_p d_p, and IP transition data.
+  const Wavefunctions& wf = gw_.wavefunctions();
+  Spectrum sp;
+  sp.omega.resize(static_cast<std::size_t>(n_omega));
+  sp.eps2_bse.assign(static_cast<std::size_t>(n_omega), 0.0);
+  sp.eps2_ip.assign(static_cast<std::size_t>(n_omega), 0.0);
+
+  auto lorentz = [&](double w, double w0) {
+    return (eta / kPi) / ((w - w0) * (w - w0) + eta * eta);
+  };
+
+  for (idx k = 0; k < n_omega; ++k)
+    sp.omega[static_cast<std::size_t>(k)] =
+        w_max * static_cast<double>(k) / static_cast<double>(n_omega - 1);
+
+  for (idx s = 0; s < np; ++s) {
+    cplx ds[3] = {};
+    for (idx pidx = 0; pidx < np; ++pidx)
+      for (int ax = 0; ax < 3; ++ax)
+        ds[ax] += res.amplitude(pidx, s) *
+                  d[static_cast<std::size_t>(pidx)][static_cast<std::size_t>(ax)];
+    const double str =
+        std::norm(ds[0]) + std::norm(ds[1]) + std::norm(ds[2]);
+    const double ws = res.energy[static_cast<std::size_t>(s)];
+    for (idx k = 0; k < n_omega; ++k)
+      sp.eps2_bse[static_cast<std::size_t>(k)] +=
+          pref * str * lorentz(sp.omega[static_cast<std::size_t>(k)], ws);
+  }
+
+  for (idx iv = 0; iv < res.n_val; ++iv)
+    for (idx ic = 0; ic < res.n_cond; ++ic) {
+      const idx pidx = pair_index(iv, ic);
+      const auto& dd = d[static_cast<std::size_t>(pidx)];
+      const double str = std::norm(dd[0]) + std::norm(dd[1]) + std::norm(dd[2]);
+      const double w0 =
+          wf.energy[static_cast<std::size_t>(cond_band(ic))] + opt_.scissors -
+          wf.energy[static_cast<std::size_t>(val_band(iv))];
+      for (idx k = 0; k < n_omega; ++k)
+        sp.eps2_ip[static_cast<std::size_t>(k)] +=
+            pref * str * lorentz(sp.omega[static_cast<std::size_t>(k)], w0);
+    }
+  return sp;
+}
+
+}  // namespace xgw

@@ -1,0 +1,94 @@
+#pragma once
+
+// Bethe-Salpeter equation (Tamm-Dancoff, singlet, Gamma-only) on top of the
+// GW machinery — the GW-BSE companion method the paper's introduction
+// motivates ("the first-principles GW plus Bethe-Salpeter equation approach
+// can comprehensively describe optical spectra and excitonic properties").
+//
+// In the (v, c) transition basis:
+//   H^BSE_{vc,v'c'} = (E_c^QP - E_v^QP) delta_{vv'} delta_{cc'}
+//                     + 2 K^x_{vc,v'c'} - K^d_{vc,v'c'}
+//   K^x = sum_{G != 0} M_vc(G)^* v(G) M_v'c'(G)          (bare exchange)
+//   K^d = sum_{GG'}  M_cc'(G)^* W_GG'(0) M_vv'(G')       (screened direct)
+// with W = eps^{-1} v the static screened interaction (Hermitized). The
+// eigenpairs {Omega_S, A^S} give exciton energies and amplitudes; the
+// optical absorption follows from velocity-gauge dipoles.
+
+#include <map>
+
+#include "core/sigma.h"
+
+namespace xgw {
+
+struct BseOptions {
+  idx n_val = 4;     ///< topmost valence bands in the transition space
+  idx n_cond = 4;    ///< lowest conduction bands
+  bool exchange = true;
+  bool direct = true;
+  /// Scissors shift (Ha) added to conduction QP energies; used when the
+  /// caller does not supply per-band QP corrections.
+  double scissors = 0.0;
+  /// Per-band QP corrections E^QP - E^MF (global band index -> shift, Ha);
+  /// bands present here override the scissors treatment — the full
+  /// GW -> BSE pipeline feeds sigma_diag results in directly.
+  std::map<idx, double> qp_corrections;
+};
+
+struct BseResult {
+  std::vector<double> energy;  ///< exciton energies Omega_S, ascending (Ha)
+  ZMatrix amplitude;           ///< column S = A^S over pairs (v * n_cond + c)
+  idx n_val = 0, n_cond = 0;
+  idx n_pairs() const { return n_val * n_cond; }
+
+  /// Binding energy of the lowest exciton relative to the QP gap.
+  double binding_energy(double qp_gap) const { return qp_gap - energy[0]; }
+};
+
+class BseCalculation {
+ public:
+  BseCalculation(GwCalculation& gw, const BseOptions& opt = {});
+
+  /// The TDA BSE Hamiltonian in the pair basis (Hermitian).
+  const ZMatrix& hamiltonian();
+
+  /// Diagonalizes the BSE Hamiltonian.
+  BseResult solve();
+
+  /// Velocity-gauge dipole matrix element d_vc = <v|p|c> / (i w_cv), one
+  /// cartesian 3-vector of complex numbers per pair.
+  std::array<cplx, 3> dipole(idx v, idx c) const;
+
+  /// Absorption spectra on [0, w_max]: excitonic (BSE) vs independent-QP.
+  struct Spectrum {
+    std::vector<double> omega;
+    std::vector<double> eps2_bse;
+    std::vector<double> eps2_ip;
+  };
+  Spectrum absorption(const BseResult& res, double w_max, idx n_omega,
+                      double eta);
+
+  /// Which transitions build exciton S: weights |A^S_vc|^2 sorted
+  /// descending, plus the inverse participation ratio (effective number of
+  /// contributing pairs) — the standard exciton character analysis.
+  struct ExcitonCharacter {
+    struct Contribution {
+      idx v = 0, c = 0;     ///< global band indices
+      double weight = 0.0;  ///< |A|^2 (weights sum to 1)
+    };
+    std::vector<Contribution> contributions;  ///< sorted descending
+    double participation = 0.0;  ///< 1 / sum |A|^4, in [1, n_pairs]
+  };
+  ExcitonCharacter analyze(const BseResult& res, idx s) const;
+
+  idx pair_index(idx iv, idx ic) const { return iv * opt_.n_cond + ic; }
+  /// Global band indices of transition-space slot (iv, ic).
+  idx val_band(idx iv) const;
+  idx cond_band(idx ic) const;
+
+ private:
+  GwCalculation& gw_;
+  BseOptions opt_;
+  std::optional<ZMatrix> h_;
+};
+
+}  // namespace xgw

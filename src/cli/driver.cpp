@@ -1,0 +1,309 @@
+#include "cli/driver.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "bse/bse.h"
+#include "common/error.h"
+#include "core/cohsex.h"
+#include "core/evgw.h"
+#include "core/rpa.h"
+#include "core/sigma_ff.h"
+#include "gwpt/gwpt.h"
+#include "gwpt/phonons.h"
+#include "io/binio.h"
+#include "mf/bandstructure.h"
+#include "pseudobands/pseudobands.h"
+
+namespace xgw {
+
+const std::vector<std::string>& known_input_keys() {
+  static const std::vector<std::string> keys{
+      "job",         "material",     "supercell",    "vacancy",
+      "substitution","psi_cutoff",   "eps_cutoff",   "coulomb",
+      "n_bands",     "eta",          "nv_block",     "sigma_bands",
+      "n_e_points",  "e_step",       "n_freq",       "subspace_fraction",
+      "pseudobands", "pseudobands_nxi", "scissors",  "bse_nval",
+      "bse_ncond",   "output_wfn",   "input_wfn",    "output_epsmat",
+      "evgw_max_iter", "evgw_mixing", "rpa_n_freq",  "band_segments",
+      "vacuum",
+  };
+  return keys;
+}
+
+namespace {
+
+EpmModel build_material(const InputFile& in) {
+  const std::string name = in.require_string("material");
+  const idx n = in.get_int("supercell", 1);
+  EpmModel model = [&] {
+    if (name == "silicon" || name == "si") return EpmModel::silicon(n);
+    if (name == "lih") return EpmModel::lih(n);
+    if (name == "bn") return EpmModel::bn(n);
+    if (name == "bn_monolayer")
+      return EpmModel::bn_monolayer(n, in.get_double("vacuum", 16.0));
+    XGW_REQUIRE(false, "unknown material '" + name + "'");
+    return EpmModel::silicon(1);
+  }();
+  if (in.has("vacancy")) model = model.with_vacancy(in.get_int("vacancy", 0));
+  return model;
+}
+
+GwParameters build_params(const InputFile& in) {
+  GwParameters p;
+  p.psi_cutoff = in.get_double("psi_cutoff", -1.0);
+  p.eps_cutoff = in.get_double("eps_cutoff", -1.0);
+  p.n_bands = in.get_int("n_bands", -1);
+  p.eta = in.get_double("eta", 1e-3);
+  p.nv_block = in.get_int("nv_block", 8);
+  const std::string c = in.get_string("coulomb", "spherical_average");
+  if (c == "spherical_average")
+    p.coulomb = CoulombScheme::kSphericalAverage;
+  else if (c == "spherical_truncate")
+    p.coulomb = CoulombScheme::kSphericalTruncate;
+  else if (c == "slab")
+    p.coulomb = CoulombScheme::kSlabTruncate;
+  else if (c == "exclude_head")
+    p.coulomb = CoulombScheme::kExcludeHead;
+  else
+    XGW_REQUIRE(false, "unknown coulomb scheme '" + c + "'");
+  return p;
+}
+
+std::vector<idx> sigma_bands(const InputFile& in, const GwCalculation& gw) {
+  std::vector<idx> bands = in.get_int_list("sigma_bands");
+  if (bands.empty())
+    bands = {gw.n_valence() - 1, gw.n_valence()};
+  return bands;
+}
+
+void maybe_compress(const InputFile& in, GwCalculation& gw) {
+  if (!in.get_bool("pseudobands", false)) return;
+  PseudobandsOptions opt;
+  opt.n_xi = in.get_int("pseudobands_nxi", 3);
+  gw.set_wavefunctions(build_pseudobands(gw.wavefunctions(), opt));
+}
+
+void print_header(std::ostream& os, const GwCalculation& gw) {
+  os << "system: N_G^psi = " << gw.n_g_psi() << ", N_G = " << gw.n_g()
+     << ", N_b = " << gw.n_bands() << ", N_v = " << gw.n_valence() << "\n";
+}
+
+int job_bands(const InputFile& in, std::ostream& os) {
+  const EpmModel model = build_material(in);
+  const idx segs = in.get_int("band_segments", 12);
+  const auto bands = band_path(model, fcc_lgx_path(), segs,
+                               model.n_valence_bands() + 4,
+                               in.get_double("psi_cutoff", -1.0));
+  os << "# k_path";
+  for (idx b = 0; b < model.n_valence_bands() + 4; ++b) os << " band" << b;
+  os << "\n" << std::fixed << std::setprecision(4);
+  for (const BandsAtK& bk : bands) {
+    os << bk.path_length;
+    for (double e : bk.energy) os << " " << e * kHartreeToEv;
+    os << "\n";
+  }
+  const GapInfo g = path_gaps(bands, model.n_valence_bands());
+  os << "indirect_gap_eV " << g.indirect * kHartreeToEv << "\n"
+     << "direct_gap_eV " << g.direct * kHartreeToEv << "\n";
+  return 0;
+}
+
+int job_epsilon(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  if (in.has("input_wfn"))
+    gw.set_wavefunctions(read_wavefunctions(in.require_string("input_wfn")));
+  maybe_compress(in, gw);
+  print_header(os, gw);
+  os << std::fixed << std::setprecision(6);
+  os << "epsinv_head " << gw.epsinv0()(0, 0).real() << "\n";
+  if (in.has("output_wfn"))
+    write_wavefunctions(in.require_string("output_wfn"), gw.wavefunctions());
+  if (in.has("output_epsmat"))
+    write_matrix(in.require_string("output_epsmat"), gw.epsinv0());
+  os << gw.timers().report();
+  return 0;
+}
+
+int job_sigma(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  if (in.has("input_wfn"))
+    gw.set_wavefunctions(read_wavefunctions(in.require_string("input_wfn")));
+  maybe_compress(in, gw);
+  print_header(os, gw);
+  const auto qp = gw.sigma_diag(sigma_bands(in, gw),
+                                in.get_int("n_e_points", 3),
+                                in.get_double("e_step", 0.02));
+  os << std::fixed << std::setprecision(4);
+  os << "band   E_MF(eV)   SX(eV)   CH(eV)   Z      E_QP(eV)\n";
+  for (const QpResult& r : qp)
+    os << r.band << "  " << r.e_mf * kHartreeToEv << "  "
+       << r.sigma.sx.real() * kHartreeToEv << "  "
+       << r.sigma.ch.real() * kHartreeToEv << "  " << r.z << "  "
+       << r.e_qp * kHartreeToEv << "\n";
+  os << gw.timers().report();
+  return 0;
+}
+
+int job_sigma_offdiag(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  maybe_compress(in, gw);
+  print_header(os, gw);
+  const std::vector<idx> bands = sigma_bands(in, gw);
+  const auto e_full = gw.dyson_full_solve(bands, in.get_int("n_e_points", 12));
+  os << std::fixed << std::setprecision(4);
+  os << "full Dyson quasiparticle energies (eV):\n";
+  for (double e : e_full) os << "  " << e * kHartreeToEv << "\n";
+  return 0;
+}
+
+int job_ff(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  maybe_compress(in, gw);
+  print_header(os, gw);
+  FfOptions fo;
+  fo.n_freq = in.get_int("n_freq", 24);
+  fo.subspace_fraction = in.get_double("subspace_fraction", 0.0);
+  const FfScreening scr = build_ff_screening(gw, fo);
+  const auto res = sigma_ff_diag(gw, scr, sigma_bands(in, gw));
+  os << std::fixed << std::setprecision(4);
+  os << "band   E_MF(eV)   SigX(eV)   SigC(eV)   E_QP(eV)\n";
+  for (const FfResult& r : res)
+    os << r.band << "  " << r.e_mf * kHartreeToEv << "  "
+       << r.sigma_x.real() * kHartreeToEv << "  "
+       << r.sigma_c.real() * kHartreeToEv << "  " << r.e_qp * kHartreeToEv
+       << "\n";
+  return 0;
+}
+
+int job_cohsex(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  print_header(os, gw);
+  const auto res = cohsex_diag(gw, sigma_bands(in, gw));
+  os << std::fixed << std::setprecision(4);
+  os << "band   SEX(eV)   COH(eV)   total(eV)\n";
+  const auto bands = sigma_bands(in, gw);
+  for (std::size_t i = 0; i < res.size(); ++i)
+    os << bands[i] << "  " << res[i].sex.real() * kHartreeToEv << "  "
+       << res[i].coh.real() * kHartreeToEv << "  "
+       << res[i].total().real() * kHartreeToEv << "\n";
+  return 0;
+}
+
+int job_evgw(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  print_header(os, gw);
+  EvGwOptions opt;
+  opt.max_iter = in.get_int("evgw_max_iter", 8);
+  opt.mixing = in.get_double("evgw_mixing", 0.7);
+  const EvGwResult res = evgw(gw, sigma_bands(in, gw), opt);
+  os << std::fixed << std::setprecision(4);
+  for (std::size_t it = 0; it < res.history.size(); ++it) {
+    os << "iter " << it << ":";
+    for (const QpResult& r : res.history[it])
+      os << "  " << r.e_qp * kHartreeToEv;
+    os << "\n";
+  }
+  os << (res.converged ? "converged" : "NOT converged") << " after "
+     << res.iterations << " iterations\n";
+  return res.converged ? 0 : 2;
+}
+
+int job_rpa(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  print_header(os, gw);
+  RpaOptions opt;
+  opt.n_freq = in.get_int("rpa_n_freq", 16);
+  opt.subspace_fraction = in.get_double("subspace_fraction", 0.0);
+  const RpaResult res = rpa_correlation_energy(gw, opt);
+  os << std::setprecision(8);
+  os << "E_c_RPA_Ha " << res.e_c << "\n";
+  os << "E_c_RPA_eV " << res.e_c * kHartreeToEv << "\n";
+  if (res.n_eig_used > 0) os << "subspace_n_eig " << res.n_eig_used << "\n";
+  return 0;
+}
+
+int job_bse(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  print_header(os, gw);
+  BseOptions opt;
+  opt.n_val = in.get_int("bse_nval", 3);
+  opt.n_cond = in.get_int("bse_ncond", 3);
+  opt.scissors = in.get_double("scissors", 0.0);
+  BseCalculation bse(gw, opt);
+  const BseResult res = bse.solve();
+  const double qp_gap = gw.wavefunctions().gap() + opt.scissors;
+  os << std::fixed << std::setprecision(4);
+  os << "qp_gap_eV " << qp_gap * kHartreeToEv << "\n";
+  for (int s = 0; s < std::min<idx>(6, res.n_pairs()); ++s)
+    os << "exciton " << s << " "
+       << res.energy[static_cast<std::size_t>(s)] * kHartreeToEv
+       << " eV (binding "
+       << (qp_gap - res.energy[static_cast<std::size_t>(s)]) * kHartreeToEv *
+              1e3
+       << " meV)\n";
+  return 0;
+}
+
+int job_gwpt(const InputFile& in, std::ostream& os) {
+  GwCalculation gw(build_material(in), build_params(in));
+  print_header(os, gw);
+  const std::vector<idx> bands = sigma_bands(in, gw);
+  GwptOptions go;
+  go.n_e_points = in.get_int("n_e_points", 2);
+  GwptCalculation gwpt(gw, go);
+  os << std::fixed << std::setprecision(4);
+  const idx natoms = gw.hamiltonian().model().crystal().n_atoms();
+  for (idx a = 0; a < natoms; ++a)
+    for (int ax = 0; ax < 3; ++ax) {
+      const GwptResult r = gwpt.run_perturbation({a, ax}, bands);
+      double gd = 0.0, gg = 0.0;
+      for (idx i = 0; i < r.g_dfpt.rows(); ++i)
+        for (idx j = 0; j < r.g_dfpt.cols(); ++j)
+          if (i != j && std::abs(r.g_dfpt(i, j)) > gd) {
+            gd = std::abs(r.g_dfpt(i, j));
+            gg = std::abs(r.g_gw(i, j));
+          }
+      os << "atom " << a << " axis " << ax << "  |g_DFPT| "
+         << gd * kHartreeToEv << " eV/Bohr  |g_GW| " << gg * kHartreeToEv
+         << " eV/Bohr\n";
+    }
+  return 0;
+}
+
+int job_phonons(const InputFile& in, std::ostream& os) {
+  const EpmModel model = build_material(in);
+  const double cutoff = in.get_double("psi_cutoff", model.default_cutoff());
+  const DMatrix phi = force_constants(model, cutoff);
+  const PhononModes modes = phonon_modes(model, phi);
+  os << std::fixed << std::setprecision(3);
+  os << "Gamma phonon modes (meV):\n";
+  for (idx nu = 0; nu < modes.n_modes(); ++nu)
+    os << "  mode " << nu << "  "
+       << modes.omega[static_cast<std::size_t>(nu)] * kHartreeToEv * 1e3
+       << (std::abs(modes.omega[static_cast<std::size_t>(nu)]) < 2e-4
+               ? "  (acoustic)\n"
+               : "\n");
+  return 0;
+}
+
+}  // namespace
+
+int run_job(const InputFile& in, std::ostream& os) {
+  const std::string job = in.require_string("job");
+  if (job == "bands") return job_bands(in, os);
+  if (job == "epsilon") return job_epsilon(in, os);
+  if (job == "sigma") return job_sigma(in, os);
+  if (job == "sigma_offdiag") return job_sigma_offdiag(in, os);
+  if (job == "ff") return job_ff(in, os);
+  if (job == "cohsex") return job_cohsex(in, os);
+  if (job == "evgw") return job_evgw(in, os);
+  if (job == "rpa") return job_rpa(in, os);
+  if (job == "bse") return job_bse(in, os);
+  if (job == "gwpt") return job_gwpt(in, os);
+  if (job == "phonons") return job_phonons(in, os);
+  XGW_REQUIRE(false, "unknown job '" + job + "'");
+  return 1;
+}
+
+}  // namespace xgw

@@ -1,0 +1,31 @@
+#pragma once
+
+// Job driver for xgw_run: builds the system described by an InputFile and
+// executes the requested stage of the GW workflow (Fig. 1 of the paper),
+// mirroring BerkeleyGW's executable-per-stage layout:
+//
+//   job bands        — mean-field band structure along L-Gamma-X
+//   job epsilon      — chi(0), eps^{-1}(0); optional epsmat/WFN output files
+//   job sigma        — GPP QP energies for sigma_bands
+//   job sigma_offdiag— full Sigma matrix + Dyson solve
+//   job ff           — full-frequency QP energies
+//   job cohsex       — static COHSEX
+//   job evgw         — eigenvalue-self-consistent GW
+//   job rpa          — RPA correlation energy
+//   job bse          — exciton spectrum + absorption
+//   job gwpt         — electron-phonon coupling for all displacements
+//
+// Returns 0 on success; all output goes to the provided stream.
+
+#include <iosfwd>
+
+#include "cli/input.h"
+
+namespace xgw {
+
+/// The full list of keys xgw_run accepts (used to reject typos).
+const std::vector<std::string>& known_input_keys();
+
+int run_job(const InputFile& in, std::ostream& os);
+
+}  // namespace xgw

@@ -1,0 +1,116 @@
+#include "cli/input.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace xgw {
+
+InputFile InputFile::parse(const std::string& text,
+                           const std::vector<std::string>& known_keys) {
+  InputFile in;
+  std::istringstream is(text);
+  std::string line;
+  idx lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank line
+    std::string value, tok;
+    while (ls >> tok) {
+      if (!value.empty()) value += ' ';
+      value += tok;
+    }
+    XGW_REQUIRE(!value.empty(), "input line " + std::to_string(lineno) +
+                                    ": key '" + key + "' has no value");
+    if (!known_keys.empty()) {
+      XGW_REQUIRE(std::find(known_keys.begin(), known_keys.end(), key) !=
+                      known_keys.end(),
+                  "input line " + std::to_string(lineno) +
+                      ": unknown key '" + key + "'");
+    }
+    in.kv_[key] = value;
+  }
+  return in;
+}
+
+InputFile InputFile::load(const std::string& path,
+                          const std::vector<std::string>& known_keys) {
+  std::ifstream f(path);
+  XGW_REQUIRE(f.good(), "cannot open input file: " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str(), known_keys);
+}
+
+bool InputFile::has(const std::string& key) const { return kv_.count(key) > 0; }
+
+std::string InputFile::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? fallback : it->second;
+}
+
+std::string InputFile::require_string(const std::string& key) const {
+  const auto it = kv_.find(key);
+  XGW_REQUIRE(it != kv_.end(), "missing required input key '" + key + "'");
+  return it->second;
+}
+
+double InputFile::get_double(const std::string& key, double fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  XGW_REQUIRE(pos == it->second.size(),
+              "input key '" + key + "': not a number: " + it->second);
+  return v;
+}
+
+idx InputFile::get_int(const std::string& key, idx fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  XGW_REQUIRE(pos == it->second.size(),
+              "input key '" + key + "': not an integer: " + it->second);
+  return v;
+}
+
+bool InputFile::get_bool(const std::string& key, bool fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  const std::string& s = it->second;
+  if (s == "true" || s == "yes" || s == "1") return true;
+  if (s == "false" || s == "no" || s == "0") return false;
+  XGW_REQUIRE(false, "input key '" + key + "': not a boolean: " + s);
+  return fallback;
+}
+
+std::vector<idx> InputFile::get_int_list(const std::string& key) const {
+  std::vector<idx> out;
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return out;
+  std::istringstream ls(it->second);
+  long long v = 0;
+  while (ls >> v) out.push_back(v);
+  XGW_REQUIRE(ls.eof(), "input key '" + key + "': bad integer list");
+  return out;
+}
+
+}  // namespace xgw

@@ -1,0 +1,57 @@
+#pragma once
+
+// Input-file parser for the xgw_run driver — the BerkeleyGW-style plain
+// text job description:
+//
+//   # silicon defect sigma run
+//   job            sigma
+//   material       silicon
+//   supercell      2
+//   vacancy        0
+//   eps_cutoff     1.0
+//   coulomb        spherical_average
+//   sigma_bands    30 31 32 33
+//
+// One `key value...` pair per line; '#' starts a comment; later keys
+// override earlier ones. Typed getters validate on access; unknown keys
+// are rejected up front (silent typos in production inputs are expensive).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xgw {
+
+class InputFile {
+ public:
+  /// Parses text. `known_keys` rejects anything not listed (pass empty to
+  /// accept all).
+  static InputFile parse(const std::string& text,
+                         const std::vector<std::string>& known_keys = {});
+
+  /// Reads and parses a file.
+  static InputFile load(const std::string& path,
+                        const std::vector<std::string>& known_keys = {});
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = "") const;
+  double get_double(const std::string& key, double fallback) const;
+  idx get_int(const std::string& key, idx fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::vector<idx> get_int_list(const std::string& key) const;
+
+  /// Required variants throw with the key name when missing.
+  std::string require_string(const std::string& key) const;
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace xgw

@@ -1,0 +1,53 @@
+// xgw_run — the command-line driver: one input file, one workflow stage,
+// mirroring BerkeleyGW's executable-per-stage production layout.
+//
+//   $ xgw_run sigma.inp
+//   $ xgw_run --help
+
+#include <cstdio>
+#include <iostream>
+
+#include "cli/driver.h"
+#include "common/error.h"
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "usage: xgw_run <input-file>\n"
+      "\n"
+      "Runs one stage of the GW workflow described by a plain-text input\n"
+      "file of `key value` lines ('#' comments). Jobs:\n"
+      "  bands | epsilon | sigma | sigma_offdiag | ff | cohsex | evgw |\n"
+      "  rpa | bse | gwpt | phonons\n"
+      "\n"
+      "minimal example (sigma.inp):\n"
+      "  job        sigma\n"
+      "  material   silicon\n"
+      "  supercell  1\n"
+      "\n"
+      "accepted keys:\n");
+  for (const std::string& k : xgw::known_input_keys())
+    std::printf("  %s\n", k.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 || std::string(argv[1]) == "--help" ||
+      std::string(argv[1]) == "-h") {
+    print_usage();
+    return argc == 2 ? 0 : 1;
+  }
+  try {
+    const xgw::InputFile in =
+        xgw::InputFile::load(argv[1], xgw::known_input_keys());
+    return xgw::run_job(in, std::cout);
+  } catch (const xgw::Error& e) {
+    std::fprintf(stderr, "xgw_run: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xgw_run: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace xgw::detail {
+
+void throw_error(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << "xgw requirement failed: (" << expr << ") at " << file << ":" << line
+     << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace xgw::detail

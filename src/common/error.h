@@ -1,0 +1,31 @@
+#pragma once
+
+// Error handling: xgw reports precondition violations and runtime failures
+// via exceptions carrying the failing expression and location.
+
+#include <stdexcept>
+#include <string>
+
+namespace xgw {
+
+/// Exception thrown on any xgw precondition or consistency failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace xgw
+
+/// Precondition / invariant check. Always on (never compiled out): GW runs
+/// are long and silent corruption is far more expensive than a branch.
+#define XGW_REQUIRE(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::xgw::detail::throw_error(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (false)

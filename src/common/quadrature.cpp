@@ -1,0 +1,59 @@
+#include "common/quadrature.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+QuadratureRule gauss_legendre(idx n) {
+  XGW_REQUIRE(n >= 1, "gauss_legendre: n must be >= 1");
+  QuadratureRule rule;
+  rule.nodes.resize(static_cast<std::size_t>(n));
+  rule.weights.resize(static_cast<std::size_t>(n));
+
+  const idx m = (n + 1) / 2;  // roots come in +- pairs
+  for (idx i = 0; i < m; ++i) {
+    // Chebyshev-based initial guess for the i-th root.
+    double x = std::cos(kPi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      // Legendre recurrence: P_n(x) and P'_n(x).
+      double p0 = 1.0, p1 = x;
+      for (idx k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * static_cast<double>(k) - 1.0) * x * p1 -
+                           (static_cast<double>(k) - 1.0) * p0) /
+                          static_cast<double>(k);
+        p0 = p1;
+        p1 = p2;
+      }
+      pp = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / pp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const double w = 2.0 / ((1.0 - x * x) * pp * pp);
+    rule.nodes[static_cast<std::size_t>(i)] = -x;
+    rule.nodes[static_cast<std::size_t>(n - 1 - i)] = x;
+    rule.weights[static_cast<std::size_t>(i)] = w;
+    rule.weights[static_cast<std::size_t>(n - 1 - i)] = w;
+  }
+  return rule;
+}
+
+QuadratureRule gauss_legendre_semi_infinite(idx n, double w0) {
+  XGW_REQUIRE(w0 > 0.0, "gauss_legendre_semi_infinite: w0 must be > 0");
+  QuadratureRule base = gauss_legendre(n);
+  QuadratureRule rule;
+  rule.nodes.resize(base.size());
+  rule.weights.resize(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double x = base.nodes[i];
+    rule.nodes[i] = w0 * (1.0 + x) / (1.0 - x);
+    rule.weights[i] = base.weights[i] * 2.0 * w0 / ((1.0 - x) * (1.0 - x));
+  }
+  return rule;
+}
+
+}  // namespace xgw

@@ -1,0 +1,30 @@
+#pragma once
+
+// Numerical quadrature rules.
+//
+// The RPA correlation energy integrates over imaginary frequency; the
+// standard treatment is Gauss-Legendre on [-1, 1] mapped to [0, inf) by
+// omega = w0 (1 + x) / (1 - x) (see e.g. the paper's refs [40, 41] on the
+// static subspace approximation for RPA correlation energies).
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace xgw {
+
+struct QuadratureRule {
+  std::vector<double> nodes;
+  std::vector<double> weights;
+  std::size_t size() const { return nodes.size(); }
+};
+
+/// n-point Gauss-Legendre rule on [-1, 1], computed by Newton iteration on
+/// the Legendre polynomial (machine-precision nodes for any n >= 1).
+QuadratureRule gauss_legendre(idx n);
+
+/// Gauss-Legendre mapped to [0, inf): omega = w0 (1+x)/(1-x), with the
+/// Jacobian 2 w0 / (1-x)^2 folded into the weights.
+QuadratureRule gauss_legendre_semi_infinite(idx n, double w0);
+
+}  // namespace xgw

@@ -1,0 +1,53 @@
+#pragma once
+
+// Deterministic, splittable pseudo-random generator (xoshiro256**).
+//
+// The pseudobands method (Sec. 5.3 of the paper) replaces Kohn-Sham states by
+// stochastic superpositions with random phases theta in [0,1). For
+// reproducible tests and benchmarks every stochastic ingredient in xgw draws
+// from this generator, seeded explicitly; std::mt19937 is avoided because its
+// stream is not guaranteed stable across standard libraries.
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace xgw {
+
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64, which
+  /// guarantees a non-zero, well-mixed state for any seed value.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value (xoshiro256** scrambler).
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double normal();
+
+  /// Random phase e^{2 pi i theta}, theta uniform in [0,1) — the pseudoband
+  /// coefficient distribution used in Eq. |xi> = sum e^{2 pi i theta} |psi>.
+  cplx unit_phase();
+
+  /// Complex standard normal (real and imaginary parts iid N(0, 1/2) so that
+  /// E|z|^2 = 1), used for stochastic probe vectors |x>.
+  cplx normal_cplx();
+
+  /// Integer in [0, n) without modulo bias.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Derive an independent stream (e.g. one per slice or per rank).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace xgw

@@ -1,0 +1,20 @@
+#include "common/timer.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace xgw {
+
+std::string TimerRegistry::report() const {
+  std::ostringstream os;
+  os << std::left << std::setw(28) << "region" << std::right << std::setw(12)
+     << "seconds" << std::setw(10) << "calls" << '\n';
+  for (const auto& [name, slot] : slots_) {
+    os << std::left << std::setw(28) << name << std::right << std::setw(12)
+       << std::fixed << std::setprecision(6) << slot.seconds << std::setw(10)
+       << slot.count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xgw

@@ -1,0 +1,32 @@
+#pragma once
+
+// Fundamental scalar and index types shared by every xgw module.
+
+#include <complex>
+#include <cstdint>
+
+namespace xgw {
+
+/// Double-precision complex scalar. All GW quantities (wavefunction
+/// coefficients, matrix elements M, polarizability chi, dielectric matrix,
+/// self-energy Sigma) are FP64 complex, matching the paper's
+/// double-precision-only reporting.
+using cplx = std::complex<double>;
+
+/// Signed index type for band, G-vector and grid indices. Signed so that
+/// loop arithmetic (differences, reverse loops) stays well-defined.
+using idx = std::int64_t;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Hartree atomic units are used internally everywhere; conversion for I/O.
+inline constexpr double kHartreeToEv = 27.211386245988;
+inline constexpr double kEvToHartree = 1.0 / kHartreeToEv;
+
+/// Bohr radius in Angstrom, for lattice-constant I/O.
+inline constexpr double kBohrToAngstrom = 0.529177210903;
+
+inline constexpr cplx kImag{0.0, 1.0};
+
+}  // namespace xgw

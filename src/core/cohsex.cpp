@@ -1,0 +1,80 @@
+#include "core/cohsex.h"
+
+#include "common/error.h"
+
+namespace xgw {
+
+std::vector<CohsexParts> cohsex_diag_with(GwCalculation& gw,
+                                          const ZMatrix& epsinv,
+                                          const std::vector<idx>& bands) {
+  const Wavefunctions& wf = gw.wavefunctions();
+  const CoulombPotential& v = gw.coulomb();
+  const Mtxel& mt = gw.mtxel();
+  const GSphere& eps_sphere = gw.eps_sphere();
+  const idx ng = gw.n_g();
+  XGW_REQUIRE(epsinv.rows() == ng && epsinv.cols() == ng,
+              "cohsex: epsinv shape mismatch");
+
+  std::vector<CohsexParts> out;
+  out.reserve(bands.size());
+
+  std::vector<cplx> m_ll_box;  // product psi_l* psi_l on the full box
+
+  for (idx l : bands) {
+    XGW_REQUIRE(l >= 0 && l < wf.n_bands(), "cohsex: band out of range");
+    CohsexParts parts{};
+
+    // SEX: screened exchange over occupied states.
+    ZMatrix m_ln(wf.n_valence, ng);
+    {
+      std::vector<idx> occ(static_cast<std::size_t>(wf.n_valence));
+      for (idx n = 0; n < wf.n_valence; ++n)
+        occ[static_cast<std::size_t>(n)] = n;
+      mt.compute_left_fixed(l, occ, m_ln);
+    }
+    for (idx n = 0; n < wf.n_valence; ++n) {
+      const cplx* m = m_ln.row(n);
+      for (idx g = 0; g < ng; ++g) {
+        cplx acc{};
+        const cplx* erow = epsinv.row(g);
+        for (idx gp = 0; gp < ng; ++gp) acc += erow[gp] * v(gp) * m[gp];
+        parts.sex -= std::conj(m[g]) * acc;
+      }
+    }
+
+    // COH: 1/2 sum_GG' M_ll(G'-G) (epsinv - delta)_GG' v(G').
+    // M_ll at arbitrary difference vectors comes from the full product box:
+    // M_ll(G) = (1/N) sum_j |psi_l(r_j)|^2 e^{+iG r_j} (backward FFT).
+    const FftBox& box = mt.box();
+    m_ll_box.assign(static_cast<std::size_t>(box.size()), cplx{});
+    mt.accumulate_density(l, 1.0, m_ll_box);
+    mt.fft().backward(m_ll_box.data());
+    {
+      const double inv = 1.0 / static_cast<double>(box.size());
+      for (auto& c : m_ll_box) c *= inv;
+    }
+    for (idx g = 0; g < ng; ++g) {
+      const IVec3 mg = eps_sphere.miller(g);
+      const cplx* erow = epsinv.row(g);
+      for (idx gp = 0; gp < ng; ++gp) {
+        cplx w = erow[gp];
+        if (g == gp) w -= 1.0;
+        if (w == cplx{}) continue;
+        const IVec3 mgp = eps_sphere.miller(gp);
+        const IVec3 diff{mgp[0] - mg[0], mgp[1] - mg[1], mgp[2] - mg[2]};
+        const cplx m_diff =
+            m_ll_box[static_cast<std::size_t>(box_index(box, diff))];
+        parts.coh += 0.5 * m_diff * w * v(gp);
+      }
+    }
+    out.push_back(parts);
+  }
+  return out;
+}
+
+std::vector<CohsexParts> cohsex_diag(GwCalculation& gw,
+                                     const std::vector<idx>& bands) {
+  return cohsex_diag_with(gw, gw.epsinv0(), bands);
+}
+
+}  // namespace xgw

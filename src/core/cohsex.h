@@ -1,0 +1,35 @@
+#pragma once
+
+// Static COHSEX approximation (Hedin; Hybertsen-Louie Sec. VI.A).
+//
+// The static limit of the GW self-energy splits into
+//   Sigma_SEX = - sum_n^occ sum_GG' M*_ln(G) epsinv_GG'(0) v(G') M_mn(G')
+//   Sigma_COH = 1/2 sum_GG' M_lm(G'-G) [epsinv(0) - I]_GG' v(G')
+// (screened exchange with the full static eps^{-1}, plus the Coulomb hole
+// from the induced potential at coinciding points). COHSEX is the standard
+// cheap static reference in BerkeleyGW-style workflows and the limit the
+// GPP model reduces to when all plasmon energies are large; xgw uses it
+// for validation and as a fast Sigma for large sweeps.
+
+#include "core/sigma.h"
+
+namespace xgw {
+
+struct CohsexParts {
+  cplx sex;
+  cplx coh;
+  cplx total() const { return sex + coh; }
+};
+
+/// Diagonal COHSEX matrix elements for the given bands, using the driver's
+/// cached eps^{-1}(0).
+std::vector<CohsexParts> cohsex_diag(GwCalculation& gw,
+                                     const std::vector<idx>& bands);
+
+/// Lower-level entry: explicit eps^{-1} (testing: pass identity to recover
+/// bare exchange, SEX == Sigma_X and COH == 0).
+std::vector<CohsexParts> cohsex_diag_with(GwCalculation& gw,
+                                          const ZMatrix& epsinv,
+                                          const std::vector<idx>& bands);
+
+}  // namespace xgw

@@ -1,0 +1,69 @@
+#include "core/convergence.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+double ConvergenceStudy::max_consecutive_gap_change_mev() const {
+  double worst = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    worst = std::max(worst,
+                     std::abs(points[i].gap_ev - points[i - 1].gap_ev) * 1e3);
+  return worst;
+}
+
+bool ConvergenceStudy::converged(double tol_mev) const {
+  if (points.size() < 2) return false;
+  const auto& a = points[points.size() - 2];
+  const auto& b = points.back();
+  return std::abs(b.gap_ev - a.gap_ev) * 1e3 < tol_mev;
+}
+
+namespace {
+
+ConvergencePoint run_point(GwCalculation& gw, double parameter) {
+  const idx v = gw.n_valence() - 1, c = gw.n_valence();
+  const auto qp = gw.sigma_diag({v, c}, 3, 0.02);
+  ConvergencePoint pt;
+  pt.parameter = parameter;
+  pt.n_g = gw.n_g();
+  pt.n_b = gw.n_bands();
+  pt.qp_vbm_ev = qp[0].e_qp * kHartreeToEv;
+  pt.qp_cbm_ev = qp[1].e_qp * kHartreeToEv;
+  pt.gap_ev = pt.qp_cbm_ev - pt.qp_vbm_ev;
+  return pt;
+}
+
+}  // namespace
+
+ConvergenceStudy sweep_eps_cutoff(const EpmModel& model,
+                                  const std::vector<double>& cutoffs,
+                                  const GwParameters& base) {
+  XGW_REQUIRE(!cutoffs.empty(), "sweep_eps_cutoff: empty sweep");
+  ConvergenceStudy study;
+  for (double cut : cutoffs) {
+    GwParameters p = base;
+    p.eps_cutoff = cut;
+    GwCalculation gw(model, p);
+    study.points.push_back(run_point(gw, cut));
+  }
+  return study;
+}
+
+ConvergenceStudy sweep_band_count(const EpmModel& model,
+                                  const std::vector<idx>& band_counts,
+                                  const GwParameters& base) {
+  XGW_REQUIRE(!band_counts.empty(), "sweep_band_count: empty sweep");
+  ConvergenceStudy study;
+  for (idx nb : band_counts) {
+    GwParameters p = base;
+    p.n_bands = nb;
+    GwCalculation gw(model, p);
+    study.points.push_back(run_point(gw, static_cast<double>(nb)));
+  }
+  return study;
+}
+
+}  // namespace xgw

@@ -1,0 +1,46 @@
+#pragma once
+
+// Convergence tooling: automated sweeps of the two parameters every GW
+// practitioner converges first — the chi/epsilon cutoff (N_G) and the band
+// count (N_b) in the Eq. 2/4 sums. The paper's Table 2 band counts
+// (N_b >= 5,500 for 214 atoms) exist precisely because these sweeps are
+// expensive; this utility runs them systematically on the scaled-down
+// systems.
+
+#include <vector>
+
+#include "core/sigma.h"
+
+namespace xgw {
+
+struct ConvergencePoint {
+  double parameter = 0.0;   ///< swept value (cutoff in Ha, or N_b)
+  idx n_g = 0;
+  idx n_b = 0;
+  double gap_ev = 0.0;      ///< QP gap (eV)
+  double qp_vbm_ev = 0.0;
+  double qp_cbm_ev = 0.0;
+};
+
+struct ConvergenceStudy {
+  std::vector<ConvergencePoint> points;
+
+  /// Largest gap change between consecutive points (meV) — the standard
+  /// "converged to X meV" statement.
+  double max_consecutive_gap_change_mev() const;
+  /// True if the last step changed the gap by less than tol_mev.
+  bool converged(double tol_mev) const;
+};
+
+/// Sweep the epsilon cutoff at fixed mean field; each point is a full
+/// chi -> eps^{-1} -> GPP -> Sigma pipeline.
+ConvergenceStudy sweep_eps_cutoff(const EpmModel& model,
+                                  const std::vector<double>& cutoffs,
+                                  const GwParameters& base = {});
+
+/// Sweep the band count N_b (Eq. 2/4 sums truncated at each value).
+ConvergenceStudy sweep_band_count(const EpmModel& model,
+                                  const std::vector<idx>& band_counts,
+                                  const GwParameters& base = {});
+
+}  // namespace xgw

@@ -1,0 +1,90 @@
+#include "core/epsilon.h"
+
+#include "common/error.h"
+#include "la/gemm.h"
+
+namespace xgw {
+
+ZMatrix epsilon_matrix(const ZMatrix& chi, const CoulombPotential& v) {
+  const idx ng = chi.rows();
+  XGW_REQUIRE(chi.cols() == ng && v.size() == ng,
+              "epsilon_matrix: size mismatch");
+  ZMatrix eps(ng, ng);
+  for (idx i = 0; i < ng; ++i) {
+    const double vi = v(i);
+    for (idx j = 0; j < ng; ++j) eps(i, j) = -vi * chi(i, j);
+    eps(i, i) += 1.0;
+  }
+  return eps;
+}
+
+ZMatrix epsilon_inverse(const ZMatrix& chi, const CoulombPotential& v) {
+  return invert(epsilon_matrix(chi, v));
+}
+
+void LowRankEpsInv::apply(const cplx* x, cplx* y) const {
+  const idx ng = n_g();
+  const idx nb = n_eig();
+  // y = x + L (R x)
+  std::vector<cplx> t(static_cast<std::size_t>(nb), cplx{});
+  for (idx b = 0; b < nb; ++b) {
+    cplx acc{};
+    const cplx* rrow = right.row(b);
+    for (idx g = 0; g < ng; ++g) acc += rrow[g] * x[g];
+    t[static_cast<std::size_t>(b)] = acc;
+  }
+  for (idx g = 0; g < ng; ++g) {
+    cplx acc = x[g];
+    const cplx* lrow = left.row(g);
+    for (idx b = 0; b < nb; ++b) acc += lrow[b] * t[static_cast<std::size_t>(b)];
+    y[g] = acc;
+  }
+}
+
+ZMatrix LowRankEpsInv::dense() const {
+  ZMatrix out = ZMatrix::identity(n_g());
+  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, left, right, cplx{1.0, 0.0}, out);
+  return out;
+}
+
+LowRankEpsInv epsilon_inverse_subspace(const Subspace& sub,
+                                       const ZMatrix& chi_sub,
+                                       const CoulombPotential& v) {
+  const idx ng = sub.n_g();
+  const idx nb = sub.n_eig();
+  XGW_REQUIRE(chi_sub.rows() == nb && chi_sub.cols() == nb,
+              "epsilon_inverse_subspace: chi_B shape mismatch");
+  XGW_REQUIRE(v.size() == ng, "epsilon_inverse_subspace: Coulomb mismatch");
+
+  // vc = v C (N_G x N_Eig).
+  ZMatrix vc(ng, nb);
+  for (idx g = 0; g < ng; ++g) {
+    const double vg = v(g);
+    for (idx b = 0; b < nb; ++b) vc(g, b) = vg * sub.basis(g, b);
+  }
+
+  // A = v C chi_B (N_G x N_Eig); K = I_B - C^H A (N_Eig x N_Eig).
+  ZMatrix a(ng, nb);
+  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, vc, chi_sub, cplx{}, a);
+  ZMatrix k = ZMatrix::identity(nb);
+  zgemm(Op::kConjTrans, Op::kNone, cplx{-1.0, 0.0}, sub.basis, a,
+        cplx{1.0, 0.0}, k);
+
+  // L = A K^{-1}: solve K^H? Use column solves of K^T x = ... simpler:
+  // L^T = (K^{-1})^T A^T -> solve K^T Y = A^T. Equivalent: L = A K^{-1}
+  // computed by solving K^T L^T = A^T.
+  LuFactorization lu(transpose(k));
+  ZMatrix lt = transpose(a);  // nb x ng
+  lu.solve_in_place(lt);
+  LowRankEpsInv out;
+  out.left = transpose(lt);   // ng x nb
+  out.right = adjoint(sub.basis);
+  return out;
+}
+
+double epsinv_head(const ZMatrix& epsinv) {
+  XGW_REQUIRE(epsinv.rows() >= 1, "epsinv_head: empty matrix");
+  return epsinv(0, 0).real();
+}
+
+}  // namespace xgw

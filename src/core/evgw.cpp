@@ -1,0 +1,105 @@
+#include "core/evgw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace xgw {
+
+EvGwResult evgw(GwCalculation& gw, const std::vector<idx>& bands,
+                const EvGwOptions& opt) {
+  XGW_REQUIRE(!bands.empty(), "evgw: empty band set");
+  XGW_REQUIRE(opt.mixing > 0.0 && opt.mixing <= 1.0, "evgw: bad mixing");
+
+  const double vbm0 =
+      gw.wavefunctions()
+          .energy[static_cast<std::size_t>(gw.n_valence() - 1)];
+  // The ORIGINAL mean-field eigenvalues: the QP equation is always
+  // E = E_MF^0 + Sigma^{(i)}(E), never referenced to the updated energies
+  // (that would double-count Sigma and diverge).
+  const std::vector<double> e_mf0 = gw.wavefunctions().energy;
+
+  EvGwResult res;
+  for (idx it = 0; it < opt.max_iter; ++it) {
+    std::vector<QpResult> qp =
+        gw.sigma_diag(bands, opt.n_e_points, opt.e_step);
+    // sigma_diag solves E = E_updated + Sigma(E); re-solve against the
+    // original reference: linearize Sigma at E_prev (= the updated energy):
+    // E = E_mf0 + Sigma(E_prev) + b (E - E_prev)
+    //   => E = (E_mf0 + Sigma(E_prev) - b E_prev) / (1 - b).
+    for (QpResult& r : qp) {
+      const double b = std::clamp(r.dsigma_de, -5.0, 0.8);
+      const double e_prev = r.e_mf;  // updated energy Sigma was sampled at
+      const double e0 = e_mf0[static_cast<std::size_t>(r.band)];
+      r.e_qp = (e0 + r.sigma.total().real() - b * e_prev) / (1.0 - b);
+      r.z = 1.0 / (1.0 - b);
+    }
+    // Convergence on the RELATIVE spectrum (see gauge note in the header):
+    // compare energies measured from the first listed band.
+    double max_change = 0.0;
+    if (!res.history.empty()) {
+      const auto& prev = res.history.back();
+      for (std::size_t i = 1; i < qp.size(); ++i)
+        max_change = std::max(max_change,
+                              std::abs((qp[i].e_qp - qp[0].e_qp) -
+                                       (prev[i].e_qp - prev[0].e_qp)));
+      if (qp.size() == 1)
+        max_change = std::abs(qp[0].e_qp - prev[0].e_qp);
+    } else {
+      max_change = 1e300;  // always iterate at least once more
+    }
+    res.history.push_back(qp);
+    res.iterations = it + 1;
+    if (max_change < opt.tol) {
+      res.converged = true;
+      break;
+    }
+
+    // Update band energies: explicit bands get their (mixed) QP energy;
+    // the rest follow by occupied/empty scissors shifts.
+    Wavefunctions wf = gw.wavefunctions();
+    double shift_occ = 0.0, shift_emp = 0.0;
+    idx n_occ = 0, n_emp = 0;
+    for (const QpResult& r : qp) {
+      const double d = r.e_qp - wf.energy[static_cast<std::size_t>(r.band)];
+      if (r.band < wf.n_valence) {
+        shift_occ += d;
+        ++n_occ;
+      } else {
+        shift_emp += d;
+        ++n_emp;
+      }
+    }
+    shift_occ = (n_occ > 0) ? shift_occ / static_cast<double>(n_occ) : 0.0;
+    shift_emp = (n_emp > 0) ? shift_emp / static_cast<double>(n_emp)
+                            : shift_occ;
+
+    std::vector<bool> explicit_band(static_cast<std::size_t>(wf.n_bands()),
+                                    false);
+    for (const QpResult& r : qp) {
+      const double e_old = wf.energy[static_cast<std::size_t>(r.band)];
+      wf.energy[static_cast<std::size_t>(r.band)] =
+          e_old + opt.mixing * (r.e_qp - e_old);
+      explicit_band[static_cast<std::size_t>(r.band)] = true;
+    }
+    for (idx n = 0; n < wf.n_bands(); ++n) {
+      if (explicit_band[static_cast<std::size_t>(n)]) continue;
+      const double shift = (n < wf.n_valence) ? shift_occ : shift_emp;
+      wf.energy[static_cast<std::size_t>(n)] += opt.mixing * shift;
+    }
+    // Re-pin the VBM: remove the unphysical absolute drift.
+    const double drift =
+        wf.energy[static_cast<std::size_t>(wf.n_valence - 1)] - vbm0;
+    for (double& e : wf.energy) e -= drift;
+    // Keep ordering intact for downstream consumers: scissors shifts can
+    // only reorder within the explicit window's neighborhood; re-sorting
+    // is NOT performed (band identity is physical here).
+    gw.set_wavefunctions(std::move(wf));  // invalidates chi/eps/GPP
+    log_debug("evgw iter ", it, " max dE = ", max_change);
+  }
+  return res;
+}
+
+}  // namespace xgw

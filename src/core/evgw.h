@@ -1,0 +1,45 @@
+#pragma once
+
+// Eigenvalue self-consistent GW (evGW).
+//
+// G0W0 keeps the mean-field eigenvalues in the Green's function and the
+// screening; evGW iterates the quasiparticle energies back into BOTH —
+// the chi(0) denominators, the GPP model, and the Sigma kernel's E_n —
+// until the QP energies are stationary. Bands outside the explicitly
+// updated window follow by a scissors shift (the standard treatment).
+// This is the "full solutions to Dyson's equation" self-consistency level
+// the paper's off-diagonal kernel exists to enable (Sec. 5.6).
+//
+// Gauge: the absolute energy zero of a periodic system is not an
+// observable, and with xgw's Hartree-like reference the absolute Sigma
+// shift is large; each iteration therefore re-pins the valence-band
+// maximum to its initial value, so self-consistency acts on the physical
+// RELATIVE spectrum (gaps and level splittings).
+
+#include "core/sigma.h"
+
+namespace xgw {
+
+struct EvGwOptions {
+  idx max_iter = 8;
+  double tol = 1e-4;        ///< convergence: max |E_qp change| (Ha)
+  idx n_e_points = 3;
+  double e_step = 0.02;
+  double mixing = 1.0;      ///< 1 = full update; < 1 damps oscillations
+};
+
+struct EvGwResult {
+  std::vector<std::vector<QpResult>> history;  ///< per iteration
+  idx iterations = 0;
+  bool converged = false;
+
+  const std::vector<QpResult>& final() const { return history.back(); }
+};
+
+/// Runs eigenvalue self-consistency for the given bands. The calculation's
+/// band energies are mutated (scissors-shifted outside the window); the
+/// screening is rebuilt each iteration.
+EvGwResult evgw(GwCalculation& gw, const std::vector<idx>& bands,
+                const EvGwOptions& opt = {});
+
+}  // namespace xgw

@@ -1,0 +1,116 @@
+#include "core/mtxel.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace xgw {
+
+Mtxel::Mtxel(const GSphere& psi_sphere, const GSphere& eps_sphere,
+             const Wavefunctions& wf, idx max_cached_bands)
+    : psi_sphere_(psi_sphere),
+      eps_sphere_(eps_sphere),
+      wf_(wf),
+      box_(product_box(psi_sphere, eps_sphere)),
+      fft_(box_),
+      max_cached_(std::max<idx>(max_cached_bands, 2)) {
+  XGW_REQUIRE(wf.n_pw() == psi_sphere.size(),
+              "Mtxel: wavefunctions do not live on psi_sphere");
+}
+
+const std::vector<cplx>& Mtxel::realspace(idx band, idx protect) const {
+  XGW_REQUIRE(band >= 0 && band < wf_.n_bands(), "Mtxel: band out of range");
+  auto it = cache_.find(band);
+  if (it != cache_.end()) return it->second;
+
+  if (static_cast<idx>(cache_.size()) >= max_cached_) {
+    // FIFO eviction, skipping the protected band (a reference to it is
+    // live in compute_pair). unordered_map erase does not invalidate
+    // references to other elements.
+    for (std::size_t i = 0; i < cache_order_.size(); ++i) {
+      const idx victim = cache_order_[i];
+      if (victim == protect) continue;
+      cache_order_.erase(cache_order_.begin() + static_cast<std::ptrdiff_t>(i));
+      cache_.erase(victim);
+      break;
+    }
+  }
+
+  std::vector<cplx> data(static_cast<std::size_t>(box_.size()));
+  scatter_to_box(psi_sphere_, wf_.coeff.row(band), box_, data.data());
+  fft_.backward(data.data());  // psi(r_j) = sum_G c(G) e^{iG r_j}
+  ++fft_count_;
+
+  auto [pos, inserted] = cache_.emplace(band, std::move(data));
+  cache_order_.push_back(band);
+  peak_cache_ = std::max(peak_cache_, static_cast<idx>(cache_.size()));
+  (void)inserted;
+  return pos->second;
+}
+
+void Mtxel::compute_pair(idx m, idx n, cplx* out) const {
+  const std::vector<cplx>& pm = realspace(m);
+  const std::vector<cplx>& pn = realspace(n, /*protect=*/m);
+
+  thread_local std::vector<cplx> prod;
+  prod.resize(static_cast<std::size_t>(box_.size()));
+  for (idx i = 0; i < box_.size(); ++i)
+    prod[static_cast<std::size_t>(i)] =
+        std::conj(pm[static_cast<std::size_t>(i)]) *
+        pn[static_cast<std::size_t>(i)];
+
+  // M(G) = (1/N_box) sum_j f_j e^{+iG r_j}: unnormalized backward FFT of
+  // the product, gathered on the eps sphere, scaled by 1/N_box.
+  fft_.backward(prod.data());
+  ++fft_count_;
+  gather_from_box(eps_sphere_, box_, prod.data(), out);
+  const double inv = 1.0 / static_cast<double>(box_.size());
+  for (idx ig = 0; ig < n_g(); ++ig) out[ig] *= inv;
+}
+
+void Mtxel::compute_left_fixed(idx m, std::span<const idx> n_list,
+                               ZMatrix& out) const {
+  XGW_REQUIRE(out.rows() == static_cast<idx>(n_list.size()) &&
+                  out.cols() == n_g(),
+              "Mtxel: output shape mismatch");
+  // Pin m in the cache by touching it first.
+  (void)realspace(m);
+  for (std::size_t i = 0; i < n_list.size(); ++i)
+    compute_pair(m, n_list[i], out.row(static_cast<idx>(i)));
+}
+
+void Mtxel::compute_pair_raw(const cplx* cm, const cplx* cn, cplx* out) const {
+  thread_local std::vector<cplx> bm, bn;
+  bm.assign(static_cast<std::size_t>(box_.size()), cplx{});
+  bn.assign(static_cast<std::size_t>(box_.size()), cplx{});
+  scatter_to_box(psi_sphere_, cm, box_, bm.data());
+  scatter_to_box(psi_sphere_, cn, box_, bn.data());
+  fft_.backward(bm.data());
+  fft_.backward(bn.data());
+  fft_count_ += 2;
+  for (idx i = 0; i < box_.size(); ++i)
+    bn[static_cast<std::size_t>(i)] *=
+        std::conj(bm[static_cast<std::size_t>(i)]);
+  fft_.backward(bn.data());
+  ++fft_count_;
+  gather_from_box(eps_sphere_, box_, bn.data(), out);
+  const double inv = 1.0 / static_cast<double>(box_.size());
+  for (idx ig = 0; ig < n_g(); ++ig) out[ig] *= inv;
+}
+
+void Mtxel::accumulate_density(idx band, double weight,
+                               std::vector<cplx>& rho_real) const {
+  XGW_REQUIRE(static_cast<idx>(rho_real.size()) == box_.size(),
+              "accumulate_density: box size mismatch");
+  const std::vector<cplx>& psi = realspace(band);
+  for (idx i = 0; i < box_.size(); ++i)
+    rho_real[static_cast<std::size_t>(i)] +=
+        weight * std::norm(psi[static_cast<std::size_t>(i)]);
+}
+
+void Mtxel::clear_cache() const {
+  cache_.clear();
+  cache_order_.clear();
+}
+
+}  // namespace xgw

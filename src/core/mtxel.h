@@ -1,0 +1,86 @@
+#pragma once
+
+// MTXEL kernel: plane-wave matrix elements of wavefunction pairs,
+//   M^G_{mn} = <psi_m| e^{iG.r} |psi_n> = sum_{G'} c_m(G'+G)^* c_n(G'),
+// computed via FFTs of real-space products (the paper's MTXEL kernel, one
+// of the lower-scaling kernels in Fig. 3's weak-scaling breakdown).
+//
+// Consumers:
+//  * CHI_SUM needs M_vc for all (v, c) pairs — driven per NV-Block.
+//  * Sigma needs M_ln for each external band l against all N_b bands n.
+// Both stream over a FIXED left band m with many right bands n, so the
+// kernel caches real-space wavefunctions psi(r) per band with an explicit,
+// bounded cache (the memory wall the NV-Block algorithm manages).
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "fft/fft.h"
+#include "mf/wavefunctions.h"
+#include "pw/gvectors.h"
+
+namespace xgw {
+
+class Mtxel {
+ public:
+  /// `psi_sphere` is the wavefunction basis (matching wf.coeff columns);
+  /// `eps_sphere` is the G-grid on which M is evaluated (the chi/epsilon
+  /// basis, N_G <= N_G^psi typically). `max_cached_bands` bounds the
+  /// real-space cache (each entry is one FFT box).
+  Mtxel(const GSphere& psi_sphere, const GSphere& eps_sphere,
+        const Wavefunctions& wf, idx max_cached_bands = 64);
+
+  idx n_g() const { return eps_sphere_.size(); }
+  const FftBox& box() const { return box_; }
+
+  /// M^G_{mn} for one pair, written to out[0..n_g).
+  void compute_pair(idx m, idx n, cplx* out) const;
+
+  /// M^G for ARBITRARY coefficient vectors on the psi sphere (e.g. the
+  /// perturbed wavefunctions d psi of GWPT): out = sum_G' cm(G'+G)^* cn(G').
+  /// Uncached (3 FFTs per call).
+  void compute_pair_raw(const cplx* cm, const cplx* cn, cplx* out) const;
+
+  /// Rows: out(i, :) = M^G_{m, n_list[i]} — fixed LEFT band m. The m
+  /// wavefunction is transformed once and reused across the list.
+  void compute_left_fixed(idx m, std::span<const idx> n_list, ZMatrix& out) const;
+
+  /// Accumulates weight * |psi_band(r)|^2 into rho_real (box-sized) —
+  /// building block for the valence charge density the GPP model needs.
+  void accumulate_density(idx band, double weight,
+                          std::vector<cplx>& rho_real) const;
+
+  /// The box FFT object (shared by density construction).
+  const Fft3d& fft() const { return fft_; }
+
+  /// Number of FFTs executed so far (performance accounting).
+  long fft_count() const { return fft_count_; }
+
+  /// Peak number of cached real-space bands so far (memory accounting,
+  /// exercised by the NV-Block benchmark).
+  idx peak_cache_entries() const { return peak_cache_; }
+
+  /// Drop all cached real-space wavefunctions.
+  void clear_cache() const;
+
+ private:
+  /// Real-space psi_n on the box, from cache or computed (and cached if the
+  /// cache has room; eviction is FIFO). `protect` (if >= 0) is never
+  /// evicted — compute_pair holds a live reference to it.
+  const std::vector<cplx>& realspace(idx band, idx protect = -1) const;
+
+  const GSphere& psi_sphere_;
+  const GSphere& eps_sphere_;
+  const Wavefunctions& wf_;
+  FftBox box_;
+  Fft3d fft_;
+  idx max_cached_;
+
+  mutable std::unordered_map<idx, std::vector<cplx>> cache_;
+  mutable std::vector<idx> cache_order_;
+  mutable long fft_count_ = 0;
+  mutable idx peak_cache_ = 0;
+};
+
+}  // namespace xgw

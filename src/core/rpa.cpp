@@ -1,0 +1,78 @@
+#include "core/rpa.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/quadrature.h"
+#include "core/sigma.h"
+#include "la/eig.h"
+
+namespace xgw {
+
+RpaResult rpa_correlation_energy(GwCalculation& gw, const RpaOptions& opt) {
+  XGW_REQUIRE(opt.n_freq >= 2, "rpa: need at least 2 quadrature nodes");
+  const Wavefunctions& wf = gw.wavefunctions();
+  const CoulombPotential& v = gw.coulomb();
+  const Mtxel& mt = gw.mtxel();
+  const idx ng = gw.n_g();
+
+  const QuadratureRule rule =
+      gauss_legendre_semi_infinite(opt.n_freq, opt.omega_scale);
+
+  // Optional subspace: chi0(0) eigenbasis scaled by v^{1/2}, so that the
+  // projected chi_B(i omega) IS v^{1/2} chi v^{1/2} restricted to the
+  // dominant screening subspace.
+  std::optional<Subspace> sub;
+  if (opt.n_eig > 0 || opt.subspace_fraction > 0.0) {
+    Subspace s = build_subspace(gw.chi0(), v, opt.n_eig,
+                                opt.subspace_fraction);
+    for (idx g = 0; g < ng; ++g)
+      for (idx b = 0; b < s.n_eig(); ++b) s.basis(g, b) *= v.sqrt_v(g);
+    sub = std::move(s);
+  }
+
+  ChiOptions copt;
+  copt.imaginary_axis = true;
+
+  // q->0 head of chi(i omega) per quadrature node (consistent with the GW
+  // driver's head correction; skipped when v(0) = 0).
+  std::vector<cplx> heads(rule.size(), cplx{});
+  if (gw.params().head_correction) {
+    const Lattice& lat = gw.hamiltonian().model().crystal().lattice();
+    for (std::size_t k = 0; k < rule.size(); ++k) {
+      const cplx chi_bar =
+          chi_head_reduced(wf, gw.psi_sphere(), lat, rule.nodes[k],
+                           gw.params().eta, /*imaginary_axis=*/true);
+      heads[k] = chi_head_value(chi_bar, v, lat);
+    }
+  }
+
+  const std::vector<ZMatrix> chis =
+      chi_multi(mt, wf, rule.nodes, copt, sub ? &*sub : nullptr, heads);
+
+  RpaResult res;
+  res.n_eig_used = sub ? sub->n_eig() : 0;
+  res.omegas = rule.nodes;
+  res.integrand.resize(rule.size());
+
+  for (std::size_t k = 0; k < rule.size(); ++k) {
+    ZMatrix sym = chis[k];
+    if (!sub) {
+      // Symmetrize with v^{1/2} (the subspace path already carries it).
+      for (idx g = 0; g < ng; ++g)
+        for (idx gp = 0; gp < ng; ++gp)
+          sym(g, gp) *= v.sqrt_v(g) * v.sqrt_v(gp);
+    }
+    const EigResult eig = heev(sym);
+    double tr = 0.0;
+    for (double lam : eig.values) {
+      XGW_REQUIRE(lam < 1.0, "rpa: v chi eigenvalue >= 1 (instability)");
+      tr += std::log(1.0 - lam) + lam;
+    }
+    res.integrand[k] = tr;
+    res.e_c += rule.weights[k] * tr / (2.0 * kPi);
+  }
+  return res;
+}
+
+}  // namespace xgw

@@ -1,0 +1,221 @@
+#include "core/sigma_ff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
+  XGW_REQUIRE(opt.n_freq >= 2, "build_ff_screening: need >= 2 frequencies");
+  const Wavefunctions& wf = gw.wavefunctions();
+  const CoulombPotential& v = gw.coulomb();
+  const idx ng = gw.n_g();
+
+  // Frequency grid [0, omega_max]; omega_max defaults to the largest
+  // excitation energy plus margin so the spectral weight is captured.
+  double omega_max = opt.omega_max;
+  if (omega_max <= 0.0) {
+    const double e_span = wf.energy.back() - wf.energy.front();
+    omega_max = 1.5 * e_span;
+  }
+
+  FfScreening scr;
+  scr.omegas.resize(static_cast<std::size_t>(opt.n_freq));
+  scr.weights.resize(static_cast<std::size_t>(opt.n_freq));
+  const double d_omega = omega_max / static_cast<double>(opt.n_freq - 1);
+  for (idx k = 0; k < opt.n_freq; ++k) {
+    scr.omegas[static_cast<std::size_t>(k)] = d_omega * static_cast<double>(k);
+    // Trapezoidal weights.
+    scr.weights[static_cast<std::size_t>(k)] =
+        (k == 0 || k == opt.n_freq - 1) ? 0.5 * d_omega : d_omega;
+  }
+
+  ChiOptions copt = opt.chi;
+  copt.eta = opt.eta;
+
+  // Optional static subspace: built once from chi(0) at full PW cost, then
+  // every omega > 0 runs in the reduced basis (Sec. 5.2).
+  std::optional<Subspace> sub;
+  if (opt.n_eig > 0 || opt.subspace_fraction > 0.0) {
+    TimerRegistry::Scope scope(gw.timers(), "ff_subspace_build");
+    sub = build_subspace(gw.chi0(), v, opt.n_eig, opt.subspace_fraction);
+    scr.n_eig_used = sub->n_eig();
+  }
+
+  const Lattice& lattice = gw.hamiltonian().model().crystal().lattice();
+  const bool head = gw.params().head_correction;
+
+  // Per-frequency q->0 heads.
+  std::vector<cplx> heads(static_cast<std::size_t>(opt.n_freq), cplx{});
+  if (head) {
+    for (idx k = 0; k < opt.n_freq; ++k) {
+      const cplx chi_bar = chi_head_reduced(
+          wf, gw.psi_sphere(), lattice,
+          scr.omegas[static_cast<std::size_t>(k)], opt.eta);
+      heads[static_cast<std::size_t>(k)] = chi_head_value(chi_bar, v, lattice);
+    }
+  }
+
+  // All frequencies in one CHI-0/Transf/CHI-Freq pass: MTXEL (and the
+  // subspace projection) are paid once, not once per frequency.
+  std::vector<ZMatrix> chis;
+  {
+    TimerRegistry::Scope scope(
+        gw.timers(), sub ? "ff_chi_freq(subspace)" : "ff_chi_freq(full_pw)");
+    chis = chi_multi(gw.mtxel(), wf, scr.omegas, copt,
+                     sub ? &*sub : nullptr, heads);
+  }
+
+  scr.bv.resize(static_cast<std::size_t>(opt.n_freq));
+  for (idx k = 0; k < opt.n_freq; ++k) {
+    ZMatrix epsinv;
+    {
+      TimerRegistry::Scope scope(gw.timers(), "ff_eps_inverse");
+      if (sub) {
+        epsinv = epsilon_inverse_subspace(
+                     *sub, chis[static_cast<std::size_t>(k)], v)
+                     .dense();
+      } else {
+        epsinv = epsilon_inverse(chis[static_cast<std::size_t>(k)], v);
+      }
+    }
+
+    // B^k v = -(1/pi) Im[eps^{-1}] * weight * v(G'), with Im taken
+    // element-wise (the anti-Hermitian part carries the spectrum at q=0
+    // Gamma-only where eps(omega) is complex-symmetric).
+    ZMatrix bv(ng, ng);
+    const double pref = -scr.weights[static_cast<std::size_t>(k)] / kPi;
+    for (idx g = 0; g < ng; ++g)
+      for (idx gp = 0; gp < ng; ++gp)
+        bv(g, gp) = pref * epsinv(g, gp).imag() * v(gp);
+    scr.bv[static_cast<std::size_t>(k)] = std::move(bv);
+  }
+  return scr;
+}
+
+std::vector<FfResult> sigma_ff_diag(GwCalculation& gw, const FfScreening& scr,
+                                    const std::vector<idx>& bands,
+                                    double eta) {
+  const Wavefunctions& wf = gw.wavefunctions();
+  const CoulombPotential& v = gw.coulomb();
+  const idx ng = gw.n_g();
+  const idx nk = static_cast<idx>(scr.omegas.size());
+
+  std::vector<FfResult> out;
+  out.reserve(bands.size());
+
+  for (idx l : bands) {
+    XGW_REQUIRE(l >= 0 && l < wf.n_bands(), "sigma_ff_diag: band range");
+    const ZMatrix m_ln = gw.m_matrix_left(l);
+    const double e0 = wf.energy[static_cast<std::size_t>(l)];
+
+    // Exchange: -sum_n^occ sum_G |M_ln(G)|^2 v(G).
+    cplx sx{};
+    for (idx n = 0; n < wf.n_valence; ++n) {
+      const cplx* mrow = m_ln.row(n);
+      double acc = 0.0;
+      for (idx g = 0; g < ng; ++g) acc += std::norm(mrow[g]) * v(g);
+      sx -= acc;
+    }
+
+    // Correlation at two energies (for Z): E0 and E0 + dE.
+    const double de_fd = 0.01;
+    cplx sc[2] = {cplx{}, cplx{}};
+    {
+      TimerRegistry::Scope scope(gw.timers(), "ff_sigma_kernel");
+      std::vector<cplx> t(static_cast<std::size_t>(ng));
+      for (idx n = 0; n < wf.n_bands(); ++n) {
+        const cplx* mrow = m_ln.row(n);
+        const double en = wf.energy[static_cast<std::size_t>(n)];
+        const bool occ = n < wf.n_valence;
+        for (idx k = 0; k < nk; ++k) {
+          const ZMatrix& bv = scr.bv[static_cast<std::size_t>(k)];
+          // t = (B^k v)^T applied from the right: t(g) = sum_gp bv(g,gp) M(gp)
+          for (idx g = 0; g < ng; ++g) {
+            cplx acc{};
+            const cplx* brow = bv.row(g);
+            for (idx gp = 0; gp < ng; ++gp) acc += brow[gp] * mrow[gp];
+            t[static_cast<std::size_t>(g)] = acc;
+          }
+          cplx quad{};
+          for (idx g = 0; g < ng; ++g)
+            quad += std::conj(mrow[g]) * t[static_cast<std::size_t>(g)];
+
+          const double wk = scr.omegas[static_cast<std::size_t>(k)];
+          for (int ie = 0; ie < 2; ++ie) {
+            const double e = e0 + (ie == 1 ? de_fd : 0.0);
+            const cplx den =
+                occ ? cplx{e - en + wk, -eta} : cplx{e - en - wk, eta};
+            sc[ie] += quad / den;
+          }
+        }
+      }
+    }
+
+    FfResult r;
+    r.band = l;
+    r.e_mf = e0;
+    r.sigma_x = sx;
+    r.sigma_c = sc[0];
+    const double dsig =
+        (sc[1].real() - sc[0].real()) / de_fd;  // d Sigma_c / dE
+    double z = 1.0 / (1.0 - dsig);
+    if (!(z > 0.0) || z > 2.0) z = std::clamp(z, 0.0, 2.0);
+    r.z = z;
+    r.e_qp = e0 + z * (sx.real() + sc[0].real());
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
+                                      const FfScreening& scr,
+                                      const std::vector<idx>& bands,
+                                      std::span<const double> e_grid,
+                                      double eta, FlopCounter* flops) {
+  XGW_REQUIRE(!bands.empty() && !e_grid.empty(),
+              "sigma_ff_offdiag: empty band set or grid");
+  const Wavefunctions& wf = gw.wavefunctions();
+  const idx ns = static_cast<idx>(bands.size());
+  const idx ng = gw.n_g();
+  const idx nk = static_cast<idx>(scr.omegas.size());
+  const idx ne = static_cast<idx>(e_grid.size());
+
+  std::vector<ZMatrix> sigma(static_cast<std::size_t>(ne));
+  for (auto& s : sigma) s = ZMatrix(ns, ns);
+
+  ZMatrix mc(ns, ng), t(ns, ng), q(ns, ns);
+
+  TimerRegistry::Scope scope(gw.timers(), "ff_sigma_offdiag");
+  for (idx n = 0; n < wf.n_bands(); ++n) {
+    const ZMatrix m_n = gw.m_matrix_right(bands, n);
+    for (idx i = 0; i < ns; ++i)
+      for (idx g = 0; g < ng; ++g) mc(i, g) = std::conj(m_n(i, g));
+    const double en = wf.energy[static_cast<std::size_t>(n)];
+    const bool occ = n < wf.n_valence;
+
+    for (idx k = 0; k < nk; ++k) {
+      // Q^{nk} = conj(M_n) (B^k v) M_n^T  — two ZGEMMs, reused over E.
+      zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, mc,
+            scr.bv[static_cast<std::size_t>(k)], cplx{}, t,
+            GemmVariant::kParallel, flops);
+      zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, m_n, cplx{}, q,
+            GemmVariant::kParallel, flops);
+
+      const double wk = scr.omegas[static_cast<std::size_t>(k)];
+      for (idx ie = 0; ie < ne; ++ie) {
+        const double e = e_grid[static_cast<std::size_t>(ie)];
+        const cplx den =
+            occ ? cplx{e - en + wk, -eta} : cplx{e - en - wk, eta};
+        const cplx f = 1.0 / den;
+        ZMatrix& out = sigma[static_cast<std::size_t>(ie)];
+        for (idx i = 0; i < ns * ns; ++i) out.data()[i] += f * q.data()[i];
+      }
+    }
+  }
+  return sigma;
+}
+
+}  // namespace xgw

@@ -1,0 +1,58 @@
+#include "core/spectral.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+double SpectralFunction::peak_position() const {
+  XGW_REQUIRE(!a.empty(), "spectral: empty function");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.size(); ++i)
+    if (a[i] > a[best]) best = i;
+  return omega[best];
+}
+
+double SpectralFunction::integrated_weight() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < a.size(); ++i)
+    acc += 0.5 * (a[i] + a[i - 1]) * (omega[i] - omega[i - 1]);
+  return acc;
+}
+
+SpectralFunction spectral_function(GwCalculation& gw, idx band,
+                                   const SpectralOptions& opt) {
+  XGW_REQUIRE(opt.n_omega >= 3, "spectral: need at least 3 grid points");
+  const Wavefunctions& wf = gw.wavefunctions();
+  XGW_REQUIRE(band >= 0 && band < wf.n_bands(), "spectral: band range");
+  const double e0 = wf.energy[static_cast<std::size_t>(band)];
+
+  SpectralFunction sf;
+  sf.band = band;
+  sf.omega.resize(static_cast<std::size_t>(opt.n_omega));
+  for (idx i = 0; i < opt.n_omega; ++i)
+    sf.omega[static_cast<std::size_t>(i)] =
+        e0 - opt.window +
+        2.0 * opt.window * static_cast<double>(i) /
+            static_cast<double>(opt.n_omega - 1);
+
+  // Sigma_ll on the grid (one kernel invocation, N_E = n_omega).
+  const ZMatrix m_ln = gw.m_matrix_left(band);
+  const GppDiagKernel kernel(gw.gpp(), gw.coulomb());
+  std::vector<SigmaParts> parts;
+  kernel.compute(m_ln, wf.energy, wf.n_valence, sf.omega, parts);
+
+  sf.sigma.resize(parts.size());
+  sf.a.resize(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const cplx s = parts[i].total();
+    sf.sigma[i] = s;
+    const double re = sf.omega[i] - e0 - s.real();
+    const double im = std::abs(s.imag()) + opt.eta;
+    sf.a[i] = (1.0 / kPi) * im / (re * re + im * im);
+  }
+  return sf;
+}
+
+}  // namespace xgw

@@ -1,0 +1,36 @@
+#pragma once
+
+// Quasiparticle spectral function from the frequency-dependent self-energy:
+//   A_l(w) = (1/pi) |Im Sigma_ll(w)| /
+//            [(w - E_l^MF - Re Sigma_ll(w))^2 + (Im Sigma_ll(w))^2]
+// evaluated by sampling Sigma_ll on a frequency grid with the GPP diag
+// kernel. A sharp peak at E^QP with weight ~ Z and satellite structure at
+// plasmon energies is the many-body content the paper's E-grid
+// generalization (Sec. 5.6) exposes.
+
+#include "core/sigma.h"
+
+namespace xgw {
+
+struct SpectralFunction {
+  idx band = 0;
+  std::vector<double> omega;  ///< grid (Ha)
+  std::vector<double> a;      ///< A(omega) (1/Ha)
+  std::vector<cplx> sigma;    ///< Sigma_ll(omega)
+
+  /// omega of the highest peak.
+  double peak_position() const;
+  /// Trapezoidal integral of A over the window (<= 1; ~Z near the QP peak).
+  double integrated_weight() const;
+};
+
+struct SpectralOptions {
+  idx n_omega = 61;
+  double window = 1.5;      ///< half-width around E^MF (Ha)
+  double eta = 0.01;        ///< minimum broadening added to |Im Sigma|
+};
+
+SpectralFunction spectral_function(GwCalculation& gw, idx band,
+                                   const SpectralOptions& opt = {});
+
+}  // namespace xgw

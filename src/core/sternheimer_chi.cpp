@@ -1,0 +1,62 @@
+#include "core/sternheimer_chi.h"
+
+#include "common/error.h"
+
+namespace xgw {
+
+std::vector<cplx> shifted_state(const GSphere& psi_sphere,
+                                const Wavefunctions& wf, idx band,
+                                const IVec3& g_shift) {
+  const idx ng = psi_sphere.size();
+  std::vector<cplx> out(static_cast<std::size_t>(ng), cplx{});
+  const cplx* c = wf.coeff.row(band);
+  for (idx g = 0; g < ng; ++g) {
+    const IVec3 m = psi_sphere.miller(g);
+    const idx src = psi_sphere.find(
+        {m[0] + g_shift[0], m[1] + g_shift[1], m[2] + g_shift[2]});
+    if (src >= 0) out[static_cast<std::size_t>(g)] = c[src];
+  }
+  return out;
+}
+
+ZMatrix chi_sternheimer(const PwHamiltonian& h, const Wavefunctions& wf,
+                        const GSphere& eps_sphere,
+                        const SternheimerOptions& opt) {
+  const GSphere& psi_sphere = h.sphere();
+  XGW_REQUIRE(wf.n_pw() == psi_sphere.size(),
+              "chi_sternheimer: basis mismatch");
+  const idx nv = wf.n_valence;
+  XGW_REQUIRE(nv >= 1, "chi_sternheimer: need occupied states");
+  const idx ng = eps_sphere.size();
+
+  std::vector<idx> occupied(static_cast<std::size_t>(nv));
+  for (idx v = 0; v < nv; ++v) occupied[static_cast<std::size_t>(v)] = v;
+
+  ZMatrix chi(ng, ng);
+  std::vector<std::vector<cplx>> shifted(static_cast<std::size_t>(ng));
+
+  for (idx v = 0; v < nv; ++v) {
+    const double ev = wf.energy[static_cast<std::size_t>(v)];
+    // Precompute all shifted states e^{-iG'r}|v> for the bra side.
+    for (idx gp = 0; gp < ng; ++gp)
+      shifted[static_cast<std::size_t>(gp)] =
+          shifted_state(psi_sphere, wf, v, eps_sphere.miller(gp));
+
+    for (idx g = 0; g < ng; ++g) {
+      // eta = P_c (H - E_v)^{-1} P_c e^{-iGr}|v>.
+      const std::vector<cplx> eta = sternheimer_solve(
+          h, wf, ev, shifted[static_cast<std::size_t>(g)], occupied, opt);
+      for (idx gp = 0; gp < ng; ++gp) {
+        cplx dot{};
+        const std::vector<cplx>& bra = shifted[static_cast<std::size_t>(gp)];
+        for (idx i = 0; i < psi_sphere.size(); ++i)
+          dot += std::conj(bra[static_cast<std::size_t>(i)]) *
+                 eta[static_cast<std::size_t>(i)];
+        chi(g, gp) -= 4.0 * dot;
+      }
+    }
+  }
+  return chi;
+}
+
+}  // namespace xgw

@@ -1,0 +1,36 @@
+#pragma once
+
+// Sternheimer (sum-over-states-free) static polarizability — the approach
+// of the paper's refs [9-11] (Umari, Giustino, Govoni et al.), in which
+// the sum over empty states in Eq. 4 is eliminated by solving linear
+// systems:
+//
+//   chi_GG'(0) = -4 sum_v < e^{-iG'r} psi_v | eta_v^G >,
+//   (H - E_v) |eta_v^G> = P_c e^{-iGr} |psi_v>,   P_c = 1 - sum_occ |v><v|.
+//
+// Only OCCUPIED states enter — no conduction bands are ever constructed.
+// The trade is N_v * N_G projected linear solves; the paper notes this
+// family of methods "remains O(N^4)" but avoids generating empty states
+// (the very bottleneck Parabands / pseudobands attack from the other side).
+// Tests validate it against the sum-over-states CHI_SUM exactly.
+
+#include "core/chi.h"
+#include "mf/sternheimer.h"
+
+namespace xgw {
+
+/// Static chi from occupied states only. `wf` may contain only the valence
+/// bands (that is the point); any extra bands are ignored except through
+/// the projector, which uses the first n_valence states.
+ZMatrix chi_sternheimer(const PwHamiltonian& h, const Wavefunctions& wf,
+                        const GSphere& eps_sphere,
+                        const SternheimerOptions& opt = {});
+
+/// Coefficients of e^{-iGr} |psi_band>: shifted plane-wave coefficients
+/// c(G'' + G), truncated to the psi sphere (exact for overlaps against
+/// in-sphere states).
+std::vector<cplx> shifted_state(const GSphere& psi_sphere,
+                                const Wavefunctions& wf, idx band,
+                                const IVec3& g_shift);
+
+}  // namespace xgw

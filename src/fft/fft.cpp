@@ -1,0 +1,159 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace xgw {
+
+namespace {
+
+std::vector<idx> factorize(idx n) {
+  std::vector<idx> factors;
+  for (idx f : {idx{2}, idx{3}, idx{5}}) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  for (idx f = 7; f * f <= n; f += 2) {
+    while (n % f == 0) {
+      factors.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) factors.push_back(n);
+  return factors;
+}
+
+}  // namespace
+
+Fft1dPlan::Fft1dPlan(idx n) : n_(n), factors_(factorize(n)) {
+  XGW_REQUIRE(n >= 1, "FFT length must be >= 1");
+  roots_fwd_.resize(static_cast<std::size_t>(n));
+  roots_bwd_.resize(static_cast<std::size_t>(n));
+  for (idx j = 0; j < n; ++j) {
+    const double ang = -kTwoPi * static_cast<double>(j) / static_cast<double>(n);
+    roots_fwd_[static_cast<std::size_t>(j)] = {std::cos(ang), std::sin(ang)};
+    roots_bwd_[static_cast<std::size_t>(j)] =
+        std::conj(roots_fwd_[static_cast<std::size_t>(j)]);
+  }
+}
+
+void Fft1dPlan::recurse(const cplx* in, cplx* out, idx n, idx in_stride,
+                        const cplx* roots, cplx* scratch) const {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  // Smallest factor of this level's length.
+  idx r = n;
+  for (idx f : factors_) {
+    if (n % f == 0) {
+      r = f;
+      break;
+    }
+  }
+  const idx m = n / r;
+
+  // r interleaved sub-transforms, each written contiguously into out.
+  for (idx q = 0; q < r; ++q)
+    recurse(in + q * in_stride, out + q * m, m, in_stride * r, roots, scratch);
+
+  // Combine: X[q2*m + k] = sum_q out[q*m + k] * w_n^{q (q2*m + k)}, where
+  // w_n = roots[step], step = n_ / n (roots table holds powers of w_{n_}).
+  const idx step = n_ / n;
+  for (idx k = 0; k < m; ++k) {
+    for (idx q2 = 0; q2 < r; ++q2) {
+      const idx freq = q2 * m + k;
+      cplx acc{};
+      for (idx q = 0; q < r; ++q) {
+        const idx tw_idx = (q * freq % n) * step;
+        acc += out[q * m + k] * roots[tw_idx];
+      }
+      scratch[freq] = acc;
+    }
+  }
+  for (idx i = 0; i < n; ++i) out[i] = scratch[i];
+}
+
+void Fft1dPlan::transform(cplx* data, FftDirection dir) const {
+  if (n_ == 1) return;
+  thread_local std::vector<cplx> work, scratch;
+  if (static_cast<idx>(work.size()) < n_) {
+    work.resize(static_cast<std::size_t>(n_));
+    scratch.resize(static_cast<std::size_t>(n_));
+  }
+  const cplx* roots =
+      (dir == FftDirection::kForward) ? roots_fwd_.data() : roots_bwd_.data();
+  recurse(data, work.data(), n_, 1, roots, scratch.data());
+  for (idx i = 0; i < n_; ++i) data[i] = work[static_cast<std::size_t>(i)];
+}
+
+Fft3d::Fft3d(FftBox box)
+    : box_(box),
+      plan1_(get_fft_plan(box.n1)),
+      plan2_(get_fft_plan(box.n2)),
+      plan3_(get_fft_plan(box.n3)) {
+  XGW_REQUIRE(box.n1 >= 1 && box.n2 >= 1 && box.n3 >= 1,
+              "FFT box dimensions must be >= 1");
+}
+
+void Fft3d::transform(cplx* data, FftDirection dir) const {
+  const idx n1 = box_.n1, n2 = box_.n2, n3 = box_.n3;
+
+  // Axis 3 (contiguous lines).
+  for (idx i = 0; i < n1 * n2; ++i) plan3_->transform(data + i * n3, dir);
+
+  // Axis 2 (stride n3 within each i1 plane).
+  std::vector<cplx> line(static_cast<std::size_t>(std::max(n1, n2)));
+  for (idx i1 = 0; i1 < n1; ++i1) {
+    cplx* plane = data + i1 * n2 * n3;
+    for (idx i3 = 0; i3 < n3; ++i3) {
+      for (idx i2 = 0; i2 < n2; ++i2)
+        line[static_cast<std::size_t>(i2)] = plane[i2 * n3 + i3];
+      plan2_->transform(line.data(), dir);
+      for (idx i2 = 0; i2 < n2; ++i2)
+        plane[i2 * n3 + i3] = line[static_cast<std::size_t>(i2)];
+    }
+  }
+
+  // Axis 1 (stride n2*n3).
+  const idx stride1 = n2 * n3;
+  for (idx i23 = 0; i23 < n2 * n3; ++i23) {
+    for (idx i1 = 0; i1 < n1; ++i1)
+      line[static_cast<std::size_t>(i1)] = data[i1 * stride1 + i23];
+    plan1_->transform(line.data(), dir);
+    for (idx i1 = 0; i1 < n1; ++i1)
+      data[i1 * stride1 + i23] = line[static_cast<std::size_t>(i1)];
+  }
+}
+
+void Fft3d::backward_normalized(cplx* data) const {
+  transform(data, FftDirection::kBackward);
+  const double inv = 1.0 / static_cast<double>(box_.size());
+  for (idx i = 0; i < box_.size(); ++i) data[i] *= inv;
+}
+
+std::shared_ptr<Fft1dPlan> get_fft_plan(idx n) {
+  static std::mutex mutex;
+  static std::map<idx, std::shared_ptr<Fft1dPlan>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = cache[n];
+  if (!slot) slot = std::make_shared<Fft1dPlan>(n);
+  return slot;
+}
+
+idx next_fast_size(idx n) {
+  XGW_REQUIRE(n >= 1, "next_fast_size: n must be >= 1");
+  for (idx candidate = n;; ++candidate) {
+    idx rem = candidate;
+    for (idx f : {idx{2}, idx{3}, idx{5}})
+      while (rem % f == 0) rem /= f;
+    if (rem == 1) return candidate;
+  }
+}
+
+}  // namespace xgw

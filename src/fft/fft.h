@@ -1,0 +1,82 @@
+#pragma once
+
+// Complex FFTs implemented from scratch (no FFTW dependency).
+//
+// The MTXEL kernel of the paper computes plane-wave matrix elements
+// M^G_{mn} = <m| e^{iG r} |n> by Fourier-transforming real-space
+// wavefunction products; it is one of the lower-scaling kernels whose weak
+// scaling degrades in Fig. 3. xgw implements a mixed-radix (2, 3, 5, generic
+// prime) decimation-in-time FFT with per-size cached plans, and 3-D
+// transforms over row-major boxes.
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "la/matrix.h"
+
+namespace xgw {
+
+enum class FftDirection { kForward, kBackward };
+
+/// One-dimensional FFT plan for a fixed length. Forward applies
+/// X_k = sum_j x_j e^{-2 pi i jk/n}; backward uses e^{+...} and does NOT
+/// normalize (callers scale by 1/n where required, matching FFTW).
+class Fft1dPlan {
+ public:
+  explicit Fft1dPlan(idx n);
+
+  idx size() const { return n_; }
+
+  /// In-place transform of a contiguous line of length n. Thread-safe:
+  /// workspaces are thread_local, so one shared plan serves all OpenMP
+  /// threads (the MTXEL kernel transforms many wavefunction products in
+  /// parallel).
+  void transform(cplx* data, FftDirection dir) const;
+
+ private:
+  void recurse(const cplx* in, cplx* out, idx n, idx in_stride,
+               const cplx* roots, cplx* scratch) const;
+
+  idx n_;
+  std::vector<idx> factors_;
+  std::vector<cplx> roots_fwd_;  // e^{-2 pi i j / n}
+  std::vector<cplx> roots_bwd_;  // e^{+2 pi i j / n}
+};
+
+/// Integer box dimensions of a 3-D FFT grid.
+struct FftBox {
+  idx n1 = 0, n2 = 0, n3 = 0;
+  idx size() const { return n1 * n2 * n3; }
+  bool operator==(const FftBox&) const = default;
+};
+
+/// 3-D FFT over a row-major box: data[(i1*n2 + i2)*n3 + i3].
+/// Backward is unnormalized; `backward_normalized` divides by the box size
+/// (the convention used by the wavefunction G->r transforms).
+class Fft3d {
+ public:
+  explicit Fft3d(FftBox box);
+
+  const FftBox& box() const { return box_; }
+
+  void forward(cplx* data) const { transform(data, FftDirection::kForward); }
+  void backward(cplx* data) const { transform(data, FftDirection::kBackward); }
+  void backward_normalized(cplx* data) const;
+
+  void transform(cplx* data, FftDirection dir) const;
+
+ private:
+  FftBox box_;
+  std::shared_ptr<Fft1dPlan> plan1_, plan2_, plan3_;
+};
+
+/// Process-wide plan cache: FFT plans are immutable after construction and
+/// shared freely.
+std::shared_ptr<Fft1dPlan> get_fft_plan(idx n);
+
+/// Smallest 2,3,5-smooth integer >= n (FFT-friendly grid sizing, the same
+/// convention plane-wave DFT codes use for their charge-density grids).
+idx next_fast_size(idx n);
+
+}  // namespace xgw

@@ -1,0 +1,90 @@
+#include "gwpt/dfpt.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/gemm.h"
+
+namespace xgw {
+
+ZMatrix dv_matrix(const EpmModel& model, const GSphere& sphere,
+                  const Perturbation& p) {
+  const idx n = sphere.size();
+  ZMatrix dv(n, n);
+  for (idx g = 0; g < n; ++g) {
+    const IVec3 mg = sphere.miller(g);
+    for (idx gp = 0; gp < n; ++gp) {
+      const IVec3 mgp = sphere.miller(gp);
+      dv(g, gp) = model.dv_dr({mg[0] - mgp[0], mg[1] - mgp[1], mg[2] - mgp[2]},
+                              p.atom, p.axis);
+    }
+  }
+  return dv;
+}
+
+ZMatrix dv_band_matrix(const Wavefunctions& wf, const ZMatrix& dv) {
+  const idx nb = wf.n_bands();
+  const idx ng = wf.n_pw();
+  XGW_REQUIRE(dv.rows() == ng && dv.cols() == ng,
+              "dv_band_matrix: dV shape mismatch");
+  // <m|dV|n> = C* dV C^T with C rows = bands: tmp = dV C^T, out = conj(C) tmp.
+  ZMatrix tmp(ng, nb);
+  zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, dv, wf.coeff, cplx{}, tmp);
+  ZMatrix out(nb, nb);
+  // out(m, n) = sum_g conj(C(m, g)) tmp(g, n)
+  ZMatrix cc(nb, ng);
+  for (idx m = 0; m < nb; ++m)
+    for (idx g = 0; g < ng; ++g) cc(m, g) = std::conj(wf.coeff(m, g));
+  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, cc, tmp, cplx{}, out);
+  return out;
+}
+
+ZMatrix dpsi_sum_over_states(const Wavefunctions& wf, const ZMatrix& dv,
+                             double degen_tol) {
+  const idx nb = wf.n_bands();
+  const idx ng = wf.n_pw();
+  const ZMatrix dvb = dv_band_matrix(wf, dv);
+
+  ZMatrix dpsi(nb, ng);
+  for (idx n = 0; n < nb; ++n) {
+    const double en = wf.energy[static_cast<std::size_t>(n)];
+    for (idx m = 0; m < nb; ++m) {
+      if (m == n) continue;
+      const double em = wf.energy[static_cast<std::size_t>(m)];
+      if (std::abs(en - em) < degen_tol) continue;
+      const cplx coef = dvb(m, n) / (en - em);
+      if (coef == cplx{}) continue;
+      const cplx* psim = wf.coeff.row(m);
+      cplx* dst = dpsi.row(n);
+      for (idx g = 0; g < ng; ++g) dst[g] += coef * psim[g];
+    }
+  }
+  return dpsi;
+}
+
+std::vector<cplx> dpsi_sternheimer(const PwHamiltonian& h,
+                                   const Wavefunctions& wf, const ZMatrix& dv,
+                                   idx band, const SternheimerOptions& opt) {
+  const idx ng = h.n_pw();
+  XGW_REQUIRE(band >= 0 && band < wf.n_bands(), "sternheimer: band range");
+  const double en = wf.energy[static_cast<std::size_t>(band)];
+
+  // Bands (near-)degenerate with `band` span the projected-out subspace.
+  std::vector<idx> degen;
+  for (idx m = 0; m < wf.n_bands(); ++m)
+    if (std::abs(wf.energy[static_cast<std::size_t>(m)] - en) < opt.degen_tol)
+      degen.push_back(m);
+
+  // RHS: b = -(dV |psi_n>).
+  std::vector<cplx> b(static_cast<std::size_t>(ng), cplx{});
+  const cplx* psin = wf.coeff.row(band);
+  for (idx g = 0; g < ng; ++g) {
+    cplx acc{};
+    const cplx* row = dv.row(g);
+    for (idx gp = 0; gp < ng; ++gp) acc += row[gp] * psin[gp];
+    b[static_cast<std::size_t>(g)] = -acc;
+  }
+  return sternheimer_solve(h, wf, en, std::move(b), degen, opt);
+}
+
+}  // namespace xgw

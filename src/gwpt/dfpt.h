@@ -1,0 +1,50 @@
+#pragma once
+
+// DFPT substrate for GWPT (Sec. 5.1 / Fig. 1a of the paper).
+//
+// An atomic displacement R_p perturbs the mean-field potential by dV/dR_p
+// (analytic for the EPM substrate). First-order wavefunction responses
+// d psi_n are obtained two ways:
+//  * sum-over-states: |d psi_n> = sum_{m != n} |psi_m> <m|dV|n> / (E_n-E_m)
+//    — exact when all bands are available (our dense Parabands path);
+//    degenerate partners are excluded (their admixture is pure gauge and
+//    cancels in all GWPT observables summed over complete multiplets).
+//  * Sternheimer: (H - E_n) |d psi_n> = -P_c dV |psi_n> solved by conjugate
+//    gradients with the projector P_c = 1 - sum_occ |psi><psi| — the
+//    production DFPT route that avoids empty states; cross-validated
+//    against sum-over-states in tests.
+
+#include "mf/epm.h"
+#include "mf/hamiltonian.h"
+#include "mf/sternheimer.h"
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+/// One displacement degree of freedom: atom `ia` along cartesian `axis`.
+/// A phonon-mode perturbation is a linear combination handled by callers.
+struct Perturbation {
+  idx atom = 0;
+  int axis = 0;
+};
+
+/// Dense perturbation matrix dV(G, G') = dV/dR(G - G') on the psi sphere.
+ZMatrix dv_matrix(const EpmModel& model, const GSphere& sphere,
+                  const Perturbation& p);
+
+/// <m| dV |n> in the band basis (rows/cols over all wf bands).
+ZMatrix dv_band_matrix(const Wavefunctions& wf, const ZMatrix& dv);
+
+/// Sum-over-states d psi for ALL bands (rows). `degen_tol` excludes
+/// near-degenerate partners from the sum.
+ZMatrix dpsi_sum_over_states(const Wavefunctions& wf, const ZMatrix& dv,
+                             double degen_tol = 1e-6);
+
+/// Sternheimer solve of d psi_n for band n: projects the right-hand side
+/// -dV|psi_n> onto the complement of the (near-)degenerate subspace of n
+/// and solves the projected linear system.
+std::vector<cplx> dpsi_sternheimer(const PwHamiltonian& h,
+                                   const Wavefunctions& wf, const ZMatrix& dv,
+                                   idx band, const SternheimerOptions& opt = {});
+
+}  // namespace xgw

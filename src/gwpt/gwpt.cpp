@@ -1,0 +1,112 @@
+#include "gwpt/gwpt.h"
+
+#include "common/error.h"
+
+namespace xgw {
+
+GwptCalculation::GwptCalculation(GwCalculation& gw, const GwptOptions& opt)
+    : gw_(gw), opt_(opt) {}
+
+ZMatrix GwptCalculation::dm_matrix(const std::vector<idx>& ext, idx n,
+                                   const ZMatrix& dpsi) const {
+  const Wavefunctions& wf = gw_.wavefunctions();
+  const Mtxel& mt = gw_.mtxel();
+  const idx ng = gw_.n_g();
+  ZMatrix dm(static_cast<idx>(ext.size()), ng);
+  std::vector<cplx> row(static_cast<std::size_t>(ng));
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    const idx l = ext[i];
+    // dM_{ln} = M(d psi_l, psi_n) + M(psi_l, d psi_n).
+    mt.compute_pair_raw(dpsi.row(l), wf.coeff.row(n), row.data());
+    for (idx g = 0; g < ng; ++g) dm(static_cast<idx>(i), g) = row[static_cast<std::size_t>(g)];
+    mt.compute_pair_raw(wf.coeff.row(l), dpsi.row(n), row.data());
+    for (idx g = 0; g < ng; ++g) dm(static_cast<idx>(i), g) += row[static_cast<std::size_t>(g)];
+  }
+  return dm;
+}
+
+GwptResult GwptCalculation::run_perturbation(const Perturbation& p,
+                                             const std::vector<idx>& bands,
+                                             FlopCounter* flops) {
+  XGW_REQUIRE(!bands.empty(), "gwpt: empty band set");
+  const Wavefunctions& wf = gw_.wavefunctions();
+  const idx ns = static_cast<idx>(bands.size());
+
+  GwptResult res;
+  res.perturbation = p;
+
+  // DFPT stage: dV and d psi (sum over states on the dense band set).
+  ZMatrix dv, dpsi;
+  {
+    TimerRegistry::Scope scope(gw_.timers(), "gwpt_dfpt");
+    dv = dv_matrix(gw_.hamiltonian().model(), gw_.psi_sphere(), p);
+    dpsi = dpsi_sum_over_states(wf, dv, opt_.degen_tol);
+  }
+
+  // g_DFPT = <l|dV|m> restricted to the external set.
+  {
+    const ZMatrix dvb = dv_band_matrix(wf, dv);
+    res.g_dfpt = ZMatrix(ns, ns);
+    for (idx i = 0; i < ns; ++i)
+      for (idx j = 0; j < ns; ++j)
+        res.g_dfpt(i, j) = dvb(bands[static_cast<std::size_t>(i)],
+                               bands[static_cast<std::size_t>(j)]);
+  }
+
+  // Energy grid spanning the external window (same convention as
+  // sigma_offdiag).
+  double e_lo = wf.energy[static_cast<std::size_t>(bands.front())];
+  double e_hi = e_lo;
+  for (idx l : bands) {
+    e_lo = std::min(e_lo, wf.energy[static_cast<std::size_t>(l)]);
+    e_hi = std::max(e_hi, wf.energy[static_cast<std::size_t>(l)]);
+  }
+  const double pad = std::max(0.05, 0.1 * (e_hi - e_lo));
+  e_lo -= pad;
+  e_hi += pad;
+  res.e_grid.resize(static_cast<std::size_t>(opt_.n_e_points));
+  for (idx i = 0; i < opt_.n_e_points; ++i)
+    res.e_grid[static_cast<std::size_t>(i)] =
+        (opt_.n_e_points == 1)
+            ? 0.5 * (e_lo + e_hi)
+            : e_lo + (e_hi - e_lo) * static_cast<double>(i) /
+                         static_cast<double>(opt_.n_e_points - 1);
+
+  // M and dM blocks per internal band.
+  std::vector<ZMatrix> m_all(static_cast<std::size_t>(wf.n_bands()));
+  std::vector<ZMatrix> dm_all(static_cast<std::size_t>(wf.n_bands()));
+  {
+    TimerRegistry::Scope scope(gw_.timers(), "gwpt_mtxel");
+    for (idx n = 0; n < wf.n_bands(); ++n) {
+      m_all[static_cast<std::size_t>(n)] = gw_.m_matrix_right(bands, n);
+      dm_all[static_cast<std::size_t>(n)] = dm_matrix(bands, n, dpsi);
+    }
+  }
+
+  // Eq. 5 contraction via the off-diag GPP kernel machinery.
+  {
+    TimerRegistry::Scope scope(gw_.timers(), "gwpt_gpp_kernel");
+    const GppOffdiagKernel kernel(gw_.gpp(), gw_.coulomb());
+    res.dsigma = kernel.compute_perturbed(m_all, dm_all, wf.energy,
+                                          wf.n_valence, res.e_grid, opt_.gemm,
+                                          flops);
+  }
+
+  // g_GW at the middle grid energy.
+  const std::size_t mid = res.dsigma.size() / 2;
+  res.g_gw = res.g_dfpt;
+  for (idx i = 0; i < ns; ++i)
+    for (idx j = 0; j < ns; ++j) res.g_gw(i, j) += res.dsigma[mid](i, j);
+  return res;
+}
+
+std::vector<GwptResult> GwptCalculation::run_all(
+    const std::vector<Perturbation>& ps, const std::vector<idx>& bands,
+    FlopCounter* flops) {
+  std::vector<GwptResult> out;
+  out.reserve(ps.size());
+  for (const Perturbation& p : ps) out.push_back(run_perturbation(p, bands, flops));
+  return out;
+}
+
+}  // namespace xgw

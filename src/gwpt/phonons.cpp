@@ -1,0 +1,187 @@
+#include "gwpt/phonons.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+#include "la/eig.h"
+#include "mf/solver.h"
+
+namespace xgw {
+
+double species_mass_au(const std::string& name) {
+  // amu -> electron masses.
+  constexpr double kAmu = 1822.888486209;
+  static const std::map<std::string, double> table{
+      {"H", 1.008},  {"Li", 6.94},   {"B", 10.81},
+      {"N", 14.007}, {"Si", 28.0855}};
+  const auto it = table.find(name);
+  XGW_REQUIRE(it != table.end(), "species_mass_au: unknown species " + name);
+  return it->second * kAmu;
+}
+
+std::vector<Vec3> hellmann_feynman_forces(const EpmModel& model,
+                                          const GSphere& sphere,
+                                          const Wavefunctions& wf) {
+  const idx natoms = model.crystal().n_atoms();
+  std::vector<Vec3> forces(static_cast<std::size_t>(natoms), Vec3{0, 0, 0});
+
+  for (idx a = 0; a < natoms; ++a) {
+    for (int ax = 0; ax < 3; ++ax) {
+      const ZMatrix dv = dv_matrix(model, sphere, {a, ax});
+      // F = -2 sum_v <v|dV|v> (spin factor 2; diagonal elements are real).
+      double f = 0.0;
+      for (idx v = 0; v < wf.n_valence; ++v) {
+        const cplx* cv = wf.coeff.row(v);
+        cplx acc{};
+        for (idx g = 0; g < wf.n_pw(); ++g) {
+          cplx row{};
+          const cplx* dvrow = dv.row(g);
+          for (idx gp = 0; gp < wf.n_pw(); ++gp) row += dvrow[gp] * cv[gp];
+          acc += std::conj(cv[g]) * row;
+        }
+        f -= 2.0 * acc.real();
+      }
+      forces[static_cast<std::size_t>(a)][static_cast<std::size_t>(ax)] = f;
+    }
+  }
+  return forces;
+}
+
+DMatrix force_constants(const EpmModel& model, double cutoff, double delta) {
+  const idx natoms = model.crystal().n_atoms();
+  const idx n = 3 * natoms;
+  DMatrix phi(n, n);
+
+  auto forces_at = [&](idx a, int ax, double d) {
+    Vec3 disp{0, 0, 0};
+    disp[static_cast<std::size_t>(ax)] = d;
+    const EpmModel displaced = model.displaced(a, disp);
+    const PwHamiltonian h(displaced, cutoff);
+    const Wavefunctions wf =
+        solve_dense(h, displaced.n_valence_bands() + 1);
+    return hellmann_feynman_forces(displaced, h.sphere(), wf);
+  };
+
+  for (idx a = 0; a < natoms; ++a) {
+    for (int ax = 0; ax < 3; ++ax) {
+      const auto fp = forces_at(a, ax, delta);
+      const auto fm = forces_at(a, ax, -delta);
+      const idx col = 3 * a + ax;
+      for (idx b = 0; b < natoms; ++b) {
+        for (int bx = 0; bx < 3; ++bx) {
+          const double df =
+              (fp[static_cast<std::size_t>(b)][static_cast<std::size_t>(bx)] -
+               fm[static_cast<std::size_t>(b)][static_cast<std::size_t>(bx)]) /
+              (2.0 * delta);
+          phi(3 * b + bx, col) = -df;
+        }
+      }
+    }
+  }
+
+  // Symmetrize (finite-difference noise) and enforce the acoustic sum rule:
+  // sum_b Phi[(b,beta)][(a,alpha)] = 0 (rigid translations cost nothing).
+  for (idx i = 0; i < n; ++i)
+    for (idx j = i + 1; j < n; ++j) {
+      const double s = 0.5 * (phi(i, j) + phi(j, i));
+      phi(i, j) = s;
+      phi(j, i) = s;
+    }
+  for (idx j = 0; j < n; ++j) {
+    for (int beta = 0; beta < 3; ++beta) {
+      double total = 0.0;
+      for (idx b = 0; b < natoms; ++b) total += phi(3 * b + beta, j);
+      // Distribute the violation onto the diagonal-atom entry.
+      const idx a_of_j = j / 3;
+      phi(3 * a_of_j + beta, j) -= total;
+    }
+  }
+  return phi;
+}
+
+PhononModes phonon_modes(const EpmModel& model, const DMatrix& phi) {
+  const idx natoms = model.crystal().n_atoms();
+  const idx n = 3 * natoms;
+  XGW_REQUIRE(phi.rows() == n && phi.cols() == n,
+              "phonon_modes: force-constant shape mismatch");
+
+  std::vector<double> inv_sqrt_m(static_cast<std::size_t>(natoms));
+  for (idx a = 0; a < natoms; ++a) {
+    const std::string& name = model.crystal().species_name(
+        model.crystal().atoms()[static_cast<std::size_t>(a)].species);
+    inv_sqrt_m[static_cast<std::size_t>(a)] =
+        1.0 / std::sqrt(species_mass_au(name));
+  }
+
+  ZMatrix d(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j)
+      d(i, j) = phi(i, j) * inv_sqrt_m[static_cast<std::size_t>(i / 3)] *
+                inv_sqrt_m[static_cast<std::size_t>(j / 3)];
+
+  const EigResult eig = heev(d);
+  PhononModes out;
+  out.omega.resize(static_cast<std::size_t>(n));
+  out.eigenvectors = DMatrix(n, n);
+  for (idx nu = 0; nu < n; ++nu) {
+    const double w2 = eig.values[static_cast<std::size_t>(nu)];
+    out.omega[static_cast<std::size_t>(nu)] =
+        (w2 >= 0.0) ? std::sqrt(w2) : -std::sqrt(-w2);
+    for (idx i = 0; i < n; ++i)
+      out.eigenvectors(i, nu) = eig.vectors(i, nu).real();
+  }
+  return out;
+}
+
+std::vector<ModeCoupling> mode_couplings(
+    const EpmModel& model, const PhononModes& modes,
+    const std::vector<GwptResult>& per_displacement, double omega_min) {
+  const idx natoms = model.crystal().n_atoms();
+  const idx n = 3 * natoms;
+  XGW_REQUIRE(static_cast<idx>(per_displacement.size()) == n,
+              "mode_couplings: need one GWPT result per displacement");
+  XGW_REQUIRE(modes.n_modes() == n, "mode_couplings: mode count mismatch");
+
+  // Index per-displacement results by (atom, axis).
+  std::vector<const GwptResult*> by_dof(static_cast<std::size_t>(n), nullptr);
+  for (const GwptResult& r : per_displacement) {
+    const idx dof = 3 * r.perturbation.atom + r.perturbation.axis;
+    XGW_REQUIRE(dof >= 0 && dof < n && by_dof[static_cast<std::size_t>(dof)] == nullptr,
+                "mode_couplings: duplicate or bad perturbation");
+    by_dof[static_cast<std::size_t>(dof)] = &r;
+  }
+
+  const idx ns = per_displacement[0].g_dfpt.rows();
+  std::vector<ModeCoupling> out;
+  for (idx nu = 0; nu < n; ++nu) {
+    const double w = modes.omega[static_cast<std::size_t>(nu)];
+    if (w <= omega_min) continue;  // skip acoustic / unstable modes
+    ModeCoupling mc;
+    mc.mode = nu;
+    mc.omega = w;
+    mc.g_dfpt = ZMatrix(ns, ns);
+    mc.g_gw = ZMatrix(ns, ns);
+    for (idx dof = 0; dof < n; ++dof) {
+      const idx a = dof / 3;
+      const std::string& name = model.crystal().species_name(
+          model.crystal().atoms()[static_cast<std::size_t>(a)].species);
+      const double mass = species_mass_au(name);
+      // Cartesian eigendisplacement: u = e / sqrt(M); zero-point factor
+      // 1/sqrt(2 omega) completes the standard vertex.
+      const double coef = modes.eigenvectors(dof, nu) /
+                          (std::sqrt(mass) * std::sqrt(2.0 * w));
+      if (coef == 0.0) continue;
+      const GwptResult& r = *by_dof[static_cast<std::size_t>(dof)];
+      for (idx i = 0; i < ns; ++i)
+        for (idx j = 0; j < ns; ++j) {
+          mc.g_dfpt(i, j) += coef * r.g_dfpt(i, j);
+          mc.g_gw(i, j) += coef * r.g_gw(i, j);
+        }
+    }
+    out.push_back(std::move(mc));
+  }
+  return out;
+}
+
+}  // namespace xgw

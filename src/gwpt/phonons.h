@@ -1,0 +1,68 @@
+#pragma once
+
+// Phonons at Gamma from frozen-phonon force constants, and the mode-resolved
+// electron-phonon vertex that GWPT feeds (Fig. 1c of the paper: the
+// perturbations R_p may be "a particular atom moving along one direction,
+// or a phonon eigenmode").
+//
+// Forces come from the Hellmann-Feynman theorem (exact for the EPM mean
+// field, whose dV/dR is analytic):
+//   F_{a,alpha} = - 2 sum_v <psi_v| dV/dR_{a,alpha} |psi_v>.
+// Force constants are central finite differences of these forces over
+// displaced self-consistent solutions; the dynamical matrix is
+// mass-weighted, acoustic-sum-rule corrected, and diagonalized for
+// {omega_nu, e_nu}. The standard vertex then converts per-displacement
+// couplings into per-mode couplings:
+//   g^nu_lm = sum_{a,alpha} e_nu(a,alpha) / sqrt(2 M_a omega_nu)
+//             g^{a,alpha}_lm.
+
+#include <array>
+#include <vector>
+
+#include "gwpt/gwpt.h"
+#include "mf/epm.h"
+
+namespace xgw {
+
+/// Atomic mass in electron masses (a.u.) for a species name ("Si", "Li",
+/// "H", "B", "N"); throws for unknown species.
+double species_mass_au(const std::string& name);
+
+/// Hellmann-Feynman forces (Ha/Bohr) on every atom, 3 components each,
+/// from the occupied states of `wf` solved for `model` at cutoff of `h`.
+std::vector<Vec3> hellmann_feynman_forces(const EpmModel& model,
+                                          const GSphere& sphere,
+                                          const Wavefunctions& wf);
+
+/// 3N x 3N force-constant matrix Phi[(a,alpha)][(b,beta)] = -dF_b,beta/dR_a,alpha
+/// via central finite differences (each column is one displaced dense
+/// solve). `delta` is the displacement (Bohr).
+DMatrix force_constants(const EpmModel& model, double cutoff,
+                        double delta = 1e-3);
+
+struct PhononModes {
+  std::vector<double> omega;        ///< mode frequencies (Ha); acoustic ~ 0
+  DMatrix eigenvectors;             ///< column nu = mass-weighted e_nu (3N)
+  idx n_modes() const { return static_cast<idx>(omega.size()); }
+};
+
+/// Diagonalizes the acoustic-sum-rule-corrected dynamical matrix
+/// D = Phi / sqrt(M_a M_b). Negative omega^2 (unstable directions) are
+/// reported as negative omega values.
+PhononModes phonon_modes(const EpmModel& model, const DMatrix& phi);
+
+/// Mode-resolved electron-phonon coupling: combines per-displacement GWPT
+/// results into g^nu for each mode with omega_nu > omega_min. Returns one
+/// (mode, g_dfpt, g_gw) record per retained mode.
+struct ModeCoupling {
+  idx mode = 0;
+  double omega = 0.0;   ///< Ha
+  ZMatrix g_dfpt;       ///< N_Sigma x N_Sigma
+  ZMatrix g_gw;
+};
+std::vector<ModeCoupling> mode_couplings(
+    const EpmModel& model, const PhononModes& modes,
+    const std::vector<GwptResult>& per_displacement,
+    double omega_min = 1e-5);
+
+}  // namespace xgw

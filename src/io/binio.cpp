@@ -1,0 +1,182 @@
+#include "io/binio.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace xgw {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'G', 'W', '1'};
+constexpr std::uint32_t kKindMatrix = 1;
+constexpr std::uint32_t kKindWavefunctions = 2;
+
+std::uint64_t fnv1a(const unsigned char* data, std::size_t n,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct Header {
+  char magic[4];
+  std::uint32_t kind;
+  std::int64_t rows;
+  std::int64_t cols;
+  std::int64_t payload_bytes;
+};
+static_assert(sizeof(Header) == 32, "header must be 32 bytes");
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path) : os_(path, std::ios::binary) {
+    XGW_REQUIRE(os_.good(), "binio: cannot open file for writing: " + path);
+  }
+
+  void put(const void* data, std::size_t n) {
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    hash_ = fnv1a(static_cast<const unsigned char*>(data), n, hash_);
+  }
+
+  void finish() {
+    const std::uint64_t h = hash_;
+    os_.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    os_.flush();
+    XGW_REQUIRE(os_.good(), "binio: write failed");
+  }
+
+ private:
+  std::ofstream os_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path) : is_(path, std::ios::binary) {
+    XGW_REQUIRE(is_.good(), "binio: cannot open file for reading: " + path);
+  }
+
+  void get(void* data, std::size_t n) {
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    XGW_REQUIRE(is_.gcount() == static_cast<std::streamsize>(n),
+                "binio: truncated file");
+    hash_ = fnv1a(static_cast<unsigned char*>(data), n, hash_);
+  }
+
+  void verify_checksum() {
+    std::uint64_t stored = 0;
+    const std::uint64_t computed = hash_;
+    is_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    XGW_REQUIRE(is_.gcount() == sizeof(stored), "binio: missing checksum");
+    XGW_REQUIRE(stored == computed,
+                "binio: checksum mismatch (corrupt file)");
+  }
+
+ private:
+  std::ifstream is_;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+Header make_header(std::uint32_t kind, idx rows, idx cols,
+                   std::int64_t payload) {
+  Header h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.kind = kind;
+  h.rows = rows;
+  h.cols = cols;
+  h.payload_bytes = payload;
+  return h;
+}
+
+Header read_header(Reader& r, std::uint32_t expected_kind) {
+  Header h{};
+  r.get(&h, sizeof(h));
+  XGW_REQUIRE(std::memcmp(h.magic, kMagic, 4) == 0,
+              "binio: bad magic (not an xgw file)");
+  XGW_REQUIRE(h.kind == expected_kind, "binio: wrong file kind");
+  XGW_REQUIRE(h.rows >= 0 && h.cols >= 0, "binio: bad dimensions");
+  return h;
+}
+
+}  // namespace
+
+void write_matrix(const std::string& path, const ZMatrix& m) {
+  Writer w(path);
+  const std::int64_t payload =
+      static_cast<std::int64_t>(m.size()) * static_cast<std::int64_t>(sizeof(cplx));
+  const Header h = make_header(kKindMatrix, m.rows(), m.cols(), payload);
+  w.put(&h, sizeof(h));
+  w.put(m.data(), static_cast<std::size_t>(payload));
+  w.finish();
+}
+
+ZMatrix read_matrix(const std::string& path) {
+  Reader r(path);
+  const Header h = read_header(r, kKindMatrix);
+  ZMatrix m(h.rows, h.cols);
+  XGW_REQUIRE(h.payload_bytes ==
+                  static_cast<std::int64_t>(m.size()) *
+                      static_cast<std::int64_t>(sizeof(cplx)),
+              "binio: payload size mismatch");
+  r.get(m.data(), static_cast<std::size_t>(h.payload_bytes));
+  r.verify_checksum();
+  return m;
+}
+
+void write_wavefunctions(const std::string& path, const Wavefunctions& wf) {
+  Writer w(path);
+  const std::int64_t coeff_bytes =
+      static_cast<std::int64_t>(wf.coeff.size()) *
+      static_cast<std::int64_t>(sizeof(cplx));
+  const std::int64_t energy_bytes =
+      static_cast<std::int64_t>(wf.energy.size()) *
+      static_cast<std::int64_t>(sizeof(double));
+  const Header h = make_header(kKindWavefunctions, wf.n_bands(), wf.n_pw(),
+                               coeff_bytes + energy_bytes);
+  w.put(&h, sizeof(h));
+  const std::int64_t nval = wf.n_valence;
+  w.put(&nval, sizeof(nval));
+  w.put(wf.coeff.data(), static_cast<std::size_t>(coeff_bytes));
+  w.put(wf.energy.data(), static_cast<std::size_t>(energy_bytes));
+  w.finish();
+}
+
+Wavefunctions read_wavefunctions(const std::string& path) {
+  Reader r(path);
+  const Header h = read_header(r, kKindWavefunctions);
+  std::int64_t nval = 0;
+  r.get(&nval, sizeof(nval));
+  XGW_REQUIRE(nval >= 0 && nval <= h.rows, "binio: bad n_valence");
+
+  Wavefunctions wf;
+  wf.coeff = ZMatrix(h.rows, h.cols);
+  wf.energy.resize(static_cast<std::size_t>(h.rows));
+  wf.n_valence = nval;
+  r.get(wf.coeff.data(),
+        static_cast<std::size_t>(wf.coeff.size()) * sizeof(cplx));
+  r.get(wf.energy.data(), wf.energy.size() * sizeof(double));
+  r.verify_checksum();
+  return wf;
+}
+
+std::size_t matrix_file_bytes(idx rows, idx cols) {
+  return sizeof(Header) + static_cast<std::size_t>(rows * cols) * sizeof(cplx) +
+         sizeof(std::uint64_t);
+}
+
+std::size_t wavefunctions_file_bytes(idx n_bands, idx n_pw) {
+  return sizeof(Header) + sizeof(std::int64_t) +
+         static_cast<std::size_t>(n_bands * n_pw) * sizeof(cplx) +
+         static_cast<std::size_t>(n_bands) * sizeof(double) +
+         sizeof(std::uint64_t);
+}
+
+}  // namespace xgw

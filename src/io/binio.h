@@ -1,0 +1,35 @@
+#pragma once
+
+// Binary file formats — the WFN / epsmat analogue of BerkeleyGW's
+// checkpoint files. The paper's "Tot. incl. I/O" rows exist because a
+// production Sigma run reads the wavefunction and eps^{-1} files written by
+// Parabands and Epsilon; xgw mirrors that staged workflow.
+//
+// Format: little-endian, fixed 32-byte header
+//   magic "XGW1" | kind u32 | rows i64 | cols i64 | payload bytes i64
+// followed by kind-specific metadata, the raw payload, and a trailing
+// FNV-1a checksum of everything before it. Readers verify magic, kind and
+// checksum and throw xgw::Error on any mismatch (corrupt restarts must
+// fail loudly, not silently).
+
+#include <string>
+
+#include "la/matrix.h"
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+/// Writes a complex dense matrix (the "epsmat" format).
+void write_matrix(const std::string& path, const ZMatrix& m);
+ZMatrix read_matrix(const std::string& path);
+
+/// Writes a band set: coefficients + energies + n_valence (the "WFN"
+/// format).
+void write_wavefunctions(const std::string& path, const Wavefunctions& wf);
+Wavefunctions read_wavefunctions(const std::string& path);
+
+/// Bytes a matrix/wavefunction file occupies (I/O model input).
+std::size_t matrix_file_bytes(idx rows, idx cols);
+std::size_t wavefunctions_file_bytes(idx n_bands, idx n_pw);
+
+}  // namespace xgw

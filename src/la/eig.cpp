@@ -1,0 +1,337 @@
+#include "la/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xgw {
+
+namespace {
+
+// Hermitize: work on (A + A^H)/2 so tiny asymmetries don't propagate.
+ZMatrix hermitize(const ZMatrix& a) {
+  ZMatrix h(a.rows(), a.cols());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j)
+      h(i, j) = 0.5 * (a(i, j) + std::conj(a(j, i)));
+  return h;
+}
+
+void sort_ascending(EigResult& r) {
+  const idx n = static_cast<idx>(r.values.size());
+  std::vector<idx> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), idx{0});
+  std::sort(perm.begin(), perm.end(), [&](idx i, idx j) {
+    return r.values[static_cast<std::size_t>(i)] <
+           r.values[static_cast<std::size_t>(j)];
+  });
+  std::vector<double> vals(static_cast<std::size_t>(n));
+  ZMatrix vecs(n, n);
+  for (idx j = 0; j < n; ++j) {
+    const idx src = perm[static_cast<std::size_t>(j)];
+    vals[static_cast<std::size_t>(j)] = r.values[static_cast<std::size_t>(src)];
+    for (idx i = 0; i < n; ++i) vecs(i, j) = r.vectors(i, src);
+  }
+  r.values = std::move(vals);
+  r.vectors = std::move(vecs);
+}
+
+// ---------------------------------------------------------------------------
+// Jacobi (reference path)
+// ---------------------------------------------------------------------------
+
+EigResult heev_jacobi(ZMatrix a) {
+  const idx n = a.rows();
+  ZMatrix v = ZMatrix::identity(n);
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (idx p = 0; p < n; ++p)
+      for (idx q = p + 1; q < n; ++q) s += std::norm(a(p, q));
+    return std::sqrt(s);
+  };
+
+  const double scale = std::max(1.0, frobenius_norm(a));
+  const double tol = 1e-14 * scale;
+  const int max_sweeps = 60;
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol; ++sweep) {
+    for (idx p = 0; p < n; ++p) {
+      for (idx q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        const double r = std::abs(apq);
+        if (r <= tol / static_cast<double>(n)) continue;
+
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        // Rotation angle: tan(2 theta) = 2 r / (app - aqq).
+        double t;  // tan(theta)
+        if (app == aqq) {
+          t = 1.0;
+        } else {
+          const double tau = (app - aqq) / (2.0 * r);
+          t = std::copysign(1.0, tau) /
+              (std::abs(tau) + std::sqrt(tau * tau + 1.0));
+        }
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        const cplx phase = apq / r;  // e^{i phi}
+
+        // J: J_pp = c, J_pq = -s * phase, J_qp = s * conj(phase), J_qq = c.
+        const cplx jpq = -s * phase;
+        const cplx jqp = s * std::conj(phase);
+
+        // A <- J^H A J. Update columns then rows (Hermitian maintained).
+        for (idx i = 0; i < n; ++i) {
+          const cplx aip = a(i, p);
+          const cplx aiq = a(i, q);
+          a(i, p) = aip * c + aiq * jqp;
+          a(i, q) = aip * jpq + aiq * c;
+        }
+        for (idx j = 0; j < n; ++j) {
+          const cplx apj = a(p, j);
+          const cplx aqj = a(q, j);
+          a(p, j) = c * apj + std::conj(jqp) * aqj;
+          a(q, j) = std::conj(jpq) * apj + c * aqj;
+        }
+        // Accumulate eigenvectors: V <- V J.
+        for (idx i = 0; i < n; ++i) {
+          const cplx vip = v(i, p);
+          const cplx viq = v(i, q);
+          v(i, p) = vip * c + viq * jqp;
+          v(i, q) = vip * jpq + viq * c;
+        }
+      }
+    }
+  }
+
+  EigResult r;
+  r.values.resize(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) r.values[static_cast<std::size_t>(i)] = a(i, i).real();
+  r.vectors = std::move(v);
+  sort_ascending(r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Householder tridiagonalization + implicit QL (production path)
+// ---------------------------------------------------------------------------
+
+// Reduce Hermitian A to real tridiagonal (d, e) via unitary similarity,
+// accumulating the transform into q (q starts as identity). On return
+// q^H A q = tridiag(d, e) with e real non-negative.
+void tridiagonalize(ZMatrix a, std::vector<double>& d, std::vector<double>& e,
+                    ZMatrix& q) {
+  const idx n = a.rows();
+  d.assign(static_cast<std::size_t>(n), 0.0);
+  e.assign(static_cast<std::size_t>(n), 0.0);  // e[i]: coupling (i, i+1)
+  q = ZMatrix::identity(n);
+  std::vector<cplx> esub(static_cast<std::size_t>(n), cplx{});  // complex subdiag
+
+  std::vector<cplx> w(static_cast<std::size_t>(n));
+  std::vector<cplx> p(static_cast<std::size_t>(n));
+
+  for (idx k = 0; k + 2 < n; ++k) {
+    const idx m = n - k - 1;  // size of trailing column
+    // x = A[k+1 : n, k]
+    double xnorm2 = 0.0;
+    for (idx i = 0; i < m; ++i) xnorm2 += std::norm(a(k + 1 + i, k));
+    const double xnorm = std::sqrt(xnorm2);
+    const cplx x0 = a(k + 1, k);
+
+    double tail2 = xnorm2 - std::norm(x0);
+    if (xnorm == 0.0 || tail2 <= 1e-300 * xnorm2) {
+      // Column already (numerically) in tridiagonal form.
+      esub[static_cast<std::size_t>(k)] = x0;
+      continue;
+    }
+
+    // Householder u = x + e^{i theta} ||x|| e1, theta = arg(x0) (no
+    // cancellation); H = I - 2 w w^H, w = u / ||u||; H x = -e^{i theta}||x|| e1.
+    cplx phase = (std::abs(x0) > 0.0) ? x0 / std::abs(x0) : cplx{1.0, 0.0};
+    const cplx beta = -phase * xnorm;
+
+    for (idx i = 0; i < m; ++i) w[static_cast<std::size_t>(i)] = a(k + 1 + i, k);
+    w[0] -= beta;  // u = x - beta e1 = x + phase*xnorm e1
+    double unorm2 = 0.0;
+    for (idx i = 0; i < m; ++i) unorm2 += std::norm(w[static_cast<std::size_t>(i)]);
+    const double inv_unorm = 1.0 / std::sqrt(unorm2);
+    for (idx i = 0; i < m; ++i) w[static_cast<std::size_t>(i)] *= inv_unorm;
+
+    esub[static_cast<std::size_t>(k)] = beta;
+
+    // Rank-2 update of trailing block A22 <- A22 - 2 w q2^H - 2 q2 w^H,
+    // q2 = p - K w, p = A22 w, K = w^H p (real for Hermitian A22).
+    for (idx i = 0; i < m; ++i) {
+      cplx acc{};
+      for (idx j = 0; j < m; ++j)
+        acc += a(k + 1 + i, k + 1 + j) * w[static_cast<std::size_t>(j)];
+      p[static_cast<std::size_t>(i)] = acc;
+    }
+    cplx kc{};
+    for (idx i = 0; i < m; ++i)
+      kc += std::conj(w[static_cast<std::size_t>(i)]) * p[static_cast<std::size_t>(i)];
+    const double kr = kc.real();
+    for (idx i = 0; i < m; ++i)
+      p[static_cast<std::size_t>(i)] -= kr * w[static_cast<std::size_t>(i)];
+
+    for (idx i = 0; i < m; ++i) {
+      const cplx wi = w[static_cast<std::size_t>(i)];
+      const cplx qi = p[static_cast<std::size_t>(i)];
+      for (idx j = 0; j < m; ++j) {
+        a(k + 1 + i, k + 1 + j) -=
+            2.0 * (wi * std::conj(p[static_cast<std::size_t>(j)]) +
+                   qi * std::conj(w[static_cast<std::size_t>(j)]));
+      }
+    }
+    // Zero out the eliminated column/row explicitly (for clarity; unused).
+    for (idx i = 1; i < m; ++i) {
+      a(k + 1 + i, k) = cplx{};
+      a(k, k + 1 + i) = cplx{};
+    }
+    a(k + 1, k) = beta;
+    a(k, k + 1) = std::conj(beta);
+
+    // Accumulate Q <- Q * diag(I_{k+1}, H): Q[:, k+1:] -= 2 (Q[:, k+1:] w) w^H.
+    for (idx r = 0; r < n; ++r) {
+      cplx t{};
+      for (idx j = 0; j < m; ++j)
+        t += q(r, k + 1 + j) * w[static_cast<std::size_t>(j)];
+      t *= 2.0;
+      for (idx j = 0; j < m; ++j)
+        q(r, k + 1 + j) -= t * std::conj(w[static_cast<std::size_t>(j)]);
+    }
+  }
+  if (n >= 2) esub[static_cast<std::size_t>(n - 2)] = a(n - 1, n - 2);
+
+  // Phase normalization: diagonal unitary D (D_0 = 1) making the subdiagonal
+  // real non-negative: e'_k = |e_k|, Q <- Q D.
+  std::vector<cplx> dphase(static_cast<std::size_t>(n), cplx{1.0, 0.0});
+  for (idx k = 0; k + 1 < n; ++k) {
+    const cplx ek = esub[static_cast<std::size_t>(k)];
+    const double r = std::abs(ek);
+    if (r > 0.0) {
+      // T'_{k+1,k} = conj(D_{k+1}) e_k D_k = |e_k|  =>  D_{k+1} = D_k e_k/|e_k|.
+      dphase[static_cast<std::size_t>(k + 1)] =
+          dphase[static_cast<std::size_t>(k)] * (ek / r);
+    } else {
+      dphase[static_cast<std::size_t>(k + 1)] = dphase[static_cast<std::size_t>(k)];
+    }
+    e[static_cast<std::size_t>(k)] = r;
+  }
+  for (idx j = 0; j < n; ++j) {
+    const cplx ph = dphase[static_cast<std::size_t>(j)];
+    if (ph != cplx{1.0, 0.0})
+      for (idx i = 0; i < n; ++i) q(i, j) *= ph;
+  }
+  for (idx i = 0; i < n; ++i) d[static_cast<std::size_t>(i)] = a(i, i).real();
+}
+
+// Implicit-shift QL on real symmetric tridiagonal (d, e), accumulating the
+// rotations into the complex matrix z (columns become eigenvectors of the
+// original Hermitian matrix when z enters as the tridiagonalizing Q).
+// e[i] couples (i, i+1); e[n-1] is workspace.
+void tql2(std::vector<double>& d, std::vector<double>& e, ZMatrix& z) {
+  const idx n = static_cast<idx>(d.size());
+  if (n <= 1) return;
+
+  const double eps = 2.22e-16;
+  for (idx l = 0; l < n; ++l) {
+    int iter = 0;
+    idx m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m + 1)]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <= eps * dd) break;
+      }
+      if (m != l) {
+        XGW_REQUIRE(iter++ < 80, "tql2: too many QL iterations");
+        double g = (d[static_cast<std::size_t>(l + 1)] -
+                    d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] / (g + std::copysign(r, g));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (idx i = m - 1; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = std::hypot(f, g);
+          e[static_cast<std::size_t>(i + 1)] = r;
+          if (r == 0.0) {
+            d[static_cast<std::size_t>(i + 1)] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i + 1)] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i + 1)] = g + p;
+          g = c * r - b;
+          // Accumulate rotation into complex eigenvector columns i, i+1.
+          for (idx k = 0; k < z.rows(); ++k) {
+            const cplx zk1 = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * zk1;
+            z(k, i) = c * z(k, i) - s * zk1;
+          }
+          if (i == l) break;  // idx is signed but guard explicitly
+        }
+        if (r == 0.0 && m - 1 >= l) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+EigResult heev_householder(const ZMatrix& a) {
+  EigResult r;
+  std::vector<double> d, e;
+  ZMatrix q;
+  tridiagonalize(a, d, e, q);
+  tql2(d, e, q);
+  r.values = std::move(d);
+  r.vectors = std::move(q);
+  sort_ascending(r);
+  return r;
+}
+
+}  // namespace
+
+EigResult heev(const ZMatrix& a, EigMethod method) {
+  XGW_REQUIRE(a.rows() == a.cols(), "heev: matrix must be square");
+  XGW_REQUIRE(hermiticity_error(a) < 1e-8,
+              "heev: input is not Hermitian to working precision");
+  const ZMatrix h = hermitize(a);
+  if (a.rows() == 0) return {};
+  if (a.rows() == 1) {
+    EigResult r;
+    r.values = {h(0, 0).real()};
+    r.vectors = ZMatrix::identity(1);
+    return r;
+  }
+  switch (method) {
+    case EigMethod::kJacobi: return heev_jacobi(h);
+    default: return heev_householder(h);
+  }
+}
+
+double eig_residual(const ZMatrix& a, const EigResult& r) {
+  const idx n = a.rows();
+  double worst = 0.0;
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      cplx acc{};
+      for (idx l = 0; l < n; ++l) acc += a(i, l) * r.vectors(l, j);
+      acc -= r.values[static_cast<std::size_t>(j)] * r.vectors(i, j);
+      worst = std::max(worst, std::abs(acc));
+    }
+  }
+  return worst;
+}
+
+}  // namespace xgw

@@ -1,0 +1,42 @@
+#pragma once
+
+// Hermitian eigensolvers, implemented from scratch.
+//
+// Two roles in the GW pipeline:
+//  * Static subspace approximation (Sec. 5.2): chi(omega=0) is diagonalized
+//    and the N_Eig most significant eigenvectors form the subspace basis.
+//  * Mean-field substrate: dense diagonalization of the plane-wave
+//    Hamiltonian (Parabands-style band generation).
+//
+// Two independent algorithms are provided and cross-validated in tests:
+//  * kHouseholderQL — unitary Householder reduction to real symmetric
+//    tridiagonal (zhetrd-style rank-2 updates), phase normalization of the
+//    subdiagonal, then implicit-shift QL with eigenvector accumulation.
+//    O(n^3) with a small prefactor; the production path.
+//  * kJacobi — cyclic complex Jacobi rotations; slower but self-evidently
+//    correct, used as the reference in property tests.
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace xgw {
+
+struct EigResult {
+  /// Eigenvalues sorted ascending.
+  std::vector<double> values;
+  /// Unitary matrix whose COLUMN j is the eigenvector for values[j].
+  ZMatrix vectors;
+};
+
+enum class EigMethod { kHouseholderQL, kJacobi };
+
+/// Full eigendecomposition of a Hermitian matrix. The input must be
+/// Hermitian to working precision (checked loosely); only the lower triangle
+/// is trusted when small asymmetries exist.
+EigResult heev(const ZMatrix& a, EigMethod method = EigMethod::kHouseholderQL);
+
+/// Max residual ||A v - lambda v||_inf over all pairs; testing aid.
+double eig_residual(const ZMatrix& a, const EigResult& r);
+
+}  // namespace xgw

@@ -1,0 +1,218 @@
+#include "la/gemm.h"
+
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace xgw {
+
+std::pair<idx, idx> op_shape(Op op, const ZMatrix& a) {
+  if (op == Op::kNone) return {a.rows(), a.cols()};
+  return {a.cols(), a.rows()};
+}
+
+namespace {
+
+// Element of op(A) at logical position (i, j).
+inline cplx op_elem(Op op, const ZMatrix& a, idx i, idx j) {
+  switch (op) {
+    case Op::kNone: return a(i, j);
+    case Op::kTrans: return a(j, i);
+    default: return std::conj(a(j, i));
+  }
+}
+
+void gemm_reference(Op opa, Op opb, cplx alpha, const ZMatrix& a,
+                    const ZMatrix& b, cplx beta, ZMatrix& c) {
+  const auto [m, k] = op_shape(opa, a);
+  const idx n = op_shape(opb, b).second;
+  for (idx i = 0; i < m; ++i) {
+    for (idx j = 0; j < n; ++j) {
+      cplx acc{};
+      for (idx l = 0; l < k; ++l)
+        acc += op_elem(opa, a, i, l) * op_elem(opb, b, l, j);
+      c(i, j) = alpha * acc + beta * c(i, j);
+    }
+  }
+}
+
+// Cache-tile sizes (complex doubles; MC*KC and KC*NC panels fit in L2).
+constexpr idx kMC = 64;
+constexpr idx kKC = 128;
+constexpr idx kNC = 256;
+
+// Pack op(A)[i0:i0+mb, l0:l0+kb] row-major into buf.
+void pack_a(Op opa, const ZMatrix& a, idx i0, idx mb, idx l0, idx kb,
+            cplx* buf) {
+  if (opa == Op::kNone) {
+    for (idx i = 0; i < mb; ++i) {
+      const cplx* src = a.row(i0 + i) + l0;
+      cplx* dst = buf + i * kb;
+      for (idx l = 0; l < kb; ++l) dst[l] = src[l];
+    }
+  } else if (opa == Op::kTrans) {
+    for (idx i = 0; i < mb; ++i)
+      for (idx l = 0; l < kb; ++l) buf[i * kb + l] = a(l0 + l, i0 + i);
+  } else {
+    for (idx i = 0; i < mb; ++i)
+      for (idx l = 0; l < kb; ++l)
+        buf[i * kb + l] = std::conj(a(l0 + l, i0 + i));
+  }
+}
+
+// Pack op(B)[l0:l0+kb, j0:j0+nb] row-major into buf.
+void pack_b(Op opb, const ZMatrix& b, idx l0, idx kb, idx j0, idx nb,
+            cplx* buf) {
+  if (opb == Op::kNone) {
+    for (idx l = 0; l < kb; ++l) {
+      const cplx* src = b.row(l0 + l) + j0;
+      cplx* dst = buf + l * nb;
+      for (idx j = 0; j < nb; ++j) dst[j] = src[j];
+    }
+  } else if (opb == Op::kTrans) {
+    for (idx l = 0; l < kb; ++l)
+      for (idx j = 0; j < nb; ++j) buf[l * nb + j] = b(j0 + j, l0 + l);
+  } else {
+    for (idx l = 0; l < kb; ++l)
+      for (idx j = 0; j < nb; ++j)
+        buf[l * nb + j] = std::conj(b(j0 + j, l0 + l));
+  }
+}
+
+// Accumulator micro-kernel: Cacc[mb x nb] += Apack[mb x kb] * Bpack[kb x nb].
+// axpy (outer-product) ordering: the inner j loop runs over contiguous
+// memory in both Bpack and Cacc, which the compiler vectorizes; l is
+// unrolled by 2 to amortize the broadcast of a_il.
+void micro_kernel(const cplx* ap, const cplx* bp, cplx* cacc, idx mb, idx nb,
+                  idx kb) {
+  for (idx i = 0; i < mb; ++i) {
+    const cplx* arow = ap + i * kb;
+    cplx* crow = cacc + i * nb;
+    idx l = 0;
+    for (; l + 1 < kb; l += 2) {
+      const cplx a0 = arow[l];
+      const cplx a1 = arow[l + 1];
+      const cplx* b0 = bp + l * nb;
+      const cplx* b1 = bp + (l + 1) * nb;
+      for (idx j = 0; j < nb; ++j) crow[j] += a0 * b0[j] + a1 * b1[j];
+    }
+    for (; l < kb; ++l) {
+      const cplx a0 = arow[l];
+      const cplx* b0 = bp + l * nb;
+      for (idx j = 0; j < nb; ++j) crow[j] += a0 * b0[j];
+    }
+  }
+}
+
+void gemm_blocked(Op opa, Op opb, cplx alpha, const ZMatrix& a,
+                  const ZMatrix& b, cplx beta, ZMatrix& c, bool parallel) {
+  const auto [m, k] = op_shape(opa, a);
+  const idx n = op_shape(opb, b).second;
+
+  // beta-scale C up front so tiles can pure-accumulate.
+  if (beta == cplx{0.0, 0.0}) {
+    c.fill(cplx{});
+  } else if (beta != cplx{1.0, 0.0}) {
+    cplx* p = c.data();
+    for (idx i = 0; i < c.size(); ++i) p[i] *= beta;
+  }
+
+  const idx n_row_panels = (m + kMC - 1) / kMC;
+
+#ifdef _OPENMP
+#pragma omp parallel if (parallel && n_row_panels > 1)
+#endif
+  {
+    std::vector<cplx> apack(static_cast<std::size_t>(kMC * kKC));
+    std::vector<cplx> bpack(static_cast<std::size_t>(kKC * kNC));
+    std::vector<cplx> cacc(static_cast<std::size_t>(kMC * kNC));
+
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+    for (idx panel = 0; panel < n_row_panels; ++panel) {
+      const idx i0 = panel * kMC;
+      const idx mb = std::min(kMC, m - i0);
+      for (idx j0 = 0; j0 < n; j0 += kNC) {
+        const idx nb = std::min(kNC, n - j0);
+        std::fill(cacc.begin(), cacc.begin() + mb * nb, cplx{});
+        for (idx l0 = 0; l0 < k; l0 += kKC) {
+          const idx kb = std::min(kKC, k - l0);
+          pack_a(opa, a, i0, mb, l0, kb, apack.data());
+          pack_b(opb, b, l0, kb, j0, nb, bpack.data());
+          micro_kernel(apack.data(), bpack.data(), cacc.data(), mb, nb, kb);
+        }
+        for (idx i = 0; i < mb; ++i) {
+          cplx* crow = c.row(i0 + i) + j0;
+          const cplx* arow = cacc.data() + i * nb;
+          for (idx j = 0; j < nb; ++j) crow[j] += alpha * arow[j];
+        }
+      }
+    }
+  }
+  (void)parallel;
+}
+
+}  // namespace
+
+void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
+           cplx beta, ZMatrix& c, GemmVariant variant, FlopCounter* flops) {
+  const auto [m, ka] = op_shape(opa, a);
+  const auto [kb, n] = op_shape(opb, b);
+  XGW_REQUIRE(ka == kb, "zgemm: inner dimensions of op(A), op(B) must match");
+  XGW_REQUIRE(c.rows() == m && c.cols() == n,
+              "zgemm: C shape must be op(A).rows x op(B).cols");
+
+  switch (variant) {
+    case GemmVariant::kReference:
+      gemm_reference(opa, opb, alpha, a, b, beta, c);
+      break;
+    case GemmVariant::kBlocked:
+      gemm_blocked(opa, opb, alpha, a, b, beta, c, /*parallel=*/false);
+      break;
+    case GemmVariant::kParallel:
+      gemm_blocked(opa, opb, alpha, a, b, beta, c, /*parallel=*/true);
+      break;
+  }
+  if (flops != nullptr)
+    flops->add(static_cast<std::uint64_t>(flop_model::zgemm(m, n, ka)));
+}
+
+void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
+           cplx beta, std::vector<cplx>& y) {
+  const auto [m, k] = op_shape(opa, a);
+  XGW_REQUIRE(static_cast<idx>(x.size()) == k, "zgemv: x size mismatch");
+  XGW_REQUIRE(static_cast<idx>(y.size()) == m, "zgemv: y size mismatch");
+
+  if (opa == Op::kNone) {
+    for (idx i = 0; i < m; ++i) {
+      cplx acc{};
+      const cplx* arow = a.row(i);
+      for (idx l = 0; l < k; ++l) acc += arow[l] * x[l];
+      y[static_cast<std::size_t>(i)] =
+          alpha * acc + beta * y[static_cast<std::size_t>(i)];
+    }
+    return;
+  }
+
+  // Transposed cases: accumulate columns to keep row-major access contiguous.
+  std::vector<cplx> acc(static_cast<std::size_t>(m), cplx{});
+  for (idx l = 0; l < k; ++l) {
+    const cplx* arow = a.row(l);
+    const cplx xl = x[static_cast<std::size_t>(l)];
+    if (opa == Op::kTrans) {
+      for (idx i = 0; i < m; ++i) acc[static_cast<std::size_t>(i)] += arow[i] * xl;
+    } else {
+      for (idx i = 0; i < m; ++i)
+        acc[static_cast<std::size_t>(i)] += std::conj(arow[i]) * xl;
+    }
+  }
+  for (idx i = 0; i < m; ++i) {
+    auto& yi = y[static_cast<std::size_t>(i)];
+    yi = alpha * acc[static_cast<std::size_t>(i)] + beta * yi;
+  }
+}
+
+}  // namespace xgw

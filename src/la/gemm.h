@@ -1,0 +1,43 @@
+#pragma once
+
+// Complex double-precision GEMM (ZGEMM) and GEMV, implemented from scratch.
+//
+// The paper's off-diagonal GPP kernel (Sec. 5.6) derives its performance from
+// recasting the self-energy contraction into ZGEMM calls, and its Tensile
+// study shows library-vs-tuned GEMM differences. xgw therefore ships multiple
+// ZGEMM implementations with the same restructurings the paper applies on
+// GPUs, mapped to CPU equivalents:
+//
+//   kReference  — canonical triple loop; correctness baseline.
+//   kBlocked    — cache-tiled with operand packing ("shared-memory staging"
+//                 on GPU == pack-to-L1/L2 tiles on CPU), axpy micro-kernel,
+//                 unrolled; single-threaded.
+//   kParallel   — kBlocked with OpenMP over row panels (default).
+//
+// All variants support op(A), op(B) in {none, transpose, conjugate-transpose}
+// and are validated against each other by parameterized tests.
+
+#include "common/flops.h"
+#include "la/matrix.h"
+
+namespace xgw {
+
+enum class Op { kNone, kTrans, kConjTrans };
+
+enum class GemmVariant { kReference, kBlocked, kParallel };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// Shapes: op(A) is m x k, op(B) is k x n, C is m x n (checked).
+/// If `flops` is non-null the canonical 8*m*n*k count is added to it.
+void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
+           cplx beta, ZMatrix& c, GemmVariant variant = GemmVariant::kParallel,
+           FlopCounter* flops = nullptr);
+
+/// y = alpha * op(A) * x + beta * y.
+void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
+           cplx beta, std::vector<cplx>& y);
+
+/// Returns op(A) dimensions (rows, cols) for shape checking.
+std::pair<idx, idx> op_shape(Op op, const ZMatrix& a);
+
+}  // namespace xgw

@@ -1,0 +1,129 @@
+#include "la/lu.h"
+
+#include <cmath>
+
+namespace xgw {
+
+LuFactorization::LuFactorization(ZMatrix a) : lu_(std::move(a)) {
+  XGW_REQUIRE(lu_.rows() == lu_.cols(), "LU: matrix must be square");
+  const idx n = lu_.rows();
+  pivots_.resize(static_cast<std::size_t>(n));
+
+  for (idx k = 0; k < n; ++k) {
+    // Partial pivot: largest |a_ik| for i >= k.
+    idx piv = k;
+    double best = std::abs(lu_(k, k));
+    for (idx i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    XGW_REQUIRE(best > 0.0, "LU: matrix is singular");
+    pivots_[static_cast<std::size_t>(k)] = piv;
+    if (piv != k) {
+      pivot_sign_ = -pivot_sign_;
+      for (idx j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(piv, j));
+    }
+    const cplx inv_diag = 1.0 / lu_(k, k);
+    for (idx i = k + 1; i < n; ++i) {
+      const cplx lik = lu_(i, k) * inv_diag;
+      lu_(i, k) = lik;
+      if (lik != cplx{}) {
+        const cplx* urow = lu_.row(k);
+        cplx* irow = lu_.row(i);
+        for (idx j = k + 1; j < n; ++j) irow[j] -= lik * urow[j];
+      }
+    }
+  }
+}
+
+void LuFactorization::solve_in_place(std::vector<cplx>& b) const {
+  const idx n = this->n();
+  XGW_REQUIRE(static_cast<idx>(b.size()) == n, "LU solve: rhs size mismatch");
+  // Apply permutation.
+  for (idx k = 0; k < n; ++k) {
+    const idx piv = pivots_[static_cast<std::size_t>(k)];
+    if (piv != k)
+      std::swap(b[static_cast<std::size_t>(k)], b[static_cast<std::size_t>(piv)]);
+  }
+  // Forward substitution (unit lower).
+  for (idx i = 1; i < n; ++i) {
+    cplx acc = b[static_cast<std::size_t>(i)];
+    const cplx* lrow = lu_.row(i);
+    for (idx j = 0; j < i; ++j) acc -= lrow[j] * b[static_cast<std::size_t>(j)];
+    b[static_cast<std::size_t>(i)] = acc;
+  }
+  // Back substitution.
+  for (idx i = n - 1; i >= 0; --i) {
+    cplx acc = b[static_cast<std::size_t>(i)];
+    const cplx* urow = lu_.row(i);
+    for (idx j = i + 1; j < n; ++j) acc -= urow[j] * b[static_cast<std::size_t>(j)];
+    b[static_cast<std::size_t>(i)] = acc / urow[i];
+    if (i == 0) break;
+  }
+}
+
+void LuFactorization::solve_in_place(ZMatrix& b) const {
+  const idx n = this->n();
+  XGW_REQUIRE(b.rows() == n, "LU solve: rhs row count mismatch");
+  std::vector<cplx> col(static_cast<std::size_t>(n));
+  for (idx j = 0; j < b.cols(); ++j) {
+    for (idx i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = b(i, j);
+    solve_in_place(col);
+    for (idx i = 0; i < n; ++i) b(i, j) = col[static_cast<std::size_t>(i)];
+  }
+}
+
+cplx LuFactorization::determinant() const {
+  cplx det{static_cast<double>(pivot_sign_), 0.0};
+  for (idx i = 0; i < n(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+double LuFactorization::rcond_estimate() const {
+  double lo = std::abs(lu_(0, 0));
+  double hi = lo;
+  for (idx i = 1; i < n(); ++i) {
+    const double v = std::abs(lu_(i, i));
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+ZMatrix invert(const ZMatrix& a) {
+  LuFactorization lu(a);
+  ZMatrix inv = ZMatrix::identity(a.rows());
+  lu.solve_in_place(inv);
+  return inv;
+}
+
+ZMatrix solve(const ZMatrix& a, const ZMatrix& b) {
+  LuFactorization lu(a);
+  ZMatrix x = b;
+  lu.solve_in_place(x);
+  return x;
+}
+
+ZMatrix cholesky(const ZMatrix& a) {
+  XGW_REQUIRE(a.rows() == a.cols(), "cholesky: matrix must be square");
+  const idx n = a.rows();
+  ZMatrix l(n, n);
+  for (idx j = 0; j < n; ++j) {
+    double diag = a(j, j).real();
+    for (idx k = 0; k < j; ++k) diag -= std::norm(l(j, k));
+    XGW_REQUIRE(diag > 0.0, "cholesky: matrix is not positive definite");
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (idx i = j + 1; i < n; ++i) {
+      cplx acc = a(i, j);
+      for (idx k = 0; k < j; ++k) acc -= l(i, k) * std::conj(l(j, k));
+      l(i, j) = acc / ljj;
+    }
+  }
+  return l;
+}
+
+}  // namespace xgw

@@ -1,0 +1,50 @@
+#pragma once
+
+// Complex LU factorization with partial pivoting, linear solves, and matrix
+// inversion. Used by the Epsilon module to form the inverse dielectric
+// matrix eps^{-1} = [I - v chi]^{-1} (Eq. 3 of the paper).
+
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace xgw {
+
+/// PA = LU factorization holder (L unit-lower and U upper packed in lu).
+class LuFactorization {
+ public:
+  /// Factorizes a square matrix; throws xgw::Error on exact singularity.
+  explicit LuFactorization(ZMatrix a);
+
+  idx n() const { return lu_.rows(); }
+
+  /// Solve A x = b in place (b becomes x).
+  void solve_in_place(std::vector<cplx>& b) const;
+
+  /// Solve A X = B column-by-column; B is n x m, overwritten with X.
+  void solve_in_place(ZMatrix& b) const;
+
+  /// Determinant (product of U diagonal with pivot sign).
+  cplx determinant() const;
+
+  /// Reciprocal condition estimate via ratio of extreme |U_ii| — cheap
+  /// heuristic used to warn about nearly singular dielectric matrices.
+  double rcond_estimate() const;
+
+ private:
+  ZMatrix lu_;
+  std::vector<idx> pivots_;
+  int pivot_sign_ = 1;
+};
+
+/// A^{-1} via LU (allocates the result).
+ZMatrix invert(const ZMatrix& a);
+
+/// Solve A X = B, returning X.
+ZMatrix solve(const ZMatrix& a, const ZMatrix& b);
+
+/// Cholesky factor L (lower) of a Hermitian positive-definite matrix:
+/// A = L L^H. Throws on non-positive-definite input.
+ZMatrix cholesky(const ZMatrix& a);
+
+}  // namespace xgw

@@ -1,0 +1,45 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+namespace xgw {
+
+ZMatrix adjoint(const ZMatrix& a) {
+  ZMatrix t(a.cols(), a.rows());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j) t(j, i) = std::conj(a(i, j));
+  return t;
+}
+
+double frobenius_norm(const ZMatrix& a) {
+  double s = 0.0;
+  const cplx* p = a.data();
+  for (idx i = 0; i < a.size(); ++i) s += std::norm(p[i]);
+  return std::sqrt(s);
+}
+
+double frobenius_norm(const DMatrix& a) {
+  double s = 0.0;
+  const double* p = a.data();
+  for (idx i = 0; i < a.size(); ++i) s += p[i] * p[i];
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const ZMatrix& a, const ZMatrix& b) {
+  XGW_REQUIRE(a.same_shape(b), "max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (idx i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+double hermiticity_error(const ZMatrix& a) {
+  XGW_REQUIRE(a.rows() == a.cols(), "hermiticity_error: square matrix only");
+  double diff = 0.0;
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j)
+      diff += std::norm(a(i, j) - std::conj(a(j, i)));
+  return std::sqrt(diff) / std::max(1.0, frobenius_norm(a));
+}
+
+}  // namespace xgw

@@ -1,0 +1,87 @@
+#include "la/orth.h"
+
+#include <cmath>
+#include <vector>
+
+namespace xgw {
+
+namespace {
+
+double column_norm(const ZMatrix& v, idx j) {
+  double s = 0.0;
+  for (idx i = 0; i < v.rows(); ++i) s += std::norm(v(i, j));
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+idx orthonormalize_columns(ZMatrix& v, double drop_tol) {
+  const idx n = v.rows();
+  const idx m = v.cols();
+  idx kept = 0;
+
+  for (idx j = 0; j < m; ++j) {
+    // Copy candidate column j into slot `kept`.
+    if (j != kept)
+      for (idx i = 0; i < n; ++i) v(i, kept) = v(i, j);
+
+    const double norm0 = column_norm(v, kept);
+    if (norm0 <= drop_tol) continue;
+
+    // Two MGS passes against all previously accepted columns.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (idx k = 0; k < kept; ++k) {
+        cplx proj{};
+        for (idx i = 0; i < n; ++i) proj += std::conj(v(i, k)) * v(i, kept);
+        for (idx i = 0; i < n; ++i) v(i, kept) -= proj * v(i, k);
+      }
+    }
+    const double norm1 = column_norm(v, kept);
+    if (norm1 <= drop_tol * std::max(1.0, norm0)) continue;  // dependent
+    const double inv = 1.0 / norm1;
+    for (idx i = 0; i < n; ++i) v(i, kept) *= inv;
+    ++kept;
+  }
+
+  if (kept != m) {
+    ZMatrix out(n, kept);
+    for (idx i = 0; i < n; ++i)
+      for (idx j = 0; j < kept; ++j) out(i, j) = v(i, j);
+    v = std::move(out);
+  }
+  return kept;
+}
+
+double orthonormality_error(const ZMatrix& v) {
+  const idx m = v.cols();
+  double worst = 0.0;
+  for (idx a = 0; a < m; ++a) {
+    for (idx b = a; b < m; ++b) {
+      cplx dot{};
+      for (idx i = 0; i < v.rows(); ++i) dot += std::conj(v(i, a)) * v(i, b);
+      const cplx expect = (a == b) ? cplx{1.0, 0.0} : cplx{};
+      worst = std::max(worst, std::abs(dot - expect));
+    }
+  }
+  return worst;
+}
+
+void project_out(const ZMatrix& basis, ZMatrix& v) {
+  XGW_REQUIRE(basis.rows() == v.rows(), "project_out: row mismatch");
+  const idx n = v.rows();
+  std::vector<cplx> coef(static_cast<std::size_t>(basis.cols()));
+  for (idx j = 0; j < v.cols(); ++j) {
+    for (idx k = 0; k < basis.cols(); ++k) {
+      cplx dot{};
+      for (idx i = 0; i < n; ++i) dot += std::conj(basis(i, k)) * v(i, j);
+      coef[static_cast<std::size_t>(k)] = dot;
+    }
+    for (idx k = 0; k < basis.cols(); ++k) {
+      const cplx c = coef[static_cast<std::size_t>(k)];
+      if (c == cplx{}) continue;
+      for (idx i = 0; i < n; ++i) v(i, j) -= c * basis(i, k);
+    }
+  }
+}
+
+}  // namespace xgw

@@ -1,0 +1,24 @@
+#pragma once
+
+// Block orthonormalization for iterative eigensolvers (Davidson / Chebyshev
+// subspace iteration in the mean-field Parabands substrate) and for the
+// stochastic pseudobands construction.
+
+#include "la/matrix.h"
+
+namespace xgw {
+
+/// Orthonormalizes the COLUMNS of v in place using repeated (twice-is-enough)
+/// modified Gram-Schmidt. Columns whose norm collapses below `drop_tol`
+/// (linear dependence) are removed; returns the number of columns kept.
+/// The surviving columns occupy v(:, 0..kept-1); v is then resized.
+idx orthonormalize_columns(ZMatrix& v, double drop_tol = 1e-10);
+
+/// ||V^H V - I||_max — orthonormality check for tests.
+double orthonormality_error(const ZMatrix& v);
+
+/// Projects out components of the columns of v along the columns of basis
+/// (assumed orthonormal): v <- (I - B B^H) v.
+void project_out(const ZMatrix& basis, ZMatrix& v);
+
+}  // namespace xgw

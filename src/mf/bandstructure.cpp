@@ -1,0 +1,111 @@
+#include "mf/bandstructure.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "la/eig.h"
+#include "pw/gvectors.h"
+
+namespace xgw {
+
+BandsAtK solve_at_k(const EpmModel& model, const Vec3& k_frac, idx n_bands,
+                    double cutoff) {
+  const Lattice& lat = model.crystal().lattice();
+  if (cutoff <= 0.0) cutoff = model.default_cutoff();
+
+  // Cartesian k.
+  Vec3 kc{0, 0, 0};
+  for (int i = 0; i < 3; ++i)
+    kc = kc + k_frac[static_cast<std::size_t>(i)] * lat.b(i);
+
+  // Basis: |k+G|^2/2 <= cutoff would shift the sphere with k; using the
+  // k = 0 sphere with a margin keeps the basis size k-independent (standard
+  // for band-structure scans) — enlarge the cutoff by the |k| head room.
+  const double kmax2 = dot(kc, kc);
+  const GSphere sphere(lat, cutoff + 0.5 * kmax2 + std::sqrt(2.0 * cutoff * kmax2));
+  const idx ng = sphere.size();
+  XGW_REQUIRE(n_bands >= 1 && n_bands <= ng, "solve_at_k: bad band count");
+
+  ZMatrix h(ng, ng);
+  for (idx g = 0; g < ng; ++g) {
+    const IVec3 mg = sphere.miller(g);
+    for (idx gp = 0; gp < ng; ++gp) {
+      const IVec3 mgp = sphere.miller(gp);
+      h(g, gp) = model.v_of_g({mg[0] - mgp[0], mg[1] - mgp[1], mg[2] - mgp[2]});
+    }
+    const Vec3 kg = kc + sphere.cart(lat, g);
+    h(g, g) += 0.5 * dot(kg, kg);
+  }
+
+  const EigResult eig = heev(h);
+  BandsAtK out;
+  out.k_frac = k_frac;
+  out.energy.assign(eig.values.begin(), eig.values.begin() + n_bands);
+  return out;
+}
+
+std::vector<BandsAtK> band_path(const EpmModel& model,
+                                const std::vector<KPoint>& points,
+                                idx segments, idx n_bands, double cutoff) {
+  XGW_REQUIRE(points.size() >= 2, "band_path: need at least two k-points");
+  XGW_REQUIRE(segments >= 1, "band_path: segments must be >= 1");
+  const Lattice& lat = model.crystal().lattice();
+
+  std::vector<BandsAtK> out;
+  double path_len = 0.0;
+  Vec3 prev_cart{0, 0, 0};
+  bool first = true;
+
+  for (std::size_t leg = 0; leg + 1 < points.size(); ++leg) {
+    const Vec3& a = points[leg].frac;
+    const Vec3& b = points[leg + 1].frac;
+    const idx start = (leg == 0) ? 0 : 1;  // avoid duplicating joints
+    for (idx s = start; s <= segments; ++s) {
+      const double t = static_cast<double>(s) / static_cast<double>(segments);
+      const Vec3 k{a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]),
+                   a[2] + t * (b[2] - a[2])};
+      BandsAtK bk = solve_at_k(model, k, n_bands, cutoff);
+      Vec3 kcart{0, 0, 0};
+      for (int i = 0; i < 3; ++i)
+        kcart = kcart + k[static_cast<std::size_t>(i)] * lat.b(i);
+      if (!first) {
+        const Vec3 d = kcart - prev_cart;
+        path_len += std::sqrt(dot(d, d));
+      }
+      first = false;
+      prev_cart = kcart;
+      bk.path_length = path_len;
+      out.push_back(std::move(bk));
+    }
+  }
+  return out;
+}
+
+std::vector<KPoint> fcc_lgx_path() {
+  return {{{0.5, 0.5, 0.5}, "L"}, {{0.0, 0.0, 0.0}, "G"},
+          {{0.0, 0.5, 0.5}, "X"}};
+}
+
+GapInfo path_gaps(const std::vector<BandsAtK>& bands, idx n_valence) {
+  XGW_REQUIRE(!bands.empty(), "path_gaps: empty band set");
+  double vbm = -1e300, cbm = 1e300, direct = 1e300;
+  Vec3 vbm_k{}, cbm_k{};
+  for (const BandsAtK& b : bands) {
+    XGW_REQUIRE(static_cast<idx>(b.energy.size()) > n_valence,
+                "path_gaps: need at least one empty band");
+    const double ev = b.energy[static_cast<std::size_t>(n_valence - 1)];
+    const double ec = b.energy[static_cast<std::size_t>(n_valence)];
+    if (ev > vbm) {
+      vbm = ev;
+      vbm_k = b.k_frac;
+    }
+    if (ec < cbm) {
+      cbm = ec;
+      cbm_k = b.k_frac;
+    }
+    direct = std::min(direct, ec - ev);
+  }
+  return {cbm - vbm, direct, vbm_k, cbm_k};
+}
+
+}  // namespace xgw

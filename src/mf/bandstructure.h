@@ -1,0 +1,58 @@
+#pragma once
+
+// Band structure along k-paths for the EPM mean field.
+//
+// The GW workloads of the paper are Gamma-only supercells, but validating
+// the mean-field substrate requires the primitive-cell band structure: the
+// Cohen-Bergstresser silicon model must show the familiar valence manifold
+// and an indirect gap with the conduction minimum along Gamma-X. This
+// module builds H(k) = 1/2 |k+G|^2 + V(G-G') at arbitrary k (crystal
+// coordinates of the reciprocal cell) and diagonalizes it.
+
+#include <string>
+#include <vector>
+
+#include "mf/epm.h"
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+/// High-symmetry point with a label ("G", "X", "L", ...), in crystal
+/// coordinates of the reciprocal lattice (units of b1, b2, b3).
+struct KPoint {
+  Vec3 frac{0, 0, 0};
+  std::string label;
+};
+
+/// Eigenvalues at one k.
+struct BandsAtK {
+  Vec3 k_frac;
+  double path_length = 0.0;          ///< cumulative |dk| along the path (1/Bohr)
+  std::vector<double> energy;        ///< lowest n_bands eigenvalues (Ha)
+};
+
+/// Dense diagonalization of H(k) for the lowest n_bands.
+BandsAtK solve_at_k(const EpmModel& model, const Vec3& k_frac, idx n_bands,
+                    double cutoff = -1.0);
+
+/// Bands along a piecewise-linear path through `points`, with
+/// `segments` interior samples per leg.
+std::vector<BandsAtK> band_path(const EpmModel& model,
+                                const std::vector<KPoint>& points,
+                                idx segments, idx n_bands,
+                                double cutoff = -1.0);
+
+/// Standard FCC path L - Gamma - X (crystal coordinates of the FCC
+/// reciprocal cell: L = (1/2,1/2,1/2), X = (0,1/2,1/2)).
+std::vector<KPoint> fcc_lgx_path();
+
+/// Indirect and direct gap over a sampled path, for a model with
+/// `n_valence` occupied bands: returns {E_gap_indirect, E_gap_direct} (Ha).
+struct GapInfo {
+  double indirect;
+  double direct;
+  Vec3 vbm_k, cbm_k;
+};
+GapInfo path_gaps(const std::vector<BandsAtK>& bands, idx n_valence);
+
+}  // namespace xgw

@@ -1,0 +1,66 @@
+#include "mf/dos.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+namespace {
+double gaussian(double x, double s) {
+  return std::exp(-0.5 * x * x / (s * s)) / (s * std::sqrt(kTwoPi));
+}
+}  // namespace
+
+double DosCurve::integral() const {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < energy.size(); ++i)
+    acc += 0.5 * (value[i] + value[i - 1]) * (energy[i] - energy[i - 1]);
+  return acc;
+}
+
+DosCurve density_of_states(const Wavefunctions& wf, double sigma, idx n_grid,
+                           double margin) {
+  XGW_REQUIRE(sigma > 0.0 && n_grid >= 2, "dos: bad parameters");
+  const double lo = wf.energy.front() - margin;
+  const double hi = wf.energy.back() + margin;
+
+  DosCurve dos;
+  dos.energy.resize(static_cast<std::size_t>(n_grid));
+  dos.value.assign(static_cast<std::size_t>(n_grid), 0.0);
+  for (idx i = 0; i < n_grid; ++i)
+    dos.energy[static_cast<std::size_t>(i)] =
+        lo + (hi - lo) * static_cast<double>(i) /
+                 static_cast<double>(n_grid - 1);
+
+  for (double en : wf.energy)
+    for (idx i = 0; i < n_grid; ++i)
+      dos.value[static_cast<std::size_t>(i)] +=
+          2.0 * gaussian(dos.energy[static_cast<std::size_t>(i)] - en, sigma);
+  return dos;
+}
+
+DosCurve joint_density_of_states(const Wavefunctions& wf, double sigma,
+                                 idx n_grid, double w_max) {
+  XGW_REQUIRE(sigma > 0.0 && n_grid >= 2 && w_max > 0.0, "jdos: bad parameters");
+  DosCurve jdos;
+  jdos.energy.resize(static_cast<std::size_t>(n_grid));
+  jdos.value.assign(static_cast<std::size_t>(n_grid), 0.0);
+  for (idx i = 0; i < n_grid; ++i)
+    jdos.energy[static_cast<std::size_t>(i)] =
+        w_max * static_cast<double>(i) / static_cast<double>(n_grid - 1);
+
+  for (idx v = 0; v < wf.n_valence; ++v)
+    for (idx c = wf.n_valence; c < wf.n_bands(); ++c) {
+      const double de = wf.energy[static_cast<std::size_t>(c)] -
+                        wf.energy[static_cast<std::size_t>(v)];
+      if (de > w_max + 5.0 * sigma) continue;
+      for (idx i = 0; i < n_grid; ++i)
+        jdos.value[static_cast<std::size_t>(i)] +=
+            2.0 *
+            gaussian(jdos.energy[static_cast<std::size_t>(i)] - de, sigma);
+    }
+  return jdos;
+}
+
+}  // namespace xgw

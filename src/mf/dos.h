@@ -1,0 +1,30 @@
+#pragma once
+
+// Density of states and joint density of states from a band set —
+// broadened histograms used for quick diagnostics of the mean field and as
+// the independent-particle baseline the optical spectra refine.
+
+#include <vector>
+
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+struct DosCurve {
+  std::vector<double> energy;   ///< grid (Ha)
+  std::vector<double> value;    ///< states / Ha (spin factor 2 included)
+
+  /// Trapezoidal integral over the window.
+  double integral() const;
+};
+
+/// Gaussian-broadened DOS: g(E) = 2 sum_n exp(-(E - E_n)^2 / 2 s^2) / (s sqrt(2 pi)).
+DosCurve density_of_states(const Wavefunctions& wf, double sigma, idx n_grid,
+                           double margin = 0.1);
+
+/// Joint DOS over (v, c) transitions: J(w) = 2 sum_vc delta_s(w - (E_c - E_v));
+/// the independent-particle absorption skeleton.
+DosCurve joint_density_of_states(const Wavefunctions& wf, double sigma,
+                                 idx n_grid, double w_max);
+
+}  // namespace xgw

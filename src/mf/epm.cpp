@@ -1,0 +1,243 @@
+#include "mf/epm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+// ---------------------------------------------------------------------------
+// FormFactor: Fritsch-Carlson monotone cubic interpolation.
+// ---------------------------------------------------------------------------
+
+FormFactor::FormFactor(std::vector<Point> points) : pts_(std::move(points)) {
+  XGW_REQUIRE(pts_.size() >= 2, "FormFactor: need at least two control points");
+  for (std::size_t i = 1; i < pts_.size(); ++i)
+    XGW_REQUIRE(pts_[i].q2 > pts_[i - 1].q2,
+                "FormFactor: control points must have increasing q^2");
+
+  const std::size_t n = pts_.size();
+  std::vector<double> secants(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    secants[i] = (pts_[i + 1].u - pts_[i].u) / (pts_[i + 1].q2 - pts_[i].q2);
+
+  slopes_.resize(n);
+  slopes_[0] = secants[0];
+  slopes_[n - 1] = secants[n - 2];
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (secants[i - 1] * secants[i] <= 0.0)
+      slopes_[i] = 0.0;
+    else
+      slopes_[i] = 0.5 * (secants[i - 1] + secants[i]);
+  }
+  // Fritsch-Carlson limiter keeps the interpolant overshoot-free.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (secants[i] == 0.0) {
+      slopes_[i] = slopes_[i + 1] = 0.0;
+      continue;
+    }
+    const double a = slopes_[i] / secants[i];
+    const double b = slopes_[i + 1] / secants[i];
+    const double s = a * a + b * b;
+    if (s > 9.0) {
+      const double t = 3.0 / std::sqrt(s);
+      slopes_[i] = t * a * secants[i];
+      slopes_[i + 1] = t * b * secants[i];
+    }
+  }
+}
+
+double FormFactor::operator()(double q2) const {
+  if (q2 <= pts_.front().q2) return pts_.front().u;
+  if (q2 >= pts_.back().q2) return pts_.back().u;
+  // Locate interval.
+  std::size_t lo = 0;
+  std::size_t hi = pts_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (pts_[mid].q2 <= q2)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const double h = pts_[hi].q2 - pts_[lo].q2;
+  const double t = (q2 - pts_[lo].q2) / h;
+  const double t2 = t * t, t3 = t2 * t;
+  const double h00 = 2 * t3 - 3 * t2 + 1;
+  const double h10 = t3 - 2 * t2 + t;
+  const double h01 = -2 * t3 + 3 * t2;
+  const double h11 = t3 - t2;
+  return h00 * pts_[lo].u + h10 * h * slopes_[lo] + h01 * pts_[hi].u +
+         h11 * h * slopes_[hi];
+}
+
+// ---------------------------------------------------------------------------
+// EpmModel
+// ---------------------------------------------------------------------------
+
+EpmModel::EpmModel(Crystal crystal, std::vector<FormFactor> form_factors,
+                   std::vector<int> species_electrons, double prim_cell_volume,
+                   double default_cutoff)
+    : crystal_(std::move(crystal)),
+      form_factors_(std::move(form_factors)),
+      species_electrons_(std::move(species_electrons)),
+      prim_cell_volume_(prim_cell_volume),
+      default_cutoff_(default_cutoff) {
+  XGW_REQUIRE(static_cast<int>(form_factors_.size()) == crystal_.n_species(),
+              "EpmModel: one form factor per species required");
+  XGW_REQUIRE(static_cast<int>(species_electrons_.size()) ==
+                  crystal_.n_species(),
+              "EpmModel: one electron count per species required");
+  XGW_REQUIRE(prim_cell_volume_ > 0.0, "EpmModel: bad primitive cell volume");
+}
+
+double EpmModel::n_prim_cells() const {
+  return crystal_.lattice().cell_volume() / prim_cell_volume_;
+}
+
+idx EpmModel::n_electrons() const {
+  idx n = 0;
+  for (const Atom& a : crystal_.atoms())
+    n += species_electrons_[static_cast<std::size_t>(a.species)];
+  return n;
+}
+
+idx EpmModel::n_valence_bands() const { return (n_electrons() + 1) / 2; }
+
+cplx EpmModel::v_of_g(const IVec3& hkl) const {
+  if (hkl == IVec3{0, 0, 0}) return cplx{};
+  const double q2 = crystal_.lattice().g_norm2(hkl);
+  const double inv_nprim = 1.0 / n_prim_cells();
+  cplx v{};
+  // Per-species: u_s(q^2) * S_s(G); the structure factor encapsulates the
+  // exact crystal-coordinate phases.
+  for (int s = 0; s < crystal_.n_species(); ++s) {
+    const double u = form_factors_[static_cast<std::size_t>(s)](q2);
+    if (u != 0.0) v += u * crystal_.structure_factor(s, hkl);
+  }
+  return v * inv_nprim;
+}
+
+cplx EpmModel::dv_dr(const IVec3& hkl, idx ia, int axis) const {
+  XGW_REQUIRE(ia >= 0 && ia < crystal_.n_atoms(), "dv_dr: bad atom index");
+  if (hkl == IVec3{0, 0, 0}) return cplx{};
+  const Atom& atom = crystal_.atoms()[static_cast<std::size_t>(ia)];
+  const double q2 = crystal_.lattice().g_norm2(hkl);
+  const double u =
+      form_factors_[static_cast<std::size_t>(atom.species)](q2);
+  const Vec3 g = crystal_.lattice().g_cart(hkl);
+  const double phase = -kTwoPi * (static_cast<double>(hkl[0]) * atom.frac[0] +
+                                  static_cast<double>(hkl[1]) * atom.frac[1] +
+                                  static_cast<double>(hkl[2]) * atom.frac[2]);
+  const cplx e_igt{std::cos(phase), std::sin(phase)};
+  // d/dR_alpha e^{-i G . tau} = -i G_alpha e^{-i G . tau}
+  return cplx{0.0, -1.0} * g[static_cast<std::size_t>(axis)] * u * e_igt /
+         n_prim_cells();
+}
+
+namespace {
+
+// Silicon: Cohen-Bergstresser symmetric form factors V3=-0.21, V8=+0.04,
+// V11=+0.08 Ry (per PAIR of atoms; per-atom u = V/2), pinned at q^2 in units
+// of (2 pi / a)^2 with a = 10.26 Bohr, smoothly interpolated for the
+// intermediate q^2 values supercells introduce.
+FormFactor silicon_form_factor() {
+  const double a = 10.26;
+  const double unit = (kTwoPi / a) * (kTwoPi / a);  // (2 pi / a)^2 in Bohr^-2
+  const double ry = 0.5;                            // Ry -> Ha
+  return FormFactor({{0.0, -0.20 * ry / 2},
+                     {3.0 * unit, -0.21 * ry / 2},
+                     {8.0 * unit, +0.04 * ry / 2},
+                     {11.0 * unit, +0.08 * ry / 2},
+                     {16.0 * unit, +0.02 * ry / 2},
+                     {20.0 * unit, 0.0}});
+}
+
+}  // namespace
+
+EpmModel EpmModel::silicon(idx n_super) {
+  const double alat = 10.26;  // Bohr
+  Crystal c = Crystal::diamond(alat, n_super, "Si");
+  const double prim_vol = alat * alat * alat / 4.0;
+  return EpmModel(std::move(c), {silicon_form_factor()}, {4}, prim_vol,
+                  /*default_cutoff=*/2.75);
+}
+
+EpmModel EpmModel::lih(idx n_super) {
+  const double alat = 7.72;  // Bohr (rocksalt LiH)
+  Crystal c = Crystal::rocksalt(alat, n_super, "Li", "H");
+  const double unit = (kTwoPi / alat) * (kTwoPi / alat);
+  // Ionic model: strongly attractive H(-like) site, weak Li site. Tuned to
+  // open a wide direct gap (LiH-like insulator).
+  FormFactor li({{0.0, -0.020},
+                 {3.0 * unit, -0.015},
+                 {8.0 * unit, +0.005},
+                 {14.0 * unit, 0.0}});
+  FormFactor h({{0.0, -0.120},
+                {3.0 * unit, -0.060},
+                {8.0 * unit, -0.015},
+                {14.0 * unit, 0.0}});
+  const double prim_vol = alat * alat * alat / 4.0;
+  return EpmModel(std::move(c), {li, h}, {1, 1}, prim_vol,
+                  /*default_cutoff=*/6.0);
+}
+
+EpmModel EpmModel::bn(idx n_super) {
+  const double alat = 6.83;  // Bohr (zincblende BN)
+  Crystal c = Crystal::zincblende(alat, n_super, "B", "N");
+  const double unit = (kTwoPi / alat) * (kTwoPi / alat);
+  // Polar covalent model: N site deeper than B, strong antisymmetric
+  // component -> wide gap.
+  FormFactor b({{0.0, -0.05},
+                {3.0 * unit, -0.04},
+                {8.0 * unit, +0.04},
+                {16.0 * unit, +0.01},
+                {24.0 * unit, 0.0}});
+  FormFactor n({{0.0, -0.35},
+                {3.0 * unit, -0.28},
+                {8.0 * unit, -0.08},
+                {16.0 * unit, +0.02},
+                {24.0 * unit, 0.0}});
+  const double prim_vol = alat * alat * alat / 4.0;
+  return EpmModel(std::move(c), {b, n}, {3, 5}, prim_vol,
+                  /*default_cutoff=*/8.0);
+}
+
+EpmModel EpmModel::bn_monolayer(idx n_super, double vacuum) {
+  const double a = 4.75;  // Bohr (h-BN in-plane constant ~2.51 A)
+  Crystal c = Crystal::hexagonal_monolayer(a, vacuum, n_super, "B", "N");
+  const double unit = (kTwoPi / a) * (kTwoPi / a);
+  // Asymmetric B/N potential tuned (bench-scanned) to an h-BN-like wide
+  // gap (~8 eV for the monolayer with this basis).
+  FormFactor b({{0.0, -0.018},
+                {1.0 * unit, -0.015},
+                {3.0 * unit, +0.009},
+                {6.0 * unit, +0.003},
+                {10.0 * unit, 0.0}});
+  FormFactor n({{0.0, -0.126},
+                {1.0 * unit, -0.090},
+                {3.0 * unit, -0.030},
+                {6.0 * unit, +0.003},
+                {10.0 * unit, 0.0}});
+  // Per-cell normalization: the "primitive cell" is the monolayer cell
+  // itself (vacuum included) — the potential is not refolded from a bulk.
+  const double prim_vol =
+      Lattice::hexagonal(a, vacuum).cell_volume();
+  return EpmModel(std::move(c), {b, n}, {3, 5}, prim_vol,
+                  /*default_cutoff=*/5.0);
+}
+
+EpmModel EpmModel::with_vacancy(idx ia) const {
+  EpmModel out = *this;
+  out.crystal_ = crystal_.with_vacancy(ia);
+  return out;
+}
+
+EpmModel EpmModel::displaced(idx ia, const Vec3& delta_cart) const {
+  EpmModel out = *this;
+  out.crystal_ = crystal_.displaced(ia, delta_cart);
+  return out;
+}
+
+}  // namespace xgw

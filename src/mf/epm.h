@@ -1,0 +1,107 @@
+#pragma once
+
+// Empirical pseudopotential models (EPM) — the mean-field substrate.
+//
+// The paper's GW workflow starts from DFT wavefunctions produced by Quantum
+// ESPRESSO. That substrate is replaced here by a local empirical
+// pseudopotential plane-wave Hamiltonian H = -1/2 nabla^2 + V(r) with
+// V(G) = (1/N_prim) sum_a u_s(|G|) e^{-i G . tau_a}.
+// For silicon the per-atom form factor u_s interpolates the classic
+// Cohen-Bergstresser symmetric form factors, which reproduce a realistic
+// silicon band structure; LiH- and BN-like two-species models provide the
+// polar/wide-gap analogues of the paper's other workloads. The substitution
+// preserves what GW consumes: a set {psi_n, E_n} of orthonormal plane-wave
+// eigenstates with semiconductor gaps, plus analytic dV/dR for DFPT/GWPT.
+
+#include <functional>
+#include <vector>
+
+#include "pw/crystal.h"
+
+namespace xgw {
+
+/// Smooth per-species form factor u(q^2), q^2 in 1/Bohr^2, value in Hartree.
+/// Monotone-cubic interpolation through control points, zero beyond the
+/// last point (pseudopotentials decay at large q).
+class FormFactor {
+ public:
+  struct Point {
+    double q2;  ///< |G|^2 in 1/Bohr^2
+    double u;   ///< form factor in Hartree
+  };
+
+  explicit FormFactor(std::vector<Point> points);
+
+  double operator()(double q2) const;
+
+ private:
+  std::vector<Point> pts_;
+  std::vector<double> slopes_;  // Fritsch-Carlson tangents
+};
+
+/// Pseudopotential model: crystal + per-species form factors.
+class EpmModel {
+ public:
+  /// `species_electrons[s]` is the number of valence electrons atom species
+  /// s contributes (Si: 4, Li: 1, H: 1, B: 3, N: 5).
+  EpmModel(Crystal crystal, std::vector<FormFactor> form_factors,
+           std::vector<int> species_electrons, double prim_cell_volume,
+           double default_cutoff);
+
+  const Crystal& crystal() const { return crystal_; }
+
+  /// Local potential Fourier component V(G) for a Miller triple.
+  /// The G = 0 component is fixed to zero (constant energy shift).
+  cplx v_of_g(const IVec3& hkl) const;
+
+  /// dV(G)/dR_{ia,axis}: analytic derivative with respect to the cartesian
+  /// displacement of atom `ia` — the DFPT perturbation used by GWPT.
+  cplx dv_dr(const IVec3& hkl, idx ia, int axis) const;
+
+  /// Number of primitive cells this supercell contains (volume ratio).
+  double n_prim_cells() const;
+
+  /// Total valence electrons in the cell.
+  idx n_electrons() const;
+
+  /// Number of occupied (valence) bands: electrons / 2 (spin-degenerate,
+  /// closed-shell; odd counts round up and the system is flagged metallic
+  /// by callers that care).
+  idx n_valence_bands() const;
+
+  /// --- Predefined materials -------------------------------------------
+  /// Cohen-Bergstresser-like silicon, diamond supercell n x n x n
+  /// (2 n^3 atoms), optionally with vacancies to model defect systems.
+  static EpmModel silicon(idx n_super = 1);
+
+  /// LiH-like rocksalt model (2 n^3 atoms), ionic wide-gap insulator.
+  static EpmModel lih(idx n_super = 1);
+
+  /// BN-like zincblende model (2 n^3 atoms), polar wide-gap semiconductor.
+  static EpmModel bn(idx n_super = 1);
+
+  /// h-BN-like monolayer (2 n^2 atoms) with `vacuum` Bohr of empty space
+  /// along the third axis — the layered-system workload class (the paper's
+  /// BN867 moire bilayer has a 1.5 nm vacuum layer); pair with the slab
+  /// Coulomb truncation.
+  static EpmModel bn_monolayer(idx n_super = 1, double vacuum = 16.0);
+
+  /// Copy of this model with atom `ia` removed (vacancy defect). Electron
+  /// count is reduced by the species' per-atom contribution.
+  EpmModel with_vacancy(idx ia) const;
+
+  /// Copy with atom `ia` displaced by `delta_cart` (frozen-phonon geometry).
+  EpmModel displaced(idx ia, const Vec3& delta_cart) const;
+
+  /// Suggested wavefunction cutoff (Hartree) for this material.
+  double default_cutoff() const { return default_cutoff_; }
+
+ private:
+  Crystal crystal_;
+  std::vector<FormFactor> form_factors_;
+  std::vector<int> species_electrons_;
+  double prim_cell_volume_;
+  double default_cutoff_;
+};
+
+}  // namespace xgw

@@ -1,0 +1,90 @@
+#include "mf/hamiltonian.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+PwHamiltonian::PwHamiltonian(const EpmModel& model, double cutoff)
+    : model_(model),
+      sphere_(model.crystal().lattice(),
+              cutoff > 0.0 ? cutoff : model.default_cutoff()) {
+  // Box holding all V(G - G') differences alias-free: 4*hmax + 1 per axis.
+  const IVec3 hm = sphere_.max_miller();
+  box_ = FftBox{next_fast_size(4 * hm[0] + 1), next_fast_size(4 * hm[1] + 1),
+                next_fast_size(4 * hm[2] + 1)};
+  fft_ = std::make_unique<Fft3d>(box_);
+
+  // Fill V(G) for all differences |h_i| <= 2*hmax_i on the box.
+  v_diff_.assign(static_cast<std::size_t>(box_.size()), cplx{});
+  for (idx h = -2 * hm[0]; h <= 2 * hm[0]; ++h)
+    for (idx k = -2 * hm[1]; k <= 2 * hm[1]; ++k)
+      for (idx l = -2 * hm[2]; l <= 2 * hm[2]; ++l) {
+        const IVec3 hkl{h, k, l};
+        v_diff_[static_cast<std::size_t>(box_index(box_, hkl))] =
+            model_.v_of_g(hkl);
+      }
+
+  // V(r) = sum_G V(G) e^{iGr}: unnormalized backward FFT of V(G).
+  v_real_ = v_diff_;
+  fft_->backward(v_real_.data());
+  for (const cplx& v : v_real_) vmax_real_ = std::max(vmax_real_, std::abs(v));
+}
+
+ZMatrix PwHamiltonian::dense() const {
+  const idx n = n_pw();
+  ZMatrix h(n, n);
+  for (idx g = 0; g < n; ++g) {
+    const IVec3 mg = sphere_.miller(g);
+    for (idx gp = 0; gp < n; ++gp) {
+      const IVec3 mgp = sphere_.miller(gp);
+      const IVec3 diff{mg[0] - mgp[0], mg[1] - mgp[1], mg[2] - mgp[2]};
+      h(g, gp) = v_diff_[static_cast<std::size_t>(box_index(box_, diff))];
+    }
+    h(g, g) += kinetic(g);
+  }
+  return h;
+}
+
+void PwHamiltonian::apply(const cplx* x, cplx* y) const {
+  thread_local std::vector<cplx> box_data;
+  box_data.assign(static_cast<std::size_t>(box_.size()), cplx{});
+
+  scatter_to_box(sphere_, x, box_, box_data.data());
+  fft_->backward(box_data.data());  // psi(r), unnormalized convention
+  for (idx i = 0; i < box_.size(); ++i)
+    box_data[static_cast<std::size_t>(i)] *=
+        v_real_[static_cast<std::size_t>(i)];
+  fft_->forward(box_data.data());  // N_box * (V psi)(G)
+  const double inv_nbox = 1.0 / static_cast<double>(box_.size());
+  gather_from_box(sphere_, box_, box_data.data(), y);
+  for (idx ig = 0; ig < n_pw(); ++ig) {
+    y[ig] *= inv_nbox;
+    y[ig] += kinetic(ig) * x[ig];
+  }
+}
+
+void PwHamiltonian::apply_block(const ZMatrix& x, ZMatrix& y) const {
+  XGW_REQUIRE(x.rows() == n_pw() && y.rows() == n_pw() && x.cols() == y.cols(),
+              "apply_block: shape mismatch");
+  const idx nb = x.cols();
+  std::vector<cplx> xin(static_cast<std::size_t>(n_pw()));
+  std::vector<cplx> yout(static_cast<std::size_t>(n_pw()));
+  for (idx j = 0; j < nb; ++j) {
+    for (idx i = 0; i < n_pw(); ++i) xin[static_cast<std::size_t>(i)] = x(i, j);
+    apply(xin.data(), yout.data());
+    for (idx i = 0; i < n_pw(); ++i) y(i, j) = yout[static_cast<std::size_t>(i)];
+  }
+}
+
+double PwHamiltonian::spectral_upper_bound() const {
+  double kmax = 0.0;
+  for (idx ig = 0; ig < n_pw(); ++ig) kmax = std::max(kmax, kinetic(ig));
+  return kmax + vmax_real_;
+}
+
+double PwHamiltonian::spectral_lower_bound() const { return -vmax_real_; }
+
+}  // namespace xgw

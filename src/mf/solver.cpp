@@ -1,0 +1,153 @@
+#include "mf/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "la/eig.h"
+#include "la/gemm.h"
+#include "la/orth.h"
+
+namespace xgw {
+
+Wavefunctions solve_dense(const PwHamiltonian& h, idx n_bands) {
+  const idx n = h.n_pw();
+  if (n_bands <= 0) n_bands = n;
+  XGW_REQUIRE(n_bands <= n, "solve_dense: more bands than basis functions");
+
+  const EigResult eig = heev(h.dense());
+
+  Wavefunctions wf;
+  wf.coeff = ZMatrix(n_bands, n);
+  wf.energy.resize(static_cast<std::size_t>(n_bands));
+  for (idx b = 0; b < n_bands; ++b) {
+    wf.energy[static_cast<std::size_t>(b)] =
+        eig.values[static_cast<std::size_t>(b)];
+    for (idx ig = 0; ig < n; ++ig) wf.coeff(b, ig) = eig.vectors(ig, b);
+  }
+  wf.n_valence = std::min(h.model().n_valence_bands(), n_bands);
+  return wf;
+}
+
+namespace {
+
+// Rayleigh-Ritz: given orthonormal V (n x m) and HV, diagonalize V^H H V and
+// rotate. Returns Ritz values; V, HV are replaced by the rotated versions.
+std::vector<double> rayleigh_ritz(ZMatrix& v, ZMatrix& hv) {
+  const idx m = v.cols();
+  ZMatrix proj(m, m);
+  zgemm(Op::kConjTrans, Op::kNone, cplx{1.0, 0.0}, v, hv, cplx{}, proj);
+  const EigResult eig = heev(proj);
+
+  ZMatrix vr(v.rows(), m), hvr(v.rows(), m);
+  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, v, eig.vectors, cplx{}, vr);
+  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, hv, eig.vectors, cplx{}, hvr);
+  v = std::move(vr);
+  hv = std::move(hvr);
+  return eig.values;
+}
+
+}  // namespace
+
+Wavefunctions solve_davidson(const PwHamiltonian& h, idx n_bands,
+                             const DavidsonOptions& opt) {
+  const idx n = h.n_pw();
+  XGW_REQUIRE(n_bands >= 1 && n_bands <= n, "solve_davidson: bad band count");
+  const idx max_subspace =
+      std::min(n, std::max(n_bands + 2, opt.max_subspace_mult * n_bands));
+
+  // Initial block: lowest-kinetic unit vectors (the sphere is sorted by
+  // |G|^2, so these are the free-electron ground states) plus small random
+  // noise to break symmetry-induced invariant subspaces.
+  Rng rng(opt.seed);
+  ZMatrix v(n, std::min(max_subspace, n_bands + std::min<idx>(n_bands, 8)));
+  for (idx j = 0; j < v.cols(); ++j) {
+    v(j % n, j) = 1.0;
+    for (idx i = 0; i < n; ++i) v(i, j) += 0.02 * rng.normal_cplx();
+  }
+  orthonormalize_columns(v);
+
+  ZMatrix hv(n, v.cols());
+  h.apply_block(v, hv);
+
+  std::vector<double> ritz;
+  for (idx it = 0; it < opt.max_iter; ++it) {
+    ritz = rayleigh_ritz(v, hv);
+
+    // Residuals for the lowest n_bands Ritz pairs.
+    ZMatrix res(n, n_bands);
+    double worst = 0.0;
+    for (idx j = 0; j < n_bands; ++j) {
+      double norm2 = 0.0;
+      for (idx i = 0; i < n; ++i) {
+        const cplx r = hv(i, j) - ritz[static_cast<std::size_t>(j)] * v(i, j);
+        res(i, j) = r;
+        norm2 += std::norm(r);
+      }
+      worst = std::max(worst, std::sqrt(norm2));
+    }
+    if (worst < opt.residual_tol) break;
+
+    // Preconditioned correction t = r / (T(G) + <V> - theta).
+    for (idx j = 0; j < n_bands; ++j) {
+      for (idx i = 0; i < n; ++i) {
+        double denom = h.kinetic(i) - ritz[static_cast<std::size_t>(j)];
+        if (std::abs(denom) < 0.1) denom = std::copysign(0.1, denom == 0.0 ? 1.0 : denom);
+        res(i, j) /= denom;
+      }
+    }
+
+    // Restart if the subspace would exceed the cap: keep the current Ritz
+    // vectors (lowest n_bands plus a small buffer).
+    if (v.cols() + n_bands > max_subspace) {
+      const idx keep = std::min(v.cols(), n_bands + std::min<idx>(n_bands, 8));
+      ZMatrix vk(n, keep), hvk(n, keep);
+      for (idx j = 0; j < keep; ++j)
+        for (idx i = 0; i < n; ++i) {
+          vk(i, j) = v(i, j);
+          hvk(i, j) = hv(i, j);
+        }
+      v = std::move(vk);
+      hv = std::move(hvk);
+    }
+
+    // Orthogonalize corrections against the subspace and append.
+    project_out(v, res);
+    const idx added = orthonormalize_columns(res, 1e-8);
+    if (added == 0) {
+      log_warn("davidson: corrections linearly dependent; stopping at ",
+               worst, " residual");
+      break;
+    }
+    ZMatrix hres(n, res.cols());
+    h.apply_block(res, hres);
+
+    ZMatrix vnew(n, v.cols() + res.cols()), hvnew(n, v.cols() + res.cols());
+    for (idx i = 0; i < n; ++i) {
+      for (idx j = 0; j < v.cols(); ++j) {
+        vnew(i, j) = v(i, j);
+        hvnew(i, j) = hv(i, j);
+      }
+      for (idx j = 0; j < res.cols(); ++j) {
+        vnew(i, v.cols() + j) = res(i, j);
+        hvnew(i, v.cols() + j) = hres(i, j);
+      }
+    }
+    v = std::move(vnew);
+    hv = std::move(hvnew);
+  }
+
+  ritz = rayleigh_ritz(v, hv);
+
+  Wavefunctions wf;
+  wf.coeff = ZMatrix(n_bands, n);
+  wf.energy.assign(ritz.begin(), ritz.begin() + n_bands);
+  for (idx b = 0; b < n_bands; ++b)
+    for (idx ig = 0; ig < n; ++ig) wf.coeff(b, ig) = v(ig, b);
+  wf.n_valence = std::min(h.model().n_valence_bands(), n_bands);
+  return wf;
+}
+
+}  // namespace xgw

@@ -1,0 +1,35 @@
+#pragma once
+
+// Band solvers for the plane-wave mean field.
+//
+// This is the Parabands substrate: the paper's workflow needs a LARGE band
+// set {psi_n} (up to 80,695 bands for Si2742) which BerkeleyGW generates
+// with a dedicated Parabands module rather than the DFT code's iterative
+// solver. Here:
+//  * solve_dense     — full diagonalization; exact, O(N_G^3); the "Parabands"
+//                      path when all (or most) bands are wanted.
+//  * solve_davidson  — block-Davidson iterative solver for the lowest
+//                      n_bands; the "DFT-solver" path, efficient when
+//                      n_bands << N_G.
+// Both produce the same Wavefunctions container; tests cross-validate them.
+
+#include "mf/hamiltonian.h"
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+/// Full dense diagonalization, keeping the lowest n_bands (<= 0 keeps all).
+Wavefunctions solve_dense(const PwHamiltonian& h, idx n_bands = -1);
+
+struct DavidsonOptions {
+  idx max_iter = 200;
+  double residual_tol = 1e-8;   ///< convergence: max ||H x - theta x||
+  idx max_subspace_mult = 4;    ///< restart when subspace > mult * n_bands
+  std::uint64_t seed = 12345;   ///< random initial block augmentation
+};
+
+/// Block-Davidson for the lowest n_bands eigenpairs (matrix-free H).
+Wavefunctions solve_davidson(const PwHamiltonian& h, idx n_bands,
+                             const DavidsonOptions& opt = {});
+
+}  // namespace xgw

@@ -1,0 +1,80 @@
+#include "mf/sternheimer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+std::vector<cplx> sternheimer_solve(const PwHamiltonian& h,
+                                    const Wavefunctions& wf, double e0,
+                                    std::vector<cplx> rhs,
+                                    const std::vector<idx>& project_bands,
+                                    const SternheimerOptions& opt) {
+  const idx ng = h.n_pw();
+  XGW_REQUIRE(static_cast<idx>(rhs.size()) == ng,
+              "sternheimer_solve: rhs size mismatch");
+  XGW_REQUIRE(wf.n_pw() == ng, "sternheimer_solve: basis mismatch");
+
+  auto project = [&](std::vector<cplx>& x) {
+    for (idx m : project_bands) {
+      const cplx* psim = wf.coeff.row(m);
+      cplx dot{};
+      for (idx g = 0; g < ng; ++g)
+        dot += std::conj(psim[g]) * x[static_cast<std::size_t>(g)];
+      for (idx g = 0; g < ng; ++g)
+        x[static_cast<std::size_t>(g)] -= dot * psim[g];
+    }
+  };
+
+  std::vector<cplx>& b = rhs;
+  project(b);
+
+  // A x = b with A = P (H - e0) P, via CGNR: A^H A x = A^H b.
+  auto apply_a = [&](const std::vector<cplx>& x, std::vector<cplx>& y) {
+    h.apply(x.data(), y.data());
+    for (idx g = 0; g < ng; ++g)
+      y[static_cast<std::size_t>(g)] -= e0 * x[static_cast<std::size_t>(g)];
+    project(y);
+  };
+
+  std::vector<cplx> x(static_cast<std::size_t>(ng), cplx{});
+  std::vector<cplx> r(b.size()), z(b.size()), p(b.size()), ap(b.size());
+
+  r = b;
+  apply_a(r, z);
+  p = z;
+  double rz = 0.0;
+  for (const cplx& v : z) rz += std::norm(v);
+
+  double bnorm2 = 0.0;
+  for (const cplx& v : b) bnorm2 += std::norm(v);
+  if (bnorm2 == 0.0) return x;
+  const double bnorm = std::sqrt(bnorm2);
+
+  for (idx it = 0; it < opt.max_iter; ++it) {
+    apply_a(p, ap);
+    double ap2 = 0.0;
+    for (const cplx& v : ap) ap2 += std::norm(v);
+    if (ap2 == 0.0) break;
+    const double alpha = rz / ap2;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    double rnorm = 0.0;
+    for (const cplx& v : r) rnorm += std::norm(v);
+    if (std::sqrt(rnorm) < opt.tol * bnorm) break;
+
+    apply_a(r, z);
+    double rz_new = 0.0;
+    for (const cplx& v : z) rz_new += std::norm(v);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = z[i] + beta * p[i];
+  }
+  project(x);
+  return x;
+}
+
+}  // namespace xgw

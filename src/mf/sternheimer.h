@@ -1,0 +1,33 @@
+#pragma once
+
+// Generic projected Sternheimer linear solver:
+//   x = P (H - e0)^{-1} P rhs,   P = 1 - sum_{m in project_bands} |m><m|,
+// by conjugate gradients on the normal equations (the projected operator
+// is Hermitian but indefinite; CGNR is robust at these problem sizes and
+// needs only matrix-free H applications).
+//
+// This is the building block of linear-response workflows that avoid
+// explicit empty states: DFPT d psi solves (gwpt/dfpt.h) and the
+// Sternheimer polarizability (core/sternheimer_chi.h) — the approach of
+// the paper's refs [9-11] (Umari, Giustino, Govoni et al.).
+
+#include <vector>
+
+#include "mf/hamiltonian.h"
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+struct SternheimerOptions {
+  idx max_iter = 400;
+  double tol = 1e-9;        ///< residual norm target (relative to ||rhs||)
+  double degen_tol = 1e-6;  ///< degeneracy detection for dpsi solves
+};
+
+std::vector<cplx> sternheimer_solve(const PwHamiltonian& h,
+                                    const Wavefunctions& wf, double e0,
+                                    std::vector<cplx> rhs,
+                                    const std::vector<idx>& project_bands,
+                                    const SternheimerOptions& opt = {});
+
+}  // namespace xgw

@@ -1,0 +1,39 @@
+#include "mf/velocity.h"
+
+#include "common/error.h"
+
+namespace xgw {
+
+MomentumOperator::MomentumOperator(const GSphere& sphere,
+                                   const Lattice& lattice) {
+  gcart_.resize(static_cast<std::size_t>(sphere.size()));
+  for (idx ig = 0; ig < sphere.size(); ++ig)
+    gcart_[static_cast<std::size_t>(ig)] = sphere.cart(lattice, ig);
+}
+
+std::array<cplx, 3> MomentumOperator::pair(const Wavefunctions& wf, idx m,
+                                           idx n) const {
+  XGW_REQUIRE(wf.n_pw() == static_cast<idx>(gcart_.size()),
+              "MomentumOperator: basis mismatch");
+  XGW_REQUIRE(m >= 0 && m < wf.n_bands() && n >= 0 && n < wf.n_bands(),
+              "MomentumOperator: band out of range");
+  const cplx* cm = wf.coeff.row(m);
+  const cplx* cn = wf.coeff.row(n);
+  std::array<cplx, 3> p{};
+  for (std::size_t ig = 0; ig < gcart_.size(); ++ig) {
+    const cplx w = std::conj(cm[ig]) * cn[ig];
+    const Vec3& g = gcart_[ig];
+    p[0] += w * g[0];
+    p[1] += w * g[1];
+    p[2] += w * g[2];
+  }
+  return p;
+}
+
+double MomentumOperator::pair_norm2(const Wavefunctions& wf, idx m,
+                                    idx n) const {
+  const auto p = pair(wf, m, n);
+  return std::norm(p[0]) + std::norm(p[1]) + std::norm(p[2]);
+}
+
+}  // namespace xgw

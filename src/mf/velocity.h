@@ -1,0 +1,32 @@
+#pragma once
+
+// Momentum (velocity) matrix elements <m|p|n> on a plane-wave basis.
+//
+// At Gamma with a LOCAL mean-field potential, p acts as multiplication by
+// G on the coefficients, so <m|p|n> = sum_G c_m^*(G) G c_n(G) exactly (the
+// [V, r] commutator vanishes). These elements drive three q->0 limits in
+// the GW stack: the chi head (core/chi.h), the dielectric-tensor
+// anisotropy, and the optical dipoles of the BSE (d = p / (i w)).
+
+#include <array>
+
+#include "mf/wavefunctions.h"
+#include "pw/gvectors.h"
+
+namespace xgw {
+
+class MomentumOperator {
+ public:
+  MomentumOperator(const GSphere& sphere, const Lattice& lattice);
+
+  /// <m|p|n>, three cartesian components (atomic units).
+  std::array<cplx, 3> pair(const Wavefunctions& wf, idx m, idx n) const;
+
+  /// |<m|p|n>|^2 summed over components.
+  double pair_norm2(const Wavefunctions& wf, idx m, idx n) const;
+
+ private:
+  std::vector<Vec3> gcart_;
+};
+
+}  // namespace xgw

@@ -1,0 +1,35 @@
+#include "mf/wavefunctions.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+Wavefunctions Wavefunctions::truncated(idx nb) const {
+  XGW_REQUIRE(nb >= 1 && nb <= n_bands(), "truncated: bad band count");
+  Wavefunctions out;
+  out.coeff = ZMatrix(nb, n_pw());
+  for (idx n = 0; n < nb; ++n)
+    for (idx ig = 0; ig < n_pw(); ++ig) out.coeff(n, ig) = coeff(n, ig);
+  out.energy.assign(energy.begin(), energy.begin() + nb);
+  out.n_valence = std::min(n_valence, nb);
+  return out;
+}
+
+double Wavefunctions::orthonormality_error() const {
+  double worst = 0.0;
+  for (idx m = 0; m < n_bands(); ++m) {
+    for (idx n = m; n < n_bands(); ++n) {
+      cplx dot{};
+      const cplx* pm = coeff.row(m);
+      const cplx* pn = coeff.row(n);
+      for (idx ig = 0; ig < n_pw(); ++ig) dot += std::conj(pm[ig]) * pn[ig];
+      const cplx expect = (m == n) ? cplx{1.0, 0.0} : cplx{};
+      worst = std::max(worst, std::abs(dot - expect));
+    }
+  }
+  return worst;
+}
+
+}  // namespace xgw

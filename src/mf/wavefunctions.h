@@ -1,0 +1,38 @@
+#pragma once
+
+// Band-set container — the "{psi_n, E_n}" that flows from the mean field
+// (or the Parabands / pseudobands constructors) into the GW modules.
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "pw/gvectors.h"
+
+namespace xgw {
+
+/// N_b bands on a plane-wave sphere. Bands are stored as ROWS
+/// (coeff(n, ig)): the GW kernels stream over band pairs, and row-major
+/// band storage keeps each band contiguous.
+struct Wavefunctions {
+  ZMatrix coeff;                ///< N_b x N_G^psi coefficients
+  std::vector<double> energy;   ///< E_n, Hartree, ascending
+  idx n_valence = 0;            ///< first n_valence bands are occupied
+
+  idx n_bands() const { return coeff.rows(); }
+  idx n_pw() const { return coeff.cols(); }
+  idx n_conduction() const { return n_bands() - n_valence; }
+
+  /// Kohn-Sham gap E_{v+1} - E_v (Hartree); requires at least one empty band.
+  double gap() const {
+    return energy[static_cast<std::size_t>(n_valence)] -
+           energy[static_cast<std::size_t>(n_valence - 1)];
+  }
+
+  /// Truncated copy with the lowest `nb` bands.
+  Wavefunctions truncated(idx nb) const;
+
+  /// Max |<m|n> - delta_mn| over all band pairs — orthonormality check.
+  double orthonormality_error() const;
+};
+
+}  // namespace xgw

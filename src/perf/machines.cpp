@@ -1,0 +1,62 @@
+#include "perf/machines.h"
+
+#include "common/error.h"
+
+namespace xgw {
+
+Machine frontier() {
+  Machine m;
+  m.name = "Frontier";
+  m.kind = MachineKind::kFrontier;
+  m.total_nodes = 9408;
+  m.gpus_per_node = 8;          // 4 MI250X x 2 GCD
+  m.peak_per_gpu = 23.9e12;     // FP64 per GCD (matrix-core peak)
+  m.attainable_per_gpu = m.peak_per_gpu;
+  m.hbm_bw_per_gpu = 1.6e12;    // HBM2e per GCD
+  m.fs_write_bw = 5e12;         // Orion scratch, order of magnitude
+  m.net.alpha_s = 2.0e-6;       // Slingshot-11
+  m.net.beta_s_per_byte = 1.0 / 25e9;
+  return m;
+}
+
+Machine aurora() {
+  Machine m;
+  m.name = "Aurora";
+  m.kind = MachineKind::kAurora;
+  m.total_nodes = 10624;
+  m.gpus_per_node = 12;          // 6 PVC x 2 tiles
+  m.peak_per_gpu = 17.0e12;      // FP64 per tile, theoretical
+  m.attainable_per_gpu = 11.4e12;// measured vector-MAD peak (Intel Advisor)
+  m.hbm_bw_per_gpu = 1.6e12;
+  m.fs_write_bw = 4e12;
+  m.net.alpha_s = 2.2e-6;        // Slingshot-11, dragonfly
+  m.net.beta_s_per_byte = 1.0 / 25e9;
+  return m;
+}
+
+Machine perlmutter() {
+  Machine m;
+  m.name = "Perlmutter";
+  m.kind = MachineKind::kPerlmutter;
+  m.total_nodes = 1792;
+  m.gpus_per_node = 4;           // A100
+  m.peak_per_gpu = 9.7e12;
+  m.attainable_per_gpu = m.peak_per_gpu;
+  m.hbm_bw_per_gpu = 1.5e12;
+  m.fs_write_bw = 3e12;
+  m.net.alpha_s = 2.0e-6;
+  m.net.beta_s_per_byte = 1.0 / 25e9;
+  return m;
+}
+
+Machine machine_by_kind(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::kFrontier: return frontier();
+    case MachineKind::kAurora: return aurora();
+    case MachineKind::kPerlmutter: return perlmutter();
+  }
+  XGW_REQUIRE(false, "machine_by_kind: unknown kind");
+  return frontier();  // unreachable
+}
+
+}  // namespace xgw

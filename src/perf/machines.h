@@ -1,0 +1,58 @@
+#pragma once
+
+// Machine catalogue — the paper's three platforms (Sec. 6), described by
+// their published hardware parameters. The scaling simulator combines these
+// with kernel work models to regenerate the paper's scaling figures; this
+// is the documented substitution for hardware we do not have.
+//
+// Conventions (exactly the paper's):
+//  * A "GPU" is one MI250X GCD on Frontier, one PVC tile on Aurora, one
+//    A100 on Perlmutter.
+//  * Percent-of-peak is quoted against the FULL-machine theoretical
+//    (Frontier/Perlmutter) or attainable (Aurora, 11.4 TF/tile measured
+//    vector-MAD peak) aggregate, matching Table 5's percentages.
+
+#include <string>
+
+#include "common/types.h"
+#include "runtime/netmodel.h"
+
+namespace xgw {
+
+enum class MachineKind { kFrontier, kAurora, kPerlmutter };
+
+struct Machine {
+  std::string name;
+  MachineKind kind;
+  idx total_nodes;
+  idx gpus_per_node;        ///< paper's GPU unit (GCD / tile / A100)
+  double peak_per_gpu;      ///< FP64 FLOP/s per GPU unit (theoretical)
+  double attainable_per_gpu;///< measured attainable (Aurora note); else = peak
+  double hbm_bw_per_gpu;    ///< bytes/s
+  double fs_write_bw;       ///< aggregate filesystem bandwidth (bytes/s)
+  NetworkModel net;
+
+  double peak_total() const {
+    return static_cast<double>(total_nodes * gpus_per_node) * peak_per_gpu;
+  }
+  double attainable_total() const {
+    return static_cast<double>(total_nodes * gpus_per_node) *
+           attainable_per_gpu;
+  }
+  idx gpus(idx nodes) const { return nodes * gpus_per_node; }
+};
+
+/// Frontier (OLCF): 9,408 nodes x 4 MI250X (8 GCDs), 23.9 TF FP64/GCD,
+/// aggregate 1.80 EF.
+Machine frontier();
+
+/// Aurora (ALCF): 10,624 nodes x 6 PVC (12 tiles), 17 TF FP64/tile
+/// theoretical, 11.4 TF measured attainable, aggregate attainable 1.45 EF.
+Machine aurora();
+
+/// Perlmutter (NERSC): 1,792 nodes x 4 A100, 9.7 TF FP64, aggregate 69.5 PF.
+Machine perlmutter();
+
+Machine machine_by_kind(MachineKind kind);
+
+}  // namespace xgw

@@ -1,0 +1,291 @@
+#include "perf/scaling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/flops.h"
+
+namespace xgw {
+
+double SigmaWorkload::kernel_flops() const {
+  if (offdiag)
+    return flop_model::gpp_offdiag_zgemm(n_sigma, n_b, n_g, n_e);
+  return flop_model::gpp_diag(alpha, n_sigma, n_b, n_g, n_e);
+}
+
+ScalingSimulator::ScalingSimulator(Machine machine)
+    : machine_(std::move(machine)) {
+  // Kernel efficiencies (fraction of per-GPU peak / attainable peak),
+  // calibrated once against the paper's own measurements:
+  //  * Frontier diag 0.33 (Table 4: Si510 HIP @4 nodes; Table 5: 31% full
+  //    machine), off-diag 0.625 (Table 5: 59.45% incl. comm losses).
+  //  * Aurora (vs attainable) diag 0.50 small-scale -> 39% at 87.5% machine,
+  //    off-diag 0.565.
+  //  * Perlmutter diag 0.38 (CUDA, A100 roofline), off-diag 0.55.
+  switch (machine_.kind) {
+    case MachineKind::kFrontier:
+      eff_gpp_diag = 0.330;
+      eff_gpp_offdiag = 0.625;
+      eff_ff = 0.45;
+      break;
+    case MachineKind::kAurora:
+      eff_gpp_diag = 0.50;
+      eff_gpp_offdiag = 0.565;
+      eff_ff = 0.40;
+      break;
+    case MachineKind::kPerlmutter:
+      // EFFECTIVE value: Table 4's Si510 CUDA times imply
+      // alpha_Pm * eff = 83.5 * 0.745; the paper does not report
+      // alpha_Perlmutter, so the unknown prefactor is folded in here.
+      eff_gpp_diag = 0.745;
+      eff_gpp_offdiag = 0.55;
+      eff_ff = 0.42;
+      break;
+  }
+}
+
+double ScalingSimulator::compute_seconds(double flops, idx nodes, double eff,
+                                         ProgModel pm, KernelClass kc) const {
+  const double gpus = static_cast<double>(machine_.gpus(nodes));
+  const double per_gpu = machine_.attainable_per_gpu;
+  const double factor = prog_model_factor(machine_.kind, pm, kc);
+  return flops / (gpus * per_gpu * eff) * factor;
+}
+
+double ScalingSimulator::imbalance_factor(const SigmaWorkload& w,
+                                          idx nodes) const {
+  // Two-level decomposition: pools over Sigma elements, G' columns over the
+  // ranks of each pool. The production code picks the pool count that
+  // minimizes the slowest-rank work; quantization of both levels at the
+  // optimal choice is the physical origin of the strong-scaling tail.
+  const idx gpus = machine_.gpus(nodes);
+  const double ideal = static_cast<double>(w.n_sigma) *
+                       static_cast<double>(w.n_g) /
+                       static_cast<double>(gpus);
+
+  double best = 1e300;
+  const idx pool_max = std::min(w.n_sigma, gpus);
+  for (idx pools = 1; pools <= pool_max; ++pools) {
+    const idx rpp = gpus / pools;
+    if (rpp < 1) break;
+    const idx sig_per_pool = (w.n_sigma + pools - 1) / pools;
+    const idx cols_per_rank = (w.n_g + rpp - 1) / rpp;
+    const double slowest = static_cast<double>(sig_per_pool) *
+                           static_cast<double>(cols_per_rank);
+    best = std::min(best, slowest);
+  }
+  return std::max(1.0, best / ideal);
+}
+
+double ScalingSimulator::comm_seconds(const SigmaWorkload& w, idx nodes) const {
+  const idx gpus = machine_.gpus(nodes);
+  const idx pools = std::max<idx>(1, std::min(w.n_sigma, gpus));
+  const idx rpp = std::max<idx>(1, gpus / pools);
+  const idx ngpsi = w.n_g_psi > 0 ? w.n_g_psi
+                                  : static_cast<idx>(2.7 * static_cast<double>(w.n_g));
+
+  // Each rank gathers its G'-slice of the M matrices (ring allgather within
+  // the pool), then the pool reduces its partial Sigma elements.
+  const double m_bytes_per_rank =
+      16.0 * static_cast<double>(w.n_b) * static_cast<double>(w.n_g) /
+      static_cast<double>(rpp);
+  const double sigma_bytes =
+      16.0 * static_cast<double>((w.n_sigma + pools - 1) / pools) *
+      static_cast<double>(w.n_e) * (w.offdiag ? static_cast<double>(w.n_sigma) : 1.0);
+
+  // Wavefunction distribution at startup (scattered read + bcast tree).
+  const double wf_bytes = 16.0 * static_cast<double>(w.n_b) *
+                          static_cast<double>(ngpsi) /
+                          static_cast<double>(gpus);
+
+  return machine_.net.allgather(m_bytes_per_rank, rpp) +
+         machine_.net.allreduce(sigma_bytes, rpp) +
+         machine_.net.bcast(wf_bytes, std::min<idx>(gpus, 64));
+}
+
+PerfPoint ScalingSimulator::sigma_kernel(const SigmaWorkload& w, idx nodes,
+                                         ProgModel pm) const {
+  XGW_REQUIRE(nodes >= 1 && nodes <= machine_.total_nodes,
+              "sigma_kernel: node count out of machine range");
+  const double flops = w.kernel_flops();
+  const double eff =
+      (w.offdiag ? eff_gpp_offdiag : eff_gpp_diag) * w.eff_scale;
+  const double t_compute = compute_seconds(flops, nodes, eff, pm,
+                                           KernelClass::kGppDiag) *
+                           imbalance_factor(w, nodes);
+  const double t = t_compute + comm_seconds(w, nodes);
+
+  PerfPoint p;
+  p.nodes = nodes;
+  p.seconds = t;
+  p.pflops = flops / t / 1e15;
+  const double base = static_cast<double>(machine_.gpus(nodes)) *
+                      machine_.attainable_per_gpu;
+  p.pct_peak = 100.0 * (flops / t) / base;
+  return p;
+}
+
+PerfPoint ScalingSimulator::sigma_total_excl_io(const SigmaWorkload& w,
+                                                idx nodes, ProgModel pm) const {
+  PerfPoint p = sigma_kernel(w, nodes, pm);
+  p.seconds *= (1.0 + overhead_fraction);
+  p.pflops = w.kernel_flops() / p.seconds / 1e15;
+  const double base = static_cast<double>(machine_.gpus(nodes)) *
+                      machine_.attainable_per_gpu;
+  p.pct_peak = 100.0 * (w.kernel_flops() / p.seconds) / base;
+  return p;
+}
+
+double ScalingSimulator::io_seconds(const SigmaWorkload& w, idx nodes) const {
+  const idx ngpsi = w.n_g_psi > 0 ? w.n_g_psi
+                                  : static_cast<idx>(2.7 * static_cast<double>(w.n_g));
+  const idx gpus = machine_.gpus(nodes);
+  const idx pools = std::max<idx>(1, std::min(w.n_sigma, gpus));
+  // Wavefunction file read once + eps^{-1} matrix read per pool (the
+  // replicated-read pattern of the Sigma module) + sigma output write.
+  const double wf_bytes = 16.0 * static_cast<double>(w.n_b) *
+                          static_cast<double>(ngpsi);
+  const double eps_bytes = 16.0 * static_cast<double>(w.n_g) *
+                           static_cast<double>(w.n_g) *
+                           static_cast<double>(pools);
+  const double out_bytes = 16.0 * static_cast<double>(w.n_sigma) *
+                           static_cast<double>(w.n_e) *
+                           (w.offdiag ? static_cast<double>(w.n_sigma) : 1.0);
+  // io_contention models metadata and striping contention at scale
+  // (calibrated to the Si998-b Tot-incl-I/O row of Table 5).
+  return (wf_bytes + eps_bytes + out_bytes) /
+         (machine_.fs_write_bw * io_contention);
+}
+
+PerfPoint ScalingSimulator::sigma_total_incl_io(const SigmaWorkload& w,
+                                                idx nodes, ProgModel pm) const {
+  PerfPoint p = sigma_total_excl_io(w, nodes, pm);
+  p.seconds += io_seconds(w, nodes);
+  p.pflops = w.kernel_flops() / p.seconds / 1e15;
+  const double base = static_cast<double>(machine_.gpus(nodes)) *
+                      machine_.attainable_per_gpu;
+  p.pct_peak = 100.0 * (w.kernel_flops() / p.seconds) / base;
+  return p;
+}
+
+std::vector<PerfPoint> ScalingSimulator::strong_scaling(
+    const SigmaWorkload& w, const std::vector<idx>& nodes, ProgModel pm) const {
+  std::vector<PerfPoint> out;
+  out.reserve(nodes.size());
+  for (idx n : nodes) out.push_back(sigma_kernel(w, n, pm));
+  return out;
+}
+
+std::vector<PerfPoint> ScalingSimulator::weak_scaling(
+    const SigmaWorkload& base, const std::vector<idx>& nodes,
+    ProgModel pm) const {
+  XGW_REQUIRE(!nodes.empty(), "weak_scaling: empty node list");
+  std::vector<PerfPoint> out;
+  out.reserve(nodes.size());
+  const idx n0 = nodes.front();
+  for (idx n : nodes) {
+    SigmaWorkload w = base;
+    w.n_sigma = base.n_sigma * (n / n0);  // problem scaled by Eq. 7/8
+    out.push_back(sigma_kernel(w, n, pm));
+  }
+  return out;
+}
+
+ScalingSimulator::FfEpsilonTimes ScalingSimulator::ff_epsilon_weak(
+    const SigmaWorkload& base, idx base_nodes, idx nodes, idx n_freq,
+    double subspace_frac, ProgModel pm) const {
+  // System size N grows with nodes so CHI-0 work/node is constant. All of
+  // N_v, N_c, N_G grow LINEARLY with atom count (Table 1), so the chi work
+  // ~ N_v N_c N_G^2 ~ N^4 and weak scaling requires N ~ nodes^{1/4}.
+  const double scale =
+      std::pow(static_cast<double>(nodes) / static_cast<double>(base_nodes),
+               0.25);
+  const double nv = static_cast<double>(base.n_b) * 0.1 * scale;
+  const double nc = static_cast<double>(base.n_b) * 0.9 * scale;
+  const double ng = static_cast<double>(base.n_g) * scale;
+  const double neig = subspace_frac * ng;
+  const double gpus = static_cast<double>(machine_.gpus(nodes));
+  const double rate =
+      gpus * machine_.attainable_per_gpu * eff_ff *
+      (1.0 / prog_model_factor(machine_.kind, pm, KernelClass::kGwFullFreq));
+
+  FfEpsilonTimes t{};
+  // Compute-bound GEMM kernels: near-ideal weak scaling, plus the pool
+  // allreduce that makes weak scaling "less favorable" (Sec. 7.2).
+  const double chi0_flops = 8.0 * nv * nc * ng * ng;
+  t.chi0 = chi0_flops / rate +
+           machine_.net.allreduce(16.0 * ng * ng / gpus * 64.0,
+                                  machine_.gpus(nodes));
+  const double chifreq_flops = 8.0 * static_cast<double>(n_freq) * nv * nc *
+                               neig * neig;
+  t.chi_freq = chifreq_flops / rate +
+               static_cast<double>(n_freq) *
+                   machine_.net.allreduce(16.0 * neig * neig / gpus * 64.0,
+                                          machine_.gpus(nodes));
+  const double transf_flops = 8.0 * nv * nc * ng * neig;
+  t.transf = transf_flops / rate;
+
+  // Lower-scaling kernels (Fig. 3): MTXEL is FFT/bandwidth bound with
+  // all-to-all transpose traffic growing ~ P^0.55; Diag is an O(N_G^3)
+  // eigendecomposition with decaying parallel efficiency ~ P^0.6.
+  // Exponents fitted to the shape of Fig. 3 (documented).
+  const double pratio = static_cast<double>(nodes) /
+                        static_cast<double>(base_nodes);
+  const double mtxel_base =
+      (nv * nc * ng * std::log2(std::max(2.0, ng)) * 40.0) /
+      (gpus * machine_.hbm_bw_per_gpu / 16.0);
+  t.mtxel = mtxel_base * std::pow(pratio, 0.55);
+  const double diag_base = 28.0 * ng * ng * ng / rate;
+  t.diag = diag_base * std::pow(pratio, 0.60);
+  return t;
+}
+
+PerfPoint ScalingSimulator::ff_sigma(const SigmaWorkload& w, idx nodes,
+                                     idx n_freq, double subspace_frac,
+                                     ProgModel pm) const {
+  // Subspace-contracted FF Sigma: the G/G' sums run in the N_Eig basis
+  // (Sec. 5.2), n_freq quadrature points.
+  const double neig = subspace_frac * static_cast<double>(w.n_g);
+  const double flops = 8.0 * static_cast<double>(w.n_sigma) *
+                       static_cast<double>(w.n_b) * neig * neig *
+                       static_cast<double>(n_freq) / 50.0;
+  const double t = compute_seconds(flops, nodes, eff_ff, pm,
+                                   KernelClass::kGwFullFreq) *
+                       imbalance_factor(w, nodes) +
+                   comm_seconds(w, nodes);
+  PerfPoint p;
+  p.nodes = nodes;
+  p.seconds = t;
+  p.pflops = flops / t / 1e15;
+  const double base = static_cast<double>(machine_.gpus(nodes)) *
+                      machine_.attainable_per_gpu;
+  p.pct_peak = 100.0 * (flops / t) / base;
+  return p;
+}
+
+std::vector<SigmaWorkload> paper_workloads(MachineKind kind) {
+  const double alpha = (kind == MachineKind::kAurora) ? 94.27 : 83.50;
+  std::vector<SigmaWorkload> w;
+  // Table 2 systems. N_Sigma / N_E for the Table 5 rows are inferred from
+  // the paper's reported times and throughputs via Eqs. 7 and 8 (the
+  // off-diag rows pin N_Sigma = 512 for Si998 exactly).
+  w.push_back({"Si214", 128, 5500, 11075, 31463, 3, false, alpha, 1.0});
+  w.push_back({"Si510", 128, 15000, 26529, 74653, 3, false, alpha, 1.0});
+  w.push_back({"Si998", 512, 28000, 51627, 145837, 3, false, alpha, 1.0});
+  w.push_back({"Si2742", 588, 80695, 141505, 363477, 3, false, alpha, 0.94});
+  w.push_back({"Si2742p", 588, 15840, 141505, 363477, 3, false, alpha, 0.81});
+  w.push_back(
+      {"LiH998-GWPT", 1024, 3100, 52923, 81313, 60, false, alpha, 0.82});
+  w.push_back({"LiH17574", 512, 49920, 362733, 506991, 3, false, alpha, 1.0});
+  w.push_back({"BN867", 1177, 49920, 84585, 439769, 3, false, alpha, 0.97});
+  // Fig. 7 off-diagonal configurations.
+  w.push_back({"Si998-a", 512, 28224, 51627, 145837, 200, true, alpha, 1.0});
+  w.push_back({"Si998-b", 512, 28224, 51627, 145837, 512, true, alpha, 1.0});
+  w.push_back({"Si998-c", 512, 28800, 51627, 145837, 200, true, alpha, 1.0});
+  w.push_back({"LiH998-GWPT-offdiag", 512, 3100, 52923, 81313, 288, true,
+               alpha, 0.62});
+  return w;
+}
+
+}  // namespace xgw

@@ -1,0 +1,120 @@
+#pragma once
+
+// Scaling and throughput simulator — regenerates the paper's machine-scale
+// results (Table 4, Table 5, Figs. 3-7) from:
+//  * exact FLOP counts (Eqs. 7 and 8),
+//  * published hardware parameters (perf/machines.h),
+//  * an alpha-beta network model plus the exact work-quantization
+//    (load-imbalance) effects of the pool/block decomposition,
+//  * kernel efficiencies and programming-model factors taken from the
+//    paper's own measurements (documented in perf/progmodel.h and below).
+//
+// What is modeled vs measured is spelled out in EXPERIMENTS.md: everything
+// machine-scale is a model (we have no exascale machine); all algorithmic
+// ratios feeding the model (kernel variant ordering, off-diag/diag
+// throughput gain, subspace speedups) are measured on the real CPU kernels
+// in this repository.
+
+#include <vector>
+
+#include "perf/machines.h"
+#include "perf/progmodel.h"
+#include "runtime/dist.h"
+
+namespace xgw {
+
+/// Sigma-GPP workload descriptor (Table 2 scale parameters).
+struct SigmaWorkload {
+  std::string system;   ///< label, e.g. "Si998-a"
+  idx n_sigma = 0;      ///< number of external bands (diag) — off-diag does n_sigma^2 elements
+  idx n_b = 0;
+  idx n_g = 0;
+  idx n_g_psi = 0;      ///< wavefunction sphere (I/O sizing); 0 -> 2.7 * n_g
+  idx n_e = 0;
+  bool offdiag = false;
+  double alpha = 83.50; ///< Eq. 7 prefactor (architecture dependent)
+  /// Workload-specific efficiency multiplier (1.0 for the standard GPP
+  /// kernels). < 1 for rows whose measured efficiency is reduced by
+  /// unskippable extra work: GWPT's dM prep (LiH998 rows) and the
+  /// full-machine network contention of the Si2742' Aurora run — values
+  /// fitted once to Table 5 and documented in EXPERIMENTS.md.
+  double eff_scale = 1.0;
+
+  double kernel_flops() const;  ///< Eq. 7 (diag) or Eq. 8 (off-diag ZGEMM)
+};
+
+struct PerfPoint {
+  idx nodes = 0;
+  double seconds = 0.0;
+  double pflops = 0.0;    ///< sustained PFLOP/s
+  double pct_peak = 0.0;  ///< vs FULL-machine aggregate (Table 5 convention)
+};
+
+class ScalingSimulator {
+ public:
+  explicit ScalingSimulator(Machine machine);
+
+  const Machine& machine() const { return machine_; }
+
+  /// Kernel-only time/throughput at `nodes` nodes.
+  PerfPoint sigma_kernel(const SigmaWorkload& w, idx nodes,
+                         ProgModel pm) const;
+
+  /// Whole-application time excluding I/O (kernel + MTXEL/epsilon overhead).
+  PerfPoint sigma_total_excl_io(const SigmaWorkload& w, idx nodes,
+                                ProgModel pm) const;
+
+  /// Including I/O (wavefunction read + epsmat read per pool + sigma write).
+  PerfPoint sigma_total_incl_io(const SigmaWorkload& w, idx nodes,
+                                ProgModel pm) const;
+
+  std::vector<PerfPoint> strong_scaling(const SigmaWorkload& w,
+                                        const std::vector<idx>& nodes,
+                                        ProgModel pm) const;
+
+  /// Weak scaling: n_sigma grows proportionally with nodes (the paper's
+  /// Fig. 5 protocol — problem size scaled by Eqs. 7/8).
+  std::vector<PerfPoint> weak_scaling(const SigmaWorkload& base,
+                                      const std::vector<idx>& nodes,
+                                      ProgModel pm) const;
+
+  /// GW-FF Epsilon per-kernel times for the weak-scaling study of Fig. 3.
+  /// System size grows with nodes such that CHI-0 work per node is constant.
+  struct FfEpsilonTimes {
+    double chi0, chi_freq, transf, mtxel, diag;
+    double total() const { return chi0 + chi_freq + transf + mtxel + diag; }
+  };
+  FfEpsilonTimes ff_epsilon_weak(const SigmaWorkload& base, idx base_nodes,
+                                 idx nodes, idx n_freq, double subspace_frac,
+                                 ProgModel pm) const;
+
+  /// GW-FF Sigma strong scaling (Fig. 4): subspace-contracted kernel.
+  PerfPoint ff_sigma(const SigmaWorkload& w, idx nodes, idx n_freq,
+                     double subspace_frac, ProgModel pm) const;
+
+  double io_seconds(const SigmaWorkload& w, idx nodes) const;
+
+  // --- calibration constants (documented fits to the paper's numbers) ---
+  double eff_gpp_diag;      ///< diag kernel fraction of per-GPU peak
+  double eff_gpp_offdiag;   ///< ZGEMM-recast kernel fraction of peak
+  double eff_ff;            ///< FF library-GEMM fraction of peak
+  double overhead_fraction = 0.29;  ///< non-kernel compute / kernel time
+  double io_contention = 0.012;     ///< effective-FS-bandwidth factor
+  /// Tensile-tuned ZGEMM boost for moderate problem sizes (Sec. 7.3): the
+  /// default library already peaks for large N_Sigma.
+  double tensile_boost_moderate = 1.10;
+
+ private:
+  double compute_seconds(double flops, idx nodes, double eff,
+                         ProgModel pm, KernelClass kc) const;
+  double comm_seconds(const SigmaWorkload& w, idx nodes) const;
+  double imbalance_factor(const SigmaWorkload& w, idx nodes) const;
+
+  Machine machine_;
+};
+
+/// The paper's application systems (Table 2), with Si998-a/b/c Fig. 7
+/// configurations and the LiH998 GWPT workload.
+std::vector<SigmaWorkload> paper_workloads(MachineKind kind);
+
+}  // namespace xgw

@@ -1,0 +1,147 @@
+#include "pseudobands/chebyshev.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "la/orth.h"
+
+namespace xgw {
+
+ChebyshevJacksonFilter::ChebyshevJacksonFilter(double a, double b,
+                                               double spec_lo, double spec_hi,
+                                               idx order) {
+  XGW_REQUIRE(spec_hi > spec_lo, "ChebyshevJacksonFilter: bad spectral range");
+  XGW_REQUIRE(b > a, "ChebyshevJacksonFilter: bad window");
+  XGW_REQUIRE(order >= 1, "ChebyshevJacksonFilter: order must be >= 1");
+  center_ = 0.5 * (spec_hi + spec_lo);
+  halfwidth_ = 0.5 * (spec_hi - spec_lo) * 1.01;  // 1% safety margin
+
+  // Map window edges to [-1, 1].
+  const double ta = std::clamp((a - center_) / halfwidth_, -1.0, 1.0);
+  const double tb = std::clamp((b - center_) / halfwidth_, -1.0, 1.0);
+  const double pa = std::acos(tb);  // note acos is decreasing
+  const double pb = std::acos(ta);
+
+  // Chebyshev coefficients of the indicator 1_[ta,tb]:
+  //   c_0 = (pb - pa)/pi, c_k = 2 (sin(k pb) - sin(k pa)) / (k pi),
+  // damped by the Jackson kernel g_k to suppress Gibbs oscillations.
+  const idx n = order + 1;
+  coeff_.resize(static_cast<std::size_t>(n));
+  coeff_[0] = (pb - pa) / kPi;
+  for (idx k = 1; k < n; ++k)
+    coeff_[static_cast<std::size_t>(k)] =
+        2.0 * (std::sin(static_cast<double>(k) * pb) -
+               std::sin(static_cast<double>(k) * pa)) /
+        (static_cast<double>(k) * kPi);
+
+  const double np = static_cast<double>(n + 1);
+  for (idx k = 0; k < n; ++k) {
+    const double x = kPi * static_cast<double>(k) / np;
+    const double g =
+        ((np - static_cast<double>(k)) * std::cos(x) + std::sin(x) / std::tan(kPi / np)) /
+        np;
+    coeff_[static_cast<std::size_t>(k)] *= g;
+  }
+}
+
+double ChebyshevJacksonFilter::evaluate(double e) const {
+  const double t = std::clamp((e - center_) / halfwidth_, -1.0, 1.0);
+  // Clenshaw-free direct recurrence (order is modest).
+  double tkm1 = 1.0, tk = t;
+  double acc = coeff_[0];
+  if (coeff_.size() > 1) acc += coeff_[1] * t;
+  for (std::size_t k = 2; k < coeff_.size(); ++k) {
+    const double tkp1 = 2.0 * t * tk - tkm1;
+    acc += coeff_[k] * tkp1;
+    tkm1 = tk;
+    tk = tkp1;
+  }
+  return acc;
+}
+
+ZMatrix ChebyshevJacksonFilter::apply(const PwHamiltonian& h,
+                                      const ZMatrix& x) const {
+  const idx n = h.n_pw();
+  XGW_REQUIRE(x.rows() == n, "ChebyshevJacksonFilter: vector size mismatch");
+  const idx m = x.cols();
+  const double ic = center_, ih = 1.0 / halfwidth_;
+
+  // Three-term recurrence on columns: T_0 = X, T_1 = Hs X,
+  // T_{k+1} = 2 Hs T_k - T_{k-1}, with Hs = (H - center)/halfwidth.
+  auto apply_hs = [&](const ZMatrix& in, ZMatrix& out) {
+    h.apply_block(in, out);
+    for (idx i = 0; i < n; ++i)
+      for (idx j = 0; j < m; ++j) out(i, j) = (out(i, j) - ic * in(i, j)) * ih;
+  };
+
+  ZMatrix tkm1 = x;
+  ZMatrix acc(n, m);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < m; ++j) acc(i, j) = coeff_[0] * x(i, j);
+
+  if (coeff_.size() == 1) return acc;
+
+  ZMatrix tk(n, m);
+  apply_hs(x, tk);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < m; ++j) acc(i, j) += coeff_[1] * tk(i, j);
+
+  ZMatrix tkp1(n, m), htk(n, m);
+  for (std::size_t k = 2; k < coeff_.size(); ++k) {
+    apply_hs(tk, htk);
+    for (idx i = 0; i < n; ++i)
+      for (idx j = 0; j < m; ++j) {
+        tkp1(i, j) = 2.0 * htk(i, j) - tkm1(i, j);
+        acc(i, j) += coeff_[k] * tkp1(i, j);
+      }
+    std::swap(tkm1, tk);
+    std::swap(tk, tkp1);
+  }
+  return acc;
+}
+
+ZMatrix chebyshev_pseudobands(const PwHamiltonian& h, double a, double b,
+                              idx n_xi, idx order, const ZMatrix& protect_rows,
+                              std::vector<double>& energies_out,
+                              std::uint64_t seed) {
+  const idx n = h.n_pw();
+  XGW_REQUIRE(n_xi >= 1, "chebyshev_pseudobands: n_xi must be >= 1");
+  const ChebyshevJacksonFilter filter(a, b, h.spectral_lower_bound(),
+                                      h.spectral_upper_bound(), order);
+
+  Rng rng(seed);
+  ZMatrix x(n, n_xi);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n_xi; ++j) x(i, j) = rng.normal_cplx();
+
+  ZMatrix filtered = filter.apply(h, x);
+
+  // Remove protected-state components (columns of protect^T).
+  if (protect_rows.rows() > 0) {
+    ZMatrix basis(n, protect_rows.rows());
+    for (idx b2 = 0; b2 < protect_rows.rows(); ++b2)
+      for (idx g = 0; g < n; ++g) basis(g, b2) = protect_rows(b2, g);
+    project_out(basis, filtered);
+  }
+  orthonormalize_columns(filtered, 1e-8);
+
+  // Rayleigh-quotient energies.
+  const idx kept = filtered.cols();
+  ZMatrix hf(n, kept);
+  h.apply_block(filtered, hf);
+  energies_out.assign(static_cast<std::size_t>(kept), 0.0);
+  for (idx j = 0; j < kept; ++j) {
+    cplx e{};
+    for (idx i = 0; i < n; ++i) e += std::conj(filtered(i, j)) * hf(i, j);
+    energies_out[static_cast<std::size_t>(j)] = e.real();
+  }
+
+  // Return as rows.
+  ZMatrix rows(kept, n);
+  for (idx j = 0; j < kept; ++j)
+    for (idx i = 0; i < n; ++i) rows(j, i) = filtered(i, j);
+  return rows;
+}
+
+}  // namespace xgw

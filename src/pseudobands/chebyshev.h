@@ -1,0 +1,52 @@
+#pragma once
+
+// Chebyshev-Jackson spectral projection (Sec. 5.3 of the paper).
+//
+// Constructing pseudobands from eigenstates would require the O(N^3) full
+// diagonalization the method is meant to avoid. Instead a pseudoband is a
+// random vector projected onto the slice's spectral subspace,
+//   |xi_j^S> := f^S(H) |x_j>,   f^S(H) = sum_{n in S} |psi_n><psi_n|,
+// with f^S approximated by a Jackson-damped Chebyshev expansion of the
+// indicator function of the slice's energy window [a, b] — a pure
+// matrix-vector recurrence costing O(order) H-applies per vector
+// (references [42, 43] of the paper: kernel polynomial method, spectrum
+// slicing).
+
+#include "la/matrix.h"
+#include "mf/hamiltonian.h"
+
+namespace xgw {
+
+/// Jackson-damped Chebyshev approximation of the indicator of [a, b] inside
+/// the spectral interval [spec_lo, spec_hi].
+class ChebyshevJacksonFilter {
+ public:
+  ChebyshevJacksonFilter(double a, double b, double spec_lo, double spec_hi,
+                         idx order);
+
+  idx order() const { return static_cast<idx>(coeff_.size()) - 1; }
+
+  /// Scalar evaluation f(e) — diagnostics and tests.
+  double evaluate(double e) const;
+
+  /// Y = f(H) X column-wise via the three-term Chebyshev recurrence on the
+  /// affinely mapped operator (2H - (hi+lo)) / (hi - lo).
+  ZMatrix apply(const PwHamiltonian& h, const ZMatrix& x) const;
+
+  const std::vector<double>& coefficients() const { return coeff_; }
+
+ private:
+  double center_, halfwidth_;  // spectral affine map
+  std::vector<double> coeff_;  // Jackson-damped expansion coefficients
+};
+
+/// Builds N_xi pseudobands for the energy window [a, b] from random vectors:
+/// filter, orthonormalize against `protect` (exact low states) and among
+/// themselves, and assign Rayleigh-quotient energies. Returned matrix has
+/// pseudobands as ROWS; `energies_out` receives <xi|H|xi>.
+ZMatrix chebyshev_pseudobands(const PwHamiltonian& h, double a, double b,
+                              idx n_xi, idx order, const ZMatrix& protect_rows,
+                              std::vector<double>& energies_out,
+                              std::uint64_t seed);
+
+}  // namespace xgw

@@ -1,0 +1,97 @@
+#include "pseudobands/parabands.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "la/eig.h"
+#include "la/gemm.h"
+#include "la/orth.h"
+#include "pseudobands/chebyshev.h"
+
+namespace xgw {
+
+Wavefunctions solve_parabands(const PwHamiltonian& h, idx n_bands,
+                              const ParabandsOptions& opt) {
+  const idx n = h.n_pw();
+  XGW_REQUIRE(n_bands >= 1 && n_bands <= n, "parabands: bad band count");
+  const idx nb = std::min(n, n_bands + opt.block_extra);
+
+  const double spec_lo = h.spectral_lower_bound();
+  const double spec_hi = h.spectral_upper_bound();
+
+  Rng rng(opt.seed);
+  ZMatrix x(n, nb);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < nb; ++j) x(i, j) = rng.normal_cplx();
+  orthonormalize_columns(x);
+
+  // Initial window estimate: lowest-kinetic heuristic.
+  double window_top = spec_lo + 0.3 * (spec_hi - spec_lo);
+
+  std::vector<double> ritz;
+  ZMatrix hx(n, nb);
+  for (idx it = 0; it < opt.max_iter; ++it) {
+    // Filter amplifying [spec_lo, window_top].
+    const ChebyshevJacksonFilter filter(spec_lo - 0.05 * (spec_hi - spec_lo),
+                                        window_top, spec_lo, spec_hi,
+                                        opt.filter_order);
+    ZMatrix y = filter.apply(h, x);
+    const idx kept = orthonormalize_columns(y, 1e-10);
+    if (kept < nb) {
+      // Re-seed lost directions.
+      ZMatrix fresh(n, nb - kept);
+      for (idx i = 0; i < n; ++i)
+        for (idx j = 0; j < fresh.cols(); ++j) fresh(i, j) = rng.normal_cplx();
+      project_out(y, fresh);
+      orthonormalize_columns(fresh, 1e-10);
+      ZMatrix merged(n, y.cols() + fresh.cols());
+      for (idx i = 0; i < n; ++i) {
+        for (idx j = 0; j < y.cols(); ++j) merged(i, j) = y(i, j);
+        for (idx j = 0; j < fresh.cols(); ++j)
+          merged(i, y.cols() + j) = fresh(i, j);
+      }
+      y = std::move(merged);
+    }
+
+    // Rayleigh-Ritz.
+    if (hx.cols() != y.cols()) hx.resize(n, y.cols());
+    h.apply_block(y, hx);
+    ZMatrix proj(y.cols(), y.cols());
+    zgemm(Op::kConjTrans, Op::kNone, cplx{1.0, 0.0}, y, hx, cplx{}, proj);
+    const EigResult eig = heev(proj);
+    ZMatrix xr(n, y.cols()), hxr(n, y.cols());
+    zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, y, eig.vectors, cplx{}, xr);
+    zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, hx, eig.vectors, cplx{}, hxr);
+    x = std::move(xr);
+    hx = std::move(hxr);
+    ritz = eig.values;
+
+    // Convergence of the wanted bands.
+    double worst = 0.0;
+    for (idx j = 0; j < n_bands; ++j) {
+      double r2 = 0.0;
+      for (idx i = 0; i < n; ++i)
+        r2 += std::norm(hx(i, j) - ritz[static_cast<std::size_t>(j)] * x(i, j));
+      worst = std::max(worst, std::sqrt(r2));
+    }
+    if (worst < opt.residual_tol) break;
+
+    // Window: a little above the highest wanted Ritz value.
+    const double e_hi_wanted = ritz[static_cast<std::size_t>(n_bands - 1)];
+    const double e_buf =
+        ritz[static_cast<std::size_t>(std::min<idx>(x.cols(), nb) - 1)];
+    window_top = e_hi_wanted + 0.5 * std::max(1e-3, e_buf - e_hi_wanted);
+  }
+
+  Wavefunctions wf;
+  wf.coeff = ZMatrix(n_bands, n);
+  wf.energy.assign(ritz.begin(), ritz.begin() + n_bands);
+  for (idx b = 0; b < n_bands; ++b)
+    for (idx g = 0; g < n; ++g) wf.coeff(b, g) = x(g, b);
+  wf.n_valence = std::min(h.model().n_valence_bands(), n_bands);
+  return wf;
+}
+
+}  // namespace xgw

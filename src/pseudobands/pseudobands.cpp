@@ -1,0 +1,104 @@
+#include "pseudobands/pseudobands.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+SlicePlan plan_slices(const std::vector<double>& energies, idx n_valence,
+                      const PseudobandsOptions& opt) {
+  const idx nb = static_cast<idx>(energies.size());
+  XGW_REQUIRE(nb >= 1, "plan_slices: empty band set");
+  XGW_REQUIRE(opt.first_slice_width > 0.0 && opt.slice_growth >= 1.0,
+              "plan_slices: bad slice parameters");
+
+  double protect_top = opt.e_protect_top;
+  if (protect_top <= -1e299) {
+    const idx last_protected =
+        std::min(nb - 1, n_valence + opt.protect_conduction - 1);
+    protect_top = energies[static_cast<std::size_t>(last_protected)] + 1e-12;
+  }
+
+  SlicePlan plan;
+  idx i = 0;
+  while (i < nb && energies[static_cast<std::size_t>(i)] <= protect_top) ++i;
+  plan.n_protected = i;
+
+  double width = opt.first_slice_width;
+  double slice_top =
+      (i < nb ? energies[static_cast<std::size_t>(i)] : 0.0) + width;
+  Slice cur{i, i, 0.0};
+  for (; i < nb; ++i) {
+    const double e = energies[static_cast<std::size_t>(i)];
+    if (e > slice_top && cur.count() > 0) {
+      plan.slices.push_back(cur);
+      width *= opt.slice_growth;
+      slice_top = e + width;
+      cur = Slice{i, i, 0.0};
+    }
+    cur.last = i + 1;
+  }
+  if (cur.count() > 0) plan.slices.push_back(cur);
+
+  for (Slice& s : plan.slices) {
+    double acc = 0.0;
+    for (idx n = s.first; n < s.last; ++n)
+      acc += energies[static_cast<std::size_t>(n)];
+    s.e_avg = acc / static_cast<double>(s.count());
+  }
+  return plan;
+}
+
+Wavefunctions build_pseudobands(const Wavefunctions& wf,
+                                const PseudobandsOptions& opt) {
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, opt);
+  XGW_REQUIRE(plan.n_protected >= wf.n_valence,
+              "build_pseudobands: protection region must cover valence bands");
+
+  idx n_out = plan.n_protected;
+  for (const Slice& s : plan.slices)
+    n_out += std::min<idx>(opt.n_xi, s.count());
+
+  Wavefunctions out;
+  out.coeff = ZMatrix(n_out, wf.n_pw());
+  out.energy.resize(static_cast<std::size_t>(n_out));
+  out.n_valence = wf.n_valence;
+
+  // Protected states: verbatim copy.
+  for (idx n = 0; n < plan.n_protected; ++n) {
+    for (idx g = 0; g < wf.n_pw(); ++g) out.coeff(n, g) = wf.coeff(n, g);
+    out.energy[static_cast<std::size_t>(n)] =
+        wf.energy[static_cast<std::size_t>(n)];
+  }
+
+  Rng rng(opt.seed);
+  idx row = plan.n_protected;
+  for (const Slice& s : plan.slices) {
+    const idx nxi = std::min<idx>(opt.n_xi, s.count());
+    Rng slice_rng = rng.split();
+    const double inv_sqrt = 1.0 / std::sqrt(static_cast<double>(nxi));
+    for (idx j = 0; j < nxi; ++j) {
+      cplx* dst = out.coeff.row(row);
+      for (idx n = s.first; n < s.last; ++n) {
+        const cplx phase = slice_rng.unit_phase();
+        const cplx* src = wf.coeff.row(n);
+        for (idx g = 0; g < wf.n_pw(); ++g) dst[g] += phase * src[g];
+      }
+      for (idx g = 0; g < wf.n_pw(); ++g) dst[g] *= inv_sqrt;
+      out.energy[static_cast<std::size_t>(row)] = s.e_avg;
+      ++row;
+    }
+  }
+  XGW_REQUIRE(row == n_out, "build_pseudobands: row accounting error");
+  return out;
+}
+
+double compression_ratio(const Wavefunctions& original,
+                         const Wavefunctions& compressed) {
+  return static_cast<double>(original.n_bands()) /
+         static_cast<double>(compressed.n_bands());
+}
+
+}  // namespace xgw

@@ -1,0 +1,59 @@
+#pragma once
+
+// Mixed stochastic-deterministic pseudobands (Sec. 5.3 of the paper;
+// Altman, Kundu & da Jornada, PRL 132, 086401 (2024)).
+//
+// The Kohn-Sham spectrum is partitioned into a PROTECTION region P around
+// the Fermi energy (states kept exactly) and energy slices {S} whose width
+// grows geometrically. Each slice's states are replaced by N_xi stochastic
+// superpositions
+//   |xi_j^S> = (1/sqrt(N_xi)) sum_{n in S} e^{2 pi i theta_n^j} |psi_n>,
+// carrying the slice's average energy. Because sum_j |xi_j><xi_j| is an
+// unbiased estimator of sum_{n in S} |psi_n><psi_n|, the GW sums over bands
+// (Eqs. 2 and 4) are preserved in expectation while the band count drops
+// EXPONENTIALLY with energy — slices do not scale with system size.
+
+#include "common/rng.h"
+#include "mf/wavefunctions.h"
+
+namespace xgw {
+
+struct PseudobandsOptions {
+  /// States with E < E_protect_top are kept exactly. Defaults (<= -1e30)
+  /// to protecting all valence bands plus `protect_conduction` empty bands.
+  double e_protect_top = -1e300;
+  idx protect_conduction = 4;   ///< empty bands kept exactly (when auto)
+  double first_slice_width = 0.05;  ///< width of the first slice (Ha)
+  double slice_growth = 1.5;        ///< geometric width growth per slice
+  idx n_xi = 3;                     ///< stochastic pseudobands per slice
+  std::uint64_t seed = 20240101;
+};
+
+/// One energy slice: band range [first, last) and its average energy.
+struct Slice {
+  idx first = 0;
+  idx last = 0;
+  double e_avg = 0.0;
+  idx count() const { return last - first; }
+};
+
+/// Partition of a band set into protected states + slices.
+struct SlicePlan {
+  idx n_protected = 0;
+  std::vector<Slice> slices;
+};
+
+/// Builds the slice plan from sorted band energies.
+SlicePlan plan_slices(const std::vector<double>& energies, idx n_valence,
+                      const PseudobandsOptions& opt);
+
+/// Compresses the band set: protected states copied verbatim, each slice
+/// replaced by min(N_xi, slice size) stochastic pseudobands.
+Wavefunctions build_pseudobands(const Wavefunctions& wf,
+                                const PseudobandsOptions& opt = {});
+
+/// Compression diagnostic: N_b(original) / N_b(compressed).
+double compression_ratio(const Wavefunctions& original,
+                         const Wavefunctions& compressed);
+
+}  // namespace xgw

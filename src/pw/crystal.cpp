@@ -1,0 +1,131 @@
+#include "pw/crystal.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+Crystal::Crystal(Lattice lattice, std::vector<Atom> atoms,
+                 std::vector<std::string> species_names)
+    : lattice_(std::move(lattice)),
+      atoms_(std::move(atoms)),
+      species_names_(std::move(species_names)) {
+  for (const Atom& a : atoms_)
+    XGW_REQUIRE(a.species >= 0 && a.species < n_species(),
+                "Crystal: atom species index out of range");
+}
+
+cplx Crystal::structure_factor(int species, const IVec3& hkl) const {
+  cplx s{};
+  for (const Atom& a : atoms_) {
+    if (a.species != species) continue;
+    // G . tau = 2 pi (h,k,l) . frac — exact in crystal coordinates.
+    const double phase =
+        -kTwoPi * (static_cast<double>(hkl[0]) * a.frac[0] +
+                   static_cast<double>(hkl[1]) * a.frac[1] +
+                   static_cast<double>(hkl[2]) * a.frac[2]);
+    s += cplx{std::cos(phase), std::sin(phase)};
+  }
+  return s;
+}
+
+Crystal Crystal::displaced(idx ia, const Vec3& delta_cart) const {
+  XGW_REQUIRE(ia >= 0 && ia < n_atoms(), "displaced: atom index out of range");
+  // Convert the cartesian displacement to fractional: frac_i += delta . b_i / 2pi.
+  Crystal out = *this;
+  Vec3& frac = out.atoms_[static_cast<std::size_t>(ia)].frac;
+  for (int i = 0; i < 3; ++i)
+    frac[static_cast<std::size_t>(i)] +=
+        dot(delta_cart, lattice_.b(i)) / kTwoPi;
+  return out;
+}
+
+Crystal Crystal::diamond(double alat, idx n, const std::string& species) {
+  Lattice lat = Lattice::fcc_supercell(alat, n);
+  std::vector<Atom> atoms;
+  const double invn = 1.0 / static_cast<double>(n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j)
+      for (idx k = 0; k < n; ++k) {
+        const Vec3 base{static_cast<double>(i) * invn,
+                        static_cast<double>(j) * invn,
+                        static_cast<double>(k) * invn};
+        atoms.push_back({0, base});
+        atoms.push_back({0, base + Vec3{0.25 * invn, 0.25 * invn, 0.25 * invn}});
+      }
+  return Crystal(std::move(lat), std::move(atoms), {species});
+}
+
+Crystal Crystal::rocksalt(double alat, idx n, const std::string& species_a,
+                          const std::string& species_b) {
+  Lattice lat = Lattice::fcc_supercell(alat, n);
+  std::vector<Atom> atoms;
+  const double invn = 1.0 / static_cast<double>(n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j)
+      for (idx k = 0; k < n; ++k) {
+        const Vec3 base{static_cast<double>(i) * invn,
+                        static_cast<double>(j) * invn,
+                        static_cast<double>(k) * invn};
+        atoms.push_back({0, base});
+        atoms.push_back({1, base + Vec3{0.5 * invn, 0.5 * invn, 0.5 * invn}});
+      }
+  return Crystal(std::move(lat), std::move(atoms), {species_a, species_b});
+}
+
+Crystal Crystal::zincblende(double alat, idx n, const std::string& species_a,
+                            const std::string& species_b) {
+  Lattice lat = Lattice::fcc_supercell(alat, n);
+  std::vector<Atom> atoms;
+  const double invn = 1.0 / static_cast<double>(n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j)
+      for (idx k = 0; k < n; ++k) {
+        const Vec3 base{static_cast<double>(i) * invn,
+                        static_cast<double>(j) * invn,
+                        static_cast<double>(k) * invn};
+        atoms.push_back({0, base});
+        atoms.push_back({1, base + Vec3{0.25 * invn, 0.25 * invn, 0.25 * invn}});
+      }
+  return Crystal(std::move(lat), std::move(atoms), {species_a, species_b});
+}
+
+Crystal Crystal::hexagonal_monolayer(double a, double c, idx n,
+                                     const std::string& species_a,
+                                     const std::string& species_b) {
+  XGW_REQUIRE(n >= 1, "hexagonal_monolayer: n must be >= 1");
+  const double an = a * static_cast<double>(n);
+  Lattice lat = Lattice::hexagonal(an, c);
+  std::vector<Atom> atoms;
+  const double invn = 1.0 / static_cast<double>(n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      const Vec3 base{static_cast<double>(i) * invn,
+                      static_cast<double>(j) * invn, 0.0};
+      atoms.push_back(
+          {0, base + Vec3{invn / 3.0, 2.0 * invn / 3.0, 0.5}});
+      atoms.push_back(
+          {1, base + Vec3{2.0 * invn / 3.0, invn / 3.0, 0.5}});
+    }
+  return Crystal(std::move(lat), std::move(atoms), {species_a, species_b});
+}
+
+Crystal Crystal::with_vacancy(idx ia) const {
+  XGW_REQUIRE(ia >= 0 && ia < n_atoms(), "with_vacancy: index out of range");
+  Crystal out = *this;
+  out.atoms_.erase(out.atoms_.begin() + static_cast<std::ptrdiff_t>(ia));
+  return out;
+}
+
+Crystal Crystal::with_substitution(idx ia, int new_species) const {
+  XGW_REQUIRE(ia >= 0 && ia < n_atoms(),
+              "with_substitution: index out of range");
+  XGW_REQUIRE(new_species >= 0 && new_species < n_species(),
+              "with_substitution: species out of range");
+  Crystal out = *this;
+  out.atoms_[static_cast<std::size_t>(ia)].species = new_species;
+  return out;
+}
+
+}  // namespace xgw

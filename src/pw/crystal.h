@@ -1,0 +1,74 @@
+#pragma once
+
+// Crystal structure: lattice + atomic basis, plus per-species structure
+// factors S_s(G) = sum_{atoms of s} e^{-i G . tau} that the empirical
+// pseudopotential mean field combines with form factors.
+
+#include <string>
+#include <vector>
+
+#include "pw/gvectors.h"
+#include "pw/lattice.h"
+
+namespace xgw {
+
+struct Atom {
+  int species = 0;      ///< index into the species table of the owning model
+  Vec3 frac{0, 0, 0};   ///< position in crystal (fractional) coordinates
+};
+
+class Crystal {
+ public:
+  Crystal(Lattice lattice, std::vector<Atom> atoms,
+          std::vector<std::string> species_names);
+
+  const Lattice& lattice() const { return lattice_; }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  idx n_atoms() const { return static_cast<idx>(atoms_.size()); }
+  int n_species() const { return static_cast<int>(species_names_.size()); }
+  const std::string& species_name(int s) const {
+    return species_names_[static_cast<std::size_t>(s)];
+  }
+
+  /// S_s(G) = sum_{a in species s} e^{-i G . tau_a} for one Miller triple.
+  cplx structure_factor(int species, const IVec3& hkl) const;
+
+  /// Displace atom `ia` by `delta_cart` (Bohr, cartesian). Used by GWPT /
+  /// frozen-phonon finite differences.
+  Crystal displaced(idx ia, const Vec3& delta_cart) const;
+
+  /// Diamond-structure supercell: n x n x n conventional-FCC supercell of a
+  /// two-atom diamond basis (2 n^3 atoms for the primitive fcc cell scaling;
+  /// here the primitive cell has 2 atoms so the supercell has 2 n^3).
+  static Crystal diamond(double alat, idx n, const std::string& species);
+
+  /// Rocksalt supercell (two species), e.g. LiH: 2 n^3 atoms.
+  static Crystal rocksalt(double alat, idx n, const std::string& species_a,
+                          const std::string& species_b);
+
+  /// Zincblende supercell (two species), used as the BN analogue.
+  static Crystal zincblende(double alat, idx n, const std::string& species_a,
+                            const std::string& species_b);
+
+  /// Hexagonal two-species monolayer (h-BN-like) with vacuum height `c`:
+  /// atoms at (1/3, 2/3, 1/2) and (2/3, 1/3, 1/2) of an n x n in-plane
+  /// supercell (2 n^2 atoms).
+  static Crystal hexagonal_monolayer(double a, double c, idx n,
+                                     const std::string& species_a,
+                                     const std::string& species_b);
+
+  /// Copy with atom `ia` removed — a vacancy defect supercell (the paper's
+  /// Si divacancy and LiH defect workloads).
+  Crystal with_vacancy(idx ia) const;
+
+  /// Copy with atom `ia`'s species replaced — substitutional defect (the
+  /// paper's carbon substitution at a boron site in BN867).
+  Crystal with_substitution(idx ia, int new_species) const;
+
+ private:
+  Lattice lattice_;
+  std::vector<Atom> atoms_;
+  std::vector<std::string> species_names_;
+};
+
+}  // namespace xgw

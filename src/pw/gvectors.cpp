@@ -1,0 +1,101 @@
+#include "pw/gvectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/error.h"
+
+namespace xgw {
+
+GSphere::GSphere(const Lattice& lattice, double cutoff_hartree)
+    : cutoff_(cutoff_hartree) {
+  XGW_REQUIRE(cutoff_hartree > 0.0, "GSphere: cutoff must be positive");
+  const double gmax2 = 2.0 * cutoff_hartree;  // |G|^2 <= 2 E_cut
+  const double gmax = std::sqrt(gmax2);
+
+  // Conservative per-axis Miller bounds: |h_i| <= gmax / min-height of the
+  // reciprocal cell along b_i. Use |b_i| shrunk by worst-case obliqueness via
+  // the reciprocal metric; a safe bound is gmax * |a_i| / (2 pi).
+  IVec3 bound;
+  for (int i = 0; i < 3; ++i) {
+    const Vec3& ai = lattice.a(i);
+    bound[static_cast<std::size_t>(i)] =
+        static_cast<idx>(std::ceil(gmax * std::sqrt(dot(ai, ai)) / kTwoPi)) + 1;
+  }
+
+  struct Entry {
+    IVec3 hkl;
+    double n2;
+  };
+  std::vector<Entry> entries;
+  for (idx h = -bound[0]; h <= bound[0]; ++h)
+    for (idx k = -bound[1]; k <= bound[1]; ++k)
+      for (idx l = -bound[2]; l <= bound[2]; ++l) {
+        const IVec3 hkl{h, k, l};
+        const double n2 = lattice.g_norm2(hkl);
+        if (n2 <= gmax2 * (1.0 + 1e-12)) entries.push_back({hkl, n2});
+      }
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+    if (x.n2 != y.n2) return x.n2 < y.n2;
+    return std::tie(x.hkl[0], x.hkl[1], x.hkl[2]) <
+           std::tie(y.hkl[0], y.hkl[1], y.hkl[2]);
+  });
+
+  miller_.reserve(entries.size());
+  norm2_.reserve(entries.size());
+  for (const auto& e : entries) {
+    index_[e.hkl] = static_cast<idx>(miller_.size());
+    miller_.push_back(e.hkl);
+    norm2_.push_back(e.n2);
+    for (int i = 0; i < 3; ++i)
+      max_miller_[static_cast<std::size_t>(i)] =
+          std::max(max_miller_[static_cast<std::size_t>(i)],
+                   std::abs(e.hkl[static_cast<std::size_t>(i)]));
+  }
+  XGW_REQUIRE(!miller_.empty() && (miller_[0] == IVec3{0, 0, 0}),
+              "GSphere: G=0 must be the first basis vector");
+}
+
+idx GSphere::find(const IVec3& hkl) const {
+  const auto it = index_.find(hkl);
+  return it == index_.end() ? -1 : it->second;
+}
+
+FftBox GSphere::minimal_box() const {
+  return FftBox{next_fast_size(2 * max_miller_[0] + 1),
+                next_fast_size(2 * max_miller_[1] + 1),
+                next_fast_size(2 * max_miller_[2] + 1)};
+}
+
+FftBox product_box(const GSphere& psi_sphere, const GSphere& eps_sphere) {
+  const IVec3 mp = psi_sphere.max_miller();
+  const IVec3 me = eps_sphere.max_miller();
+  return FftBox{next_fast_size(2 * mp[0] + me[0] + 1),
+                next_fast_size(2 * mp[1] + me[1] + 1),
+                next_fast_size(2 * mp[2] + me[2] + 1)};
+}
+
+idx box_index(const FftBox& box, const IVec3& hkl) {
+  const idx i1 = ((hkl[0] % box.n1) + box.n1) % box.n1;
+  const idx i2 = ((hkl[1] % box.n2) + box.n2) % box.n2;
+  const idx i3 = ((hkl[2] % box.n3) + box.n3) % box.n3;
+  return (i1 * box.n2 + i2) * box.n3 + i3;
+}
+
+void scatter_to_box(const GSphere& sphere, const cplx* coeffs, const FftBox& box,
+                    cplx* box_data) {
+  std::fill(box_data, box_data + box.size(), cplx{});
+  for (idx ig = 0; ig < sphere.size(); ++ig)
+    box_data[box_index(box, sphere.miller(ig))] = coeffs[ig];
+}
+
+void gather_from_box(const GSphere& sphere, const FftBox& box,
+                     const cplx* box_data, cplx* coeffs) {
+  for (idx ig = 0; ig < sphere.size(); ++ig)
+    coeffs[ig] = box_data[box_index(box, sphere.miller(ig))];
+}
+
+}  // namespace xgw

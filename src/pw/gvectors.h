@@ -1,0 +1,73 @@
+#pragma once
+
+// Plane-wave basis: G-vector spheres and their mapping onto FFT boxes.
+//
+// Two spheres appear in the GW workflow (Table 1 of the paper):
+//   N_G^psi — wavefunction cutoff sphere (kinetic energy cutoff E_psi)
+//   N_G     — epsilon/chi sphere (cutoff E_eps <= E_psi typically)
+// Both are enumerated here deterministically: sorted by |G|^2, ties broken
+// lexicographically by Miller index so that basis ordering is stable across
+// runs and platforms.
+
+#include <map>
+#include <vector>
+
+#include "fft/fft.h"
+#include "pw/lattice.h"
+
+namespace xgw {
+
+/// Set of reciprocal-lattice vectors with kinetic energy |G|^2/2 <= cutoff.
+class GSphere {
+ public:
+  /// Enumerates all G with |G|^2 / 2 <= cutoff_hartree. G=0 is index 0.
+  GSphere(const Lattice& lattice, double cutoff_hartree);
+
+  idx size() const { return static_cast<idx>(miller_.size()); }
+  double cutoff() const { return cutoff_; }
+
+  const IVec3& miller(idx ig) const { return miller_[static_cast<std::size_t>(ig)]; }
+  /// |G|^2 in 1/Bohr^2.
+  double norm2(idx ig) const { return norm2_[static_cast<std::size_t>(ig)]; }
+  Vec3 cart(const Lattice& lattice, idx ig) const {
+    return lattice.g_cart(miller(ig));
+  }
+
+  /// Index of Miller triple (h,k,l), or -1 if outside the sphere. O(log N)
+  /// via a lookup table built at construction (used heavily when assembling
+  /// V(G-G') Hamiltonian blocks).
+  idx find(const IVec3& hkl) const;
+
+  /// Largest |h_i| over the sphere, per axis.
+  IVec3 max_miller() const { return max_miller_; }
+
+  /// Smallest FFT box (2,3,5-smooth dims) that holds this sphere without
+  /// wraparound aliasing for a SINGLE field: n_i >= 2*hmax_i + 1.
+  FftBox minimal_box() const;
+
+ private:
+  double cutoff_;
+  std::vector<IVec3> miller_;
+  std::vector<double> norm2_;
+  IVec3 max_miller_{0, 0, 0};
+  std::map<IVec3, idx> index_;
+};
+
+/// FFT box able to represent products psi_m^* e^{iGr} psi_n without aliasing,
+/// where both psi live on `psi_sphere` and G runs over `eps_sphere`:
+/// n_i >= 2*hmax_psi_i + hmax_eps_i + 1, rounded to 2,3,5-smooth sizes.
+FftBox product_box(const GSphere& psi_sphere, const GSphere& eps_sphere);
+
+/// Scatter sphere coefficients into an FFT box (zero-filled elsewhere).
+/// Negative Miller indices wrap: index = (h % n + n) % n.
+void scatter_to_box(const GSphere& sphere, const cplx* coeffs, const FftBox& box,
+                    cplx* box_data);
+
+/// Gather sphere coefficients out of an FFT box.
+void gather_from_box(const GSphere& sphere, const FftBox& box,
+                     const cplx* box_data, cplx* coeffs);
+
+/// Flat box index of a Miller triple under wraparound.
+idx box_index(const FftBox& box, const IVec3& hkl);
+
+}  // namespace xgw

@@ -1,0 +1,60 @@
+#include "pw/lattice.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+Lattice::Lattice(const Vec3& a1, const Vec3& a2, const Vec3& a3)
+    : a_{a1, a2, a3} {
+  volume_ = dot(a1, cross(a2, a3));
+  XGW_REQUIRE(std::abs(volume_) > 1e-12,
+              "Lattice: degenerate (zero-volume) cell");
+  const double f = kTwoPi / volume_;
+  b_[0] = f * cross(a2, a3);
+  b_[1] = f * cross(a3, a1);
+  b_[2] = f * cross(a1, a2);
+  volume_ = std::abs(volume_);
+}
+
+Lattice Lattice::cubic(double alat) {
+  return Lattice({alat, 0, 0}, {0, alat, 0}, {0, 0, alat});
+}
+
+Lattice Lattice::fcc(double alat) {
+  const double h = 0.5 * alat;
+  return Lattice({0, h, h}, {h, 0, h}, {h, h, 0});
+}
+
+Lattice Lattice::fcc_supercell(double alat, idx n) {
+  XGW_REQUIRE(n >= 1, "fcc_supercell: n must be >= 1");
+  const double h = 0.5 * alat * static_cast<double>(n);
+  return Lattice({0, h, h}, {h, 0, h}, {h, h, 0});
+}
+
+Lattice Lattice::hexagonal(double a, double c) {
+  const double h = 0.5 * std::sqrt(3.0);
+  return Lattice({a, 0, 0}, {-0.5 * a, h * a, 0}, {0, 0, c});
+}
+
+Vec3 Lattice::g_cart(const IVec3& hkl) const {
+  Vec3 g{0, 0, 0};
+  for (int i = 0; i < 3; ++i)
+    g = g + static_cast<double>(hkl[static_cast<std::size_t>(i)]) * b_[static_cast<std::size_t>(i)];
+  return g;
+}
+
+double Lattice::g_norm2(const IVec3& hkl) const {
+  const Vec3 g = g_cart(hkl);
+  return dot(g, g);
+}
+
+Vec3 Lattice::r_cart(const Vec3& frac) const {
+  Vec3 r{0, 0, 0};
+  for (int i = 0; i < 3; ++i)
+    r = r + frac[static_cast<std::size_t>(i)] * a_[static_cast<std::size_t>(i)];
+  return r;
+}
+
+}  // namespace xgw

@@ -1,0 +1,74 @@
+#pragma once
+
+// Real- and reciprocal-space lattice geometry (Hartree atomic units: lengths
+// in Bohr, energies in Hartree).
+
+#include <array>
+
+#include "common/types.h"
+
+namespace xgw {
+
+using Vec3 = std::array<double, 3>;
+using IVec3 = std::array<idx, 3>;
+
+inline Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+inline Vec3 operator*(double s, const Vec3& a) {
+  return {s * a[0], s * a[1], s * a[2]};
+}
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2],
+          a[0] * b[1] - a[1] * b[0]};
+}
+
+/// Bravais lattice: rows of `a` are the real-space primitive vectors (Bohr).
+class Lattice {
+ public:
+  /// Constructs from three real-space lattice vectors (Bohr).
+  Lattice(const Vec3& a1, const Vec3& a2, const Vec3& a3);
+
+  /// Simple cubic cell of side `alat`.
+  static Lattice cubic(double alat);
+
+  /// FCC primitive cell with conventional lattice constant `alat`.
+  static Lattice fcc(double alat);
+
+  /// Rocksalt/zincblende-style supercell: FCC primitive cell scaled n times
+  /// in each direction (n^3 primitive cells).
+  static Lattice fcc_supercell(double alat, idx n);
+
+  /// Hexagonal cell with in-plane constant `a` and out-of-plane height `c`
+  /// (layered/2-D systems with vacuum along the third axis — the paper's
+  /// BN moire bilayer geometry class).
+  static Lattice hexagonal(double a, double c);
+
+  const Vec3& a(int i) const { return a_[i]; }
+  /// Reciprocal vector b_i with a_i . b_j = 2 pi delta_ij (1/Bohr).
+  const Vec3& b(int i) const { return b_[i]; }
+
+  double cell_volume() const { return volume_; }
+
+  /// Cartesian G (1/Bohr) for integer Miller triple (h, k, l).
+  Vec3 g_cart(const IVec3& hkl) const;
+
+  /// |G|^2 (1/Bohr^2) for a Miller triple.
+  double g_norm2(const IVec3& hkl) const;
+
+  /// Cartesian position for crystal (fractional) coordinates.
+  Vec3 r_cart(const Vec3& frac) const;
+
+ private:
+  std::array<Vec3, 3> a_;
+  std::array<Vec3, 3> b_;
+  double volume_;
+};
+
+}  // namespace xgw

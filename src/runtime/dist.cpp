@@ -1,0 +1,56 @@
+#include "runtime/dist.h"
+
+#include "common/error.h"
+
+namespace xgw {
+
+BlockDist::BlockDist(idx n, idx parts) : n_(n), parts_(parts) {
+  XGW_REQUIRE(n >= 0, "BlockDist: n must be >= 0");
+  XGW_REQUIRE(parts >= 1, "BlockDist: parts must be >= 1");
+}
+
+idx BlockDist::begin(idx p) const {
+  XGW_REQUIRE(p >= 0 && p <= parts_, "BlockDist: part index out of range");
+  const idx base = n_ / parts_;
+  const idx extra = n_ % parts_;
+  return p * base + std::min(p, extra);
+}
+
+idx BlockDist::count(idx p) const {
+  XGW_REQUIRE(p >= 0 && p < parts_, "BlockDist: part index out of range");
+  const idx base = n_ / parts_;
+  const idx extra = n_ % parts_;
+  return base + (p < extra ? 1 : 0);
+}
+
+idx BlockDist::owner(idx i) const {
+  XGW_REQUIRE(i >= 0 && i < n_, "BlockDist: element index out of range");
+  const idx base = n_ / parts_;
+  const idx extra = n_ % parts_;
+  const idx cut = extra * (base + 1);
+  if (i < cut) return i / (base + 1);
+  XGW_REQUIRE(base > 0, "BlockDist: internal owner inconsistency");
+  return extra + (i - cut) / base;
+}
+
+PoolDecomposition::PoolDecomposition(idx n_ranks_total, idx n_pools_in,
+                                     idx n_sigma_elems, idx n_gprime)
+    : n_pools(n_pools_in),
+      ranks_per_pool(n_ranks_total / n_pools_in),
+      sigma_over_pools(n_sigma_elems, n_pools_in),
+      gprime_over_ranks(n_gprime, n_ranks_total / n_pools_in) {
+  XGW_REQUIRE(n_pools_in >= 1 && n_ranks_total >= n_pools_in,
+              "PoolDecomposition: need at least one rank per pool");
+  XGW_REQUIRE(n_ranks_total % n_pools_in == 0,
+              "PoolDecomposition: ranks must divide evenly into pools");
+}
+
+std::vector<idx> cyclic_assignment(idx n, idx parts, idx part) {
+  XGW_REQUIRE(parts >= 1 && part >= 0 && part < parts,
+              "cyclic_assignment: bad part");
+  std::vector<idx> mine;
+  for (idx i = part; i < n; i += parts) mine.push_back(i);
+  return mine;
+}
+
+}  // namespace xgw

@@ -1,0 +1,68 @@
+#pragma once
+
+// Data distribution logic of the (simulated) distributed runtime.
+//
+// BerkeleyGW's Sigma module distributes work in two nested levels (Sec. 5.5):
+// self-energy POOLS each own a subset of the N_Sigma matrix elements, and
+// the N_G' summation inside each pool is block-distributed over the pool's
+// N_rank ranks (each rank holds Nbar_G' = N_G' / N_rank columns). The same
+// block logic distributes valence bands in the NV-Block CHI_SUM and
+// frequencies in the full-frequency path.
+//
+// There is no MPI in this environment; these helpers capture the
+// *decomposition* exactly (who owns what), the kernels execute each rank's
+// share to produce bitwise-identical results to the serial path, and the
+// perf module costs the induced communication with an alpha-beta model.
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace xgw {
+
+/// Block distribution of [0, n) over `parts` parts: the first (n % parts)
+/// parts get one extra element — the standard MPI block distribution.
+class BlockDist {
+ public:
+  BlockDist(idx n, idx parts);
+
+  idx n() const { return n_; }
+  idx parts() const { return parts_; }
+
+  /// First element owned by part p.
+  idx begin(idx p) const;
+  /// One past the last element owned by part p.
+  idx end(idx p) const { return begin(p) + count(p); }
+  /// Number of elements owned by part p.
+  idx count(idx p) const;
+  /// Largest per-part count (load-balance denominator).
+  idx max_count() const { return count(0); }
+  /// Owner of global element i.
+  idx owner(idx i) const;
+
+ private:
+  idx n_;
+  idx parts_;
+};
+
+/// Two-level Sigma decomposition: `n_pools` pools of `ranks_per_pool` ranks.
+/// Pools split the Sigma matrix elements; ranks within a pool split N_G'.
+struct PoolDecomposition {
+  PoolDecomposition(idx n_ranks_total, idx n_pools, idx n_sigma_elems,
+                    idx n_gprime);
+
+  idx n_pools;
+  idx ranks_per_pool;
+  BlockDist sigma_over_pools;   ///< Sigma elements -> pools
+  BlockDist gprime_over_ranks;  ///< G' columns -> ranks within a pool
+
+  /// Global rank id for (pool, local rank).
+  idx global_rank(idx pool, idx local) const {
+    return pool * ranks_per_pool + local;
+  }
+};
+
+/// Round-robin (cyclic) distribution, used for frequencies in the FF path.
+std::vector<idx> cyclic_assignment(idx n, idx parts, idx part);
+
+}  // namespace xgw

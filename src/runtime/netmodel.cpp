@@ -1,0 +1,47 @@
+#include "runtime/netmodel.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xgw {
+
+int log2_ceil(idx n) {
+  XGW_REQUIRE(n >= 1, "log2_ceil: n must be >= 1");
+  int k = 0;
+  idx v = 1;
+  while (v < n) {
+    v *= 2;
+    ++k;
+  }
+  return k;
+}
+
+double NetworkModel::allreduce(double bytes, idx ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double p = static_cast<double>(ranks);
+  const int lg = log2_ceil(ranks);
+  return 2.0 * lg * alpha_s +
+         2.0 * ((p - 1.0) / p) * bytes * beta_s_per_byte;
+}
+
+double NetworkModel::bcast(double bytes, idx ranks) const {
+  if (ranks <= 1) return 0.0;
+  const int lg = log2_ceil(ranks);
+  return lg * (alpha_s + bytes * beta_s_per_byte);
+}
+
+double NetworkModel::allgather(double bytes_per_rank, idx ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double p = static_cast<double>(ranks);
+  return (p - 1.0) * alpha_s + (p - 1.0) * bytes_per_rank * beta_s_per_byte;
+}
+
+double NetworkModel::reduce_scatter(double bytes, idx ranks) const {
+  if (ranks <= 1) return 0.0;
+  const double p = static_cast<double>(ranks);
+  const int lg = log2_ceil(ranks);
+  return lg * alpha_s + ((p - 1.0) / p) * bytes * beta_s_per_byte;
+}
+
+}  // namespace xgw

@@ -1,0 +1,38 @@
+#pragma once
+
+// Alpha-beta (latency-bandwidth) communication cost model for the scaling
+// simulator. Collective algorithms follow the standard implementations
+// (recursive doubling / Rabenseifner), giving the log-P and bandwidth terms
+// that shape the paper's strong- and weak-scaling curves (Figs. 3-6): ideal
+// kernels are compute-bound, the "less favorable weak scaling with pool
+// size" (Sec. 7.2) comes exactly from these allreduce terms.
+
+#include "common/types.h"
+
+namespace xgw {
+
+struct NetworkModel {
+  double alpha_s = 2.0e-6;        ///< per-message latency (seconds)
+  double beta_s_per_byte = 1.0 / 25e9;  ///< inverse link bandwidth (s/B)
+
+  /// Time for an allreduce of `bytes` over `ranks` (Rabenseifner:
+  /// 2 log2(p) latency + 2 (p-1)/p * bytes bandwidth terms).
+  double allreduce(double bytes, idx ranks) const;
+
+  /// Broadcast (binomial tree).
+  double bcast(double bytes, idx ranks) const;
+
+  /// Allgather of `bytes_per_rank` contributed by each of `ranks` (ring).
+  double allgather(double bytes_per_rank, idx ranks) const;
+
+  /// Point-to-point message.
+  double p2p(double bytes) const { return alpha_s + bytes * beta_s_per_byte; }
+
+  /// Reduce-scatter (used by the NV-Block chi accumulation).
+  double reduce_scatter(double bytes, idx ranks) const;
+};
+
+/// log2 rounded up, >= 0; log2_ceil(1) = 0.
+int log2_ceil(idx n);
+
+}  // namespace xgw

@@ -1,0 +1,65 @@
+#include "runtime/simcluster.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace xgw {
+
+SimCluster::SimCluster(idx n_ranks, NetworkModel net)
+    : n_ranks_(n_ranks), net_(net) {
+  XGW_REQUIRE(n_ranks >= 1, "SimCluster: need at least one rank");
+}
+
+double SimCluster::RunReport::time_to_solution() const {
+  double slowest = 0.0;
+  for (const RankReport& r : ranks) slowest = std::max(slowest, r.compute_s);
+  return slowest + comm_s;
+}
+
+double SimCluster::RunReport::parallel_efficiency() const {
+  const double t2s = time_to_solution();
+  if (t2s <= 0.0 || ranks.empty()) return 1.0;
+  return serial_s / (static_cast<double>(ranks.size()) * t2s);
+}
+
+std::string SimCluster::RunReport::gantt(idx width) const {
+  double slowest = 1e-300;
+  for (const RankReport& r : ranks) slowest = std::max(slowest, r.compute_s);
+  std::ostringstream os;
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    const idx bar = static_cast<idx>(
+        static_cast<double>(width) * ranks[r].compute_s / slowest + 0.5);
+    os << "rank " << r << " |";
+    for (idx i = 0; i < bar; ++i) os << '#';
+    os << "  " << ranks[r].compute_s << " s\n";
+  }
+  return os.str();
+}
+
+SimCluster::RunReport SimCluster::run(
+    const std::function<void(idx rank)>& fn) const {
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(n_ranks_));
+  for (idx r = 0; r < n_ranks_; ++r) {
+    Stopwatch sw;
+    fn(r);
+    const double t = sw.elapsed();
+    report.ranks[static_cast<std::size_t>(r)].compute_s = t;
+    report.serial_s += t;
+  }
+  return report;
+}
+
+void SimCluster::cost_allreduce(RunReport& report, double bytes) const {
+  report.comm_s += net_.allreduce(bytes, n_ranks_);
+}
+
+void SimCluster::cost_allgather(RunReport& report,
+                                double bytes_per_rank) const {
+  report.comm_s += net_.allgather(bytes_per_rank, n_ranks_);
+}
+
+}  // namespace xgw

@@ -1,0 +1,57 @@
+#pragma once
+
+// Simulated-cluster execution engine: run a rank-decomposed computation
+// rank-by-rank ON THIS MACHINE, measure each rank's real compute time, and
+// assemble the distributed-run timeline (slowest-rank time-to-solution plus
+// modeled collective costs). This is the "functional MPI" layer behind the
+// measured strong/weak-scaling parts of the figure benches: the
+// decomposition logic and the per-rank work are real; only the network is
+// a model.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/netmodel.h"
+
+namespace xgw {
+
+class SimCluster {
+ public:
+  SimCluster(idx n_ranks, NetworkModel net = {});
+
+  idx n_ranks() const { return n_ranks_; }
+  const NetworkModel& net() const { return net_; }
+
+  struct RankReport {
+    double compute_s = 0.0;
+  };
+
+  struct RunReport {
+    std::vector<RankReport> ranks;
+    double comm_s = 0.0;       ///< modeled collective time
+    double serial_s = 0.0;     ///< sum of all rank compute times
+
+    /// Distributed time-to-solution: slowest rank + communication.
+    double time_to_solution() const;
+    /// serial / (ranks * t2s): 1.0 = ideal.
+    double parallel_efficiency() const;
+    /// ASCII per-rank timeline (one bar per rank, normalized to slowest).
+    std::string gantt(idx width = 50) const;
+  };
+
+  /// Executes fn(rank) for every rank, timing each. The lambdas run
+  /// sequentially in-process — results are bitwise those of a real
+  /// distributed run with deterministic reduction order.
+  RunReport run(const std::function<void(idx rank)>& fn) const;
+
+  /// Adds the cost of a final allreduce of `bytes` to a report.
+  void cost_allreduce(RunReport& report, double bytes) const;
+  void cost_allgather(RunReport& report, double bytes_per_rank) const;
+
+ private:
+  idx n_ranks_;
+  NetworkModel net_;
+};
+
+}  // namespace xgw

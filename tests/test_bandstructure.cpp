@@ -1,0 +1,106 @@
+// Tests: k-path band structure of the EPM mean field — validates the DFT
+// substitute against known silicon physics (indirect gap, CBM along
+// Gamma-X, valence manifold shape).
+
+#include <gtest/gtest.h>
+
+#include "mf/bandstructure.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+
+namespace xgw {
+namespace {
+
+TEST(BandStructure, GammaMatchesSupercellHamiltonian) {
+  const EpmModel si = EpmModel::silicon(1);
+  const BandsAtK gamma = solve_at_k(si, {0, 0, 0}, 8);
+  const PwHamiltonian h(si);
+  const Wavefunctions wf = solve_dense(h, 8);
+  // Same potential; the k-solver uses a slightly larger sphere, so allow a
+  // small basis-convergence difference.
+  for (idx b = 0; b < 8; ++b)
+    EXPECT_NEAR(gamma.energy[static_cast<std::size_t>(b)],
+                wf.energy[static_cast<std::size_t>(b)], 5e-3)
+        << "band " << b;
+}
+
+TEST(BandStructure, SiliconIndirectGap) {
+  const EpmModel si = EpmModel::silicon(1);
+  const auto bands = band_path(si, fcc_lgx_path(), 10, 8);
+  const GapInfo g = path_gaps(bands, si.n_valence_bands());
+  // Indirect semiconductor: fundamental gap below the direct gap, CBM away
+  // from Gamma (silicon: ~85% of the way to X).
+  EXPECT_GT(g.indirect, 0.0);
+  EXPECT_LT(g.indirect, g.direct + 1e-12);
+  const double cbm_dist = std::abs(g.cbm_k[1]) + std::abs(g.cbm_k[2]);
+  EXPECT_GT(cbm_dist, 0.1) << "CBM should sit along Gamma-X, not at Gamma";
+  // Magnitude sanity: CB-like silicon gap O(1 eV).
+  EXPECT_GT(g.indirect * kHartreeToEv, 0.2);
+  EXPECT_LT(g.indirect * kHartreeToEv, 3.5);
+}
+
+TEST(BandStructure, VbmAtGamma) {
+  const EpmModel si = EpmModel::silicon(1);
+  const auto bands = band_path(si, fcc_lgx_path(), 10, 8);
+  const GapInfo g = path_gaps(bands, si.n_valence_bands());
+  EXPECT_LT(std::abs(g.vbm_k[0]) + std::abs(g.vbm_k[1]) + std::abs(g.vbm_k[2]),
+            1e-9)
+      << "silicon VBM is at Gamma";
+}
+
+TEST(BandStructure, PathLengthMonotone) {
+  const EpmModel si = EpmModel::silicon(1);
+  const auto bands = band_path(si, fcc_lgx_path(), 5, 4);
+  for (std::size_t i = 1; i < bands.size(); ++i)
+    EXPECT_GT(bands[i].path_length, bands[i - 1].path_length);
+  // No duplicated joints.
+  EXPECT_EQ(bands.size(), 2u * 5u + 1u);
+}
+
+TEST(BandStructure, BandsContinuousAlongPath) {
+  const EpmModel si = EpmModel::silicon(1);
+  const auto bands = band_path(si, fcc_lgx_path(), 20, 6);
+  for (std::size_t i = 1; i < bands.size(); ++i) {
+    const double dk = bands[i].path_length - bands[i - 1].path_length;
+    for (std::size_t b = 0; b < 6; ++b) {
+      const double de =
+          std::abs(bands[i].energy[b] - bands[i - 1].energy[b]);
+      // Group velocity bound: |dE/dk| < |k+G|_max ~ a few a.u.
+      EXPECT_LT(de, 5.0 * dk + 1e-6) << "discontinuity at point " << i;
+    }
+  }
+}
+
+TEST(BandStructure, ValenceBandwidthReasonable) {
+  // Silicon valence bandwidth ~ 12 eV (EPM-quality window 8-16 eV).
+  const EpmModel si = EpmModel::silicon(1);
+  const auto bands = band_path(si, fcc_lgx_path(), 12, 4);
+  double e_min = 1e300, e_max = -1e300;
+  for (const auto& b : bands) {
+    e_min = std::min(e_min, b.energy[0]);
+    e_max = std::max(e_max, b.energy[3]);
+  }
+  const double width = (e_max - e_min) * kHartreeToEv;
+  EXPECT_GT(width, 6.0);
+  EXPECT_LT(width, 20.0);
+}
+
+TEST(BandStructure, TimeReversalSymmetry) {
+  // E(k) = E(-k) for a real potential with inversion-symmetric structure
+  // factor handling (complex conjugate Hamiltonians).
+  const EpmModel si = EpmModel::silicon(1);
+  const Vec3 k{0.2, 0.3, -0.1};
+  const BandsAtK plus = solve_at_k(si, k, 6);
+  const BandsAtK minus = solve_at_k(si, {-k[0], -k[1], -k[2]}, 6);
+  for (std::size_t b = 0; b < 6; ++b)
+    EXPECT_NEAR(plus.energy[b], minus.energy[b], 1e-10);
+}
+
+TEST(BandStructure, RejectsBadInput) {
+  const EpmModel si = EpmModel::silicon(1);
+  EXPECT_THROW(band_path(si, {{{0, 0, 0}, "G"}}, 5, 4), Error);
+  EXPECT_THROW(solve_at_k(si, {0, 0, 0}, 0), Error);
+}
+
+}  // namespace
+}  // namespace xgw

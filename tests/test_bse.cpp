@@ -1,0 +1,184 @@
+// Tests: Tamm-Dancoff BSE on top of the GW machinery.
+
+#include <gtest/gtest.h>
+
+#include "bse/bse.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw;
+
+BseOptions small_opt() {
+  BseOptions o;
+  o.n_val = 3;
+  o.n_cond = 3;
+  return o;
+}
+
+TEST(Bse, HamiltonianHermitian) {
+  BseCalculation bse(si_prim_gw(), small_opt());
+  EXPECT_LT(hermiticity_error(bse.hamiltonian()), 1e-10);
+  EXPECT_EQ(bse.hamiltonian().rows(), 9);
+}
+
+TEST(Bse, BoundExcitonBelowQpGap) {
+  // The screened electron-hole attraction binds the lowest exciton below
+  // the (scissors-corrected) QP gap.
+  GwCalculation& gw = si_prim_gw();
+  BseOptions o = small_opt();
+  o.scissors = 0.02;
+  BseCalculation bse(gw, o);
+  const BseResult res = bse.solve();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const double qp_gap = wf.gap() + o.scissors;
+  EXPECT_LT(res.energy[0], qp_gap);
+  EXPECT_GT(res.binding_energy(qp_gap), 0.0);
+}
+
+TEST(Bse, NoKernelsGiveBareTransitions) {
+  GwCalculation& gw = si_prim_gw();
+  BseOptions o = small_opt();
+  o.exchange = false;
+  o.direct = false;
+  BseCalculation bse(gw, o);
+  const BseResult res = bse.solve();
+  // Eigenvalues = sorted transition energies exactly.
+  const Wavefunctions& wf = gw.wavefunctions();
+  std::vector<double> trans;
+  for (idx iv = 0; iv < o.n_val; ++iv)
+    for (idx ic = 0; ic < o.n_cond; ++ic)
+      trans.push_back(wf.energy[static_cast<std::size_t>(bse.cond_band(ic))] -
+                      wf.energy[static_cast<std::size_t>(bse.val_band(iv))]);
+  std::sort(trans.begin(), trans.end());
+  for (std::size_t i = 0; i < trans.size(); ++i)
+    EXPECT_NEAR(res.energy[i], trans[i], 1e-12);
+}
+
+TEST(Bse, ExchangeRaisesDirectLowers) {
+  GwCalculation& gw = si_prim_gw();
+  BseOptions none = small_opt();
+  none.exchange = false;
+  none.direct = false;
+  BseOptions only_x = none;
+  only_x.exchange = true;
+  BseOptions only_d = none;
+  only_d.direct = true;
+
+  const double e_none = BseCalculation(gw, none).solve().energy[0];
+  const double e_x = BseCalculation(gw, only_x).solve().energy[0];
+  const double e_d = BseCalculation(gw, only_d).solve().energy[0];
+  EXPECT_GE(e_x, e_none - 1e-12);  // repulsive exchange
+  EXPECT_LT(e_d, e_none);          // attractive screened direct term
+}
+
+TEST(Bse, AmplitudesOrthonormal) {
+  BseCalculation bse(si_prim_gw(), small_opt());
+  const BseResult res = bse.solve();
+  const idx np = res.n_pairs();
+  for (idx a = 0; a < np; ++a)
+    for (idx b = a; b < np; ++b) {
+      cplx dot{};
+      for (idx p = 0; p < np; ++p)
+        dot += std::conj(res.amplitude(p, a)) * res.amplitude(p, b);
+      EXPECT_LT(std::abs(dot - (a == b ? cplx{1, 0} : cplx{})), 1e-10);
+    }
+}
+
+TEST(Bse, DipoleAntiHermitianPairSymmetry) {
+  // d_vc = conj(d_cv) up to the 1/(i w) sign: |d_vc| = |d_cv| suffices here.
+  GwCalculation& gw = si_prim_gw();
+  BseCalculation bse(gw, small_opt());
+  const idx v = gw.n_valence() - 1, c = gw.n_valence();
+  const auto dvc = bse.dipole(v, c);
+  double norm = 0.0;
+  for (const cplx& x : dvc) norm += std::norm(x);
+  EXPECT_GT(norm, 0.0);  // dipole-allowed direct transition in this cell
+}
+
+TEST(Bse, AbsorptionSpectraNonNegativeAndRedshifted) {
+  GwCalculation& gw = si_prim_gw();
+  BseOptions o = small_opt();
+  BseCalculation bse(gw, o);
+  const BseResult res = bse.solve();
+  const auto sp = bse.absorption(res, 1.0, 200, 0.01);
+
+  double first_bse = -1.0, first_ip = -1.0;
+  double max_bse = 0.0, max_ip = 0.0;
+  for (std::size_t k = 0; k < sp.omega.size(); ++k) {
+    EXPECT_GE(sp.eps2_bse[k], 0.0);
+    EXPECT_GE(sp.eps2_ip[k], 0.0);
+    max_bse = std::max(max_bse, sp.eps2_bse[k]);
+    max_ip = std::max(max_ip, sp.eps2_ip[k]);
+  }
+  // Onset: first omega where eps2 exceeds 5% of its max.
+  for (std::size_t k = 0; k < sp.omega.size(); ++k) {
+    if (first_bse < 0 && sp.eps2_bse[k] > 0.05 * max_bse)
+      first_bse = sp.omega[k];
+    if (first_ip < 0 && sp.eps2_ip[k] > 0.05 * max_ip) first_ip = sp.omega[k];
+  }
+  EXPECT_GT(max_bse, 0.0);
+  EXPECT_LE(first_bse, first_ip + 1e-9)
+      << "excitonic onset must not lie above the independent-QP onset";
+}
+
+TEST(Bse, PerBandQpCorrectionsOverrideScissors) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  // Uniform per-band corrections equal to a scissors shift must reproduce
+  // the scissors spectrum exactly.
+  BseOptions sc = small_opt();
+  sc.scissors = 0.05;
+  BseOptions qp = small_opt();
+  qp.scissors = 0.0;
+  for (idx c = gw.n_valence(); c < gw.n_valence() + qp.n_cond; ++c)
+    qp.qp_corrections[c] = 0.05;
+  for (idx v = gw.n_valence() - qp.n_val; v < gw.n_valence(); ++v)
+    qp.qp_corrections[v] = 0.0;
+  (void)wf;
+  const BseResult a = BseCalculation(gw, sc).solve();
+  const BseResult b = BseCalculation(gw, qp).solve();
+  for (std::size_t s = 0; s < a.energy.size(); ++s)
+    EXPECT_NEAR(a.energy[s], b.energy[s], 1e-12);
+}
+
+TEST(Bse, ExcitonCharacterNormalizedAndSorted) {
+  GwCalculation& gw = si_prim_gw();
+  BseCalculation bse(gw, small_opt());
+  const BseResult res = bse.solve();
+  for (idx s : {idx{0}, idx{4}}) {
+    const auto ec = bse.analyze(res, s);
+    EXPECT_EQ(ec.contributions.size(), 9u);
+    double total = 0.0;
+    for (std::size_t i = 0; i < ec.contributions.size(); ++i) {
+      total += ec.contributions[i].weight;
+      if (i > 0) {
+        EXPECT_LE(ec.contributions[i].weight,
+                  ec.contributions[i - 1].weight);
+      }
+      EXPECT_LT(ec.contributions[i].v, gw.n_valence());
+      EXPECT_GE(ec.contributions[i].c, gw.n_valence());
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+    EXPECT_GE(ec.participation, 1.0 - 1e-10);
+    EXPECT_LE(ec.participation, 9.0 + 1e-10);
+  }
+}
+
+TEST(Bse, AnalyzeRejectsBadIndex) {
+  GwCalculation& gw = si_prim_gw();
+  BseCalculation bse(gw, small_opt());
+  const BseResult res = bse.solve();
+  EXPECT_THROW(bse.analyze(res, res.n_pairs()), Error);
+}
+
+TEST(Bse, RejectsBadWindows) {
+  GwCalculation& gw = si_prim_gw();
+  BseOptions o;
+  o.n_val = gw.n_valence() + 1;
+  EXPECT_THROW(BseCalculation(gw, o), Error);
+}
+
+}  // namespace
+}  // namespace xgw

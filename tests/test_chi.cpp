@@ -1,0 +1,180 @@
+// Unit + property tests: polarizability (CHI_SUM), NV-Block invariance,
+// static subspace (Eq. 6), q->0 head correction.
+
+#include <gtest/gtest.h>
+
+#include "core/chi.h"
+#include "core/coulomb.h"
+#include "la/orth.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+
+namespace xgw {
+namespace {
+
+struct ChiFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    const EpmModel model = EpmModel::silicon(1);
+    ham = new PwHamiltonian(model, 2.0);
+    eps = new GSphere(model.crystal().lattice(), 0.9);
+    wf = new Wavefunctions(solve_dense(*ham, 20));
+    mtxel = new Mtxel(ham->sphere(), *eps, *wf);
+    v = new CoulombPotential(model.crystal().lattice(), *eps,
+                             CoulombScheme::kSphericalAverage);
+  }
+  static void TearDownTestSuite() {
+    delete v; delete mtxel; delete wf; delete eps; delete ham;
+    v = nullptr; mtxel = nullptr; wf = nullptr; eps = nullptr; ham = nullptr;
+  }
+
+  static PwHamiltonian* ham;
+  static GSphere* eps;
+  static Wavefunctions* wf;
+  static Mtxel* mtxel;
+  static CoulombPotential* v;
+};
+
+PwHamiltonian* ChiFixture::ham = nullptr;
+GSphere* ChiFixture::eps = nullptr;
+Wavefunctions* ChiFixture::wf = nullptr;
+Mtxel* ChiFixture::mtxel = nullptr;
+CoulombPotential* ChiFixture::v = nullptr;
+
+TEST_F(ChiFixture, AdlerWiserDeltaStaticLimit) {
+  // At omega = 0, Delta = -2 dE / (dE^2 + eta^2), exactly real.
+  const cplx d = adler_wiser_delta(0.0, 0.5, 0.0, 1e-3);
+  EXPECT_NEAR(d.real(), -2.0 * 0.5 / (0.25 + 1e-6), 1e-9);
+  EXPECT_DOUBLE_EQ(d.imag(), 0.0);
+  // Consistency with the finite-omega resolvent form as omega -> 0.
+  const cplx d_small = adler_wiser_delta(0.0, 0.5, 1e-9, 1e-6);
+  EXPECT_NEAR(d_small.real(), d.real(), 1e-4);
+}
+
+TEST_F(ChiFixture, StaticChiHermitianAndNegative) {
+  const ZMatrix chi = chi_static(*mtxel, *wf);
+  EXPECT_LT(hermiticity_error(chi), 1e-8);
+  // Diagonal must be negative (screening reduces energy).
+  for (idx g = 1; g < chi.rows(); ++g) EXPECT_LT(chi(g, g).real(), 0.0);
+  // chi(0,0) = 0 without head correction (orthogonality).
+  EXPECT_LT(std::abs(chi(0, 0)), 1e-10);
+}
+
+TEST_F(ChiFixture, NvBlockInvariance) {
+  // The NV-Block algorithm must give identical chi for any block size.
+  ChiOptions o1, o2, o3;
+  o1.nv_block = 1;
+  o2.nv_block = 2;
+  o3.nv_block = 100;  // clamped to n_valence
+  const ZMatrix c1 = chi_static(*mtxel, *wf, o1);
+  const ZMatrix c2 = chi_static(*mtxel, *wf, o2);
+  const ZMatrix c3 = chi_static(*mtxel, *wf, o3);
+  EXPECT_LT(max_abs_diff(c1, c2), 1e-12);
+  EXPECT_LT(max_abs_diff(c1, c3), 1e-12);
+}
+
+TEST_F(ChiFixture, BruteForceAgreement) {
+  // chi_GG' = 2 sum_vc M*_vc(G) Delta M_vc(G') directly from pair M.
+  ChiOptions opt;
+  const ZMatrix chi = chi_static(*mtxel, *wf, opt);
+  const idx ng = eps->size();
+  ZMatrix ref(ng, ng);
+  std::vector<cplx> m(static_cast<std::size_t>(ng));
+  for (idx vb = 0; vb < wf->n_valence; ++vb) {
+    for (idx c = wf->n_valence; c < wf->n_bands(); ++c) {
+      mtxel->compute_pair(vb, c, m.data());
+      const cplx w = 2.0 * adler_wiser_delta(
+                               wf->energy[static_cast<std::size_t>(vb)],
+                               wf->energy[static_cast<std::size_t>(c)], 0.0,
+                               opt.eta);
+      for (idx g = 0; g < ng; ++g)
+        for (idx gp = 0; gp < ng; ++gp)
+          ref(g, gp) += std::conj(m[static_cast<std::size_t>(g)]) * w *
+                        m[static_cast<std::size_t>(gp)];
+    }
+  }
+  EXPECT_LT(max_abs_diff(chi, ref), 1e-10);
+}
+
+TEST_F(ChiFixture, FrequencyChiComplexSymmetricStructure) {
+  const ZMatrix chi = chi_pw(*mtxel, *wf, 0.3, {});
+  // Finite omega with broadening: chi develops an imaginary part.
+  double max_imag = 0.0;
+  for (idx i = 0; i < chi.size(); ++i)
+    max_imag = std::max(max_imag, std::abs(chi.data()[i].imag()));
+  EXPECT_GT(max_imag, 0.0);
+}
+
+TEST_F(ChiFixture, SubspaceChiEqualsProjectedChi) {
+  const ZMatrix chi0 = chi_static(*mtxel, *wf);
+  const Subspace sub = build_subspace(chi0, *v, 6);
+  const double omega = 0.25;
+  const ZMatrix chi_b = chi_subspace(*mtxel, *wf, sub, omega);
+  const ZMatrix chi_full = chi_pw(*mtxel, *wf, omega);
+
+  // chi_B must equal C^H chi C exactly (Eq. 6 is an exact projection).
+  ZMatrix proj(sub.n_eig(), sub.n_eig());
+  for (idx b = 0; b < sub.n_eig(); ++b)
+    for (idx bp = 0; bp < sub.n_eig(); ++bp) {
+      cplx acc{};
+      for (idx g = 0; g < chi_full.rows(); ++g)
+        for (idx gp = 0; gp < chi_full.cols(); ++gp)
+          acc += std::conj(sub.basis(g, b)) * chi_full(g, gp) *
+                 sub.basis(gp, bp);
+      proj(b, bp) = acc;
+    }
+  EXPECT_LT(max_abs_diff(chi_b, proj), 1e-9);
+}
+
+TEST_F(ChiFixture, SubspaceEigenvaluesMostNegativeFirst) {
+  const ZMatrix chi0 = chi_static(*mtxel, *wf);
+  const Subspace sub = build_subspace(chi0, *v, 5);
+  for (std::size_t i = 1; i < sub.eigenvalues.size(); ++i)
+    EXPECT_LE(sub.eigenvalues[i - 1], sub.eigenvalues[i]);
+  EXPECT_LT(sub.eigenvalues[0], 0.0);
+  EXPECT_LT(orthonormality_error(sub.basis), 1e-10);
+}
+
+TEST_F(ChiFixture, SubspaceFractionSelection) {
+  const ZMatrix chi0 = chi_static(*mtxel, *wf);
+  const Subspace sub = build_subspace(chi0, *v, -1, 0.25);
+  EXPECT_EQ(sub.n_eig(), std::max<idx>(1, static_cast<idx>(0.25 * eps->size())));
+}
+
+TEST_F(ChiFixture, LiftToPwRankBounded) {
+  const ZMatrix chi0 = chi_static(*mtxel, *wf);
+  const Subspace sub = build_subspace(chi0, *v, 4);
+  ZMatrix small(4, 4);
+  for (idx i = 0; i < 4; ++i) small(i, i) = 1.0;
+  const ZMatrix lifted = lift_to_pw(sub, small);
+  EXPECT_EQ(lifted.rows(), eps->size());
+  EXPECT_LT(hermiticity_error(lifted), 1e-10);
+}
+
+TEST_F(ChiFixture, HeadCorrectionInstallsHead) {
+  const cplx chi_bar = chi_head_reduced(
+      *wf, ham->sphere(), ham->model().crystal().lattice(), 0.0, 1e-3);
+  EXPECT_LT(chi_bar.real(), 0.0);  // static screening is negative
+  ChiOptions opt;
+  opt.head_value = chi_head_value(chi_bar, *v,
+                                  ham->model().crystal().lattice());
+  EXPECT_LT(opt.head_value.real(), 0.0);
+  const ZMatrix chi = chi_static(*mtxel, *wf, opt);
+  EXPECT_NEAR(chi(0, 0).real(), opt.head_value.real(), 1e-12);
+}
+
+TEST_F(ChiFixture, HeadValueZeroWhenHeadExcluded) {
+  const CoulombPotential v0(ham->model().crystal().lattice(), *eps,
+                            CoulombScheme::kExcludeHead);
+  EXPECT_EQ(chi_head_value(cplx{-1.0, 0.0}, v0,
+                           ham->model().crystal().lattice()),
+            cplx{});
+}
+
+TEST_F(ChiFixture, RequiresValenceAndConduction) {
+  Wavefunctions bad = *wf;
+  bad.n_valence = bad.n_bands();
+  EXPECT_THROW(chi_static(*mtxel, bad), Error);
+}
+
+}  // namespace
+}  // namespace xgw

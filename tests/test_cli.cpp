@@ -1,0 +1,119 @@
+// Tests: input-file parser and the xgw_run job driver.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/driver.h"
+#include "common/error.h"
+
+namespace xgw {
+namespace {
+
+TEST(InputParser, BasicKeysAndComments) {
+  const InputFile in = InputFile::parse(
+      "# a comment line\n"
+      "job sigma   # trailing comment\n"
+      "eps_cutoff 1.25\n"
+      "supercell 2\n"
+      "pseudobands true\n"
+      "sigma_bands 3 4 5\n");
+  EXPECT_EQ(in.require_string("job"), "sigma");
+  EXPECT_DOUBLE_EQ(in.get_double("eps_cutoff", 0.0), 1.25);
+  EXPECT_EQ(in.get_int("supercell", 1), 2);
+  EXPECT_TRUE(in.get_bool("pseudobands", false));
+  EXPECT_EQ(in.get_int_list("sigma_bands"),
+            (std::vector<idx>{3, 4, 5}));
+  EXPECT_FALSE(in.has("vacancy"));
+  EXPECT_EQ(in.get_string("material", "silicon"), "silicon");
+}
+
+TEST(InputParser, LaterKeysOverride) {
+  const InputFile in = InputFile::parse("job sigma\njob epsilon\n");
+  EXPECT_EQ(in.require_string("job"), "epsilon");
+}
+
+TEST(InputParser, RejectsUnknownKeys) {
+  EXPECT_THROW(InputFile::parse("jobb sigma\n", known_input_keys()), Error);
+  EXPECT_NO_THROW(InputFile::parse("job sigma\n", known_input_keys()));
+}
+
+TEST(InputParser, RejectsMalformed) {
+  EXPECT_THROW(InputFile::parse("job\n"), Error);           // no value
+  const InputFile in = InputFile::parse("eps_cutoff abc\n");
+  EXPECT_THROW(in.get_double("eps_cutoff", 0.0), Error);
+  EXPECT_THROW(in.get_int("eps_cutoff", 0), Error);
+  EXPECT_THROW(in.get_bool("eps_cutoff", false), Error);
+  EXPECT_THROW(in.require_string("absent"), Error);
+}
+
+TEST(Driver, SigmaJobProducesQpTable) {
+  const InputFile in = InputFile::parse(
+      "job sigma\nmaterial silicon\neps_cutoff 0.9\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("E_QP(eV)"), std::string::npos);
+  EXPECT_NE(out.find("gpp_diag_kernel"), std::string::npos);  // timer report
+}
+
+TEST(Driver, BandsJobReportsGaps) {
+  const InputFile in = InputFile::parse(
+      "job bands\nmaterial silicon\nband_segments 4\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  EXPECT_NE(os.str().find("indirect_gap_eV"), std::string::npos);
+}
+
+TEST(Driver, EpsilonJobReportsHead) {
+  const InputFile in = InputFile::parse(
+      "job epsilon\nmaterial silicon\neps_cutoff 0.9\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  EXPECT_NE(os.str().find("epsinv_head"), std::string::npos);
+}
+
+TEST(Driver, RpaJobReportsEnergy) {
+  const InputFile in = InputFile::parse(
+      "job rpa\nmaterial silicon\neps_cutoff 0.9\nrpa_n_freq 8\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  EXPECT_NE(os.str().find("E_c_RPA_Ha -"), std::string::npos);  // negative
+}
+
+TEST(Driver, BseJobReportsExcitons) {
+  const InputFile in = InputFile::parse(
+      "job bse\nmaterial silicon\neps_cutoff 0.9\nbse_nval 2\nbse_ncond 2\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  EXPECT_NE(os.str().find("exciton 0"), std::string::npos);
+}
+
+TEST(Driver, PseudobandsFlagCompresses) {
+  const InputFile in = InputFile::parse(
+      "job epsilon\nmaterial silicon\neps_cutoff 0.9\n"
+      "pseudobands true\npseudobands_nxi 2\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  // Compressed band count is well below the 59-PW dense set.
+  const std::string out = os.str();
+  const auto pos = out.find("N_b = ");
+  ASSERT_NE(pos, std::string::npos);
+  const long nb = std::stol(out.substr(pos + 6));
+  EXPECT_LT(nb, 40);
+}
+
+TEST(Driver, UnknownJobFails) {
+  const InputFile in = InputFile::parse("job frobnicate\nmaterial silicon\n");
+  std::ostringstream os;
+  EXPECT_THROW(run_job(in, os), Error);
+}
+
+TEST(Driver, UnknownMaterialFails) {
+  const InputFile in = InputFile::parse("job sigma\nmaterial unobtanium\n");
+  std::ostringstream os;
+  EXPECT_THROW(run_job(in, os), Error);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,83 @@
+// Tests: static COHSEX approximation.
+
+#include <gtest/gtest.h>
+
+#include "core/cohsex.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw;
+
+TEST(Cohsex, IdentityEpsinvRecoversBareExchange) {
+  // With eps^{-1} = I there is no screening: SEX = bare exchange, COH = 0.
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const idx l = gw.n_valence() - 1;
+  const ZMatrix identity = ZMatrix::identity(gw.n_g());
+  const auto res = cohsex_diag_with(gw, identity, {l});
+
+  // Independent bare exchange.
+  const ZMatrix m_ln = gw.m_matrix_left(l);
+  double sx = 0.0;
+  for (idx n = 0; n < wf.n_valence; ++n)
+    for (idx g = 0; g < gw.n_g(); ++g)
+      sx -= std::norm(m_ln(n, g)) * gw.coulomb()(g);
+
+  EXPECT_NEAR(res[0].sex.real(), sx, 1e-10);
+  EXPECT_LT(std::abs(res[0].sex.imag()), 1e-10);
+  EXPECT_LT(std::abs(res[0].coh), 1e-12);
+}
+
+TEST(Cohsex, ScreeningWeakensExchange) {
+  // |SEX| < |X|: screening reduces the exchange attraction.
+  GwCalculation& gw = si_prim_gw();
+  const idx l = gw.n_valence() - 1;
+  const auto screened = cohsex_diag(gw, {l});
+  const ZMatrix identity = ZMatrix::identity(gw.n_g());
+  const auto bare = cohsex_diag_with(gw, identity, {l});
+  EXPECT_LT(std::abs(screened[0].sex), std::abs(bare[0].sex));
+  EXPECT_LT(screened[0].sex.real(), 0.0);
+}
+
+TEST(Cohsex, CoulombHoleNegative) {
+  // COH = 1/2 W_c(r, r) < 0: the induced potential around an electron is
+  // attractive.
+  GwCalculation& gw = si_prim_gw();
+  const auto res = cohsex_diag(gw, {idx{0}, gw.n_valence(), gw.n_bands() - 1});
+  for (const CohsexParts& r : res) EXPECT_LT(r.coh.real(), 0.0);
+}
+
+TEST(Cohsex, DiagonalElementsEssentiallyReal) {
+  GwCalculation& gw = si_prim_gw();
+  const auto res = cohsex_diag(gw, {gw.n_valence() - 1, gw.n_valence()});
+  for (const CohsexParts& r : res) {
+    EXPECT_LT(std::abs(r.sex.imag()), 1e-8 * std::abs(r.sex.real()) + 1e-10);
+    EXPECT_LT(std::abs(r.coh.imag()), 1e-6 * std::abs(r.coh.real()) + 1e-8);
+  }
+}
+
+TEST(Cohsex, QualitativeAgreementWithGppStatic) {
+  // COHSEX is the static limit of GW: same sign and order of magnitude as
+  // the GPP Sigma, typically overbinding (more negative total).
+  GwCalculation& gw = si_prim_gw();
+  const idx v = gw.n_valence() - 1;
+  const auto cohsex = cohsex_diag(gw, {v});
+  const auto gpp = gw.sigma_diag({v});
+  const double s_cohsex = cohsex[0].total().real();
+  const double s_gpp = gpp[0].sigma.total().real();
+  EXPECT_LT(s_cohsex, 0.0);
+  EXPECT_LT(s_gpp, 0.0);
+  EXPECT_GT(std::abs(s_cohsex), 0.2 * std::abs(s_gpp));
+  EXPECT_LT(std::abs(s_cohsex), 5.0 * std::abs(s_gpp));
+}
+
+TEST(Cohsex, OccupiedFeelMoreExchange) {
+  GwCalculation& gw = si_prim_gw();
+  const auto res = cohsex_diag(gw, {gw.n_valence() - 1, gw.n_valence()});
+  EXPECT_LT(res[0].sex.real(), res[1].sex.real());
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,152 @@
+// Unit tests: common substrate (rng, error handling, timers, flop model).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/flops.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace xgw {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UnitPhaseHasUnitModulus) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_NEAR(std::abs(r.unit_phase()), 1.0, 1e-12);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalCplxUnitSecondMoment) {
+  Rng r(17);
+  const int n = 100000;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) sum2 += std::norm(r.normal_cplx());
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, BelowStaysBelowAndHitsAllResidues) {
+  Rng r(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  // Child stream should not coincide with the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == child.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    XGW_REQUIRE(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("one is not two"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(XGW_REQUIRE(true, "fine"));
+}
+
+TEST(Timer, RegistryAccumulatesAndCounts) {
+  TimerRegistry reg;
+  reg.add("gpp", 1.5);
+  reg.add("gpp", 0.5);
+  reg.add("mtxel", 0.25);
+  EXPECT_DOUBLE_EQ(reg.seconds("gpp"), 2.0);
+  EXPECT_EQ(reg.calls("gpp"), 2);
+  EXPECT_DOUBLE_EQ(reg.seconds("mtxel"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.seconds("absent"), 0.0);
+  const std::string rep = reg.report();
+  EXPECT_NE(rep.find("gpp"), std::string::npos);
+  EXPECT_NE(rep.find("mtxel"), std::string::npos);
+}
+
+TEST(Timer, StopwatchMonotone) {
+  Stopwatch sw;
+  const double t1 = sw.elapsed();
+  const double t2 = sw.elapsed();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+TEST(FlopModel, GppDiagEq7Linear) {
+  // Eq. 7 is multiplicatively linear in each parameter.
+  const double base = flop_model::gpp_diag(80.0, 2, 100, 50, 3);
+  EXPECT_DOUBLE_EQ(flop_model::gpp_diag(80.0, 4, 100, 50, 3), 2 * base);
+  EXPECT_DOUBLE_EQ(flop_model::gpp_diag(80.0, 2, 200, 50, 3), 2 * base);
+  EXPECT_DOUBLE_EQ(flop_model::gpp_diag(80.0, 2, 100, 100, 3), 4 * base);
+  EXPECT_DOUBLE_EQ(flop_model::gpp_diag(80.0, 2, 100, 50, 6), 2 * base);
+}
+
+TEST(FlopModel, GppOffdiagEq8MatchesClosedForm) {
+  // 2 N_b N_E * 8 (N_S N_G^2 + N_G N_S^2)
+  const double v = flop_model::gpp_offdiag_zgemm(4, 10, 20, 3);
+  EXPECT_DOUBLE_EQ(v, 2.0 * 10 * 3 * 8.0 * (4.0 * 400 + 20.0 * 16));
+}
+
+TEST(FlopModel, ZgemmCanonicalCount) {
+  EXPECT_DOUBLE_EQ(flop_model::zgemm(2, 3, 4), 8.0 * 24);
+}
+
+}  // namespace
+}  // namespace xgw

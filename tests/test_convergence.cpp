@@ -1,0 +1,57 @@
+// Tests: convergence sweep tooling.
+
+#include <gtest/gtest.h>
+
+#include "core/convergence.h"
+#include "mf/epm.h"
+
+namespace xgw {
+namespace {
+
+TEST(Convergence, EpsCutoffSweepRunsAndGrowsBasis) {
+  const EpmModel si = EpmModel::silicon(1);
+  const ConvergenceStudy s = sweep_eps_cutoff(si, {0.5, 0.9, 1.3});
+  ASSERT_EQ(s.points.size(), 3u);
+  EXPECT_LT(s.points[0].n_g, s.points[2].n_g);
+  for (const auto& p : s.points) {
+    EXPECT_GT(p.gap_ev, 0.0);
+    EXPECT_LT(p.gap_ev, 20.0);
+  }
+}
+
+TEST(Convergence, BandSweepGapStabilizes) {
+  const EpmModel si = EpmModel::silicon(1);
+  GwParameters base;
+  base.eps_cutoff = 0.9;
+  const ConvergenceStudy s =
+      sweep_band_count(si, {12, 24, 40, 59}, base);
+  ASSERT_EQ(s.points.size(), 4u);
+  EXPECT_EQ(s.points[3].n_b, 59);
+  // The tail step changes the gap far less than the head step — band
+  // convergence is monotone-ish for this system.
+  const double head =
+      std::abs(s.points[1].gap_ev - s.points[0].gap_ev);
+  const double tail =
+      std::abs(s.points[3].gap_ev - s.points[2].gap_ev);
+  EXPECT_LT(tail, head + 1e-9);
+  EXPECT_TRUE(s.converged(200.0));
+}
+
+TEST(Convergence, DiagnosticsConsistent) {
+  ConvergenceStudy s;
+  s.points.push_back({1.0, 10, 20, 5.00, 0.0, 5.0});
+  s.points.push_back({2.0, 20, 20, 5.10, 0.0, 5.1});
+  s.points.push_back({3.0, 30, 20, 5.11, 0.0, 5.11});
+  EXPECT_NEAR(s.max_consecutive_gap_change_mev(), 100.0, 1e-9);
+  EXPECT_TRUE(s.converged(20.0));
+  EXPECT_FALSE(s.converged(5.0));
+}
+
+TEST(Convergence, EmptySweepThrows) {
+  const EpmModel si = EpmModel::silicon(1);
+  EXPECT_THROW(sweep_eps_cutoff(si, {}), Error);
+  EXPECT_THROW(sweep_band_count(si, {}), Error);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,98 @@
+// Unit tests: Coulomb potential schemes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/coulomb.h"
+
+namespace xgw {
+namespace {
+
+struct CoulombSetup {
+  Lattice lat = Lattice::fcc(10.26);
+  GSphere sphere{lat, 1.5};
+};
+
+TEST(Coulomb, BareBodyMatchesFormula) {
+  CoulombSetup s;
+  CoulombPotential v(s.lat, s.sphere, CoulombScheme::kExcludeHead);
+  const double omega = s.lat.cell_volume();
+  for (idx ig = 1; ig < s.sphere.size(); ++ig)
+    EXPECT_NEAR(v(ig), 4.0 * kPi / (omega * s.sphere.norm2(ig)),
+                1e-15 * v(ig));
+}
+
+TEST(Coulomb, ExcludeHeadZero) {
+  CoulombSetup s;
+  CoulombPotential v(s.lat, s.sphere, CoulombScheme::kExcludeHead);
+  EXPECT_DOUBLE_EQ(v(0), 0.0);
+}
+
+TEST(Coulomb, SphericalAverageHeadFinitePositive) {
+  CoulombSetup s;
+  CoulombPotential v(s.lat, s.sphere, CoulombScheme::kSphericalAverage);
+  EXPECT_GT(v(0), 0.0);
+  // The mini-BZ average exceeds the bare value at the first nonzero G
+  // (q^2 inside the mini-BZ is smaller than the first shell's |G|^2).
+  EXPECT_GT(v(0), v(1));
+}
+
+TEST(Coulomb, MonotoneDecayWithG2) {
+  CoulombSetup s;
+  CoulombPotential v(s.lat, s.sphere, CoulombScheme::kExcludeHead);
+  for (idx ig = 2; ig < s.sphere.size(); ++ig)
+    if (s.sphere.norm2(ig) > s.sphere.norm2(ig - 1)) {
+      EXPECT_LT(v(ig), v(ig - 1) + 1e-18);
+    }
+}
+
+TEST(Coulomb, SphericalTruncationBounded) {
+  CoulombSetup s;
+  CoulombPotential vt(s.lat, s.sphere, CoulombScheme::kSphericalTruncate);
+  CoulombPotential vb(s.lat, s.sphere, CoulombScheme::kExcludeHead);
+  // (1 - cos) in [0, 2]: truncated value within 2x bare, and the head is
+  // finite (2 pi Rc^2 / Omega).
+  EXPECT_GT(vt(0), 0.0);
+  for (idx ig = 1; ig < s.sphere.size(); ++ig) {
+    EXPECT_GE(vt(ig), 0.0);
+    EXPECT_LE(vt(ig), 2.0 * vb(ig) + 1e-18);
+  }
+}
+
+TEST(Coulomb, SlabTruncationHeadZeroAndBodyFinite) {
+  CoulombSetup s;
+  CoulombPotential v(s.lat, s.sphere, CoulombScheme::kSlabTruncate);
+  EXPECT_DOUBLE_EQ(v(0), 0.0);
+  for (idx ig = 1; ig < s.sphere.size(); ++ig) EXPECT_GE(v(ig), -1e-12);
+}
+
+TEST(Coulomb, SqrtVConsistent) {
+  CoulombSetup s;
+  CoulombPotential v(s.lat, s.sphere, CoulombScheme::kSphericalAverage);
+  for (idx ig = 0; ig < v.size(); ++ig)
+    EXPECT_NEAR(v.sqrt_v(ig) * v.sqrt_v(ig), v(ig), 1e-12 * (v(ig) + 1.0));
+}
+
+TEST(Coulomb, VolumeScaling) {
+  // Doubling the cell volume halves v(G) at corresponding scaled G... check
+  // simply that a larger supercell gives smaller per-cell v at the matching
+  // physical |G|.
+  Lattice small = Lattice::fcc(10.26);
+  Lattice big = Lattice::fcc_supercell(10.26, 2);
+  GSphere ss(small, 1.5), sb(big, 1.5);
+  CoulombPotential vs(small, ss, CoulombScheme::kExcludeHead);
+  CoulombPotential vb(big, sb, CoulombScheme::kExcludeHead);
+  // Find matching |G|^2 (folded vectors exist in the supercell sphere).
+  const double g2 = ss.norm2(1);
+  for (idx ig = 1; ig < sb.size(); ++ig) {
+    if (std::abs(sb.norm2(ig) - g2) < 1e-10) {
+      EXPECT_NEAR(vb(ig), vs(1) / 8.0, 1e-12);
+      return;
+    }
+  }
+  FAIL() << "no matching G vector found in supercell sphere";
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,192 @@
+// Unit + property tests: 1-D mixed-radix and 3-D FFTs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace xgw {
+namespace {
+
+std::vector<cplx> random_signal(idx n, Rng& rng) {
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.normal_cplx();
+  return x;
+}
+
+// O(n^2) reference DFT.
+std::vector<cplx> dft_reference(const std::vector<cplx>& x, bool forward) {
+  const idx n = static_cast<idx>(x.size());
+  std::vector<cplx> out(x.size());
+  const double sign = forward ? -1.0 : 1.0;
+  for (idx k = 0; k < n; ++k) {
+    cplx acc{};
+    for (idx j = 0; j < n; ++j) {
+      const double ang = sign * kTwoPi * static_cast<double>(j * k % n) /
+                         static_cast<double>(n);
+      acc += x[static_cast<std::size_t>(j)] * cplx{std::cos(ang), std::sin(ang)};
+    }
+    out[static_cast<std::size_t>(k)] = acc;
+  }
+  return out;
+}
+
+class FftLengths : public ::testing::TestWithParam<idx> {};
+
+TEST_P(FftLengths, MatchesReferenceDft) {
+  const idx n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) + 1);
+  const std::vector<cplx> x = random_signal(n, rng);
+
+  std::vector<cplx> y = x;
+  Fft1dPlan plan(n);
+  plan.transform(y.data(), FftDirection::kForward);
+  const std::vector<cplx> ref = dft_reference(x, true);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(y[static_cast<std::size_t>(i)] -
+                       ref[static_cast<std::size_t>(i)]),
+              1e-10 * static_cast<double>(n))
+        << "n=" << n << " i=" << i;
+}
+
+TEST_P(FftLengths, RoundTripIdentity) {
+  const idx n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) + 2);
+  const std::vector<cplx> x = random_signal(n, rng);
+  std::vector<cplx> y = x;
+  Fft1dPlan plan(n);
+  plan.transform(y.data(), FftDirection::kForward);
+  plan.transform(y.data(), FftDirection::kBackward);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(y[static_cast<std::size_t>(i)] / static_cast<double>(n) -
+                       x[static_cast<std::size_t>(i)]),
+              1e-11 * static_cast<double>(n));
+}
+
+// Mixed radix (2,3,5), primes (7, 11, 13), and composites with prime factors.
+INSTANTIATE_TEST_SUITE_P(Lengths, FftLengths,
+                         ::testing::Values<idx>(1, 2, 3, 4, 5, 6, 8, 9, 10, 12,
+                                                15, 16, 20, 24, 25, 27, 30, 32,
+                                                36, 45, 48, 60, 64, 7, 11, 13,
+                                                14, 21, 22, 77, 100, 128, 243));
+
+TEST(Fft, DeltaTransformsToConstant) {
+  const idx n = 24;
+  std::vector<cplx> x(static_cast<std::size_t>(n), cplx{});
+  x[0] = 1.0;
+  Fft1dPlan plan(n);
+  plan.transform(x.data(), FftDirection::kForward);
+  for (const cplx& v : x) EXPECT_LT(std::abs(v - cplx{1.0, 0.0}), 1e-12);
+}
+
+TEST(Fft, SingleModeLandsInSingleBin) {
+  const idx n = 30, k0 = 7;
+  std::vector<cplx> x(static_cast<std::size_t>(n));
+  for (idx j = 0; j < n; ++j) {
+    const double ang = kTwoPi * static_cast<double>(k0 * j) / static_cast<double>(n);
+    x[static_cast<std::size_t>(j)] = cplx{std::cos(ang), std::sin(ang)};
+  }
+  Fft1dPlan plan(n);
+  plan.transform(x.data(), FftDirection::kForward);
+  for (idx k = 0; k < n; ++k) {
+    const double expect = (k == k0) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[static_cast<std::size_t>(k)]), expect, 1e-9);
+  }
+}
+
+TEST(Fft, LinearityProperty) {
+  const idx n = 40;
+  Rng rng(99);
+  const auto x = random_signal(n, rng);
+  const auto y = random_signal(n, rng);
+  const cplx a{1.5, -2.0}, b{-0.5, 0.25};
+
+  std::vector<cplx> combo(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i)
+    combo[static_cast<std::size_t>(i)] = a * x[static_cast<std::size_t>(i)] +
+                                         b * y[static_cast<std::size_t>(i)];
+  Fft1dPlan plan(n);
+  auto fx = x, fy = y;
+  plan.transform(fx.data(), FftDirection::kForward);
+  plan.transform(fy.data(), FftDirection::kForward);
+  plan.transform(combo.data(), FftDirection::kForward);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(combo[static_cast<std::size_t>(i)] -
+                       (a * fx[static_cast<std::size_t>(i)] +
+                        b * fy[static_cast<std::size_t>(i)])),
+              1e-10);
+}
+
+TEST(Fft, ParsevalHolds) {
+  const idx n = 36;
+  Rng rng(123);
+  const auto x = random_signal(n, rng);
+  auto fx = x;
+  Fft1dPlan plan(n);
+  plan.transform(fx.data(), FftDirection::kForward);
+  double ex = 0.0, ef = 0.0;
+  for (idx i = 0; i < n; ++i) {
+    ex += std::norm(x[static_cast<std::size_t>(i)]);
+    ef += std::norm(fx[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_NEAR(ef, ex * static_cast<double>(n), 1e-9 * ex * n);
+}
+
+TEST(Fft3d, RoundTripOnBox) {
+  const FftBox box{6, 5, 8};
+  Rng rng(7);
+  std::vector<cplx> x(static_cast<std::size_t>(box.size()));
+  for (auto& v : x) v = rng.normal_cplx();
+  auto y = x;
+  Fft3d fft(box);
+  fft.forward(y.data());
+  fft.backward_normalized(y.data());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_LT(std::abs(y[i] - x[i]), 1e-11);
+}
+
+TEST(Fft3d, PlaneWaveSingleBin) {
+  const FftBox box{4, 4, 4};
+  // e^{i G.r} with G = (1, 2, 3) lands in bin (1, 2, 3) scaled by box size.
+  std::vector<cplx> x(static_cast<std::size_t>(box.size()));
+  for (idx i1 = 0; i1 < 4; ++i1)
+    for (idx i2 = 0; i2 < 4; ++i2)
+      for (idx i3 = 0; i3 < 4; ++i3) {
+        const double ang = kTwoPi * (1.0 * i1 / 4 + 2.0 * i2 / 4 + 3.0 * i3 / 4);
+        x[static_cast<std::size_t>((i1 * 4 + i2) * 4 + i3)] =
+            cplx{std::cos(ang), std::sin(ang)};
+      }
+  Fft3d fft(box);
+  fft.forward(x.data());
+  for (idx i1 = 0; i1 < 4; ++i1)
+    for (idx i2 = 0; i2 < 4; ++i2)
+      for (idx i3 = 0; i3 < 4; ++i3) {
+        const double expect =
+            (i1 == 1 && i2 == 2 && i3 == 3) ? 64.0 : 0.0;
+        EXPECT_NEAR(
+            std::abs(x[static_cast<std::size_t>((i1 * 4 + i2) * 4 + i3)]),
+            expect, 1e-9);
+      }
+}
+
+TEST(Fft, PlanCacheReturnsSharedPlan) {
+  auto p1 = get_fft_plan(48);
+  auto p2 = get_fft_plan(48);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(p1->size(), 48);
+}
+
+TEST(Fft, NextFastSize) {
+  EXPECT_EQ(next_fast_size(1), 1);
+  EXPECT_EQ(next_fast_size(7), 8);
+  EXPECT_EQ(next_fast_size(11), 12);
+  EXPECT_EQ(next_fast_size(17), 18);
+  EXPECT_EQ(next_fast_size(31), 32);
+  EXPECT_EQ(next_fast_size(121), 125);
+  EXPECT_EQ(next_fast_size(16), 16);
+}
+
+}  // namespace
+}  // namespace xgw

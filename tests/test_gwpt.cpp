@@ -1,0 +1,245 @@
+// Tests: DFPT substrate and GWPT (Eq. 5) assembly.
+//
+// The heavyweight validations:
+//  * Hellmann-Feynman: <n|dV|n> equals the finite difference of E_n.
+//  * Frozen-screening finite difference of Sigma_ll matches the Eq. 5
+//    analytic dSigma (screening and band energies held fixed — exactly the
+//    linear-response content of GWPT).
+
+#include <gtest/gtest.h>
+
+#include "core/mtxel.h"
+#include "gwpt/gwpt.h"
+#include "mf/solver.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw;
+
+TEST(Dfpt, DvMatrixHermitian) {
+  const EpmModel model = EpmModel::silicon(1);
+  const PwHamiltonian h(model, 1.8);
+  const ZMatrix dv = dv_matrix(model, h.sphere(), {0, 0});
+  EXPECT_LT(hermiticity_error(dv), 1e-12);
+}
+
+TEST(Dfpt, HellmannFeynman) {
+  // dE_n/dR = <n|dV/dR|n> — validated against finite differences of the
+  // displaced Hamiltonian's eigenvalues.
+  const EpmModel model = EpmModel::silicon(1);
+  const PwHamiltonian h(model, 1.8);
+  const Wavefunctions wf = solve_dense(h, 8);
+  const Perturbation p{1, 2};
+  const ZMatrix dv = dv_matrix(model, h.sphere(), p);
+  const ZMatrix dvb = dv_band_matrix(wf, dv);
+
+  const double delta = 1e-4;
+  Vec3 dvec{0, 0, 0};
+  dvec[2] = delta;
+  const Wavefunctions wp = solve_dense(PwHamiltonian(model.displaced(1, dvec), 1.8), 8);
+  dvec[2] = -delta;
+  const Wavefunctions wm = solve_dense(PwHamiltonian(model.displaced(1, dvec), 1.8), 8);
+
+  // Band 0 is non-degenerate; degenerate multiplets compare via the trace.
+  const double fd0 = (wp.energy[0] - wm.energy[0]) / (2.0 * delta);
+  EXPECT_NEAR(dvb(0, 0).real(), fd0, 1e-5);
+
+  double tr_fd = 0.0, tr_an = 0.0;
+  for (idx n = 0; n < 8; ++n) {
+    tr_fd += (wp.energy[static_cast<std::size_t>(n)] -
+              wm.energy[static_cast<std::size_t>(n)]) /
+             (2.0 * delta);
+    tr_an += dvb(n, n).real();
+  }
+  EXPECT_NEAR(tr_an, tr_fd, 1e-4);
+}
+
+TEST(Dfpt, AcousticSumRule) {
+  // Rigid translation of all atoms leaves eigenvalues invariant:
+  // sum_atoms <n|dV_a,axis|n> = 0.
+  const EpmModel model = EpmModel::silicon(1);
+  const PwHamiltonian h(model, 1.8);
+  const Wavefunctions wf = solve_dense(h, 6);
+  for (int axis = 0; axis < 3; ++axis) {
+    ZMatrix total(wf.n_bands(), wf.n_bands());
+    for (idx a = 0; a < model.crystal().n_atoms(); ++a) {
+      const ZMatrix dvb =
+          dv_band_matrix(wf, dv_matrix(model, h.sphere(), {a, axis}));
+      for (idx i = 0; i < total.size(); ++i)
+        total.data()[i] += dvb.data()[i];
+    }
+    for (idx n = 0; n < wf.n_bands(); ++n)
+      EXPECT_LT(std::abs(total(n, n)), 1e-10) << "axis " << axis;
+  }
+}
+
+TEST(Dfpt, DpsiOrthogonalToOwnBand) {
+  // First-order wavefunctions satisfy <psi_n | d psi_n> = 0.
+  const EpmModel model = EpmModel::silicon(1);
+  const PwHamiltonian h(model, 1.8);
+  const Wavefunctions wf = solve_dense(h);
+  const ZMatrix dv = dv_matrix(model, h.sphere(), {0, 1});
+  const ZMatrix dpsi = dpsi_sum_over_states(wf, dv);
+  for (idx n = 0; n < wf.n_bands(); ++n) {
+    cplx dot{};
+    for (idx g = 0; g < wf.n_pw(); ++g)
+      dot += std::conj(wf.coeff(n, g)) * dpsi(n, g);
+    EXPECT_LT(std::abs(dot), 1e-12);
+  }
+}
+
+TEST(Dfpt, SternheimerMatchesSumOverStates) {
+  const EpmModel model = EpmModel::silicon(1);
+  const PwHamiltonian h(model, 1.8);
+  const Wavefunctions wf = solve_dense(h);  // all bands -> SOS exact
+  const ZMatrix dv = dv_matrix(model, h.sphere(), {1, 0});
+  const ZMatrix dpsi = dpsi_sum_over_states(wf, dv);
+
+  for (idx band : {idx{0}, idx{2}}) {
+    const std::vector<cplx> st = dpsi_sternheimer(h, wf, dv, band);
+    // Compare after projecting BOTH onto the non-degenerate complement:
+    // Sternheimer includes conduction-conduction degenerate admixtures SOS
+    // excludes; project out near-degenerate components for the comparison.
+    for (idx g = 0; g < wf.n_pw(); ++g) {
+      // SOS already excludes degenerate partners; Sternheimer projected the
+      // same subspace, so direct comparison is valid.
+      EXPECT_LT(std::abs(st[static_cast<std::size_t>(g)] - dpsi(band, g)),
+                1e-6)
+          << "band " << band << " g " << g;
+    }
+  }
+}
+
+TEST(Dfpt, DpsiFirstOrderWavefunctionFiniteDifference) {
+  // |psi_n(R+d)> ~ |psi_n(R)> + d * |d psi_n> up to phase/degeneracy gauge:
+  // compare the gauge-invariant overlap |<psi_m(R) | psi_n(R+d)>| with the
+  // predicted |delta_mn + d <psi_m|d psi_n>| for a non-degenerate band.
+  const EpmModel model = EpmModel::silicon(1);
+  const PwHamiltonian h(model, 1.8);
+  const Wavefunctions wf = solve_dense(h);
+  const Perturbation p{0, 0};
+  const ZMatrix dv = dv_matrix(model, h.sphere(), p);
+  const ZMatrix dpsi = dpsi_sum_over_states(wf, dv);
+
+  const double delta = 1e-3;
+  Vec3 dvec{delta, 0, 0};
+  const Wavefunctions wfp =
+      solve_dense(PwHamiltonian(model.displaced(0, dvec), 1.8));
+
+  const idx n = 0;  // non-degenerate bottom band
+  for (idx m = 4; m < 10; ++m) {
+    if (std::abs(wf.energy[static_cast<std::size_t>(m)] -
+                 wf.energy[static_cast<std::size_t>(n)]) < 1e-6)
+      continue;
+    cplx overlap{};
+    for (idx g = 0; g < wf.n_pw(); ++g)
+      overlap += std::conj(wf.coeff(m, g)) * wfp.coeff(n, g);
+    cplx pred{};
+    for (idx g = 0; g < wf.n_pw(); ++g)
+      pred += std::conj(wf.coeff(m, g)) * dpsi(n, g);
+    // Degenerate multiplets of m mix under displacement; compare the
+    // multiplet-summed weight instead of individual elements.
+    double w_fd = std::norm(overlap), w_an = std::norm(delta * pred);
+    for (idx mm = 0; mm < wf.n_bands(); ++mm) {
+      if (mm == m) continue;
+      if (std::abs(wf.energy[static_cast<std::size_t>(mm)] -
+                   wf.energy[static_cast<std::size_t>(m)]) < 1e-8) {
+        cplx o2{}, p2{};
+        for (idx g = 0; g < wf.n_pw(); ++g) {
+          o2 += std::conj(wf.coeff(mm, g)) * wfp.coeff(n, g);
+          p2 += std::conj(wf.coeff(mm, g)) * dpsi(n, g);
+        }
+        w_fd += std::norm(o2);
+        w_an += std::norm(delta * p2);
+      }
+    }
+    EXPECT_NEAR(std::sqrt(w_fd), std::sqrt(w_an), 5e-5)
+        << "band pair (" << m << ", " << n << ")";
+  }
+}
+
+TEST(Gwpt, DsigmaFrozenScreeningFiniteDifference) {
+  // THE GWPT validation: Eq. 5's analytic dSigma_ll against the finite
+  // difference of Sigma_ll computed with displaced wavefunctions but the
+  // BASE screening, GPP model, and band energies (frozen, as in Eq. 5).
+  GwParameters gp;
+  gp.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), gp);
+  const Wavefunctions& wf = gw.wavefunctions();
+  const idx l = gw.n_valence();  // CBM (non-degenerate in this cell)
+  const std::vector<idx> bands{l};
+  const Perturbation p{0, 0};
+
+  GwptOptions go;
+  go.n_e_points = 1;
+  GwptCalculation gwpt(gw, go);
+  GwptResult res = gwpt.run_perturbation(p, bands);
+  const double e_eval = res.e_grid[0];
+  const double dsig_an = res.dsigma[0](0, 0).real();
+
+  // Finite difference with frozen screening/energies.
+  const GppDiagKernel kernel(gw.gpp(), gw.coulomb());
+  const EpmModel& model = gw.hamiltonian().model();
+  const double delta = 1e-3;
+  auto sigma_displaced = [&](double d) {
+    Vec3 dvec{d, 0, 0};
+    const PwHamiltonian hd(model.displaced(0, dvec),
+                           gw.hamiltonian().cutoff());
+    Wavefunctions wfd = solve_dense(hd);
+    Mtxel mt(hd.sphere(), gw.eps_sphere(), wfd);
+    // NOTE: displaced sphere equals base sphere (the lattice is unchanged).
+    std::vector<idx> all(static_cast<std::size_t>(wfd.n_bands()));
+    for (idx n = 0; n < wfd.n_bands(); ++n)
+      all[static_cast<std::size_t>(n)] = n;
+    // Match the displaced band l to the base band l by energy ordering
+    // (non-degenerate CBM: ordering is stable for small d).
+    ZMatrix m_ln(wfd.n_bands(), gw.n_g());
+    mt.compute_left_fixed(l, all, m_ln);
+    std::vector<SigmaParts> parts;
+    const std::vector<double> evals{e_eval};
+    kernel.compute(m_ln, wf.energy /* frozen energies */, wf.n_valence,
+                   evals, parts, GppKernelVariant::kReference);
+    return parts[0].total().real();
+  };
+  const double fd =
+      (sigma_displaced(delta) - sigma_displaced(-delta)) / (2.0 * delta);
+
+  EXPECT_NEAR(dsig_an, fd, std::max(5e-3, 0.05 * std::abs(fd)))
+      << "analytic " << dsig_an << " vs FD " << fd;
+}
+
+TEST(Gwpt, GwCouplingDiffersFromDfpt) {
+  // The point of GWPT: self-energy corrections renormalize the coupling.
+  GwParameters gp;
+  gp.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), gp);
+  const std::vector<idx> bands{gw.n_valence() - 1, gw.n_valence()};
+  GwptCalculation gwpt(gw);
+  const GwptResult res = gwpt.run_perturbation({0, 0}, bands);
+  EXPECT_GT(max_abs_diff(res.g_gw, res.g_dfpt), 1e-8);
+  EXPECT_EQ(res.g_gw.rows(), 2);
+}
+
+TEST(Gwpt, IndependentPerturbationsRunAll) {
+  GwParameters gp;
+  gp.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), gp);
+  // Use the non-degenerate bottom band: degenerate multiplets have a
+  // gauge-dependent per-state coupling (only multiplet traces are symmetric).
+  const std::vector<idx> bands{0};
+  GwptOptions go;
+  go.n_e_points = 1;
+  GwptCalculation gwpt(gw, go);
+  const std::vector<Perturbation> ps{{0, 0}, {0, 1}, {1, 2}};
+  const auto all = gwpt.run_all(ps, bands);
+  EXPECT_EQ(all.size(), 3u);
+  // Site symmetry of the diamond lattice: x and y displacements of the
+  // same atom couple identically to the totally symmetric bottom band.
+  EXPECT_NEAR(std::abs(all[0].g_dfpt(0, 0)), std::abs(all[1].g_dfpt(0, 0)),
+              1e-8);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,31 @@
+#pragma once
+
+// Shared fixtures for the GW-core tests: small silicon systems with cached
+// stage results so each test binary pays the setup cost once.
+
+#include "core/sigma.h"
+#include "mf/epm.h"
+
+namespace xgw::testutil {
+
+/// Primitive-cell silicon GW calculation (59 PW basis, ~15 G eps sphere).
+inline GwCalculation& si_prim_gw() {
+  static GwCalculation gw = [] {
+    GwParameters p;
+    p.eps_cutoff = 0.9;
+    return GwCalculation(EpmModel::silicon(1), p);
+  }();
+  return gw;
+}
+
+/// Slightly larger eps sphere for subspace / FF convergence studies.
+inline GwCalculation& si_prim_gw_big_eps() {
+  static GwCalculation gw = [] {
+    GwParameters p;
+    p.eps_cutoff = 1.4;
+    return GwCalculation(EpmModel::silicon(1), p);
+  }();
+  return gw;
+}
+
+}  // namespace xgw::testutil

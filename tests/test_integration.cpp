@@ -1,0 +1,226 @@
+// Cross-module integration tests: the staged production workflow
+// (Parabands -> io -> Epsilon -> io -> Sigma), the 2-D slab path, the
+// FF off-diagonal ZGEMM recast, and material-parameterized pipeline sweeps.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/sigma.h"
+#include "core/sigma_ff.h"
+#include "io/binio.h"
+#include "mf/epm.h"
+#include "mf/solver.h"
+#include "pseudobands/parabands.h"
+#include "pseudobands/pseudobands.h"
+
+namespace xgw {
+namespace {
+
+std::string tmp(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("xgw_int_") + name))
+      .string();
+}
+
+TEST(Integration, StagedWorkflowMatchesMonolithic) {
+  // Stage 1 (Parabands): generate and WRITE the band set. Stage 2
+  // (Epsilon): compute and WRITE eps^{-1}. Stage 3 (Sigma): read both
+  // back and compute QP energies. Must equal the in-memory pipeline.
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  const EpmModel model = EpmModel::silicon(1);
+
+  // Monolithic reference.
+  GwCalculation ref(model, p);
+  const auto qp_ref = ref.sigma_diag({ref.n_valence() - 1, ref.n_valence()});
+
+  // Staged.
+  const std::string wfn_path = tmp("wfn.bin");
+  const std::string eps_path = tmp("epsmat.bin");
+  {
+    GwCalculation stage1(model, p);
+    write_wavefunctions(wfn_path, stage1.wavefunctions());
+  }
+  {
+    GwCalculation stage2(model, p);
+    stage2.set_wavefunctions(read_wavefunctions(wfn_path));
+    write_matrix(eps_path, stage2.epsinv0());
+  }
+  {
+    GwCalculation stage3(model, p);
+    stage3.set_wavefunctions(read_wavefunctions(wfn_path));
+    // epsinv is recomputed internally from the same inputs; verify the
+    // file round-trip agrees with it bit-for-bit.
+    const ZMatrix staged_eps = read_matrix(eps_path);
+    EXPECT_LT(max_abs_diff(staged_eps, stage3.epsinv0()), 1e-12);
+    const auto qp =
+        stage3.sigma_diag({stage3.n_valence() - 1, stage3.n_valence()});
+    for (std::size_t i = 0; i < qp.size(); ++i)
+      EXPECT_NEAR(qp[i].e_qp, qp_ref[i].e_qp, 1e-10);
+  }
+  std::remove(wfn_path.c_str());
+  std::remove(eps_path.c_str());
+}
+
+TEST(Integration, ParabandsFeedsGwIdentically) {
+  // Bands from the Chebyshev Parabands solver drive the same GW answer as
+  // dense diagonalization (gauge differences cancel in Sigma).
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  p.n_bands = 20;
+  const EpmModel model = EpmModel::silicon(1);
+
+  GwCalculation dense_gw(model, p);
+  const auto qp_dense = dense_gw.sigma_diag({3, 4});
+
+  GwCalculation para_gw(model, p);
+  {
+    const PwHamiltonian& h = para_gw.hamiltonian();
+    ParabandsOptions popt;
+    popt.residual_tol = 1e-9;
+    popt.filter_order = 60;
+    para_gw.set_wavefunctions(solve_parabands(h, 20, popt));
+  }
+  const auto qp_para = para_gw.sigma_diag({3, 4});
+  // Gauge differences cancel exactly; the residual tolerance of the
+  // iterative solver (the high guard bands converge last) sets the bound.
+  for (std::size_t i = 0; i < qp_dense.size(); ++i)
+    EXPECT_NEAR(qp_para[i].e_qp, qp_dense[i].e_qp, 5e-4);
+}
+
+TEST(Integration, SlabTruncatedMonolayerGw) {
+  // 2-D path end-to-end: h-BN-like monolayer + slab Coulomb truncation.
+  GwParameters p;
+  p.eps_cutoff = 0.8;
+  p.coulomb = CoulombScheme::kSlabTruncate;
+  GwCalculation gw(EpmModel::bn_monolayer(), p);
+  const Wavefunctions& wf = gw.wavefunctions();
+  EXPECT_GT(wf.gap() * kHartreeToEv, 2.0);  // wide-gap monolayer
+
+  const auto qp = gw.sigma_diag({gw.n_valence() - 1, gw.n_valence()});
+  const double gap_mf = (qp[1].e_mf - qp[0].e_mf) * kHartreeToEv;
+  const double gap_qp = (qp[1].e_qp - qp[0].e_qp) * kHartreeToEv;
+  EXPECT_GT(gap_qp, gap_mf);  // GW opens the gap, 2D too
+  for (const QpResult& r : qp) {
+    EXPECT_GT(r.z, 0.3);
+    EXPECT_LE(r.z, 1.5);
+  }
+}
+
+TEST(Integration, FfOffdiagDiagonalMatchesFfDiag) {
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), p);
+  FfOptions fo;
+  fo.n_freq = 10;
+  const FfScreening scr = build_ff_screening(gw, fo);
+  const std::vector<idx> bands{gw.n_valence() - 1, gw.n_valence()};
+
+  const Wavefunctions& wf = gw.wavefunctions();
+  const double eta = 0.02;
+  std::vector<double> e_grid;
+  for (idx l : bands)
+    e_grid.push_back(wf.energy[static_cast<std::size_t>(l)]);
+
+  const auto full = sigma_ff_offdiag(gw, scr, bands, e_grid, eta);
+  const auto diag = sigma_ff_diag(gw, scr, bands, eta);
+  // The FF-diag path evaluates Sigma_c at each band's own energy; the
+  // off-diag grid contains exactly those energies.
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    const cplx from_full = full[i](static_cast<idx>(i), static_cast<idx>(i));
+    EXPECT_LT(std::abs(from_full - diag[i].sigma_c), 1e-9)
+        << "band slot " << i;
+  }
+}
+
+TEST(Integration, FfOffdiagZgemmFlopAccounting) {
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), p);
+  FfOptions fo;
+  fo.n_freq = 4;
+  const FfScreening scr = build_ff_screening(gw, fo);
+  const std::vector<idx> bands{3, 4, 5};
+  const std::vector<double> e_grid{0.1, 0.3};
+  FlopCounter fc;
+  sigma_ff_offdiag(gw, scr, bands, e_grid, 0.02, &fc);
+  // Per (n, k): two ZGEMMs of shapes (3 x ng x ng) and (3 x ng x 3).
+  const double ng = static_cast<double>(gw.n_g());
+  const double expect = static_cast<double>(gw.n_bands()) * 4.0 *
+                        (8.0 * 3.0 * ng * ng + 8.0 * 3.0 * 3.0 * ng);
+  EXPECT_NEAR(static_cast<double>(fc.total()), expect, 1e-6 * expect);
+}
+
+struct MaterialPipeline : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaterialPipeline, FullGwPipelineInvariants) {
+  // The same invariants must hold for every material the library ships.
+  EpmModel model = [&] {
+    switch (GetParam()) {
+      case 0: return EpmModel::silicon(1);
+      case 1: return EpmModel::lih(1);
+      default: return EpmModel::bn(1);
+    }
+  }();
+  GwParameters p;
+  p.eps_cutoff = model.default_cutoff() / 4.0;
+  GwCalculation gw(model, p);
+  const Wavefunctions& wf = gw.wavefunctions();
+
+  EXPECT_LT(wf.orthonormality_error(), 1e-9);
+  EXPECT_GT(wf.gap(), 0.0);
+
+  // chi(0) Hermitian negative; epsinv head physical.
+  EXPECT_LT(hermiticity_error(gw.chi0()), 1e-8);
+  const double head = gw.epsinv0()(0, 0).real();
+  EXPECT_GT(head, 0.0);
+  EXPECT_LT(head, 1.0);
+
+  // QP: gap opens, Z physical.
+  const auto qp = gw.sigma_diag({gw.n_valence() - 1, gw.n_valence()});
+  EXPECT_GT(qp[1].e_qp - qp[0].e_qp, qp[1].e_mf - qp[0].e_mf);
+  for (const QpResult& r : qp) {
+    EXPECT_GT(r.z, 0.2);
+    EXPECT_LE(r.z, 1.5);
+    EXPECT_LT(r.sigma.sx.real(), 0.5);  // exchange-dominated, negative-ish
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Materials, MaterialPipeline,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Integration, PseudobandsPlusSubspaceFf) {
+  // Compression methods compose: pseudobands band set + subspace FF
+  // screening, against the uncompressed FF reference.
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  GwCalculation ref(EpmModel::silicon(1), p);
+  FfOptions fo;
+  fo.n_freq = 24;  // coarse grids produce unconverged Sigma_c
+  const FfScreening scr_ref = build_ff_screening(ref, fo);
+  const idx v = ref.n_valence() - 1, c = ref.n_valence();
+  const auto r_ref = sigma_ff_diag(ref, scr_ref, {v, c});
+
+  GwCalculation comp(EpmModel::silicon(1), p);
+  PseudobandsOptions po;
+  po.n_xi = 5;
+  po.protect_conduction = 8;
+  comp.set_wavefunctions(build_pseudobands(ref.wavefunctions(), po));
+  FfOptions fo2 = fo;
+  fo2.subspace_fraction = 0.6;
+  const FfScreening scr2 = build_ff_screening(comp, fo2);
+  const auto r_comp = sigma_ff_diag(comp, scr2, {v, c});
+
+  // Compare band-by-band Sigma_c (the compression-sensitive quantity).
+  for (int i = 0; i < 2; ++i)
+    EXPECT_NEAR(r_comp[static_cast<std::size_t>(i)].sigma_c.real(),
+                r_ref[static_cast<std::size_t>(i)].sigma_c.real(),
+                std::max(0.03, 0.25 * std::abs(r_ref[static_cast<std::size_t>(i)]
+                                                   .sigma_c.real())))
+        << "compressed pipeline drifted at band slot " << i;
+}
+
+}  // namespace
+}  // namespace xgw

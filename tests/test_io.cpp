@@ -1,0 +1,135 @@
+// Tests: binary WFN / epsmat file formats (roundtrip, corruption
+// detection, size accounting).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "io/binio.h"
+#include "mf/epm.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+
+namespace xgw {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("xgw_io_test_") + name))
+      .string();
+}
+
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(BinIo, MatrixRoundTripExact) {
+  const std::string path = temp_path("mat.bin");
+  FileGuard guard(path);
+  Rng rng(1);
+  ZMatrix m(17, 23);
+  for (idx i = 0; i < m.size(); ++i) m.data()[i] = rng.normal_cplx();
+
+  write_matrix(path, m);
+  const ZMatrix back = read_matrix(path);
+  ASSERT_EQ(back.rows(), 17);
+  ASSERT_EQ(back.cols(), 23);
+  for (idx i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], back.data()[i]);
+}
+
+TEST(BinIo, WavefunctionsRoundTripExact) {
+  const std::string path = temp_path("wfn.bin");
+  FileGuard guard(path);
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  const Wavefunctions wf = solve_dense(h, 10);
+
+  write_wavefunctions(path, wf);
+  const Wavefunctions back = read_wavefunctions(path);
+  EXPECT_EQ(back.n_bands(), wf.n_bands());
+  EXPECT_EQ(back.n_pw(), wf.n_pw());
+  EXPECT_EQ(back.n_valence, wf.n_valence);
+  for (idx i = 0; i < wf.coeff.size(); ++i)
+    EXPECT_EQ(back.coeff.data()[i], wf.coeff.data()[i]);
+  for (std::size_t i = 0; i < wf.energy.size(); ++i)
+    EXPECT_EQ(back.energy[i], wf.energy[i]);
+}
+
+TEST(BinIo, FileSizeMatchesAccounting) {
+  const std::string path = temp_path("size.bin");
+  FileGuard guard(path);
+  ZMatrix m(5, 9);
+  write_matrix(path, m);
+  EXPECT_EQ(std::filesystem::file_size(path), matrix_file_bytes(5, 9));
+
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  const Wavefunctions wf = solve_dense(h, 6);
+  const std::string path2 = temp_path("size2.bin");
+  FileGuard guard2(path2);
+  write_wavefunctions(path2, wf);
+  EXPECT_EQ(std::filesystem::file_size(path2),
+            wavefunctions_file_bytes(wf.n_bands(), wf.n_pw()));
+}
+
+TEST(BinIo, CorruptionDetected) {
+  const std::string path = temp_path("corrupt.bin");
+  FileGuard guard(path);
+  Rng rng(2);
+  ZMatrix m(8, 8);
+  for (idx i = 0; i < m.size(); ++i) m.data()[i] = rng.normal_cplx();
+  write_matrix(path, m);
+
+  // Flip one payload byte.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(64);
+    byte = static_cast<char>(byte ^ 0x1);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(read_matrix(path), Error);
+}
+
+TEST(BinIo, TruncationDetected) {
+  const std::string path = temp_path("trunc.bin");
+  FileGuard guard(path);
+  ZMatrix m(8, 8);
+  write_matrix(path, m);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(read_matrix(path), Error);
+}
+
+TEST(BinIo, WrongKindDetected) {
+  const std::string path = temp_path("kind.bin");
+  FileGuard guard(path);
+  ZMatrix m(4, 4);
+  write_matrix(path, m);
+  EXPECT_THROW(read_wavefunctions(path), Error);
+}
+
+TEST(BinIo, MissingFileThrows) {
+  EXPECT_THROW(read_matrix(temp_path("does_not_exist.bin")), Error);
+}
+
+TEST(BinIo, StagedWorkflowEpsmatReuse) {
+  // The production pattern the "incl. I/O" rows measure: Epsilon writes
+  // eps^{-1}, Sigma reads it back and proceeds.
+  const std::string path = temp_path("epsmat.bin");
+  FileGuard guard(path);
+  Rng rng(3);
+  ZMatrix epsinv(12, 12);
+  for (idx i = 0; i < epsinv.size(); ++i)
+    epsinv.data()[i] = rng.normal_cplx();
+  write_matrix(path, epsinv);
+  const ZMatrix staged = read_matrix(path);
+  EXPECT_LT(max_abs_diff(epsinv, staged), 1e-300);
+}
+
+}  // namespace
+}  // namespace xgw

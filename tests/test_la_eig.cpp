@@ -1,0 +1,168 @@
+// Unit + property tests: Hermitian eigensolvers.
+//
+// The Householder+QL production path and the Jacobi reference path are
+// independent algorithms; agreement on random matrices, plus residual and
+// unitarity checks, pins both down.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/eig.h"
+#include "la/orth.h"
+
+namespace xgw {
+namespace {
+
+ZMatrix random_hermitian(idx n, Rng& rng) {
+  ZMatrix a(n, n);
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) = rng.normal();
+    for (idx j = i + 1; j < n; ++j) {
+      a(i, j) = rng.normal_cplx();
+      a(j, i) = std::conj(a(i, j));
+    }
+  }
+  return a;
+}
+
+// Hermitian with prescribed (possibly degenerate) spectrum: A = Q D Q^H.
+ZMatrix hermitian_with_spectrum(const std::vector<double>& evals, Rng& rng) {
+  const idx n = static_cast<idx>(evals.size());
+  ZMatrix q(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) q(i, j) = rng.normal_cplx();
+  orthonormalize_columns(q);
+  ZMatrix a(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      cplx acc{};
+      for (idx k = 0; k < n; ++k)
+        acc += q(i, k) * evals[static_cast<std::size_t>(k)] * std::conj(q(j, k));
+      a(i, j) = acc;
+    }
+  return a;
+}
+
+class EigSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(EigSizes, HouseholderResidualAndUnitarity) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const ZMatrix a = random_hermitian(GetParam(), rng);
+  const EigResult r = heev(a, EigMethod::kHouseholderQL);
+  EXPECT_LT(eig_residual(a, r), 1e-9 * std::max<idx>(1, GetParam()));
+  EXPECT_LT(orthonormality_error(r.vectors), 1e-10);
+  for (std::size_t i = 1; i < r.values.size(); ++i)
+    EXPECT_LE(r.values[i - 1], r.values[i]);
+}
+
+TEST_P(EigSizes, JacobiResidualAndUnitarity) {
+  Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const ZMatrix a = random_hermitian(GetParam(), rng);
+  const EigResult r = heev(a, EigMethod::kJacobi);
+  EXPECT_LT(eig_residual(a, r), 1e-9 * std::max<idx>(1, GetParam()));
+  EXPECT_LT(orthonormality_error(r.vectors), 1e-10);
+}
+
+TEST_P(EigSizes, MethodsAgreeOnEigenvalues) {
+  Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const ZMatrix a = random_hermitian(GetParam(), rng);
+  const EigResult r1 = heev(a, EigMethod::kHouseholderQL);
+  const EigResult r2 = heev(a, EigMethod::kJacobi);
+  for (std::size_t i = 0; i < r1.values.size(); ++i)
+    EXPECT_NEAR(r1.values[i], r2.values[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizes,
+                         ::testing::Values<idx>(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(Eig, DiagonalMatrixTrivial) {
+  ZMatrix a(4, 4);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 7.0;
+  a(3, 3) = 0.5;
+  const EigResult r = heev(a);
+  EXPECT_NEAR(r.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 0.5, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+  EXPECT_NEAR(r.values[3], 7.0, 1e-12);
+}
+
+TEST(Eig, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  ZMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 2.0;
+  a(0, 1) = cplx{0.0, 1.0};
+  a(1, 0) = cplx{0.0, -1.0};
+  const EigResult r = heev(a);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+TEST(Eig, DegenerateSpectrumRecovered) {
+  Rng rng(77);
+  const std::vector<double> spec{-2.0, -2.0, -2.0, 1.0, 1.0, 5.0};
+  const ZMatrix a = hermitian_with_spectrum(spec, rng);
+  for (EigMethod m : {EigMethod::kHouseholderQL, EigMethod::kJacobi}) {
+    const EigResult r = heev(a, m);
+    for (std::size_t i = 0; i < spec.size(); ++i)
+      EXPECT_NEAR(r.values[i], spec[i], 1e-9);
+    EXPECT_LT(eig_residual(a, r), 1e-9);
+    EXPECT_LT(orthonormality_error(r.vectors), 1e-9);
+  }
+}
+
+TEST(Eig, TraceAndDeterminantInvariants) {
+  Rng rng(88);
+  const ZMatrix a = random_hermitian(12, rng);
+  const EigResult r = heev(a);
+  double trace = 0.0;
+  for (idx i = 0; i < 12; ++i) trace += a(i, i).real();
+  double esum = 0.0;
+  for (double v : r.values) esum += v;
+  EXPECT_NEAR(trace, esum, 1e-9);
+}
+
+TEST(Eig, RejectsNonHermitian) {
+  ZMatrix a(3, 3);
+  a(0, 1) = cplx{1.0, 0.0};
+  a(1, 0) = cplx{5.0, 0.0};  // grossly asymmetric
+  EXPECT_THROW(heev(a), Error);
+}
+
+TEST(Eig, RejectsRectangular) {
+  ZMatrix a(3, 4);
+  EXPECT_THROW(heev(a), Error);
+}
+
+TEST(Eig, EmptyMatrixOk) {
+  ZMatrix a(0, 0);
+  const EigResult r = heev(a);
+  EXPECT_TRUE(r.values.empty());
+}
+
+TEST(Eig, AlreadyTridiagonalFastPath) {
+  // Tridiagonal Toeplitz: known eigenvalues 2 - 2 cos(k pi / (n+1)).
+  const idx n = 10;
+  ZMatrix a(n, n);
+  for (idx i = 0; i < n; ++i) {
+    a(i, i) = 2.0;
+    if (i + 1 < n) {
+      a(i, i + 1) = -1.0;
+      a(i + 1, i) = -1.0;
+    }
+  }
+  const EigResult r = heev(a);
+  for (idx k = 1; k <= n; ++k) {
+    const double expect =
+        2.0 - 2.0 * std::cos(kPi * static_cast<double>(k) /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(r.values[static_cast<std::size_t>(k - 1)], expect, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,141 @@
+// Unit + property tests: ZGEMM variants and ZGEMV.
+//
+// The blocked and parallel GEMMs must agree with the reference triple loop
+// for every op combination and for shapes that exercise tile remainders —
+// these are the exact code paths the GPP off-diag kernel (Sec. 5.6) relies
+// on for its throughput.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+#include "la/gemm.h"
+
+namespace xgw {
+namespace {
+
+ZMatrix random_matrix(idx r, idx c, Rng& rng) {
+  ZMatrix m(r, c);
+  for (idx i = 0; i < r; ++i)
+    for (idx j = 0; j < c; ++j) m(i, j) = rng.normal_cplx();
+  return m;
+}
+
+// (m, n, k) shapes: tiny, odd remainders, larger-than-one-tile.
+using Shape = std::tuple<idx, idx, idx>;
+
+class GemmShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GemmShapes, BlockedMatchesReferenceAllOps) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(17 + static_cast<std::uint64_t>(m * 1000 + n * 10 + k));
+
+  for (Op opa : {Op::kNone, Op::kTrans, Op::kConjTrans}) {
+    for (Op opb : {Op::kNone, Op::kTrans, Op::kConjTrans}) {
+      const ZMatrix a = (opa == Op::kNone) ? random_matrix(m, k, rng)
+                                           : random_matrix(k, m, rng);
+      const ZMatrix b = (opb == Op::kNone) ? random_matrix(k, n, rng)
+                                           : random_matrix(n, k, rng);
+      ZMatrix c0 = random_matrix(m, n, rng);
+      ZMatrix c1 = c0, c2 = c0;
+
+      const cplx alpha{1.3, -0.4}, beta{0.2, 0.7};
+      zgemm(opa, opb, alpha, a, b, beta, c0, GemmVariant::kReference);
+      zgemm(opa, opb, alpha, a, b, beta, c1, GemmVariant::kBlocked);
+      zgemm(opa, opb, alpha, a, b, beta, c2, GemmVariant::kParallel);
+
+      EXPECT_LT(max_abs_diff(c0, c1), 1e-11 * static_cast<double>(k + 1))
+          << "blocked mismatch at opa=" << static_cast<int>(opa)
+          << " opb=" << static_cast<int>(opb);
+      EXPECT_LT(max_abs_diff(c0, c2), 1e-11 * static_cast<double>(k + 1))
+          << "parallel mismatch";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(Shape{1, 1, 1}, Shape{2, 3, 4}, Shape{7, 5, 9},
+                      Shape{16, 16, 16}, Shape{65, 33, 129},
+                      Shape{70, 260, 140}, Shape{128, 1, 64},
+                      Shape{1, 300, 5}));
+
+TEST(Gemm, BetaZeroOverwritesNanFreeEvenFromGarbage) {
+  // beta = 0 must not propagate pre-existing NaN/Inf in C.
+  Rng rng(3);
+  const ZMatrix a = random_matrix(8, 8, rng);
+  const ZMatrix b = random_matrix(8, 8, rng);
+  ZMatrix c(8, 8, cplx{std::numeric_limits<double>::quiet_NaN(), 0.0});
+  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, a, b, cplx{}, c,
+        GemmVariant::kBlocked);
+  for (idx i = 0; i < c.size(); ++i)
+    EXPECT_TRUE(std::isfinite(c.data()[i].real()));
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  ZMatrix a(3, 4), b(5, 6), c(3, 6);
+  EXPECT_THROW(
+      zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c), Error);
+  ZMatrix b2(4, 6), cbad(2, 6);
+  EXPECT_THROW(
+      zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b2, cplx{}, cbad), Error);
+}
+
+TEST(Gemm, ConjTransEqualsManualAdjoint) {
+  Rng rng(5);
+  const ZMatrix a = random_matrix(6, 9, rng);
+  const ZMatrix b = random_matrix(6, 7, rng);
+  ZMatrix c(9, 7), cref(9, 7);
+  zgemm(Op::kConjTrans, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+        GemmVariant::kBlocked);
+  const ZMatrix ah = adjoint(a);
+  zgemm(Op::kNone, Op::kNone, cplx{1, 0}, ah, b, cplx{}, cref,
+        GemmVariant::kReference);
+  EXPECT_LT(max_abs_diff(c, cref), 1e-12);
+}
+
+TEST(Gemm, FlopCounterAccumulatesCanonicalCount) {
+  Rng rng(9);
+  const ZMatrix a = random_matrix(10, 20, rng);
+  const ZMatrix b = random_matrix(20, 30, rng);
+  ZMatrix c(10, 30);
+  FlopCounter fc;
+  zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+        GemmVariant::kParallel, &fc);
+  EXPECT_EQ(fc.total(), static_cast<std::uint64_t>(8 * 10 * 20 * 30));
+}
+
+TEST(Gemv, MatchesGemmColumn) {
+  Rng rng(21);
+  const ZMatrix a = random_matrix(12, 9, rng);
+  std::vector<cplx> x(9);
+  for (auto& v : x) v = rng.normal_cplx();
+
+  for (Op op : {Op::kNone, Op::kTrans, Op::kConjTrans}) {
+    const auto [m, k] = op_shape(op, a);
+    std::vector<cplx> xx(static_cast<std::size_t>(k));
+    for (idx i = 0; i < k; ++i) xx[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i % 9)];
+    std::vector<cplx> y(static_cast<std::size_t>(m), cplx{0.5, 0.5});
+
+    // Reference via zgemm with X as a 1-column matrix.
+    ZMatrix xm(k, 1);
+    for (idx i = 0; i < k; ++i) xm(i, 0) = xx[static_cast<std::size_t>(i)];
+    ZMatrix ym(m, 1, cplx{0.5, 0.5});
+    const cplx alpha{0.7, -0.1}, beta{1.1, 0.3};
+    zgemm(op, Op::kNone, alpha, a, xm, beta, ym, GemmVariant::kReference);
+
+    zgemv(op, alpha, a, xx, beta, y);
+    for (idx i = 0; i < m; ++i)
+      EXPECT_LT(std::abs(y[static_cast<std::size_t>(i)] - ym(i, 0)), 1e-12);
+  }
+}
+
+TEST(Gemv, SizeMismatchThrows) {
+  ZMatrix a(3, 4);
+  std::vector<cplx> x(3), y(3);
+  EXPECT_THROW(zgemv(Op::kNone, cplx{1, 0}, a, x, cplx{}, y), Error);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,127 @@
+// Unit tests: LU factorization, solves, inversion, Cholesky.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/gemm.h"
+#include "la/lu.h"
+
+namespace xgw {
+namespace {
+
+ZMatrix random_matrix(idx n, Rng& rng) {
+  ZMatrix m(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) m(i, j) = rng.normal_cplx();
+  return m;
+}
+
+class LuSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(LuSizes, SolveRecoversKnownSolution) {
+  const idx n = GetParam();
+  Rng rng(40 + static_cast<std::uint64_t>(n));
+  const ZMatrix a = random_matrix(n, rng);
+  std::vector<cplx> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.normal_cplx();
+
+  std::vector<cplx> b(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    cplx acc{};
+    for (idx j = 0; j < n; ++j) acc += a(i, j) * x_true[static_cast<std::size_t>(j)];
+    b[static_cast<std::size_t>(i)] = acc;
+  }
+
+  LuFactorization lu(a);
+  lu.solve_in_place(b);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(b[static_cast<std::size_t>(i)] -
+                       x_true[static_cast<std::size_t>(i)]),
+              1e-9 * static_cast<double>(n));
+}
+
+TEST_P(LuSizes, InverseTimesMatrixIsIdentity) {
+  const idx n = GetParam();
+  Rng rng(50 + static_cast<std::uint64_t>(n));
+  const ZMatrix a = random_matrix(n, rng);
+  const ZMatrix ainv = invert(a);
+  ZMatrix prod(n, n);
+  zgemm(Op::kNone, Op::kNone, cplx{1, 0}, ainv, a, cplx{}, prod);
+  EXPECT_LT(max_abs_diff(prod, ZMatrix::identity(n)),
+            1e-9 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes, ::testing::Values<idx>(1, 2, 5, 16, 40));
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  // det([[1, 2], [3, 4]]) = -2.
+  ZMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  LuFactorization lu(a);
+  EXPECT_NEAR(lu.determinant().real(), -2.0, 1e-12);
+  EXPECT_NEAR(lu.determinant().imag(), 0.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  ZMatrix a(3, 3);  // rank 1
+  for (idx i = 0; i < 3; ++i)
+    for (idx j = 0; j < 3; ++j) a(i, j) = static_cast<double>((i + 1) * (j + 1));
+  EXPECT_THROW(LuFactorization{a}, Error);
+}
+
+TEST(Lu, MultiRhsSolve) {
+  Rng rng(60);
+  const idx n = 12;
+  const ZMatrix a = random_matrix(n, rng);
+  const ZMatrix x_true = random_matrix(n, rng);
+  ZMatrix b(n, n);
+  zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, x_true, cplx{}, b);
+  const ZMatrix x = solve(a, b);
+  EXPECT_LT(max_abs_diff(x, x_true), 1e-8);
+}
+
+TEST(Lu, RcondNearOneForUnitary) {
+  // Diagonal unitary: perfectly conditioned.
+  ZMatrix a(4, 4);
+  Rng rng(61);
+  for (idx i = 0; i < 4; ++i) a(i, i) = rng.unit_phase();
+  LuFactorization lu(a);
+  EXPECT_NEAR(lu.rcond_estimate(), 1.0, 1e-12);
+}
+
+TEST(Lu, RcondSmallForNearSingular) {
+  ZMatrix a = ZMatrix::identity(4);
+  a(3, 3) = 1e-12;
+  LuFactorization lu(a);
+  EXPECT_LT(lu.rcond_estimate(), 1e-10);
+}
+
+TEST(Cholesky, ReconstructsHpdMatrix) {
+  Rng rng(70);
+  const idx n = 10;
+  const ZMatrix b = random_matrix(n, rng);
+  // A = B B^H + n I is HPD.
+  ZMatrix a(n, n);
+  zgemm(Op::kNone, Op::kConjTrans, cplx{1, 0}, b, b, cplx{}, a);
+  for (idx i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+
+  const ZMatrix l = cholesky(a);
+  ZMatrix recon(n, n);
+  zgemm(Op::kNone, Op::kConjTrans, cplx{1, 0}, l, l, cplx{}, recon);
+  EXPECT_LT(max_abs_diff(recon, a), 1e-9 * static_cast<double>(n));
+  // L is lower triangular.
+  for (idx i = 0; i < n; ++i)
+    for (idx j = i + 1; j < n; ++j) EXPECT_EQ(l(i, j), cplx{});
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+  ZMatrix a = ZMatrix::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_THROW(cholesky(a), Error);
+}
+
+}  // namespace
+}  // namespace xgw

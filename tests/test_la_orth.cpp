@@ -1,0 +1,85 @@
+// Unit tests: block orthonormalization and projection.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/orth.h"
+
+namespace xgw {
+namespace {
+
+ZMatrix random_block(idx n, idx m, Rng& rng) {
+  ZMatrix v(n, m);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < m; ++j) v(i, j) = rng.normal_cplx();
+  return v;
+}
+
+TEST(Orth, RandomBlockBecomesOrthonormal) {
+  Rng rng(1);
+  ZMatrix v = random_block(50, 12, rng);
+  const idx kept = orthonormalize_columns(v);
+  EXPECT_EQ(kept, 12);
+  EXPECT_LT(orthonormality_error(v), 1e-12);
+}
+
+TEST(Orth, DependentColumnsDropped) {
+  Rng rng(2);
+  ZMatrix v = random_block(20, 3, rng);
+  ZMatrix w(20, 5);
+  for (idx i = 0; i < 20; ++i) {
+    w(i, 0) = v(i, 0);
+    w(i, 1) = v(i, 1);
+    w(i, 2) = v(i, 0) + v(i, 1);       // dependent
+    w(i, 3) = v(i, 2);
+    w(i, 4) = 2.0 * v(i, 2) - v(i, 0); // dependent
+  }
+  const idx kept = orthonormalize_columns(w);
+  EXPECT_EQ(kept, 3);
+  EXPECT_EQ(w.cols(), 3);
+  EXPECT_LT(orthonormality_error(w), 1e-12);
+}
+
+TEST(Orth, ZeroColumnDropped) {
+  Rng rng(3);
+  ZMatrix v = random_block(10, 2, rng);
+  ZMatrix w(10, 3);
+  for (idx i = 0; i < 10; ++i) {
+    w(i, 0) = v(i, 0);
+    w(i, 1) = cplx{};
+    w(i, 2) = v(i, 1);
+  }
+  EXPECT_EQ(orthonormalize_columns(w), 2);
+}
+
+TEST(Orth, ProjectOutAnnihilatesSpanComponents) {
+  Rng rng(4);
+  ZMatrix basis = random_block(30, 5, rng);
+  orthonormalize_columns(basis);
+
+  // v = basis combination + orthogonal remainder.
+  ZMatrix v = random_block(30, 2, rng);
+  project_out(basis, v);
+  // Now inner products with the basis are ~0.
+  for (idx k = 0; k < basis.cols(); ++k) {
+    for (idx j = 0; j < v.cols(); ++j) {
+      cplx dot{};
+      for (idx i = 0; i < 30; ++i) dot += std::conj(basis(i, k)) * v(i, j);
+      EXPECT_LT(std::abs(dot), 1e-12);
+    }
+  }
+}
+
+TEST(Orth, ProjectOutIdempotent) {
+  Rng rng(5);
+  ZMatrix basis = random_block(25, 4, rng);
+  orthonormalize_columns(basis);
+  ZMatrix v = random_block(25, 3, rng);
+  project_out(basis, v);
+  ZMatrix v2 = v;
+  project_out(basis, v2);
+  EXPECT_LT(max_abs_diff(v, v2), 1e-12);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,204 @@
+// Unit + integration tests: empirical pseudopotential mean field.
+//
+// Validates the substrate that replaces the paper's DFT starting point:
+// Hermitian plane-wave Hamiltonian, dense vs matrix-free agreement, dense
+// vs Davidson agreement, and silicon band-structure sanity (insulating gap).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "mf/epm.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+
+namespace xgw {
+namespace {
+
+TEST(FormFactorTest, InterpolatesControlPoints) {
+  FormFactor f({{0.0, -0.1}, {1.0, -0.05}, {2.0, 0.02}, {3.0, 0.0}});
+  EXPECT_NEAR(f(0.0), -0.1, 1e-14);
+  EXPECT_NEAR(f(1.0), -0.05, 1e-14);
+  EXPECT_NEAR(f(2.0), 0.02, 1e-14);
+}
+
+TEST(FormFactorTest, ZeroBeyondLastPoint) {
+  FormFactor f({{0.0, -0.1}, {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(f(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 0.0);
+}
+
+TEST(FormFactorTest, MonotoneSegmentsDoNotOvershoot) {
+  FormFactor f({{0.0, -0.2}, {1.0, -0.1}, {2.0, 0.1}, {4.0, 0.0}});
+  for (double q2 = 0.0; q2 <= 1.0; q2 += 0.01) {
+    EXPECT_GE(f(q2), -0.2 - 1e-12);
+    EXPECT_LE(f(q2), -0.1 + 1e-12);
+  }
+}
+
+TEST(FormFactorTest, RejectsBadPoints) {
+  EXPECT_THROW(FormFactor({{0.0, 1.0}}), Error);
+  EXPECT_THROW(FormFactor({{1.0, 1.0}, {1.0, 2.0}}), Error);
+}
+
+TEST(Epm, SiliconElectronCount) {
+  EXPECT_EQ(EpmModel::silicon(1).n_electrons(), 8);
+  EXPECT_EQ(EpmModel::silicon(1).n_valence_bands(), 4);
+  EXPECT_EQ(EpmModel::silicon(2).n_valence_bands(), 32);
+  EXPECT_EQ(EpmModel::lih(1).n_valence_bands(), 1);
+  EXPECT_EQ(EpmModel::bn(1).n_valence_bands(), 4);
+}
+
+TEST(Epm, PrimCellCount) {
+  EXPECT_NEAR(EpmModel::silicon(1).n_prim_cells(), 1.0, 1e-9);
+  EXPECT_NEAR(EpmModel::silicon(2).n_prim_cells(), 8.0, 1e-9);
+}
+
+TEST(Epm, PotentialHermitianSymmetry) {
+  // V(-G) = conj(V(G)) for real V(r).
+  const EpmModel m = EpmModel::silicon(1);
+  for (idx h = -2; h <= 2; ++h)
+    for (idx k = -2; k <= 2; ++k)
+      for (idx l = -2; l <= 2; ++l) {
+        const cplx v = m.v_of_g({h, k, l});
+        const cplx vm = m.v_of_g({-h, -k, -l});
+        EXPECT_LT(std::abs(v - std::conj(vm)), 1e-14);
+      }
+}
+
+TEST(Epm, GZeroComponentIsZero) {
+  EXPECT_EQ(EpmModel::silicon(1).v_of_g({0, 0, 0}), cplx{});
+}
+
+TEST(Epm, SupercellFoldsPrimitivePotential) {
+  // V_super(n*hkl) == V_prim(hkl): the supercell potential at folded G
+  // vectors must match the primitive cell.
+  const EpmModel p = EpmModel::silicon(1);
+  const EpmModel s = EpmModel::silicon(2);
+  for (idx h = -2; h <= 2; ++h)
+    for (idx k = -2; k <= 2; ++k) {
+      const cplx vp = p.v_of_g({h, k, 1});
+      const cplx vs = s.v_of_g({2 * h, 2 * k, 2});
+      EXPECT_LT(std::abs(vp - vs), 1e-12);
+    }
+}
+
+TEST(Epm, VacancyReducesElectrons) {
+  const EpmModel m = EpmModel::silicon(2);
+  const EpmModel v = m.with_vacancy(0);
+  EXPECT_EQ(v.n_electrons(), m.n_electrons() - 4);
+}
+
+TEST(Epm, DvDrFiniteDifference) {
+  // Analytic dV/dR must match finite differences of the displaced model.
+  const EpmModel m = EpmModel::silicon(1);
+  const double h = 1e-5;
+  const IVec3 g{1, 2, -1};
+  for (int axis = 0; axis < 3; ++axis) {
+    Vec3 delta{0, 0, 0};
+    delta[static_cast<std::size_t>(axis)] = h;
+    const cplx vp = m.displaced(1, delta).v_of_g(g);
+    const cplx vm_ = m.displaced(1, {-delta[0], -delta[1], -delta[2]}).v_of_g(g);
+    const cplx fd = (vp - vm_) / (2.0 * h);
+    const cplx an = m.dv_dr(g, 1, axis);
+    EXPECT_LT(std::abs(fd - an), 1e-8) << "axis " << axis;
+  }
+}
+
+TEST(Hamiltonian, DenseIsHermitian) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.8);
+  EXPECT_LT(hermiticity_error(h.dense()), 1e-13);
+}
+
+TEST(Hamiltonian, ApplyMatchesDense) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.8);
+  const idx n = h.n_pw();
+  const ZMatrix hd = h.dense();
+
+  Rng rng(31);
+  std::vector<cplx> x(static_cast<std::size_t>(n)), y(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.normal_cplx();
+  h.apply(x.data(), y.data());
+
+  for (idx i = 0; i < n; ++i) {
+    cplx acc{};
+    for (idx j = 0; j < n; ++j) acc += hd(i, j) * x[static_cast<std::size_t>(j)];
+    EXPECT_LT(std::abs(acc - y[static_cast<std::size_t>(i)]), 1e-10)
+        << "row " << i;
+  }
+}
+
+TEST(Hamiltonian, SpectralBoundsContainSpectrum) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.8);
+  const Wavefunctions wf = solve_dense(h);
+  EXPECT_GE(wf.energy.front(), h.spectral_lower_bound() - 1e-9);
+  EXPECT_LE(wf.energy.back(), h.spectral_upper_bound() + 1e-9);
+}
+
+TEST(Solver, DenseBandsOrthonormal) {
+  const PwHamiltonian h(EpmModel::silicon(1), 2.0);
+  const Wavefunctions wf = solve_dense(h, 12);
+  EXPECT_EQ(wf.n_bands(), 12);
+  EXPECT_LT(wf.orthonormality_error(), 1e-10);
+  for (std::size_t i = 1; i < wf.energy.size(); ++i)
+    EXPECT_LE(wf.energy[i - 1], wf.energy[i] + 1e-12);
+}
+
+TEST(Solver, SiliconHasInsulatingGap) {
+  // CB-like silicon: clean gap between band 4 and band 5 at Gamma-folded
+  // supercell; magnitude order ~1 eV (EPM direct-ish gap in a small cell).
+  const PwHamiltonian h(EpmModel::silicon(1));
+  const Wavefunctions wf = solve_dense(h, 10);
+  const double gap_ev = wf.gap() * kHartreeToEv;
+  EXPECT_GT(gap_ev, 0.3);
+  EXPECT_LT(gap_ev, 6.0);
+}
+
+TEST(Solver, LihAndBnAreInsulating) {
+  {
+    const PwHamiltonian h(EpmModel::lih(1));
+    const Wavefunctions wf = solve_dense(h, 4);
+    EXPECT_GT(wf.gap() * kHartreeToEv, 1.0);
+  }
+  {
+    const PwHamiltonian h(EpmModel::bn(1));
+    const Wavefunctions wf = solve_dense(h, 8);
+    EXPECT_GT(wf.gap() * kHartreeToEv, 1.0);
+  }
+}
+
+TEST(Solver, DavidsonMatchesDense) {
+  const PwHamiltonian h(EpmModel::silicon(1), 2.0);
+  const idx nb = 8;
+  const Wavefunctions dense = solve_dense(h, nb);
+  const Wavefunctions dav = solve_davidson(h, nb);
+  for (idx b = 0; b < nb; ++b)
+    EXPECT_NEAR(dav.energy[static_cast<std::size_t>(b)],
+                dense.energy[static_cast<std::size_t>(b)], 1e-6)
+        << "band " << b;
+  EXPECT_LT(dav.orthonormality_error(), 1e-8);
+}
+
+TEST(Solver, DavidsonSupercell) {
+  const PwHamiltonian h(EpmModel::silicon(2), 1.2);
+  const idx nb = 16;
+  const Wavefunctions dense = solve_dense(h, nb);
+  const Wavefunctions dav = solve_davidson(h, nb);
+  for (idx b = 0; b < nb; ++b)
+    EXPECT_NEAR(dav.energy[static_cast<std::size_t>(b)],
+                dense.energy[static_cast<std::size_t>(b)], 1e-5);
+}
+
+TEST(Wavefunction, TruncationKeepsLowest) {
+  const PwHamiltonian h(EpmModel::silicon(1), 2.0);
+  const Wavefunctions wf = solve_dense(h, 10);
+  const Wavefunctions t = wf.truncated(6);
+  EXPECT_EQ(t.n_bands(), 6);
+  for (idx b = 0; b < 6; ++b)
+    EXPECT_DOUBLE_EQ(t.energy[static_cast<std::size_t>(b)],
+                     wf.energy[static_cast<std::size_t>(b)]);
+}
+
+}  // namespace
+}  // namespace xgw

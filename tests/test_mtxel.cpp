@@ -1,0 +1,150 @@
+// Unit tests: MTXEL kernel — FFT-based plane-wave matrix elements validated
+// against the direct convolution definition M^G_mn = sum_G' c_m(G'+G)* c_n(G').
+
+#include <gtest/gtest.h>
+
+#include "core/mtxel.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+struct MtxelFixture : public ::testing::Test {
+  void SetUp() override {
+    const EpmModel model = EpmModel::silicon(1);
+    ham = std::make_unique<PwHamiltonian>(model, 2.0);
+    eps = std::make_unique<GSphere>(model.crystal().lattice(), 0.9);
+    wf = solve_dense(*ham, 12);
+    mtxel = std::make_unique<Mtxel>(ham->sphere(), *eps, wf);
+  }
+
+  // Direct O(N_G^psi) convolution reference.
+  cplx direct(idx m, idx n, idx ig_eps) const {
+    const GSphere& ps = ham->sphere();
+    const IVec3 g = eps->miller(ig_eps);
+    cplx acc{};
+    for (idx igp = 0; igp < ps.size(); ++igp) {
+      const IVec3 mp = ps.miller(igp);
+      const idx shifted = ps.find({mp[0] + g[0], mp[1] + g[1], mp[2] + g[2]});
+      if (shifted < 0) continue;  // outside psi sphere: coefficient is zero
+      acc += std::conj(wf.coeff(m, shifted)) * wf.coeff(n, igp);
+    }
+    return acc;
+  }
+
+  std::unique_ptr<PwHamiltonian> ham;
+  std::unique_ptr<GSphere> eps;
+  Wavefunctions wf;
+  std::unique_ptr<Mtxel> mtxel;
+};
+
+TEST_F(MtxelFixture, MatchesDirectConvolution) {
+  std::vector<cplx> out(static_cast<std::size_t>(eps->size()));
+  for (idx m : {idx{0}, idx{3}, idx{7}}) {
+    for (idx n : {idx{1}, idx{4}, idx{11}}) {
+      mtxel->compute_pair(m, n, out.data());
+      for (idx ig = 0; ig < eps->size(); ++ig)
+        EXPECT_LT(std::abs(out[static_cast<std::size_t>(ig)] - direct(m, n, ig)),
+                  1e-11)
+            << "m=" << m << " n=" << n << " ig=" << ig;
+    }
+  }
+}
+
+TEST_F(MtxelFixture, GZeroIsOverlap) {
+  // M^{G=0}_mn = <m|n> = delta_mn.
+  std::vector<cplx> out(static_cast<std::size_t>(eps->size()));
+  for (idx m = 0; m < 6; ++m)
+    for (idx n = 0; n < 6; ++n) {
+      mtxel->compute_pair(m, n, out.data());
+      const cplx expect = (m == n) ? cplx{1.0, 0.0} : cplx{};
+      EXPECT_LT(std::abs(out[0] - expect), 1e-11);
+    }
+}
+
+TEST_F(MtxelFixture, ConjugationSymmetry) {
+  // M_mn(G) = conj(M_nm(-G)).
+  std::vector<cplx> mn(static_cast<std::size_t>(eps->size()));
+  std::vector<cplx> nm(static_cast<std::size_t>(eps->size()));
+  mtxel->compute_pair(2, 5, mn.data());
+  mtxel->compute_pair(5, 2, nm.data());
+  for (idx ig = 0; ig < eps->size(); ++ig) {
+    const IVec3 g = eps->miller(ig);
+    const idx igm = eps->find({-g[0], -g[1], -g[2]});
+    ASSERT_GE(igm, 0);
+    EXPECT_LT(std::abs(mn[static_cast<std::size_t>(ig)] -
+                       std::conj(nm[static_cast<std::size_t>(igm)])),
+              1e-11);
+  }
+}
+
+TEST_F(MtxelFixture, RawPairMatchesCachedPair) {
+  std::vector<cplx> a(static_cast<std::size_t>(eps->size()));
+  std::vector<cplx> b(static_cast<std::size_t>(eps->size()));
+  mtxel->compute_pair(1, 6, a.data());
+  mtxel->compute_pair_raw(wf.coeff.row(1), wf.coeff.row(6), b.data());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_LT(std::abs(a[i] - b[i]), 1e-12);
+}
+
+TEST_F(MtxelFixture, LeftFixedBlockMatchesPairs) {
+  const std::vector<idx> ns{0, 2, 4, 9};
+  ZMatrix block(static_cast<idx>(ns.size()), eps->size());
+  mtxel->compute_left_fixed(3, ns, block);
+  std::vector<cplx> ref(static_cast<std::size_t>(eps->size()));
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    mtxel->compute_pair(3, ns[i], ref.data());
+    for (idx ig = 0; ig < eps->size(); ++ig)
+      EXPECT_EQ(block(static_cast<idx>(i), ig), ref[static_cast<std::size_t>(ig)]);
+  }
+}
+
+TEST_F(MtxelFixture, TinyCacheBitwiseIdentical) {
+  // A 2-entry cache must evict constantly yet produce identical results.
+  Mtxel tiny(ham->sphere(), *eps, wf, /*max_cached_bands=*/2);
+  std::vector<cplx> a(static_cast<std::size_t>(eps->size()));
+  std::vector<cplx> b(static_cast<std::size_t>(eps->size()));
+  for (idx m = 0; m < 5; ++m)
+    for (idx n = 0; n < 5; ++n) {
+      mtxel->compute_pair(m, n, a.data());
+      tiny.compute_pair(m, n, b.data());
+      for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+  EXPECT_LE(tiny.peak_cache_entries(), 2);
+}
+
+TEST_F(MtxelFixture, DensityNormalizationIsElectronCount) {
+  const auto rho = charge_density_box(*mtxel, wf);
+  EXPECT_NEAR(rho[0].real(), 2.0 * static_cast<double>(wf.n_valence), 1e-9);
+  EXPECT_NEAR(rho[0].imag(), 0.0, 1e-12);
+}
+
+TEST_F(MtxelFixture, DensityHermitian) {
+  // rho(-G) = conj(rho(G)) for a real density.
+  const auto rho = charge_density_box(*mtxel, wf);
+  const FftBox& box = mtxel->box();
+  for (idx h = -2; h <= 2; ++h)
+    for (idx k = -2; k <= 2; ++k)
+      for (idx l = -2; l <= 2; ++l) {
+        const cplx r = rho[static_cast<std::size_t>(box_index(box, {h, k, l}))];
+        const cplx rm =
+            rho[static_cast<std::size_t>(box_index(box, {-h, -k, -l}))];
+        EXPECT_LT(std::abs(r - std::conj(rm)), 1e-10);
+      }
+}
+
+TEST_F(MtxelFixture, FftCountAccounting) {
+  Mtxel fresh(ham->sphere(), *eps, wf);
+  std::vector<cplx> out(static_cast<std::size_t>(eps->size()));
+  fresh.compute_pair(0, 1, out.data());
+  // Two band transforms + one product transform.
+  EXPECT_EQ(fresh.fft_count(), 3);
+  fresh.compute_pair(0, 2, out.data());
+  // Band 0 cached: one band transform + one product transform.
+  EXPECT_EQ(fresh.fft_count(), 5);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,74 @@
+// Tests: Chebyshev-filtered Parabands band generation vs dense and
+// Davidson references.
+
+#include <gtest/gtest.h>
+
+#include "mf/solver.h"
+#include "pseudobands/parabands.h"
+
+namespace xgw {
+namespace {
+
+TEST(Parabands, MatchesDenseLowestBands) {
+  const PwHamiltonian h(EpmModel::silicon(1), 2.0);
+  const idx nb = 10;
+  const Wavefunctions dense = solve_dense(h, nb);
+  const Wavefunctions pb = solve_parabands(h, nb);
+  for (idx b = 0; b < nb; ++b)
+    EXPECT_NEAR(pb.energy[static_cast<std::size_t>(b)],
+                dense.energy[static_cast<std::size_t>(b)], 1e-6)
+        << "band " << b;
+  EXPECT_LT(pb.orthonormality_error(), 1e-8);
+}
+
+TEST(Parabands, ThreeSolversAgree) {
+  const PwHamiltonian h(EpmModel::lih(1), 4.0);
+  const idx nb = 6;
+  const Wavefunctions dense = solve_dense(h, nb);
+  const Wavefunctions dav = solve_davidson(h, nb);
+  const Wavefunctions para = solve_parabands(h, nb);
+  for (idx b = 0; b < nb; ++b) {
+    EXPECT_NEAR(dav.energy[static_cast<std::size_t>(b)],
+                dense.energy[static_cast<std::size_t>(b)], 1e-5);
+    EXPECT_NEAR(para.energy[static_cast<std::size_t>(b)],
+                dense.energy[static_cast<std::size_t>(b)], 1e-5);
+  }
+}
+
+TEST(Parabands, EigenvectorResiduals) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.8);
+  const idx nb = 8;
+  const Wavefunctions pb = solve_parabands(h, nb);
+  std::vector<cplx> hx(static_cast<std::size_t>(h.n_pw()));
+  for (idx b = 0; b < nb; ++b) {
+    h.apply(pb.coeff.row(b), hx.data());
+    double r2 = 0.0;
+    for (idx g = 0; g < h.n_pw(); ++g)
+      r2 += std::norm(hx[static_cast<std::size_t>(g)] -
+                      pb.energy[static_cast<std::size_t>(b)] *
+                          pb.coeff(b, g));
+    EXPECT_LT(std::sqrt(r2), 1e-6) << "band " << b;
+  }
+}
+
+TEST(Parabands, SupercellModerateBandCount) {
+  const PwHamiltonian h(EpmModel::silicon(2), 1.2);
+  const idx nb = 40;  // valence (32) + 8 conduction
+  const Wavefunctions dense = solve_dense(h, nb);
+  ParabandsOptions opt;
+  opt.filter_order = 60;
+  const Wavefunctions pb = solve_parabands(h, nb, opt);
+  for (idx b = 0; b < nb; ++b)
+    EXPECT_NEAR(pb.energy[static_cast<std::size_t>(b)],
+                dense.energy[static_cast<std::size_t>(b)], 1e-4)
+        << "band " << b;
+}
+
+TEST(Parabands, RejectsBadCounts) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  EXPECT_THROW(solve_parabands(h, 0), Error);
+  EXPECT_THROW(solve_parabands(h, h.n_pw() + 1), Error);
+}
+
+}  // namespace
+}  // namespace xgw

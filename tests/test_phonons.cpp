@@ -1,0 +1,150 @@
+// Tests: frozen-phonon force constants, dynamical matrix, mode-resolved
+// electron-phonon coupling.
+
+#include <gtest/gtest.h>
+
+#include "gwpt/phonons.h"
+#include "mf/solver.h"
+
+namespace xgw {
+namespace {
+
+TEST(Phonons, MassesSane) {
+  EXPECT_NEAR(species_mass_au("H") / 1822.888486209, 1.008, 1e-6);
+  EXPECT_GT(species_mass_au("Si"), species_mass_au("N"));
+  EXPECT_THROW(species_mass_au("Xx"), Error);
+}
+
+TEST(Phonons, EquilibriumForcesVanish) {
+  // The diamond structure is an extremum of the EPM total band energy:
+  // Hellmann-Feynman forces vanish by symmetry at the ideal geometry.
+  const EpmModel si = EpmModel::silicon(1);
+  const PwHamiltonian h(si, 2.0);
+  const Wavefunctions wf = solve_dense(h, si.n_valence_bands() + 1);
+  const auto f = hellmann_feynman_forces(si, h.sphere(), wf);
+  for (const Vec3& fa : f)
+    for (int ax = 0; ax < 3; ++ax)
+      EXPECT_LT(std::abs(fa[static_cast<std::size_t>(ax)]), 1e-8);
+}
+
+TEST(Phonons, HellmannFeynmanMatchesEnergyDerivative) {
+  // F = -dE_band/dR, checked against finite differences of the occupied
+  // band-energy sum at a DISPLACED (force-bearing) geometry.
+  const EpmModel si0 = EpmModel::silicon(1);
+  const EpmModel si = si0.displaced(0, {0.05, 0.02, -0.01});
+  const double cutoff = 1.8;
+  const PwHamiltonian h(si, cutoff);
+  const Wavefunctions wf = solve_dense(h, si.n_valence_bands() + 1);
+  const auto f = hellmann_feynman_forces(si, h.sphere(), wf);
+
+  const double d = 1e-4;
+  auto e_band = [&](const EpmModel& m) {
+    const PwHamiltonian hh(m, cutoff);
+    const Wavefunctions w = solve_dense(hh, m.n_valence_bands());
+    double e = 0.0;
+    for (idx v = 0; v < w.n_valence; ++v)
+      e += 2.0 * w.energy[static_cast<std::size_t>(v)];
+    return e;
+  };
+  for (int ax = 0; ax < 3; ++ax) {
+    Vec3 dv{0, 0, 0};
+    dv[static_cast<std::size_t>(ax)] = d;
+    const double fd =
+        -(e_band(si.displaced(1, dv)) -
+          e_band(si.displaced(1, {-dv[0], -dv[1], -dv[2]}))) /
+        (2.0 * d);
+    EXPECT_NEAR(f[1][static_cast<std::size_t>(ax)], fd, 1e-5) << "axis " << ax;
+  }
+}
+
+struct PhononFixture : public ::testing::Test {
+  static void SetUpTestSuite() {
+    model = new EpmModel(EpmModel::silicon(1));
+    phi = new DMatrix(force_constants(*model, 1.8));
+    modes = new PhononModes(phonon_modes(*model, *phi));
+  }
+  static void TearDownTestSuite() {
+    delete modes; delete phi; delete model;
+  }
+  static EpmModel* model;
+  static DMatrix* phi;
+  static PhononModes* modes;
+};
+EpmModel* PhononFixture::model = nullptr;
+DMatrix* PhononFixture::phi = nullptr;
+PhononModes* PhononFixture::modes = nullptr;
+
+TEST_F(PhononFixture, ForceConstantsSymmetric) {
+  for (idx i = 0; i < phi->rows(); ++i)
+    for (idx j = 0; j < phi->cols(); ++j)
+      EXPECT_NEAR((*phi)(i, j), (*phi)(j, i), 1e-12);
+}
+
+TEST_F(PhononFixture, AcousticSumRule) {
+  // Rigid translations: three ~zero modes.
+  const idx n = modes->n_modes();
+  ASSERT_EQ(n, 6);
+  int n_acoustic = 0;
+  for (idx nu = 0; nu < n; ++nu)
+    if (std::abs(modes->omega[static_cast<std::size_t>(nu)]) < 2e-4)
+      ++n_acoustic;
+  EXPECT_EQ(n_acoustic, 3);
+}
+
+TEST_F(PhononFixture, OpticalTripletDegenerate) {
+  // Diamond at Gamma: one triply degenerate optical mode.
+  std::vector<double> optical;
+  for (double w : modes->omega)
+    if (w > 2e-4) optical.push_back(w);
+  ASSERT_EQ(optical.size(), 3u);
+  EXPECT_NEAR(optical[0], optical[1], 1e-5);
+  EXPECT_NEAR(optical[1], optical[2], 1e-5);
+  // Order of magnitude: silicon optical phonon ~ 60 meV (15.5 THz); the
+  // EPM band-energy-only model lacks the ion-ion repulsion term, so allow
+  // a wide window around it.
+  const double mev = optical[0] * kHartreeToEv * 1000.0;
+  EXPECT_GT(mev, 5.0);
+  EXPECT_LT(mev, 400.0);
+}
+
+TEST_F(PhononFixture, EigenvectorsOrthonormal) {
+  const idx n = modes->n_modes();
+  for (idx a = 0; a < n; ++a)
+    for (idx b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (idx i = 0; i < n; ++i)
+        dot += modes->eigenvectors(i, a) * modes->eigenvectors(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+}
+
+TEST_F(PhononFixture, ModeCouplingsAssemble) {
+  GwParameters gp;
+  gp.eps_cutoff = 0.9;
+  GwCalculation gw(*model, gp);
+  const std::vector<idx> bands{gw.n_valence() - 1, gw.n_valence()};
+  GwptOptions go;
+  go.n_e_points = 1;
+  GwptCalculation gwpt(gw, go);
+
+  std::vector<Perturbation> ps;
+  for (idx a = 0; a < model->crystal().n_atoms(); ++a)
+    for (int ax = 0; ax < 3; ++ax) ps.push_back({a, ax});
+  const auto per_disp = gwpt.run_all(ps, bands);
+
+  const auto mc = mode_couplings(*model, *modes, per_disp);
+  EXPECT_EQ(mc.size(), 3u);  // the optical triplet
+  for (const ModeCoupling& m : mc) {
+    EXPECT_GT(m.omega, 0.0);
+    EXPECT_EQ(m.g_gw.rows(), 2);
+    // The vertex has the 1/sqrt(2 M omega) zero-point scale: finite.
+    EXPECT_LT(frobenius_norm(m.g_gw), 1e3);
+  }
+}
+
+TEST_F(PhononFixture, ModeCouplingsRejectBadInput) {
+  EXPECT_THROW(mode_couplings(*model, *modes, {}), Error);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,143 @@
+// Parameterized property sweeps across the GW pipeline: invariants that
+// must hold for every (material x Coulomb scheme), every NV-Block size x
+// broadening, and every BSE window shape.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bse/bse.h"
+#include "core/sigma.h"
+#include "mf/epm.h"
+
+namespace xgw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// (material, coulomb scheme) -> epsilon invariants
+// ---------------------------------------------------------------------------
+
+using MatScheme = std::tuple<int, CoulombScheme>;
+
+class EpsilonSweep : public ::testing::TestWithParam<MatScheme> {};
+
+TEST_P(EpsilonSweep, ScreeningInvariants) {
+  const auto [mat, scheme] = GetParam();
+  EpmModel model = (mat == 0)   ? EpmModel::silicon(1)
+                   : (mat == 1) ? EpmModel::lih(1)
+                                : EpmModel::bn(1);
+  GwParameters p;
+  p.eps_cutoff = model.default_cutoff() / 4.0;
+  p.coulomb = scheme;
+  GwCalculation gw(model, p);
+
+  const ZMatrix& epsinv = gw.epsinv0();
+  // Head: 1 when v(0) = 0 (no macroscopic coupling), otherwise in (0, 1).
+  const double head = epsinv(0, 0).real();
+  if (scheme == CoulombScheme::kExcludeHead ||
+      scheme == CoulombScheme::kSlabTruncate) {
+    EXPECT_NEAR(head, 1.0, 1e-10);
+  } else {
+    EXPECT_GT(head, 0.0);
+    EXPECT_LT(head, 1.0);
+  }
+  // Body diagonal of eps^{-1} in (0, 1]: screening never amplifies.
+  for (idx g = 1; g < epsinv.rows(); ++g) {
+    EXPECT_GT(epsinv(g, g).real(), 0.0);
+    EXPECT_LT(epsinv(g, g).real(), 1.0 + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MaterialsAndSchemes, EpsilonSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(CoulombScheme::kSphericalAverage,
+                                         CoulombScheme::kSphericalTruncate,
+                                         CoulombScheme::kExcludeHead)));
+
+// ---------------------------------------------------------------------------
+// (nv_block, eta) -> chi invariance / smoothness
+// ---------------------------------------------------------------------------
+
+using BlockEta = std::tuple<idx, double>;
+
+class ChiSweep : public ::testing::TestWithParam<BlockEta> {};
+
+TEST_P(ChiSweep, NvBlockInvariantAndEtaSmooth) {
+  const auto [nv_block, eta] = GetParam();
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), p);
+
+  ChiOptions a;
+  a.nv_block = nv_block;
+  a.eta = eta;
+  ChiOptions b = a;
+  b.nv_block = gw.n_valence();  // monolithic reference
+
+  const ZMatrix chi_a = chi_static(gw.mtxel(), gw.wavefunctions(), a);
+  const ZMatrix chi_b = chi_static(gw.mtxel(), gw.wavefunctions(), b);
+  EXPECT_LT(max_abs_diff(chi_a, chi_b), 1e-12);
+  EXPECT_LT(hermiticity_error(chi_a), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlocksAndBroadenings, ChiSweep,
+    ::testing::Combine(::testing::Values<idx>(1, 2, 3),
+                       ::testing::Values(1e-4, 1e-3, 1e-2)));
+
+// ---------------------------------------------------------------------------
+// BSE window shapes -> spectrum sanity
+// ---------------------------------------------------------------------------
+
+using BseWindow = std::tuple<idx, idx>;
+
+class BseSweep : public ::testing::TestWithParam<BseWindow> {};
+
+TEST_P(BseSweep, SpectrumSaneForEveryWindow) {
+  const auto [nv, nc] = GetParam();
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  static GwCalculation gw(EpmModel::silicon(1), p);  // share across cases
+  BseOptions o;
+  o.n_val = nv;
+  o.n_cond = nc;
+  BseCalculation bse(gw, o);
+  const BseResult res = bse.solve();
+  ASSERT_EQ(static_cast<idx>(res.energy.size()), nv * nc);
+  // All excitation energies positive and ascending.
+  EXPECT_GT(res.energy.front(), 0.0);
+  for (std::size_t i = 1; i < res.energy.size(); ++i)
+    EXPECT_LE(res.energy[i - 1], res.energy[i] + 1e-12);
+  // Lowest exciton below the bare lowest transition (binding).
+  const Wavefunctions& wf = gw.wavefunctions();
+  EXPECT_LT(res.energy.front(), wf.gap() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, BseSweep,
+                         ::testing::Combine(::testing::Values<idx>(1, 2, 4),
+                                            ::testing::Values<idx>(1, 3, 5)));
+
+// ---------------------------------------------------------------------------
+// Sigma sampling parameters -> QP solution stability
+// ---------------------------------------------------------------------------
+
+class SigmaSamplingSweep : public ::testing::TestWithParam<idx> {};
+
+TEST_P(SigmaSamplingSweep, QpStableAgainstSamplingDensity) {
+  const idx n_e = GetParam();
+  GwParameters p;
+  p.eps_cutoff = 0.9;
+  static GwCalculation gw(EpmModel::silicon(1), p);
+  const auto qp3 = gw.sigma_diag({gw.n_valence()}, 3, 0.02);
+  const auto qpn = gw.sigma_diag({gw.n_valence()}, n_e, 0.02);
+  // The linearized QP energy is stable against the sampling density at the
+  // 10 meV level (Sigma is smooth within the window).
+  EXPECT_NEAR(qpn[0].e_qp, qp3[0].e_qp, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SigmaSamplingSweep,
+                         ::testing::Values<idx>(2, 5, 9, 15));
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,244 @@
+// Tests: stochastic pseudobands (slicing, compression, accuracy) and the
+// Chebyshev-Jackson projector.
+
+#include <gtest/gtest.h>
+
+#include "core/chi.h"
+#include "la/orth.h"
+#include "mf/solver.h"
+#include "pseudobands/chebyshev.h"
+#include "pseudobands/pseudobands.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw;
+
+TEST(SlicePlan, PartitionCoversAllBands) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  PseudobandsOptions opt;
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, opt);
+  EXPECT_GE(plan.n_protected, wf.n_valence);
+  idx covered = plan.n_protected;
+  for (std::size_t i = 0; i < plan.slices.size(); ++i) {
+    const Slice& s = plan.slices[i];
+    EXPECT_EQ(s.first, covered);
+    covered = s.last;
+    EXPECT_GT(s.count(), 0);
+  }
+  EXPECT_EQ(covered, wf.n_bands());
+}
+
+TEST(SlicePlan, SliceWidthsGrow) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  PseudobandsOptions opt;
+  opt.first_slice_width = 0.02;
+  opt.slice_growth = 2.0;
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, opt);
+  // Energy span of later slices must not shrink dramatically: check the
+  // last slice spans at least the first slice's width when both have >1
+  // band (exponential compression).
+  if (plan.slices.size() >= 2) {
+    const Slice& first = plan.slices.front();
+    const Slice& last = plan.slices.back();
+    const auto span = [&](const Slice& s) {
+      return wf.energy[static_cast<std::size_t>(s.last - 1)] -
+             wf.energy[static_cast<std::size_t>(s.first)];
+    };
+    if (first.count() > 1 && last.count() > 1) {
+      EXPECT_GE(span(last), span(first) - 1e-12);
+    }
+  }
+}
+
+TEST(SlicePlan, SliceAverageWithinSliceRange) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, {});
+  for (const Slice& s : plan.slices) {
+    EXPECT_GE(s.e_avg, wf.energy[static_cast<std::size_t>(s.first)] - 1e-12);
+    EXPECT_LE(s.e_avg, wf.energy[static_cast<std::size_t>(s.last - 1)] + 1e-12);
+  }
+}
+
+TEST(Pseudobands, CompressesBandCount) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  PseudobandsOptions opt;
+  opt.n_xi = 2;
+  const Wavefunctions pb = build_pseudobands(wf, opt);
+  EXPECT_LT(pb.n_bands(), wf.n_bands());
+  EXPECT_EQ(pb.n_valence, wf.n_valence);
+  EXPECT_GT(compression_ratio(wf, pb), 1.0);
+}
+
+TEST(Pseudobands, ProtectedStatesExact) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  PseudobandsOptions opt;
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, opt);
+  const Wavefunctions pb = build_pseudobands(wf, opt);
+  for (idx n = 0; n < plan.n_protected; ++n) {
+    EXPECT_DOUBLE_EQ(pb.energy[static_cast<std::size_t>(n)],
+                     wf.energy[static_cast<std::size_t>(n)]);
+    for (idx g = 0; g < wf.n_pw(); ++g)
+      EXPECT_EQ(pb.coeff(n, g), wf.coeff(n, g));
+  }
+}
+
+TEST(Pseudobands, CompletenessInExpectation) {
+  // sum_j |xi_j|^2 total weight equals the number of replaced bands:
+  // each pseudoband has E|xi|^2 = N_S / N_xi, and there are N_xi of them.
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  PseudobandsOptions opt;
+  opt.n_xi = 3;
+  const SlicePlan plan = plan_slices(wf.energy, wf.n_valence, opt);
+  const Wavefunctions pb = build_pseudobands(wf, opt);
+
+  double weight = 0.0;
+  for (idx n = plan.n_protected; n < pb.n_bands(); ++n)
+    for (idx g = 0; g < pb.n_pw(); ++g) weight += std::norm(pb.coeff(n, g));
+  const double replaced =
+      static_cast<double>(wf.n_bands() - plan.n_protected);
+  // Exact identity: each slice contributes exactly N_S (phases have unit
+  // modulus and the KS states are orthonormal) when nxi divides evenly;
+  // allow small stochastic cross terms.
+  EXPECT_NEAR(weight, replaced, 0.35 * replaced);
+}
+
+TEST(Pseudobands, StaticChiApproximatesExact) {
+  // The headline claim of Sec. 5.3: GW sums over pseudobands approximate
+  // the deterministic sums. Compare chi(0) (head-free part).
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const Mtxel& mt = gw.mtxel();
+
+  const ZMatrix chi_exact = chi_static(mt, wf);
+
+  PseudobandsOptions opt;
+  opt.n_xi = 4;
+  opt.protect_conduction = 6;
+  const Wavefunctions pb = build_pseudobands(wf, opt);
+  Mtxel mt_pb(gw.psi_sphere(), gw.eps_sphere(), pb);
+  const ZMatrix chi_pb = chi_static(mt_pb, pb);
+
+  const double rel =
+      frobenius_norm([&] {
+        ZMatrix d = chi_pb;
+        for (idx i = 0; i < d.size(); ++i) d.data()[i] -= chi_exact.data()[i];
+        return d;
+      }()) /
+      frobenius_norm(chi_exact);
+  EXPECT_LT(rel, 0.15) << "stochastic chi error too large";
+}
+
+TEST(Pseudobands, MoreXiReducesError) {
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const Mtxel& mt = gw.mtxel();
+  const ZMatrix chi_exact = chi_static(mt, wf);
+
+  // Average error over several seeds to beat stochastic fluctuation.
+  auto mean_err = [&](idx n_xi) {
+    double acc = 0.0;
+    for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+      PseudobandsOptions opt;
+      opt.n_xi = n_xi;
+      opt.protect_conduction = 4;
+      opt.seed = seed;
+      const Wavefunctions pb = build_pseudobands(wf, opt);
+      Mtxel mt_pb(gw.psi_sphere(), gw.eps_sphere(), pb);
+      const ZMatrix chi_pb = chi_static(mt_pb, pb);
+      ZMatrix d = chi_pb;
+      for (idx i = 0; i < d.size(); ++i) d.data()[i] -= chi_exact.data()[i];
+      acc += frobenius_norm(d);
+    }
+    return acc / 4.0;
+  };
+  EXPECT_LT(mean_err(6), mean_err(1) + 1e-12);
+}
+
+TEST(ChebyshevFilter, ScalarIndicatorAccuracy) {
+  const ChebyshevJacksonFilter f(0.2, 0.8, -1.0, 2.0, 200);
+  // Deep inside the window ~1, far outside ~0.
+  EXPECT_NEAR(f.evaluate(0.5), 1.0, 0.05);
+  EXPECT_NEAR(f.evaluate(-0.6), 0.0, 0.05);
+  EXPECT_NEAR(f.evaluate(1.7), 0.0, 0.05);
+}
+
+TEST(ChebyshevFilter, JacksonDampingMonotoneEdges) {
+  // Jackson kernel guarantees no Gibbs overshoot: values within [−eps, 1+eps].
+  const ChebyshevJacksonFilter f(0.0, 1.0, -2.0, 3.0, 120);
+  for (double e = -2.0; e <= 3.0; e += 0.01) {
+    EXPECT_GT(f.evaluate(e), -0.02);
+    EXPECT_LT(f.evaluate(e), 1.02);
+  }
+}
+
+TEST(ChebyshevFilter, OperatorApplicationMatchesSpectralDefinition) {
+  // f(H) x computed by the recurrence must equal sum_n f(E_n) <n|x> |n>.
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  const Wavefunctions wf = solve_dense(h);
+  const ChebyshevJacksonFilter f(wf.energy[3] - 0.05, wf.energy[8] + 0.05,
+                                 h.spectral_lower_bound(),
+                                 h.spectral_upper_bound(), 80);
+  Rng rng(9);
+  ZMatrix x(h.n_pw(), 1);
+  for (idx i = 0; i < h.n_pw(); ++i) x(i, 0) = rng.normal_cplx();
+
+  const ZMatrix fx = f.apply(h, x);
+
+  // Spectral reference.
+  std::vector<cplx> ref(static_cast<std::size_t>(h.n_pw()), cplx{});
+  for (idx n = 0; n < wf.n_bands(); ++n) {
+    cplx overlap{};
+    for (idx g = 0; g < h.n_pw(); ++g)
+      overlap += std::conj(wf.coeff(n, g)) * x(g, 0);
+    const double fn = f.evaluate(wf.energy[static_cast<std::size_t>(n)]);
+    for (idx g = 0; g < h.n_pw(); ++g)
+      ref[static_cast<std::size_t>(g)] += fn * overlap * wf.coeff(n, g);
+  }
+  for (idx g = 0; g < h.n_pw(); ++g)
+    EXPECT_LT(std::abs(fx(g, 0) - ref[static_cast<std::size_t>(g)]), 1e-8);
+}
+
+TEST(ChebyshevPseudobands, LiveInRequestedWindow) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  const Wavefunctions wf = solve_dense(h);
+  // Window covering bands 6..12 roughly.
+  const double a = wf.energy[6] - 0.02, b = wf.energy[12] + 0.02;
+  ZMatrix protect(0, 0);
+  std::vector<double> energies;
+  const ZMatrix pb = chebyshev_pseudobands(h, a, b, 4, 300, protect,
+                                           energies, 123);
+  ASSERT_GT(pb.rows(), 0);
+  for (double e : energies) {
+    EXPECT_GT(e, a - 0.35);
+    EXPECT_LT(e, b + 0.35);
+  }
+}
+
+TEST(ChebyshevPseudobands, OrthogonalToProtectedStates) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  const Wavefunctions wf = solve_dense(h);
+  ZMatrix protect(4, h.n_pw());
+  for (idx n = 0; n < 4; ++n)
+    for (idx g = 0; g < h.n_pw(); ++g) protect(n, g) = wf.coeff(n, g);
+  std::vector<double> energies;
+  const ZMatrix pb = chebyshev_pseudobands(h, wf.energy[6], wf.energy[14], 3,
+                                           200, protect, energies, 7);
+  for (idx j = 0; j < pb.rows(); ++j)
+    for (idx n = 0; n < 4; ++n) {
+      cplx dot{};
+      for (idx g = 0; g < h.n_pw(); ++g)
+        dot += std::conj(wf.coeff(n, g)) * pb(j, g);
+      EXPECT_LT(std::abs(dot), 1e-8);
+    }
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,163 @@
+// Unit tests: lattice geometry, G-vector spheres, box mapping, crystals.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "pw/crystal.h"
+#include "pw/gvectors.h"
+
+namespace xgw {
+namespace {
+
+TEST(Lattice, ReciprocalDuality) {
+  const Lattice lat = Lattice::fcc(10.26);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(dot(lat.a(i), lat.b(j)), (i == j) ? kTwoPi : 0.0, 1e-12);
+}
+
+TEST(Lattice, FccVolume) {
+  const double a = 10.26;
+  EXPECT_NEAR(Lattice::fcc(a).cell_volume(), a * a * a / 4.0, 1e-9);
+  EXPECT_NEAR(Lattice::cubic(a).cell_volume(), a * a * a, 1e-9);
+}
+
+TEST(Lattice, SupercellScalesVolume) {
+  const double a = 10.26;
+  EXPECT_NEAR(Lattice::fcc_supercell(a, 2).cell_volume(),
+              8.0 * Lattice::fcc(a).cell_volume(), 1e-9);
+}
+
+TEST(Lattice, DegenerateCellThrows) {
+  EXPECT_THROW(Lattice({1, 0, 0}, {2, 0, 0}, {0, 0, 1}), Error);
+}
+
+TEST(GSphere, SortedAndZeroFirst) {
+  const Lattice lat = Lattice::fcc(10.26);
+  const GSphere s(lat, 2.0);
+  EXPECT_GT(s.size(), 1);
+  EXPECT_EQ(s.miller(0), (IVec3{0, 0, 0}));
+  for (idx ig = 1; ig < s.size(); ++ig)
+    EXPECT_GE(s.norm2(ig), s.norm2(ig - 1));
+  // All inside cutoff.
+  for (idx ig = 0; ig < s.size(); ++ig)
+    EXPECT_LE(0.5 * s.norm2(ig), 2.0 * (1 + 1e-9));
+}
+
+TEST(GSphere, ClosedUnderInversion) {
+  const Lattice lat = Lattice::fcc(10.26);
+  const GSphere s(lat, 2.5);
+  for (idx ig = 0; ig < s.size(); ++ig) {
+    const IVec3 m = s.miller(ig);
+    EXPECT_GE(s.find({-m[0], -m[1], -m[2]}), 0);
+  }
+}
+
+TEST(GSphere, FindRoundTrip) {
+  const Lattice lat = Lattice::cubic(8.0);
+  const GSphere s(lat, 3.0);
+  for (idx ig = 0; ig < s.size(); ++ig)
+    EXPECT_EQ(s.find(s.miller(ig)), ig);
+  EXPECT_EQ(s.find({999, 0, 0}), -1);
+}
+
+TEST(GSphere, CountMatchesAnalyticEstimate) {
+  // N_G ~ Omega * (2E)^{3/2} / (6 pi^2) for a large sphere.
+  const Lattice lat = Lattice::cubic(12.0);
+  const double ecut = 4.0;
+  const GSphere s(lat, ecut);
+  const double expect = lat.cell_volume() * std::pow(2.0 * ecut, 1.5) /
+                        (6.0 * kPi * kPi);
+  EXPECT_NEAR(static_cast<double>(s.size()), expect, 0.15 * expect);
+}
+
+TEST(GSphere, BoxMappingRoundTrip) {
+  const Lattice lat = Lattice::fcc(10.26);
+  const GSphere s(lat, 2.0);
+  const FftBox box = s.minimal_box();
+
+  Rng rng(5);
+  std::vector<cplx> coeffs(static_cast<std::size_t>(s.size()));
+  for (auto& c : coeffs) c = rng.normal_cplx();
+
+  std::vector<cplx> boxdata(static_cast<std::size_t>(box.size()));
+  scatter_to_box(s, coeffs.data(), box, boxdata.data());
+  std::vector<cplx> back(coeffs.size());
+  gather_from_box(s, box, boxdata.data(), back.data());
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    EXPECT_EQ(coeffs[i], back[i]);
+
+  // Scatter puts each coefficient in a distinct slot: total energy matches.
+  double e_box = 0.0, e_sph = 0.0;
+  for (const cplx& v : boxdata) e_box += std::norm(v);
+  for (const cplx& v : coeffs) e_sph += std::norm(v);
+  EXPECT_NEAR(e_box, e_sph, 1e-12 * e_sph);
+}
+
+TEST(GSphere, ProductBoxLargerThanMinimal) {
+  const Lattice lat = Lattice::fcc(10.26);
+  const GSphere psi(lat, 2.5);
+  const GSphere eps(lat, 1.0);
+  const FftBox pb = product_box(psi, eps);
+  const FftBox mb = psi.minimal_box();
+  EXPECT_GE(pb.n1, mb.n1);
+  EXPECT_GE(pb.n2, mb.n2);
+  EXPECT_GE(pb.n3, mb.n3);
+}
+
+TEST(Crystal, DiamondAtomCount) {
+  EXPECT_EQ(Crystal::diamond(10.26, 1, "Si").n_atoms(), 2);
+  EXPECT_EQ(Crystal::diamond(10.26, 2, "Si").n_atoms(), 16);
+  EXPECT_EQ(Crystal::diamond(10.26, 3, "Si").n_atoms(), 54);
+}
+
+TEST(Crystal, RocksaltSpecies) {
+  const Crystal c = Crystal::rocksalt(7.72, 2, "Li", "H");
+  EXPECT_EQ(c.n_atoms(), 16);
+  idx n_li = 0;
+  for (const Atom& a : c.atoms())
+    if (a.species == 0) ++n_li;
+  EXPECT_EQ(n_li, 8);
+}
+
+TEST(Crystal, StructureFactorAtGamma) {
+  // S(0) = number of atoms of that species.
+  const Crystal c = Crystal::zincblende(6.83, 2, "B", "N");
+  EXPECT_NEAR(c.structure_factor(0, {0, 0, 0}).real(), 8.0, 1e-12);
+  EXPECT_NEAR(c.structure_factor(1, {0, 0, 0}).real(), 8.0, 1e-12);
+}
+
+TEST(Crystal, StructureFactorModulusBounded) {
+  const Crystal c = Crystal::diamond(10.26, 2, "Si");
+  for (idx h = -3; h <= 3; ++h)
+    for (idx k = -3; k <= 3; ++k)
+      EXPECT_LE(std::abs(c.structure_factor(0, {h, k, 1})), 16.0 + 1e-9);
+}
+
+TEST(Crystal, VacancyRemovesOneAtom) {
+  const Crystal c = Crystal::diamond(10.26, 2, "Si");
+  const Crystal v = c.with_vacancy(5);
+  EXPECT_EQ(v.n_atoms(), c.n_atoms() - 1);
+}
+
+TEST(Crystal, SubstitutionChangesSpecies) {
+  const Crystal c = Crystal::zincblende(6.83, 1, "B", "N");
+  const Crystal s = c.with_substitution(0, 1);
+  EXPECT_EQ(s.atoms()[0].species, 1);
+}
+
+TEST(Crystal, DisplacedMovesAtomCartesian) {
+  const Crystal c = Crystal::diamond(10.26, 1, "Si");
+  const Vec3 delta{0.1, 0.0, 0.0};
+  const Crystal d = c.displaced(0, delta);
+  const Vec3 r0 = c.lattice().r_cart(c.atoms()[0].frac);
+  const Vec3 r1 = d.lattice().r_cart(d.atoms()[0].frac);
+  EXPECT_NEAR(r1[0] - r0[0], 0.1, 1e-12);
+  EXPECT_NEAR(r1[1] - r0[1], 0.0, 1e-12);
+  EXPECT_NEAR(r1[2] - r0[2], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace xgw

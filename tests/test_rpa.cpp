@@ -1,0 +1,115 @@
+// Tests: Gauss-Legendre quadrature and the RPA correlation energy with
+// static-subspace acceleration (paper refs [40, 41]).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/quadrature.h"
+#include "core/rpa.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw_big_eps;
+
+TEST(Quadrature, GaussLegendreIntegratesPolynomialsExactly) {
+  // n-point GL is exact for degree <= 2n-1.
+  const QuadratureRule r = gauss_legendre(5);
+  auto integrate = [&](auto&& f) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) acc += r.weights[i] * f(r.nodes[i]);
+    return acc;
+  };
+  EXPECT_NEAR(integrate([](double) { return 1.0; }), 2.0, 1e-14);
+  EXPECT_NEAR(integrate([](double x) { return x * x; }), 2.0 / 3.0, 1e-14);
+  EXPECT_NEAR(integrate([](double x) { return std::pow(x, 8); }), 2.0 / 9.0,
+              1e-13);
+  EXPECT_NEAR(integrate([](double x) { return std::pow(x, 9); }), 0.0, 1e-14);
+}
+
+TEST(Quadrature, NodesSymmetricInUnitInterval) {
+  const QuadratureRule r = gauss_legendre(8);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GT(r.nodes[i], -1.0);
+    EXPECT_LT(r.nodes[i], 1.0);
+    EXPECT_NEAR(r.nodes[i], -r.nodes[r.size() - 1 - i], 1e-14);
+    EXPECT_GT(r.weights[i], 0.0);
+  }
+}
+
+TEST(Quadrature, SemiInfiniteIntegratesLorentzian) {
+  // int_0^inf dw a / (a^2 + w^2) = pi/2 for any a.
+  const QuadratureRule r = gauss_legendre_semi_infinite(40, 1.0);
+  for (double a : {0.5, 1.0, 2.0}) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i)
+      acc += r.weights[i] * a / (a * a + r.nodes[i] * r.nodes[i]);
+    EXPECT_NEAR(acc, kPi / 2.0, 1e-3) << "a = " << a;
+  }
+}
+
+TEST(Rpa, CorrelationEnergyNegative) {
+  RpaResult res = rpa_correlation_energy(si_prim_gw_big_eps());
+  EXPECT_LT(res.e_c, 0.0);
+  EXPECT_GT(res.e_c, -5.0);  // not absurd for this cell
+  // Integrand Tr[ln(1-x)+x] <= 0 for x <= 0 at every node.
+  for (double t : res.integrand) EXPECT_LE(t, 1e-12);
+}
+
+TEST(Rpa, QuadratureConverges) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  RpaOptions o8, o16, o32;
+  o8.n_freq = 8;
+  o16.n_freq = 16;
+  o32.n_freq = 32;
+  const double e8 = rpa_correlation_energy(gw, o8).e_c;
+  const double e16 = rpa_correlation_energy(gw, o16).e_c;
+  const double e32 = rpa_correlation_energy(gw, o32).e_c;
+  EXPECT_LT(std::abs(e32 - e16), std::abs(e16 - e8) + 1e-10);
+  EXPECT_LT(std::abs(e32 - e16), 0.02 * std::abs(e32));
+}
+
+TEST(Rpa, SubspaceConvergesToFullBasis) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  RpaOptions full;
+  full.n_freq = 12;
+  const double e_full = rpa_correlation_energy(gw, full).e_c;
+
+  double prev_err = 1e300;
+  for (double frac : {0.3, 0.6, 1.0}) {
+    RpaOptions o = full;
+    o.subspace_fraction = frac;
+    const RpaResult r = rpa_correlation_energy(gw, o);
+    EXPECT_GT(r.n_eig_used, 0);
+    const double err = std::abs(r.e_c - e_full);
+    EXPECT_LE(err, prev_err + 1e-10) << "fraction " << frac;
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-6 * std::abs(e_full) + 1e-10);
+}
+
+TEST(Rpa, SubspaceFractionMonotone) {
+  // Unlike QP energies (dominated by the strongest screening modes), E_c
+  // is extensive in the chi eigenmodes, so the captured fraction grows
+  // roughly with the subspace fraction (refs [40, 41] use ~50% fractions
+  // plus corrections). Check monotone capture and no overshoot.
+  GwCalculation& gw = si_prim_gw_big_eps();
+  RpaOptions full;
+  full.n_freq = 12;
+  const double e_full = rpa_correlation_energy(gw, full).e_c;
+  double prev = 0.0;
+  for (double frac : {0.25, 0.5, 0.75}) {
+    RpaOptions sub = full;
+    sub.subspace_fraction = frac;
+    const double ratio = rpa_correlation_energy(gw, sub).e_c / e_full;
+    EXPECT_GT(ratio, prev - 1e-9) << "fraction " << frac;
+    EXPECT_LE(ratio, 1.001);
+    prev = ratio;
+  }
+  EXPECT_GT(prev, 0.5);  // 75% of modes capture well over half of E_c
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,113 @@
+// Unit tests: distribution logic and the alpha-beta network model.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "runtime/dist.h"
+#include "runtime/netmodel.h"
+
+namespace xgw {
+namespace {
+
+TEST(BlockDist, CoversRangeExactlyOnce) {
+  for (idx n : {0, 1, 7, 64, 100}) {
+    for (idx p : {1, 2, 3, 8, 13}) {
+      BlockDist d(n, p);
+      idx total = 0;
+      for (idx part = 0; part < p; ++part) {
+        EXPECT_EQ(d.end(part) - d.begin(part), d.count(part));
+        total += d.count(part);
+        if (part > 0) {
+          EXPECT_EQ(d.begin(part), d.end(part - 1));
+        }
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(BlockDist, BalancedWithinOne) {
+  BlockDist d(100, 7);
+  idx lo = d.count(0), hi = d.count(0);
+  for (idx p = 1; p < 7; ++p) {
+    lo = std::min(lo, d.count(p));
+    hi = std::max(hi, d.count(p));
+  }
+  EXPECT_LE(hi - lo, 1);
+  EXPECT_EQ(d.max_count(), hi);
+}
+
+TEST(BlockDist, OwnerConsistentWithRanges) {
+  BlockDist d(53, 6);
+  for (idx i = 0; i < 53; ++i) {
+    const idx p = d.owner(i);
+    EXPECT_GE(i, d.begin(p));
+    EXPECT_LT(i, d.end(p));
+  }
+}
+
+TEST(BlockDist, RejectsBadArguments) {
+  EXPECT_THROW(BlockDist(-1, 2), Error);
+  EXPECT_THROW(BlockDist(5, 0), Error);
+  BlockDist d(5, 2);
+  EXPECT_THROW(d.count(2), Error);
+  EXPECT_THROW(d.owner(5), Error);
+}
+
+TEST(PoolDecomposition, TwoLevelShapes) {
+  // 24 ranks, 4 pools of 6; 128 Sigma elements; 1000 G' columns.
+  PoolDecomposition pd(24, 4, 128, 1000);
+  EXPECT_EQ(pd.ranks_per_pool, 6);
+  EXPECT_EQ(pd.sigma_over_pools.count(0), 32);
+  idx total = 0;
+  for (idx r = 0; r < 6; ++r) total += pd.gprime_over_ranks.count(r);
+  EXPECT_EQ(total, 1000);
+  EXPECT_EQ(pd.global_rank(2, 3), 15);
+}
+
+TEST(PoolDecomposition, RejectsUnevenPools) {
+  EXPECT_THROW(PoolDecomposition(10, 3, 8, 100), Error);
+}
+
+TEST(CyclicAssignment, PartitionsWithoutOverlap) {
+  std::vector<bool> seen(19, false);
+  for (idx part = 0; part < 4; ++part) {
+    for (idx i : cyclic_assignment(19, 4, part)) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(NetworkModel, SingleRankCollectivesFree) {
+  NetworkModel net;
+  EXPECT_DOUBLE_EQ(net.allreduce(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.bcast(1e6, 1), 0.0);
+  EXPECT_DOUBLE_EQ(net.allgather(1e6, 1), 0.0);
+}
+
+TEST(NetworkModel, AllreduceMonotoneInSizeAndRanks) {
+  NetworkModel net;
+  EXPECT_GT(net.allreduce(2e6, 8), net.allreduce(1e6, 8));
+  EXPECT_GT(net.allreduce(1e6, 64), net.allreduce(1e6, 8));
+}
+
+TEST(NetworkModel, BandwidthTermDominatesLargeMessages) {
+  NetworkModel net;
+  // For large messages, allreduce ~ 2 * (p-1)/p * bytes * beta.
+  const double t = net.allreduce(1e9, 1024);
+  const double bw_term = 2.0 * (1023.0 / 1024.0) * 1e9 * net.beta_s_per_byte;
+  EXPECT_NEAR(t, bw_term, 0.05 * bw_term);
+}
+
+TEST(NetworkModel, Log2Ceil) {
+  EXPECT_EQ(log2_ceil(1), 0);
+  EXPECT_EQ(log2_ceil(2), 1);
+  EXPECT_EQ(log2_ceil(3), 2);
+  EXPECT_EQ(log2_ceil(1024), 10);
+  EXPECT_EQ(log2_ceil(1025), 11);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,110 @@
+// Integration tests: full-frequency Sigma and the static-subspace FF path.
+
+#include <gtest/gtest.h>
+
+#include "core/sigma_ff.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw_big_eps;
+
+TEST(SigmaFF, ExchangeMatchesIndependentSum) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  const Wavefunctions& wf = gw.wavefunctions();
+  FfOptions opt;
+  opt.n_freq = 8;
+  const FfScreening scr = build_ff_screening(gw, opt);
+  const idx l = gw.n_valence() - 1;
+  const auto res = sigma_ff_diag(gw, scr, {l});
+
+  // Independent bare-exchange evaluation.
+  const ZMatrix m_ln = gw.m_matrix_left(l);
+  double sx = 0.0;
+  for (idx n = 0; n < wf.n_valence; ++n)
+    for (idx g = 0; g < gw.n_g(); ++g)
+      sx -= std::norm(m_ln(n, g)) * gw.coulomb()(g);
+  EXPECT_NEAR(res[0].sigma_x.real(), sx, 1e-10);
+  EXPECT_NEAR(res[0].sigma_x.imag(), 0.0, 1e-10);
+}
+
+TEST(SigmaFF, CorrelationNegativeForValence) {
+  // The Coulomb-hole-like correlation lowers occupied states.
+  GwCalculation& gw = si_prim_gw_big_eps();
+  FfOptions opt;
+  opt.n_freq = 24;
+  const FfScreening scr = build_ff_screening(gw, opt);
+  const auto res = sigma_ff_diag(gw, scr, {idx{0}});
+  EXPECT_LT(res[0].sigma_c.real() + res[0].sigma_x.real(), 0.0);
+}
+
+TEST(SigmaFF, QualitativeAgreementWithGpp) {
+  // The plasmon-pole model approximates the FF result; QP energies should
+  // agree to within ~1.5 eV on this small system (model error, not a bug
+  // bound — tightened agreement appears as n_freq grows).
+  GwCalculation& gw = si_prim_gw_big_eps();
+  const idx v = gw.n_valence() - 1, c = gw.n_valence();
+  const auto gpp = gw.sigma_diag({v, c}, 3, 0.02);
+  FfOptions opt;
+  opt.n_freq = 32;
+  const FfScreening scr = build_ff_screening(gw, opt);
+  const auto ff = sigma_ff_diag(gw, scr, {v, c});
+  for (int i = 0; i < 2; ++i)
+    EXPECT_NEAR(ff[static_cast<std::size_t>(i)].e_qp,
+                gpp[static_cast<std::size_t>(i)].e_qp, 1.5 * kEvToHartree);
+}
+
+TEST(SigmaFF, SubspaceConvergesToFullPw) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  const idx l = gw.n_valence();
+  FfOptions full_opt;
+  full_opt.n_freq = 10;
+  const FfScreening full = build_ff_screening(gw, full_opt);
+  const auto ref = sigma_ff_diag(gw, full, {l});
+
+  double prev_err = 1e300;
+  for (double frac : {0.3, 0.7, 1.0}) {
+    FfOptions o = full_opt;
+    o.subspace_fraction = frac;
+    const FfScreening scr = build_ff_screening(gw, o);
+    const auto res = sigma_ff_diag(gw, scr, {l});
+    const double err = std::abs(res[0].sigma_c - ref[0].sigma_c);
+    EXPECT_LT(err, prev_err + 1e-9) << "fraction " << frac;
+    prev_err = err;
+  }
+  // Full-fraction subspace reproduces the full-PW correlation closely.
+  EXPECT_LT(prev_err, 0.05 * std::abs(ref[0].sigma_c) + 1e-6);
+}
+
+TEST(SigmaFF, SubspaceUsesRequestedRank) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  FfOptions o;
+  o.n_freq = 4;
+  o.n_eig = 7;
+  const FfScreening scr = build_ff_screening(gw, o);
+  EXPECT_EQ(scr.n_eig_used, 7);
+  FfOptions o2;
+  o2.n_freq = 4;
+  o2.subspace_fraction = 0.25;
+  const FfScreening scr2 = build_ff_screening(gw, o2);
+  EXPECT_EQ(scr2.n_eig_used,
+            std::max<idx>(1, static_cast<idx>(0.25 * gw.n_g())));
+}
+
+TEST(SigmaFF, FrequencyGridTrapezoidWeights) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  FfOptions o;
+  o.n_freq = 5;
+  o.omega_max = 2.0;
+  const FfScreening scr = build_ff_screening(gw, o);
+  ASSERT_EQ(scr.omegas.size(), 5u);
+  EXPECT_DOUBLE_EQ(scr.omegas.front(), 0.0);
+  EXPECT_DOUBLE_EQ(scr.omegas.back(), 2.0);
+  double total = 0.0;
+  for (double w : scr.weights) total += w;
+  EXPECT_NEAR(total, 2.0, 1e-12);  // integrates 1 over [0, omega_max]
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,115 @@
+// Tests: simulated-cluster execution engine and DOS utilities.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "mf/dos.h"
+#include "mf/epm.h"
+#include "mf/hamiltonian.h"
+#include "mf/solver.h"
+#include "runtime/simcluster.h"
+
+namespace xgw {
+namespace {
+
+TEST(SimCluster, ExecutesEveryRankOnce) {
+  SimCluster cluster(6);
+  std::vector<int> hits(6, 0);
+  const auto report = cluster.run([&](idx r) {
+    ++hits[static_cast<std::size_t>(r)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(report.ranks.size(), 6u);
+}
+
+TEST(SimCluster, TimeToSolutionIsSlowestRankPlusComm) {
+  SimCluster cluster(4);
+  auto report = cluster.run([&](idx r) {
+    // Rank 2 does measurably more work.
+    volatile double acc = 0.0;
+    const idx n = (r == 2) ? 4000000 : 500000;
+    for (idx i = 0; i < n; ++i) acc = acc + static_cast<double>(i) * 1e-9;
+  });
+  double slowest = 0.0;
+  for (const auto& rr : report.ranks)
+    slowest = std::max(slowest, rr.compute_s);
+  EXPECT_DOUBLE_EQ(report.time_to_solution(), slowest);
+  EXPECT_NEAR(report.ranks[2].compute_s, slowest, 1e-12);
+
+  cluster.cost_allreduce(report, 1e6);
+  EXPECT_GT(report.time_to_solution(), slowest);
+}
+
+TEST(SimCluster, EfficiencyBounds) {
+  SimCluster cluster(3);
+  const auto report = cluster.run([&](idx) {
+    volatile double acc = 0.0;
+    for (idx i = 0; i < 1000000; ++i) acc = acc + 1e-9;
+  });
+  const double eff = report.parallel_efficiency();
+  EXPECT_GT(eff, 0.5);   // balanced work
+  EXPECT_LE(eff, 1.05);  // cannot exceed ideal (timing jitter margin)
+}
+
+TEST(SimCluster, GanttRendersOneBarPerRank) {
+  SimCluster cluster(3);
+  const auto report = cluster.run([](idx) {});
+  const std::string g = report.gantt();
+  EXPECT_NE(g.find("rank 0"), std::string::npos);
+  EXPECT_NE(g.find("rank 2"), std::string::npos);
+}
+
+TEST(SimCluster, RejectsZeroRanks) {
+  EXPECT_THROW(SimCluster(0), Error);
+}
+
+TEST(Dos, IntegratesToBandCount) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.8);
+  const Wavefunctions wf = solve_dense(h, 12);
+  const DosCurve dos = density_of_states(wf, 0.02, 600, 0.3);
+  // Integral = 2 * N_b (spin factor), up to Gaussian tails.
+  EXPECT_NEAR(dos.integral(), 24.0, 0.3);
+  for (double v : dos.value) EXPECT_GE(v, 0.0);
+}
+
+TEST(Dos, GapRegionIsEmpty) {
+  const PwHamiltonian h(EpmModel::silicon(1));
+  const Wavefunctions wf = solve_dense(h, 10);
+  const DosCurve dos = density_of_states(wf, 0.005, 800, 0.05);
+  const double mid = 0.5 * (wf.energy[static_cast<std::size_t>(wf.n_valence - 1)] +
+                            wf.energy[static_cast<std::size_t>(wf.n_valence)]);
+  // DOS at midgap is exponentially small.
+  for (std::size_t i = 0; i < dos.energy.size(); ++i)
+    if (std::abs(dos.energy[i] - mid) < 0.01) {
+      EXPECT_LT(dos.value[i], 1e-3);
+    }
+}
+
+TEST(Dos, JdosOnsetAtGap) {
+  const PwHamiltonian h(EpmModel::silicon(1));
+  const Wavefunctions wf = solve_dense(h, 12);
+  const DosCurve jdos = joint_density_of_states(wf, 0.01, 400, 1.0);
+  const double gap = wf.gap();
+  for (std::size_t i = 0; i < jdos.energy.size(); ++i) {
+    if (jdos.energy[i] < gap - 0.06) {
+      EXPECT_LT(jdos.value[i], 1e-2);
+    }
+  }
+  // Above the gap there is weight.
+  double above = 0.0;
+  for (std::size_t i = 0; i < jdos.energy.size(); ++i)
+    if (jdos.energy[i] > gap + 0.02) above += jdos.value[i];
+  EXPECT_GT(above, 0.0);
+}
+
+TEST(Dos, RejectsBadParameters) {
+  const PwHamiltonian h(EpmModel::silicon(1), 1.5);
+  const Wavefunctions wf = solve_dense(h, 6);
+  EXPECT_THROW(density_of_states(wf, 0.0, 100), Error);
+  EXPECT_THROW(joint_density_of_states(wf, 0.01, 1, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace xgw

@@ -1,0 +1,66 @@
+// Tests: quasiparticle spectral function A_l(omega).
+
+#include <gtest/gtest.h>
+
+#include "core/spectral.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+using testutil::si_prim_gw;
+
+TEST(Spectral, NonNegativeEverywhere) {
+  GwCalculation& gw = si_prim_gw();
+  const SpectralFunction sf = spectral_function(gw, gw.n_valence());
+  for (double a : sf.a) EXPECT_GE(a, 0.0);
+  EXPECT_EQ(sf.omega.size(), sf.a.size());
+  EXPECT_EQ(sf.sigma.size(), sf.a.size());
+}
+
+TEST(Spectral, PeakNearQuasiparticleEnergy) {
+  GwCalculation& gw = si_prim_gw();
+  const idx l = gw.n_valence();
+  const auto qp = gw.sigma_diag({l}, 5, 0.02);
+  SpectralOptions opt;
+  opt.n_omega = 201;
+  opt.window = 1.0;
+  const SpectralFunction sf = spectral_function(gw, l, opt);
+  // The dominant peak sits at the QP solution within the grid spacing
+  // plus linearization error.
+  EXPECT_NEAR(sf.peak_position(), qp[0].e_qp, 0.1);
+}
+
+TEST(Spectral, WeightAtMostUnityInWindow) {
+  GwCalculation& gw = si_prim_gw();
+  SpectralOptions opt;
+  opt.n_omega = 301;
+  opt.window = 2.0;
+  const SpectralFunction sf = spectral_function(gw, gw.n_valence() - 1, opt);
+  const double w = sf.integrated_weight();
+  EXPECT_GT(w, 0.1);   // QP peak captured
+  EXPECT_LT(w, 1.15);  // sum rule: total weight is 1 over all omega
+}
+
+TEST(Spectral, GridSpansRequestedWindow) {
+  GwCalculation& gw = si_prim_gw();
+  const idx l = gw.n_valence();
+  SpectralOptions opt;
+  opt.n_omega = 11;
+  opt.window = 0.5;
+  const SpectralFunction sf = spectral_function(gw, l, opt);
+  const double e0 = gw.wavefunctions().energy[static_cast<std::size_t>(l)];
+  EXPECT_NEAR(sf.omega.front(), e0 - 0.5, 1e-12);
+  EXPECT_NEAR(sf.omega.back(), e0 + 0.5, 1e-12);
+}
+
+TEST(Spectral, RejectsBadInput) {
+  GwCalculation& gw = si_prim_gw();
+  SpectralOptions opt;
+  opt.n_omega = 2;
+  EXPECT_THROW(spectral_function(gw, 0, opt), Error);
+  EXPECT_THROW(spectral_function(gw, gw.n_bands(), SpectralOptions{}), Error);
+}
+
+}  // namespace
+}  // namespace xgw
