@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gpp_weak.dir/bench_fig5_gpp_weak.cpp.o"
+  "CMakeFiles/bench_fig5_gpp_weak.dir/bench_fig5_gpp_weak.cpp.o.d"
+  "bench_fig5_gpp_weak"
+  "bench_fig5_gpp_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gpp_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gwpt.dir/bench_gwpt.cpp.o"
+  "CMakeFiles/bench_gwpt.dir/bench_gwpt.cpp.o.d"
+  "bench_gwpt"
+  "bench_gwpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gwpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nvblock.dir/bench_nvblock.cpp.o"
+  "CMakeFiles/bench_nvblock.dir/bench_nvblock.cpp.o.d"
+  "bench_nvblock"
+  "bench_nvblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nvblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

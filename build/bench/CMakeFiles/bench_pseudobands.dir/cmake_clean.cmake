@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pseudobands.dir/bench_pseudobands.cpp.o"
+  "CMakeFiles/bench_pseudobands.dir/bench_pseudobands.cpp.o.d"
+  "bench_pseudobands"
+  "bench_pseudobands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pseudobands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

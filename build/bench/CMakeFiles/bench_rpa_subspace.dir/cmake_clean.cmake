@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rpa_subspace.dir/bench_rpa_subspace.cpp.o"
+  "CMakeFiles/bench_rpa_subspace.dir/bench_rpa_subspace.cpp.o.d"
+  "bench_rpa_subspace"
+  "bench_rpa_subspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rpa_subspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subspace_speedup.dir/bench_subspace_speedup.cpp.o"
+  "CMakeFiles/bench_subspace_speedup.dir/bench_subspace_speedup.cpp.o.d"
+  "bench_subspace_speedup"
+  "bench_subspace_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subspace_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_portability.dir/bench_table4_portability.cpp.o"
+  "CMakeFiles/bench_table4_portability.dir/bench_table4_portability.cpp.o.d"
+  "bench_table4_portability"
+  "bench_table4_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

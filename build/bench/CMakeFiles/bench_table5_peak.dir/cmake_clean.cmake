@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_peak.dir/bench_table5_peak.cpp.o"
+  "CMakeFiles/bench_table5_peak.dir/bench_table5_peak.cpp.o.d"
+  "bench_table5_peak"
+  "bench_table5_peak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/band_structure.dir/band_structure.cpp.o"
+  "CMakeFiles/band_structure.dir/band_structure.cpp.o.d"
+  "band_structure"
+  "band_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/band_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

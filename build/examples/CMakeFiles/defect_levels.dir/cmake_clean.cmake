@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defect_levels.dir/defect_levels.cpp.o"
+  "CMakeFiles/defect_levels.dir/defect_levels.cpp.o.d"
+  "defect_levels"
+  "defect_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defect_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

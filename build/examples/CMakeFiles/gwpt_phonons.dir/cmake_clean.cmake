@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gwpt_phonons.dir/gwpt_phonons.cpp.o"
+  "CMakeFiles/gwpt_phonons.dir/gwpt_phonons.cpp.o.d"
+  "gwpt_phonons"
+  "gwpt_phonons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gwpt_phonons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gwpt_phonons.
+# This may be replaced when dependencies are built.

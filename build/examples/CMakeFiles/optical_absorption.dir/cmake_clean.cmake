@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_absorption.dir/optical_absorption.cpp.o"
+  "CMakeFiles/optical_absorption.dir/optical_absorption.cpp.o.d"
+  "optical_absorption"
+  "optical_absorption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_absorption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phonon_coupling.dir/phonon_coupling.cpp.o"
+  "CMakeFiles/phonon_coupling.dir/phonon_coupling.cpp.o.d"
+  "phonon_coupling"
+  "phonon_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phonon_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudobands_compression.dir/pseudobands_compression.cpp.o"
+  "CMakeFiles/pseudobands_compression.dir/pseudobands_compression.cpp.o.d"
+  "pseudobands_compression"
+  "pseudobands_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudobands_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_bse.dir/bse.cpp.o"
+  "CMakeFiles/xgw_bse.dir/bse.cpp.o.d"
+  "libxgw_bse.a"
+  "libxgw_bse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_bse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

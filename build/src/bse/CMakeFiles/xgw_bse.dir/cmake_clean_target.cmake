@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxgw_bse.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_cli.dir/driver.cpp.o"
+  "CMakeFiles/xgw_cli.dir/driver.cpp.o.d"
+  "CMakeFiles/xgw_cli.dir/input.cpp.o"
+  "CMakeFiles/xgw_cli.dir/input.cpp.o.d"
+  "libxgw_cli.a"
+  "libxgw_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

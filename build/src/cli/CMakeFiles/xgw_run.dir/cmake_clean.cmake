@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_run.dir/xgw_run.cpp.o"
+  "CMakeFiles/xgw_run.dir/xgw_run.cpp.o.d"
+  "xgw_run"
+  "xgw_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

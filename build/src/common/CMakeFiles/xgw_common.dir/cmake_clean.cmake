@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_common.dir/error.cpp.o"
+  "CMakeFiles/xgw_common.dir/error.cpp.o.d"
+  "CMakeFiles/xgw_common.dir/log.cpp.o"
+  "CMakeFiles/xgw_common.dir/log.cpp.o.d"
+  "CMakeFiles/xgw_common.dir/quadrature.cpp.o"
+  "CMakeFiles/xgw_common.dir/quadrature.cpp.o.d"
+  "CMakeFiles/xgw_common.dir/rng.cpp.o"
+  "CMakeFiles/xgw_common.dir/rng.cpp.o.d"
+  "CMakeFiles/xgw_common.dir/timer.cpp.o"
+  "CMakeFiles/xgw_common.dir/timer.cpp.o.d"
+  "libxgw_common.a"
+  "libxgw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

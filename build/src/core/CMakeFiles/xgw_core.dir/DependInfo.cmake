@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chi.cpp" "src/core/CMakeFiles/xgw_core.dir/chi.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/chi.cpp.o.d"
+  "/root/repo/src/core/cohsex.cpp" "src/core/CMakeFiles/xgw_core.dir/cohsex.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/cohsex.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "src/core/CMakeFiles/xgw_core.dir/convergence.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/core/coulomb.cpp" "src/core/CMakeFiles/xgw_core.dir/coulomb.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/coulomb.cpp.o.d"
+  "/root/repo/src/core/epsilon.cpp" "src/core/CMakeFiles/xgw_core.dir/epsilon.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/epsilon.cpp.o.d"
+  "/root/repo/src/core/evgw.cpp" "src/core/CMakeFiles/xgw_core.dir/evgw.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/evgw.cpp.o.d"
+  "/root/repo/src/core/gpp.cpp" "src/core/CMakeFiles/xgw_core.dir/gpp.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/gpp.cpp.o.d"
+  "/root/repo/src/core/mtxel.cpp" "src/core/CMakeFiles/xgw_core.dir/mtxel.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/mtxel.cpp.o.d"
+  "/root/repo/src/core/rpa.cpp" "src/core/CMakeFiles/xgw_core.dir/rpa.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/rpa.cpp.o.d"
+  "/root/repo/src/core/sigma.cpp" "src/core/CMakeFiles/xgw_core.dir/sigma.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/sigma.cpp.o.d"
+  "/root/repo/src/core/sigma_ff.cpp" "src/core/CMakeFiles/xgw_core.dir/sigma_ff.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/sigma_ff.cpp.o.d"
+  "/root/repo/src/core/spectral.cpp" "src/core/CMakeFiles/xgw_core.dir/spectral.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/spectral.cpp.o.d"
+  "/root/repo/src/core/sternheimer_chi.cpp" "src/core/CMakeFiles/xgw_core.dir/sternheimer_chi.cpp.o" "gcc" "src/core/CMakeFiles/xgw_core.dir/sternheimer_chi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xgw_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xgw_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/xgw_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/xgw_mf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

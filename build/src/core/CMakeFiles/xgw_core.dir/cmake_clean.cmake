@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_core.dir/chi.cpp.o"
+  "CMakeFiles/xgw_core.dir/chi.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/cohsex.cpp.o"
+  "CMakeFiles/xgw_core.dir/cohsex.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/convergence.cpp.o"
+  "CMakeFiles/xgw_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/coulomb.cpp.o"
+  "CMakeFiles/xgw_core.dir/coulomb.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/epsilon.cpp.o"
+  "CMakeFiles/xgw_core.dir/epsilon.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/evgw.cpp.o"
+  "CMakeFiles/xgw_core.dir/evgw.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/gpp.cpp.o"
+  "CMakeFiles/xgw_core.dir/gpp.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/mtxel.cpp.o"
+  "CMakeFiles/xgw_core.dir/mtxel.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/rpa.cpp.o"
+  "CMakeFiles/xgw_core.dir/rpa.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/sigma.cpp.o"
+  "CMakeFiles/xgw_core.dir/sigma.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/sigma_ff.cpp.o"
+  "CMakeFiles/xgw_core.dir/sigma_ff.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/spectral.cpp.o"
+  "CMakeFiles/xgw_core.dir/spectral.cpp.o.d"
+  "CMakeFiles/xgw_core.dir/sternheimer_chi.cpp.o"
+  "CMakeFiles/xgw_core.dir/sternheimer_chi.cpp.o.d"
+  "libxgw_core.a"
+  "libxgw_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

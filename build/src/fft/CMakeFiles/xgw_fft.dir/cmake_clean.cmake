@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_fft.dir/fft.cpp.o"
+  "CMakeFiles/xgw_fft.dir/fft.cpp.o.d"
+  "libxgw_fft.a"
+  "libxgw_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gwpt/dfpt.cpp" "src/gwpt/CMakeFiles/xgw_gwpt.dir/dfpt.cpp.o" "gcc" "src/gwpt/CMakeFiles/xgw_gwpt.dir/dfpt.cpp.o.d"
+  "/root/repo/src/gwpt/gwpt.cpp" "src/gwpt/CMakeFiles/xgw_gwpt.dir/gwpt.cpp.o" "gcc" "src/gwpt/CMakeFiles/xgw_gwpt.dir/gwpt.cpp.o.d"
+  "/root/repo/src/gwpt/phonons.cpp" "src/gwpt/CMakeFiles/xgw_gwpt.dir/phonons.cpp.o" "gcc" "src/gwpt/CMakeFiles/xgw_gwpt.dir/phonons.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xgw_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/xgw_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xgw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/xgw_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xgw_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

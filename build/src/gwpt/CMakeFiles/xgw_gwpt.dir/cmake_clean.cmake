@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_gwpt.dir/dfpt.cpp.o"
+  "CMakeFiles/xgw_gwpt.dir/dfpt.cpp.o.d"
+  "CMakeFiles/xgw_gwpt.dir/gwpt.cpp.o"
+  "CMakeFiles/xgw_gwpt.dir/gwpt.cpp.o.d"
+  "CMakeFiles/xgw_gwpt.dir/phonons.cpp.o"
+  "CMakeFiles/xgw_gwpt.dir/phonons.cpp.o.d"
+  "libxgw_gwpt.a"
+  "libxgw_gwpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_gwpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

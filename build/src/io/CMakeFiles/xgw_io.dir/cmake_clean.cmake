@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_io.dir/binio.cpp.o"
+  "CMakeFiles/xgw_io.dir/binio.cpp.o.d"
+  "libxgw_io.a"
+  "libxgw_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

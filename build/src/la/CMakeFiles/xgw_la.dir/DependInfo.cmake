@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/eig.cpp" "src/la/CMakeFiles/xgw_la.dir/eig.cpp.o" "gcc" "src/la/CMakeFiles/xgw_la.dir/eig.cpp.o.d"
+  "/root/repo/src/la/gemm.cpp" "src/la/CMakeFiles/xgw_la.dir/gemm.cpp.o" "gcc" "src/la/CMakeFiles/xgw_la.dir/gemm.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/la/CMakeFiles/xgw_la.dir/lu.cpp.o" "gcc" "src/la/CMakeFiles/xgw_la.dir/lu.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/la/CMakeFiles/xgw_la.dir/matrix.cpp.o" "gcc" "src/la/CMakeFiles/xgw_la.dir/matrix.cpp.o.d"
+  "/root/repo/src/la/orth.cpp" "src/la/CMakeFiles/xgw_la.dir/orth.cpp.o" "gcc" "src/la/CMakeFiles/xgw_la.dir/orth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_la.dir/eig.cpp.o"
+  "CMakeFiles/xgw_la.dir/eig.cpp.o.d"
+  "CMakeFiles/xgw_la.dir/gemm.cpp.o"
+  "CMakeFiles/xgw_la.dir/gemm.cpp.o.d"
+  "CMakeFiles/xgw_la.dir/lu.cpp.o"
+  "CMakeFiles/xgw_la.dir/lu.cpp.o.d"
+  "CMakeFiles/xgw_la.dir/matrix.cpp.o"
+  "CMakeFiles/xgw_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/xgw_la.dir/orth.cpp.o"
+  "CMakeFiles/xgw_la.dir/orth.cpp.o.d"
+  "libxgw_la.a"
+  "libxgw_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

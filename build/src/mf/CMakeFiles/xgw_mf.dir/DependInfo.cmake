@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mf/bandstructure.cpp" "src/mf/CMakeFiles/xgw_mf.dir/bandstructure.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/bandstructure.cpp.o.d"
+  "/root/repo/src/mf/dos.cpp" "src/mf/CMakeFiles/xgw_mf.dir/dos.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/dos.cpp.o.d"
+  "/root/repo/src/mf/epm.cpp" "src/mf/CMakeFiles/xgw_mf.dir/epm.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/epm.cpp.o.d"
+  "/root/repo/src/mf/hamiltonian.cpp" "src/mf/CMakeFiles/xgw_mf.dir/hamiltonian.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/hamiltonian.cpp.o.d"
+  "/root/repo/src/mf/solver.cpp" "src/mf/CMakeFiles/xgw_mf.dir/solver.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/solver.cpp.o.d"
+  "/root/repo/src/mf/sternheimer.cpp" "src/mf/CMakeFiles/xgw_mf.dir/sternheimer.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/sternheimer.cpp.o.d"
+  "/root/repo/src/mf/velocity.cpp" "src/mf/CMakeFiles/xgw_mf.dir/velocity.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/velocity.cpp.o.d"
+  "/root/repo/src/mf/wavefunctions.cpp" "src/mf/CMakeFiles/xgw_mf.dir/wavefunctions.cpp.o" "gcc" "src/mf/CMakeFiles/xgw_mf.dir/wavefunctions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xgw_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xgw_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/xgw_pw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

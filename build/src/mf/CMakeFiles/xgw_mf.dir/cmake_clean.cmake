@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_mf.dir/bandstructure.cpp.o"
+  "CMakeFiles/xgw_mf.dir/bandstructure.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/dos.cpp.o"
+  "CMakeFiles/xgw_mf.dir/dos.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/epm.cpp.o"
+  "CMakeFiles/xgw_mf.dir/epm.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/hamiltonian.cpp.o"
+  "CMakeFiles/xgw_mf.dir/hamiltonian.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/solver.cpp.o"
+  "CMakeFiles/xgw_mf.dir/solver.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/sternheimer.cpp.o"
+  "CMakeFiles/xgw_mf.dir/sternheimer.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/velocity.cpp.o"
+  "CMakeFiles/xgw_mf.dir/velocity.cpp.o.d"
+  "CMakeFiles/xgw_mf.dir/wavefunctions.cpp.o"
+  "CMakeFiles/xgw_mf.dir/wavefunctions.cpp.o.d"
+  "libxgw_mf.a"
+  "libxgw_mf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_mf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_perf.dir/machines.cpp.o"
+  "CMakeFiles/xgw_perf.dir/machines.cpp.o.d"
+  "CMakeFiles/xgw_perf.dir/progmodel.cpp.o"
+  "CMakeFiles/xgw_perf.dir/progmodel.cpp.o.d"
+  "CMakeFiles/xgw_perf.dir/scaling.cpp.o"
+  "CMakeFiles/xgw_perf.dir/scaling.cpp.o.d"
+  "libxgw_perf.a"
+  "libxgw_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_pseudobands.dir/chebyshev.cpp.o"
+  "CMakeFiles/xgw_pseudobands.dir/chebyshev.cpp.o.d"
+  "CMakeFiles/xgw_pseudobands.dir/parabands.cpp.o"
+  "CMakeFiles/xgw_pseudobands.dir/parabands.cpp.o.d"
+  "CMakeFiles/xgw_pseudobands.dir/pseudobands.cpp.o"
+  "CMakeFiles/xgw_pseudobands.dir/pseudobands.cpp.o.d"
+  "libxgw_pseudobands.a"
+  "libxgw_pseudobands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_pseudobands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

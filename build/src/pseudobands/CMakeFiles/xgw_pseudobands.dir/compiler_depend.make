@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xgw_pseudobands.
+# This may be replaced when dependencies are built.

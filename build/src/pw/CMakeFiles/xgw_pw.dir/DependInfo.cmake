@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pw/crystal.cpp" "src/pw/CMakeFiles/xgw_pw.dir/crystal.cpp.o" "gcc" "src/pw/CMakeFiles/xgw_pw.dir/crystal.cpp.o.d"
+  "/root/repo/src/pw/gvectors.cpp" "src/pw/CMakeFiles/xgw_pw.dir/gvectors.cpp.o" "gcc" "src/pw/CMakeFiles/xgw_pw.dir/gvectors.cpp.o.d"
+  "/root/repo/src/pw/lattice.cpp" "src/pw/CMakeFiles/xgw_pw.dir/lattice.cpp.o" "gcc" "src/pw/CMakeFiles/xgw_pw.dir/lattice.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xgw_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xgw_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

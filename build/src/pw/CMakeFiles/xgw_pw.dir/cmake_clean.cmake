@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_pw.dir/crystal.cpp.o"
+  "CMakeFiles/xgw_pw.dir/crystal.cpp.o.d"
+  "CMakeFiles/xgw_pw.dir/gvectors.cpp.o"
+  "CMakeFiles/xgw_pw.dir/gvectors.cpp.o.d"
+  "CMakeFiles/xgw_pw.dir/lattice.cpp.o"
+  "CMakeFiles/xgw_pw.dir/lattice.cpp.o.d"
+  "libxgw_pw.a"
+  "libxgw_pw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_pw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

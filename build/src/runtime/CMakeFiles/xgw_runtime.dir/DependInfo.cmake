@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dist.cpp" "src/runtime/CMakeFiles/xgw_runtime.dir/dist.cpp.o" "gcc" "src/runtime/CMakeFiles/xgw_runtime.dir/dist.cpp.o.d"
+  "/root/repo/src/runtime/netmodel.cpp" "src/runtime/CMakeFiles/xgw_runtime.dir/netmodel.cpp.o" "gcc" "src/runtime/CMakeFiles/xgw_runtime.dir/netmodel.cpp.o.d"
+  "/root/repo/src/runtime/simcluster.cpp" "src/runtime/CMakeFiles/xgw_runtime.dir/simcluster.cpp.o" "gcc" "src/runtime/CMakeFiles/xgw_runtime.dir/simcluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xgw_runtime.dir/dist.cpp.o"
+  "CMakeFiles/xgw_runtime.dir/dist.cpp.o.d"
+  "CMakeFiles/xgw_runtime.dir/netmodel.cpp.o"
+  "CMakeFiles/xgw_runtime.dir/netmodel.cpp.o.d"
+  "CMakeFiles/xgw_runtime.dir/simcluster.cpp.o"
+  "CMakeFiles/xgw_runtime.dir/simcluster.cpp.o.d"
+  "libxgw_runtime.a"
+  "libxgw_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xgw_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

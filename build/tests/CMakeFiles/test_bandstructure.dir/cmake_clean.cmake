@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandstructure.dir/test_bandstructure.cpp.o"
+  "CMakeFiles/test_bandstructure.dir/test_bandstructure.cpp.o.d"
+  "test_bandstructure"
+  "test_bandstructure.pdb"
+  "test_bandstructure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandstructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

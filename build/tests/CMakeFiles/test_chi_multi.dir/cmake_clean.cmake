@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chi_multi.dir/test_chi_multi.cpp.o"
+  "CMakeFiles/test_chi_multi.dir/test_chi_multi.cpp.o.d"
+  "test_chi_multi"
+  "test_chi_multi.pdb"
+  "test_chi_multi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chi_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cohsex.dir/test_cohsex.cpp.o"
+  "CMakeFiles/test_cohsex.dir/test_cohsex.cpp.o.d"
+  "test_cohsex"
+  "test_cohsex.pdb"
+  "test_cohsex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cohsex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

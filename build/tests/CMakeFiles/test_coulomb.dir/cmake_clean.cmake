@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coulomb.dir/test_coulomb.cpp.o"
+  "CMakeFiles/test_coulomb.dir/test_coulomb.cpp.o.d"
+  "test_coulomb"
+  "test_coulomb.pdb"
+  "test_coulomb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coulomb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

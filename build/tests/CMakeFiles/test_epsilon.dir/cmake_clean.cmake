@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epsilon.dir/test_epsilon.cpp.o"
+  "CMakeFiles/test_epsilon.dir/test_epsilon.cpp.o.d"
+  "test_epsilon"
+  "test_epsilon.pdb"
+  "test_epsilon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

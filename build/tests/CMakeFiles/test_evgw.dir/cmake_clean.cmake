@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evgw.dir/test_evgw.cpp.o"
+  "CMakeFiles/test_evgw.dir/test_evgw.cpp.o.d"
+  "test_evgw"
+  "test_evgw.pdb"
+  "test_evgw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evgw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

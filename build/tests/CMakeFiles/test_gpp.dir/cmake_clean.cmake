@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpp.dir/test_gpp.cpp.o"
+  "CMakeFiles/test_gpp.dir/test_gpp.cpp.o.d"
+  "test_gpp"
+  "test_gpp.pdb"
+  "test_gpp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gwpt.dir/test_gwpt.cpp.o"
+  "CMakeFiles/test_gwpt.dir/test_gwpt.cpp.o.d"
+  "test_gwpt"
+  "test_gwpt.pdb"
+  "test_gwpt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gwpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_gemm.dir/test_la_gemm.cpp.o"
+  "CMakeFiles/test_la_gemm.dir/test_la_gemm.cpp.o.d"
+  "test_la_gemm"
+  "test_la_gemm.pdb"
+  "test_la_gemm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

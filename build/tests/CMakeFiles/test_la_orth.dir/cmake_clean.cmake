@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_orth.dir/test_la_orth.cpp.o"
+  "CMakeFiles/test_la_orth.dir/test_la_orth.cpp.o.d"
+  "test_la_orth"
+  "test_la_orth.pdb"
+  "test_la_orth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_orth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

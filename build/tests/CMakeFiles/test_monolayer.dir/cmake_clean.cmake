@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monolayer.dir/test_monolayer.cpp.o"
+  "CMakeFiles/test_monolayer.dir/test_monolayer.cpp.o.d"
+  "test_monolayer"
+  "test_monolayer.pdb"
+  "test_monolayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monolayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

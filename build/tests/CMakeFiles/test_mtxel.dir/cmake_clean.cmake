@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mtxel.dir/test_mtxel.cpp.o"
+  "CMakeFiles/test_mtxel.dir/test_mtxel.cpp.o.d"
+  "test_mtxel"
+  "test_mtxel.pdb"
+  "test_mtxel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mtxel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parabands.dir/test_parabands.cpp.o"
+  "CMakeFiles/test_parabands.dir/test_parabands.cpp.o.d"
+  "test_parabands"
+  "test_parabands.pdb"
+  "test_parabands[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parabands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

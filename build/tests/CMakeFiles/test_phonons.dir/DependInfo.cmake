@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_phonons.cpp" "tests/CMakeFiles/test_phonons.dir/test_phonons.cpp.o" "gcc" "tests/CMakeFiles/test_phonons.dir/test_phonons.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xgw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/xgw_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/xgw_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/pw/CMakeFiles/xgw_pw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mf/CMakeFiles/xgw_mf.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/xgw_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/xgw_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pseudobands/CMakeFiles/xgw_pseudobands.dir/DependInfo.cmake"
+  "/root/repo/build/src/gwpt/CMakeFiles/xgw_gwpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/xgw_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/xgw_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/bse/CMakeFiles/xgw_bse.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/xgw_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phonons.dir/test_phonons.cpp.o"
+  "CMakeFiles/test_phonons.dir/test_phonons.cpp.o.d"
+  "test_phonons"
+  "test_phonons.pdb"
+  "test_phonons[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phonons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pseudobands.dir/test_pseudobands.cpp.o"
+  "CMakeFiles/test_pseudobands.dir/test_pseudobands.cpp.o.d"
+  "test_pseudobands"
+  "test_pseudobands.pdb"
+  "test_pseudobands[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pseudobands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

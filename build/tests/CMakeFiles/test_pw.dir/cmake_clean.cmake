@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pw.dir/test_pw.cpp.o"
+  "CMakeFiles/test_pw.dir/test_pw.cpp.o.d"
+  "test_pw"
+  "test_pw.pdb"
+  "test_pw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

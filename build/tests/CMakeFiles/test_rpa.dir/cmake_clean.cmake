@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rpa.dir/test_rpa.cpp.o"
+  "CMakeFiles/test_rpa.dir/test_rpa.cpp.o.d"
+  "test_rpa"
+  "test_rpa.pdb"
+  "test_rpa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sigma_ff.dir/test_sigma_ff.cpp.o"
+  "CMakeFiles/test_sigma_ff.dir/test_sigma_ff.cpp.o.d"
+  "test_sigma_ff"
+  "test_sigma_ff.pdb"
+  "test_sigma_ff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sigma_ff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
