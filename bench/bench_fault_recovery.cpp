@@ -1,0 +1,124 @@
+// Fault-tolerance bench: time-to-solution vs failure rate for the
+// simulated GW runtime (run_items_ft).
+//
+// At the paper's scale (9,408 Frontier nodes for hours) faults are the
+// operating regime, not the exception. This bench sweeps the per-attempt
+// failure probability of the seeded injector over a fixed work campaign
+// and reports how retries, dead ranks, and redistribution inflate the
+// time-to-solution relative to the fault-free baseline — the numerical
+// results stay bitwise identical throughout (enforced by test_fault).
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/simcluster.h"
+
+using namespace xgw;
+using namespace xgw::bench;
+
+namespace {
+
+/// One work item: a fixed spin so every rank has measurable compute.
+void spin_item(std::vector<cplx>& out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::microseconds(400)) {
+  }
+  for (std::size_t j = 0; j < out.size(); ++j)
+    out[j] = cplx{static_cast<double>(j), -static_cast<double>(j)};
+}
+
+struct SweepPoint {
+  double p_fail;
+  SimCluster::RunReport rep;
+};
+
+SimCluster::RunReport run_campaign(const SimCluster& cluster, idx n_items,
+                                   const SimCluster::FtOptions& opt) {
+  std::vector<std::vector<cplx>> out(
+      static_cast<std::size_t>(n_items), std::vector<cplx>(64));
+  auto item_fn = [&](idx item, RankContext& ctx) {
+    auto& dst = out[static_cast<std::size_t>(item)];
+    spin_item(dst);
+    ctx.expose(std::span<cplx>(dst));
+  };
+  return cluster.run_items_ft(n_items, item_fn, opt);
+}
+
+void failure_rate_sweep() {
+  section("time-to-solution vs per-attempt failure rate");
+  const idx n_ranks = 16;
+  const idx n_items = 128;
+  const SimCluster cluster(n_ranks);
+
+  SimCluster::FtOptions clean;
+  const SimCluster::RunReport base = run_campaign(cluster, n_items, clean);
+  const double t0 = base.time_to_solution();
+
+  std::vector<SweepPoint> points;
+  for (double p : {0.0, 0.02, 0.05, 0.1, 0.2, 0.4}) {
+    SimCluster::FtOptions opt;
+    opt.faults.seed = 2026;
+    // Split the failure budget: half crashes, half silent corruption.
+    opt.faults.p_crash = 0.5 * p;
+    opt.faults.p_corrupt = 0.5 * p;
+    opt.max_attempts = 5;
+    opt.backoff_base_s = 0.01;
+    points.push_back({p, run_campaign(cluster, n_items, opt)});
+  }
+
+  Table t({"p_fail/attempt", "retries", "dead ranks", "recovery (s)",
+           "t2s (s)", "overhead vs fault-free"});
+  for (const SweepPoint& pt : points) {
+    const double t2s = pt.rep.time_to_solution();
+    t.row({fmt(pt.p_fail, 2), fmt_int(pt.rep.retries),
+           fmt_int(static_cast<long long>(pt.rep.failed_ranks.size())),
+           fmt(pt.rep.recovery_s, 3), fmt(t2s, 3),
+           fmt(100.0 * (t2s / t0 - 1.0), 1) + "%"});
+  }
+  t.print();
+  std::printf(
+      "\nfault-free baseline t2s: %.3f s; recovery cost is the modeled\n"
+      "backoff + respawn traffic (NetworkModel), charged honestly into\n"
+      "time_to_solution(); results are bitwise fault-independent.\n",
+      t0);
+}
+
+void node_loss_sweep() {
+  section("degraded-mode cost of losing k of 16 ranks outright");
+  const idx n_ranks = 16;
+  const idx n_items = 128;
+  const SimCluster cluster(n_ranks);
+  const double t0 =
+      run_campaign(cluster, n_items, SimCluster::FtOptions{})
+          .time_to_solution();
+
+  Table t({"ranks lost", "retries", "recovery (s)", "t2s (s)",
+           "slowdown vs fault-free"});
+  for (idx k : {idx{0}, idx{1}, idx{2}, idx{4}}) {
+    SimCluster::FtOptions opt;
+    opt.max_attempts = 2;
+    opt.backoff_base_s = 0.01;
+    for (idx r = 0; r < k; ++r) opt.faults.kill_ranks.push_back(r * 3);
+    const SimCluster::RunReport rep = run_campaign(cluster, n_items, opt);
+    const double t2s = rep.time_to_solution();
+    t.row({fmt_int(k), fmt_int(rep.retries), fmt(rep.recovery_s, 3),
+           fmt(t2s, 3), fmt(t2s / t0, 2) + "x"});
+  }
+  t.print();
+  std::printf(
+      "\nDead ranks burn max_attempts retries, then their block is\n"
+      "re-decomposed over the survivors (BlockDist) — the degraded run\n"
+      "finishes correctly at reduced parallel width.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("xgw — fault-tolerant runtime: recovery cost sweep\n");
+  failure_rate_sweep();
+  node_loss_sweep();
+  return 0;
+}

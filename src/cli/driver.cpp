@@ -3,8 +3,11 @@
 #include <iomanip>
 #include <ostream>
 
+#include <span>
+
 #include "bse/bse.h"
 #include "common/error.h"
+#include "common/quadrature.h"
 #include "core/cohsex.h"
 #include "core/evgw.h"
 #include "core/rpa.h"
@@ -26,7 +29,7 @@ const std::vector<std::string>& known_input_keys() {
       "pseudobands", "pseudobands_nxi", "scissors",  "bse_nval",
       "bse_ncond",   "output_wfn",   "input_wfn",    "output_epsmat",
       "evgw_max_iter", "evgw_mixing", "rpa_n_freq",  "band_segments",
-      "vacuum",
+      "vacuum",      "checkpoint",   "checkpoint_every",
   };
   return keys;
 }
@@ -117,6 +120,25 @@ int job_epsilon(const InputFile& in, std::ostream& os) {
   print_header(os, gw);
   os << std::fixed << std::setprecision(6);
   os << "epsinv_head " << gw.epsinv0()(0, 0).real() << "\n";
+  if (in.has("n_freq")) {
+    // Imaginary-axis frequency sweep with checkpoint/restart: an
+    // interrupted job rerun with the same input resumes where it stopped.
+    const QuadratureRule rule =
+        gauss_legendre_semi_infinite(in.get_int("n_freq", 8), 1.0);
+    ChiOptions copt;
+    copt.eta = gw.params().eta;
+    copt.nv_block = gw.params().nv_block;
+    copt.imaginary_axis = true;
+    EpsilonLoopOptions loop;
+    loop.checkpoint_path = in.get_string("checkpoint", "");
+    loop.checkpoint_every = in.get_int("checkpoint_every", 1);
+    const auto epsinv = epsilon_inverse_multi(
+        gw.mtxel(), gw.wavefunctions(), gw.coulomb(),
+        std::span<const double>(rule.nodes), copt, loop);
+    for (std::size_t k = 0; k < epsinv.size(); ++k)
+      os << "epsinv_head(i*" << rule.nodes[k] << ") "
+         << epsinv[k](0, 0).real() << "\n";
+  }
   if (in.has("output_wfn"))
     write_wavefunctions(in.require_string("output_wfn"), gw.wavefunctions());
   if (in.has("output_epsmat"))
@@ -131,9 +153,16 @@ int job_sigma(const InputFile& in, std::ostream& os) {
     gw.set_wavefunctions(read_wavefunctions(in.require_string("input_wfn")));
   maybe_compress(in, gw);
   print_header(os, gw);
-  const auto qp = gw.sigma_diag(sigma_bands(in, gw),
-                                in.get_int("n_e_points", 3),
-                                in.get_double("e_step", 0.02));
+  GwCalculation::CheckpointOptions ckpt;
+  ckpt.path = in.get_string("checkpoint", "");
+  ckpt.every = in.get_int("checkpoint_every", 1);
+  const auto qp = ckpt.path.empty()
+                      ? gw.sigma_diag(sigma_bands(in, gw),
+                                      in.get_int("n_e_points", 3),
+                                      in.get_double("e_step", 0.02))
+                      : gw.sigma_diag_checkpointed(
+                            sigma_bands(in, gw), in.get_int("n_e_points", 3),
+                            in.get_double("e_step", 0.02), ckpt);
   os << std::fixed << std::setprecision(4);
   os << "band   E_MF(eV)   SX(eV)   CH(eV)   Z      E_QP(eV)\n";
   for (const QpResult& r : qp)

@@ -1,0 +1,43 @@
+#include "common/validate.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+
+namespace xgw {
+
+bool all_finite(std::span<const double> x) {
+  for (double v : x)
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+bool all_finite(std::span<const cplx> x) {
+  for (const cplx& v : x)
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return false;
+  return true;
+}
+
+namespace {
+
+[[noreturn]] void fail(const char* what, std::size_t at) {
+  throw Error(std::string(what) + ": non-finite value at element " +
+              std::to_string(at) +
+              " (NaN/Inf caught at kernel boundary)");
+}
+
+}  // namespace
+
+void require_finite(std::span<const double> x, const char* what) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (!std::isfinite(x[i])) fail(what, i);
+}
+
+void require_finite(std::span<const cplx> x, const char* what) {
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag()))
+      fail(what, i);
+}
+
+}  // namespace xgw

@@ -1,0 +1,43 @@
+#pragma once
+
+// NaN/Inf guards for kernel accumulation boundaries.
+//
+// A GW campaign is a long chain of dense accumulations; a single corrupted
+// matrix element (bad node, bit flip, injected fault) propagates through
+// CHI_SUM -> eps^{-1} -> Sigma and surfaces only as a subtly wrong QP
+// energy hours later. These helpers catch non-finite data AT THE EDGE of
+// each kernel — the XGW_REQUIRE philosophy (common/error.h) applied to
+// data instead of preconditions: fail loudly where the corruption enters,
+// not where it is finally observed.
+
+#include <span>
+
+#include "common/types.h"
+
+namespace xgw {
+
+/// True iff every element is finite (no NaN, no +-Inf).
+bool all_finite(std::span<const double> x);
+bool all_finite(std::span<const cplx> x);
+
+/// Throws xgw::Error naming `what` and the first offending index if any
+/// element is non-finite. `what` should identify the kernel boundary, e.g.
+/// "chi_sum: accumulated chi(omega)".
+void require_finite(std::span<const double> x, const char* what);
+void require_finite(std::span<const cplx> x, const char* what);
+
+/// Convenience for any contiguous container exposing data()/size()
+/// (ZMatrix, std::vector, ...).
+template <typename C>
+bool all_finite(const C& c) {
+  return all_finite(
+      std::span(c.data(), static_cast<std::size_t>(c.size())));
+}
+
+template <typename C>
+void require_finite(const C& c, const char* what) {
+  require_finite(std::span(c.data(), static_cast<std::size_t>(c.size())),
+                 what);
+}
+
+}  // namespace xgw

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/validate.h"
 #include "core/coulomb.h"
 #include "la/eig.h"
 #include "mf/velocity.h"
@@ -88,6 +89,9 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
             m_block(dv * nc + c, j) = m_pw(c, j);
       }
     }
+    // A NaN here would silently poison every chi(omega) through the rank-k
+    // updates below; catch it at the accumulation boundary instead.
+    require_finite(m_block, "chi_multi: M_vc block");
 
     // CHI-Freq: scaled = diag(2 Delta_vc(omega_k)) M_block per frequency.
     for (idx k = 0; k < nfreq; ++k) {
@@ -127,6 +131,7 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
       c(0, 0) += hv;
     }
   }
+  for (const ZMatrix& c : chi) require_finite(c, "chi_multi: chi(omega)");
   return chi;
 }
 

@@ -1,7 +1,13 @@
 #include "core/epsilon.h"
 
+#include <cstdint>
+#include <cstring>
+#include <string>
+
 #include "common/error.h"
+#include "common/validate.h"
 #include "la/gemm.h"
+#include "runtime/checkpoint.h"
 
 namespace xgw {
 
@@ -85,6 +91,110 @@ LowRankEpsInv epsilon_inverse_subspace(const Subspace& sub,
 double epsinv_head(const ZMatrix& epsinv) {
   XGW_REQUIRE(epsinv.rows() >= 1, "epsinv_head: empty matrix");
   return epsinv(0, 0).real();
+}
+
+namespace {
+
+/// A resumed loop must describe the SAME calculation: hash the defining
+/// sizes and the raw frequency-grid bits into the checkpoint header.
+std::uint64_t epsilon_config_hash(const Mtxel& mtxel, const Wavefunctions& wf,
+                                  std::span<const double> omegas) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(mtxel.n_g()));
+  mix(static_cast<std::uint64_t>(wf.n_bands()));
+  mix(static_cast<std::uint64_t>(wf.n_valence));
+  mix(static_cast<std::uint64_t>(omegas.size()));
+  for (double w : omegas) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(w));
+    std::memcpy(&bits, &w, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+void put_matrix_record(CkptWriter& w, const ZMatrix& m) {
+  w.put_i64(m.rows());
+  w.put_i64(m.cols());
+  w.put_span(std::span<const cplx>(m.data(),
+                                   static_cast<std::size_t>(m.size())));
+}
+
+ZMatrix get_matrix_record(CkptReader& r) {
+  const idx rows = r.get_i64();
+  const idx cols = r.get_i64();
+  XGW_REQUIRE(rows >= 0 && cols >= 0,
+              "epsilon checkpoint: bad matrix dimensions");
+  ZMatrix m(rows, cols);
+  r.get_span(std::span<cplx>(m.data(), static_cast<std::size_t>(m.size())));
+  return m;
+}
+
+}  // namespace
+
+std::vector<ZMatrix> epsilon_inverse_multi(
+    const Mtxel& mtxel, const Wavefunctions& wf, const CoulombPotential& v,
+    std::span<const double> omegas, const ChiOptions& opt,
+    const EpsilonLoopOptions& loop, std::span<const cplx> head_values) {
+  XGW_REQUIRE(!omegas.empty(), "epsilon_inverse_multi: need frequencies");
+  XGW_REQUIRE(head_values.empty() || head_values.size() == omegas.size(),
+              "epsilon_inverse_multi: one head value per frequency");
+  XGW_REQUIRE(loop.checkpoint_every >= 1,
+              "epsilon_inverse_multi: checkpoint_every must be >= 1");
+  const idx nfreq = static_cast<idx>(omegas.size());
+  const bool ckpt = !loop.checkpoint_path.empty();
+  const std::uint64_t cfg = epsilon_config_hash(mtxel, wf, omegas);
+
+  std::vector<ZMatrix> out;
+  out.reserve(static_cast<std::size_t>(nfreq));
+
+  // Resume: accept the checkpoint only if it describes this exact loop.
+  if (ckpt) {
+    if (auto c = checkpoint_load(loop.checkpoint_path);
+        c && c->stage == CheckpointStage::kEpsilon &&
+        c->config_hash == cfg && c->total == nfreq && c->step <= nfreq) {
+      CkptReader r(c->payload);
+      for (idx k = 0; k < c->step; ++k) out.push_back(get_matrix_record(r));
+    }
+  }
+
+  auto save = [&] {
+    CkptWriter w;
+    for (const ZMatrix& m : out) put_matrix_record(w, m);
+    Checkpoint c;
+    c.stage = CheckpointStage::kEpsilon;
+    c.step = static_cast<std::int64_t>(out.size());
+    c.total = nfreq;
+    c.config_hash = cfg;
+    c.payload = w.take();
+    checkpoint_save(loop.checkpoint_path, c);
+  };
+
+  for (idx k = static_cast<idx>(out.size()); k < nfreq; ++k) {
+    // One frequency at a time through the same NV-Block accumulation as
+    // the batched path: bitwise-equal to chi_multi over the full grid.
+    const std::vector<ZMatrix> chik =
+        chi_multi(mtxel, wf, omegas.subspan(static_cast<std::size_t>(k), 1),
+                  opt, nullptr,
+                  head_values.empty()
+                      ? std::span<const cplx>{}
+                      : head_values.subspan(static_cast<std::size_t>(k), 1));
+    out.push_back(epsilon_inverse(chik.front(), v));
+    require_finite(out.back(), "epsilon_inverse_multi: eps^{-1}(omega)");
+
+    const idx done = static_cast<idx>(out.size());
+    if (ckpt && (done % loop.checkpoint_every == 0 || done == nfreq)) save();
+    if (loop.abort_after >= 0 && done >= loop.abort_after && done < nfreq)
+      throw Error("epsilon_inverse_multi: simulated job kill after " +
+                  std::to_string(done) + " frequencies");
+  }
+
+  if (ckpt) checkpoint_remove(loop.checkpoint_path);
+  return out;
 }
 
 }  // namespace xgw

@@ -13,6 +13,10 @@
 //    requiring only an N_Eig x N_Eig factorization — this is where the
 //    25-100x full-frequency speedup of Sec. 5.2 comes from.
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include "core/chi.h"
 #include "core/coulomb.h"
 #include "la/lu.h"
@@ -49,5 +53,29 @@ LowRankEpsInv epsilon_inverse_subspace(const Subspace& sub,
 /// Macroscopic screening diagnostic: eps^{-1}_00 (the "head"). For a
 /// semiconductor this is 1/eps_infinity in (0, 1).
 double epsinv_head(const ZMatrix& epsinv);
+
+/// Checkpoint/restart policy for the epsilon frequency loop (the analogue
+/// of BerkeleyGW's per-q-point restart files).
+struct EpsilonLoopOptions {
+  std::string checkpoint_path;  ///< empty = checkpointing disabled
+  idx checkpoint_every = 1;     ///< snapshot after this many frequencies
+  /// Testing hook simulating a job kill: throw xgw::Error once this many
+  /// frequencies have completed (and been checkpointed). < 0 disables.
+  idx abort_after = -1;
+};
+
+/// Dense eps^{-1}(omega_k) for every grid frequency, checkpointing the
+/// loop state after each `checkpoint_every` completed frequencies (atomic
+/// write-rename via runtime/checkpoint). A resumed run skips completed
+/// frequencies and reproduces the uninterrupted result BITWISE: each
+/// frequency's chi accumulates over the same valence blocks in the same
+/// order whether computed alone or in a batch. `head_values`, if
+/// non-empty, supplies one q->0 head per frequency (as in chi_multi).
+/// The checkpoint is removed on successful completion.
+std::vector<ZMatrix> epsilon_inverse_multi(
+    const Mtxel& mtxel, const Wavefunctions& wf, const CoulombPotential& v,
+    std::span<const double> omegas, const ChiOptions& opt = {},
+    const EpsilonLoopOptions& loop = {},
+    std::span<const cplx> head_values = {});
 
 }  // namespace xgw

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/error.h"
+#include "common/validate.h"
 #include "la/eig.h"
+#include "runtime/checkpoint.h"
 
 namespace xgw {
 
@@ -160,6 +164,9 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
       TimerRegistry::Scope scope(timers_, "sigma_mtxel");
       m_ln = m_matrix_left(l);
     }
+    // Corruption entering Sigma is caught at the kernel edge, not in the
+    // final QP energies (fault-tolerance contract; common/validate.h).
+    require_finite(m_ln, "sigma_diag: matrix elements M_ln");
 
     const double e0 = wf.energy[static_cast<std::size_t>(l)];
     std::vector<double> e_vals(static_cast<std::size_t>(n_e_points));
@@ -177,6 +184,8 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
 
     std::vector<cplx> totals(parts.size());
     for (std::size_t i = 0; i < parts.size(); ++i) totals[i] = parts[i].total();
+    require_finite(std::span<const cplx>(totals),
+                   "sigma_diag: accumulated Sigma_ll(E)");
     const QpSolve qp = solve_qp_linear(e0, e_vals, totals);
 
     QpResult r;
@@ -188,6 +197,104 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
     r.e_qp = qp.e_qp;
     results.push_back(r);
   }
+  return results;
+}
+
+namespace {
+
+/// Hash of everything that defines the band loop: resuming under different
+/// parameters must start fresh, never splice inconsistent results.
+std::uint64_t sigma_config_hash(const std::vector<idx>& bands, idx n_e_points,
+                                double e_step, idx n_bands, idx n_g) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(n_bands));
+  mix(static_cast<std::uint64_t>(n_g));
+  mix(static_cast<std::uint64_t>(n_e_points));
+  std::uint64_t bits;
+  std::memcpy(&bits, &e_step, sizeof(bits));
+  mix(bits);
+  mix(static_cast<std::uint64_t>(bands.size()));
+  for (idx b : bands) mix(static_cast<std::uint64_t>(b));
+  return h;
+}
+
+void put_qp_record(CkptWriter& w, const QpResult& r) {
+  w.put_i64(r.band);
+  w.put_f64(r.e_mf);
+  w.put_cplx(r.sigma.sx);
+  w.put_cplx(r.sigma.ch);
+  w.put_f64(r.dsigma_de);
+  w.put_f64(r.z);
+  w.put_f64(r.e_qp);
+}
+
+QpResult get_qp_record(CkptReader& r) {
+  QpResult q;
+  q.band = r.get_i64();
+  q.e_mf = r.get_f64();
+  q.sigma.sx = r.get_cplx();
+  q.sigma.ch = r.get_cplx();
+  q.dsigma_de = r.get_f64();
+  q.z = r.get_f64();
+  q.e_qp = r.get_f64();
+  return q;
+}
+
+}  // namespace
+
+std::vector<QpResult> GwCalculation::sigma_diag_checkpointed(
+    const std::vector<idx>& bands, idx n_e_points, double e_step,
+    const CheckpointOptions& ckpt) {
+  XGW_REQUIRE(ckpt.every >= 1,
+              "sigma_diag_checkpointed: every must be >= 1");
+  const idx n_total = static_cast<idx>(bands.size());
+  const bool use_ckpt = !ckpt.path.empty();
+  const std::uint64_t cfg =
+      sigma_config_hash(bands, n_e_points, e_step, n_bands(), n_g());
+
+  std::vector<QpResult> results;
+  results.reserve(bands.size());
+
+  if (use_ckpt) {
+    if (auto c = checkpoint_load(ckpt.path);
+        c && c->stage == CheckpointStage::kSigma && c->config_hash == cfg &&
+        c->total == n_total && c->step <= n_total) {
+      CkptReader r(c->payload);
+      for (idx k = 0; k < c->step; ++k) results.push_back(get_qp_record(r));
+    }
+  }
+
+  auto save = [&] {
+    CkptWriter w;
+    for (const QpResult& r : results) put_qp_record(w, r);
+    Checkpoint c;
+    c.stage = CheckpointStage::kSigma;
+    c.step = static_cast<std::int64_t>(results.size());
+    c.total = n_total;
+    c.config_hash = cfg;
+    c.payload = w.take();
+    checkpoint_save(ckpt.path, c);
+  };
+
+  for (idx k = static_cast<idx>(results.size()); k < n_total; ++k) {
+    // Bands are independent; computing one at a time reproduces the batch
+    // results bitwise.
+    const std::vector<QpResult> one =
+        sigma_diag({bands[static_cast<std::size_t>(k)]}, n_e_points, e_step);
+    results.push_back(one.front());
+
+    const idx done = static_cast<idx>(results.size());
+    if (use_ckpt && (done % ckpt.every == 0 || done == n_total)) save();
+    if (ckpt.abort_after >= 0 && done >= ckpt.abort_after && done < n_total)
+      throw Error("sigma_diag_checkpointed: simulated job kill after " +
+                  std::to_string(done) + " bands");
+  }
+
+  if (use_ckpt) checkpoint_remove(ckpt.path);
   return results;
 }
 

@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/timer.h"
@@ -97,6 +98,24 @@ class GwCalculation {
       const std::vector<idx>& bands, idx n_e_points = 3, double e_step = 0.02,
       GppKernelVariant variant = GppKernelVariant::kOptimized,
       FlopCounter* flops = nullptr);
+
+  /// Checkpoint/restart policy for the sigma band loop.
+  struct CheckpointOptions {
+    std::string path;     ///< checkpoint file; empty = disabled
+    idx every = 1;        ///< snapshot after this many completed bands
+    /// Testing hook simulating a job kill: throw xgw::Error once this many
+    /// bands have completed (and been checkpointed). < 0 disables.
+    idx abort_after = -1;
+  };
+
+  /// sigma_diag with the band loop checkpointed after every `every`
+  /// completed bands (atomic write-rename via runtime/checkpoint). Bands
+  /// are mutually independent, so a resumed run skips the completed ones
+  /// and returns results BITWISE identical to the uninterrupted call. The
+  /// checkpoint is removed on successful completion.
+  std::vector<QpResult> sigma_diag_checkpointed(
+      const std::vector<idx>& bands, idx n_e_points, double e_step,
+      const CheckpointOptions& ckpt);
 
   /// Full Sigma_lm(E_i) matrices on a uniform grid spanning the external
   /// bands' energy window (GPP off-diag kernel, Sec. 5.6). Returns one

@@ -1,0 +1,215 @@
+#include "runtime/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace xgw {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'G', 'W', 'C'};
+
+struct FileHeader {
+  char magic[4];
+  std::uint32_t version;
+  std::uint32_t stage;
+  std::uint32_t pad;  // keeps the 8-byte fields aligned; always 0
+  std::int64_t step;
+  std::int64_t total;
+  std::uint64_t config_hash;
+  std::int64_t payload_bytes;
+};
+static_assert(sizeof(FileHeader) == 48, "checkpoint header must be 48 bytes");
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string tmp_path(const std::string& path) { return path + ".tmp"; }
+std::string prev_path(const std::string& path) { return path + ".prev"; }
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc) {
+  const auto& table = crc_table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void checkpoint_save(const std::string& path, const Checkpoint& c) {
+  XGW_REQUIRE(!path.empty(), "checkpoint_save: empty path");
+  XGW_REQUIRE(c.step >= 0 && c.total >= 0 && c.step <= c.total,
+              "checkpoint_save: inconsistent step/total");
+
+  FileHeader h{};
+  std::memcpy(h.magic, kMagic, 4);
+  h.version = kCheckpointVersion;
+  h.stage = static_cast<std::uint32_t>(c.stage);
+  h.pad = 0;
+  h.step = c.step;
+  h.total = c.total;
+  h.config_hash = c.config_hash;
+  h.payload_bytes = static_cast<std::int64_t>(c.payload.size());
+
+  std::uint32_t crc = crc32(&h, sizeof(h));
+  crc = crc32(c.payload.data(), c.payload.size(), crc);
+
+  const std::string tmp = tmp_path(path);
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    XGW_REQUIRE(os.good(), "checkpoint_save: cannot open " + tmp);
+    os.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    os.write(reinterpret_cast<const char*>(c.payload.data()),
+             static_cast<std::streamsize>(c.payload.size()));
+    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    os.flush();
+    XGW_REQUIRE(os.good(), "checkpoint_save: write failed for " + tmp);
+  }
+
+  // Keep the previous generation for corruption fallback, then promote the
+  // fully-written tmp file in one rename — readers never observe a partial
+  // checkpoint at `path`.
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec))
+    std::filesystem::rename(path, prev_path(path), ec);
+  std::filesystem::rename(tmp, path, ec);
+  XGW_REQUIRE(!ec, "checkpoint_save: atomic rename failed: " + ec.message());
+}
+
+Checkpoint checkpoint_load_strict(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  XGW_REQUIRE(is.good(), "checkpoint: cannot open " + path);
+
+  FileHeader h{};
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  XGW_REQUIRE(is.gcount() == sizeof(h), "checkpoint: truncated header");
+  XGW_REQUIRE(std::memcmp(h.magic, kMagic, 4) == 0,
+              "checkpoint: bad magic (not an xgw checkpoint)");
+  XGW_REQUIRE(h.version == kCheckpointVersion,
+              "checkpoint: format version mismatch (file v" +
+                  std::to_string(h.version) + ", reader v" +
+                  std::to_string(kCheckpointVersion) + ")");
+  XGW_REQUIRE(h.payload_bytes >= 0 && h.step >= 0 && h.total >= 0 &&
+                  h.step <= h.total,
+              "checkpoint: corrupt header fields");
+
+  Checkpoint c;
+  c.stage = static_cast<CheckpointStage>(h.stage);
+  c.step = h.step;
+  c.total = h.total;
+  c.config_hash = h.config_hash;
+  c.payload.resize(static_cast<std::size_t>(h.payload_bytes));
+  is.read(reinterpret_cast<char*>(c.payload.data()),
+          static_cast<std::streamsize>(c.payload.size()));
+  XGW_REQUIRE(is.gcount() == static_cast<std::streamsize>(c.payload.size()),
+              "checkpoint: truncated payload");
+
+  std::uint32_t stored = 0;
+  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  XGW_REQUIRE(is.gcount() == sizeof(stored), "checkpoint: missing CRC");
+  std::uint32_t computed = crc32(&h, sizeof(h));
+  computed = crc32(c.payload.data(), c.payload.size(), computed);
+  XGW_REQUIRE(stored == computed,
+              "checkpoint: CRC-32 mismatch (corrupt file)");
+  return c;
+}
+
+std::optional<Checkpoint> checkpoint_load(const std::string& path) {
+  for (const std::string& candidate : {path, prev_path(path)}) {
+    std::error_code ec;
+    if (!std::filesystem::exists(candidate, ec)) continue;
+    try {
+      return checkpoint_load_strict(candidate);
+    } catch (const Error&) {
+      // Corrupt/truncated/foreign-version file: fall through to the
+      // previous generation.
+    }
+  }
+  return std::nullopt;
+}
+
+void checkpoint_remove(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(prev_path(path), ec);
+  std::filesystem::remove(tmp_path(path), ec);
+}
+
+void CkptWriter::put_raw(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void CkptWriter::put_span(std::span<const double> v) {
+  put_i64(static_cast<std::int64_t>(v.size()));
+  put_raw(v.data(), v.size_bytes());
+}
+
+void CkptWriter::put_span(std::span<const cplx> v) {
+  put_i64(static_cast<std::int64_t>(v.size()));
+  put_raw(v.data(), v.size_bytes());
+}
+
+void CkptReader::get_raw(void* data, std::size_t n) {
+  XGW_REQUIRE(pos_ + n <= buf_.size(),
+              "checkpoint: payload overrun (truncated record)");
+  std::memcpy(data, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::uint32_t CkptReader::get_u32() {
+  std::uint32_t v;
+  get_raw(&v, sizeof(v));
+  return v;
+}
+
+std::int64_t CkptReader::get_i64() {
+  std::int64_t v;
+  get_raw(&v, sizeof(v));
+  return v;
+}
+
+double CkptReader::get_f64() {
+  double v;
+  get_raw(&v, sizeof(v));
+  return v;
+}
+
+cplx CkptReader::get_cplx() {
+  cplx v;
+  get_raw(&v, sizeof(v));
+  return v;
+}
+
+void CkptReader::get_span(std::span<double> out) {
+  const std::int64_t n = get_i64();
+  XGW_REQUIRE(n == static_cast<std::int64_t>(out.size()),
+              "checkpoint: span length mismatch");
+  get_raw(out.data(), out.size_bytes());
+}
+
+void CkptReader::get_span(std::span<cplx> out) {
+  const std::int64_t n = get_i64();
+  XGW_REQUIRE(n == static_cast<std::int64_t>(out.size()),
+              "checkpoint: span length mismatch");
+  get_raw(out.data(), out.size_bytes());
+}
+
+}  // namespace xgw

@@ -1,0 +1,110 @@
+#pragma once
+
+// Checkpoint/restart subsystem for the long GW loops.
+//
+// BerkeleyGW-class campaigns survive multi-hour node-count-9408 runs only
+// through restart files (the Chi q-point and Sigma band loops of
+// arXiv:2104.09857 are the canonical targets). This module provides the
+// container format; core/epsilon.cpp and core/sigma.cpp own the
+// stage-specific payloads.
+//
+// File layout (little-endian), layered on the io/binio conventions:
+//   magic "XGWC" | version u32 | stage u32 | step i64 | total i64 |
+//   config_hash u64 | payload_bytes i64 | payload | CRC-32 u32
+// The CRC covers header + payload. Writes are atomic: the file is written
+// to `path + ".tmp"` and renamed over `path`; the previous checkpoint is
+// kept as `path + ".prev"` so a crash DURING checkpointing (or later
+// corruption of the newest file) falls back one step instead of losing the
+// run. Readers verify magic, version, dimensions and CRC; checkpoint_load
+// degrades gracefully (latest -> previous -> none) while the _strict
+// variant throws on the first defect.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xgw {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Pass the previous
+/// return value as `crc` to stream over multiple buffers.
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t crc = 0);
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Which loop wrote the checkpoint.
+enum class CheckpointStage : std::uint32_t {
+  kEpsilon = 1,  ///< epsilon frequency/q-point loop
+  kSigma = 2,    ///< sigma band loop
+  kCustom = 100, ///< tests / external tooling
+};
+
+struct Checkpoint {
+  CheckpointStage stage = CheckpointStage::kCustom;
+  std::int64_t step = 0;          ///< completed loop iterations
+  std::int64_t total = 0;         ///< loop extent (validated on resume)
+  std::uint64_t config_hash = 0;  ///< rejects resuming a different run
+  std::vector<unsigned char> payload;  ///< stage-specific serialized state
+};
+
+/// Atomic save: tmp write + rename; an existing checkpoint at `path` is
+/// preserved as `path + ".prev"` before the rename.
+void checkpoint_save(const std::string& path, const Checkpoint& c);
+
+/// Loads `path`, falling back to `path + ".prev"` when the primary file is
+/// missing, truncated, corrupt, or from a different format version.
+/// Returns nullopt when no usable checkpoint exists.
+std::optional<Checkpoint> checkpoint_load(const std::string& path);
+
+/// Single-file load that throws xgw::Error on any defect (tooling/tests).
+Checkpoint checkpoint_load_strict(const std::string& path);
+
+/// Removes `path`, its ".prev" and any stale ".tmp" (end-of-run cleanup).
+void checkpoint_remove(const std::string& path);
+
+// --- payload serialization helpers ---------------------------------------
+
+/// Append-only little-endian buffer writer for checkpoint payloads.
+class CkptWriter {
+ public:
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+  void put_cplx(cplx v) { put_raw(&v, sizeof(v)); }
+  void put_span(std::span<const double> v);
+  void put_span(std::span<const cplx> v);
+
+  std::vector<unsigned char> take() { return std::move(buf_); }
+
+ private:
+  void put_raw(const void* data, std::size_t n);
+
+  std::vector<unsigned char> buf_;
+};
+
+/// Bounds-checked reader over a checkpoint payload; throws xgw::Error on
+/// overrun (truncated payloads must fail loudly).
+class CkptReader {
+ public:
+  explicit CkptReader(std::span<const unsigned char> buf) : buf_(buf) {}
+
+  std::uint32_t get_u32();
+  std::int64_t get_i64();
+  double get_f64();
+  cplx get_cplx();
+  void get_span(std::span<double> out);
+  void get_span(std::span<cplx> out);
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void get_raw(void* data, std::size_t n);
+
+  std::span<const unsigned char> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xgw

@@ -1,0 +1,79 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+
+namespace xgw {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kStraggle:
+      return "straggle";
+  }
+  return "unknown";
+}
+
+RankFailure::RankFailure(idx rank, int attempt, FaultKind kind)
+    : Error("rank " + std::to_string(rank) + " attempt " +
+            std::to_string(attempt) + " failed (" + to_string(kind) + ")"),
+      rank_(rank),
+      attempt_(attempt),
+      kind_(kind) {}
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(std::move(spec)) {
+  XGW_REQUIRE(spec_.p_crash >= 0.0 && spec_.p_corrupt >= 0.0 &&
+                  spec_.p_straggle >= 0.0,
+              "FaultSpec: probabilities must be >= 0");
+  XGW_REQUIRE(spec_.p_crash + spec_.p_corrupt + spec_.p_straggle <= 1.0,
+              "FaultSpec: probabilities must sum to <= 1");
+  XGW_REQUIRE(spec_.straggle_factor >= 1.0,
+              "FaultSpec: straggle_factor must be >= 1");
+}
+
+std::uint64_t FaultInjector::stream_seed(idx rank, int attempt) const {
+  // Golden-ratio / Murmur-style mixing so that neighboring (rank, attempt)
+  // pairs land in unrelated parts of the stream; Rng's splitmix64 seeding
+  // finishes the job.
+  std::uint64_t s = spec_.seed;
+  s ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(rank) + 1);
+  s ^= 0xBF58476D1CE4E5B9ULL * (static_cast<std::uint64_t>(attempt) + 1);
+  return s;
+}
+
+FaultKind FaultInjector::decide(idx rank, int attempt) const {
+  if (std::find(spec_.kill_ranks.begin(), spec_.kill_ranks.end(), rank) !=
+      spec_.kill_ranks.end())
+    return FaultKind::kCrash;
+  if (spec_.p_crash <= 0.0 && spec_.p_corrupt <= 0.0 &&
+      spec_.p_straggle <= 0.0)
+    return FaultKind::kNone;
+  Rng rng(stream_seed(rank, attempt));
+  const double u = rng.uniform();
+  if (u < spec_.p_crash) return FaultKind::kCrash;
+  if (u < spec_.p_crash + spec_.p_corrupt) return FaultKind::kCorrupt;
+  if (u < spec_.p_crash + spec_.p_corrupt + spec_.p_straggle)
+    return FaultKind::kStraggle;
+  return FaultKind::kNone;
+}
+
+double FaultInjector::crash_fraction(idx rank, int attempt) const {
+  Rng rng(stream_seed(rank, attempt) ^ 0xD6E8FEB86659FD93ULL);
+  return rng.uniform(0.25, 0.75);
+}
+
+std::size_t FaultInjector::poison_index(idx rank, int attempt,
+                                        std::size_t n) const {
+  if (n == 0) return 0;
+  Rng rng(stream_seed(rank, attempt) ^ 0xA5A5A5A55A5A5A5AULL);
+  return static_cast<std::size_t>(rng.below(n));
+}
+
+}  // namespace xgw

@@ -1,0 +1,92 @@
+#pragma once
+
+// Fault-injection model for the simulated-cluster runtime.
+//
+// The paper's headline runs occupy 9,408 Frontier nodes for hours; at that
+// scale node loss, silent data corruption, and stragglers are the expected
+// operating regime, not the exception (cf. the exascale resilience
+// requirement in arXiv:2209.12747). This module provides the deterministic
+// chaos half of the fault-tolerance story: a seedable injector that decides,
+// per (rank, attempt), whether that execution crashes, returns NaN-poisoned
+// output, or runs N x slow. Decisions depend only on (seed, rank, attempt),
+// never on execution order, so a given seed reproduces the same failure
+// pattern across reruns and across checkpoint resumes.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace xgw {
+
+/// What the injector does to one rank attempt.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,      ///< attempt succeeds normally
+  kCrash,         ///< rank dies partway through the attempt (work lost)
+  kCorrupt,       ///< rank completes but its output is NaN-poisoned
+  kStraggle,      ///< rank completes correctly but straggle_factor x slower
+};
+
+const char* to_string(FaultKind kind);
+
+/// Thrown by the runtime when a rank attempt is killed by the injector or
+/// when output validation rejects the attempt's results.
+class RankFailure : public Error {
+ public:
+  RankFailure(idx rank, int attempt, FaultKind kind);
+
+  idx rank() const { return rank_; }
+  int attempt() const { return attempt_; }
+  FaultKind kind() const { return kind_; }
+
+ private:
+  idx rank_;
+  int attempt_;
+  FaultKind kind_;
+};
+
+/// Per-run fault configuration. Probabilities are per rank ATTEMPT and are
+/// evaluated in the order crash, corrupt, straggle from one uniform draw,
+/// so p_crash + p_corrupt + p_straggle must be <= 1.
+struct FaultSpec {
+  std::uint64_t seed = 0;       ///< injection stream seed
+  double p_crash = 0.0;         ///< P(attempt crashes mid-flight)
+  double p_corrupt = 0.0;       ///< P(attempt returns NaN-poisoned output)
+  double p_straggle = 0.0;      ///< P(attempt straggles)
+  double straggle_factor = 8.0; ///< straggler slowdown multiplier
+  /// Ranks that crash on EVERY attempt (targeted injection: "lose node k").
+  /// These ranks exhaust their retry budget and are declared dead, forcing
+  /// the redistribution path.
+  std::vector<idx> kill_ranks;
+
+  bool enabled() const {
+    return p_crash > 0.0 || p_corrupt > 0.0 || p_straggle > 0.0 ||
+           !kill_ranks.empty();
+  }
+};
+
+/// Deterministic, order-independent fault oracle.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec = {});
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// The fate of attempt `attempt` on rank `rank`.
+  FaultKind decide(idx rank, int attempt) const;
+
+  /// Fraction of the attempt's work completed before a crash (in [0.25,
+  /// 0.75)): the wasted compute charged to the timeline.
+  double crash_fraction(idx rank, int attempt) const;
+
+  /// Element poisoned by a corrupt fault, uniform in [0, n).
+  std::size_t poison_index(idx rank, int attempt, std::size_t n) const;
+
+ private:
+  std::uint64_t stream_seed(idx rank, int attempt) const;
+
+  FaultSpec spec_;
+};
+
+}  // namespace xgw

@@ -1,10 +1,14 @@
 #include "runtime/simcluster.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "common/validate.h"
+#include "runtime/dist.h"
 
 namespace xgw {
 
@@ -16,7 +20,7 @@ SimCluster::SimCluster(idx n_ranks, NetworkModel net)
 double SimCluster::RunReport::time_to_solution() const {
   double slowest = 0.0;
   for (const RankReport& r : ranks) slowest = std::max(slowest, r.compute_s);
-  return slowest + comm_s;
+  return slowest + comm_s + recovery_s;
 }
 
 double SimCluster::RunReport::parallel_efficiency() const {
@@ -34,7 +38,11 @@ std::string SimCluster::RunReport::gantt(idx width) const {
         static_cast<double>(width) * ranks[r].compute_s / slowest + 0.5);
     os << "rank " << r << " |";
     for (idx i = 0; i < bar; ++i) os << '#';
-    os << "  " << ranks[r].compute_s << " s\n";
+    os << "  " << ranks[r].compute_s << " s";
+    if (std::find(failed_ranks.begin(), failed_ranks.end(),
+                  static_cast<idx>(r)) != failed_ranks.end())
+      os << "  [DEAD]";
+    os << "\n";
   }
   return os.str();
 }
@@ -49,6 +57,187 @@ SimCluster::RunReport SimCluster::run(
     const double t = sw.elapsed();
     report.ranks[static_cast<std::size_t>(r)].compute_s = t;
     report.serial_s += t;
+  }
+  return report;
+}
+
+namespace {
+
+/// Validates every span the attempt exposed; false = NaN/Inf at the edge.
+bool attempt_outputs_finite(const std::vector<std::span<cplx>>& zspans,
+                            const std::vector<std::span<double>>& dspans) {
+  for (const auto& s : zspans)
+    if (!all_finite(std::span<const cplx>(s))) return false;
+  for (const auto& s : dspans)
+    if (!all_finite(std::span<const double>(s))) return false;
+  return true;
+}
+
+struct AttemptResult {
+  bool ok = false;
+  FaultKind fault = FaultKind::kNone;
+  double compute_s = 0.0;
+};
+
+}  // namespace
+
+SimCluster::RunReport SimCluster::run_items_ft(
+    idx n_items,
+    const std::function<void(idx item, RankContext& ctx)>& item_fn,
+    const FtOptions& opt) const {
+  XGW_REQUIRE(n_items >= 0, "run_items_ft: n_items must be >= 0");
+  XGW_REQUIRE(opt.max_attempts >= 1, "run_items_ft: need >= 1 attempt");
+  const BlockDist dist(n_items, n_ranks_);
+  const FaultInjector inj(opt.faults);
+  const bool inject = opt.faults.enabled();
+
+  RunReport report;
+  report.ranks.resize(static_cast<std::size_t>(n_ranks_));
+
+  // Executes items [b, e) as one attempt of `rank`; applies the injected
+  // fate, then validates the exposed outputs (catching both injected and
+  // genuine NaN/Inf at the rank edge). Recovery re-executions pass
+  // inject = false: they model re-running on a known-good node.
+  auto attempt_items = [&](idx rank, int attempt, idx b, idx e,
+                           bool with_faults) -> AttemptResult {
+    const FaultKind kind =
+        with_faults ? inj.decide(rank, attempt) : FaultKind::kNone;
+    RankContext ctx;
+    ctx.rank_ = rank;
+    ctx.attempt_ = attempt;
+    Stopwatch sw;
+    for (idx i = b; i < e; ++i) item_fn(i, ctx);
+    double t = sw.elapsed();
+
+    if (kind == FaultKind::kCrash) {
+      // Node died partway through: the completed fraction of the attempt
+      // is wasted time; its outputs will be overwritten by the retry.
+      return {false, kind, t * inj.crash_fraction(rank, attempt)};
+    }
+    if (kind == FaultKind::kCorrupt && !ctx.cplx_out_.empty()) {
+      // Silent corruption: one exposed element becomes NaN. The guard at
+      // the rank edge must catch it — this is the injected counterpart of
+      // the XGW_REQUIRE-based kernel validation.
+      std::span<cplx> victim = ctx.cplx_out_.front();
+      if (!victim.empty()) {
+        const std::size_t at =
+            inj.poison_index(rank, attempt, victim.size());
+        victim[at] = cplx{std::numeric_limits<double>::quiet_NaN(), 0.0};
+      }
+    }
+    if (kind == FaultKind::kStraggle) t *= opt.faults.straggle_factor;
+
+    if (!attempt_outputs_finite(ctx.cplx_out_, ctx.real_out_))
+      return {false, FaultKind::kCorrupt, t};
+    return {true, kind, t};
+  };
+
+  std::vector<double> rank_time(static_cast<std::size_t>(n_ranks_), 0.0);
+  std::vector<idx> dead;
+
+  for (idx r = 0; r < n_ranks_; ++r) {
+    const idx b = dist.begin(r), e = dist.end(r);
+    double acc = 0.0;
+    bool ok = false;
+    for (int attempt = 0; attempt < opt.max_attempts; ++attempt) {
+      const AttemptResult res = attempt_items(r, attempt, b, e, inject);
+      acc += res.compute_s;
+      if (res.ok) {
+        ok = true;
+        break;
+      }
+      // Failed attempt: exponential-backoff restart plus re-fetching the
+      // rank's input state — charged through the network model so recovery
+      // shows up honestly in time_to_solution().
+      report.retries += 1;
+      report.recovery_s += opt.backoff_base_s * std::ldexp(1.0, attempt) +
+                           net_.p2p(opt.respawn_bytes);
+    }
+    rank_time[static_cast<std::size_t>(r)] = acc;
+    if (!ok) dead.push_back(r);
+  }
+
+  std::vector<idx> survivors;
+  for (idx r = 0; r < n_ranks_; ++r)
+    if (std::find(dead.begin(), dead.end(), r) == dead.end())
+      survivors.push_back(r);
+  XGW_REQUIRE(!survivors.empty(),
+              "run_items_ft: every rank failed; cluster lost");
+
+  // Dead ranks: re-decompose their item blocks over the survivors.
+  for (idx d : dead) {
+    const idx nb = dist.count(d);
+    if (nb > 0) {
+      const BlockDist redist(nb, static_cast<idx>(survivors.size()));
+      for (std::size_t si = 0; si < survivors.size(); ++si) {
+        const idx s = survivors[si];
+        const idx gb = dist.begin(d) + redist.begin(static_cast<idx>(si));
+        const idx ge = dist.begin(d) + redist.end(static_cast<idx>(si));
+        if (gb == ge) continue;
+        const AttemptResult res =
+            attempt_items(s, opt.max_attempts, gb, ge, false);
+        XGW_REQUIRE(res.ok, "run_items_ft: recovery execution failed");
+        rank_time[static_cast<std::size_t>(s)] += res.compute_s;
+      }
+      // The dead rank's inputs are shipped to every survivor.
+      report.recovery_s +=
+          net_.bcast(opt.respawn_bytes, static_cast<idx>(survivors.size()));
+    }
+    report.degraded = true;
+  }
+  report.failed_ranks = dead;
+
+  // Straggler detection: surviving ranks far beyond the median are
+  // cancelled at the deadline and their items re-decomposed, mirroring the
+  // dead-rank path (work-stealing recovery).
+  if (opt.straggler_deadline > 0.0 && survivors.size() >= 2) {
+    std::vector<double> times;
+    times.reserve(survivors.size());
+    for (idx s : survivors)
+      times.push_back(rank_time[static_cast<std::size_t>(s)]);
+    std::nth_element(times.begin(), times.begin() + times.size() / 2,
+                     times.end());
+    const double median = times[times.size() / 2];
+    const double deadline =
+        std::max(opt.straggler_deadline * median, opt.straggler_min_s);
+    if (median > 0.0) {
+      std::vector<idx> stragglers, healthy;
+      for (idx s : survivors)
+        (rank_time[static_cast<std::size_t>(s)] > deadline ? stragglers
+                                                           : healthy)
+            .push_back(s);
+      if (!healthy.empty()) {
+        for (idx r : stragglers) {
+          const idx nb = dist.count(r);
+          if (nb > 0) {
+            const BlockDist redist(nb, static_cast<idx>(healthy.size()));
+            for (std::size_t si = 0; si < healthy.size(); ++si) {
+              const idx s = healthy[si];
+              const idx gb =
+                  dist.begin(r) + redist.begin(static_cast<idx>(si));
+              const idx ge = dist.begin(r) + redist.end(static_cast<idx>(si));
+              if (gb == ge) continue;
+              const AttemptResult res =
+                  attempt_items(s, opt.max_attempts, gb, ge, false);
+              XGW_REQUIRE(res.ok,
+                          "run_items_ft: straggler recovery failed");
+              rank_time[static_cast<std::size_t>(s)] += res.compute_s;
+            }
+            report.recovery_s += net_.bcast(
+                opt.respawn_bytes, static_cast<idx>(healthy.size()));
+          }
+          // The straggler is cancelled the moment the deadline fires.
+          rank_time[static_cast<std::size_t>(r)] = deadline;
+          report.retries += 1;
+        }
+      }
+    }
+  }
+
+  for (idx r = 0; r < n_ranks_; ++r) {
+    report.ranks[static_cast<std::size_t>(r)].compute_s =
+        rank_time[static_cast<std::size_t>(r)];
+    report.serial_s += rank_time[static_cast<std::size_t>(r)];
   }
   return report;
 }

@@ -7,14 +7,50 @@
 // measured strong/weak-scaling parts of the figure benches: the
 // decomposition logic and the per-rank work are real; only the network is
 // a model.
+//
+// Fault-tolerant path (run_items_ft): work items are block-distributed over
+// ranks and each rank attempt is subject to the seeded FaultInjector.
+// Crashed / corrupted attempts are retried with exponential backoff (the
+// restart cost is charged through the NetworkModel so recovery shows up
+// honestly in time_to_solution()); ranks that exhaust their retry budget
+// are declared dead and their items are re-decomposed over the survivors
+// via BlockDist; stragglers past the deadline are cancelled and recovered
+// the same way. Because item functions are deterministic and idempotent,
+// the numerical results are bitwise those of the fault-free run — only the
+// timeline changes.
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "runtime/fault.h"
 #include "runtime/netmodel.h"
 
 namespace xgw {
+
+/// Per-attempt execution context handed to fault-tolerant item functions.
+/// Kernels expose the buffers they WRITE (not accumulate) so the runtime
+/// can apply injected corruption and validate outputs at the rank edge.
+class RankContext {
+ public:
+  idx rank() const { return rank_; }
+  int attempt() const { return attempt_; }
+
+  /// Registers an output span for post-attempt poisoning + validation.
+  /// The memory must stay valid until the rank attempt completes, and the
+  /// item function must fully overwrite it on re-execution.
+  void expose(std::span<cplx> out) { cplx_out_.push_back(out); }
+  void expose(std::span<double> out) { real_out_.push_back(out); }
+
+ private:
+  friend class SimCluster;
+
+  idx rank_ = 0;
+  int attempt_ = 0;
+  std::vector<std::span<cplx>> cplx_out_;
+  std::vector<std::span<double>> real_out_;
+};
 
 class SimCluster {
  public:
@@ -32,7 +68,14 @@ class SimCluster {
     double comm_s = 0.0;       ///< modeled collective time
     double serial_s = 0.0;     ///< sum of all rank compute times
 
-    /// Distributed time-to-solution: slowest rank + communication.
+    // Fault-tolerance accounting (all zero / empty for fault-free runs).
+    long retries = 0;               ///< rank attempts that had to be redone
+    std::vector<idx> failed_ranks;  ///< ranks declared dead
+    double recovery_s = 0.0;        ///< modeled backoff + redistribution time
+    bool degraded = false;          ///< finished on fewer ranks than launched
+
+    /// Distributed time-to-solution: slowest rank + communication +
+    /// recovery overhead.
     double time_to_solution() const;
     /// serial / (ranks * t2s): 1.0 = ideal.
     double parallel_efficiency() const;
@@ -44,6 +87,38 @@ class SimCluster {
   /// sequentially in-process — results are bitwise those of a real
   /// distributed run with deterministic reduction order.
   RunReport run(const std::function<void(idx rank)>& fn) const;
+
+  /// Fault-tolerant execution policy.
+  struct FtOptions {
+    FaultSpec faults;            ///< injection model (disabled by default)
+    int max_attempts = 3;        ///< attempts per rank before declaring it dead
+    double backoff_base_s = 0.05;///< modeled restart wait; doubles per retry
+    double respawn_bytes = 1e6;  ///< state re-fetched per recovery (net cost)
+    /// Ranks slower than this multiple of the median rank time are treated
+    /// as stragglers: cancelled at the deadline and re-decomposed over the
+    /// survivors. <= 0 disables detection.
+    double straggler_deadline = 4.0;
+    /// Absolute floor for the straggler deadline (seconds): sub-millisecond
+    /// timing jitter must never cancel a healthy rank.
+    double straggler_min_s = 1e-3;
+  };
+
+  /// Fault-tolerant execution of `n_items` work items block-distributed
+  /// over the ranks (BlockDist(n_items, n_ranks)). `item_fn` computes one
+  /// item and exposes its outputs on the context; it must be deterministic
+  /// and overwrite (not accumulate into) its outputs so re-execution is
+  /// idempotent. Throws Error if every rank dies.
+  RunReport run_items_ft(
+      idx n_items,
+      const std::function<void(idx item, RankContext& ctx)>& item_fn,
+      const FtOptions& opt) const;
+
+  /// Fault-free convenience overload (default FtOptions).
+  RunReport run_items_ft(
+      idx n_items,
+      const std::function<void(idx item, RankContext& ctx)>& item_fn) const {
+    return run_items_ft(n_items, item_fn, FtOptions{});
+  }
 
   /// Adds the cost of a final allreduce of `bytes` to a report.
   void cost_allreduce(RunReport& report, double bytes) const;

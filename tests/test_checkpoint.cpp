@@ -1,0 +1,302 @@
+// Tests: checkpoint container format (CRC-32, atomic write-rename,
+// version / truncation / corruption rejection, previous-generation
+// fallback) and bitwise-identical resume of the epsilon frequency loop and
+// the sigma band loop after a simulated job kill.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "core/epsilon.h"
+#include "core/sigma.h"
+#include "runtime/checkpoint.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("xgw_ckpt_test_") + name))
+      .string();
+}
+
+/// Removes the checkpoint and its .prev/.tmp siblings on scope exit.
+struct CkptGuard {
+  explicit CkptGuard(std::string p) : path(std::move(p)) {}
+  ~CkptGuard() { checkpoint_remove(path); }
+  std::string path;
+};
+
+Checkpoint sample_checkpoint() {
+  CkptWriter w;
+  w.put_u32(0xDEADBEEFu);
+  w.put_i64(-42);
+  w.put_f64(3.5);
+  w.put_cplx(cplx{1.25, -0.5});
+  const std::vector<double> dv{0.0, 1.0, 2.5};
+  const std::vector<cplx> zv{cplx{0.5, 0.5}, cplx{-1.0, 2.0}};
+  w.put_span(std::span<const double>(dv));
+  w.put_span(std::span<const cplx>(zv));
+
+  Checkpoint c;
+  c.stage = CheckpointStage::kCustom;
+  c.step = 3;
+  c.total = 10;
+  c.config_hash = 0x123456789ABCDEF0ULL;
+  c.payload = w.take();
+  return c;
+}
+
+void corrupt_byte(const std::string& path, std::streamoff offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(offset);
+  f.write(&b, 1);
+}
+
+TEST(Crc32, MatchesIeeeCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+  // Streaming over split buffers must agree with one-shot.
+  const std::uint32_t part = crc32(s, 4);
+  EXPECT_EQ(crc32(s + 4, 5, part), 0xCBF43926u);
+  EXPECT_EQ(crc32(s, 0), 0u);
+}
+
+TEST(Checkpoint, RoundTripExact) {
+  const std::string path = temp_path("roundtrip.ckpt");
+  CkptGuard guard(path);
+  const Checkpoint c = sample_checkpoint();
+  checkpoint_save(path, c);
+
+  const Checkpoint back = checkpoint_load_strict(path);
+  EXPECT_EQ(back.stage, c.stage);
+  EXPECT_EQ(back.step, c.step);
+  EXPECT_EQ(back.total, c.total);
+  EXPECT_EQ(back.config_hash, c.config_hash);
+  ASSERT_EQ(back.payload, c.payload);
+
+  CkptReader r(back.payload);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_EQ(r.get_f64(), 3.5);
+  EXPECT_EQ(r.get_cplx(), (cplx{1.25, -0.5}));
+  std::vector<double> dv(3);
+  r.get_span(std::span<double>(dv));
+  EXPECT_EQ(dv, (std::vector<double>{0.0, 1.0, 2.5}));
+  std::vector<cplx> zv(2);
+  r.get_span(std::span<cplx>(zv));
+  EXPECT_EQ(zv[1], (cplx{-1.0, 2.0}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Checkpoint, ReaderRejectsOverrun) {
+  CkptWriter w;
+  w.put_u32(7);
+  const std::vector<unsigned char> buf = w.take();
+  CkptReader r(buf);
+  EXPECT_EQ(r.get_u32(), 7u);
+  EXPECT_THROW(r.get_i64(), Error);  // truncated payloads fail loudly
+}
+
+TEST(Checkpoint, AtomicSaveLeavesNoTmpAndKeepsPrev) {
+  const std::string path = temp_path("atomic.ckpt");
+  CkptGuard guard(path);
+  Checkpoint c = sample_checkpoint();
+  c.step = 1;
+  checkpoint_save(path, c);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));
+
+  c.step = 2;
+  checkpoint_save(path, c);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  EXPECT_TRUE(std::filesystem::exists(path + ".prev"));
+  EXPECT_EQ(checkpoint_load_strict(path).step, 2);
+  EXPECT_EQ(checkpoint_load_strict(path + ".prev").step, 1);
+}
+
+TEST(Checkpoint, MissingFileLoadsNothing) {
+  EXPECT_FALSE(checkpoint_load(temp_path("never_written.ckpt")).has_value());
+  EXPECT_THROW(checkpoint_load_strict(temp_path("never_written.ckpt")),
+               Error);
+}
+
+TEST(Checkpoint, VersionMismatchRejected) {
+  const std::string path = temp_path("version.ckpt");
+  CkptGuard guard(path);
+  checkpoint_save(path, sample_checkpoint());
+  // version u32 sits right after the 4-byte magic.
+  corrupt_byte(path, 4);
+  EXPECT_THROW(checkpoint_load_strict(path), Error);
+  EXPECT_FALSE(checkpoint_load(path).has_value());
+}
+
+TEST(Checkpoint, TruncationDetected) {
+  const std::string path = temp_path("trunc.ckpt");
+  CkptGuard guard(path);
+  checkpoint_save(path, sample_checkpoint());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 7);
+  EXPECT_THROW(checkpoint_load_strict(path), Error);
+  EXPECT_FALSE(checkpoint_load(path).has_value());
+  // Even losing a single trailing byte (half the CRC) must be caught.
+  checkpoint_save(path, sample_checkpoint());
+  std::filesystem::resize_file(path, full - 1);
+  EXPECT_THROW(checkpoint_load_strict(path), Error);
+}
+
+TEST(Checkpoint, PayloadBitFlipDetected) {
+  const std::string path = temp_path("bitflip.ckpt");
+  CkptGuard guard(path);
+  const Checkpoint c = sample_checkpoint();
+  checkpoint_save(path, c);
+  // Flip one payload bit (payload starts after the 48-byte header).
+  corrupt_byte(path, 48 + static_cast<std::streamoff>(c.payload.size()) / 2);
+  EXPECT_THROW(checkpoint_load_strict(path), Error);
+  EXPECT_FALSE(checkpoint_load(path).has_value());
+}
+
+TEST(Checkpoint, CorruptPrimaryFallsBackToPrev) {
+  const std::string path = temp_path("fallback.ckpt");
+  CkptGuard guard(path);
+  Checkpoint c = sample_checkpoint();
+  c.step = 1;
+  checkpoint_save(path, c);
+  c.step = 2;
+  checkpoint_save(path, c);  // step-1 generation preserved as .prev
+  corrupt_byte(path, 48);    // newest file damaged after the fact
+
+  const auto back = checkpoint_load(path);
+  ASSERT_TRUE(back.has_value());  // degraded load: one generation back
+  EXPECT_EQ(back->step, 1);
+  EXPECT_THROW(checkpoint_load_strict(path), Error);
+}
+
+TEST(Checkpoint, RemoveCleansAllGenerations) {
+  const std::string path = temp_path("remove.ckpt");
+  Checkpoint c = sample_checkpoint();
+  checkpoint_save(path, c);
+  checkpoint_save(path, c);
+  checkpoint_remove(path);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".prev"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// --- resume acceptance: interrupted loops restart bitwise ----------------
+
+TEST(CheckpointResume, EpsilonFrequencyLoopResumesBitwise) {
+  GwCalculation& gw = testutil::si_prim_gw();
+  const Mtxel& mtxel = gw.mtxel();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const std::vector<double> omegas = {0.0, 0.08, 0.16, 0.24, 0.32};
+  ChiOptions copt;
+  copt.nv_block = 2;
+
+  // Ground truth: the uninterrupted, checkpoint-free sweep.
+  const std::vector<ZMatrix> ref = epsilon_inverse_multi(
+      mtxel, wf, gw.coulomb(), std::span<const double>(omegas), copt);
+
+  const std::string path = temp_path("eps_resume.ckpt");
+  CkptGuard guard(path);
+  EpsilonLoopOptions loop;
+  loop.checkpoint_path = path;
+  loop.abort_after = 2;  // job killed after two frequencies
+  EXPECT_THROW(epsilon_inverse_multi(mtxel, wf, gw.coulomb(),
+                                     std::span<const double>(omegas), copt,
+                                     loop),
+               Error);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(checkpoint_load_strict(path).step, 2);
+
+  // Restarted run: resumes at frequency 2 and completes.
+  loop.abort_after = -1;
+  const std::vector<ZMatrix> resumed = epsilon_inverse_multi(
+      mtxel, wf, gw.coulomb(), std::span<const double>(omegas), copt, loop);
+
+  ASSERT_EQ(resumed.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    for (idx i = 0; i < ref[k].size(); ++i)
+      ASSERT_EQ(resumed[k].data()[i], ref[k].data()[i])
+          << "omega index " << k << ", element " << i;
+  // Successful completion cleans up the restart files.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(CheckpointResume, EpsilonConfigChangeStartsFresh) {
+  GwCalculation& gw = testutil::si_prim_gw();
+  const Mtxel& mtxel = gw.mtxel();
+  const Wavefunctions& wf = gw.wavefunctions();
+  ChiOptions copt;
+  copt.nv_block = 2;
+
+  const std::string path = temp_path("eps_cfg.ckpt");
+  CkptGuard guard(path);
+  const std::vector<double> grid_a = {0.0, 0.1, 0.2};
+  EpsilonLoopOptions loop;
+  loop.checkpoint_path = path;
+  loop.abort_after = 1;
+  EXPECT_THROW(epsilon_inverse_multi(mtxel, wf, gw.coulomb(),
+                                     std::span<const double>(grid_a), copt,
+                                     loop),
+               Error);
+
+  // A different frequency grid must NOT splice in the stale checkpoint.
+  const std::vector<double> grid_b = {0.0, 0.05, 0.2};
+  loop.abort_after = -1;
+  const std::vector<ZMatrix> fresh = epsilon_inverse_multi(
+      mtxel, wf, gw.coulomb(), std::span<const double>(grid_b), copt, loop);
+  const std::vector<ZMatrix> ref = epsilon_inverse_multi(
+      mtxel, wf, gw.coulomb(), std::span<const double>(grid_b), copt);
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    for (idx i = 0; i < ref[k].size(); ++i)
+      ASSERT_EQ(fresh[k].data()[i], ref[k].data()[i]);
+}
+
+TEST(CheckpointResume, SigmaBandLoopResumesBitwise) {
+  GwCalculation& gw = testutil::si_prim_gw();
+  const std::vector<idx> bands = {2, 3, 4, 5};
+  const idx n_e = 3;
+  const double e_step = 0.02;
+
+  // Ground truth from the plain batched call.
+  const std::vector<QpResult> ref = gw.sigma_diag(bands, n_e, e_step);
+
+  const std::string path = temp_path("sigma_resume.ckpt");
+  CkptGuard guard(path);
+  GwCalculation::CheckpointOptions ckpt;
+  ckpt.path = path;
+  ckpt.abort_after = 2;  // killed after two bands
+  EXPECT_THROW(gw.sigma_diag_checkpointed(bands, n_e, e_step, ckpt), Error);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  ckpt.abort_after = -1;
+  const std::vector<QpResult> resumed =
+      gw.sigma_diag_checkpointed(bands, n_e, e_step, ckpt);
+
+  ASSERT_EQ(resumed.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(resumed[i].band, ref[i].band);
+    EXPECT_EQ(resumed[i].e_mf, ref[i].e_mf);
+    EXPECT_EQ(resumed[i].sigma.sx, ref[i].sigma.sx);
+    EXPECT_EQ(resumed[i].sigma.ch, ref[i].sigma.ch);
+    EXPECT_EQ(resumed[i].dsigma_de, ref[i].dsigma_de);
+    EXPECT_EQ(resumed[i].z, ref[i].z);
+    EXPECT_EQ(resumed[i].e_qp, ref[i].e_qp);
+  }
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace xgw

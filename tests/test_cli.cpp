@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "cli/driver.h"
 #include "common/error.h"
@@ -55,6 +58,46 @@ TEST(Driver, SigmaJobProducesQpTable) {
   const std::string out = os.str();
   EXPECT_NE(out.find("E_QP(eV)"), std::string::npos);
   EXPECT_NE(out.find("gpp_diag_kernel"), std::string::npos);  // timer report
+}
+
+TEST(Driver, SigmaJobWithCheckpointMatchesPlainRun) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xgw_cli_sigma.ckpt")
+          .string();
+  const std::string base =
+      "job sigma\nmaterial silicon\neps_cutoff 0.9\nsigma_bands 2 3\n";
+  std::ostringstream plain, ckpt;
+  EXPECT_EQ(run_job(InputFile::parse(base, known_input_keys()), plain), 0);
+  EXPECT_EQ(run_job(InputFile::parse(base + "checkpoint " + path + "\n",
+                                     known_input_keys()),
+                    ckpt),
+            0);
+  // Identical QP rows (the timer report below the table may differ).
+  const auto qp_rows = [](const std::string& s) {
+    std::istringstream is(s);
+    std::vector<std::string> rows;
+    for (std::string line; std::getline(is, line);)
+      if (!line.empty() && std::isdigit(static_cast<unsigned char>(line[0])))
+        rows.push_back(line);
+    return rows;
+  };
+  EXPECT_EQ(qp_rows(plain.str()), qp_rows(ckpt.str()));
+  // Completed run cleans up its restart file.
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(Driver, EpsilonFrequencySweepWithCheckpoint) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "xgw_cli_eps.ckpt").string();
+  const InputFile in = InputFile::parse(
+      "job epsilon\nmaterial silicon\neps_cutoff 0.9\nn_freq 3\n"
+      "checkpoint " + path + "\n",
+      known_input_keys());
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("epsinv_head(i*"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(path));
 }
 
 TEST(Driver, BandsJobReportsGaps) {

@@ -1,0 +1,314 @@
+// Tests: seeded fault injection (determinism, targeted kills), the
+// fault-tolerant retry / redistribution machinery of
+// SimCluster::run_items_ft, and the end-to-end acceptance case — an
+// epsilon frequency sweep that loses a rank mid-run still produces
+// bitwise-identical eps^{-1} with honestly-costed recovery time.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "core/epsilon.h"
+#include "runtime/fault.h"
+#include "runtime/simcluster.h"
+#include "test_helpers.h"
+
+namespace xgw {
+namespace {
+
+/// Deterministic per-item payload: out[j] = f(item, j).
+cplx item_value(idx item, idx j) {
+  return cplx{std::cos(0.1 * static_cast<double>(item * 7 + j)),
+              std::sin(0.3 * static_cast<double>(item + 2 * j))};
+}
+
+/// Burns wall time without yielding (straggler emulation for timing tests).
+void spin_for(std::chrono::microseconds us) {
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - t0 < us) {
+  }
+}
+
+TEST(FaultInjector, DecisionsAreDeterministicAndOrderIndependent) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.p_crash = 0.2;
+  spec.p_corrupt = 0.2;
+  spec.p_straggle = 0.2;
+  const FaultInjector a(spec), b(spec);
+
+  // Same (seed, rank, attempt) -> same fate, regardless of query order:
+  // query `a` forwards and `b` backwards.
+  std::vector<FaultKind> fwd, bwd;
+  for (idx r = 0; r < 16; ++r)
+    for (int at = 0; at < 4; ++at) fwd.push_back(a.decide(r, at));
+  for (idx r = 15; r >= 0; --r)
+    for (int at = 3; at >= 0; --at) bwd.push_back(b.decide(r, at));
+  for (idx r = 0; r < 16; ++r)
+    for (int at = 0; at < 4; ++at)
+      EXPECT_EQ(fwd[static_cast<std::size_t>(r * 4 + at)],
+                bwd[static_cast<std::size_t>((15 - r) * 4 + (3 - at))]);
+
+  // A different seed produces a different failure pattern somewhere.
+  FaultSpec other = spec;
+  other.seed = 43;
+  const FaultInjector c(other);
+  bool differs = false;
+  for (idx r = 0; r < 64 && !differs; ++r)
+    for (int at = 0; at < 4 && !differs; ++at)
+      differs = a.decide(r, at) != c.decide(r, at);
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjector, ProbabilityOneForcesEachKind) {
+  for (FaultKind want :
+       {FaultKind::kCrash, FaultKind::kCorrupt, FaultKind::kStraggle}) {
+    FaultSpec spec;
+    spec.seed = 7;
+    spec.p_crash = want == FaultKind::kCrash ? 1.0 : 0.0;
+    spec.p_corrupt = want == FaultKind::kCorrupt ? 1.0 : 0.0;
+    spec.p_straggle = want == FaultKind::kStraggle ? 1.0 : 0.0;
+    const FaultInjector inj(spec);
+    for (idx r = 0; r < 8; ++r)
+      for (int at = 0; at < 3; ++at) EXPECT_EQ(inj.decide(r, at), want);
+  }
+  FaultSpec off;  // all probabilities zero -> never a fault
+  const FaultInjector none(off);
+  EXPECT_FALSE(off.enabled());
+  for (idx r = 0; r < 8; ++r) EXPECT_EQ(none.decide(r, 0), FaultKind::kNone);
+}
+
+TEST(FaultInjector, KillRanksCrashEveryAttempt) {
+  FaultSpec spec;
+  spec.kill_ranks = {3};
+  EXPECT_TRUE(spec.enabled());
+  const FaultInjector inj(spec);
+  for (int at = 0; at < 10; ++at)
+    EXPECT_EQ(inj.decide(3, at), FaultKind::kCrash);
+  EXPECT_EQ(inj.decide(2, 0), FaultKind::kNone);
+}
+
+TEST(FaultInjector, AuxiliaryDrawsAreInRange) {
+  FaultSpec spec;
+  spec.seed = 99;
+  spec.p_crash = 1.0;
+  const FaultInjector inj(spec);
+  for (idx r = 0; r < 32; ++r) {
+    const double f = inj.crash_fraction(r, 0);
+    EXPECT_GE(f, 0.25);
+    EXPECT_LT(f, 0.75);
+    const std::size_t p = inj.poison_index(r, 1, 17);
+    EXPECT_LT(p, 17u);
+    EXPECT_EQ(p, inj.poison_index(r, 1, 17));  // deterministic
+  }
+}
+
+TEST(RankFailure, CarriesDiagnostics) {
+  const RankFailure f(5, 2, FaultKind::kCorrupt);
+  EXPECT_EQ(f.rank(), 5);
+  EXPECT_EQ(f.attempt(), 2);
+  EXPECT_EQ(f.kind(), FaultKind::kCorrupt);
+  EXPECT_NE(std::string(f.what()).find("corrupt"), std::string::npos);
+}
+
+/// Runs `n_items` items of width `w` under `opt`; returns the outputs.
+std::vector<std::vector<cplx>> run_payload(const SimCluster& cluster,
+                                           idx n_items, idx w,
+                                           const SimCluster::FtOptions& opt,
+                                           SimCluster::RunReport* rep) {
+  std::vector<std::vector<cplx>> out(
+      static_cast<std::size_t>(n_items),
+      std::vector<cplx>(static_cast<std::size_t>(w)));
+  auto item_fn = [&](idx item, RankContext& ctx) {
+    auto& dst = out[static_cast<std::size_t>(item)];
+    for (idx j = 0; j < w; ++j)
+      dst[static_cast<std::size_t>(j)] = item_value(item, j);
+    ctx.expose(std::span<cplx>(dst));
+  };
+  const SimCluster::RunReport r = cluster.run_items_ft(n_items, item_fn, opt);
+  if (rep) *rep = r;
+  return out;
+}
+
+bool payload_exact(const std::vector<std::vector<cplx>>& out, idx w) {
+  for (std::size_t i = 0; i < out.size(); ++i)
+    for (idx j = 0; j < w; ++j)
+      if (out[i][static_cast<std::size_t>(j)] !=
+          item_value(static_cast<idx>(i), j))
+        return false;
+  return true;
+}
+
+TEST(RunItemsFt, FaultFreeRunIsCleanAndExact) {
+  const SimCluster cluster(4);
+  SimCluster::FtOptions opt;
+  SimCluster::RunReport rep;
+  const auto out = run_payload(cluster, 10, 6, opt, &rep);
+  EXPECT_TRUE(payload_exact(out, 6));
+  EXPECT_EQ(rep.retries, 0);
+  EXPECT_TRUE(rep.failed_ranks.empty());
+  EXPECT_EQ(rep.recovery_s, 0.0);
+  EXPECT_FALSE(rep.degraded);
+  EXPECT_EQ(rep.ranks.size(), 4u);
+}
+
+TEST(RunItemsFt, CorruptionIsCaughtRetriedAndCosted) {
+  const SimCluster cluster(8);
+  SimCluster::FtOptions clean;
+  SimCluster::RunReport base;
+  ASSERT_TRUE(payload_exact(run_payload(cluster, 24, 5, clean, &base), 5));
+
+  SimCluster::FtOptions opt;
+  opt.faults.seed = 11;
+  opt.faults.p_corrupt = 0.5;
+  opt.max_attempts = 6;
+  SimCluster::RunReport rep;
+  const auto out = run_payload(cluster, 24, 5, opt, &rep);
+
+  // The NaN poison must never leak into the results...
+  EXPECT_TRUE(payload_exact(out, 5));
+  // ...and with p = 0.5 over 8 first attempts this seed must retry.
+  EXPECT_GE(rep.retries, 1);
+  EXPECT_GT(rep.recovery_s, 0.0);
+  // Backoff (>= 50 ms per retry) dwarfs the microsecond compute here, so
+  // recovery shows up honestly in time-to-solution.
+  EXPECT_GE(rep.time_to_solution(), base.time_to_solution());
+}
+
+TEST(RunItemsFt, CrashesWasteTimeButNotResults) {
+  const SimCluster cluster(6);
+  SimCluster::FtOptions opt;
+  opt.faults.seed = 5;
+  opt.faults.p_crash = 0.4;
+  opt.max_attempts = 8;
+  SimCluster::RunReport rep;
+  const auto out = run_payload(cluster, 18, 4, opt, &rep);
+  EXPECT_TRUE(payload_exact(out, 4));
+  EXPECT_GE(rep.retries, 1);
+  EXPECT_GT(rep.recovery_s, 0.0);
+}
+
+TEST(RunItemsFt, KilledRankIsRedistributedOverSurvivors) {
+  const SimCluster cluster(4);
+  SimCluster::FtOptions opt;
+  opt.faults.kill_ranks = {1};
+  opt.max_attempts = 2;
+  SimCluster::RunReport rep;
+  const auto out = run_payload(cluster, 13, 7, opt, &rep);
+
+  EXPECT_TRUE(payload_exact(out, 7));  // bitwise despite the lost rank
+  ASSERT_EQ(rep.failed_ranks.size(), 1u);
+  EXPECT_EQ(rep.failed_ranks[0], 1);
+  EXPECT_TRUE(rep.degraded);
+  EXPECT_EQ(rep.retries, 2);  // both attempts of rank 1 burned
+  EXPECT_GT(rep.recovery_s, 0.0);
+  EXPECT_NE(rep.gantt().find("[DEAD]"), std::string::npos);
+}
+
+TEST(RunItemsFt, AllRanksDeadThrows) {
+  const SimCluster cluster(2);
+  SimCluster::FtOptions opt;
+  opt.faults.kill_ranks = {0, 1};
+  opt.max_attempts = 2;
+  auto noop = [](idx, RankContext&) {};
+  EXPECT_THROW(cluster.run_items_ft(4, noop, opt), Error);
+}
+
+TEST(RunItemsFt, InjectedStragglersFinishCorrectly) {
+  const SimCluster cluster(4);
+  SimCluster::FtOptions opt;
+  opt.faults.seed = 3;
+  opt.faults.p_straggle = 1.0;
+  opt.faults.straggle_factor = 100.0;
+  opt.straggler_deadline = 0.0;  // detection off: pure slowdown
+  SimCluster::RunReport rep;
+  const auto out = run_payload(cluster, 12, 3, opt, &rep);
+  EXPECT_TRUE(payload_exact(out, 3));
+  EXPECT_EQ(rep.retries, 0);  // straggling is slow, not wrong
+  EXPECT_TRUE(rep.failed_ranks.empty());
+}
+
+TEST(RunItemsFt, GenuineStragglerIsCancelledAndRecovered) {
+  const SimCluster cluster(4);
+  // Rank 2 owns items {4, 5} of BlockDist(8, 4); make exactly those slow.
+  std::vector<std::vector<cplx>> out(8, std::vector<cplx>(3));
+  auto item_fn = [&](idx item, RankContext& ctx) {
+    auto& dst = out[static_cast<std::size_t>(item)];
+    for (idx j = 0; j < 3; ++j)
+      dst[static_cast<std::size_t>(j)] = item_value(item, j);
+    ctx.expose(std::span<cplx>(dst));
+    spin_for(std::chrono::microseconds(item == 4 || item == 5 ? 20000 : 50));
+  };
+  SimCluster::FtOptions opt;
+  opt.straggler_deadline = 4.0;
+  const SimCluster::RunReport rep = cluster.run_items_ft(8, item_fn, opt);
+
+  EXPECT_TRUE(payload_exact(out, 3));
+  EXPECT_GE(rep.retries, 1);       // the straggler was cancelled
+  EXPECT_GT(rep.recovery_s, 0.0);  // redistribution was paid for
+  EXPECT_FALSE(rep.degraded);      // nobody died
+  // The cancelled rank's charged time is clamped to the deadline, far
+  // below its 40 ms of injected spinning.
+  EXPECT_LT(rep.ranks[2].compute_s, 0.030);
+}
+
+// --- end-to-end acceptance: epsilon sweep losing a rank mid-run -----------
+
+TEST(RunItemsFt, EpsilonSweepSurvivesRankLossBitwise) {
+  GwCalculation& gw = testutil::si_prim_gw();
+  const Mtxel& mtxel = gw.mtxel();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const std::vector<double> omegas = {0.0, 0.05, 0.1, 0.15, 0.2, 0.3};
+  ChiOptions copt;
+  copt.nv_block = 2;
+
+  auto sweep = [&](const SimCluster::FtOptions& opt,
+                   SimCluster::RunReport* rep) {
+    std::vector<ZMatrix> eps(omegas.size());
+    auto item_fn = [&](idx k, RankContext& ctx) {
+      const std::span<const double> w(omegas);
+      std::vector<ZMatrix> chik = chi_multi(
+          mtxel, wf, w.subspan(static_cast<std::size_t>(k), 1), copt);
+      ZMatrix& dst = eps[static_cast<std::size_t>(k)];
+      dst = epsilon_inverse(chik.front(), gw.coulomb());
+      ctx.expose(std::span<cplx>(dst.data(),
+                                 static_cast<std::size_t>(dst.size())));
+    };
+    const SimCluster cluster(3);
+    const SimCluster::RunReport r = cluster.run_items_ft(
+        static_cast<idx>(omegas.size()), item_fn, opt);
+    if (rep) *rep = r;
+    return eps;
+  };
+
+  SimCluster::FtOptions clean;
+  SimCluster::RunReport base_rep;
+  const std::vector<ZMatrix> base = sweep(clean, &base_rep);
+
+  SimCluster::FtOptions faulty;
+  faulty.faults.seed = 2026;
+  faulty.faults.kill_ranks = {1};  // lose the middle rank and its block
+  faulty.max_attempts = 2;
+  SimCluster::RunReport rep;
+  const std::vector<ZMatrix> recovered = sweep(faulty, &rep);
+
+  // Bitwise-identical screening despite the dead rank.
+  ASSERT_EQ(recovered.size(), base.size());
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    ASSERT_EQ(recovered[k].rows(), base[k].rows());
+    for (idx i = 0; i < base[k].size(); ++i)
+      ASSERT_EQ(recovered[k].data()[i], base[k].data()[i])
+          << "omega index " << k << ", element " << i;
+  }
+  // Honest accounting: the run is degraded, recovery time is nonzero, and
+  // time-to-solution can only get worse than the fault-free baseline.
+  EXPECT_TRUE(rep.degraded);
+  EXPECT_EQ(rep.failed_ranks, std::vector<idx>{1});
+  EXPECT_GT(rep.recovery_s, 0.0);
+  EXPECT_GE(rep.time_to_solution(), base_rep.time_to_solution());
+}
+
+}  // namespace
+}  // namespace xgw

@@ -54,6 +54,50 @@ TEST(BlockDist, RejectsBadArguments) {
   EXPECT_THROW(d.owner(5), Error);
 }
 
+TEST(BlockDist, MorePartsThanElements) {
+  // 3 elements over 8 parts: the first 3 parts get one each, the rest are
+  // empty but still well-formed (begin == end).
+  BlockDist d(3, 8);
+  for (idx p = 0; p < 8; ++p) {
+    EXPECT_EQ(d.count(p), p < 3 ? 1 : 0);
+    EXPECT_EQ(d.end(p) - d.begin(p), d.count(p));
+  }
+  EXPECT_EQ(d.max_count(), 1);
+  for (idx i = 0; i < 3; ++i) EXPECT_EQ(d.owner(i), i);
+}
+
+TEST(BlockDist, EmptyRange) {
+  BlockDist d(0, 4);
+  for (idx p = 0; p < 4; ++p) {
+    EXPECT_EQ(d.count(p), 0);
+    EXPECT_EQ(d.begin(p), 0);
+    EXPECT_EQ(d.end(p), 0);
+  }
+  EXPECT_EQ(d.max_count(), 0);
+  EXPECT_THROW(d.owner(0), Error);  // no element 0 to own
+}
+
+TEST(BlockDist, SinglePartOwnsEverything) {
+  BlockDist d(9, 1);
+  EXPECT_EQ(d.begin(0), 0);
+  EXPECT_EQ(d.end(0), 9);
+  EXPECT_EQ(d.max_count(), 9);
+  for (idx i = 0; i < 9; ++i) EXPECT_EQ(d.owner(i), 0);
+}
+
+TEST(BlockDist, OwnerRoundTripsEveryElementEveryShape) {
+  for (idx n : {1, 2, 5, 17}) {
+    for (idx p : {1, 2, 5, 17, 40}) {
+      BlockDist d(n, p);
+      for (idx i = 0; i < n; ++i) {
+        const idx o = d.owner(i);
+        EXPECT_GE(i, d.begin(o));
+        EXPECT_LT(i, d.end(o));
+      }
+    }
+  }
+}
+
 TEST(PoolDecomposition, TwoLevelShapes) {
   // 24 ranks, 4 pools of 6; 128 Sigma elements; 1000 G' columns.
   PoolDecomposition pd(24, 4, 128, 1000);
@@ -67,6 +111,27 @@ TEST(PoolDecomposition, TwoLevelShapes) {
 
 TEST(PoolDecomposition, RejectsUnevenPools) {
   EXPECT_THROW(PoolDecomposition(10, 3, 8, 100), Error);
+}
+
+TEST(PoolDecomposition, SingleRankPools) {
+  // Degenerate but legal: every pool is one rank; within-pool G' block
+  // distribution collapses to "rank 0 owns all columns".
+  PoolDecomposition pd(4, 4, 7, 100);
+  EXPECT_EQ(pd.ranks_per_pool, 1);
+  EXPECT_EQ(pd.gprime_over_ranks.count(0), 100);
+  for (idx pool = 0; pool < 4; ++pool)
+    EXPECT_EQ(pd.global_rank(pool, 0), pool);
+  // Sigma elements split across pools within one of the balanced counts.
+  idx total = 0;
+  for (idx p = 0; p < 4; ++p) total += pd.sigma_over_pools.count(p);
+  EXPECT_EQ(total, 7);
+}
+
+TEST(PoolDecomposition, OnePoolAllRanks) {
+  PoolDecomposition pd(6, 1, 11, 60);
+  EXPECT_EQ(pd.ranks_per_pool, 6);
+  EXPECT_EQ(pd.sigma_over_pools.count(0), 11);
+  for (idx r = 0; r < 6; ++r) EXPECT_EQ(pd.gprime_over_ranks.count(r), 10);
 }
 
 TEST(CyclicAssignment, PartitionsWithoutOverlap) {
