@@ -4,7 +4,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flops.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/sigma.h"
 #include "fft/fft.h"
 #include "la/gemm.h"
@@ -46,6 +52,46 @@ void BM_ZgemmBlocked(benchmark::State& state) {
                           static_cast<std::int64_t>(8 * n * n * n));
 }
 BENCHMARK(BM_ZgemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ZgemmSplit(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state)
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+          GemmVariant::kSplit);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * n * n * n));
+}
+BENCHMARK(BM_ZgemmSplit)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ZgemmAuto(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state)
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+          GemmVariant::kAuto);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * n * n * n));
+}
+BENCHMARK(BM_ZgemmAuto)->Arg(16)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_ZherkUpdate(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state) {
+    c.fill(cplx{});
+    zherk_update(a, b, c, GemmVariant::kSplit);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(4 * n * (n + 1) * n));
+}
+BENCHMARK(BM_ZherkUpdate)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_ZgemmParallel(benchmark::State& state) {
   const idx n = state.range(0);
@@ -158,7 +204,101 @@ void BM_ChiStaticNvBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_ChiStaticNvBlock)->Arg(1)->Arg(4)->Arg(32);
 
+// GFLOP/s sweep over the GEMM variants, emitted as BENCH_kernels.json so
+// successive performance PRs can diff kernel throughput mechanically. Each
+// point is timed by repeating the call until ~0.2 s has elapsed.
+void emit_kernel_json() {
+  struct VariantRow {
+    GemmVariant v;
+    const char* name;
+    idx max_n;  // reference is O(n^3) scalar code; cap its sweep
+  };
+  const VariantRow variants[] = {
+      {GemmVariant::kReference, "reference", 128},
+      {GemmVariant::kBlocked, "blocked", 512},
+      {GemmVariant::kSplit, "split", 512},
+      {GemmVariant::kParallel, "parallel", 512},
+      {GemmVariant::kAuto, "auto", 512},
+  };
+
+  bench::JsonRecords json("kernels_micro");
+  bench::Table table({"kernel", "variant", "n", "GFLOP/s"});
+
+  auto time_loop = [](auto&& body) {
+    // One warm-up call, then repeat until the budget is spent.
+    body();
+    Stopwatch sw;
+    int iters = 0;
+    do {
+      body();
+      ++iters;
+    } while (sw.elapsed() < 0.2);
+    return sw.elapsed() / iters;
+  };
+
+  for (const VariantRow& vr : variants) {
+    for (idx n : {128, 256, 512}) {
+      if (n > vr.max_n) continue;
+      const ZMatrix a = random_matrix(n, n, 1);
+      const ZMatrix b = random_matrix(n, n, 2);
+      ZMatrix c(n, n);
+      const double sec = time_loop([&] {
+        zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c, vr.v);
+      });
+      const double gflops = flop_model::zgemm(n, n, n) / sec / 1e9;
+      json.record()
+          .field("kernel", "zgemm")
+          .field("variant", vr.name)
+          .field("m", static_cast<long long>(n))
+          .field("n", static_cast<long long>(n))
+          .field("k", static_cast<long long>(n))
+          .field("threads", static_cast<long long>(xgw_num_threads()))
+          .field("gflops", gflops);
+      table.row({"zgemm", vr.name, bench::fmt_int(n), bench::fmt(gflops)});
+    }
+  }
+
+  // Hermitian rank-k update (the chi imaginary-axis path): half the zgemm
+  // FLOPs for the same result shape.
+  for (idx n : {256, 512}) {
+    const ZMatrix a = random_matrix(n, n, 1);
+    const ZMatrix b = random_matrix(n, n, 2);
+    ZMatrix c(n, n);
+    const double sec = time_loop([&] {
+      c.fill(cplx{});
+      zherk_update(a, b, c, GemmVariant::kSplit);
+    });
+    const double gflops = flop_model::zherk(n, n) / sec / 1e9;
+    json.record()
+        .field("kernel", "zherk_update")
+        .field("variant", "split")
+        .field("m", static_cast<long long>(n))
+        .field("n", static_cast<long long>(n))
+        .field("k", static_cast<long long>(n))
+        .field("threads", static_cast<long long>(xgw_num_threads()))
+        .field("gflops", gflops);
+    table.row({"zherk", "split", bench::fmt_int(n), bench::fmt(gflops)});
+  }
+
+  bench::section("GEMM engine GFLOP/s (BENCH_kernels.json)");
+  table.print();
+  json.write("BENCH_kernels.json");
+}
+
 }  // namespace
 }  // namespace xgw
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --json-only skips the google-benchmark suites (used by CI / acceptance
+  // checks that only want the machine-readable sweep).
+  bool json_only = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json-only") json_only = true;
+  xgw::emit_kernel_json();
+  if (json_only) return 0;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -85,4 +85,77 @@ inline void section(const std::string& title) {
   std::printf("\n=== %s ===\n\n", title.c_str());
 }
 
+/// Minimal machine-readable results emitter: collects flat records of
+/// string/number fields and writes them as `{"bench": ..., "records":
+/// [...]}` JSON. Bench binaries use it to drop BENCH_*.json trajectory
+/// points next to their human-readable stdout tables, so successive
+/// performance PRs can be compared mechanically.
+class JsonRecords {
+ public:
+  explicit JsonRecords(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Starts a new record; subsequent field() calls append to it.
+  JsonRecords& record() {
+    records_.emplace_back();
+    return *this;
+  }
+
+  JsonRecords& field(const std::string& key, const std::string& v) {
+    records_.back().emplace_back(key, quote(v));
+    return *this;
+  }
+  JsonRecords& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonRecords& field(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.8g", v);
+    records_.back().emplace_back(key, std::string(buf));
+    return *this;
+  }
+  JsonRecords& field(const std::string& key, long long v) {
+    records_.back().emplace_back(key, std::to_string(v));
+    return *this;
+  }
+
+  /// Writes the collected records; returns false (and prints a warning) on
+  /// I/O failure so benches keep running on read-only filesystems.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"records\": [\n",
+                 quote(bench_name_).c_str());
+    for (std::size_t r = 0; r < records_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (std::size_t i = 0; i < records_[r].size(); ++i)
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     quote(records_[r][i].first).c_str(),
+                     records_[r][i].second.c_str());
+      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
+};
+
 }  // namespace xgw::bench

@@ -10,22 +10,27 @@
 // (kernels increment counters as they execute), so Table 3's Est./Meas.
 // accuracy comparison can be reproduced directly.
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/types.h"
 
 namespace xgw {
 
-/// Thread-safe-enough FLOP counter: kernels accumulate locally and add once
-/// per call, so contention is negligible.
+/// Thread-safe FLOP counter: kernels accumulate locally and add once per
+/// call (so contention stays negligible), but those adds may come from
+/// concurrent threads — e.g. the frequency-parallel CHI-Freq loop — hence
+/// the relaxed atomic.
 class FlopCounter {
  public:
-  void add(std::uint64_t flops) { flops_ += flops; }
-  std::uint64_t total() const { return flops_; }
-  void reset() { flops_ = 0; }
+  void add(std::uint64_t flops) {
+    flops_.fetch_add(flops, std::memory_order_relaxed);
+  }
+  std::uint64_t total() const { return flops_.load(std::memory_order_relaxed); }
+  void reset() { flops_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t flops_ = 0;
+  std::atomic<std::uint64_t> flops_{0};
 };
 
 /// Canonical FLOP-count estimates from the paper.
@@ -55,6 +60,19 @@ inline double gpp_offdiag_zgemm(idx n_sigma, idx n_b, idx n_g, idx n_e) {
 inline double zgemm(idx m, idx n, idx k) {
   return 8.0 * static_cast<double>(m) * static_cast<double>(n) *
          static_cast<double>(k);
+}
+
+/// Hermitian rank-k update count: C (n x n) += A^H (n x k) B (k x n) with
+/// only the n*(n+1)/2 upper-triangle entries computed — the FLOP halving
+/// the CHI-Freq chi(omega) += M^H diag(Delta) M update exploits.
+inline double zherk(idx n, idx k) {
+  return 4.0 * static_cast<double>(n) * static_cast<double>(n + 1) *
+         static_cast<double>(k);
+}
+
+/// Complex GEMV count: y (m) += A (m x k) x (k).
+inline double zgemv(idx m, idx k) {
+  return 8.0 * static_cast<double>(m) * static_cast<double>(k);
 }
 
 }  // namespace flop_model

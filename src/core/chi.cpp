@@ -63,14 +63,10 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
 
   ZMatrix m_pw(nc, ng);                   // per-valence M rows on plane waves
   ZMatrix m_block(nv_block * nc, ncols);  // NV-Block pair workspace
-  ZMatrix scaled(nv_block * nc, ncols);
 
   for (idx v0 = 0; v0 < nv; v0 += nv_block) {
     const idx vb = std::min(nv_block, nv - v0);
-    if (m_block.rows() != vb * nc) {
-      m_block.resize(vb * nc, ncols);
-      scaled.resize(vb * nc, ncols);
-    }
+    if (m_block.rows() != vb * nc) m_block.resize(vb * nc, ncols);
 
     for (idx dv = 0; dv < vb; ++dv) {
       const idx v = v0 + dv;
@@ -93,26 +89,52 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
     // updates below; catch it at the accumulation boundary instead.
     require_finite(m_block, "chi_multi: M_vc block");
 
-    // CHI-Freq: scaled = diag(2 Delta_vc(omega_k)) M_block per frequency.
-    for (idx k = 0; k < nfreq; ++k) {
-      const double omega = omegas[static_cast<std::size_t>(k)];
-      for (idx dv = 0; dv < vb; ++dv) {
-        const idx v = v0 + dv;
-        for (idx c = 0; c < nc; ++c) {
-          const double ev = wf.energy[static_cast<std::size_t>(v)];
-          const double ec = wf.energy[static_cast<std::size_t>(nv + c)];
-          const cplx w =
-              opt.imaginary_axis
-                  ? cplx{2.0 * adler_wiser_delta_imag(ev, ec, omega), 0.0}
-                  : 2.0 * adler_wiser_delta(ev, ec, omega, opt.eta);
-          const cplx* src = m_block.row(dv * nc + c);
-          cplx* dst = scaled.row(dv * nc + c);
-          for (idx j = 0; j < ncols; ++j) dst[j] = w * src[j];
+    // CHI-Freq: scaled = diag(2 Delta_vc(omega_k)) M_block, then a rank-k
+    // accumulation into chi[k], per frequency. Frequencies are independent,
+    // so the loop runs OpenMP-parallel with a frequency-major static
+    // distribution and one scaled-M workspace per thread; every chi[k] is
+    // owned by a single thread per pass and receives its valence-block
+    // contributions in the same serial order for ANY thread count, keeping
+    // the result thread-count invariant. On the static point and the whole
+    // imaginary axis the weights are real, so the update is Hermitian and
+    // zherk_update computes only the upper triangle (half the FLOPs);
+    // complex weights fall back to the general zgemm. The inner GEMM
+    // degrades to its serial variant inside this region (nested-call
+    // safety), so cores are never oversubscribed.
+#ifdef _OPENMP
+#pragma omp parallel num_threads(xgw_num_threads()) \
+    if (nfreq > 1 && !in_parallel_region())
+#endif
+    {
+      ZMatrix scaled(vb * nc, ncols);
+#ifdef _OPENMP
+#pragma omp for schedule(static)
+#endif
+      for (idx k = 0; k < nfreq; ++k) {
+        const double omega = omegas[static_cast<std::size_t>(k)];
+        for (idx dv = 0; dv < vb; ++dv) {
+          const idx v = v0 + dv;
+          for (idx c = 0; c < nc; ++c) {
+            const double ev = wf.energy[static_cast<std::size_t>(v)];
+            const double ec = wf.energy[static_cast<std::size_t>(nv + c)];
+            const cplx w =
+                opt.imaginary_axis
+                    ? cplx{2.0 * adler_wiser_delta_imag(ev, ec, omega), 0.0}
+                    : 2.0 * adler_wiser_delta(ev, ec, omega, opt.eta);
+            const cplx* src = m_block.row(dv * nc + c);
+            cplx* dst = scaled.row(dv * nc + c);
+            for (idx j = 0; j < ncols; ++j) dst[j] = w * src[j];
+          }
+        }
+        if (opt.imaginary_axis || omega == 0.0) {
+          zherk_update(m_block, scaled, chi[static_cast<std::size_t>(k)],
+                       opt.gemm, opt.flops);
+        } else {
+          zgemm(Op::kConjTrans, Op::kNone, cplx{1.0, 0.0}, m_block, scaled,
+                cplx{1.0, 0.0}, chi[static_cast<std::size_t>(k)], opt.gemm,
+                opt.flops);
         }
       }
-      zgemm(Op::kConjTrans, Op::kNone, cplx{1.0, 0.0}, m_block, scaled,
-            cplx{1.0, 0.0}, chi[static_cast<std::size_t>(k)], opt.gemm,
-            opt.flops);
     }
   }
 

@@ -1,8 +1,10 @@
 #include "core/epsilon.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
 #include "common/validate.h"
@@ -31,20 +33,14 @@ ZMatrix epsilon_inverse(const ZMatrix& chi, const CoulombPotential& v) {
 void LowRankEpsInv::apply(const cplx* x, cplx* y) const {
   const idx ng = n_g();
   const idx nb = n_eig();
-  // y = x + L (R x)
+  // y = x + L (R x), routed through zgemv so the large Op::kNone products
+  // pick up its row-parallel path.
+  const std::vector<cplx> xv(x, x + ng);
   std::vector<cplx> t(static_cast<std::size_t>(nb), cplx{});
-  for (idx b = 0; b < nb; ++b) {
-    cplx acc{};
-    const cplx* rrow = right.row(b);
-    for (idx g = 0; g < ng; ++g) acc += rrow[g] * x[g];
-    t[static_cast<std::size_t>(b)] = acc;
-  }
-  for (idx g = 0; g < ng; ++g) {
-    cplx acc = x[g];
-    const cplx* lrow = left.row(g);
-    for (idx b = 0; b < nb; ++b) acc += lrow[b] * t[static_cast<std::size_t>(b)];
-    y[g] = acc;
-  }
+  zgemv(Op::kNone, cplx{1.0, 0.0}, right, xv, cplx{}, t);
+  std::vector<cplx> yv = xv;
+  zgemv(Op::kNone, cplx{1.0, 0.0}, left, t, cplx{1.0, 0.0}, yv);
+  std::copy(yv.begin(), yv.end(), y);
 }
 
 ZMatrix LowRankEpsInv::dense() const {

@@ -129,6 +129,21 @@ void GppDiagKernel::compute(const ZMatrix& m_ln,
 
   std::uint64_t local_flops = 0;
 
+  // Two-stage deterministic reduction workspace (optimized variant): the G'
+  // range is cut into a FIXED chunk grid independent of the thread count;
+  // stage 1 computes one partial per chunk (each chunk filled sequentially
+  // by exactly one thread), stage 2 reduces the partials serially in
+  // chunk-index order. The floating-point summation order is therefore
+  // identical for every OMP_NUM_THREADS — the self-energy is bitwise
+  // thread-count invariant, unlike the previous `omp critical` reduction
+  // whose thread-arrival order perturbed the last bits.
+  constexpr idx kReduceChunks = 64;
+  const idx gprime_span = gprime_end - gprime_begin;
+  const idx nchunks = std::max<idx>(1, std::min(kReduceChunks, gprime_span));
+  std::vector<cplx> part_sx(static_cast<std::size_t>(nchunks));
+  std::vector<cplx> part_ch(static_cast<std::size_t>(nchunks));
+  std::vector<std::uint64_t> part_fl(static_cast<std::size_t>(nchunks));
+
   for (idx ie = 0; ie < ne; ++ie) {
     const double e = e_values[static_cast<std::size_t>(ie)];
     cplx acc_sx{}, acc_ch{};
@@ -173,22 +188,19 @@ void GppDiagKernel::compute(const ZMatrix& m_ln,
           acc_ch += col_ch * mgp * vgp;
         }
       } else {
-        // Optimized: OpenMP over G' with per-thread accumulators
-        // (two-stage reduction), inner G loop streamed over contiguous
-        // rows of the transposed model matrices, divisions replaced by a
-        // single reciprocal-multiply.
-        cplx t_sx{}, t_ch{};
-        std::uint64_t t_flops = 0;
+        // Optimized: OpenMP over fixed G' chunks with per-chunk partials
+        // (stage 1 of the two-stage reduction), inner G loop streamed over
+        // contiguous rows of the transposed model matrices, divisions
+        // replaced by a single reciprocal-multiply.
 #ifdef _OPENMP
-#pragma omp parallel
+#pragma omp parallel for schedule(dynamic) num_threads(xgw_num_threads())
 #endif
-        {
+        for (idx chunk = 0; chunk < nchunks; ++chunk) {
+          const idx lo = gprime_begin + chunk * gprime_span / nchunks;
+          const idx hi = gprime_begin + (chunk + 1) * gprime_span / nchunks;
           cplx p_sx{}, p_ch{};
           std::uint64_t p_flops = 0;
-#ifdef _OPENMP
-#pragma omp for schedule(static) nowait
-#endif
-          for (idx gp = gprime_begin; gp < gprime_end; ++gp) {
+          for (idx gp = lo; gp < hi; ++gp) {
             const cplx mgp = mrow[gp];
             const double vgp = v_(gp);
             if (occ) p_sx -= std::conj(mgp) * mgp * vgp;
@@ -223,18 +235,16 @@ void GppDiagKernel::compute(const ZMatrix& m_ln,
             p_sx -= col_sx * mgp * vgp;
             p_ch += col_ch * mgp * vgp;
           }
-#ifdef _OPENMP
-#pragma omp critical(xgw_gpp_diag_reduce)
-#endif
-          {
-            t_sx += p_sx;
-            t_ch += p_ch;
-            t_flops += p_flops;
-          }
+          part_sx[static_cast<std::size_t>(chunk)] = p_sx;
+          part_ch[static_cast<std::size_t>(chunk)] = p_ch;
+          part_fl[static_cast<std::size_t>(chunk)] = p_flops;
         }
-        acc_sx += t_sx;
-        acc_ch += t_ch;
-        local_flops += t_flops;
+        // Stage 2: serial reduction in chunk-index order (deterministic).
+        for (idx chunk = 0; chunk < nchunks; ++chunk) {
+          acc_sx += part_sx[static_cast<std::size_t>(chunk)];
+          acc_ch += part_ch[static_cast<std::size_t>(chunk)];
+          local_flops += part_fl[static_cast<std::size_t>(chunk)];
+        }
       }
     }
     out[static_cast<std::size_t>(ie)].sx = acc_sx;

@@ -105,7 +105,7 @@ class GppOffdiagKernel {
   std::vector<ZMatrix> compute(const std::vector<ZMatrix>& m_all,
                                std::span<const double> band_energy,
                                idx n_valence, std::span<const double> e_grid,
-                               GemmVariant gemm = GemmVariant::kParallel,
+                               GemmVariant gemm = GemmVariant::kAuto,
                                FlopCounter* flops = nullptr) const;
 
   /// GWPT variant (Eq. 5): dSigma_lm(E_i) from the perturbed matrix
@@ -115,7 +115,7 @@ class GppOffdiagKernel {
       const std::vector<ZMatrix>& m_all, const std::vector<ZMatrix>& dm_all,
       std::span<const double> band_energy, idx n_valence,
       std::span<const double> e_grid,
-      GemmVariant gemm = GemmVariant::kParallel,
+      GemmVariant gemm = GemmVariant::kAuto,
       FlopCounter* flops = nullptr) const;
 
   /// Prep step exposed for benchmarking: P^{(n,E)}_GG' (including v(G')).

@@ -200,9 +200,9 @@ std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
       // Q^{nk} = conj(M_n) (B^k v) M_n^T  — two ZGEMMs, reused over E.
       zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, mc,
             scr.bv[static_cast<std::size_t>(k)], cplx{}, t,
-            GemmVariant::kParallel, flops);
+            GemmVariant::kAuto, flops);
       zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, m_n, cplx{}, q,
-            GemmVariant::kParallel, flops);
+            GemmVariant::kAuto, flops);
 
       const double wk = scr.omegas[static_cast<std::size_t>(k)];
       for (idx ie = 0; ie < ne; ++ie) {

@@ -1,5 +1,6 @@
 #include "la/gemm.h"
 
+#include <cstdlib>
 #include <vector>
 
 #ifdef _OPENMP
@@ -11,6 +12,28 @@ namespace xgw {
 std::pair<idx, idx> op_shape(Op op, const ZMatrix& a) {
   if (op == Op::kNone) return {a.rows(), a.cols()};
   return {a.cols(), a.rows()};
+}
+
+bool in_parallel_region() {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
+
+int xgw_num_threads() {
+#ifdef _OPENMP
+  // The env override is read once; the OpenMP default is queried live so
+  // omp_set_num_threads() keeps working as expected.
+  static const int env_threads = [] {
+    const char* env = std::getenv("XGW_NUM_THREADS");
+    return env != nullptr ? std::atoi(env) : 0;
+  }();
+  return env_threads > 0 ? env_threads : omp_get_max_threads();
+#else
+  return 1;
+#endif
 }
 
 namespace {
@@ -42,6 +65,32 @@ void gemm_reference(Op opa, Op opb, cplx alpha, const ZMatrix& a,
 constexpr idx kMC = 64;
 constexpr idx kKC = 128;
 constexpr idx kNC = 256;
+
+// kAuto cutoffs, in m*n*k complex multiply-adds: below kAutoTiny the
+// packing overhead dominates and the reference loop wins; above
+// kAutoParallel the problem amortizes spawning an OpenMP team.
+constexpr double kAutoTiny = 4096.0;        // 16^3
+constexpr double kAutoParallel = 262144.0;  // 64^3
+
+/// Whether a kernel asked to parallelize should actually spawn a team:
+/// never without a real OpenMP runtime (xgw_num_threads() == 1), never from
+/// inside an active parallel region (nested-call safety: the caller already
+/// owns the cores), and never when there are too few panels to share.
+bool should_parallelize(bool requested, idx n_panels) {
+  if (!requested || n_panels <= 1) return false;
+  if (in_parallel_region()) return false;
+  return xgw_num_threads() > 1;
+}
+
+/// beta-scale C up front so tiles can pure-accumulate.
+void scale_c(cplx beta, ZMatrix& c) {
+  if (beta == cplx{0.0, 0.0}) {
+    c.fill(cplx{});
+  } else if (beta != cplx{1.0, 0.0}) {
+    cplx* p = c.data();
+    for (idx i = 0; i < c.size(); ++i) p[i] *= beta;
+  }
+}
 
 // Pack op(A)[i0:i0+mb, l0:l0+kb] row-major into buf.
 void pack_a(Op opa, const ZMatrix& a, idx i0, idx mb, idx l0, idx kb,
@@ -110,52 +159,318 @@ void gemm_blocked(Op opa, Op opb, cplx alpha, const ZMatrix& a,
                   const ZMatrix& b, cplx beta, ZMatrix& c, bool parallel) {
   const auto [m, k] = op_shape(opa, a);
   const idx n = op_shape(opb, b).second;
-
-  // beta-scale C up front so tiles can pure-accumulate.
-  if (beta == cplx{0.0, 0.0}) {
-    c.fill(cplx{});
-  } else if (beta != cplx{1.0, 0.0}) {
-    cplx* p = c.data();
-    for (idx i = 0; i < c.size(); ++i) p[i] *= beta;
-  }
+  scale_c(beta, c);
 
   const idx n_row_panels = (m + kMC - 1) / kMC;
 
+  auto process_panel = [&](idx panel, cplx* apack, cplx* bpack, cplx* cacc) {
+    const idx i0 = panel * kMC;
+    const idx mb = std::min(kMC, m - i0);
+    for (idx j0 = 0; j0 < n; j0 += kNC) {
+      const idx nb = std::min(kNC, n - j0);
+      std::fill(cacc, cacc + mb * nb, cplx{});
+      for (idx l0 = 0; l0 < k; l0 += kKC) {
+        const idx kb = std::min(kKC, k - l0);
+        pack_a(opa, a, i0, mb, l0, kb, apack);
+        pack_b(opb, b, l0, kb, j0, nb, bpack);
+        micro_kernel(apack, bpack, cacc, mb, nb, kb);
+      }
+      for (idx i = 0; i < mb; ++i) {
+        cplx* crow = c.row(i0 + i) + j0;
+        const cplx* arow = cacc + i * nb;
+        for (idx j = 0; j < nb; ++j) crow[j] += alpha * arow[j];
+      }
+    }
+  };
+
+  if (should_parallelize(parallel, n_row_panels)) {
 #ifdef _OPENMP
-#pragma omp parallel if (parallel && n_row_panels > 1)
+#pragma omp parallel num_threads(xgw_num_threads())
+    {
+      std::vector<cplx> apack(static_cast<std::size_t>(kMC * kKC));
+      std::vector<cplx> bpack(static_cast<std::size_t>(kKC * kNC));
+      std::vector<cplx> cacc(static_cast<std::size_t>(kMC * kNC));
+#pragma omp for schedule(dynamic)
+      for (idx panel = 0; panel < n_row_panels; ++panel)
+        process_panel(panel, apack.data(), bpack.data(), cacc.data());
+    }
 #endif
-  {
+  } else {
     std::vector<cplx> apack(static_cast<std::size_t>(kMC * kKC));
     std::vector<cplx> bpack(static_cast<std::size_t>(kKC * kNC));
     std::vector<cplx> cacc(static_cast<std::size_t>(kMC * kNC));
+    for (idx panel = 0; panel < n_row_panels; ++panel)
+      process_panel(panel, apack.data(), bpack.data(), cacc.data());
+  }
+}
 
-#ifdef _OPENMP
-#pragma omp for schedule(dynamic)
-#endif
-    for (idx panel = 0; panel < n_row_panels; ++panel) {
-      const idx i0 = panel * kMC;
-      const idx mb = std::min(kMC, m - i0);
-      for (idx j0 = 0; j0 < n; j0 += kNC) {
-        const idx nb = std::min(kNC, n - j0);
-        std::fill(cacc.begin(), cacc.begin() + mb * nb, cplx{});
-        for (idx l0 = 0; l0 < k; l0 += kKC) {
-          const idx kb = std::min(kKC, k - l0);
-          pack_a(opa, a, i0, mb, l0, kb, apack.data());
-          pack_b(opb, b, l0, kb, j0, nb, bpack.data());
-          micro_kernel(apack.data(), bpack.data(), cacc.data(), mb, nb, kb);
-        }
-        for (idx i = 0; i < mb; ++i) {
-          cplx* crow = c.row(i0 + i) + j0;
-          const cplx* arow = cacc.data() + i * nb;
-          for (idx j = 0; j < nb; ++j) crow[j] += alpha * arow[j];
-        }
+// ---------------------------------------------------------------------------
+// Split-complex (planar) engine — the CPU mapping of the paper's
+// restructured GPU kernels: operands are staged into separate re/im planes
+// (the "shared-memory tile" equivalent) so the micro-kernel runs four
+// independent real FMA streams with no complex-multiply shuffle traffic.
+
+// Pack op(A)[i0:i0+mb, l0:l0+kb] into planar re/im buffers, row-major.
+void pack_a_split(Op opa, const ZMatrix& a, idx i0, idx mb, idx l0, idx kb,
+                  double* re, double* im) {
+  if (opa == Op::kNone) {
+    for (idx i = 0; i < mb; ++i) {
+      const cplx* src = a.row(i0 + i) + l0;
+      double* dr = re + i * kb;
+      double* di = im + i * kb;
+      for (idx l = 0; l < kb; ++l) {
+        dr[l] = src[l].real();
+        di[l] = src[l].imag();
+      }
+    }
+  } else {
+    const double s = (opa == Op::kConjTrans) ? -1.0 : 1.0;
+    for (idx i = 0; i < mb; ++i) {
+      double* dr = re + i * kb;
+      double* di = im + i * kb;
+      for (idx l = 0; l < kb; ++l) {
+        const cplx v = a(l0 + l, i0 + i);
+        dr[l] = v.real();
+        di[l] = s * v.imag();
       }
     }
   }
-  (void)parallel;
+}
+
+// Pack ONE logical row l of op(B)[l0:l0+kb, j0:j0+nb] into the planar
+// panel; row granularity lets the parallel engine split the packing of the
+// shared B panel across the team.
+void pack_b_split_row(Op opb, const ZMatrix& b, idx l0, idx l, idx j0, idx nb,
+                      double* re, double* im) {
+  double* dr = re + l * nb;
+  double* di = im + l * nb;
+  if (opb == Op::kNone) {
+    const cplx* src = b.row(l0 + l) + j0;
+    for (idx j = 0; j < nb; ++j) {
+      dr[j] = src[j].real();
+      di[j] = src[j].imag();
+    }
+  } else {
+    const double s = (opb == Op::kConjTrans) ? -1.0 : 1.0;
+    for (idx j = 0; j < nb; ++j) {
+      const cplx v = b(j0 + j, l0 + l);
+      dr[j] = v.real();
+      di[j] = s * v.imag();
+    }
+  }
+}
+
+// Split-complex micro-kernel: Cacc += Apack * Bpack with the four real
+// product streams (rr, ii, ri, ir) as contiguous vectorizable loops:
+//   re += a_r b_r - a_i b_i;  im += a_r b_i + a_i b_r.
+// l is unrolled by 2 to amortize the scalar broadcasts.
+void micro_kernel_split(const double* ar, const double* ai, const double* br,
+                        const double* bi, double* cr, double* ci, idx mb,
+                        idx nb, idx kb) {
+  for (idx i = 0; i < mb; ++i) {
+    const double* arr = ar + i * kb;
+    const double* ari = ai + i * kb;
+    double* crr = cr + i * nb;
+    double* cri = ci + i * nb;
+    idx l = 0;
+    for (; l + 1 < kb; l += 2) {
+      const double a0r = arr[l], a0i = ari[l];
+      const double a1r = arr[l + 1], a1i = ari[l + 1];
+      const double* b0r = br + l * nb;
+      const double* b0i = bi + l * nb;
+      const double* b1r = br + (l + 1) * nb;
+      const double* b1i = bi + (l + 1) * nb;
+      for (idx j = 0; j < nb; ++j) {
+        crr[j] += a0r * b0r[j] - a0i * b0i[j] + a1r * b1r[j] - a1i * b1i[j];
+        cri[j] += a0r * b0i[j] + a0i * b0r[j] + a1r * b1i[j] + a1i * b1r[j];
+      }
+    }
+    for (; l < kb; ++l) {
+      const double a0r = arr[l], a0i = ari[l];
+      const double* b0r = br + l * nb;
+      const double* b0i = bi + l * nb;
+      for (idx j = 0; j < nb; ++j) {
+        crr[j] += a0r * b0r[j] - a0i * b0i[j];
+        cri[j] += a0r * b0i[j] + a0i * b0r[j];
+      }
+    }
+  }
+}
+
+/// Per-thread planar workspace of the split engine.
+struct SplitBuffers {
+  std::vector<double> are, aim, cre, cim;
+  SplitBuffers()
+      : are(static_cast<std::size_t>(kMC * kKC)),
+        aim(static_cast<std::size_t>(kMC * kKC)),
+        cre(static_cast<std::size_t>(kMC * kNC)),
+        cim(static_cast<std::size_t>(kMC * kNC)) {}
+};
+
+// Split-complex blocked engine. Loop order (l0, j0, i0): the packed-B panel
+// for one (l0, j0) is built ONCE and shared by every row panel — and, in
+// the parallel variant, by the whole OpenMP team — instead of being
+// re-packed per row panel as in gemm_blocked. Each (i0, j0) C tile receives
+// its k-blocks in fixed l0 order regardless of thread count, so serial and
+// parallel runs are bitwise identical.
+void gemm_split(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
+                cplx beta, ZMatrix& c, bool parallel) {
+  const auto [m, k] = op_shape(opa, a);
+  const idx n = op_shape(opb, b).second;
+  scale_c(beta, c);
+
+  const idx n_row_panels = (m + kMC - 1) / kMC;
+  std::vector<double> bre(static_cast<std::size_t>(kKC * kNC));
+  std::vector<double> bim(static_cast<std::size_t>(kKC * kNC));
+  const double alr = alpha.real(), ali = alpha.imag();
+
+  // One row panel against the current shared B panel.
+  auto panel_work = [&](idx panel, idx l0, idx kb, idx j0, idx nb,
+                        SplitBuffers& w) {
+    const idx i0 = panel * kMC;
+    const idx mb = std::min(kMC, m - i0);
+    pack_a_split(opa, a, i0, mb, l0, kb, w.are.data(), w.aim.data());
+    std::fill(w.cre.begin(), w.cre.begin() + mb * nb, 0.0);
+    std::fill(w.cim.begin(), w.cim.begin() + mb * nb, 0.0);
+    micro_kernel_split(w.are.data(), w.aim.data(), bre.data(), bim.data(),
+                       w.cre.data(), w.cim.data(), mb, nb, kb);
+    for (idx i = 0; i < mb; ++i) {
+      cplx* crow = c.row(i0 + i) + j0;
+      const double* rr = w.cre.data() + i * nb;
+      const double* ri = w.cim.data() + i * nb;
+      for (idx j = 0; j < nb; ++j)
+        crow[j] += cplx{alr * rr[j] - ali * ri[j], alr * ri[j] + ali * rr[j]};
+    }
+  };
+
+  if (should_parallelize(parallel, n_row_panels)) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(xgw_num_threads())
+    {
+      SplitBuffers w;
+      for (idx l0 = 0; l0 < k; l0 += kKC) {
+        const idx kb = std::min(kKC, k - l0);
+        for (idx j0 = 0; j0 < n; j0 += kNC) {
+          const idx nb = std::min(kNC, n - j0);
+#pragma omp for schedule(static)
+          for (idx l = 0; l < kb; ++l)
+            pack_b_split_row(opb, b, l0, l, j0, nb, bre.data(), bim.data());
+          // implicit barrier: the B panel is complete before any tile reads
+          // it, and (after the loop below) fully consumed before re-packing.
+#pragma omp for schedule(dynamic)
+          for (idx panel = 0; panel < n_row_panels; ++panel)
+            panel_work(panel, l0, kb, j0, nb, w);
+        }
+      }
+    }
+#endif
+  } else {
+    SplitBuffers w;
+    for (idx l0 = 0; l0 < k; l0 += kKC) {
+      const idx kb = std::min(kKC, k - l0);
+      for (idx j0 = 0; j0 < n; j0 += kNC) {
+        const idx nb = std::min(kNC, n - j0);
+        for (idx l = 0; l < kb; ++l)
+          pack_b_split_row(opb, b, l0, l, j0, nb, bre.data(), bim.data());
+        for (idx panel = 0; panel < n_row_panels; ++panel)
+          panel_work(panel, l0, kb, j0, nb, w);
+      }
+    }
+  }
+}
+
+GemmVariant resolve_auto(idx m, idx n, idx k) {
+  const double work = static_cast<double>(m) * static_cast<double>(n) *
+                      static_cast<double>(k);
+  if (work <= kAutoTiny) return GemmVariant::kReference;
+  if (work < kAutoParallel || in_parallel_region() || xgw_num_threads() <= 1)
+    return GemmVariant::kSplit;
+  return GemmVariant::kParallel;
+}
+
+// Hermitian rank-k: C(upper) += A^H B with the split engine, panels
+// entirely below the diagonal skipped (the FLOP halving), partial tiles
+// masked at write-back. The mirror step runs afterwards in zherk_update.
+void herk_split(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
+                bool parallel) {
+  const idx p = a.rows();  // contraction length
+  const idx n = a.cols();  // C dimension
+  const idx n_row_panels = (n + kMC - 1) / kMC;
+
+  std::vector<double> bre(static_cast<std::size_t>(kKC * kNC));
+  std::vector<double> bim(static_cast<std::size_t>(kKC * kNC));
+
+  auto panel_work = [&](idx panel, idx l0, idx kb, idx j0, idx nb,
+                        SplitBuffers& w) {
+    const idx i0 = panel * kMC;
+    if (j0 + nb <= i0) return;  // tile entirely below the diagonal
+    const idx mb = std::min(kMC, n - i0);
+    pack_a_split(Op::kConjTrans, a, i0, mb, l0, kb, w.are.data(),
+                 w.aim.data());
+    std::fill(w.cre.begin(), w.cre.begin() + mb * nb, 0.0);
+    std::fill(w.cim.begin(), w.cim.begin() + mb * nb, 0.0);
+    micro_kernel_split(w.are.data(), w.aim.data(), bre.data(), bim.data(),
+                       w.cre.data(), w.cim.data(), mb, nb, kb);
+    for (idx i = 0; i < mb; ++i) {
+      // Upper triangle only: global column >= global row.
+      const idx jstart = std::max<idx>(0, (i0 + i) - j0);
+      cplx* crow = c.row(i0 + i) + j0;
+      const double* rr = w.cre.data() + i * nb;
+      const double* ri = w.cim.data() + i * nb;
+      for (idx j = jstart; j < nb; ++j) crow[j] += cplx{rr[j], ri[j]};
+    }
+  };
+
+  if (should_parallelize(parallel, n_row_panels)) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(xgw_num_threads())
+    {
+      SplitBuffers w;
+      for (idx l0 = 0; l0 < p; l0 += kKC) {
+        const idx kb = std::min(kKC, p - l0);
+        for (idx j0 = 0; j0 < n; j0 += kNC) {
+          const idx nb = std::min(kNC, n - j0);
+#pragma omp for schedule(static)
+          for (idx l = 0; l < kb; ++l)
+            pack_b_split_row(Op::kNone, b, l0, l, j0, nb, bre.data(),
+                             bim.data());
+#pragma omp for schedule(dynamic)
+          for (idx panel = 0; panel < n_row_panels; ++panel)
+            panel_work(panel, l0, kb, j0, nb, w);
+        }
+      }
+    }
+#endif
+  } else {
+    SplitBuffers w;
+    for (idx l0 = 0; l0 < p; l0 += kKC) {
+      const idx kb = std::min(kKC, p - l0);
+      for (idx j0 = 0; j0 < n; j0 += kNC) {
+        const idx nb = std::min(kNC, n - j0);
+        for (idx l = 0; l < kb; ++l)
+          pack_b_split_row(Op::kNone, b, l0, l, j0, nb, bre.data(),
+                           bim.data());
+        for (idx panel = 0; panel < n_row_panels; ++panel)
+          panel_work(panel, l0, kb, j0, nb, w);
+      }
+    }
+  }
+}
+
+void herk_reference(const ZMatrix& a, const ZMatrix& b, ZMatrix& c) {
+  const idx p = a.rows();
+  const idx n = a.cols();
+  for (idx i = 0; i < n; ++i)
+    for (idx j = i; j < n; ++j) {
+      cplx acc{};
+      for (idx l = 0; l < p; ++l) acc += std::conj(a(l, i)) * b(l, j);
+      c(i, j) += acc;
+    }
 }
 
 }  // namespace
+
+GemmTiling gemm_tiling() { return {kMC, kKC, kNC}; }
 
 void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
            cplx beta, ZMatrix& c, GemmVariant variant, FlopCounter* flops) {
@@ -165,6 +480,7 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
   XGW_REQUIRE(c.rows() == m && c.cols() == n,
               "zgemm: C shape must be op(A).rows x op(B).cols");
 
+  if (variant == GemmVariant::kAuto) variant = resolve_auto(m, n, ka);
   switch (variant) {
     case GemmVariant::kReference:
       gemm_reference(opa, opb, alpha, a, b, beta, c);
@@ -172,47 +488,92 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
     case GemmVariant::kBlocked:
       gemm_blocked(opa, opb, alpha, a, b, beta, c, /*parallel=*/false);
       break;
+    case GemmVariant::kSplit:
+      gemm_split(opa, opb, alpha, a, b, beta, c, /*parallel=*/false);
+      break;
     case GemmVariant::kParallel:
-      gemm_blocked(opa, opb, alpha, a, b, beta, c, /*parallel=*/true);
+    case GemmVariant::kAuto:  // unreachable: resolved above
+      gemm_split(opa, opb, alpha, a, b, beta, c, /*parallel=*/true);
       break;
   }
   if (flops != nullptr)
     flops->add(static_cast<std::uint64_t>(flop_model::zgemm(m, n, ka)));
 }
 
+void zherk_update(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
+                  GemmVariant variant, FlopCounter* flops) {
+  const idx p = a.rows();
+  const idx n = a.cols();
+  XGW_REQUIRE(b.rows() == p && b.cols() == n,
+              "zherk_update: A and B must have identical shape");
+  XGW_REQUIRE(c.rows() == n && c.cols() == n,
+              "zherk_update: C must be n x n");
+
+  if (variant == GemmVariant::kAuto) variant = resolve_auto(n, n, p);
+  if (variant == GemmVariant::kReference) {
+    herk_reference(a, b, c);
+  } else {
+    herk_split(a, b, c, /*parallel=*/variant == GemmVariant::kParallel);
+  }
+
+  // Mirror: the product is Hermitian by contract, so the lower triangle is
+  // the conjugate of the accumulated upper one and the diagonal is real.
+  for (idx i = 0; i < n; ++i) {
+    c(i, i) = cplx{c(i, i).real(), 0.0};
+    for (idx j = i + 1; j < n; ++j) c(j, i) = std::conj(c(i, j));
+  }
+
+  if (flops != nullptr)
+    flops->add(static_cast<std::uint64_t>(flop_model::zherk(n, p)));
+}
+
 void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
-           cplx beta, std::vector<cplx>& y) {
+           cplx beta, std::vector<cplx>& y, FlopCounter* flops) {
   const auto [m, k] = op_shape(opa, a);
   XGW_REQUIRE(static_cast<idx>(x.size()) == k, "zgemv: x size mismatch");
   XGW_REQUIRE(static_cast<idx>(y.size()) == m, "zgemv: y size mismatch");
 
   if (opa == Op::kNone) {
-    for (idx i = 0; i < m; ++i) {
+    auto row_dot = [&](idx i) {
       cplx acc{};
       const cplx* arow = a.row(i);
-      for (idx l = 0; l < k; ++l) acc += arow[l] * x[l];
+      for (idx l = 0; l < k; ++l) acc += arow[l] * x[static_cast<std::size_t>(l)];
       y[static_cast<std::size_t>(i)] =
           alpha * acc + beta * y[static_cast<std::size_t>(i)];
-    }
-    return;
-  }
-
-  // Transposed cases: accumulate columns to keep row-major access contiguous.
-  std::vector<cplx> acc(static_cast<std::size_t>(m), cplx{});
-  for (idx l = 0; l < k; ++l) {
-    const cplx* arow = a.row(l);
-    const cplx xl = x[static_cast<std::size_t>(l)];
-    if (opa == Op::kTrans) {
-      for (idx i = 0; i < m; ++i) acc[static_cast<std::size_t>(i)] += arow[i] * xl;
+    };
+    // Rows are independent: parallelize when the matrix is large enough to
+    // amortize the team (m*k complex MACs, 8 FLOPs each).
+    constexpr idx kGemvParallelWork = 1 << 15;
+    if (should_parallelize(m * k >= kGemvParallelWork, m)) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) num_threads(xgw_num_threads())
+      for (idx i = 0; i < m; ++i) row_dot(i);
+#endif
     } else {
-      for (idx i = 0; i < m; ++i)
-        acc[static_cast<std::size_t>(i)] += std::conj(arow[i]) * xl;
+      for (idx i = 0; i < m; ++i) row_dot(i);
+    }
+  } else {
+    // Transposed cases: accumulate columns to keep row-major access
+    // contiguous.
+    std::vector<cplx> acc(static_cast<std::size_t>(m), cplx{});
+    for (idx l = 0; l < k; ++l) {
+      const cplx* arow = a.row(l);
+      const cplx xl = x[static_cast<std::size_t>(l)];
+      if (opa == Op::kTrans) {
+        for (idx i = 0; i < m; ++i)
+          acc[static_cast<std::size_t>(i)] += arow[i] * xl;
+      } else {
+        for (idx i = 0; i < m; ++i)
+          acc[static_cast<std::size_t>(i)] += std::conj(arow[i]) * xl;
+      }
+    }
+    for (idx i = 0; i < m; ++i) {
+      auto& yi = y[static_cast<std::size_t>(i)];
+      yi = alpha * acc[static_cast<std::size_t>(i)] + beta * yi;
     }
   }
-  for (idx i = 0; i < m; ++i) {
-    auto& yi = y[static_cast<std::size_t>(i)];
-    yi = alpha * acc[static_cast<std::size_t>(i)] + beta * yi;
-  }
+  if (flops != nullptr)
+    flops->add(static_cast<std::uint64_t>(flop_model::zgemv(m, k)));
 }
 
 }  // namespace xgw

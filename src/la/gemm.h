@@ -1,6 +1,7 @@
 #pragma once
 
-// Complex double-precision GEMM (ZGEMM) and GEMV, implemented from scratch.
+// Complex double-precision GEMM (ZGEMM), GEMV and Hermitian rank-k (ZHERK)
+// updates, implemented from scratch.
 //
 // The paper's off-diagonal GPP kernel (Sec. 5.6) derives its performance from
 // recasting the self-energy contraction into ZGEMM calls, and its Tensile
@@ -9,10 +10,21 @@
 // GPUs, mapped to CPU equivalents:
 //
 //   kReference  — canonical triple loop; correctness baseline.
-//   kBlocked    — cache-tiled with operand packing ("shared-memory staging"
-//                 on GPU == pack-to-L1/L2 tiles on CPU), axpy micro-kernel,
-//                 unrolled; single-threaded.
-//   kParallel   — kBlocked with OpenMP over row panels (default).
+//   kBlocked    — cache-tiled with interleaved-complex operand packing
+//                 ("shared-memory staging" on GPU == pack-to-L1/L2 tiles on
+//                 CPU), axpy micro-kernel, unrolled; single-threaded.
+//   kSplit      — cache-tiled with SPLIT-COMPLEX (planar) packing: A/B tiles
+//                 are unpacked into separate re/im planes so the inner loop
+//                 is four independent real FMA streams the compiler
+//                 auto-vectorizes (no complex-multiply shuffle traffic);
+//                 single-threaded.
+//   kParallel   — the split-complex engine with OpenMP over row panels; the
+//                 packed-B panel is shared by the whole team and packed only
+//                 once per (j0, l0) tile column (default for large problems).
+//   kAuto       — shape-based dispatch: reference below a small-matrix
+//                 cutoff, split single-threaded for mid sizes or when called
+//                 from inside an active parallel region (nested-call
+//                 safety), parallel split for large problems.
 //
 // All variants support op(A), op(B) in {none, transpose, conjugate-transpose}
 // and are validated against each other by parameterized tests.
@@ -24,20 +36,49 @@ namespace xgw {
 
 enum class Op { kNone, kTrans, kConjTrans };
 
-enum class GemmVariant { kReference, kBlocked, kParallel };
+enum class GemmVariant { kReference, kBlocked, kSplit, kParallel, kAuto };
 
 /// C = alpha * op(A) * op(B) + beta * C.
 /// Shapes: op(A) is m x k, op(B) is k x n, C is m x n (checked).
 /// If `flops` is non-null the canonical 8*m*n*k count is added to it.
 void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
-           cplx beta, ZMatrix& c, GemmVariant variant = GemmVariant::kParallel,
+           cplx beta, ZMatrix& c, GemmVariant variant = GemmVariant::kAuto,
            FlopCounter* flops = nullptr);
 
-/// y = alpha * op(A) * x + beta * y.
+/// Hermitian rank-k accumulation: C += A^H * B, where B = diag(w) * A for
+/// REAL weights w so that the product is Hermitian (the CHI-Freq update
+/// chi(omega) += M^H diag(Delta) M on the static / imaginary-frequency
+/// axis). Only the upper triangle is computed — half the FLOPs of the
+/// general zgemm — and the lower triangle is mirrored by conjugation, so C
+/// is exactly Hermitian on exit (the diagonal is forced real).
+/// Shapes: A, B are p x n; C is n x n (checked). Counts 4*n*(n+1)*p FLOPs.
+void zherk_update(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
+                  GemmVariant variant = GemmVariant::kAuto,
+                  FlopCounter* flops = nullptr);
+
+/// y = alpha * op(A) * x + beta * y. The Op::kNone path parallelizes over
+/// rows for large m*k; `flops` (if non-null) accumulates 8*m*k.
 void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
-           cplx beta, std::vector<cplx>& y);
+           cplx beta, std::vector<cplx>& y, FlopCounter* flops = nullptr);
 
 /// Returns op(A) dimensions (rows, cols) for shape checking.
 std::pair<idx, idx> op_shape(Op op, const ZMatrix& a);
+
+/// Cache-tile sizes of the blocked/split engines (MC x KC A panels,
+/// KC x NC B panels), exported for the roofline model in perf/.
+struct GemmTiling {
+  idx mc, kc, nc;
+};
+GemmTiling gemm_tiling();
+
+/// True when called from inside an ACTIVE OpenMP parallel region (team
+/// size > 1); false in serial builds. Kernels that spawn teams use this to
+/// degrade to their serial variant instead of oversubscribing.
+bool in_parallel_region();
+
+/// Thread budget for xgw's own parallel kernels: XGW_NUM_THREADS when set
+/// to a positive integer (read once), otherwise the OpenMP default
+/// (omp_get_max_threads()); 1 in serial builds.
+int xgw_num_threads();
 
 }  // namespace xgw

@@ -1,6 +1,10 @@
 #include "perf/progmodel.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.h"
+#include "la/gemm.h"
 
 namespace xgw {
 
@@ -87,6 +91,33 @@ double prog_model_factor(MachineKind machine, ProgModel model,
     }
   }
   return kInf;
+}
+
+KernelRoofline split_gemm_roofline(double peak_flops, double mem_bandwidth,
+                                   idx k, idx b_reuse) {
+  XGW_REQUIRE(peak_flops > 0.0 && mem_bandwidth > 0.0 && k > 0,
+              "split_gemm_roofline: peak, bandwidth, k must be positive");
+  XGW_REQUIRE(b_reuse >= 1, "split_gemm_roofline: b_reuse must be >= 1");
+  const GemmTiling t = gemm_tiling();
+  const double mc = static_cast<double>(t.mc);
+  const double nc = static_cast<double>(t.nc);
+  const double kd = static_cast<double>(k);
+  const double k_blocks = std::ceil(kd / static_cast<double>(t.kc));
+
+  // FLOPs for one (MC x NC) C tile over the full K sweep.
+  const double flops = 8.0 * mc * nc * kd;
+  // Main-memory traffic (bytes, 16 per complex double): A panel streamed,
+  // packed-B panel amortized over b_reuse row panels, C tile read+written
+  // once per K block (the split engine's l0-outer accumulation).
+  const double bytes = 16.0 * (mc * kd + kd * nc / static_cast<double>(b_reuse) +
+                               2.0 * mc * nc * k_blocks);
+
+  KernelRoofline r;
+  r.arithmetic_intensity = flops / bytes;
+  r.attainable_flops =
+      std::min(peak_flops, r.arithmetic_intensity * mem_bandwidth);
+  r.compute_bound = r.arithmetic_intensity * mem_bandwidth >= peak_flops;
+  return r;
 }
 
 }  // namespace xgw

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "core/chi.h"
 #include "core/coulomb.h"
 #include "mf/hamiltonian.h"
@@ -79,6 +83,43 @@ TEST_F(ChiMultiFixture, ImaginaryAxisZeroEqualsStatic) {
   const auto a = chi_multi(*mtxel, *wf, zero, im);
   const auto b = chi_multi(*mtxel, *wf, zero, st);
   EXPECT_LT(max_abs_diff(a[0], b[0]), 1e-12);
+}
+
+#ifdef _OPENMP
+TEST_F(ChiMultiFixture, BitwiseInvariantAcrossThreadCounts) {
+  // Each frequency is owned by exactly one thread and accumulates its
+  // valence blocks in the same serial order regardless of team size, so
+  // the result must not move at all with OMP_NUM_THREADS.
+  ChiOptions opt;
+  opt.imaginary_axis = true;
+  const std::vector<double> omegas{0.0, 0.2, 0.7, 1.5, 3.0};
+
+  const int prev = omp_get_max_threads();
+  omp_set_num_threads(1);
+  const auto serial = chi_multi(*mtxel, *wf, omegas, opt);
+  omp_set_num_threads(4);
+  const auto parallel = chi_multi(*mtxel, *wf, omegas, opt);
+  omp_set_num_threads(prev);
+
+  for (std::size_t k = 0; k < omegas.size(); ++k)
+    EXPECT_EQ(max_abs_diff(serial[k], parallel[k]), 0.0) << "freq " << k;
+}
+#endif
+
+TEST_F(ChiMultiFixture, HermitianPathConsistentAcrossGemmVariants) {
+  // Static / imaginary-axis weights are real, so chi routes through
+  // zherk_update for every variant; the scalar reference triangle and the
+  // split-complex packed engine must agree to roundoff.
+  ChiOptions ref;
+  ref.imaginary_axis = true;
+  ref.gemm = GemmVariant::kReference;
+  ChiOptions par = ref;
+  par.gemm = GemmVariant::kParallel;
+  const std::vector<double> omegas{0.0, 0.4, 2.0};
+  const auto a = chi_multi(*mtxel, *wf, omegas, ref);
+  const auto b = chi_multi(*mtxel, *wf, omegas, par);
+  for (std::size_t k = 0; k < omegas.size(); ++k)
+    EXPECT_LT(max_abs_diff(a[k], b[k]), 1e-11) << "freq " << k;
 }
 
 TEST_F(ChiMultiFixture, PerFrequencyHeads) {

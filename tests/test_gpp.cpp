@@ -7,6 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/rng.h"
 #include "test_helpers.h"
 
@@ -82,6 +86,42 @@ TEST(GppKernel, OptimizedMatchesReference) {
     }
   }
 }
+
+#ifdef _OPENMP
+TEST(GppKernel, OptimizedIsBitwiseInvariantAcrossThreadCounts) {
+  // The two-stage reduction partitions G' into a fixed chunk grid and
+  // reduces partials in chunk-index order, so the self-energy must be
+  // bitwise identical for any thread count.
+  GwCalculation& gw = si_prim_gw();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const GppDiagKernel kernel(gw.gpp(), gw.coulomb());
+  const idx l = gw.n_valence();
+  const ZMatrix m_ln = gw.m_matrix_left(l);
+  const double e0 = wf.energy[static_cast<std::size_t>(l)];
+  const std::vector<double> evals{e0 - 0.1, e0, e0 + 0.1};
+
+  const int prev = omp_get_max_threads();
+  std::vector<std::vector<SigmaParts>> runs;
+  for (int nt : {1, 2, 4}) {
+    omp_set_num_threads(nt);
+    std::vector<SigmaParts> out;
+    kernel.compute(m_ln, wf.energy, wf.n_valence, evals, out,
+                   GppKernelVariant::kOptimized);
+    runs.push_back(std::move(out));
+  }
+  omp_set_num_threads(prev);
+
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i].sx.real(), runs[0][i].sx.real()) << "E " << i;
+      EXPECT_EQ(runs[r][i].sx.imag(), runs[0][i].sx.imag()) << "E " << i;
+      EXPECT_EQ(runs[r][i].ch.real(), runs[0][i].ch.real()) << "E " << i;
+      EXPECT_EQ(runs[r][i].ch.imag(), runs[0][i].ch.imag()) << "E " << i;
+    }
+  }
+}
+#endif
 
 TEST(GppKernel, GprimeSliceDecomposition) {
   // Summing rank-slices of the G' loop (the Nbar_G' distribution of

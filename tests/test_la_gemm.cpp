@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "la/gemm.h"
@@ -38,18 +40,28 @@ TEST_P(GemmShapes, BlockedMatchesReferenceAllOps) {
       const ZMatrix b = (opb == Op::kNone) ? random_matrix(k, n, rng)
                                            : random_matrix(n, k, rng);
       ZMatrix c0 = random_matrix(m, n, rng);
-      ZMatrix c1 = c0, c2 = c0;
+      ZMatrix c1 = c0, c2 = c0, c3 = c0, c4 = c0;
 
       const cplx alpha{1.3, -0.4}, beta{0.2, 0.7};
       zgemm(opa, opb, alpha, a, b, beta, c0, GemmVariant::kReference);
       zgemm(opa, opb, alpha, a, b, beta, c1, GemmVariant::kBlocked);
       zgemm(opa, opb, alpha, a, b, beta, c2, GemmVariant::kParallel);
+      zgemm(opa, opb, alpha, a, b, beta, c3, GemmVariant::kSplit);
+      zgemm(opa, opb, alpha, a, b, beta, c4, GemmVariant::kAuto);
 
-      EXPECT_LT(max_abs_diff(c0, c1), 1e-11 * static_cast<double>(k + 1))
+      const double tol = 1e-11 * static_cast<double>(k + 1);
+      EXPECT_LT(max_abs_diff(c0, c1), tol)
           << "blocked mismatch at opa=" << static_cast<int>(opa)
           << " opb=" << static_cast<int>(opb);
-      EXPECT_LT(max_abs_diff(c0, c2), 1e-11 * static_cast<double>(k + 1))
-          << "parallel mismatch";
+      EXPECT_LT(max_abs_diff(c0, c2), tol) << "parallel mismatch";
+      EXPECT_LT(max_abs_diff(c0, c3), tol)
+          << "split mismatch at opa=" << static_cast<int>(opa)
+          << " opb=" << static_cast<int>(opb);
+      EXPECT_LT(max_abs_diff(c0, c4), tol) << "auto mismatch";
+      // The split engine's k-block accumulation order is fixed, so the
+      // serial and team-parallel drivers must agree bitwise.
+      EXPECT_EQ(max_abs_diff(c2, c3), 0.0)
+          << "split serial/parallel not bitwise-equal";
     }
   }
 }
@@ -59,7 +71,11 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Shape{1, 1, 1}, Shape{2, 3, 4}, Shape{7, 5, 9},
                       Shape{16, 16, 16}, Shape{65, 33, 129},
                       Shape{70, 260, 140}, Shape{128, 1, 64},
-                      Shape{1, 300, 5}));
+                      Shape{1, 300, 5},
+                      // K-block remainder tails and prime dims for the
+                      // split-complex packing paths.
+                      Shape{130, 70, 257}, Shape{31, 67, 131},
+                      Shape{64, 256, 128}));
 
 TEST(Gemm, BetaZeroOverwritesNanFreeEvenFromGarbage) {
   // beta = 0 must not propagate pre-existing NaN/Inf in C.
@@ -106,6 +122,94 @@ TEST(Gemm, FlopCounterAccumulatesCanonicalCount) {
   EXPECT_EQ(fc.total(), static_cast<std::uint64_t>(8 * 10 * 20 * 30));
 }
 
+class ZherkShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ZherkShapes, MatchesZgemmAndIsHermitian) {
+  // C += A^H B with B = diag(w) A, w real => the update is Hermitian.
+  const auto [p, n, unused] = GetParam();
+  (void)unused;
+  Rng rng(41 + static_cast<std::uint64_t>(p * 100 + n));
+  const ZMatrix a = random_matrix(p, n, rng);
+  ZMatrix b(p, n);
+  for (idx i = 0; i < p; ++i) {
+    const double w = 0.1 + static_cast<double>(i % 7);
+    for (idx j = 0; j < n; ++j) b(i, j) = w * a(i, j);
+  }
+
+  // Start from a Hermitian C so the result stays Hermitian.
+  ZMatrix c0(n, n);
+  for (idx i = 0; i < n; ++i) {
+    c0(i, i) = cplx{static_cast<double>(i), 0.0};
+    for (idx j = i + 1; j < n; ++j) {
+      c0(i, j) = rng.normal_cplx();
+      c0(j, i) = std::conj(c0(i, j));
+    }
+  }
+  ZMatrix c1 = c0, c2 = c0;
+
+  zgemm(Op::kConjTrans, Op::kNone, cplx{1, 0}, a, b, cplx{1, 0}, c0,
+        GemmVariant::kReference);
+  zherk_update(a, b, c1, GemmVariant::kSplit);
+  zherk_update(a, b, c2, GemmVariant::kAuto);
+
+  const double tol = 1e-11 * static_cast<double>(p + 1);
+  EXPECT_LT(max_abs_diff(c0, c1), tol) << "zherk(split) vs zgemm";
+  EXPECT_LT(max_abs_diff(c0, c2), tol) << "zherk(auto) vs zgemm";
+  for (idx i = 0; i < n; ++i) {
+    EXPECT_EQ(c1(i, i).imag(), 0.0) << "diagonal must be exactly real";
+    for (idx j = i + 1; j < n; ++j)
+      EXPECT_EQ(c1(j, i), std::conj(c1(i, j)))
+          << "mirror must be exact at (" << i << "," << j << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZherkShapes,
+    ::testing::Values(Shape{1, 1, 0}, Shape{5, 3, 0}, Shape{33, 65, 0},
+                      Shape{129, 64, 0}, Shape{70, 131, 0},
+                      Shape{257, 90, 0}));
+
+TEST(Zherk, FlopCounterUsesHermitianModel) {
+  Rng rng(43);
+  const ZMatrix a = random_matrix(12, 10, rng);
+  const ZMatrix b = a;
+  ZMatrix c(10, 10);
+  FlopCounter fc;
+  zherk_update(a, b, c, GemmVariant::kSplit, &fc);
+  EXPECT_EQ(fc.total(),
+            static_cast<std::uint64_t>(flop_model::zherk(10, 12)));
+}
+
+TEST(Zherk, ShapeMismatchThrows) {
+  ZMatrix a(5, 4), b(6, 4), c(4, 4);
+  EXPECT_THROW(zherk_update(a, b, c), Error);
+  ZMatrix b2(5, 4), cbad(4, 5);
+  EXPECT_THROW(zherk_update(a, b2, cbad), Error);
+}
+
+#ifdef _OPENMP
+TEST(Gemm, NestedCallInsideParallelRegionStaysCorrect) {
+  // Each thread issues its own kParallel/kAuto GEMM; in_parallel_region()
+  // must degrade them to the serial split driver, not oversubscribe or race.
+  Rng rng(59);
+  const idx m = 40, n = 36, k = 70;
+  const ZMatrix a = random_matrix(m, k, rng);
+  const ZMatrix b = random_matrix(k, n, rng);
+  ZMatrix cref(m, n);
+  zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, cref,
+        GemmVariant::kReference);
+
+  std::vector<ZMatrix> cs(4, ZMatrix(m, n));
+#pragma omp parallel for num_threads(4)
+  for (int t = 0; t < 4; ++t)
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, cs[static_cast<std::size_t>(t)],
+          t % 2 == 0 ? GemmVariant::kParallel : GemmVariant::kAuto);
+
+  for (const ZMatrix& c : cs)
+    EXPECT_LT(max_abs_diff(c, cref), 1e-11 * static_cast<double>(k + 1));
+}
+#endif
+
 TEST(Gemv, MatchesGemmColumn) {
   Rng rng(21);
   const ZMatrix a = random_matrix(12, 9, rng);
@@ -135,6 +239,38 @@ TEST(Gemv, SizeMismatchThrows) {
   ZMatrix a(3, 4);
   std::vector<cplx> x(3), y(3);
   EXPECT_THROW(zgemv(Op::kNone, cplx{1, 0}, a, x, cplx{}, y), Error);
+}
+
+TEST(Gemv, FlopCounterUsesGemvModel) {
+  Rng rng(23);
+  const ZMatrix a = random_matrix(14, 11, rng);
+  std::vector<cplx> x(11), y(14);
+  for (auto& v : x) v = rng.normal_cplx();
+  FlopCounter fc;
+  zgemv(Op::kNone, cplx{1, 0}, a, x, cplx{}, y, &fc);
+  EXPECT_EQ(fc.total(), static_cast<std::uint64_t>(flop_model::zgemv(14, 11)));
+}
+
+TEST(Gemv, LargeOpNoneTakesRowParallelPathAndMatchesReference) {
+  // m*k above the parallel threshold: exercises the omp-for row loop.
+  Rng rng(29);
+  const idx m = 700, k = 64;
+  const ZMatrix a = random_matrix(m, k, rng);
+  std::vector<cplx> x(static_cast<std::size_t>(k));
+  for (auto& v : x) v = rng.normal_cplx();
+  std::vector<cplx> y(static_cast<std::size_t>(m), cplx{1.0, -1.0});
+
+  ZMatrix xm(k, 1);
+  for (idx i = 0; i < k; ++i) xm(i, 0) = x[static_cast<std::size_t>(i)];
+  ZMatrix ym(m, 1, cplx{1.0, -1.0});
+  const cplx alpha{0.9, 0.2}, beta{0.4, -0.6};
+  zgemm(Op::kNone, Op::kNone, alpha, a, xm, beta, ym, GemmVariant::kReference);
+
+  zgemv(Op::kNone, alpha, a, x, beta, y);
+  double dmax = 0.0;
+  for (idx i = 0; i < m; ++i)
+    dmax = std::max(dmax, std::abs(y[static_cast<std::size_t>(i)] - ym(i, 0)));
+  EXPECT_LT(dmax, 1e-11);
 }
 
 }  // namespace
