@@ -16,6 +16,8 @@
 #include "la/gemm.h"
 #include "mf/epm.h"
 #include "mf/solver.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace xgw {
 namespace {
@@ -105,6 +107,32 @@ void BM_ZgemmParallel(benchmark::State& state) {
                           static_cast<std::int64_t>(8 * n * n * n));
 }
 BENCHMARK(BM_ZgemmParallel)->Arg(128)->Arg(256)->Arg(512);
+
+// Overhead of a disabled obs::Span: one relaxed atomic load + branch. The
+// acceptance bar is <1% on a real kernel — compare BM_ZgemmSplit/128
+// against BM_ZgemmSplitSpanned/128 (identical work, span per call).
+void BM_SpanDisabled(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span("bench_disabled", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_ZgemmSplitSpanned(benchmark::State& state) {
+  const idx n = state.range(0);
+  const ZMatrix a = random_matrix(n, n, 1);
+  const ZMatrix b = random_matrix(n, n, 2);
+  ZMatrix c(n, n);
+  for (auto _ : state) {
+    obs::Span span("bench_zgemm", "bench");
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+          GemmVariant::kSplit);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(8 * n * n * n));
+}
+BENCHMARK(BM_ZgemmSplitSpanned)->Arg(128);
 
 void BM_Fft1d(benchmark::State& state) {
   const idx n = state.range(0);
@@ -236,12 +264,48 @@ void emit_kernel_json() {
     return sw.elapsed() / iters;
   };
 
+  // Disabled-recorder span overhead on a real kernel (acceptance: <1%).
+  // Measured before the recorder is enabled below, so the span body takes
+  // its cheap path: one relaxed atomic load + branch.
+  {
+    const idx n = 128;
+    const ZMatrix a = random_matrix(n, n, 1);
+    const ZMatrix b = random_matrix(n, n, 2);
+    ZMatrix c(n, n);
+    const double bare = time_loop([&] {
+      zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+            GemmVariant::kSplit);
+    });
+    const double spanned = time_loop([&] {
+      obs::Span span("bench_zgemm", "bench");
+      zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
+            GemmVariant::kSplit);
+    });
+    const double overhead_pct = (spanned - bare) / bare * 100.0;
+    json.record()
+        .field("kernel", "span_overhead_disabled")
+        .field("n", static_cast<long long>(n))
+        .field("bare_s", bare)
+        .field("spanned_s", spanned)
+        .field("overhead_pct", overhead_pct);
+    std::printf("disabled-span overhead on zgemm(%lld): %.3f%%\n",
+                static_cast<long long>(n), overhead_pct);
+  }
+
+  // The GFLOP/s sweep runs with the recorder on at kernel detail: one span
+  // per (variant, n) point, so BENCH_kernels_report.json carries per-point
+  // seconds + attributed FLOPs.
+  obs::recorder().enable(obs::detail_level::kKernel);
+
   for (const VariantRow& vr : variants) {
     for (idx n : {128, 256, 512}) {
       if (n > vr.max_n) continue;
       const ZMatrix a = random_matrix(n, n, 1);
       const ZMatrix b = random_matrix(n, n, 2);
       ZMatrix c(n, n);
+      const std::string point =
+          std::string("zgemm:") + vr.name + ":" + std::to_string(n);
+      obs::Span span(point.c_str(), "bench");
       const double sec = time_loop([&] {
         zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c, vr.v);
       });
@@ -264,6 +328,8 @@ void emit_kernel_json() {
     const ZMatrix a = random_matrix(n, n, 1);
     const ZMatrix b = random_matrix(n, n, 2);
     ZMatrix c(n, n);
+    const std::string point = "zherk:split:" + std::to_string(n);
+    obs::Span span(point.c_str(), "bench");
     const double sec = time_loop([&] {
       c.fill(cplx{});
       zherk_update(a, b, c, GemmVariant::kSplit);
@@ -280,9 +346,12 @@ void emit_kernel_json() {
     table.row({"zherk", "split", bench::fmt_int(n), bench::fmt(gflops)});
   }
 
+  obs::recorder().disable();
+
   bench::section("GEMM engine GFLOP/s (BENCH_kernels.json)");
   table.print();
   json.write("BENCH_kernels.json");
+  bench::write_run_report("kernels_micro", "BENCH_kernels_report.json");
 }
 
 }  // namespace

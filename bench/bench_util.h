@@ -9,6 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
 namespace xgw::bench {
 
 /// Fixed-width table printer.
@@ -102,7 +106,7 @@ class JsonRecords {
   }
 
   JsonRecords& field(const std::string& key, const std::string& v) {
-    records_.back().emplace_back(key, quote(v));
+    records_.back().emplace_back(key, obs::json::quote(v));
     return *this;
   }
   JsonRecords& field(const std::string& key, const char* v) {
@@ -128,12 +132,12 @@ class JsonRecords {
       return false;
     }
     std::fprintf(f, "{\n  \"bench\": %s,\n  \"records\": [\n",
-                 quote(bench_name_).c_str());
+                 obs::json::quote(bench_name_).c_str());
     for (std::size_t r = 0; r < records_.size(); ++r) {
       std::fprintf(f, "    {");
       for (std::size_t i = 0; i < records_[r].size(); ++i)
         std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
-                     quote(records_[r][i].first).c_str(),
+                     obs::json::quote(records_[r][i].first).c_str(),
                      records_[r][i].second.c_str());
       std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
     }
@@ -144,18 +148,27 @@ class JsonRecords {
   }
 
  private:
-  static std::string quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
-
   std::string bench_name_;
   std::vector<std::vector<std::pair<std::string, std::string>>> records_;
 };
+
+/// Builds a RunReportDoc from the global trace recorder (the bench must
+/// have run with the recorder enabled) and writes it next to the bench's
+/// BENCH_*.json records. Returns false and warns on I/O failure, matching
+/// JsonRecords::write.
+inline bool write_run_report(const std::string& bench_name,
+                             const std::string& path,
+                             double peak_gflops = 0.0,
+                             double mem_bandwidth_gbs = 0.0) {
+  const obs::RunReportDoc doc =
+      obs::build_run_report(obs::recorder(), bench_name, bench_name,
+                            peak_gflops, mem_bandwidth_gbs);
+  if (!doc.write(path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu stages)\n", path.c_str(), doc.stages.size());
+  return true;
+}
 
 }  // namespace xgw::bench

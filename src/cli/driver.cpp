@@ -15,7 +15,13 @@
 #include "gwpt/gwpt.h"
 #include "gwpt/phonons.h"
 #include "io/binio.h"
+#include "la/gemm.h"
 #include "mf/bandstructure.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "perf/progmodel.h"
 #include "pseudobands/pseudobands.h"
 
 namespace xgw {
@@ -30,6 +36,8 @@ const std::vector<std::string>& known_input_keys() {
       "bse_ncond",   "output_wfn",   "input_wfn",    "output_epsmat",
       "evgw_max_iter", "evgw_mixing", "rpa_n_freq",  "band_segments",
       "vacuum",      "checkpoint",   "checkpoint_every",
+      "trace",       "trace_detail", "metrics",      "run_report",
+      "peak_gflops", "mem_gbps",
   };
   return keys;
 }
@@ -316,10 +324,8 @@ int job_phonons(const InputFile& in, std::ostream& os) {
   return 0;
 }
 
-}  // namespace
-
-int run_job(const InputFile& in, std::ostream& os) {
-  const std::string job = in.require_string("job");
+int dispatch_job(const std::string& job, const InputFile& in,
+                 std::ostream& os) {
   if (job == "bands") return job_bands(in, os);
   if (job == "epsilon") return job_epsilon(in, os);
   if (job == "sigma") return job_sigma(in, os);
@@ -333,6 +339,77 @@ int run_job(const InputFile& in, std::ostream& os) {
   if (job == "phonons") return job_phonons(in, os);
   XGW_REQUIRE(false, "unknown job '" + job + "'");
   return 1;
+}
+
+/// Canonical text form of the parsed input (sorted keys) — what the run
+/// report's config hash is computed over, so two inputs that parse to the
+/// same configuration hash identically regardless of formatting.
+std::string canonical_config(const InputFile& in) {
+  std::string cfg;
+  for (const auto& [k, v] : in.entries()) {
+    cfg += k;
+    cfg += ' ';
+    cfg += v;
+    cfg += '\n';
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int run_job(const InputFile& in, std::ostream& os) {
+  const std::string job = in.require_string("job");
+
+  const std::string trace_path = in.get_string("trace", "");
+  const std::string metrics_path = in.get_string("metrics", "");
+  const std::string report_path = in.get_string("run_report", "");
+  const bool observe = !trace_path.empty() || !report_path.empty();
+  if (observe) {
+    const idx detail = in.get_int("trace_detail", obs::detail_level::kKernel);
+    XGW_REQUIRE(detail >= obs::detail_level::kStage &&
+                    detail <= obs::detail_level::kFine,
+                "trace_detail must be 1 (stage), 2 (kernel) or 3 (fine)");
+    obs::recorder().enable(static_cast<int>(detail));
+  }
+
+  int rc;
+  {
+    const std::string stage = "job:" + job;
+    obs::Span span(stage.c_str(), "stage", obs::detail_level::kStage);
+    rc = dispatch_job(job, in, os);
+  }
+
+  if (observe) {
+    obs::recorder().disable();
+    os << obs::recorder().breakdown();
+  }
+  if (!trace_path.empty()) {
+    XGW_REQUIRE(obs::recorder().write_chrome_trace(trace_path),
+                "run_job: cannot write trace to " + trace_path);
+    os << "trace_written " << trace_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    XGW_REQUIRE(obs::metrics().write_json(metrics_path),
+                "run_job: cannot write metrics to " + metrics_path);
+    os << "metrics_written " << metrics_path << "\n";
+  }
+  if (!report_path.empty()) {
+    const double peak = in.get_double("peak_gflops", 0.0);
+    const double bw = in.get_double("mem_gbps", 0.0);
+    obs::RunReportDoc doc = obs::build_run_report(
+        obs::recorder(), job, canonical_config(in), peak, bw);
+    if (peak > 0.0 && bw > 0.0) {
+      // Stamp the packed split-GEMM engine ceiling (K = one KC block with
+      // the default panel reuse) next to the measured stage rates.
+      const KernelRoofline kr =
+          split_gemm_roofline(peak * 1e9, bw * 1e9, gemm_tiling().kc);
+      doc.split_gemm_roofline_gflops = kr.attainable_flops / 1e9;
+    }
+    XGW_REQUIRE(doc.write(report_path),
+                "run_job: cannot write run report to " + report_path);
+    os << "run_report_written " << report_path << "\n";
+  }
+  return rc;
 }
 
 }  // namespace xgw

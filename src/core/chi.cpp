@@ -8,6 +8,7 @@
 #include "core/coulomb.h"
 #include "la/eig.h"
 #include "mf/velocity.h"
+#include "obs/span.h"
 
 namespace xgw {
 
@@ -51,6 +52,15 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
     XGW_REQUIRE(project->rows() == ng, "chi: subspace basis shape mismatch");
 
   const idx nfreq = static_cast<idx>(omegas.size());
+
+  obs::Span span("chi_multi", "chi");
+  if (span.active()) {
+    span.arg("n_freq", static_cast<long long>(nfreq));
+    span.arg("n_cols", static_cast<long long>(ncols));
+    span.arg("subspace", project ? "yes" : "no");
+    span.add_items(static_cast<std::uint64_t>(nfreq));
+  }
+
   std::vector<ZMatrix> chi(static_cast<std::size_t>(nfreq));
   for (auto& c : chi) c = ZMatrix(ncols, ncols);
 

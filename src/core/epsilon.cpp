@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "common/validate.h"
 #include "la/gemm.h"
+#include "obs/span.h"
 #include "runtime/checkpoint.h"
 
 namespace xgw {
@@ -27,6 +28,8 @@ ZMatrix epsilon_matrix(const ZMatrix& chi, const CoulombPotential& v) {
 }
 
 ZMatrix epsilon_inverse(const ZMatrix& chi, const CoulombPotential& v) {
+  obs::Span span("epsilon_inverse", "epsilon");
+  if (span.active()) span.arg("n_g", static_cast<long long>(chi.rows()));
   return invert(epsilon_matrix(chi, v));
 }
 
@@ -144,6 +147,12 @@ std::vector<ZMatrix> epsilon_inverse_multi(
   const idx nfreq = static_cast<idx>(omegas.size());
   const bool ckpt = !loop.checkpoint_path.empty();
   const std::uint64_t cfg = epsilon_config_hash(mtxel, wf, omegas);
+
+  obs::Span span("epsilon_inverse_multi", "epsilon", obs::detail_level::kStage);
+  if (span.active()) {
+    span.arg("n_freq", static_cast<long long>(nfreq));
+    span.arg("checkpointed", ckpt ? "yes" : "no");
+  }
 
   std::vector<ZMatrix> out;
   out.reserve(static_cast<std::size_t>(nfreq));

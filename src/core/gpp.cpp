@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "core/mtxel.h"
+#include "obs/span.h"
 
 namespace xgw {
 
@@ -250,6 +251,7 @@ void GppDiagKernel::compute(const ZMatrix& m_ln,
     out[static_cast<std::size_t>(ie)].sx = acc_sx;
     out[static_cast<std::size_t>(ie)].ch = acc_ch;
   }
+  obs::attribute_flops(local_flops);
   if (flops != nullptr) flops->add(local_flops);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace xgw {
 
@@ -73,6 +74,11 @@ void Mtxel::compute_left_fixed(idx m, std::span<const idx> n_list,
   XGW_REQUIRE(out.rows() == static_cast<idx>(n_list.size()) &&
                   out.cols() == n_g(),
               "Mtxel: output shape mismatch");
+  obs::Span span("mtxel_left_fixed", "mtxel", obs::detail_level::kFine);
+  if (span.active()) {
+    span.arg("band", static_cast<long long>(m));
+    span.add_items(static_cast<std::uint64_t>(n_list.size()));
+  }
   // Pin m in the cache by touching it first.
   (void)realspace(m);
   for (std::size_t i = 0; i < n_list.size(); ++i)

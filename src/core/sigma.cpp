@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/validate.h"
 #include "la/eig.h"
+#include "obs/span.h"
 #include "runtime/checkpoint.h"
 
 namespace xgw {
@@ -26,7 +27,7 @@ GwCalculation::GwCalculation(const EpmModel& model, const GwParameters& params)
 
 const Wavefunctions& GwCalculation::wavefunctions() const {
   if (!wf_) {
-    TimerRegistry::Scope scope(timers_, "parabands(dense)");
+    obs::Span scope(timers_,"parabands(dense)");
     wf_ = solve_dense(ham_, params_.n_bands);
     XGW_REQUIRE(wf_->n_valence >= 1, "GwCalculation: no occupied bands");
     XGW_REQUIRE(wf_->n_conduction() >= 1,
@@ -56,7 +57,7 @@ const Mtxel& GwCalculation::mtxel() const {
 
 const ZMatrix& GwCalculation::chi0() const {
   if (!chi0_) {
-    TimerRegistry::Scope scope(timers_, "chi_sum(static)");
+    obs::Span scope(timers_,"chi_sum(static)");
     ChiOptions opt;
     opt.eta = params_.eta;
     opt.nv_block = params_.nv_block;
@@ -74,7 +75,7 @@ const ZMatrix& GwCalculation::chi0() const {
 
 const ZMatrix& GwCalculation::epsinv0() const {
   if (!epsinv0_) {
-    TimerRegistry::Scope scope(timers_, "epsilon_inverse(0)");
+    obs::Span scope(timers_,"epsilon_inverse(0)");
     epsinv0_ = epsilon_inverse(chi0(), coulomb_);
   }
   return *epsinv0_;
@@ -82,7 +83,7 @@ const ZMatrix& GwCalculation::epsinv0() const {
 
 const GppModel& GwCalculation::gpp() const {
   if (!gpp_) {
-    TimerRegistry::Scope scope(timers_, "gpp_model");
+    obs::Span scope(timers_,"gpp_model");
     gpp_ = build_gpp_model(epsinv0(), coulomb_, eps_sphere_,
                            model_.crystal().lattice(), mtxel(),
                            wavefunctions());
@@ -161,7 +162,7 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
     XGW_REQUIRE(l >= 0 && l < wf.n_bands(), "sigma_diag: band out of range");
     ZMatrix m_ln;
     {
-      TimerRegistry::Scope scope(timers_, "sigma_mtxel");
+      obs::Span scope(timers_,"sigma_mtxel");
       m_ln = m_matrix_left(l);
     }
     // Corruption entering Sigma is caught at the kernel edge, not in the
@@ -177,7 +178,7 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
 
     std::vector<SigmaParts> parts;
     {
-      TimerRegistry::Scope scope(timers_, "gpp_diag_kernel");
+      obs::Span scope(timers_,"gpp_diag_kernel");
       kernel.compute(m_ln, wf.energy, wf.n_valence, e_vals, parts, variant,
                      flops);
     }
@@ -330,13 +331,13 @@ std::vector<ZMatrix> GwCalculation::sigma_offdiag(const std::vector<idx>& bands,
   // Assemble M blocks per internal band n (prep for the ZGEMM recast).
   std::vector<ZMatrix> m_all(static_cast<std::size_t>(wf.n_bands()));
   {
-    TimerRegistry::Scope scope(timers_, "sigma_mtxel");
+    obs::Span scope(timers_,"sigma_mtxel");
     for (idx n = 0; n < wf.n_bands(); ++n)
       m_all[static_cast<std::size_t>(n)] = m_matrix_right(bands, n);
   }
 
   const GppOffdiagKernel kernel(gpp(), coulomb_);
-  TimerRegistry::Scope scope(timers_, "gpp_offdiag_kernel");
+  obs::Span scope(timers_,"gpp_offdiag_kernel");
   return kernel.compute(m_all, wf.energy, wf.n_valence, e_grid_out, gemm,
                         flops);
 }

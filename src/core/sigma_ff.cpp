@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace xgw {
 
@@ -39,7 +40,7 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
   // every omega > 0 runs in the reduced basis (Sec. 5.2).
   std::optional<Subspace> sub;
   if (opt.n_eig > 0 || opt.subspace_fraction > 0.0) {
-    TimerRegistry::Scope scope(gw.timers(), "ff_subspace_build");
+    obs::Span scope(gw.timers(),"ff_subspace_build");
     sub = build_subspace(gw.chi0(), v, opt.n_eig, opt.subspace_fraction);
     scr.n_eig_used = sub->n_eig();
   }
@@ -62,8 +63,8 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
   // subspace projection) are paid once, not once per frequency.
   std::vector<ZMatrix> chis;
   {
-    TimerRegistry::Scope scope(
-        gw.timers(), sub ? "ff_chi_freq(subspace)" : "ff_chi_freq(full_pw)");
+    obs::Span scope(gw.timers(),
+                    sub ? "ff_chi_freq(subspace)" : "ff_chi_freq(full_pw)");
     chis = chi_multi(gw.mtxel(), wf, scr.omegas, copt,
                      sub ? &*sub : nullptr, heads);
   }
@@ -72,7 +73,7 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
   for (idx k = 0; k < opt.n_freq; ++k) {
     ZMatrix epsinv;
     {
-      TimerRegistry::Scope scope(gw.timers(), "ff_eps_inverse");
+      obs::Span scope(gw.timers(),"ff_eps_inverse");
       if (sub) {
         epsinv = epsilon_inverse_subspace(
                      *sub, chis[static_cast<std::size_t>(k)], v)
@@ -124,7 +125,7 @@ std::vector<FfResult> sigma_ff_diag(GwCalculation& gw, const FfScreening& scr,
     const double de_fd = 0.01;
     cplx sc[2] = {cplx{}, cplx{}};
     {
-      TimerRegistry::Scope scope(gw.timers(), "ff_sigma_kernel");
+      obs::Span scope(gw.timers(),"ff_sigma_kernel");
       std::vector<cplx> t(static_cast<std::size_t>(ng));
       for (idx n = 0; n < wf.n_bands(); ++n) {
         const cplx* mrow = m_ln.row(n);
@@ -188,7 +189,7 @@ std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
 
   ZMatrix mc(ns, ng), t(ns, ng), q(ns, ns);
 
-  TimerRegistry::Scope scope(gw.timers(), "ff_sigma_offdiag");
+  obs::Span scope(gw.timers(),"ff_sigma_offdiag");
   for (idx n = 0; n < wf.n_bands(); ++n) {
     const ZMatrix m_n = gw.m_matrix_right(bands, n);
     for (idx i = 0; i < ns; ++i)

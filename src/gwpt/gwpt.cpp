@@ -1,6 +1,7 @@
 #include "gwpt/gwpt.h"
 
 #include "common/error.h"
+#include "obs/span.h"
 
 namespace xgw {
 
@@ -38,7 +39,7 @@ GwptResult GwptCalculation::run_perturbation(const Perturbation& p,
   // DFPT stage: dV and d psi (sum over states on the dense band set).
   ZMatrix dv, dpsi;
   {
-    TimerRegistry::Scope scope(gw_.timers(), "gwpt_dfpt");
+    obs::Span scope(gw_.timers(),"gwpt_dfpt");
     dv = dv_matrix(gw_.hamiltonian().model(), gw_.psi_sphere(), p);
     dpsi = dpsi_sum_over_states(wf, dv, opt_.degen_tol);
   }
@@ -76,7 +77,7 @@ GwptResult GwptCalculation::run_perturbation(const Perturbation& p,
   std::vector<ZMatrix> m_all(static_cast<std::size_t>(wf.n_bands()));
   std::vector<ZMatrix> dm_all(static_cast<std::size_t>(wf.n_bands()));
   {
-    TimerRegistry::Scope scope(gw_.timers(), "gwpt_mtxel");
+    obs::Span scope(gw_.timers(),"gwpt_mtxel");
     for (idx n = 0; n < wf.n_bands(); ++n) {
       m_all[static_cast<std::size_t>(n)] = gw_.m_matrix_right(bands, n);
       dm_all[static_cast<std::size_t>(n)] = dm_matrix(bands, n, dpsi);
@@ -85,7 +86,7 @@ GwptResult GwptCalculation::run_perturbation(const Perturbation& p,
 
   // Eq. 5 contraction via the off-diag GPP kernel machinery.
   {
-    TimerRegistry::Scope scope(gw_.timers(), "gwpt_gpp_kernel");
+    obs::Span scope(gw_.timers(),"gwpt_gpp_kernel");
     const GppOffdiagKernel kernel(gw_.gpp(), gw_.coulomb());
     res.dsigma = kernel.compute_perturbed(m_all, dm_all, wf.energy,
                                           wf.n_valence, res.e_grid, opt_.gemm,

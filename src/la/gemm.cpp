@@ -7,7 +7,25 @@
 #include <omp.h>
 #endif
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace xgw {
+
+namespace {
+
+const char* variant_name(GemmVariant v) {
+  switch (v) {
+    case GemmVariant::kReference: return "reference";
+    case GemmVariant::kBlocked: return "blocked";
+    case GemmVariant::kSplit: return "split";
+    case GemmVariant::kParallel: return "parallel";
+    case GemmVariant::kAuto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::pair<idx, idx> op_shape(Op op, const ZMatrix& a) {
   if (op == Op::kNone) return {a.rows(), a.cols()};
@@ -481,6 +499,18 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
               "zgemm: C shape must be op(A).rows x op(B).cols");
 
   if (variant == GemmVariant::kAuto) variant = resolve_auto(m, n, ka);
+
+  obs::Span span("zgemm", "la", obs::detail_level::kFine);
+  if (span.active()) {
+    span.arg("m", static_cast<long long>(m));
+    span.arg("n", static_cast<long long>(n));
+    span.arg("k", static_cast<long long>(ka));
+    span.arg("variant", variant_name(variant));
+    // Packed-panel reuse: each of the m/kMC row panels is repacked once per
+    // (kKC x kNC) B tile it meets, so this is the split engine's A-reuse.
+    span.arg("row_panels", static_cast<long long>((m + kMC - 1) / kMC));
+  }
+
   switch (variant) {
     case GemmVariant::kReference:
       gemm_reference(opa, opb, alpha, a, b, beta, c);
@@ -496,8 +526,12 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
       gemm_split(opa, opb, alpha, a, b, beta, c, /*parallel=*/true);
       break;
   }
-  if (flops != nullptr)
-    flops->add(static_cast<std::uint64_t>(flop_model::zgemm(m, n, ka)));
+
+  const auto counted = static_cast<std::uint64_t>(flop_model::zgemm(m, n, ka));
+  obs::attribute_flops(counted);
+  obs::attribute_bytes(16u * static_cast<std::uint64_t>(m * ka + ka * n +
+                                                        2 * m * n));
+  if (flops != nullptr) flops->add(counted);
 }
 
 void zherk_update(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
@@ -510,6 +544,15 @@ void zherk_update(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
               "zherk_update: C must be n x n");
 
   if (variant == GemmVariant::kAuto) variant = resolve_auto(n, n, p);
+
+  obs::Span span("zherk_update", "la", obs::detail_level::kFine);
+  if (span.active()) {
+    span.arg("n", static_cast<long long>(n));
+    span.arg("k", static_cast<long long>(p));
+    span.arg("variant", variant_name(variant));
+    span.arg("row_panels", static_cast<long long>((n + kMC - 1) / kMC));
+  }
+
   if (variant == GemmVariant::kReference) {
     herk_reference(a, b, c);
   } else {
@@ -523,8 +566,11 @@ void zherk_update(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
     for (idx j = i + 1; j < n; ++j) c(j, i) = std::conj(c(i, j));
   }
 
-  if (flops != nullptr)
-    flops->add(static_cast<std::uint64_t>(flop_model::zherk(n, p)));
+  const auto counted = static_cast<std::uint64_t>(flop_model::zherk(n, p));
+  obs::attribute_flops(counted);
+  obs::attribute_bytes(16u *
+                       static_cast<std::uint64_t>(2 * p * n + 2 * n * n));
+  if (flops != nullptr) flops->add(counted);
 }
 
 void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
@@ -532,6 +578,12 @@ void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
   const auto [m, k] = op_shape(opa, a);
   XGW_REQUIRE(static_cast<idx>(x.size()) == k, "zgemv: x size mismatch");
   XGW_REQUIRE(static_cast<idx>(y.size()) == m, "zgemv: y size mismatch");
+
+  obs::Span span("zgemv", "la", obs::detail_level::kFine);
+  if (span.active()) {
+    span.arg("m", static_cast<long long>(m));
+    span.arg("k", static_cast<long long>(k));
+  }
 
   if (opa == Op::kNone) {
     auto row_dot = [&](idx i) {
@@ -572,8 +624,10 @@ void zgemv(Op opa, cplx alpha, const ZMatrix& a, const std::vector<cplx>& x,
       yi = alpha * acc[static_cast<std::size_t>(i)] + beta * yi;
     }
   }
-  if (flops != nullptr)
-    flops->add(static_cast<std::uint64_t>(flop_model::zgemv(m, k)));
+  const auto counted = static_cast<std::uint64_t>(flop_model::zgemv(m, k));
+  obs::attribute_flops(counted);
+  obs::attribute_bytes(16u * static_cast<std::uint64_t>(m * k + k + 2 * m));
+  if (flops != nullptr) flops->add(counted);
 }
 
 }  // namespace xgw

@@ -1,0 +1,251 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xgw::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  out += escape(s);
+  out += '"';
+  return out;
+}
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : obj)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    error = msg + " at byte " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos >= text.size();
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("dangling escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // UTF-8 encode (surrogate pairs are passed through unpaired —
+          // good enough for a validator of our own ASCII-ish output).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 128) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out.kind = Value::Kind::kObject;
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!expect(':')) return false;
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.obj.emplace_back(std::move(key), std::move(v));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          skip_ws();
+          continue;
+        }
+        return expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out.kind = Value::Kind::kArray;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        Value v;
+        if (!parse_value(v, depth + 1)) return false;
+        out.arr.push_back(std::move(v));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return expect(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = Value::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = true;
+      pos += 4;
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      out.kind = Value::Kind::kBool;
+      out.boolean = false;
+      pos += 5;
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      out.kind = Value::Kind::kNull;
+      pos += 4;
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    bool digits = false;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      ++pos;
+      digits = true;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') ++pos;
+    }
+    if (!digits) return fail("invalid token");
+    out.kind = Value::Kind::kNumber;
+    out.number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                             nullptr);
+    if (!std::isfinite(out.number)) return fail("non-finite number");
+    return true;
+  }
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string& error) {
+  Parser p;
+  p.text = text;
+  out = Value{};
+  if (!p.parse_value(out, 0)) {
+    error = p.error;
+    return false;
+  }
+  if (!p.at_end()) {
+    error = "trailing content at byte " + std::to_string(p.pos);
+    return false;
+  }
+  error.clear();
+  return true;
+}
+
+}  // namespace xgw::obs::json

@@ -1,0 +1,55 @@
+#pragma once
+
+// Minimal JSON utilities shared by every observability emitter (trace
+// exporter, metrics snapshots, run reports) and the bench JsonRecords
+// writer, so string escaping lives in exactly one place.
+//
+// The parser is deliberately small: it exists so xgw can VALIDATE its own
+// machine-readable outputs (trace schema checks, metrics round-trips) in
+// tests and in the `xgw_trace_check` CI tool without an external JSON
+// dependency. It accepts strict RFC 8259 JSON; numbers are held as double.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xgw::obs::json {
+
+/// Escapes a string for embedding inside a JSON string literal: `"`, `\`,
+/// and control characters (U+0000..U+001F) become escape sequences.
+std::string escape(std::string_view s);
+
+/// escape() wrapped in double quotes — a complete JSON string literal.
+std::string quote(std::string_view s);
+
+/// Parsed JSON value. Object member order is preserved (the trace checker
+/// cares about none of it, but round-trip tests read better that way).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// First member with `key`, or nullptr (objects only).
+  const Value* find(std::string_view key) const;
+};
+
+/// Parses `text`; on failure returns false and describes the problem (with
+/// a byte offset) in `error`.
+bool parse(std::string_view text, Value& out, std::string& error);
+
+}  // namespace xgw::obs::json

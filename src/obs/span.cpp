@@ -1,0 +1,100 @@
+#include "obs/span.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace xgw::obs {
+
+namespace {
+// Innermost open span of this thread. Attribution walks no further than
+// this pointer, so each FLOP lands on exactly one span.
+thread_local Span* t_current = nullptr;
+}  // namespace
+
+Span* Span::current() noexcept { return t_current; }
+
+void Span::open() noexcept {
+  active_ = true;
+  parent_ = t_current;
+  t_current = this;
+  start_ = std::chrono::steady_clock::now();
+  t0_us_ = recorder().now_us();
+}
+
+void Span::close() noexcept {
+  if (reg_ != nullptr) {
+    const double sec = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+    reg_->add(name_, sec);
+    reg_ = nullptr;
+  }
+  if (!active_) return;
+  active_ = false;
+  assert(t_current == this && "obs::Span must be destroyed innermost-first");
+  t_current = parent_;
+  const double dur_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+  recorder().record_complete(name_, cat_, t0_us_, dur_us, counters_,
+                             std::move(args_));
+}
+
+Span::Span(Span&& o) noexcept
+    : name_(o.name_),
+      cat_(o.cat_),
+      reg_(o.reg_),
+      active_(o.active_),
+      parent_(o.parent_),
+      start_(o.start_),
+      t0_us_(o.t0_us_),
+      counters_(o.counters_),
+      args_(std::move(o.args_)) {
+  o.reg_ = nullptr;
+  if (active_) {
+    assert(t_current == &o && "only the innermost open obs::Span may move");
+    t_current = this;
+    o.active_ = false;
+  }
+}
+
+void Span::arg(const char* key, long long v) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += json::quote(key);
+  args_ += ':';
+  args_ += std::to_string(v);
+}
+
+void Span::arg(const char* key, double v) {
+  if (!active_) return;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.8g", v);
+  if (!args_.empty()) args_ += ',';
+  args_ += json::quote(key);
+  args_ += ':';
+  args_ += buf;
+}
+
+void Span::arg(const char* key, const char* v) {
+  if (!active_) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += json::quote(key);
+  args_ += ':';
+  args_ += json::quote(v);
+}
+
+void attribute_flops(std::uint64_t n) noexcept {
+  if (Span* s = t_current)
+    s->add_flops(n);
+  else if (trace_enabled())
+    recorder().add_orphan_flops(n);
+}
+
+void attribute_bytes(std::uint64_t n) noexcept {
+  if (Span* s = t_current) s->add_bytes(n);
+}
+
+}  // namespace xgw::obs

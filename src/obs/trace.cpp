@@ -1,0 +1,301 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace xgw::obs {
+
+std::atomic<int> g_trace_detail{0};
+
+void TraceRecorder::enable(int detail) {
+  clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  g_trace_detail.store(detail > 0 ? detail : detail_level::kKernel,
+                       std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  g_trace_detail.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : bufs_) {
+    std::lock_guard<std::mutex> block(buf->mu);
+    buf->events.clear();
+  }
+  virtual_events_.clear();
+  process_names_.clear();
+  track_names_.clear();
+  next_vpid_ = 100;
+  orphan_flops_.store(0, std::memory_order_relaxed);
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuf& TraceRecorder::local_buf() {
+  // One buffer per (recorder, thread); the thread keeps a shared_ptr so the
+  // buffer outlives either party.
+  thread_local std::shared_ptr<ThreadBuf> t_buf;
+  thread_local TraceRecorder* t_owner = nullptr;
+  if (!t_buf || t_owner != this) {
+    auto buf = std::make_shared<ThreadBuf>();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      buf->tid = next_tid_++;
+      bufs_.push_back(buf);
+    }
+    t_buf = std::move(buf);
+    t_owner = this;
+  }
+  return *t_buf;
+}
+
+void TraceRecorder::record_complete(const char* name, const char* cat,
+                                    double ts_us, double dur_us,
+                                    const TraceCounters& counters,
+                                    std::string args) {
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  TraceEvent& e = buf.events.emplace_back();
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.pid = kRealPid;
+  e.tid = buf.tid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.counters = counters;
+  e.args = std::move(args);
+}
+
+void TraceRecorder::record_instant(const char* name, const char* cat,
+                                   std::string args) {
+  ThreadBuf& buf = local_buf();
+  const double ts = now_us();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  TraceEvent& e = buf.events.emplace_back();
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.pid = kRealPid;
+  e.tid = buf.tid;
+  e.ts_us = ts;
+  e.args = std::move(args);
+}
+
+std::uint32_t TraceRecorder::new_virtual_process(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint32_t pid = next_vpid_++;
+  process_names_.emplace_back(pid, name);
+  return pid;
+}
+
+void TraceRecorder::name_virtual_track(std::uint32_t pid, std::uint32_t tid,
+                                       const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  track_names_.push_back({{pid, tid}, name});
+}
+
+void TraceRecorder::virtual_complete(std::uint32_t pid, std::uint32_t tid,
+                                     std::string name, const char* cat,
+                                     double ts_s, double dur_s,
+                                     std::string args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& e = virtual_events_.emplace_back();
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ph = 'X';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_s * 1e6;
+  e.dur_us = dur_s * 1e6;
+  e.args = std::move(args);
+}
+
+void TraceRecorder::virtual_instant(std::uint32_t pid, std::uint32_t tid,
+                                    std::string name, const char* cat,
+                                    double ts_s, std::string args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent& e = virtual_events_.emplace_back();
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ph = 'i';
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_us = ts_s * 1e6;
+  e.args = std::move(args);
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : bufs_) {
+      std::lock_guard<std::mutex> block(buf->mu);
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+    all.insert(all.end(), virtual_events_.begin(), virtual_events_.end());
+  }
+  // Each (pid, tid) track monotonic in ts; at equal ts the longer span
+  // first so nested children follow their parent.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  return all;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? "" : ",\n");
+    first = false;
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kRealPid
+       << ",\"tid\":0,\"args\":{\"name\":\"xgw (real time)\"}}";
+    for (const auto& [pid, name] : process_names_) {
+      sep();
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":" << json::quote(name) << "}}";
+    }
+    for (const auto& [key, name] : track_names_) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+         << ",\"tid\":" << key.second
+         << ",\"args\":{\"name\":" << json::quote(name) << "}}";
+    }
+  }
+
+  char num[64];
+  for (const TraceEvent& e : events) {
+    sep();
+    os << "{\"name\":" << json::quote(e.name) << ",\"cat\":"
+       << json::quote(e.cat) << ",\"ph\":\"" << e.ph << "\",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid;
+    std::snprintf(num, sizeof(num), "%.3f", e.ts_us);
+    os << ",\"ts\":" << num;
+    if (e.ph == 'X') {
+      std::snprintf(num, sizeof(num), "%.3f", e.dur_us);
+      os << ",\"dur\":" << num;
+    }
+    if (e.ph == 'i') os << ",\"s\":\"t\"";
+    os << ",\"args\":{";
+    bool afirst = true;
+    auto arg_sep = [&] {
+      os << (afirst ? "" : ",");
+      afirst = false;
+    };
+    if (e.counters.flops != 0) {
+      arg_sep();
+      os << "\"flops\":" << e.counters.flops;
+    }
+    if (e.counters.bytes != 0) {
+      arg_sep();
+      os << "\"bytes\":" << e.counters.bytes;
+    }
+    if (e.counters.items != 0) {
+      arg_sep();
+      os << "\"items\":" << e.counters.items;
+    }
+    if (e.ph == 'X' && e.counters.flops != 0 && e.dur_us > 0.0) {
+      std::snprintf(num, sizeof(num), "%.3f",
+                    static_cast<double>(e.counters.flops) / (e.dur_us * 1e3));
+      arg_sep();
+      os << "\"gflops\":" << num;
+    }
+    if (!e.args.empty()) {
+      arg_sep();
+      os << e.args;
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  const std::string doc = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "obs: cannot write trace %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+std::map<std::string, TraceRecorder::Aggregate> TraceRecorder::aggregate()
+    const {
+  std::map<std::string, Aggregate> agg;
+  for (const TraceEvent& e : snapshot()) {
+    if (e.ph != 'X') continue;
+    Aggregate& a = agg[std::string(e.cat) + "/" + e.name];
+    a.seconds += e.dur_us * 1e-6;
+    a.calls += 1;
+    a.flops += e.counters.flops;
+    a.bytes += e.counters.bytes;
+    a.items += e.counters.items;
+  }
+  return agg;
+}
+
+std::string TraceRecorder::breakdown() const {
+  std::ostringstream os;
+  os << std::left << std::setw(34) << "region" << std::right << std::setw(12)
+     << "seconds" << std::setw(8) << "calls" << std::setw(12) << "GFLOP"
+     << std::setw(10) << "GF/s" << '\n';
+  for (const auto& [key, a] : aggregate()) {
+    os << std::left << std::setw(34) << key << std::right << std::setw(12)
+       << std::fixed << std::setprecision(6) << a.seconds << std::setw(8)
+       << a.calls;
+    os << std::setw(12) << std::setprecision(3)
+       << static_cast<double>(a.flops) / 1e9;
+    os << std::setw(10) << std::setprecision(2)
+       << (a.seconds > 0.0 ? static_cast<double>(a.flops) / a.seconds / 1e9
+                           : 0.0)
+       << '\n';
+  }
+  const std::uint64_t orphans = orphan_flops();
+  if (orphans != 0)
+    os << std::left << std::setw(34) << "(unattributed)" << std::right
+       << std::setw(12) << "-" << std::setw(8) << "-" << std::setw(12)
+       << std::fixed << std::setprecision(3)
+       << static_cast<double>(orphans) / 1e9 << std::setw(10) << "-" << '\n';
+  return os.str();
+}
+
+std::uint64_t TraceRecorder::total_flops() const {
+  std::uint64_t total = orphan_flops();
+  for (const TraceEvent& e : snapshot()) total += e.counters.flops;
+  return total;
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* rec = new TraceRecorder();  // never destroyed
+  return *rec;
+}
+
+}  // namespace xgw::obs

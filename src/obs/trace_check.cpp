@@ -1,0 +1,74 @@
+#include "obs/trace_check.h"
+
+#include <map>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace xgw::obs {
+
+std::string check_chrome_trace(std::string_view json_text) {
+  json::Value doc;
+  std::string err;
+  if (!json::parse(json_text, doc, err)) return "invalid JSON: " + err;
+  if (!doc.is_object()) return "top level is not an object";
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr) return "missing traceEvents";
+  if (!events->is_array()) return "traceEvents is not an array";
+
+  struct TrackState {
+    double last_ts = -1e300;
+    std::vector<std::string> open;  // B/E stack of names
+  };
+  std::map<std::pair<double, double>, TrackState> tracks;
+
+  for (std::size_t i = 0; i < events->arr.size(); ++i) {
+    const json::Value& e = events->arr[i];
+    const std::string at = "event " + std::to_string(i) + ": ";
+    if (!e.is_object()) return at + "not an object";
+    const json::Value* name = e.find("name");
+    if (name == nullptr || !name->is_string()) return at + "missing name";
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str.size() != 1)
+      return at + "missing ph";
+    const char p = ph->str[0];
+    if (p != 'X' && p != 'B' && p != 'E' && p != 'i' && p != 'I' && p != 'M')
+      return at + "unknown ph '" + ph->str + "'";
+    const json::Value* pid = e.find("pid");
+    const json::Value* tid = e.find("tid");
+    if (pid == nullptr || !pid->is_number()) return at + "missing pid";
+    if (tid == nullptr || !tid->is_number()) return at + "missing tid";
+    if (p == 'M') continue;  // metadata events carry no timestamp
+
+    const json::Value* ts = e.find("ts");
+    if (ts == nullptr || !ts->is_number()) return at + "missing ts";
+    TrackState& track = tracks[{pid->number, tid->number}];
+    if (ts->number < track.last_ts)
+      return at + "non-monotonic ts on track (pid " +
+             std::to_string(static_cast<long long>(pid->number)) + ", tid " +
+             std::to_string(static_cast<long long>(tid->number)) + ")";
+    track.last_ts = ts->number;
+
+    if (p == 'X') {
+      const json::Value* dur = e.find("dur");
+      if (dur == nullptr || !dur->is_number())
+        return at + "X event missing dur";
+      if (dur->number < 0.0) return at + "negative dur";
+    } else if (p == 'B') {
+      track.open.push_back(name->str);
+    } else if (p == 'E') {
+      if (track.open.empty()) return at + "E event with no matching B";
+      // Chrome allows an empty-name E; require a match when named.
+      if (!name->str.empty() && track.open.back() != name->str)
+        return at + "E event name '" + name->str + "' does not match open B '" +
+               track.open.back() + "'";
+      track.open.pop_back();
+    }
+  }
+  for (const auto& [key, track] : tracks)
+    if (!track.open.empty())
+      return "unclosed B event '" + track.open.back() + "'";
+  return "";
+}
+
+}  // namespace xgw::obs

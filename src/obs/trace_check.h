@@ -1,0 +1,24 @@
+#pragma once
+
+// Schema validation for xgw's Chrome trace_event output — used by tests
+// (golden-file schema check) and by the `xgw_trace_check` CI tool that
+// gates every trace artifact the pipeline uploads.
+//
+// Checks:
+//  * the document is valid JSON with a "traceEvents" array;
+//  * every event has string "name"/"ph", numeric "pid"/"tid"/"ts";
+//  * "ph" is one of X, B, E, i, I, M; "X" events carry numeric "dur" >= 0;
+//  * per (pid, tid) track, timestamps are monotonically non-decreasing;
+//  * "B"/"E" duration events are properly nested (stack-matched) per
+//    track, and none are left open at the end.
+
+#include <string>
+#include <string_view>
+
+namespace xgw::obs {
+
+/// Returns "" when `json_text` is a schema-valid Chrome trace, otherwise a
+/// one-line description of the first problem found.
+std::string check_chrome_trace(std::string_view json_text);
+
+}  // namespace xgw::obs

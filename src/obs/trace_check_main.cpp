@@ -1,0 +1,33 @@
+// xgw_trace_check — validates a Chrome trace_event JSON file against the
+// schema Perfetto / chrome://tracing expects (see obs/trace_check.h). CI
+// runs it on every trace artifact; exit 0 = valid.
+//
+//   $ xgw_trace_check out.json
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: xgw_trace_check <trace.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "xgw_trace_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string problem = xgw::obs::check_chrome_trace(buf.str());
+  if (!problem.empty()) {
+    std::fprintf(stderr, "xgw_trace_check: %s: %s\n", argv[1],
+                 problem.c_str());
+    return 1;
+  }
+  std::printf("xgw_trace_check: %s OK\n", argv[1]);
+  return 0;
+}

@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xgw {
 
@@ -91,6 +93,17 @@ void checkpoint_save(const std::string& path, const Checkpoint& c) {
     std::filesystem::rename(path, prev_path(path), ec);
   std::filesystem::rename(tmp, path, ec);
   XGW_REQUIRE(!ec, "checkpoint_save: atomic rename failed: " + ec.message());
+
+  obs::metrics().counter("checkpoint.writes").inc();
+  obs::metrics()
+      .counter("checkpoint.bytes")
+      .add(sizeof(h) + c.payload.size() + sizeof(crc));
+  if (obs::trace_enabled())
+    obs::recorder().record_instant(
+        "checkpoint_written", "ckpt",
+        "\"step\":" + std::to_string(c.step) + ",\"total\":" +
+            std::to_string(c.total) + ",\"bytes\":" +
+            std::to_string(c.payload.size()));
 }
 
 Checkpoint checkpoint_load_strict(const std::string& path) {

@@ -8,6 +8,8 @@
 #include "common/error.h"
 #include "common/timer.h"
 #include "common/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/dist.h"
 
 namespace xgw {
@@ -51,12 +53,29 @@ SimCluster::RunReport SimCluster::run(
     const std::function<void(idx rank)>& fn) const {
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(n_ranks_));
+
+  // One virtual-time track per simulated rank: ranks execute sequentially
+  // on the host, but the modeled machine runs them concurrently, so every
+  // rank's work is drawn from virtual t = 0.
+  const bool tr = obs::trace_enabled();
+  std::uint32_t vpid = 0;
+  if (tr) {
+    vpid = obs::recorder().new_virtual_process(
+        "SimCluster run (" + std::to_string(n_ranks_) + " ranks)");
+    for (idx r = 0; r < n_ranks_; ++r)
+      obs::recorder().name_virtual_track(vpid, static_cast<std::uint32_t>(r),
+                                         "rank " + std::to_string(r));
+  }
+
   for (idx r = 0; r < n_ranks_; ++r) {
     Stopwatch sw;
     fn(r);
     const double t = sw.elapsed();
     report.ranks[static_cast<std::size_t>(r)].compute_s = t;
     report.serial_s += t;
+    if (tr)
+      obs::recorder().virtual_complete(vpid, static_cast<std::uint32_t>(r),
+                                       "run", "sim", 0.0, t);
   }
   return report;
 }
@@ -93,6 +112,23 @@ SimCluster::RunReport SimCluster::run_items_ft(
 
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(n_ranks_));
+
+  // Virtual-time fault timeline: one track per simulated rank, events
+  // stamped with modeled seconds (the rank_time accumulations below), so
+  // attempts, injected faults, validation catches, retries, rank deaths
+  // and work redistributions are inspectable next to the real kernel spans
+  // in the same Perfetto trace.
+  const bool tr = obs::trace_enabled();
+  std::uint32_t vpid = 0;
+  if (tr) {
+    vpid = obs::recorder().new_virtual_process(
+        "SimCluster ft (" + std::to_string(n_ranks_) + " ranks, " +
+        std::to_string(n_items) + " items)");
+    for (idx r = 0; r < n_ranks_; ++r)
+      obs::recorder().name_virtual_track(vpid, static_cast<std::uint32_t>(r),
+                                         "rank " + std::to_string(r));
+  }
+  auto vtid = [](idx r) { return static_cast<std::uint32_t>(r); };
 
   // Executes items [b, e) as one attempt of `rank`; applies the injected
   // fate, then validates the exposed outputs (catching both injected and
@@ -140,8 +176,23 @@ SimCluster::RunReport SimCluster::run_items_ft(
     double acc = 0.0;
     bool ok = false;
     for (int attempt = 0; attempt < opt.max_attempts; ++attempt) {
+      const double t0 = acc;
       const AttemptResult res = attempt_items(r, attempt, b, e, inject);
       acc += res.compute_s;
+      if (tr) {
+        obs::recorder().virtual_complete(
+            vpid, vtid(r), "attempt " + std::to_string(attempt), "sim", t0,
+            res.compute_s,
+            "\"items\":\"[" + std::to_string(b) + "," + std::to_string(e) +
+                ")\",\"ok\":" + (res.ok ? "true" : "false"));
+        if (res.fault != FaultKind::kNone)
+          obs::recorder().virtual_instant(
+              vpid, vtid(r), std::string("fault:") + to_string(res.fault),
+              "fault", acc);
+        if (!res.ok && res.fault == FaultKind::kCorrupt)
+          obs::recorder().virtual_instant(vpid, vtid(r), "validation_failed",
+                                          "fault", acc);
+      }
       if (res.ok) {
         ok = true;
         break;
@@ -150,11 +201,22 @@ SimCluster::RunReport SimCluster::run_items_ft(
       // rank's input state — charged through the network model so recovery
       // shows up honestly in time_to_solution().
       report.retries += 1;
+      obs::metrics().counter("simcluster.retries").inc();
       report.recovery_s += opt.backoff_base_s * std::ldexp(1.0, attempt) +
                            net_.p2p(opt.respawn_bytes);
+      if (tr)
+        obs::recorder().virtual_instant(
+            vpid, vtid(r), "retry", "sim", acc,
+            "\"attempt\":" + std::to_string(attempt));
     }
     rank_time[static_cast<std::size_t>(r)] = acc;
-    if (!ok) dead.push_back(r);
+    if (!ok) {
+      dead.push_back(r);
+      obs::metrics().counter("simcluster.rank_deaths").inc();
+      if (tr)
+        obs::recorder().virtual_instant(vpid, vtid(r), "rank_dead", "fault",
+                                        acc);
+    }
   }
 
   std::vector<idx> survivors;
@@ -168,16 +230,28 @@ SimCluster::RunReport SimCluster::run_items_ft(
   for (idx d : dead) {
     const idx nb = dist.count(d);
     if (nb > 0) {
+      if (tr)
+        obs::recorder().virtual_instant(
+            vpid, vtid(d), "redistribute", "sim",
+            rank_time[static_cast<std::size_t>(d)],
+            "\"items\":" + std::to_string(nb) + ",\"survivors\":" +
+                std::to_string(survivors.size()));
       const BlockDist redist(nb, static_cast<idx>(survivors.size()));
       for (std::size_t si = 0; si < survivors.size(); ++si) {
         const idx s = survivors[si];
         const idx gb = dist.begin(d) + redist.begin(static_cast<idx>(si));
         const idx ge = dist.begin(d) + redist.end(static_cast<idx>(si));
         if (gb == ge) continue;
+        const double t0 = rank_time[static_cast<std::size_t>(s)];
         const AttemptResult res =
             attempt_items(s, opt.max_attempts, gb, ge, false);
         XGW_REQUIRE(res.ok, "run_items_ft: recovery execution failed");
         rank_time[static_cast<std::size_t>(s)] += res.compute_s;
+        if (tr)
+          obs::recorder().virtual_complete(
+              vpid, vtid(s), "recover", "sim", t0, res.compute_s,
+              "\"from_rank\":" + std::to_string(d) + ",\"items\":\"[" +
+                  std::to_string(gb) + "," + std::to_string(ge) + ")\"");
       }
       // The dead rank's inputs are shipped to every survivor.
       report.recovery_s +=
@@ -217,11 +291,16 @@ SimCluster::RunReport SimCluster::run_items_ft(
                   dist.begin(r) + redist.begin(static_cast<idx>(si));
               const idx ge = dist.begin(r) + redist.end(static_cast<idx>(si));
               if (gb == ge) continue;
+              const double t0 = rank_time[static_cast<std::size_t>(s)];
               const AttemptResult res =
                   attempt_items(s, opt.max_attempts, gb, ge, false);
               XGW_REQUIRE(res.ok,
                           "run_items_ft: straggler recovery failed");
               rank_time[static_cast<std::size_t>(s)] += res.compute_s;
+              if (tr)
+                obs::recorder().virtual_complete(
+                    vpid, vtid(s), "recover", "sim", t0, res.compute_s,
+                    "\"from_rank\":" + std::to_string(r));
             }
             report.recovery_s += net_.bcast(
                 opt.respawn_bytes, static_cast<idx>(healthy.size()));
@@ -229,6 +308,10 @@ SimCluster::RunReport SimCluster::run_items_ft(
           // The straggler is cancelled the moment the deadline fires.
           rank_time[static_cast<std::size_t>(r)] = deadline;
           report.retries += 1;
+          if (tr)
+            obs::recorder().virtual_instant(vpid, vtid(r),
+                                            "straggler_cancelled", "fault",
+                                            deadline);
         }
       }
     }
