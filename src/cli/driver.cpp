@@ -17,10 +17,13 @@
 #include "io/binio.h"
 #include "la/gemm.h"
 #include "mf/bandstructure.h"
+#include "mem/planner.h"
+#include "mem/tracker.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "perf/machines.h"
 #include "perf/progmodel.h"
 #include "pseudobands/pseudobands.h"
 
@@ -37,7 +40,8 @@ const std::vector<std::string>& known_input_keys() {
       "evgw_max_iter", "evgw_mixing", "rpa_n_freq",  "band_segments",
       "vacuum",      "checkpoint",   "checkpoint_every",
       "trace",       "trace_detail", "metrics",      "run_report",
-      "peak_gflops", "mem_gbps",
+      "peak_gflops", "mem_gbps",     "memory_budget_mb",
+      "memory_budget_machine",       "spill_dir",
   };
   return keys;
 }
@@ -100,6 +104,46 @@ void print_header(std::ostream& os, const GwCalculation& gw) {
      << ", N_b = " << gw.n_bands() << ", N_v = " << gw.n_valence() << "\n";
 }
 
+/// Memory budget in MB: `memory_budget_mb` wins; otherwise
+/// `memory_budget_machine` uses the named platform's per-GPU HBM capacity.
+/// 0 = no budget (everything stays in-core, no blocking pressure).
+double resolve_budget_mb(const InputFile& in) {
+  double budget = in.get_double("memory_budget_mb", 0.0);
+  if (budget <= 0.0 && in.has("memory_budget_machine"))
+    budget = machine_by_name(in.require_string("memory_budget_machine"))
+                 .hbm_per_gpu /
+             (1024.0 * 1024.0);
+  return budget;
+}
+
+/// Solve the NV-Block / CHI-Freq plan for this calculation's Table-2 sizes
+/// under the resolved budget, charging the bytes already live (wavefunctions,
+/// cached stages) as the fixed floor.
+mem::MemPlan plan_for(const GwCalculation& gw, double budget_mb, idx nfreq) {
+  mem::PlannerInput pin;
+  pin.budget_bytes = mem::mb(budget_mb);
+  pin.nv = gw.n_valence();
+  pin.nc = gw.n_bands() - gw.n_valence();
+  pin.ng = gw.n_g();
+  pin.ncols = gw.n_g();
+  pin.nfreq = nfreq;
+  pin.threads = xgw_num_threads();
+  pin.fixed_bytes = mem::tracker().current_bytes();
+  return mem::plan(pin);
+}
+
+/// Apply the budget to a job that runs CHI_SUM through GwCalculation (the
+/// planner's nv_block changes results only at roundoff level, so this
+/// shapes memory, not physics).
+void apply_budget(const InputFile& in, GwCalculation& gw, idx nfreq,
+                  std::ostream& os) {
+  const double budget_mb = resolve_budget_mb(in);
+  if (budget_mb <= 0.0) return;
+  const mem::MemPlan plan = plan_for(gw, budget_mb, nfreq);
+  gw.set_nv_block(plan.nv_block);
+  os << "mem_plan " << plan.describe() << "\n";
+}
+
 int job_bands(const InputFile& in, std::ostream& os) {
   const EpmModel model = build_material(in);
   const idx segs = in.get_int("band_segments", 12);
@@ -126,6 +170,7 @@ int job_epsilon(const InputFile& in, std::ostream& os) {
     gw.set_wavefunctions(read_wavefunctions(in.require_string("input_wfn")));
   maybe_compress(in, gw);
   print_header(os, gw);
+  apply_budget(in, gw, in.has("n_freq") ? in.get_int("n_freq", 8) : 1, os);
   os << std::fixed << std::setprecision(6);
   os << "epsinv_head " << gw.epsinv0()(0, 0).real() << "\n";
   if (in.has("n_freq")) {
@@ -161,6 +206,7 @@ int job_sigma(const InputFile& in, std::ostream& os) {
     gw.set_wavefunctions(read_wavefunctions(in.require_string("input_wfn")));
   maybe_compress(in, gw);
   print_header(os, gw);
+  apply_budget(in, gw, 1, os);
   GwCalculation::CheckpointOptions ckpt;
   ckpt.path = in.get_string("checkpoint", "");
   ckpt.every = in.get_int("checkpoint_every", 1);
@@ -201,7 +247,15 @@ int job_ff(const InputFile& in, std::ostream& os) {
   FfOptions fo;
   fo.n_freq = in.get_int("n_freq", 24);
   fo.subspace_fraction = in.get_double("subspace_fraction", 0.0);
+  fo.chi.nv_block = in.get_int("nv_block", fo.chi.nv_block);
+  fo.memory_budget_mb = resolve_budget_mb(in);
+  fo.spill_dir = in.get_string("spill_dir", "xgw_spill");
   const FfScreening scr = build_ff_screening(gw, fo);
+  if (scr.bv.spilling())
+    os << "mem_spill resident_mb "
+       << static_cast<double>(scr.bv.pool()->budget_bytes()) /
+              (1024.0 * 1024.0)
+       << "\n";
   const auto res = sigma_ff_diag(gw, scr, sigma_bands(in, gw));
   os << std::fixed << std::setprecision(4);
   os << "band   E_MF(eV)   SigX(eV)   SigC(eV)   E_QP(eV)\n";
@@ -389,6 +443,7 @@ int run_job(const InputFile& in, std::ostream& os) {
     os << "trace_written " << trace_path << "\n";
   }
   if (!metrics_path.empty()) {
+    obs::record_mem_gauges();
     XGW_REQUIRE(obs::metrics().write_json(metrics_path),
                 "run_job: cannot write metrics to " + metrics_path);
     os << "metrics_written " << metrics_path << "\n";

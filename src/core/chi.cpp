@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 #include "common/error.h"
 #include "common/validate.h"
@@ -73,17 +76,33 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
 
   ZMatrix m_pw(nc, ng);                   // per-valence M rows on plane waves
   ZMatrix m_block(nv_block * nc, ncols);  // NV-Block pair workspace
+  // Transf target, hoisted out of the per-valence loop (was a fresh
+  // allocation per (block, dv) iteration). Only needed under a subspace.
+  ZMatrix proj_rows;
+  if (project) proj_rows = ZMatrix(nc, ncols);
+
+  // Per-thread scaled-M workspaces for the CHI-Freq loop, preallocated
+  // OUTSIDE the parallel region at the full nv_block height: the frequency
+  // loop performs zero heap allocations in steady state (asserted by
+  // test_mem), and the planner's chi_workspace_bytes model charges exactly
+  // these matrices.
+  const bool freq_team = nfreq > 1 && !in_parallel_region();
+  const int n_team = freq_team ? xgw_num_threads() : 1;
+  std::vector<ZMatrix> scaled_ws(static_cast<std::size_t>(n_team));
+  for (auto& w : scaled_ws) w = ZMatrix(nv_block * nc, ncols);
 
   for (idx v0 = 0; v0 < nv; v0 += nv_block) {
     const idx vb = std::min(nv_block, nv - v0);
-    if (m_block.rows() != vb * nc) m_block.resize(vb * nc, ncols);
+    if (m_block.rows() != vb * nc) {
+      m_block.resize(vb * nc, ncols);
+      for (auto& w : scaled_ws) w.resize(vb * nc, ncols);
+    }
 
     for (idx dv = 0; dv < vb; ++dv) {
       const idx v = v0 + dv;
       mtxel.compute_left_fixed(v, c_list, m_pw);
       if (project) {
         // Transf: M^B = M^G C, (nc x ng) * (ng x ncols).
-        ZMatrix proj_rows(nc, ncols);
         zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, m_pw, *project, cplx{},
               proj_rows, opt.gemm, opt.flops);
         for (idx c = 0; c < nc; ++c)
@@ -112,11 +131,15 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
     // degrades to its serial variant inside this region (nested-call
     // safety), so cores are never oversubscribed.
 #ifdef _OPENMP
-#pragma omp parallel num_threads(xgw_num_threads()) \
-    if (nfreq > 1 && !in_parallel_region())
+#pragma omp parallel num_threads(n_team) if (freq_team)
 #endif
     {
-      ZMatrix scaled(vb * nc, ncols);
+#ifdef _OPENMP
+      const int tid = freq_team ? omp_get_thread_num() : 0;
+#else
+      const int tid = 0;
+#endif
+      ZMatrix& scaled = scaled_ws[static_cast<std::size_t>(tid)];
 #ifdef _OPENMP
 #pragma omp for schedule(static)
 #endif

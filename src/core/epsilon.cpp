@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/error.h"
 #include "common/validate.h"
 #include "la/gemm.h"
+#include "mem/arena.h"
+#include "mem/planner.h"
 #include "obs/span.h"
 #include "runtime/checkpoint.h"
 
@@ -179,7 +183,23 @@ std::vector<ZMatrix> epsilon_inverse_multi(
     checkpoint_save(loop.checkpoint_path, c);
   };
 
+  // Every iteration needs the same chi + inversion temporaries, so they
+  // live on one arena that rewinds between frequencies: the loop performs
+  // zero steady-state heap allocations (test_mem asserts this).
+  std::unique_ptr<mem::Arena> arena;
+  if (loop.use_arena) {
+    const std::size_t cap =
+        loop.arena_bytes > 0
+            ? loop.arena_bytes
+            : mem::epsilon_step_arena_bytes(mtxel.n_g(), wf.n_valence,
+                                            wf.n_conduction(),
+                                            xgw_num_threads());
+    arena = std::make_unique<mem::Arena>(cap);
+  }
+
   for (idx k = static_cast<idx>(out.size()); k < nfreq; ++k) {
+    std::optional<mem::ArenaScope> scope;
+    if (arena) scope.emplace(*arena);
     // One frequency at a time through the same NV-Block accumulation as
     // the batched path: bitwise-equal to chi_multi over the full grid.
     const std::vector<ZMatrix> chik =
@@ -188,8 +208,17 @@ std::vector<ZMatrix> epsilon_inverse_multi(
                   head_values.empty()
                       ? std::span<const cplx>{}
                       : head_values.subspan(static_cast<std::size_t>(k), 1));
-    out.push_back(epsilon_inverse(chik.front(), v));
-    require_finite(out.back(), "epsilon_inverse_multi: eps^{-1}(omega)");
+    const ZMatrix einv = epsilon_inverse(chik.front(), v);
+    require_finite(einv, "epsilon_inverse_multi: eps^{-1}(omega)");
+    {
+      // The result outlives the arena scope: copy it onto the tracked heap
+      // (a move would carry arena-backed storage out of the scope).
+      mem::HeapScope heap;
+      out.push_back(einv);
+    }
+    // NOTE: `scope` must outlive `chik`/`einv` (declared before them), so
+    // their arena-backed storage is still bound when they destruct at the
+    // end of this iteration.
 
     const idx done = static_cast<idx>(out.size());
     if (ckpt && (done % loop.checkpoint_every == 0 || done == nfreq)) save();

@@ -62,6 +62,14 @@ struct EpsilonLoopOptions {
   /// Testing hook simulating a job kill: throw xgw::Error once this many
   /// frequencies have completed (and been checkpointed). < 0 disables.
   idx abort_after = -1;
+  /// Run each frequency's chi + inversion temporaries on a mem::Arena, so
+  /// iteration k reuses iteration k-1's bytes instead of re-allocating.
+  /// Numerically inert (same values, different storage). Results are copied
+  /// to the heap before the per-frequency scope closes.
+  bool use_arena = true;
+  /// Arena capacity; 0 = auto-size from mem::epsilon_step_arena_bytes. An
+  /// undersized arena falls back to the tracked heap (never an error).
+  std::size_t arena_bytes = 0;
 };
 
 /// Dense eps^{-1}(omega_k) for every grid frequency, checkpointing the

@@ -80,6 +80,15 @@ class GwCalculation {
   /// Replace the band set (pseudobands compression plugs in here).
   void set_wavefunctions(Wavefunctions wf);
 
+  /// Override the NV-Block size after construction (the mem::Planner plugs
+  /// in here once a memory budget is known). NV-Block results are bitwise
+  /// invariant under the block size, so this never changes answers — only
+  /// the CHI_SUM working-set footprint. Must be called before chi0() runs.
+  void set_nv_block(idx nv_block) {
+    XGW_REQUIRE(nv_block >= 1, "set_nv_block: need nv_block >= 1");
+    params_.nv_block = nv_block;
+  }
+
   const Mtxel& mtxel() const;
 
   /// Stage 2: static chi (NV-Block CHI_SUM), cached.

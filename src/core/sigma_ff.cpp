@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "la/gemm.h"
+#include "mem/planner.h"
+#include "mem/tracker.h"
 #include "obs/span.h"
 
 namespace xgw {
@@ -59,39 +62,71 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
     }
   }
 
-  // All frequencies in one CHI-0/Transf/CHI-Freq pass: MTXEL (and the
-  // subspace projection) are paid once, not once per frequency.
-  std::vector<ZMatrix> chis;
-  {
-    obs::Span scope(gw.timers(),
-                    sub ? "ff_chi_freq(subspace)" : "ff_chi_freq(full_pw)");
-    chis = chi_multi(gw.mtxel(), wf, scr.omegas, copt,
-                     sub ? &*sub : nullptr, heads);
+  // Memory plan: under a budget, solve for the chi valence block and the
+  // number of frequencies per CHI-Freq pass, and decide whether the B^k v
+  // set must page out-of-core. Frequencies are independent in chi_multi, so
+  // chunking the sweep is bitwise identical to one monolithic pass.
+  idx freq_batch = opt.n_freq;
+  if (opt.memory_budget_mb > 0.0) {
+    mem::PlannerInput pin;
+    pin.budget_bytes = mem::mb(opt.memory_budget_mb);
+    pin.nv = wf.n_valence;
+    pin.nc = wf.n_conduction();
+    pin.ng = ng;
+    pin.ncols = sub ? sub->n_eig() : ng;
+    pin.nfreq = opt.n_freq;
+    pin.threads = xgw_num_threads();
+    pin.fixed_bytes = mem::tracker().current_bytes();
+    const mem::MemPlan plan = mem::plan(pin);
+    copt.nv_block = plan.nv_block;
+    freq_batch = plan.freq_batch;
+    if (plan.needs_spill)
+      scr.bv.enable_spill(opt.spill_dir, plan.spill_resident_bytes, "ffbv_");
   }
 
-  scr.bv.resize(static_cast<std::size_t>(opt.n_freq));
-  for (idx k = 0; k < opt.n_freq; ++k) {
-    ZMatrix epsinv;
+  // CHI-0/Transf/CHI-Freq in batches: MTXEL (and the subspace projection)
+  // are paid once per PASS, so the planner maximizes the batch first. Each
+  // batch's eps^{-1} matrices become B^k v rows of the store immediately,
+  // keeping at most one batch of chi matrices live.
+  for (idx f0 = 0; f0 < opt.n_freq; f0 += freq_batch) {
+    const idx fb = std::min(freq_batch, opt.n_freq - f0);
+    std::vector<ZMatrix> chis;
     {
-      obs::Span scope(gw.timers(),"ff_eps_inverse");
-      if (sub) {
-        epsinv = epsilon_inverse_subspace(
-                     *sub, chis[static_cast<std::size_t>(k)], v)
-                     .dense();
-      } else {
-        epsinv = epsilon_inverse(chis[static_cast<std::size_t>(k)], v);
-      }
+      obs::Span scope(gw.timers(),
+                      sub ? "ff_chi_freq(subspace)" : "ff_chi_freq(full_pw)");
+      chis = chi_multi(
+          gw.mtxel(), wf,
+          std::span<const double>(scr.omegas)
+              .subspan(static_cast<std::size_t>(f0), static_cast<std::size_t>(fb)),
+          copt, sub ? &*sub : nullptr,
+          std::span<const cplx>(heads).subspan(static_cast<std::size_t>(f0),
+                                               static_cast<std::size_t>(fb)));
     }
 
-    // B^k v = -(1/pi) Im[eps^{-1}] * weight * v(G'), with Im taken
-    // element-wise (the anti-Hermitian part carries the spectrum at q=0
-    // Gamma-only where eps(omega) is complex-symmetric).
-    ZMatrix bv(ng, ng);
-    const double pref = -scr.weights[static_cast<std::size_t>(k)] / kPi;
-    for (idx g = 0; g < ng; ++g)
-      for (idx gp = 0; gp < ng; ++gp)
-        bv(g, gp) = pref * epsinv(g, gp).imag() * v(gp);
-    scr.bv[static_cast<std::size_t>(k)] = std::move(bv);
+    for (idx dk = 0; dk < fb; ++dk) {
+      const idx k = f0 + dk;
+      ZMatrix epsinv;
+      {
+        obs::Span scope(gw.timers(),"ff_eps_inverse");
+        if (sub) {
+          epsinv = epsilon_inverse_subspace(
+                       *sub, chis[static_cast<std::size_t>(dk)], v)
+                       .dense();
+        } else {
+          epsinv = epsilon_inverse(chis[static_cast<std::size_t>(dk)], v);
+        }
+      }
+
+      // B^k v = -(1/pi) Im[eps^{-1}] * weight * v(G'), with Im taken
+      // element-wise (the anti-Hermitian part carries the spectrum at q=0
+      // Gamma-only where eps(omega) is complex-symmetric).
+      ZMatrix bv(ng, ng);
+      const double pref = -scr.weights[static_cast<std::size_t>(k)] / kPi;
+      for (idx g = 0; g < ng; ++g)
+        for (idx gp = 0; gp < ng; ++gp)
+          bv(g, gp) = pref * epsinv(g, gp).imag() * v(gp);
+      scr.bv.push_back(std::move(bv));
+    }
   }
   return scr;
 }
@@ -132,7 +167,7 @@ std::vector<FfResult> sigma_ff_diag(GwCalculation& gw, const FfScreening& scr,
         const double en = wf.energy[static_cast<std::size_t>(n)];
         const bool occ = n < wf.n_valence;
         for (idx k = 0; k < nk; ++k) {
-          const ZMatrix& bv = scr.bv[static_cast<std::size_t>(k)];
+          const ZMatrix& bv = scr.bv.get(k);
           // t = (B^k v)^T applied from the right: t(g) = sum_gp bv(g,gp) M(gp)
           for (idx g = 0; g < ng; ++g) {
             cplx acc{};
@@ -175,7 +210,8 @@ std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
                                       const FfScreening& scr,
                                       const std::vector<idx>& bands,
                                       std::span<const double> e_grid,
-                                      double eta, FlopCounter* flops) {
+                                      double eta, FlopCounter* flops,
+                                      idx gprime_slice) {
   XGW_REQUIRE(!bands.empty() && !e_grid.empty(),
               "sigma_ff_offdiag: empty band set or grid");
   const Wavefunctions& wf = gw.wavefunctions();
@@ -183,11 +219,21 @@ std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
   const idx ng = gw.n_g();
   const idx nk = static_cast<idx>(scr.omegas.size());
   const idx ne = static_cast<idx>(e_grid.size());
+  const bool sliced = gprime_slice > 0 && gprime_slice < ng;
+  const idx ws = sliced ? gprime_slice : ng;
 
   std::vector<ZMatrix> sigma(static_cast<std::size_t>(ne));
   for (auto& s : sigma) s = ZMatrix(ns, ns);
 
-  ZMatrix mc(ns, ng), t(ns, ng), q(ns, ns);
+  ZMatrix mc(ns, ng), t(ns, ws), q(ns, ns);
+  // G'-slice gather buffers (only in sliced mode): contiguous copies of the
+  // B^k v column slice and the matching M_n columns, so the contraction
+  // still runs as two dense ZGEMMs.
+  ZMatrix bv_cols, mn_cols;
+  if (sliced) {
+    bv_cols = ZMatrix(ng, ws);
+    mn_cols = ZMatrix(ns, ws);
+  }
 
   obs::Span scope(gw.timers(),"ff_sigma_offdiag");
   for (idx n = 0; n < wf.n_bands(); ++n) {
@@ -198,12 +244,41 @@ std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
     const bool occ = n < wf.n_valence;
 
     for (idx k = 0; k < nk; ++k) {
-      // Q^{nk} = conj(M_n) (B^k v) M_n^T  — two ZGEMMs, reused over E.
-      zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, mc,
-            scr.bv[static_cast<std::size_t>(k)], cplx{}, t,
-            GemmVariant::kAuto, flops);
-      zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, m_n, cplx{}, q,
-            GemmVariant::kAuto, flops);
+      const ZMatrix& bvk = scr.bv.get(k);
+      if (!sliced) {
+        // Q^{nk} = conj(M_n) (B^k v) M_n^T  — two ZGEMMs, reused over E.
+        zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, mc, bvk, cplx{}, t,
+              GemmVariant::kAuto, flops);
+        zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, m_n, cplx{}, q,
+              GemmVariant::kAuto, flops);
+      } else {
+        // Same contraction accumulated over G' column slices: bounds the
+        // N_Sigma x N_G' scratch at the cost of a different summation
+        // order (roundoff-level differences, never used on bitwise paths).
+        for (idx g0 = 0; g0 < ng; g0 += ws) {
+          const idx wb = std::min(ws, ng - g0);
+          if (bv_cols.cols() != wb) {
+            bv_cols.resize(ng, wb);
+            mn_cols.resize(ns, wb);
+            t.resize(ns, wb);
+          }
+          for (idx g = 0; g < ng; ++g) {
+            const cplx* src = bvk.row(g) + g0;
+            cplx* dst = bv_cols.row(g);
+            for (idx j = 0; j < wb; ++j) dst[j] = src[j];
+          }
+          for (idx i = 0; i < ns; ++i) {
+            const cplx* src = m_n.row(i) + g0;
+            cplx* dst = mn_cols.row(i);
+            for (idx j = 0; j < wb; ++j) dst[j] = src[j];
+          }
+          zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, mc, bv_cols, cplx{}, t,
+                GemmVariant::kAuto, flops);
+          zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, mn_cols,
+                g0 == 0 ? cplx{} : cplx{1.0, 0.0}, q, GemmVariant::kAuto,
+                flops);
+        }
+      }
 
       const double wk = scr.omegas[static_cast<std::size_t>(k)];
       for (idx ie = 0; ie < ne; ++ie) {

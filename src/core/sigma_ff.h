@@ -20,9 +20,11 @@
 //    subspace; the 25-100x FF speedup of Sec. 5.2 comes from here, since
 //    the full N_G basis is used only at omega = 0.
 
+#include <string>
 #include <vector>
 
 #include "core/sigma.h"
+#include "mem/spill.h"
 
 namespace xgw {
 
@@ -33,6 +35,13 @@ struct FfOptions {
   double subspace_fraction = 0.0;  ///< >0: use static subspace of this fraction
   idx n_eig = 0;                   ///< >0: explicit N_Eig (overrides fraction)
   ChiOptions chi;           ///< CHI_SUM options for the frequency sweep
+  /// Memory budget for the FF screening build (MB); 0 = unlimited. When set,
+  /// mem::plan solves for the chi nv_block / frequency batch, and — when the
+  /// per-frequency B^k v set cannot stay resident — the screening pages
+  /// through an out-of-core spill pool under `spill_dir`. Spilled runs are
+  /// BITWISE identical to in-core (binio round trips are byte-exact).
+  double memory_budget_mb = 0.0;
+  std::string spill_dir = "xgw_spill";
 };
 
 /// Per-band full-frequency result.
@@ -50,7 +59,9 @@ struct FfResult {
 struct FfScreening {
   std::vector<double> omegas;
   std::vector<double> weights;     ///< trapezoidal d_omega
-  std::vector<ZMatrix> bv;         ///< B^k * v (N_G x N_G each)
+  /// B^k * v (N_G x N_G per frequency). In-core by default; pages through
+  /// an LRU spill pool when build_ff_screening planned out-of-core.
+  mem::MatrixStore bv;
   idx n_eig_used = 0;              ///< 0 = full plane-wave path
 };
 
@@ -71,11 +82,18 @@ std::vector<FfResult> sigma_ff_diag(GwCalculation& gw, const FfScreening& scr,
 /// is built by two ZGEMMs and reused for every grid energy through the
 /// scalar pole factor. Returns Sigma^c matrices per grid energy (exchange
 /// excluded — it is energy independent; see sigma_ff_diag).
+/// `gprime_slice` > 0 bounds the N_Sigma x N_G' ZGEMM scratch by running
+/// the G' contraction in column slices of that width (mem::MemPlan solves
+/// for it under a budget). Slicing changes the floating-point summation
+/// order, so sliced results agree with unsliced to roundoff, NOT bitwise —
+/// the bitwise out-of-core guarantee covers the diag path and the
+/// screening, which never slice.
 std::vector<ZMatrix> sigma_ff_offdiag(GwCalculation& gw,
                                       const FfScreening& scr,
                                       const std::vector<idx>& bands,
                                       std::span<const double> e_grid,
                                       double eta = 0.02,
-                                      FlopCounter* flops = nullptr);
+                                      FlopCounter* flops = nullptr,
+                                      idx gprime_slice = 0);
 
 }  // namespace xgw

@@ -14,8 +14,16 @@
 
 #include "common/types.h"
 #include "la/matrix.h"
+#include "mem/tracker.h"
 
 namespace xgw {
+
+/// FFT buffers are tracked under mem::Tag::kFft and must NEVER live on a
+/// workspace arena: plans are cached process-wide and the transform
+/// workspaces are thread_local, so both outlive any mem::ArenaScope.
+using FftVector =
+    std::vector<cplx, mem::TrackedAllocator<cplx, mem::Tag::kFft,
+                                            mem::Route::kNeverArena>>;
 
 enum class FftDirection { kForward, kBackward };
 
@@ -40,8 +48,8 @@ class Fft1dPlan {
 
   idx n_;
   std::vector<idx> factors_;
-  std::vector<cplx> roots_fwd_;  // e^{-2 pi i j / n}
-  std::vector<cplx> roots_bwd_;  // e^{+2 pi i j / n}
+  FftVector roots_fwd_;  // e^{-2 pi i j / n}
+  FftVector roots_bwd_;  // e^{+2 pi i j / n}
 };
 
 /// Integer box dimensions of a 3-D FFT grid.

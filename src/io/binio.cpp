@@ -36,53 +36,76 @@ static_assert(sizeof(Header) == 32, "header must be 32 bytes");
 
 class Writer {
  public:
-  explicit Writer(const std::string& path) : os_(path, std::ios::binary) {
-    XGW_REQUIRE(os_.good(), "binio: cannot open file for writing: " + path);
+  explicit Writer(std::string path)
+      : path_(std::move(path)), os_(path_, std::ios::binary) {
+    XGW_REQUIRE(os_.good(), "binio: cannot open file for writing: " + path_);
   }
 
   void put(const void* data, std::size_t n) {
     os_.write(static_cast<const char*>(data),
               static_cast<std::streamsize>(n));
     hash_ = fnv1a(static_cast<const unsigned char*>(data), n, hash_);
+    offset_ += n;
   }
 
   void finish() {
     const std::uint64_t h = hash_;
     os_.write(reinterpret_cast<const char*>(&h), sizeof(h));
     os_.flush();
-    XGW_REQUIRE(os_.good(), "binio: write failed");
+    XGW_REQUIRE(os_.good(), "binio: write failed: '" + path_ +
+                                "' at byte offset " + std::to_string(offset_));
   }
 
  private:
+  std::string path_;
   std::ofstream os_;
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+  std::size_t offset_ = 0;
 };
 
+// Every read error names the file and the byte offset where the read
+// started — a restart that dies on a corrupt checkpoint must tell the
+// operator WHICH file and WHERE, not just that "a" checksum failed.
 class Reader {
  public:
-  explicit Reader(const std::string& path) : is_(path, std::ios::binary) {
-    XGW_REQUIRE(is_.good(), "binio: cannot open file for reading: " + path);
+  explicit Reader(std::string path)
+      : path_(std::move(path)), is_(path_, std::ios::binary) {
+    XGW_REQUIRE(is_.good(), "binio: cannot open file for reading: " + path_);
   }
 
   void get(void* data, std::size_t n) {
     is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
     XGW_REQUIRE(is_.gcount() == static_cast<std::streamsize>(n),
-                "binio: truncated file");
+                "binio: truncated file: '" + path_ + "': expected " +
+                    std::to_string(n) + " bytes at byte offset " +
+                    std::to_string(offset_) + ", got " +
+                    std::to_string(is_.gcount()));
     hash_ = fnv1a(static_cast<unsigned char*>(data), n, hash_);
+    offset_ += n;
   }
 
   void verify_checksum() {
     std::uint64_t stored = 0;
     const std::uint64_t computed = hash_;
     is_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-    XGW_REQUIRE(is_.gcount() == sizeof(stored), "binio: missing checksum");
+    XGW_REQUIRE(is_.gcount() == sizeof(stored),
+                "binio: missing checksum: '" + path_ + "' at byte offset " +
+                    std::to_string(offset_));
     XGW_REQUIRE(stored == computed,
-                "binio: checksum mismatch (corrupt file)");
+                "binio: checksum mismatch (corrupt file): '" + path_ +
+                    "': payload of " + std::to_string(offset_) +
+                    " bytes hashes to " + std::to_string(computed) +
+                    ", file stores " + std::to_string(stored));
   }
 
+  const std::string& path() const noexcept { return path_; }
+  std::size_t offset() const noexcept { return offset_; }
+
  private:
+  std::string path_;
   std::ifstream is_;
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+  std::size_t offset_ = 0;
 };
 
 Header make_header(std::uint32_t kind, idx rows, idx cols,
@@ -100,9 +123,14 @@ Header read_header(Reader& r, std::uint32_t expected_kind) {
   Header h{};
   r.get(&h, sizeof(h));
   XGW_REQUIRE(std::memcmp(h.magic, kMagic, 4) == 0,
-              "binio: bad magic (not an xgw file)");
-  XGW_REQUIRE(h.kind == expected_kind, "binio: wrong file kind");
-  XGW_REQUIRE(h.rows >= 0 && h.cols >= 0, "binio: bad dimensions");
+              "binio: bad magic (not an xgw file): '" + r.path() +
+                  "' at byte offset 0");
+  XGW_REQUIRE(h.kind == expected_kind,
+              "binio: wrong file kind: '" + r.path() + "' at byte offset 4: "
+                  "expected kind " + std::to_string(expected_kind) +
+                  ", file has kind " + std::to_string(h.kind));
+  XGW_REQUIRE(h.rows >= 0 && h.cols >= 0,
+              "binio: bad dimensions: '" + r.path() + "' at byte offset 8");
   return h;
 }
 
@@ -125,7 +153,8 @@ ZMatrix read_matrix(const std::string& path) {
   XGW_REQUIRE(h.payload_bytes ==
                   static_cast<std::int64_t>(m.size()) *
                       static_cast<std::int64_t>(sizeof(cplx)),
-              "binio: payload size mismatch");
+              "binio: payload size mismatch: '" + path +
+                  "' at byte offset 16");
   r.get(m.data(), static_cast<std::size_t>(h.payload_bytes));
   r.verify_checksum();
   return m;
@@ -154,7 +183,8 @@ Wavefunctions read_wavefunctions(const std::string& path) {
   const Header h = read_header(r, kKindWavefunctions);
   std::int64_t nval = 0;
   r.get(&nval, sizeof(nval));
-  XGW_REQUIRE(nval >= 0 && nval <= h.rows, "binio: bad n_valence");
+  XGW_REQUIRE(nval >= 0 && nval <= h.rows,
+              "binio: bad n_valence: '" + path + "' at byte offset 32");
 
   Wavefunctions wf;
   wf.coeff = ZMatrix(h.rows, h.cols);

@@ -18,6 +18,7 @@
 
 #include "common/error.h"
 #include "common/types.h"
+#include "mem/tracker.h"
 
 namespace xgw {
 
@@ -95,10 +96,15 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
+  /// Storage allocator: heap allocations are accounted to mem::Tag::kMatrix
+  /// (the `la/matrix` gauge and the run report's peak_bytes column); when a
+  /// mem::Arena is bound to the thread, storage comes from the arena.
+  using allocator_type = mem::TrackedAllocator<T, mem::Tag::kMatrix>;
+
  private:
   idx rows_ = 0;
   idx cols_ = 0;
-  std::vector<T> data_;
+  std::vector<T, allocator_type> data_;
 };
 
 using ZMatrix = Matrix<cplx>;

@@ -1,0 +1,91 @@
+#include "mem/arena.h"
+
+#include <new>
+#include <vector>
+
+namespace xgw::mem {
+
+namespace {
+
+// Per-thread binding state. `g_route` is the arena new allocations draw
+// from (nullptr = heap); `g_bound` is every arena with a live scope on this
+// thread, consulted on deallocation even while a HeapScope suspends
+// routing. Plain vector: scopes nest a handful deep at most.
+thread_local Arena* g_route = nullptr;
+thread_local std::vector<Arena*> g_bound;
+
+}  // namespace
+
+Arena::Arena(std::size_t capacity) : capacity_(capacity) {
+  slab_ = static_cast<unsigned char*>(
+      ::operator new(capacity_, std::align_val_t{64}));
+  tracker().on_alloc(Tag::kArena, capacity_);
+}
+
+Arena::~Arena() {
+  tracker().on_free(Tag::kArena, capacity_);
+  ::operator delete(slab_, std::align_val_t{64});
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) noexcept {
+  if (align < 64) align = 64;
+  const std::size_t begin = (offset_ + align - 1) & ~(align - 1);
+  if (begin + bytes > capacity_) {
+    ++overflows_;
+    return nullptr;
+  }
+  offset_ = begin + bytes;
+  if (offset_ > high_water_) high_water_ = offset_;
+  return slab_ + begin;
+}
+
+void Arena::deallocate(void* p, std::size_t bytes) noexcept {
+  // Rewind only when the block ends at the bump pointer (it was the newest
+  // live allocation): the tight alloc/free loop then reuses the same bytes.
+  // Out-of-order frees stay reserved until the enclosing mark is released.
+  auto* c = static_cast<unsigned char*>(p);
+  if (c + bytes == slab_ + offset_)
+    offset_ = static_cast<std::size_t>(c - slab_);
+}
+
+void Arena::release(Mark m) noexcept {
+  if (m.offset <= offset_) offset_ = m.offset;
+}
+
+ArenaScope::ArenaScope(Arena& arena) : arena_(&arena), mark_(arena.mark()) {
+  g_bound.push_back(arena_);
+  g_route = arena_;
+}
+
+ArenaScope::~ArenaScope() {
+  arena_->release(mark_);
+  g_bound.pop_back();
+  g_route = g_bound.empty() ? nullptr : g_bound.back();
+}
+
+HeapScope::HeapScope() : saved_(g_route) { g_route = nullptr; }
+
+HeapScope::~HeapScope() { g_route = saved_; }
+
+Arena* current_arena() noexcept { return g_route; }
+
+Arena* owning_arena(const void* p) noexcept {
+  for (auto it = g_bound.rbegin(); it != g_bound.rend(); ++it)
+    if ((*it)->contains(p)) return *it;
+  return nullptr;
+}
+
+void* tracked_arena_alloc(std::size_t bytes, std::size_t align) noexcept {
+  Arena* a = g_route;
+  if (a == nullptr) return nullptr;
+  return a->allocate(bytes, align);
+}
+
+bool tracked_arena_free(void* p, std::size_t bytes) noexcept {
+  Arena* a = owning_arena(p);
+  if (a == nullptr) return false;
+  a->deallocate(p, bytes);
+  return true;
+}
+
+}  // namespace xgw::mem

@@ -1,0 +1,110 @@
+#pragma once
+
+// Workspace arenas — the no-allocation half of the memory subsystem.
+//
+// GW inner loops (the epsilon frequency loop, the CHI-Freq accumulation,
+// the Sigma band loop) need the same set of temporaries every iteration.
+// An Arena is one tracked slab with a bump pointer: allocation is a pointer
+// add, release is a watermark rewind, and iteration N reuses iteration
+// N-1's bytes exactly — the steady state performs zero heap allocations
+// (asserted by tests via MemTracker::alloc_calls).
+//
+// Binding: ArenaScope pushes the arena onto a thread-local stack and takes
+// a mark; while bound, every TrackedAllocator container constructed on this
+// thread (ZMatrix, tracked vectors) draws from the arena. The scope's
+// destructor releases back to the mark. Containers must therefore not
+// outlive the scope that allocated them — copy results out under HeapScope
+// (which suspends the binding) before the scope closes.
+//
+// Overflow is graceful: when the slab cannot satisfy a request the
+// allocator falls back to the tracked heap path, so an undersized arena
+// costs performance, never correctness (overflow count is recorded).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mem/tracker.h"
+
+namespace xgw::mem {
+
+class Arena {
+ public:
+  /// Reserves one slab of `capacity` bytes (tracked under Tag::kArena).
+  explicit Arena(std::size_t capacity);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump allocation aligned to `align` (>= 64 for matrix rows); returns
+  /// nullptr when the remaining slab cannot hold `bytes` (caller falls back
+  /// to the heap).
+  void* allocate(std::size_t bytes, std::size_t align = 64) noexcept;
+
+  /// Frees one block: rewinds the bump pointer when `p` is the most recent
+  /// live allocation (tight-loop reuse); otherwise the bytes stay reserved
+  /// until the enclosing mark is released.
+  void deallocate(void* p, std::size_t bytes) noexcept;
+
+  struct Mark {
+    std::size_t offset = 0;
+  };
+
+  Mark mark() const noexcept { return Mark{offset_}; }
+  void release(Mark m) noexcept;
+
+  bool contains(const void* p) const noexcept {
+    const auto* c = static_cast<const unsigned char*>(p);
+    return c >= slab_ && c < slab_ + capacity_;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t used() const noexcept { return offset_; }
+  /// High-water mark of the bump pointer over the arena's lifetime.
+  std::size_t high_water() const noexcept { return high_water_; }
+  /// Requests that did not fit and fell back to the heap.
+  std::uint64_t overflow_count() const noexcept { return overflows_; }
+
+ private:
+  friend class ArenaScope;
+
+  unsigned char* slab_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t offset_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+/// Binds `arena` to the calling thread for the scope's lifetime and
+/// releases to the entry mark on destruction. Nests (inner scopes shadow
+/// outer ones); each scope must be destroyed on the thread that created it.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Mark mark_;
+};
+
+/// Temporarily suspends any arena binding on the calling thread: containers
+/// constructed inside a HeapScope allocate from the tracked heap and may
+/// safely outlive the surrounding ArenaScope (how per-iteration results are
+/// copied out of the arena).
+class HeapScope {
+ public:
+  HeapScope();
+  ~HeapScope();
+
+  HeapScope(const HeapScope&) = delete;
+  HeapScope& operator=(const HeapScope&) = delete;
+
+ private:
+  Arena* saved_;
+};
+
+}  // namespace xgw::mem

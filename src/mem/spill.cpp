@@ -1,0 +1,197 @@
+#include "mem/spill.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.h"
+#include "io/binio.h"
+#include "mem/arena.h"
+#include "mem/tracker.h"
+
+namespace xgw::mem {
+
+namespace {
+
+std::size_t matrix_bytes(const ZMatrix& m) {
+  return static_cast<std::size_t>(m.size()) * sizeof(cplx);
+}
+
+}  // namespace
+
+SpillPool::SpillPool(std::string dir, std::size_t resident_budget_bytes,
+                     std::string prefix)
+    : dir_(std::move(dir)), prefix_(std::move(prefix)),
+      budget_(resident_budget_bytes) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  XGW_REQUIRE(!ec, "spill: cannot create spill directory: " + dir_ + " (" +
+                       ec.message() + ")");
+}
+
+SpillPool::~SpillPool() {
+  std::error_code ec;
+  for (auto& [key, e] : entries_)
+    if (e.on_disk) {
+      tracker().on_free(Tag::kSpill, e.bytes);
+      std::filesystem::remove(file_for(key), ec);
+    }
+}
+
+std::string SpillPool::file_for(const std::string& key) const {
+  return dir_ + "/" + prefix_ + key + ".xgw";
+}
+
+void SpillPool::touch(Entry& e, const std::string& key) {
+  lru_.erase(e.lru);
+  lru_.push_front(key);
+  e.lru = lru_.begin();
+}
+
+void SpillPool::evict(const std::string& key, Entry& e) {
+  const std::size_t bytes = e.bytes;
+  if (!e.on_disk) {
+    // First spill of this content. Entries are immutable between put()s
+    // (and put resets on_disk), so a paged-in entry still matches its file
+    // byte-for-byte — re-evicting it skips the write entirely.
+    write_matrix(file_for(key), e.m);
+    bytes_written_ += bytes;
+    tracker().on_alloc(Tag::kSpill, bytes);  // bytes now live on disk
+  }
+  e.m = ZMatrix();
+  e.resident = false;
+  e.on_disk = true;
+  lru_.erase(e.lru);
+  resident_bytes_ -= bytes;
+  ++evictions_;
+}
+
+void SpillPool::page_in(const std::string& key, Entry& e) {
+  // Spilled matrices must come back on the tracked heap even when the
+  // caller has an arena bound: a paged-in entry outlives any arena scope.
+  HeapScope heap;
+  e.m = read_matrix(file_for(key));
+  e.resident = true;
+  e.on_disk = true;  // keep the file; next eviction overwrites it
+  lru_.push_front(key);
+  e.lru = lru_.begin();
+  resident_bytes_ += e.bytes;
+  ++page_ins_;
+  bytes_read_ += e.bytes;
+  XGW_REQUIRE(matrix_bytes(e.m) == e.bytes,
+              "spill: paged-in size mismatch for key " + key);
+}
+
+void SpillPool::make_room(std::size_t incoming_bytes, const Entry* keep) {
+  while (resident_bytes_ + incoming_bytes > budget_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    Entry& e = entries_.at(victim);
+    if (&e == keep) break;  // never evict the entry being served
+    evict(victim, e);
+  }
+}
+
+void SpillPool::put(const std::string& key, ZMatrix m) {
+  const std::size_t bytes = matrix_bytes(m);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& e = it->second;
+    if (e.resident) {
+      resident_bytes_ -= e.bytes;
+      lru_.erase(e.lru);
+    }
+    if (e.on_disk) tracker().on_free(Tag::kSpill, e.bytes);
+    e = Entry{};
+  }
+  make_room(bytes, nullptr);
+  Entry& e = entries_[key];
+  {
+    // The stored copy lives for the pool's lifetime: force it off any
+    // bound arena. (A move would carry arena-backed storage along.)
+    HeapScope heap;
+    e.m = m;
+  }
+  e.resident = true;
+  e.on_disk = false;
+  e.bytes = bytes;
+  lru_.push_front(key);
+  e.lru = lru_.begin();
+  resident_bytes_ += bytes;
+}
+
+const ZMatrix& SpillPool::get(const std::string& key) {
+  auto it = entries_.find(key);
+  XGW_REQUIRE(it != entries_.end(), "spill: no such entry: " + key);
+  Entry& e = it->second;
+  if (!e.resident) {
+    make_room(e.bytes, &e);
+    page_in(key, e);
+  } else {
+    touch(e, key);
+  }
+  return e.m;
+}
+
+ZMatrix SpillPool::take(const std::string& key) {
+  auto it = entries_.find(key);
+  XGW_REQUIRE(it != entries_.end(), "spill: no such entry: " + key);
+  Entry& e = it->second;
+  if (!e.resident) {
+    make_room(e.bytes, &e);
+    page_in(key, e);
+  } else {
+    lru_.erase(e.lru);
+  }
+  resident_bytes_ -= e.bytes;
+  if (e.on_disk) {
+    tracker().on_free(Tag::kSpill, e.bytes);
+    std::error_code ec;
+    std::filesystem::remove(file_for(key), ec);
+  }
+  ZMatrix out = std::move(e.m);
+  entries_.erase(it);
+  return out;
+}
+
+bool SpillPool::contains(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+void MatrixStore::enable_spill(const std::string& dir,
+                               std::size_t resident_budget_bytes,
+                               const std::string& prefix) {
+  XGW_REQUIRE(pool_ == nullptr, "MatrixStore: spill already enabled");
+  pool_ = std::make_unique<SpillPool>(dir, resident_budget_bytes, prefix);
+  for (idx i = 0; i < n_; ++i)
+    pool_->put(key(i), std::move(in_core_[static_cast<std::size_t>(i)]));
+  in_core_.clear();
+  in_core_.shrink_to_fit();
+}
+
+void MatrixStore::push_back(ZMatrix m) {
+  if (pool_) {
+    pool_->put(key(n_), std::move(m));
+  } else {
+    HeapScope heap;
+    in_core_.push_back(m);
+  }
+  ++n_;
+}
+
+void MatrixStore::set(idx i, ZMatrix m) {
+  XGW_REQUIRE(i >= 0 && i < n_, "MatrixStore: index out of range");
+  if (pool_) {
+    pool_->put(key(i), std::move(m));
+  } else {
+    HeapScope heap;
+    in_core_[static_cast<std::size_t>(i)] = m;
+  }
+}
+
+const ZMatrix& MatrixStore::get(idx i) const {
+  XGW_REQUIRE(i >= 0 && i < n_, "MatrixStore: index out of range");
+  if (pool_) return pool_->get(key(i));
+  return in_core_[static_cast<std::size_t>(i)];
+}
+
+}  // namespace xgw::mem

@@ -1,0 +1,130 @@
+#pragma once
+
+// Out-of-core spill — graceful degradation when the planner says the
+// problem does not fit (MemPlan::needs_spill).
+//
+// A SpillPool is an LRU cache of named ZMatrix entries with a resident-byte
+// budget. Inserting past the budget evicts the least-recently-used entries
+// to disk through io/binio (whose format carries an FNV-1a checksum, so
+// every page-in is verified); touching a spilled entry reads it back.
+// Because binio round-trips are byte-exact, a run that pages through the
+// pool produces BITWISE identical results to the in-core run — the CI
+// out-of-core smoke job diffs QP energies for equality, not tolerance.
+//
+// MatrixStore is the call-site facade: an indexed sequence of matrices
+// (ε^{-1} per frequency, FF screening coefficient matrices) that is a plain
+// vector until `enable_spill` is called, after which it pages through a
+// SpillPool transparently. References returned by get() are valid only
+// until the next store operation when spill is enabled.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace xgw::mem {
+
+class SpillPool {
+ public:
+  /// `dir` is created if missing; spill files live under it as
+  /// `<prefix><key>.xgw` and are removed by the destructor.
+  SpillPool(std::string dir, std::size_t resident_budget_bytes,
+            std::string prefix = "spill_");
+  ~SpillPool();
+
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  /// Inserts (or replaces) an entry, then evicts LRU entries until the
+  /// resident total is back under budget. The inserted entry itself is
+  /// never evicted by its own put (the caller holds no reference yet, but
+  /// a pool must always admit its newest matrix even if it alone exceeds
+  /// the budget).
+  void put(const std::string& key, ZMatrix m);
+
+  /// Returns the entry, paging it in from disk if it was evicted (and
+  /// possibly evicting others to make room). The reference is valid until
+  /// the next put/get/take on this pool.
+  const ZMatrix& get(const std::string& key);
+
+  /// Removes the entry from the pool and returns it (paging in if needed).
+  ZMatrix take(const std::string& key);
+
+  bool contains(const std::string& key) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t resident_bytes() const noexcept { return resident_bytes_; }
+  std::size_t budget_bytes() const noexcept { return budget_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t page_ins() const noexcept { return page_ins_; }
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  std::uint64_t bytes_read() const noexcept { return bytes_read_; }
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  struct Entry {
+    ZMatrix m;                    // empty when evicted to disk
+    bool resident = false;
+    bool on_disk = false;
+    std::size_t bytes = 0;        // payload bytes when resident
+    std::list<std::string>::iterator lru;  // valid only when resident
+  };
+
+  std::string file_for(const std::string& key) const;
+  void touch(Entry& e, const std::string& key);
+  void make_room(std::size_t incoming_bytes, const Entry* keep);
+  void evict(const std::string& key, Entry& e);
+  void page_in(const std::string& key, Entry& e);
+
+  std::string dir_;
+  std::string prefix_;
+  std::size_t budget_ = 0;
+  std::size_t resident_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t page_ins_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+};
+
+/// Indexed matrix sequence that is in-core by default and pages through a
+/// SpillPool once `enable_spill` is called. push_back/get/set mirror the
+/// std::vector<ZMatrix> it replaces at the call sites.
+class MatrixStore {
+ public:
+  MatrixStore() = default;
+
+  /// Switches the store to spill mode. Existing entries migrate into the
+  /// pool. Must be called before (or between) accesses, not concurrently.
+  void enable_spill(const std::string& dir, std::size_t resident_budget_bytes,
+                    const std::string& prefix = "store_");
+
+  bool spilling() const noexcept { return pool_ != nullptr; }
+
+  void push_back(ZMatrix m);
+  void set(idx i, ZMatrix m);
+
+  /// Valid until the next store operation when spilling; stable otherwise.
+  const ZMatrix& get(idx i) const;
+
+  idx size() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  const SpillPool* pool() const noexcept { return pool_.get(); }
+
+ private:
+  std::string key(idx i) const { return std::to_string(i); }
+
+  std::vector<ZMatrix> in_core_;
+  std::unique_ptr<SpillPool> pool_;
+  idx n_ = 0;
+};
+
+}  // namespace xgw::mem

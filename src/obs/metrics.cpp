@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "mem/tracker.h"
 #include "obs/json.h"
 
 namespace xgw::obs {
@@ -103,6 +104,23 @@ void MetricsRegistry::clear() {
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
   return *reg;
+}
+
+void record_mem_gauges() {
+  MetricsRegistry& reg = metrics();
+  const mem::MemTracker& t = mem::tracker();
+  reg.gauge("mem/current_bytes").set(static_cast<double>(t.current_bytes()));
+  reg.gauge("mem/peak_bytes").set(static_cast<double>(t.peak_bytes()));
+  reg.gauge("mem/alloc_calls").set(static_cast<double>(t.alloc_calls()));
+  for (int i = 0; i < mem::kTagCount; ++i) {
+    const auto tag = static_cast<mem::Tag>(i);
+    const mem::TagStats s = t.tag(tag);
+    if (s.alloc_calls == 0 && s.current_bytes == 0) continue;
+    const std::string base = std::string("mem/") + mem::tag_name(tag);
+    reg.gauge(base + "/current_bytes")
+        .set(static_cast<double>(s.current_bytes));
+    reg.gauge(base + "/peak_bytes").set(static_cast<double>(s.peak_bytes));
+  }
 }
 
 }  // namespace xgw::obs

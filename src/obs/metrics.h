@@ -109,4 +109,10 @@ class MetricsRegistry {
 /// Shorthand for MetricsRegistry::global().
 inline MetricsRegistry& metrics() { return MetricsRegistry::global(); }
 
+/// Publishes the mem::MemTracker state as gauges on the global registry:
+/// mem/current_bytes, mem/peak_bytes, mem/alloc_calls, and per-tag
+/// mem/<tag>/{current,peak}_bytes for tags that saw traffic. Call before
+/// snapshotting metrics (the driver does, ahead of every metrics write).
+void record_mem_gauges();
+
 }  // namespace xgw::obs

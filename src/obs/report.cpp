@@ -54,7 +54,8 @@ std::string RunReportDoc::to_json() const {
     os << "    {\"name\": " << json::quote(s.name) << ", \"seconds\": ";
     put_double(s.seconds);
     os << ", \"calls\": " << s.calls << ", \"flops\": " << s.flops
-       << ", \"bytes\": " << s.bytes << ", \"gflops\": ";
+       << ", \"bytes\": " << s.bytes << ", \"peak_bytes\": " << s.peak_bytes
+       << ", \"gflops\": ";
     put_double(s.gflops);
     if (s.roofline_gflops > 0.0) {
       os << ", \"roofline_gflops\": ";
@@ -96,6 +97,7 @@ RunReportDoc build_run_report(const TraceRecorder& rec, std::string job,
     s.calls = a.calls;
     s.flops = a.flops;
     s.bytes = a.bytes;
+    s.peak_bytes = a.peak_bytes;
     s.gflops =
         a.seconds > 0.0 ? static_cast<double>(a.flops) / a.seconds / 1e9 : 0.0;
     if (peak_gflops > 0.0 && mem_bandwidth_gbs > 0.0 && s.bytes > 0) {

@@ -27,6 +27,10 @@ struct StageReport {
   long calls = 0;
   std::uint64_t flops = 0;
   std::uint64_t bytes = 0;
+  /// Tracked-allocation high-water mark observed while the stage's spans
+  /// were open (max over calls, bytes; see TraceCounters::peak_bytes for
+  /// exactness semantics). 0 = never sampled.
+  std::uint64_t peak_bytes = 0;
   double gflops = 0.0;          ///< achieved rate (flops / seconds / 1e9)
   double roofline_gflops = 0.0; ///< min(peak, AI * bw); 0 = not annotated
 };

@@ -1,8 +1,10 @@
 #include "obs/span.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
+#include "mem/tracker.h"
 #include "obs/json.h"
 
 namespace xgw::obs {
@@ -19,6 +21,8 @@ void Span::open() noexcept {
   active_ = true;
   parent_ = t_current;
   t_current = this;
+  mem_hwm0_ = mem::tracker().peak_bytes();
+  mem_cur0_ = mem::tracker().current_bytes();
   start_ = std::chrono::steady_clock::now();
   t0_us_ = recorder().now_us();
 }
@@ -38,6 +42,14 @@ void Span::close() noexcept {
   const double dur_us = std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() - start_)
                             .count();
+  // Peak tracked bytes while the span was open: when the process high-water
+  // mark moved during the span, that new mark IS the within-span peak
+  // (exact); otherwise report the larger of the endpoint residents, a
+  // documented lower bound.
+  const std::uint64_t hwm1 = mem::tracker().peak_bytes();
+  counters_.peak_bytes =
+      hwm1 > mem_hwm0_ ? hwm1
+                       : std::max(mem_cur0_, mem::tracker().current_bytes());
   recorder().record_complete(name_, cat_, t0_us_, dur_us, counters_,
                              std::move(args_));
 }
@@ -50,6 +62,8 @@ Span::Span(Span&& o) noexcept
       parent_(o.parent_),
       start_(o.start_),
       t0_us_(o.t0_us_),
+      mem_hwm0_(o.mem_hwm0_),
+      mem_cur0_(o.mem_cur0_),
       counters_(o.counters_),
       args_(std::move(o.args_)) {
   o.reg_ = nullptr;

@@ -91,6 +91,10 @@ class Span {
   Span* parent_ = nullptr;
   std::chrono::steady_clock::time_point start_{};
   double t0_us_ = 0.0;
+  // mem::MemTracker samples at open (high-water mark and current bytes):
+  // close() derives the span's peak_bytes counter from them.
+  std::uint64_t mem_hwm0_ = 0;
+  std::uint64_t mem_cur0_ = 0;
   TraceCounters counters_;
   std::string args_;
 };

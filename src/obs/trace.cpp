@@ -219,6 +219,10 @@ std::string TraceRecorder::chrome_trace_json() const {
       arg_sep();
       os << "\"items\":" << e.counters.items;
     }
+    if (e.counters.peak_bytes != 0) {
+      arg_sep();
+      os << "\"peak_bytes\":" << e.counters.peak_bytes;
+    }
     if (e.ph == 'X' && e.counters.flops != 0 && e.dur_us > 0.0) {
       std::snprintf(num, sizeof(num), "%.3f",
                     static_cast<double>(e.counters.flops) / (e.dur_us * 1e3));
@@ -258,6 +262,7 @@ std::map<std::string, TraceRecorder::Aggregate> TraceRecorder::aggregate()
     a.flops += e.counters.flops;
     a.bytes += e.counters.bytes;
     a.items += e.counters.items;
+    a.peak_bytes = std::max(a.peak_bytes, e.counters.peak_bytes);
   }
   return agg;
 }

@@ -63,6 +63,10 @@ struct TraceCounters {
   std::uint64_t flops = 0;
   std::uint64_t bytes = 0;
   std::uint64_t items = 0;
+  /// Tracked-heap high-water mark observed while the span was open (bytes,
+  /// from mem::MemTracker). Exact when the span raised the process peak;
+  /// otherwise a lower bound. 0 = not sampled.
+  std::uint64_t peak_bytes = 0;
 };
 
 /// One trace_event. `cat` must point at a string literal (never freed);
@@ -150,6 +154,7 @@ class TraceRecorder {
     std::uint64_t flops = 0;
     std::uint64_t bytes = 0;
     std::uint64_t items = 0;
+    std::uint64_t peak_bytes = 0;  ///< max over calls, not a sum
   };
   std::map<std::string, Aggregate> aggregate() const;
 

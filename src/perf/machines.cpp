@@ -13,6 +13,7 @@ Machine frontier() {
   m.peak_per_gpu = 23.9e12;     // FP64 per GCD (matrix-core peak)
   m.attainable_per_gpu = m.peak_per_gpu;
   m.hbm_bw_per_gpu = 1.6e12;    // HBM2e per GCD
+  m.hbm_per_gpu = 64e9;         // 64 GB HBM2e per GCD
   m.fs_write_bw = 5e12;         // Orion scratch, order of magnitude
   m.net.alpha_s = 2.0e-6;       // Slingshot-11
   m.net.beta_s_per_byte = 1.0 / 25e9;
@@ -28,6 +29,7 @@ Machine aurora() {
   m.peak_per_gpu = 17.0e12;      // FP64 per tile, theoretical
   m.attainable_per_gpu = 11.4e12;// measured vector-MAD peak (Intel Advisor)
   m.hbm_bw_per_gpu = 1.6e12;
+  m.hbm_per_gpu = 64e9;          // 64 GB HBM2e per PVC tile
   m.fs_write_bw = 4e12;
   m.net.alpha_s = 2.2e-6;        // Slingshot-11, dragonfly
   m.net.beta_s_per_byte = 1.0 / 25e9;
@@ -43,6 +45,7 @@ Machine perlmutter() {
   m.peak_per_gpu = 9.7e12;
   m.attainable_per_gpu = m.peak_per_gpu;
   m.hbm_bw_per_gpu = 1.5e12;
+  m.hbm_per_gpu = 40e9;          // 40 GB HBM2 A100
   m.fs_write_bw = 3e12;
   m.net.alpha_s = 2.0e-6;
   m.net.beta_s_per_byte = 1.0 / 25e9;
@@ -56,6 +59,15 @@ Machine machine_by_kind(MachineKind kind) {
     case MachineKind::kPerlmutter: return perlmutter();
   }
   XGW_REQUIRE(false, "machine_by_kind: unknown kind");
+  return frontier();  // unreachable
+}
+
+Machine machine_by_name(const std::string& name) {
+  if (name == "frontier") return frontier();
+  if (name == "aurora") return aurora();
+  if (name == "perlmutter") return perlmutter();
+  XGW_REQUIRE(false, "machine_by_name: unknown machine '" + name +
+                         "' (expected frontier | aurora | perlmutter)");
   return frontier();  // unreachable
 }
 

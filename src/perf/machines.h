@@ -29,6 +29,8 @@ struct Machine {
   double peak_per_gpu;      ///< FP64 FLOP/s per GPU unit (theoretical)
   double attainable_per_gpu;///< measured attainable (Aurora note); else = peak
   double hbm_bw_per_gpu;    ///< bytes/s
+  double hbm_per_gpu;       ///< HBM capacity per GPU unit (bytes) — the
+                            ///< budget mem::Planner sizes NV-Block against
   double fs_write_bw;       ///< aggregate filesystem bandwidth (bytes/s)
   NetworkModel net;
 
@@ -54,5 +56,9 @@ Machine aurora();
 Machine perlmutter();
 
 Machine machine_by_kind(MachineKind kind);
+
+/// Case-sensitive lowercase lookup ("frontier" | "aurora" | "perlmutter");
+/// throws xgw::Error on unknown names (driver `memory_budget_machine` key).
+Machine machine_by_name(const std::string& name);
 
 }  // namespace xgw

@@ -26,8 +26,17 @@
 #include <vector>
 
 #include "common/types.h"
+#include "mem/tracker.h"
 
 namespace xgw {
+
+/// Checkpoint payload buffer — accounted under mem::Tag::kCheckpoint so the
+/// tracker's per-tag columns expose restart-state footprint. kNeverArena:
+/// payloads outlive any workspace scope.
+using CkptBuffer =
+    std::vector<unsigned char,
+                mem::TrackedAllocator<unsigned char, mem::Tag::kCheckpoint,
+                                      mem::Route::kNeverArena>>;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). Pass the previous
 /// return value as `crc` to stream over multiple buffers.
@@ -47,7 +56,7 @@ struct Checkpoint {
   std::int64_t step = 0;          ///< completed loop iterations
   std::int64_t total = 0;         ///< loop extent (validated on resume)
   std::uint64_t config_hash = 0;  ///< rejects resuming a different run
-  std::vector<unsigned char> payload;  ///< stage-specific serialized state
+  CkptBuffer payload;             ///< stage-specific serialized state
 };
 
 /// Atomic save: tmp write + rename; an existing checkpoint at `path` is
@@ -77,12 +86,12 @@ class CkptWriter {
   void put_span(std::span<const double> v);
   void put_span(std::span<const cplx> v);
 
-  std::vector<unsigned char> take() { return std::move(buf_); }
+  CkptBuffer take() { return std::move(buf_); }
 
  private:
   void put_raw(const void* data, std::size_t n);
 
-  std::vector<unsigned char> buf_;
+  CkptBuffer buf_;
 };
 
 /// Bounds-checked reader over a checkpoint payload; throws xgw::Error on

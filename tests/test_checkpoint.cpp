@@ -102,7 +102,7 @@ TEST(Checkpoint, RoundTripExact) {
 TEST(Checkpoint, ReaderRejectsOverrun) {
   CkptWriter w;
   w.put_u32(7);
-  const std::vector<unsigned char> buf = w.take();
+  const CkptBuffer buf = w.take();
   CkptReader r(buf);
   EXPECT_EQ(r.get_u32(), 7u);
   EXPECT_THROW(r.get_i64(), Error);  // truncated payloads fail loudly

@@ -117,6 +117,78 @@ TEST(BinIo, MissingFileThrows) {
   EXPECT_THROW(read_matrix(temp_path("does_not_exist.bin")), Error);
 }
 
+// --- negative paths must name the file and the byte offset ---------------
+// A corrupt restart on a 9000-node run is only debuggable if the error says
+// WHICH file failed and WHERE, not just that "a" checksum mismatched.
+
+std::string error_message_of(const std::string& path) {
+  try {
+    read_matrix(path);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(BinIoNegative, TruncatedFileNamesPathAndOffset) {
+  const std::string path = temp_path("neg_trunc.bin");
+  FileGuard guard(path);
+  ZMatrix m(8, 8);
+  write_matrix(path, m);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+
+  const std::string msg = error_message_of(path);
+  ASSERT_FALSE(msg.empty()) << "expected read_matrix to throw";
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset"), std::string::npos) << msg;
+}
+
+TEST(BinIoNegative, FlippedChecksumByteNamesPathAndOffset) {
+  const std::string path = temp_path("neg_cksum.bin");
+  FileGuard guard(path);
+  Rng rng(7);
+  ZMatrix m(8, 8);
+  for (idx i = 0; i < m.size(); ++i) m.data()[i] = rng.normal_cplx();
+  write_matrix(path, m);
+
+  // Flip one byte of the trailing FNV-1a checksum (the last 8 bytes).
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const auto pos =
+        static_cast<std::streamoff>(std::filesystem::file_size(path)) - 3;
+    f.seekg(pos);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(pos);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+
+  const std::string msg = error_message_of(path);
+  ASSERT_FALSE(msg.empty()) << "expected read_matrix to throw";
+  EXPECT_NE(msg.find("checksum mismatch"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+}
+
+TEST(BinIoNegative, WrongKindHeaderNamesPathAndKinds) {
+  const std::string path = temp_path("neg_kind.bin");
+  FileGuard guard(path);
+  ZMatrix m(4, 4);
+  write_matrix(path, m);
+
+  std::string msg;
+  try {
+    read_wavefunctions(path);
+  } catch (const Error& e) {
+    msg = e.what();
+  }
+  ASSERT_FALSE(msg.empty()) << "expected read_wavefunctions to throw";
+  EXPECT_NE(msg.find("wrong file kind"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(path), std::string::npos) << msg;
+  EXPECT_NE(msg.find("byte offset 4"), std::string::npos) << msg;
+}
+
 TEST(BinIo, StagedWorkflowEpsmatReuse) {
   // The production pattern the "incl. I/O" rows measure: Epsilon writes
   // eps^{-1}, Sigma reads it back and proceeds.
