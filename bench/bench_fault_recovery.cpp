@@ -47,7 +47,7 @@ SimCluster::RunReport run_campaign(const SimCluster& cluster, idx n_items,
   return cluster.run_items_ft(n_items, item_fn, opt);
 }
 
-void failure_rate_sweep() {
+void failure_rate_sweep(Suite& suite) {
   section("time-to-solution vs per-attempt failure rate");
   const idx n_ranks = 16;
   const idx n_items = 128;
@@ -77,6 +77,14 @@ void failure_rate_sweep() {
            fmt_int(static_cast<long long>(pt.rep.failed_ranks.size())),
            fmt(pt.rep.recovery_s, 3), fmt(t2s, 3),
            fmt(100.0 * (t2s / t0 - 1.0), 1) + "%"});
+    // Retries/dead ranks are seeded-injector outputs: deterministic ints.
+    suite.series("fault_sweep/p=" + fmt(pt.p_fail, 2))
+        .counter("retries", static_cast<double>(pt.rep.retries))
+        .counter("dead_ranks",
+                 static_cast<double>(pt.rep.failed_ranks.size()))
+        .value("recovery_s", pt.rep.recovery_s)
+        .value("t2s_s", t2s)
+        .value("overhead_pct", 100.0 * (t2s / t0 - 1.0));
   }
   t.print();
   std::printf(
@@ -86,7 +94,7 @@ void failure_rate_sweep() {
       t0);
 }
 
-void node_loss_sweep() {
+void node_loss_sweep(Suite& suite) {
   section("degraded-mode cost of losing k of 16 ranks outright");
   const idx n_ranks = 16;
   const idx n_items = 128;
@@ -106,6 +114,12 @@ void node_loss_sweep() {
     const double t2s = rep.time_to_solution();
     t.row({fmt_int(k), fmt_int(rep.retries), fmt(rep.recovery_s, 3),
            fmt(t2s, 3), fmt(t2s / t0, 2) + "x"});
+    suite.series("node_loss/k=" + fmt_int(k))
+        .counter("ranks_lost", static_cast<double>(k))
+        .counter("retries", static_cast<double>(rep.retries))
+        .value("recovery_s", rep.recovery_s)
+        .value("t2s_s", t2s)
+        .value("slowdown", t2s / t0);
   }
   t.print();
   std::printf(
@@ -118,7 +132,9 @@ void node_loss_sweep() {
 
 int main() {
   std::printf("xgw — fault-tolerant runtime: recovery cost sweep\n");
-  failure_rate_sweep();
-  node_loss_sweep();
+  Suite suite("fault_recovery");
+  failure_rate_sweep(suite);
+  node_loss_sweep(suite);
+  suite.write();
   return 0;
 }

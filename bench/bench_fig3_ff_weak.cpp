@@ -23,7 +23,7 @@ using namespace xgw::bench;
 
 namespace {
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Part 1 (measured): xgw FF-Epsilon kernel breakdown, Si16");
   GwParameters p;
   p.eps_cutoff = 1.0;
@@ -76,9 +76,18 @@ void measured_part() {
       "%.2fx the zero-frequency full-basis calculation (paper: 'about the\n"
       "same time').\n",
       static_cast<int>(n_freq), 100 * subspace_frac, t_chifreq / t_chi0);
+
+  suite.series("measured/si16")
+      .counter("n_freq", static_cast<double>(n_freq))
+      .counter("n_eig", static_cast<double>(sub.n_eig()))
+      .value("chi0_s", t_chi0)
+      .value("chi_freq_s", t_chifreq)
+      .value("transf_s", t_transf)
+      .value("diag_s", t_diag)
+      .value("chifreq_over_chi0", t_chifreq / t_chi0);
 }
 
-void simulated_part() {
+void simulated_part(Suite& suite) {
   section("Part 2 (simulated): Fig. 3 weak scaling on Aurora");
   ScalingSimulator sim(aurora());
   SigmaWorkload base{"FF-weak", 128, 3100, 20000, 54000, 0, false, 94.27};
@@ -92,6 +101,13 @@ void simulated_part() {
                                        ProgModel::kSycl);
     t.row({fmt_int(n), fmt(k.chi0, 2), fmt(k.chi_freq, 2), fmt(k.transf, 3),
            fmt(k.mtxel, 2), fmt(k.diag, 2), fmt(k.total(), 2)});
+    suite.series("sim/nodes=" + fmt_int(n))
+        .value("chi0_s", k.chi0)
+        .value("chi_freq_s", k.chi_freq)
+        .value("transf_s", k.transf)
+        .value("mtxel_s", k.mtxel)
+        .value("diag_s", k.diag)
+        .value("total_s", k.total());
   }
   t.print();
   std::printf(
@@ -105,7 +121,9 @@ void simulated_part() {
 
 int main() {
   std::printf("xgw — Fig. 3 reproduction (GW-FF Epsilon weak scaling)\n");
-  measured_part();
-  simulated_part();
+  Suite suite("fig3_ff_weak");
+  measured_part(suite);
+  simulated_part(suite);
+  suite.write();
   return 0;
 }

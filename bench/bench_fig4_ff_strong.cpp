@@ -22,7 +22,7 @@ using namespace xgw::bench;
 
 namespace {
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Part 1 (measured): FF-Sigma strong scaling over simulated ranks");
   GwParameters p;
   p.eps_cutoff = 1.0;
@@ -54,6 +54,12 @@ void measured_part() {
     if (ranks == 1) t1 = t2s;
     t.row({fmt_int(ranks), fmt(t2s, 3), fmt(t1 / t2s, 2),
            fmt(100.0 * report.parallel_efficiency(), 1) + "%"});
+    suite.series("measured/ranks=" + fmt_int(ranks))
+        .counter("ranks", static_cast<double>(ranks))
+        .counter("n_bands", static_cast<double>(bands.size()))
+        .value("t2s_s", t2s)
+        .value("speedup", t1 / t2s)
+        .value("parallel_eff", report.parallel_efficiency());
   }
   t.print();
   std::printf(
@@ -62,7 +68,7 @@ void measured_part() {
       "over 8 ranks) — the 'extreme parallelism over N_Sigma' of Sec. 7.2.\n");
 }
 
-void simulated_part() {
+void simulated_part(Suite& suite) {
   section("Part 2 (simulated): Fig. 4 strong scaling, FF Sigma, Si510-like");
   SigmaWorkload w{"Si510-FF", 512, 15000, 26529, 74653, 0, false, 94.27};
 
@@ -80,6 +86,8 @@ void simulated_part() {
       ScalingSimulator sim(m);
       const auto pt = sim.ff_sigma(w, n, 19, 0.2, native_model(mk));
       row.push_back(fmt(pt.seconds, 2));
+      suite.series("sim/" + m.name).value("seconds_n" + fmt_int(n),
+                                          pt.seconds);
     }
     t.row(row);
   }
@@ -94,7 +102,9 @@ void simulated_part() {
 
 int main() {
   std::printf("xgw — Fig. 4 reproduction (GW-FF strong scaling)\n");
-  measured_part();
-  simulated_part();
+  Suite suite("fig4_ff_strong");
+  measured_part(suite);
+  simulated_part(suite);
+  suite.write();
   return 0;
 }

@@ -18,7 +18,7 @@ using namespace xgw::bench;
 
 namespace {
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Part 1 (measured): per-rank-constant work on the CPU GPP kernel");
   GwParameters p;
   p.eps_cutoff = 1.2;
@@ -46,11 +46,15 @@ void measured_part() {
     if (ranks == 1) t1 = t_max;
     t.row({fmt_int(ranks), fmt_int(n_sigma), fmt(t_max, 3),
            fmt(100.0 * t1 / t_max, 1) + "%"});
+    suite.series("measured/ranks=" + fmt_int(ranks))
+        .counter("n_sigma", static_cast<double>(n_sigma))
+        .value("max_rank_s", t_max)
+        .value("weak_eff", t1 / t_max);
   }
   t.print();
 }
 
-void simulated_part() {
+void simulated_part(Suite& suite) {
   section("Part 2 (simulated): Fig. 5 weak scaling series");
   struct Series {
     const char* label;
@@ -81,6 +85,9 @@ void simulated_part() {
     std::vector<std::string> row{fmt_int(nodes[i])};
     for (const auto& d : data) row.push_back(fmt(d[i].seconds, 1));
     t.row(row);
+    for (std::size_t s = 0; s < series.size(); ++s)
+      suite.series(std::string("sim/") + series[s].label)
+          .value("seconds_n" + fmt_int(nodes[i]), data[s][i].seconds);
   }
   t.print();
   std::printf(
@@ -93,7 +100,9 @@ void simulated_part() {
 
 int main() {
   std::printf("xgw — Fig. 5 reproduction (GW-GPP Sigma weak scaling)\n");
-  measured_part();
-  simulated_part();
+  Suite suite("fig5_gpp_weak");
+  measured_part(suite);
+  simulated_part(suite);
+  suite.write();
   return 0;
 }

@@ -20,7 +20,7 @@ using namespace xgw::bench;
 
 namespace {
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Part 1 (measured): G'-slice strong scaling of the CPU kernel");
   GwParameters p;
   p.eps_cutoff = 1.2;
@@ -51,11 +51,17 @@ void measured_part() {
     if (ranks == 1) t1 = t_max;
     t.row({fmt_int(ranks), fmt(t_max, 4), fmt(t1 / t_max, 2),
            fmt(100.0 * t1 / (t_max * static_cast<double>(ranks)), 1) + "%"});
+    suite.series("measured/ranks=" + fmt_int(ranks))
+        .counter("ng", static_cast<double>(ng))
+        .value("max_rank_s", t_max)
+        .value("speedup", t1 / t_max)
+        .value("parallel_eff",
+               t1 / (t_max * static_cast<double>(ranks)));
   }
   t.print();
 }
 
-void simulated_part() {
+void simulated_part(Suite& suite) {
   section("Part 2 (simulated): Fig. 6 strong scaling to full machine");
   struct Series {
     const char* label;
@@ -86,9 +92,11 @@ void simulated_part() {
         continue;
       }
       ScalingSimulator sim(m);
-      row.push_back(fmt(sim.sigma_kernel(s.w, n, native_model(s.machine))
-                            .seconds,
-                        1));
+      const double secs =
+          sim.sigma_kernel(s.w, n, native_model(s.machine)).seconds;
+      row.push_back(fmt(secs, 1));
+      suite.series(std::string("sim/") + s.label)
+          .value("seconds_n" + fmt_int(n), secs);
     }
     t.row(row);
   }
@@ -113,6 +121,10 @@ void simulated_part() {
           fmt(p_mod_t.seconds, 1),
           fmt(100.0 * (p_mod.seconds / p_mod_t.seconds - 1.0), 0) + "%"});
   tt.print();
+  suite.series("tensile/si998_ns384")
+      .value("default_s", p_mod.seconds)
+      .value("tuned_s", p_mod_t.seconds)
+      .value("gain_pct", 100.0 * (p_mod.seconds / p_mod_t.seconds - 1.0));
   std::printf(
       "\nShape check vs Fig. 6 / Sec. 7.3: excellent strong scaling to the\n"
       "full machine; Tensile tuning boosts the moderate problem ~10%% while\n"
@@ -123,7 +135,9 @@ void simulated_part() {
 
 int main() {
   std::printf("xgw — Fig. 6 reproduction (GW-GPP Sigma strong scaling)\n");
-  measured_part();
-  simulated_part();
+  Suite suite("fig6_gpp_strong");
+  measured_part(suite);
+  simulated_part(suite);
+  suite.write();
   return 0;
 }

@@ -18,7 +18,7 @@ using namespace xgw::bench;
 
 namespace {
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Part 1 (measured): CPU kernel sustained throughput");
   GwParameters p;
   p.eps_cutoff = 1.2;
@@ -45,6 +45,17 @@ void measured_part() {
   const double t_off = sw.elapsed();
   const double f_off = static_cast<double>(fc_off.total());
 
+  suite.series("measured/diag")
+      .counter("flops", f_diag)
+      .counter("n_sigma", static_cast<double>(n_sigma))
+      .value("seconds", t_diag)
+      .value("gflops", f_diag / t_diag / 1e9);
+  suite.series("measured/offdiag")
+      .counter("flops", f_off)
+      .value("seconds", t_off)
+      .value("gflops", f_off / t_off / 1e9)
+      .value("vs_diag", (f_off / t_off) / (f_diag / t_diag));
+
   Table t({"Kernel", "FLOPs", "Time (s)", "Sustained", "vs diag"});
   t.row({"GPP diag (optimized)", fmt_sci(f_diag), fmt(t_diag, 2),
          fmt_flops(f_diag / t_diag), "1.00x"});
@@ -58,7 +69,7 @@ void measured_part() {
       "when many (l, m, E) are computed — on CPU as on the GPUs.\n");
 }
 
-void simulated_part() {
+void simulated_part(Suite& suite) {
   section("Part 2 (simulated): Fig. 7 throughput vs nodes");
   struct Series {
     const char* label;
@@ -92,6 +103,8 @@ void simulated_part() {
       std::string cell = fmt(pt.pflops, 1);
       if (pt.pflops >= 1000.0) cell += " (>1 EF/s)";
       row.push_back(cell);
+      suite.series(std::string("sim/") + s.label)
+          .value("pflops_n" + fmt_int(n), pt.pflops);
     }
     t.row(row);
   }
@@ -106,7 +119,9 @@ void simulated_part() {
 
 int main() {
   std::printf("xgw — Fig. 7 reproduction (GPP kernel throughput)\n");
-  measured_part();
-  simulated_part();
+  Suite suite("fig7_throughput");
+  measured_part(suite);
+  simulated_part(suite);
+  suite.write();
   return 0;
 }

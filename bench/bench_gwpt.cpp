@@ -34,17 +34,31 @@ int main() {
   for (idx a = 0; a < 2; ++a)
     for (int ax = 0; ax < 3; ++ax) ps.push_back({a, ax});
 
+  Suite suite("gwpt");
+  suite.series("problem/lih")
+      .counter("n_p", static_cast<double>(ps.size()))
+      .counter("n_bands", static_cast<double>(bands.size()))
+      .counter("n_e_points", static_cast<double>(go.n_e_points))
+      .counter("ng", static_cast<double>(gw.n_g()));
+
   section("DFPT vs GWPT coupling, LiH analogue, N_p = 6 (measured)");
   Stopwatch sw;
   std::vector<double> per_pert_time;
   Table t({"perturbation", "max |g_DFPT| (eV/Bohr)", "max |g_GW| (eV/Bohr)",
            "GW/DFPT", "time (s)"});
   const idx nb = static_cast<idx>(bands.size());
+  std::uint64_t flops_total = 0;
   for (const Perturbation& pert : ps) {
+    FlopCounter fc;
     Stopwatch sp;
-    const GwptResult r = gwpt.run_perturbation(pert, bands);
+    const GwptResult r = gwpt.run_perturbation(pert, bands, &fc);
     const double tp = sp.elapsed();
     per_pert_time.push_back(tp);
+    flops_total += fc.total();
+    suite.series("pert/atom=" + fmt_int(pert.atom) +
+                 "/axis=" + fmt_int(pert.axis))
+        .counter("flops", static_cast<double>(fc.total()))
+        .value("seconds", tp);
     // Largest symmetry-allowed valence-conduction coupling in the window.
     double g_d = 0.0, g_g = 0.0;
     for (idx i = 0; i < nb; ++i)
@@ -57,6 +71,10 @@ int main() {
       }
     g_d *= kHartreeToEv;
     g_g *= kHartreeToEv;
+    suite.series("pert/atom=" + fmt_int(pert.atom) +
+                 "/axis=" + fmt_int(pert.axis))
+        .value("g_dfpt_ev_bohr", g_d)
+        .value("g_gw_ev_bohr", g_g);
     t.row({"atom " + fmt_int(pert.atom) + " axis " + fmt_int(pert.axis),
            fmt(g_d, 4), fmt(g_g, 4),
            g_d > 1e-12 ? fmt(g_g / g_d, 3) : "n/a", fmt(tp, 2)});
@@ -81,6 +99,12 @@ int main() {
       "'massively parallelized to full scale with minimal communications'.\n",
       t_all, tmax, tmax, tsum / tmax);
 
+  suite.series("campaign/np6")
+      .counter("flops_total", static_cast<double>(flops_total))
+      .value("serial_seconds", t_all)
+      .value("ideal_parallel_seconds", tmax)
+      .value("np_speedup", tsum / tmax);
+
   section("Full-machine GWPT projection (simulated, LiH998 workload)");
   ScalingSimulator sim(frontier());
   const auto w = paper_workloads(MachineKind::kFrontier);
@@ -90,9 +114,15 @@ int main() {
     const auto pt = sim.sigma_kernel(wl, 9408, ProgModel::kHip);
     std::printf("%-22s 9408 nodes: %8.2f s, %8.2f PF/s (%4.1f%% of peak)\n",
                 wl.system.c_str(), pt.seconds, pt.pflops, pt.pct_peak);
+    suite.series("projection/" + wl.system)
+        .counter("nodes", 9408)
+        .value("seconds", pt.seconds)
+        .value("pflops", pt.pflops)
+        .value("pct_peak", pt.pct_peak);
   }
   std::printf(
       "(paper Table 5: LiH998 GWPT diag 92.91 s / 479.27 PF/s / 26.64%%;\n"
       " off-diag 30.13 s / 691.10 PF/s / 38.42%%)\n");
+  suite.write("BENCH_gwpt.json");
   return 0;
 }

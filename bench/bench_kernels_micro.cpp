@@ -232,9 +232,10 @@ void BM_ChiStaticNvBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_ChiStaticNvBlock)->Arg(1)->Arg(4)->Arg(32);
 
-// GFLOP/s sweep over the GEMM variants, emitted as BENCH_kernels.json so
-// successive performance PRs can diff kernel throughput mechanically. Each
-// point is timed by repeating the call until ~0.2 s has elapsed.
+// GFLOP/s sweep over the GEMM variants, emitted as BENCH_kernels.json
+// (unified xgw-bench-result-v1 schema) so the perf gate can diff kernel
+// throughput mechanically. Per-call FLOP counts go into exact-compare
+// counters; wall time is a run_timed() median/MAD/CI summary.
 void emit_kernel_json() {
   struct VariantRow {
     GemmVariant v;
@@ -249,20 +250,8 @@ void emit_kernel_json() {
       {GemmVariant::kAuto, "auto", 512},
   };
 
-  bench::JsonRecords json("kernels_micro");
-  bench::Table table({"kernel", "variant", "n", "GFLOP/s"});
-
-  auto time_loop = [](auto&& body) {
-    // One warm-up call, then repeat until the budget is spent.
-    body();
-    Stopwatch sw;
-    int iters = 0;
-    do {
-      body();
-      ++iters;
-    } while (sw.elapsed() < 0.2);
-    return sw.elapsed() / iters;
-  };
+  bench::Suite suite("kernels");
+  bench::Table table({"kernel", "variant", "n", "GFLOP/s", "reps"});
 
   // Disabled-recorder span overhead on a real kernel (acceptance: <1%).
   // Measured before the recorder is enabled below, so the span body takes
@@ -272,22 +261,21 @@ void emit_kernel_json() {
     const ZMatrix a = random_matrix(n, n, 1);
     const ZMatrix b = random_matrix(n, n, 2);
     ZMatrix c(n, n);
-    const double bare = time_loop([&] {
+    const bench::TimingStats bare = bench::run_timed([&] {
       zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
             GemmVariant::kSplit);
     });
-    const double spanned = time_loop([&] {
+    const bench::TimingStats spanned = bench::run_timed([&] {
       obs::Span span("bench_zgemm", "bench");
       zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c,
             GemmVariant::kSplit);
     });
-    const double overhead_pct = (spanned - bare) / bare * 100.0;
-    json.record()
-        .field("kernel", "span_overhead_disabled")
-        .field("n", static_cast<long long>(n))
-        .field("bare_s", bare)
-        .field("spanned_s", spanned)
-        .field("overhead_pct", overhead_pct);
+    const double overhead_pct =
+        (spanned.median_s - bare.median_s) / bare.median_s * 100.0;
+    suite.series("span_overhead/zgemm_split/n=128")
+        .value("bare_s", bare.median_s)
+        .value("spanned_s", spanned.median_s)
+        .value("overhead_pct", overhead_pct);
     std::printf("disabled-span overhead on zgemm(%lld): %.3f%%\n",
                 static_cast<long long>(n), overhead_pct);
   }
@@ -306,19 +294,20 @@ void emit_kernel_json() {
       const std::string point =
           std::string("zgemm:") + vr.name + ":" + std::to_string(n);
       obs::Span span(point.c_str(), "bench");
-      const double sec = time_loop([&] {
+      const bench::TimingStats t = bench::run_timed([&] {
         zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, c, vr.v);
       });
-      const double gflops = flop_model::zgemm(n, n, n) / sec / 1e9;
-      json.record()
-          .field("kernel", "zgemm")
-          .field("variant", vr.name)
-          .field("m", static_cast<long long>(n))
-          .field("n", static_cast<long long>(n))
-          .field("k", static_cast<long long>(n))
-          .field("threads", static_cast<long long>(xgw_num_threads()))
-          .field("gflops", gflops);
-      table.row({"zgemm", vr.name, bench::fmt_int(n), bench::fmt(gflops)});
+      const double flops = flop_model::zgemm(n, n, n);
+      const double gflops = flops / t.median_s / 1e9;
+      suite.series("zgemm/" + std::string(vr.name) + "/n=" +
+                   std::to_string(n))
+          .counter("flops_per_call", flops)
+          .counter("n", static_cast<double>(n))
+          .value("gflops", gflops)
+          .info("variant", vr.name)
+          .time(t);
+      table.row({"zgemm", vr.name, bench::fmt_int(n), bench::fmt(gflops),
+                 bench::fmt_int(static_cast<long long>(t.samples.size()))});
     }
   }
 
@@ -330,27 +319,27 @@ void emit_kernel_json() {
     ZMatrix c(n, n);
     const std::string point = "zherk:split:" + std::to_string(n);
     obs::Span span(point.c_str(), "bench");
-    const double sec = time_loop([&] {
+    const bench::TimingStats t = bench::run_timed([&] {
       c.fill(cplx{});
       zherk_update(a, b, c, GemmVariant::kSplit);
     });
-    const double gflops = flop_model::zherk(n, n) / sec / 1e9;
-    json.record()
-        .field("kernel", "zherk_update")
-        .field("variant", "split")
-        .field("m", static_cast<long long>(n))
-        .field("n", static_cast<long long>(n))
-        .field("k", static_cast<long long>(n))
-        .field("threads", static_cast<long long>(xgw_num_threads()))
-        .field("gflops", gflops);
-    table.row({"zherk", "split", bench::fmt_int(n), bench::fmt(gflops)});
+    const double flops = flop_model::zherk(n, n);
+    const double gflops = flops / t.median_s / 1e9;
+    suite.series("zherk/split/n=" + std::to_string(n))
+        .counter("flops_per_call", flops)
+        .counter("n", static_cast<double>(n))
+        .value("gflops", gflops)
+        .info("variant", "split")
+        .time(t);
+    table.row({"zherk", "split", bench::fmt_int(n), bench::fmt(gflops),
+               bench::fmt_int(static_cast<long long>(t.samples.size()))});
   }
 
   obs::recorder().disable();
 
   bench::section("GEMM engine GFLOP/s (BENCH_kernels.json)");
   table.print();
-  json.write("BENCH_kernels.json");
+  suite.write("BENCH_kernels.json");
   bench::write_run_report("kernels_micro", "BENCH_kernels_report.json");
 }
 

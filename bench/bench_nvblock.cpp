@@ -42,6 +42,12 @@ int main() {
   const ZMatrix chi_ref = chi_static(mtxel, wf, base);
   const double t_ref = sw.elapsed();
 
+  Suite suite("nvblock");
+  suite.series("problem/si16")
+      .counter("nv", static_cast<double>(nv))
+      .counter("nc", static_cast<double>(nc))
+      .counter("ng", static_cast<double>(ng));
+
   section("workspace vs block size (identical results required)");
   Table t({"nv_block", "pair-workspace (MB)", "time (s)", "slowdown",
            "max |chi - chi_ref|"});
@@ -51,11 +57,17 @@ int main() {
     sw.reset();
     const ZMatrix chi = chi_static(mtxel, wf, opt);
     const double tt = sw.elapsed();
-    const double ws_mb = 16.0 * static_cast<double>(std::min(blk, nv)) *
-                         static_cast<double>(nc) * static_cast<double>(ng) /
-                         1e6 * 2.0;  // M block + scaled copy
+    const double ws_bytes = 16.0 * static_cast<double>(std::min(blk, nv)) *
+                            static_cast<double>(nc) *
+                            static_cast<double>(ng) * 2.0;  // M + scaled copy
+    const double ws_mb = ws_bytes / 1e6;
     t.row({fmt_int(blk), fmt(ws_mb, 1), fmt(tt, 3), fmt(tt / t_ref, 2) + "x",
            fmt_sci(max_abs_diff(chi, chi_ref), 2)});
+    suite.series("chi_static/nv_block=" + std::to_string(blk))
+        .counter("pair_workspace_bytes", ws_bytes)
+        .value("seconds", tt)
+        .value("slowdown_vs_monolithic", tt / t_ref)
+        .value("max_abs_diff", max_abs_diff(chi, chi_ref));
   }
   t.print();
 
@@ -79,22 +91,27 @@ int main() {
   ChiOptions im;
   im.imaginary_axis = true;
   im.nv_block = 8;
-  sw.reset();
-  const auto chis = chi_multi(mtxel_ff, wf, omegas, im);
-  const double t_multi = sw.elapsed();
+  const bench::TimingStats t_chi = bench::run_timed(
+      [&] { (void)chi_multi(mtxel_ff, wf, omegas, im); },
+      [] {
+        // CHI-Freq is seconds-scale; a handful of reps bounds the bench.
+        bench::RunnerOptions o = bench::RunnerOptions::from_env();
+        o.min_reps = std::min(o.min_reps, 3);
+        o.max_time_s = std::min(o.max_time_s, 3.0);
+        return o;
+      }());
+  const double t_multi = t_chi.median_s;
   std::printf("N_G=%lld  nfreq=%lld  nv_block=%lld  threads=%d  time=%.3f s\n",
               static_cast<long long>(eps_ff.size()),
               static_cast<long long>(nfreq), static_cast<long long>(im.nv_block),
               xgw_num_threads(), t_multi);
 
-  JsonRecords json("nvblock");
-  json.record()
-      .field("kernel", "chi_multi")
-      .field("ng", static_cast<long long>(eps_ff.size()))
-      .field("nfreq", static_cast<long long>(nfreq))
-      .field("nv_block", static_cast<long long>(im.nv_block))
-      .field("threads", static_cast<long long>(xgw_num_threads()))
-      .field("seconds", t_multi);
+  suite.series("chi_multi/ff")
+      .counter("ng", static_cast<double>(eps_ff.size()))
+      .counter("nfreq", static_cast<double>(nfreq))
+      .counter("nv_block", static_cast<double>(im.nv_block))
+      .value("seconds", t_multi)
+      .time(t_chi);
 
   // Memory-budget sweep: hand the planner three budgets spanning the
   // blocked regime, run the CHI-Freq sweep it prescribes, and hold its
@@ -144,15 +161,14 @@ int main() {
             fmt_int(plan.freq_batch), fmt(planned_mb, 1),
             fmt(measured_mb, 1), fmt(measured_mb / planned_mb, 3),
             fmt(tt, 3)});
-    json.record()
-        .field("kernel", "chi_budget_sweep")
-        .field("budget_mb", budget_mb)
-        .field("nv_block", static_cast<long long>(plan.nv_block))
-        .field("freq_batch", static_cast<long long>(plan.freq_batch))
-        .field("planned_peak_mb", planned_mb)
-        .field("measured_peak_mb", measured_mb)
-        .field("ratio", measured_mb / planned_mb)
-        .field("seconds", tt);
+    suite.series("chi_budget_sweep/frac=" + fmt(frac, 2))
+        .value("budget_mb", budget_mb)
+        .value("nv_block", static_cast<double>(plan.nv_block))
+        .value("freq_batch", static_cast<double>(plan.freq_batch))
+        .value("planned_peak_mb", planned_mb)
+        .value("measured_peak_mb", measured_mb)
+        .value("ratio", measured_mb / planned_mb)
+        .value("seconds", tt);
   }
   bt.print();
   std::printf(
@@ -160,6 +176,32 @@ int main() {
       "the measured high-water mark tracks the prediction within 10%% while\n"
       "runtime degrades gracefully as the budget tightens.\n");
 
-  json.write("BENCH_nvblock.json");
+  // Canonical planner contract for the perf gate: a FIXED planner input
+  // (threads pinned to 4, no live fixed_bytes) whose outputs depend only
+  // on the problem shape — machine-independent, so the gate compares them
+  // exactly. The live sweep above stays informational: its inputs sample
+  // the tracker and the actual OpenMP width.
+  section("canonical plan counters (perf-gate contract, threads pinned)");
+  mem::PlannerInput canon = pin;
+  canon.threads = 4;
+  canon.fixed_bytes = 0;
+  const std::size_t canon_full = mem::chi_workspace_bytes(canon, nv, nfreq);
+  Table ct({"frac", "nv_block", "freq_batch", "planned (MB)"});
+  for (double frac : {0.25, 0.5, 1.0}) {
+    canon.budget_bytes =
+        static_cast<std::size_t>(frac * static_cast<double>(canon_full));
+    const mem::MemPlan cplan = mem::plan(canon);
+    ct.row({fmt(frac, 2), fmt_int(cplan.nv_block), fmt_int(cplan.freq_batch),
+            fmt(static_cast<double>(cplan.planned_peak_bytes) / 1e6, 1)});
+    suite.series("plan_canonical/frac=" + fmt(frac, 2))
+        .counter("nv_block", static_cast<double>(cplan.nv_block))
+        .counter("freq_batch", static_cast<double>(cplan.freq_batch))
+        .counter("planned_peak_bytes",
+                 static_cast<double>(cplan.planned_peak_bytes))
+        .counter("full_workspace_bytes", static_cast<double>(canon_full));
+  }
+  ct.print();
+
+  suite.write("BENCH_nvblock.json");
   return 0;
 }

@@ -30,6 +30,12 @@ int main() {
   std::printf("\ndeterministic: N_b = %lld, QP gap = %.3f eV, Sigma time %.2f s\n",
               static_cast<long long>(wf.n_bands()), gap_ref, t_ref);
 
+  Suite suite("pseudobands");
+  suite.series("reference/si16")
+      .counter("n_b", static_cast<double>(wf.n_bands()))
+      .value("qp_gap_ev", gap_ref)
+      .value("sigma_s", t_ref);
+
   section("Sigma accuracy and cost vs N_xi (protection: valence + 6)");
   Table t({"N_xi", "N_b eff", "compression", "QP gap (eV)",
            "gap err (meV)", "Sigma time (s)", "speedup"});
@@ -51,6 +57,13 @@ int main() {
            fmt(compression_ratio(wf, pb), 2) + "x", fmt(gap, 3),
            fmt(1000.0 * (gap - gap_ref), 1), fmt(t_pb, 2),
            fmt(t_ref / t_pb, 2) + "x"});
+    suite.series("pseudobands/nxi=" + fmt_int(n_xi))
+        .counter("n_b_eff", static_cast<double>(pb.n_bands()))
+        .value("compression", compression_ratio(wf, pb))
+        .value("qp_gap_ev", gap)
+        .value("gap_err_mev", 1000.0 * (gap - gap_ref))
+        .value("sigma_s", t_pb)
+        .value("speedup", t_ref / t_pb);
   }
   t.print();
   std::printf(
@@ -78,5 +91,12 @@ int main() {
       "(%lld pseudobands produced with Rayleigh energies in window)\n",
       static_cast<long long>(h.n_pw()), t_diag, t_cheb, t_diag / t_cheb,
       static_cast<long long>(pb_rows.rows()));
+  suite.series("chebyshev")
+      .counter("n_pw", static_cast<double>(h.n_pw()))
+      .counter("pb_rows", static_cast<double>(pb_rows.rows()))
+      .value("diag_s", t_diag)
+      .value("cheb_s", t_cheb)
+      .value("gain", t_diag / t_cheb);
+  suite.write();
   return 0;
 }

@@ -33,6 +33,14 @@ int main() {
               ref.e_c, ref.e_c * kHartreeToEv, static_cast<int>(full.n_freq),
               t_full);
 
+  Suite suite("rpa_subspace");
+  suite.series("problem/si2")
+      .counter("ng", static_cast<double>(gw.n_g()))
+      .counter("n_b", static_cast<double>(gw.n_bands()))
+      .counter("n_freq", static_cast<double>(full.n_freq))
+      .value("e_c_full_ha", ref.e_c)
+      .value("seconds", t_full);
+
   section("captured correlation vs subspace fraction");
   Table t({"fraction", "N_Eig", "E_c (Ha)", "captured", "sweep time (s)"});
   for (double frac : {0.1, 0.25, 0.5, 0.75, 1.0}) {
@@ -43,6 +51,11 @@ int main() {
     const double tt = sw.elapsed();
     t.row({fmt(frac, 2), fmt_int(r.n_eig_used), fmt(r.e_c, 6),
            fmt(100.0 * r.e_c / ref.e_c, 1) + "%", fmt(tt, 3)});
+    suite.series("rpa/frac=" + fmt(frac, 2))
+        .counter("n_eig_used", static_cast<double>(r.n_eig_used))
+        .value("e_c_ha", r.e_c)
+        .value("captured_pct", 100.0 * r.e_c / ref.e_c)
+        .value("seconds", tt);
   }
   t.print();
 
@@ -55,6 +68,7 @@ int main() {
     const double e = rpa_correlation_energy(gw, o).e_c;
     tq.row({fmt_int(n), fmt(e, 6),
             prev == 0.0 ? "-" : fmt(1000.0 * (e - prev), 3)});
+    suite.series("quadrature/nfreq=" + fmt_int(n)).value("e_c_ha", e);
     prev = e;
   }
   tq.print();
@@ -64,5 +78,6 @@ int main() {
       "increasing fraction of the correlation energy as the retained\n"
       "eigenvector count grows — the energy is extensive in the chi modes,\n"
       "so larger fractions are needed than for QP energies.\n");
+  suite.write();
   return 0;
 }

@@ -55,6 +55,12 @@ int main() {
   const ZMatrix& chi0 = gw.chi0();
   const ZMatrix epsinv_full = epsilon_inverse(full9[2], v);
 
+  Suite suite("subspace_speedup");
+  suite.series("problem/si16")
+      .counter("ng", static_cast<double>(ng))
+      .counter("n_b", static_cast<double>(gw.n_bands()));
+  suite.series("chi_freq/full_pw").value("marginal_s_per_freq", marg_full);
+
   section("per-frequency CHI-Freq cost and screening accuracy vs fraction");
   Table t({"fraction", "N_Eig", "marginal s/freq", "CHI-Freq speedup",
            "epsinv body err @ w=0.15"});
@@ -80,6 +86,10 @@ int main() {
                         : std::string("> ") + fmt(marg_full / 5e-4, 0) + "x";
     t.row({fmt(frac, 2), fmt_int(sub.n_eig()), fmt(std::max(marg_sub, 0.0), 4),
            speedup, fmt_sci(std::abs(body_sub - body_full), 2)});
+    suite.series("chi_freq/frac=" + fmt(frac, 2))
+        .counter("n_eig", static_cast<double>(sub.n_eig()))
+        .value("marginal_s_per_freq", std::max(marg_sub, 0.0))
+        .value("epsinv_body_err", std::abs(body_sub - body_full));
   }
   t.print();
   std::printf(
@@ -106,6 +116,9 @@ int main() {
     const auto res = sigma_ff_diag(gw, scr, {vband, cband});
     const double gap = (res[1].e_qp - res[0].e_qp) * kHartreeToEv;
     tq.row({fmt(frac, 2), fmt(gap, 3), fmt(1000.0 * (gap - ref_gap), 1)});
+    suite.series("qp_gap/frac=" + fmt(frac, 2))
+        .value("gap_ev", gap)
+        .value("err_mev", 1000.0 * (gap - ref_gap));
   }
   tq.row({"1.00 (full PW)", fmt(ref_gap, 3), "0.0"});
   tq.print();
@@ -130,5 +143,10 @@ int main() {
       "(paper Sec. 7.2: the 19 frequencies at ~20%% subspace fraction take\n"
       " 'about the same time as the initial zero-frequency calculation')\n",
       t_gpp_eps, t_ff_eps, (t_gpp_eps + t_ff_eps) / t_gpp_eps);
+  suite.series("ff_total")
+      .value("gpp_eps_s", t_gpp_eps)
+      .value("ff_sweep_s", t_ff_eps)
+      .value("ff_over_gpp", (t_gpp_eps + t_ff_eps) / t_gpp_eps);
+  suite.write();
   return 0;
 }

@@ -23,7 +23,7 @@ struct SystemRow {
   double eps_cut_fraction;
 };
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Table 2 (measured): xgw analogue systems");
   Table t({"System", "atoms", "N_G^psi", "N_G", "N_b", "N_v", "N_c"});
 
@@ -46,6 +46,16 @@ void measured_part() {
            fmt_int(gw.n_g_psi()), fmt_int(gw.n_g()), fmt_int(gw.n_bands()),
            fmt_int(gw.n_valence()),
            fmt_int(gw.n_bands() - gw.n_valence())});
+    std::string key(s.name);
+    for (char& ch : key)
+      if (ch == ' ' || ch == '(' || ch == ')') ch = '_';
+    suite.series("measured/" + key)
+        .counter("atoms", static_cast<double>(s.model.crystal().n_atoms()))
+        .counter("n_g_psi", static_cast<double>(gw.n_g_psi()))
+        .counter("n_g", static_cast<double>(gw.n_g()))
+        .counter("n_b", static_cast<double>(gw.n_bands()))
+        .counter("n_v", static_cast<double>(gw.n_valence()))
+        .counter("n_c", static_cast<double>(gw.n_bands() - gw.n_valence()));
   }
   t.print();
 }
@@ -92,7 +102,7 @@ void paper_part() {
       "the paper's actual basis sizes).\n");
 }
 
-void scaling_check() {
+void scaling_check(Suite& suite) {
   section("Linear-scaling verification on real xgw systems (Si family)");
   Table t({"System", "atoms", "N_G^psi", "N_G^psi/atom", "N_v/atom"});
   for (idx n : {idx{1}, idx{2}, idx{3}}) {
@@ -104,6 +114,11 @@ void scaling_check() {
            fmt_int(gw.n_g_psi()),
            fmt(static_cast<double>(gw.n_g_psi()) / atoms, 1),
            fmt(static_cast<double>(gw.n_valence()) / atoms, 2)});
+    suite.series("scaling/si" + std::to_string(2 * n * n * n))
+        .counter("atoms", atoms)
+        .counter("n_g_psi", static_cast<double>(gw.n_g_psi()))
+        .value("n_g_psi_per_atom", static_cast<double>(gw.n_g_psi()) / atoms)
+        .value("n_v_per_atom", static_cast<double>(gw.n_valence()) / atoms);
   }
   t.print();
 }
@@ -112,8 +127,10 @@ void scaling_check() {
 
 int main() {
   std::printf("xgw — Table 2 reproduction (application systems)\n");
-  measured_part();
-  scaling_check();
+  Suite suite("table2_systems");
+  measured_part(suite);
+  scaling_check(suite);
   paper_part();
+  suite.write();
   return 0;
 }

@@ -73,6 +73,12 @@ int main() {
   std::printf("calibrated alpha_xgw = %.3f", alpha_xgw);
   std::printf("   (paper: alpha_Frontier = 83.50, alpha_Aurora = 94.27)\n");
 
+  Suite suite("table3_flops");
+  suite.series("calibration")
+      .counter("flops_measured", f_calib)
+      .counter("ng", static_cast<double>(ng))
+      .value("alpha_xgw", alpha_xgw);
+
   section("Table 3 (xgw measured): Est. vs Meas. FLOP count");
   std::vector<Config> configs{
       {2, gw.n_bands(), 3},          {4, gw.n_bands() * 3 / 4, 3},
@@ -88,6 +94,11 @@ int main() {
     const double acc = 100.0 * (1.0 - std::abs(est - meas) / meas);
     t.row({fmt_int(c.n_sigma), fmt_int(c.n_b), fmt_int(ng), fmt_int(c.n_e),
            fmt(est / 1e9, 3), fmt(meas / 1e9, 3), fmt(acc, 2) + "%"});
+    suite.series("config/ns=" + fmt_int(c.n_sigma) + "/nb=" + fmt_int(c.n_b) +
+                 "/ne=" + fmt_int(c.n_e))
+        .counter("flops_measured", meas)
+        .value("flops_estimated", est)
+        .value("accuracy_pct", acc);
   }
   t.print();
 
@@ -107,5 +118,6 @@ int main() {
       "the measured FLOP count across independent (N_Sigma, N_b, N_E)\n"
       "configurations to ~99%%+ — Eq. 7's linearity in each parameter holds\n"
       "for the xgw CPU kernel exactly as for the HIP/SYCL kernels.\n");
+  suite.write();
   return 0;
 }

@@ -24,7 +24,7 @@ using namespace xgw::bench;
 
 namespace {
 
-void measured_part() {
+void measured_part(Suite& suite) {
   section("Part 1 (measured): xgw kernel-implementation variants");
 
   GwParameters p;
@@ -81,9 +81,19 @@ void measured_part() {
       "\nShape check vs paper: hardware-tuned implementations beat the\n"
       "out-of-the-box path, and the naive/strided configuration is\n"
       "dramatically slower — the ordering of Table 4's columns.\n");
+
+  suite.series("gpp_variants/si16")
+      .counter("ng", static_cast<double>(ng))
+      .value("reference_s", t_ref)
+      .value("optimized_s", t_opt)
+      .value("ref_over_opt", t_ref / t_opt);
+  suite.series("zgemm_variants/m64")
+      .value("reference_s", tg_ref)
+      .value("blocked_s", tg_blk)
+      .value("parallel_s", tg_par);
 }
 
-void simulated_part() {
+void simulated_part(Suite& suite) {
   section("Part 2 (simulated): Table 4 regenerated (Si510, N_Sigma = 128)");
 
   // The Si510 workload at Table 4's configuration.
@@ -120,6 +130,8 @@ void simulated_part() {
       const double alpha = c.machine == MachineKind::kAurora ? 94.27 : 83.50;
       const auto pt = sim.sigma_kernel(workload(alpha), n, c.model);
       row.push_back(fmt(pt.seconds, 1));
+      suite.series(std::string("sim/") + c.label)
+          .value("seconds_n" + fmt_int(n), pt.seconds);
     }
     t.row(row);
   }
@@ -146,7 +158,9 @@ void simulated_part() {
 
 int main() {
   std::printf("xgw — Table 4 reproduction (performance portability)\n");
-  measured_part();
-  simulated_part();
+  Suite suite("table4_portability");
+  measured_part(suite);
+  simulated_part(suite);
+  suite.write();
   return 0;
 }

@@ -69,6 +69,7 @@ int main() {
   };
 
   section("Table 5: paper vs simulated");
+  Suite suite("table5_peak");
   Table t({"System", "Calculation", "Nodes", "t_paper (s)", "t_xgw (s)",
            "PF/s paper", "PF/s xgw", "%peak paper", "%peak xgw"});
   for (const auto& [r, wname] : rows) {
@@ -85,6 +86,14 @@ int main() {
            r.paper_time > 0 ? fmt(r.paper_time, 2) : "n/a", fmt(pt.seconds, 2),
            fmt(r.paper_pflops, 2), fmt(pt.pflops, 2), fmt(r.paper_pct, 2),
            fmt(pt.pct_peak, 2)});
+    const char* kind = r.kind == Row::kTotExcl   ? "tot_excl_io"
+                       : r.kind == Row::kTotIncl ? "tot_incl_io"
+                                                 : "kernel";
+    suite.series("row/" + wname + "/" + kind)
+        .counter("nodes", static_cast<double>(r.nodes))
+        .value("seconds", pt.seconds)
+        .value("pflops", pt.pflops)
+        .value("pct_peak", pt.pct_peak);
   }
   t.print();
 
@@ -94,5 +103,6 @@ int main() {
       "2x the diagonal kernel's fraction of peak — the Sec. 5.6 result.\n"
       "Percent-of-peak uses the used-node aggregate (theoretical for\n"
       "Frontier, measured-attainable for Aurora).\n");
+  suite.write();
   return 0;
 }

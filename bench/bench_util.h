@@ -1,174 +1,14 @@
 #pragma once
 
-// Shared helpers for the table/figure reproduction harness: aligned table
-// printing and human-readable unit formatting. Every bench binary prints
-// the rows/series of one table or figure from the paper; EXPERIMENTS.md
-// records paper-value vs reproduced-value side by side.
+// Umbrella header for the bench binaries. Everything here was promoted
+// into the xgw::bench library (src/benchkit) so the table printer, the
+// unified JSON suite writer, the timing runner, and the stats kernel live
+// in exactly one place — the old per-binary JsonRecords fprintf writer
+// (which duplicated obs::json escaping and number formatting) is gone;
+// all bench JSON now flows through obs::json::dump via bench::Suite.
 
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "obs/json.h"
-#include "obs/report.h"
-#include "obs/trace.h"
-
-namespace xgw::bench {
-
-/// Fixed-width table printer.
-class Table {
- public:
-  explicit Table(std::vector<std::string> headers)
-      : headers_(std::move(headers)) {}
-
-  Table& row(std::vector<std::string> cells) {
-    rows_.push_back(std::move(cells));
-    return *this;
-  }
-
-  void print() const {
-    std::vector<std::size_t> width(headers_.size());
-    for (std::size_t c = 0; c < headers_.size(); ++c)
-      width[c] = headers_[c].size();
-    for (const auto& r : rows_)
-      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
-        width[c] = std::max(width[c], r[c].size());
-
-    auto print_row = [&](const std::vector<std::string>& r) {
-      std::printf("|");
-      for (std::size_t c = 0; c < width.size(); ++c) {
-        const std::string& cell = c < r.size() ? r[c] : std::string{};
-        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
-      }
-      std::printf("\n");
-    };
-    print_row(headers_);
-    std::printf("|");
-    for (std::size_t c = 0; c < width.size(); ++c) {
-      for (std::size_t i = 0; i < width[c] + 2; ++i) std::printf("-");
-      std::printf("|");
-    }
-    std::printf("\n");
-    for (const auto& r : rows_) print_row(r);
-  }
-
- private:
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
-inline std::string fmt(double v, int prec = 2) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
-  return buf;
-}
-
-inline std::string fmt_sci(double v, int prec = 2) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
-  return buf;
-}
-
-inline std::string fmt_int(long long v) { return std::to_string(v); }
-
-/// FLOP/s with automatic unit (GF/TF/PF/EF per second).
-inline std::string fmt_flops(double flops_per_s) {
-  const char* units[] = {"FLOP/s", "kF/s", "MF/s", "GF/s",
-                         "TF/s",   "PF/s", "EF/s"};
-  int u = 0;
-  while (flops_per_s >= 1000.0 && u < 6) {
-    flops_per_s /= 1000.0;
-    ++u;
-  }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.2f %s", flops_per_s, units[u]);
-  return buf;
-}
-
-inline void section(const std::string& title) {
-  std::printf("\n=== %s ===\n\n", title.c_str());
-}
-
-/// Minimal machine-readable results emitter: collects flat records of
-/// string/number fields and writes them as `{"bench": ..., "records":
-/// [...]}` JSON. Bench binaries use it to drop BENCH_*.json trajectory
-/// points next to their human-readable stdout tables, so successive
-/// performance PRs can be compared mechanically.
-class JsonRecords {
- public:
-  explicit JsonRecords(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
-
-  /// Starts a new record; subsequent field() calls append to it.
-  JsonRecords& record() {
-    records_.emplace_back();
-    return *this;
-  }
-
-  JsonRecords& field(const std::string& key, const std::string& v) {
-    records_.back().emplace_back(key, obs::json::quote(v));
-    return *this;
-  }
-  JsonRecords& field(const std::string& key, const char* v) {
-    return field(key, std::string(v));
-  }
-  JsonRecords& field(const std::string& key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.8g", v);
-    records_.back().emplace_back(key, std::string(buf));
-    return *this;
-  }
-  JsonRecords& field(const std::string& key, long long v) {
-    records_.back().emplace_back(key, std::to_string(v));
-    return *this;
-  }
-
-  /// Writes the collected records; returns false (and prints a warning) on
-  /// I/O failure so benches keep running on read-only filesystems.
-  bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-      return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": %s,\n  \"records\": [\n",
-                 obs::json::quote(bench_name_).c_str());
-    for (std::size_t r = 0; r < records_.size(); ++r) {
-      std::fprintf(f, "    {");
-      for (std::size_t i = 0; i < records_[r].size(); ++i)
-        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
-                     obs::json::quote(records_[r][i].first).c_str(),
-                     records_[r][i].second.c_str());
-      std::fprintf(f, "}%s\n", r + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
-    return true;
-  }
-
- private:
-  std::string bench_name_;
-  std::vector<std::vector<std::pair<std::string, std::string>>> records_;
-};
-
-/// Builds a RunReportDoc from the global trace recorder (the bench must
-/// have run with the recorder enabled) and writes it next to the bench's
-/// BENCH_*.json records. Returns false and warns on I/O failure, matching
-/// JsonRecords::write.
-inline bool write_run_report(const std::string& bench_name,
-                             const std::string& path,
-                             double peak_gflops = 0.0,
-                             double mem_bandwidth_gbs = 0.0) {
-  const obs::RunReportDoc doc =
-      obs::build_run_report(obs::recorder(), bench_name, bench_name,
-                            peak_gflops, mem_bandwidth_gbs);
-  if (!doc.write(path)) {
-    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::printf("wrote %s (%zu stages)\n", path.c_str(), doc.stages.size());
-  return true;
-}
-
-}  // namespace xgw::bench
+#include "benchkit/machine.h"   // MachineInfo fingerprint
+#include "benchkit/runner.h"    // run_timed: warmup + repetition control
+#include "benchkit/stats.h"     // median / MAD / bootstrap CI
+#include "benchkit/suite.h"     // Suite/Series: xgw-bench-result-v1 writer
+#include "benchkit/table.h"     // Table, fmt*, section

@@ -1,0 +1,341 @@
+#include "benchkit/compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace xgw::bench {
+
+using obs::json::Value;
+
+const double* SeriesData::find_counter(const std::string& name) const {
+  for (const auto& [k, v] : counters)
+    if (k == name) return &v;
+  return nullptr;
+}
+
+const SeriesData* BenchDoc::find(const std::string& key) const {
+  for (const SeriesData& s : series)
+    if (s.key == key) return &s;
+  return nullptr;
+}
+
+std::string BenchDoc::machine_summary() const {
+  auto get = [&](const char* k) -> std::string {
+    for (const auto& [key, v] : machine)
+      if (key == k) return v;
+    return "?";
+  };
+  return get("cpu_model") + ", " + get("hw_threads") + " hw threads, " +
+         get("compiler") + " " + get("build_type") + ", git " +
+         get("git_sha").substr(0, 12);
+}
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool parse_kv_numbers(const Value& obj,
+                      std::vector<std::pair<std::string, double>>& out,
+                      const std::string& where, std::string& error) {
+  for (const auto& [k, v] : obj.obj) {
+    if (!v.is_number()) {
+      error = where + ": member \"" + k + "\" is not a number";
+      return false;
+    }
+    out.emplace_back(k, v.number);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool load_bench_doc(const std::string& path, BenchDoc& out,
+                    std::string& error) {
+  out = BenchDoc{};
+  out.path = path;
+  std::string text;
+  if (!read_file(path, text)) {
+    error = path + ": cannot read file";
+    return false;
+  }
+  Value doc;
+  std::string perr;
+  if (!obs::json::parse(text, doc, perr)) {
+    error = path + ": JSON parse error: " + perr;
+    return false;
+  }
+  if (!doc.is_object()) {
+    error = path + ": top-level value is not an object";
+    return false;
+  }
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->str != "xgw-bench-result-v1") {
+    error = path + ": not an xgw-bench-result-v1 document (missing or "
+                   "unexpected \"schema\")";
+    return false;
+  }
+  const Value* bench = doc.find("bench");
+  if (bench == nullptr || !bench->is_string()) {
+    error = path + ": missing \"bench\" name";
+    return false;
+  }
+  out.bench = bench->str;
+  if (const Value* m = doc.find("machine"); m != nullptr && m->is_object())
+    for (const auto& [k, v] : m->obj)
+      out.machine.emplace_back(
+          k, v.is_string() ? v.str : obs::json::format_number(v.number));
+  const Value* series = doc.find("series");
+  if (series == nullptr || !series->is_array()) {
+    error = path + ": missing \"series\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < series->arr.size(); ++i) {
+    const Value& sv = series->arr[i];
+    const std::string where = path + ": series[" + std::to_string(i) + "]";
+    if (!sv.is_object()) {
+      error = where + ": not an object";
+      return false;
+    }
+    SeriesData sd;
+    const Value* key = sv.find("key");
+    if (key == nullptr || !key->is_string() || key->str.empty()) {
+      error = where + ": missing \"key\"";
+      return false;
+    }
+    sd.key = key->str;
+    const std::string swhere = path + ": series \"" + sd.key + "\"";
+    if (out.find(sd.key) != nullptr) {
+      error = swhere + ": duplicate series key";
+      return false;
+    }
+    if (const Value* c = sv.find("counters"); c != nullptr) {
+      if (!c->is_object() ||
+          !parse_kv_numbers(*c, sd.counters, swhere + ": counters", error)) {
+        if (error.empty()) error = swhere + ": \"counters\" is not an object";
+        return false;
+      }
+    }
+    if (const Value* c = sv.find("values"); c != nullptr) {
+      if (!c->is_object() ||
+          !parse_kv_numbers(*c, sd.values, swhere + ": values", error)) {
+        if (error.empty()) error = swhere + ": \"values\" is not an object";
+        return false;
+      }
+    }
+    if (const Value* c = sv.find("info"); c != nullptr && c->is_object())
+      for (const auto& [k, v] : c->obj)
+        if (v.is_string()) sd.info.emplace_back(k, v.str);
+    if (const Value* t = sv.find("time"); t != nullptr) {
+      if (!t->is_object()) {
+        error = swhere + ": \"time\" is not an object";
+        return false;
+      }
+      auto num = [&](const char* name, double& dst) {
+        const Value* v = t->find(name);
+        if (v == nullptr || !v->is_number()) {
+          error = swhere + ": time block missing \"" + name + "\"";
+          return false;
+        }
+        dst = v->number;
+        return true;
+      };
+      double samples = 0.0;
+      if (!num("samples", samples) || !num("median_s", sd.median_s) ||
+          !num("mad_s", sd.mad_s) || !num("ci_lo_s", sd.ci_lo_s) ||
+          !num("ci_hi_s", sd.ci_hi_s))
+        return false;
+      sd.time_samples = static_cast<int>(samples);
+      sd.has_time = true;
+    }
+    out.series.push_back(std::move(sd));
+  }
+  error.clear();
+  return true;
+}
+
+bool BenchComparison::ok() const { return failures() == 0; }
+
+int BenchComparison::failures() const {
+  int n = 0;
+  for (const SeriesComparison& s : series) n += s.fails ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+std::string pct(double rel) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * rel);
+  return buf;
+}
+
+std::string num(double v) { return obs::json::format_number(v); }
+
+}  // namespace
+
+BenchComparison compare(const BenchDoc& baseline, const BenchDoc& current,
+                        const CompareOptions& opt) {
+  BenchComparison out;
+  out.bench = current.bench.empty() ? baseline.bench : current.bench;
+  out.baseline_path = baseline.path;
+  out.current_path = current.path;
+  out.baseline_machine = baseline.machine_summary();
+  out.current_machine = current.machine_summary();
+
+  for (const SeriesData& base : baseline.series) {
+    SeriesComparison sc;
+    sc.key = base.key;
+    const SeriesData* cur = current.find(base.key);
+    if (cur == nullptr) {
+      sc.status = SeriesStatus::kRemoved;
+      sc.notes.push_back("present in baseline, missing from current run");
+      out.series.push_back(std::move(sc));
+      continue;
+    }
+
+    // Deterministic counters: exact (or tolerance-bounded) equality.
+    for (const auto& [name, bval] : base.counters) {
+      const double* cval = cur->find_counter(name);
+      if (cval == nullptr) {
+        sc.status = SeriesStatus::kCounterMismatch;
+        sc.fails = true;
+        sc.notes.push_back("counter \"" + name +
+                           "\" missing from current run (baseline " +
+                           num(bval) + ")");
+        continue;
+      }
+      const double denom = std::max(std::abs(bval), 1e-300);
+      const double rel = std::abs(*cval - bval) / denom;
+      if (rel > opt.counter_rel_tol) {
+        sc.status = SeriesStatus::kCounterMismatch;
+        sc.fails = true;
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), "%.3gx", *cval / bval);
+        sc.notes.push_back("counter \"" + name + "\": baseline " + num(bval) +
+                           " -> current " + num(*cval) + " (" + ratio + ")");
+      }
+    }
+
+    // Wall time: noise-aware. Fails only when the median slowdown exceeds
+    // the relative threshold AND the bootstrap CIs are disjoint.
+    if (base.has_time && cur->has_time && base.median_s > 0.0) {
+      const double rel = cur->median_s / base.median_s - 1.0;
+      const bool beyond_threshold = rel > opt.time_rel_threshold;
+      const bool beyond_noise = cur->ci_lo_s > base.ci_hi_s;
+      const bool improved = -rel > opt.time_rel_threshold &&
+                            cur->ci_hi_s < base.ci_lo_s;
+      const std::string delta =
+          "time: baseline median " + num(base.median_s) + " s [" +
+          num(base.ci_lo_s) + ", " + num(base.ci_hi_s) + "] -> current " +
+          num(cur->median_s) + " s [" + num(cur->ci_lo_s) + ", " +
+          num(cur->ci_hi_s) + "] (" + pct(rel) + ")";
+      if (beyond_threshold && beyond_noise) {
+        if (sc.status == SeriesStatus::kOk)
+          sc.status = SeriesStatus::kTimeRegression;
+        if (!opt.time_advisory) sc.fails = true;
+        sc.notes.push_back(delta + (opt.time_advisory
+                                        ? " — regression (advisory)"
+                                        : " — REGRESSION"));
+      } else if (beyond_threshold) {
+        sc.notes.push_back(delta +
+                           " — above threshold but within noise (CIs "
+                           "overlap), not gated");
+      } else if (improved) {
+        if (sc.status == SeriesStatus::kOk)
+          sc.status = SeriesStatus::kTimeImproved;
+        sc.notes.push_back(delta + " — improvement");
+      }
+    }
+
+    // Informational values: largest deltas surface in the report.
+    for (const auto& [name, bval] : cur->values) {
+      for (const auto& [bname, base_v] : base.values) {
+        if (bname != name || base_v == 0.0) continue;
+        const double rel = bval / base_v - 1.0;
+        if (std::abs(rel) > opt.time_rel_threshold)
+          sc.notes.push_back("value \"" + name + "\": " + num(base_v) +
+                             " -> " + num(bval) + " (" + pct(rel) +
+                             ", report-only)");
+      }
+    }
+
+    out.series.push_back(std::move(sc));
+  }
+
+  for (const SeriesData& cur : current.series) {
+    if (baseline.find(cur.key) != nullptr) continue;
+    SeriesComparison sc;
+    sc.key = cur.key;
+    sc.status = SeriesStatus::kNew;
+    sc.notes.push_back("new series, no baseline — will gate once baselined");
+    out.series.push_back(std::move(sc));
+  }
+  return out;
+}
+
+std::string markdown_report(const std::vector<BenchComparison>& results,
+                            const CompareOptions& opt) {
+  std::ostringstream md;
+  int total_failures = 0;
+  for (const BenchComparison& r : results) total_failures += r.failures();
+
+  md << "# Benchmark regression report\n\n";
+  md << (total_failures == 0 ? "**Gate: PASS**" : "**Gate: FAIL**")
+     << " — " << total_failures << " gated regression"
+     << (total_failures == 1 ? "" : "s") << " across " << results.size()
+     << " bench document" << (results.size() == 1 ? "" : "s") << ".\n\n";
+  md << "Thresholds: time fails above "
+     << obs::json::format_number(100.0 * opt.time_rel_threshold)
+     << "% slowdown with disjoint 95% bootstrap CIs"
+     << (opt.time_advisory ? " (ADVISORY on this run — report-only)" : "")
+     << "; deterministic counters compared "
+     << (opt.counter_rel_tol == 0.0
+             ? std::string("exactly")
+             : "within rel. tol. " +
+                   obs::json::format_number(opt.counter_rel_tol))
+     << ".\n\n";
+
+  for (const BenchComparison& r : results) {
+    md << "## " << r.bench << "\n\n";
+    md << "- baseline: `" << r.baseline_path << "` (" << r.baseline_machine
+       << ")\n";
+    md << "- current:  `" << r.current_path << "` (" << r.current_machine
+       << ")\n\n";
+
+    bool wrote_any = false;
+    for (const SeriesComparison& s : r.series) {
+      if (s.status == SeriesStatus::kOk && s.notes.empty()) continue;
+      wrote_any = true;
+      const char* tag = "";
+      switch (s.status) {
+        case SeriesStatus::kCounterMismatch: tag = "FAIL (counter)"; break;
+        case SeriesStatus::kTimeRegression:
+          tag = s.fails ? "FAIL (time)" : "regression (advisory)";
+          break;
+        case SeriesStatus::kTimeImproved: tag = "improved"; break;
+        case SeriesStatus::kNew: tag = "new"; break;
+        case SeriesStatus::kRemoved: tag = "removed"; break;
+        case SeriesStatus::kOk: tag = "ok"; break;
+      }
+      md << "- **" << s.key << "** — " << tag << "\n";
+      for (const std::string& n : s.notes) md << "  - " << n << "\n";
+    }
+    if (!wrote_any) md << "All series match the baseline.\n";
+    md << "\n";
+  }
+  return md.str();
+}
+
+}  // namespace xgw::bench

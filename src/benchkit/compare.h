@@ -1,0 +1,110 @@
+#pragma once
+
+// Baseline comparison and noise-aware perf-regression gating.
+//
+// Loads two xgw-bench-result-v1 documents (suite.h), matches series by
+// their stable keys, and classifies every metric:
+//
+//  * counters — deterministic (FLOP counts, byte models, plan shapes):
+//    compared exactly (or within --counter-rel-tol); ANY drift fails the
+//    gate. This is the machine-independent contract: a 2x FLOP-count
+//    change fails on every runner.
+//  * time — noise-aware: a wall-time regression fails ONLY when the
+//    median slowdown exceeds the relative threshold AND the bootstrap
+//    confidence intervals are disjoint (current CI lower bound above the
+//    baseline CI upper bound). Under `time_advisory` (the CI default on
+//    shared runners) time regressions are reported but never fail.
+//  * values / info — report-only deltas.
+//
+// Series present only in the current run are "new, no baseline" — never a
+// failure (adding a benchmark must not require a baseline in the same
+// commit). Series present only in the baseline are reported as removed —
+// also not a failure by default (renames show up as one new + one
+// removed pair in the report).
+
+#include <string>
+#include <vector>
+
+#include "benchkit/stats.h"
+
+namespace xgw::bench {
+
+/// One parsed series of a bench document.
+struct SeriesData {
+  std::string key;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> values;
+  std::vector<std::pair<std::string, std::string>> info;
+  bool has_time = false;
+  int time_samples = 0;
+  double median_s = 0.0;
+  double mad_s = 0.0;
+  double ci_lo_s = 0.0;
+  double ci_hi_s = 0.0;
+
+  const double* find_counter(const std::string& name) const;
+};
+
+/// One parsed bench document (baseline or current).
+struct BenchDoc {
+  std::string path;   ///< file it was loaded from (for error messages)
+  std::string bench;  ///< "bench" field
+  std::vector<std::pair<std::string, std::string>> machine;  ///< fingerprint
+  std::vector<SeriesData> series;
+
+  const SeriesData* find(const std::string& key) const;
+  std::string machine_summary() const;  ///< one-line fingerprint
+};
+
+/// Parses `path`. On failure returns false and sets `error` to a message
+/// naming the file (and the series, for per-series schema violations).
+bool load_bench_doc(const std::string& path, BenchDoc& out,
+                    std::string& error);
+
+struct CompareOptions {
+  /// A time regression must exceed this relative slowdown (strictly) to
+  /// fail: median_cur > median_base * (1 + threshold).
+  double time_rel_threshold = 0.05;
+  /// Counters compared with this relative tolerance (0 = bit-exact).
+  double counter_rel_tol = 0.0;
+  /// Report time regressions without failing the gate (shared runners).
+  bool time_advisory = false;
+};
+
+enum class SeriesStatus {
+  kOk,              ///< all gated metrics within bounds
+  kNew,             ///< no baseline series — never a failure
+  kRemoved,         ///< baseline series missing from current — reported
+  kCounterMismatch, ///< deterministic counter drift — FAILS
+  kTimeRegression,  ///< noise-qualified slowdown — FAILS unless advisory
+  kTimeImproved,    ///< noise-qualified speedup — reported
+};
+
+struct SeriesComparison {
+  std::string key;
+  SeriesStatus status = SeriesStatus::kOk;
+  bool fails = false;              ///< counts against the gate
+  std::vector<std::string> notes;  ///< per-metric human-readable lines
+};
+
+struct BenchComparison {
+  std::string bench;
+  std::string baseline_path;
+  std::string current_path;
+  std::string baseline_machine;
+  std::string current_machine;
+  std::vector<SeriesComparison> series;
+
+  bool ok() const;
+  int failures() const;
+};
+
+/// Compares current against baseline under `opt`.
+BenchComparison compare(const BenchDoc& baseline, const BenchDoc& current,
+                        const CompareOptions& opt);
+
+/// Renders the markdown regression report for one or more comparisons.
+std::string markdown_report(const std::vector<BenchComparison>& results,
+                            const CompareOptions& opt);
+
+}  // namespace xgw::bench

@@ -1,0 +1,172 @@
+// xgw_bench_compare — the perf-regression gate.
+//
+//   xgw_bench_compare [options] <baseline.json> <current.json> [more pairs...]
+//
+// Loads each (baseline, current) pair of xgw-bench-result-v1 documents,
+// compares them with the noise-aware threshold logic of benchkit/compare.h,
+// prints a summary, optionally writes a markdown regression report, and
+// exits 0 (gate pass), 1 (gated regression), or 2 (usage / malformed
+// input — the error names the file and series).
+//
+// --update-baseline rewrites each baseline file from its current document
+// (re-serialized through obs::json so committed baselines are canonically
+// formatted). POLICY: baseline updates must be their own reviewed commit —
+// never fold a re-baseline into the change that moved the numbers.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchkit/compare.h"
+#include "obs/json.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: xgw_bench_compare [options] <baseline.json> <current.json> "
+      "[<baseline2> <current2> ...]\n"
+      "\n"
+      "options:\n"
+      "  --rel-threshold X     time-regression threshold (default 0.05)\n"
+      "  --counter-rel-tol X   counter tolerance (default 0 = exact)\n"
+      "  --time-advisory       report time regressions without failing\n"
+      "  --report FILE         write the markdown regression report\n"
+      "  --update-baseline     overwrite each baseline from its current\n"
+      "                        document (must be its own reviewed commit)\n");
+}
+
+bool write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xgw::bench;
+  CompareOptions opt;
+  std::string report_path;
+  bool update_baseline = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs an argument\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--rel-threshold") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.time_rel_threshold = std::strtod(v, nullptr);
+    } else if (arg == "--counter-rel-tol") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      opt.counter_rel_tol = std::strtod(v, nullptr);
+    } else if (arg == "--time-advisory") {
+      opt.time_advisory = true;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      report_path = v;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (files.empty() || files.size() % 2 != 0) {
+    std::fprintf(stderr,
+                 "error: expected one or more <baseline> <current> pairs\n");
+    usage();
+    return 2;
+  }
+
+  if (update_baseline) {
+    for (std::size_t i = 0; i < files.size(); i += 2) {
+      const std::string& baseline = files[i];
+      const std::string& current = files[i + 1];
+      BenchDoc doc;
+      std::string error;
+      if (!load_bench_doc(current, doc, error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      std::ifstream in(current, std::ios::binary);
+      std::string text((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      if (!write_text(baseline, text)) {
+        std::fprintf(stderr, "error: cannot write %s\n", baseline.c_str());
+        return 2;
+      }
+      std::printf("re-baselined %s from %s (%zu series)\n", baseline.c_str(),
+                  current.c_str(), doc.series.size());
+    }
+    std::printf(
+        "\nPOLICY: commit the baseline update on its own, with the\n"
+        "justification in the commit message — never alongside the change\n"
+        "that moved the numbers (README \"Re-baselining\").\n");
+    return 0;
+  }
+
+  std::vector<BenchComparison> results;
+  for (std::size_t i = 0; i < files.size(); i += 2) {
+    BenchDoc baseline, current;
+    std::string error;
+    if (!load_bench_doc(files[i], baseline, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    if (!load_bench_doc(files[i + 1], current, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    if (!baseline.bench.empty() && !current.bench.empty() &&
+        baseline.bench != current.bench)
+      std::fprintf(stderr,
+                   "warning: comparing different benches (\"%s\" vs \"%s\")\n",
+                   baseline.bench.c_str(), current.bench.c_str());
+    results.push_back(compare(baseline, current, opt));
+  }
+
+  const std::string md = markdown_report(results, opt);
+  if (!report_path.empty()) {
+    if (!write_text(report_path, md)) {
+      std::fprintf(stderr, "error: cannot write report %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", report_path.c_str());
+  }
+
+  int failures = 0;
+  for (const BenchComparison& r : results) {
+    failures += r.failures();
+    std::printf("%s: %s (%d gated regression%s, %zu series)\n",
+                r.bench.c_str(), r.ok() ? "PASS" : "FAIL", r.failures(),
+                r.failures() == 1 ? "" : "s", r.series.size());
+    for (const SeriesComparison& s : r.series) {
+      if (s.notes.empty()) continue;
+      std::printf("  %s%s\n", s.key.c_str(), s.fails ? "  [FAIL]" : "");
+      for (const std::string& n : s.notes) std::printf("    %s\n", n.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

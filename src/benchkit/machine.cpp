@@ -1,0 +1,112 @@
+#include "benchkit/machine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "la/gemm.h"
+
+namespace xgw::bench {
+
+namespace {
+
+std::string cpu_model_name() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::string v = line.substr(colon + 1);
+      const auto first = v.find_first_not_of(" \t");
+      return first == std::string::npos ? "unknown" : v.substr(first);
+    }
+  }
+  return "unknown";
+}
+
+std::string host_name() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+  return "unknown";
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+/// Resolves HEAD from a `.git` directory found at or above `start`.
+std::string git_sha_from_tree(std::string dir) {
+  for (int depth = 0; depth < 16; ++depth) {
+    std::ifstream head(dir + "/.git/HEAD");
+    if (head) {
+      std::string line;
+      std::getline(head, line);
+      if (line.compare(0, 5, "ref: ") == 0) {
+        const std::string ref = line.substr(5);
+        std::ifstream reffile(dir + "/.git/" + ref);
+        std::string sha;
+        if (reffile && std::getline(reffile, sha) && !sha.empty()) return sha;
+        // Packed ref fallback.
+        std::ifstream packed(dir + "/.git/packed-refs");
+        while (packed && std::getline(packed, line))
+          if (line.size() > 41 && line.compare(41, std::string::npos, ref) == 0)
+            return line.substr(0, 40);
+        return "unknown";
+      }
+      return line.empty() ? "unknown" : line;  // detached HEAD: bare SHA
+    }
+    dir += "/..";
+  }
+  return "unknown";
+}
+
+std::string git_sha() {
+  if (const char* env = std::getenv("XGW_GIT_SHA"); env != nullptr && *env)
+    return env;
+  return git_sha_from_tree(".");
+}
+
+MachineInfo collect() {
+  MachineInfo m;
+  m.host = host_name();
+  m.cpu_model = cpu_model_name();
+  m.hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+  m.omp_threads = xgw_num_threads();
+  m.compiler = compiler_id();
+#ifdef XGW_BENCH_BUILD_TYPE
+  m.build_type = XGW_BENCH_BUILD_TYPE;
+#else
+  m.build_type = "unknown";
+#endif
+#ifdef XGW_BENCH_FLAGS
+  m.flags = XGW_BENCH_FLAGS;
+#else
+  m.flags = "unknown";
+#endif
+  m.git_sha = git_sha();
+  return m;
+}
+
+}  // namespace
+
+const MachineInfo& machine_info() {
+  static const MachineInfo m = collect();
+  return m;
+}
+
+}  // namespace xgw::bench

@@ -1,0 +1,32 @@
+#pragma once
+
+// Machine fingerprint stamped into every unified bench JSON document.
+//
+// A perf number without its machine is noise: the compare gate prints the
+// baseline and current fingerprints side by side in its regression report
+// so a reviewer can immediately see when a "regression" is really a
+// different CPU, compiler, or thread count. Deterministic counters
+// (FLOPs/bytes/plan shapes) are machine-independent and gate across
+// fingerprints; wall-time comparisons across differing fingerprints are
+// advisory by design.
+
+#include <string>
+
+namespace xgw::bench {
+
+struct MachineInfo {
+  std::string host;        ///< hostname, or "unknown"
+  std::string cpu_model;   ///< /proc/cpuinfo "model name", or "unknown"
+  int hw_threads = 0;      ///< std::thread::hardware_concurrency
+  int omp_threads = 0;     ///< xgw_num_threads() at fingerprint time
+  std::string compiler;    ///< e.g. "gcc 12.2.0" / "clang 17.0.6"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE baked in at compile time
+  std::string flags;       ///< optimization-relevant flags baked in
+  std::string git_sha;     ///< XGW_GIT_SHA env, else .git/HEAD, else "unknown"
+};
+
+/// Collects the fingerprint (cached after the first call; the git SHA and
+/// cpuinfo reads happen once per process).
+const MachineInfo& machine_info();
+
+}  // namespace xgw::bench

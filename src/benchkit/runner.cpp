@@ -1,0 +1,50 @@
+#include "benchkit/runner.h"
+
+#include <cstdlib>
+
+#include "common/timer.h"
+
+namespace xgw::bench {
+
+RunnerOptions RunnerOptions::from_env() {
+  RunnerOptions opt;
+  if (const char* fast = std::getenv("XGW_BENCH_FAST");
+      fast != nullptr && *fast != '\0' && *fast != '0') {
+    opt.warmup = 0;
+    opt.min_reps = 3;
+    opt.max_reps = 5;
+    opt.min_time_s = 0.0;
+    opt.max_time_s = 0.02;
+  }
+  if (const char* reps = std::getenv("XGW_BENCH_MIN_REPS");
+      reps != nullptr && *reps != '\0') {
+    const int n = std::atoi(reps);
+    if (n > 0) {
+      opt.min_reps = n;
+      if (opt.max_reps < n) opt.max_reps = n;
+    }
+  }
+  return opt;
+}
+
+TimingStats run_timed(const std::function<void()>& body,
+                      const RunnerOptions& opt) {
+  for (int i = 0; i < opt.warmup; ++i) body();
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(opt.min_reps));
+  double total = 0.0;
+  while (true) {
+    Stopwatch sw;
+    body();
+    const double t = sw.elapsed();
+    samples.push_back(t);
+    total += t;
+    const int reps = static_cast<int>(samples.size());
+    if (reps >= opt.max_reps) break;
+    if (total >= opt.max_time_s && reps >= opt.min_reps) break;
+    if (reps >= opt.min_reps && total >= opt.min_time_s) break;
+  }
+  return summarize(std::move(samples));
+}
+
+}  // namespace xgw::bench

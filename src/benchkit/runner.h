@@ -1,0 +1,36 @@
+#pragma once
+
+// Warmup + repetition control for timed benchmark points.
+//
+// Every wall-time number in the unified bench JSON comes through
+// run_timed(): warm up (populate caches, fault in pages, build FFT plans),
+// then repeat the body until both a minimum repetition count and a minimum
+// total measurement time are reached, recording every repetition so the
+// stats kernel can compute median/MAD/bootstrap-CI. Ad-hoc single-shot
+// Stopwatch timings cannot be gated — they carry no noise estimate.
+
+#include <functional>
+
+#include "benchkit/stats.h"
+
+namespace xgw::bench {
+
+struct RunnerOptions {
+  int warmup = 1;          ///< untimed calls before measurement
+  int min_reps = 5;        ///< lower bound on timed repetitions
+  int max_reps = 100;      ///< upper bound (fast bodies stop here)
+  double min_time_s = 0.2; ///< keep repeating until this much time is timed
+  double max_time_s = 5.0; ///< hard budget: stop adding reps past this
+
+  /// Defaults adjusted by environment:
+  ///  XGW_BENCH_FAST=1     -> 0 warmup, 3..5 reps, 0.02 s budget (CI smoke)
+  ///  XGW_BENCH_MIN_REPS=n -> override min_reps
+  static RunnerOptions from_env();
+};
+
+/// Runs `body` under warmup + repetition control and returns the robust
+/// summary of the per-repetition wall times.
+TimingStats run_timed(const std::function<void()>& body,
+                      const RunnerOptions& opt = RunnerOptions::from_env());
+
+}  // namespace xgw::bench

@@ -1,0 +1,97 @@
+#include "benchkit/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace xgw::bench {
+
+namespace {
+
+/// splitmix64 — tiny, seedable, and good enough for bootstrap resampling
+/// indices. Kept local so the stats kernel has zero dependencies.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n) by rejection — unbiased for any n.
+  std::size_t below(std::size_t n) {
+    const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % n;
+    std::uint64_t x;
+    do {
+      x = next();
+    } while (x >= limit);
+    return static_cast<std::size_t>(x % n);
+  }
+};
+
+double median_inplace(std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+double median(std::vector<double> v) { return median_inplace(v); }
+
+double mad(const std::vector<double>& v, double center) {
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (double x : v) dev.push_back(std::abs(x - center));
+  return median_inplace(dev);
+}
+
+ConfidenceInterval bootstrap_ci_median(const std::vector<double>& v,
+                                       int resamples, double confidence,
+                                       std::uint64_t seed) {
+  ConfidenceInterval ci;
+  if (v.empty()) return ci;
+  if (v.size() == 1 || resamples < 2) {
+    ci.lo = ci.hi = median(v);
+    return ci;
+  }
+  SplitMix64 rng{seed};
+  std::vector<double> medians(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(v.size());
+  for (int r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < v.size(); ++i) resample[i] = v[rng.below(v.size())];
+    medians[static_cast<std::size_t>(r)] = median_inplace(resample);
+  }
+  std::sort(medians.begin(), medians.end());
+  const double alpha = 0.5 * (1.0 - confidence);
+  auto quantile_index = [&](double q) {
+    const double pos = q * static_cast<double>(medians.size() - 1);
+    return static_cast<std::size_t>(std::lround(pos));
+  };
+  ci.lo = medians[quantile_index(alpha)];
+  ci.hi = medians[quantile_index(1.0 - alpha)];
+  return ci;
+}
+
+TimingStats summarize(std::vector<double> samples) {
+  TimingStats s;
+  s.samples = std::move(samples);
+  if (s.samples.empty()) return s;
+  s.median_s = median(s.samples);
+  s.mad_s = mad(s.samples, s.median_s);
+  const auto [lo, hi] = std::minmax_element(s.samples.begin(), s.samples.end());
+  s.min_s = *lo;
+  s.max_s = *hi;
+  const ConfidenceInterval ci = bootstrap_ci_median(s.samples);
+  s.ci_lo_s = ci.lo;
+  s.ci_hi_s = ci.hi;
+  return s;
+}
+
+}  // namespace xgw::bench

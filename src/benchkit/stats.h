@@ -1,0 +1,62 @@
+#pragma once
+
+// Robust statistics for benchmark timing samples.
+//
+// Benchmark gating on shared machines cannot use means: one scheduler
+// stall poisons the average and either hides a regression or invents one.
+// The harness therefore summarizes every timed series with the median,
+// the median absolute deviation (MAD), and a bootstrap confidence
+// interval of the median — the noise-aware triple xgw_bench_compare's
+// threshold logic is built on (a wall-time regression must exceed BOTH
+// the relative threshold AND the confidence intervals to fail the gate).
+//
+// The bootstrap is seeded deterministically so two summarize() calls on
+// the same samples produce bit-identical intervals — baselines stay
+// reproducible.
+
+#include <cstdint>
+#include <vector>
+
+namespace xgw::bench {
+
+/// Median of `v` (by value: the selection reorders its copy). Empty input
+/// returns 0. Even-length inputs average the two central order statistics.
+double median(std::vector<double> v);
+
+/// Median absolute deviation around `center` (typically median(v)).
+/// Unscaled — no 1.4826 normal-consistency factor; the gate compares MADs
+/// to MADs, never to standard deviations.
+double mad(const std::vector<double>& v, double center);
+
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Percentile bootstrap confidence interval of the median: `resamples`
+/// resamples with replacement, each reduced to its median, then the
+/// (1-confidence)/2 and 1-(1-confidence)/2 quantiles of that distribution.
+/// Deterministic for a given (v, resamples, confidence, seed). A single
+/// sample (or empty input) collapses to the degenerate interval
+/// [median, median].
+ConfidenceInterval bootstrap_ci_median(const std::vector<double>& v,
+                                       int resamples = 1000,
+                                       double confidence = 0.95,
+                                       std::uint64_t seed = 0x5eed5eed5eedULL);
+
+/// Full summary of one timed series, as emitted into the unified bench
+/// JSON schema (suite.h) and consumed by the compare gate.
+struct TimingStats {
+  std::vector<double> samples;  ///< per-repetition seconds, in run order
+  double median_s = 0.0;
+  double mad_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double ci_lo_s = 0.0;  ///< 95% bootstrap CI of the median, lower bound
+  double ci_hi_s = 0.0;
+};
+
+/// Computes the TimingStats summary for `samples`.
+TimingStats summarize(std::vector<double> samples);
+
+}  // namespace xgw::bench

@@ -1,0 +1,118 @@
+#include "benchkit/suite.h"
+
+#include <cstdio>
+
+#include "benchkit/machine.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace xgw::bench {
+
+using obs::json::Value;
+
+Series& Series::counter(const std::string& name, double v) {
+  counters_.emplace_back(name, v);
+  return *this;
+}
+
+Series& Series::value(const std::string& name, double v) {
+  values_.emplace_back(name, v);
+  return *this;
+}
+
+Series& Series::info(const std::string& name, const std::string& v) {
+  info_.emplace_back(name, v);
+  return *this;
+}
+
+Series& Series::time(TimingStats stats) {
+  has_time_ = true;
+  time_ = std::move(stats);
+  return *this;
+}
+
+Value Series::to_value() const {
+  Value v = Value::make_object();
+  v.set("key", Value::make_string(key_));
+  if (!counters_.empty()) {
+    Value& c = v.set("counters", Value::make_object());
+    for (const auto& [name, x] : counters_) c.set(name, Value::make_number(x));
+  }
+  if (!values_.empty()) {
+    Value& c = v.set("values", Value::make_object());
+    for (const auto& [name, x] : values_) c.set(name, Value::make_number(x));
+  }
+  if (!info_.empty()) {
+    Value& c = v.set("info", Value::make_object());
+    for (const auto& [name, s] : info_) c.set(name, Value::make_string(s));
+  }
+  if (has_time_) {
+    Value& t = v.set("time", Value::make_object());
+    t.set("samples",
+          Value::make_number(static_cast<double>(time_.samples.size())));
+    t.set("median_s", Value::make_number(time_.median_s));
+    t.set("mad_s", Value::make_number(time_.mad_s));
+    t.set("min_s", Value::make_number(time_.min_s));
+    t.set("max_s", Value::make_number(time_.max_s));
+    t.set("ci_lo_s", Value::make_number(time_.ci_lo_s));
+    t.set("ci_hi_s", Value::make_number(time_.ci_hi_s));
+  }
+  return v;
+}
+
+Suite::Suite(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+Series& Suite::series(const std::string& key) {
+  for (Series& s : series_)
+    if (s.key() == key) return s;
+  series_.emplace_back(key);
+  return series_.back();
+}
+
+Value Suite::to_value() const {
+  Value doc = Value::make_object();
+  doc.set("schema", Value::make_string("xgw-bench-result-v1"));
+  doc.set("bench", Value::make_string(bench_name_));
+  const MachineInfo& m = machine_info();
+  Value& mv = doc.set("machine", Value::make_object());
+  mv.set("host", Value::make_string(m.host));
+  mv.set("cpu_model", Value::make_string(m.cpu_model));
+  mv.set("hw_threads", Value::make_number(m.hw_threads));
+  mv.set("omp_threads", Value::make_number(m.omp_threads));
+  mv.set("compiler", Value::make_string(m.compiler));
+  mv.set("build_type", Value::make_string(m.build_type));
+  mv.set("flags", Value::make_string(m.flags));
+  mv.set("git_sha", Value::make_string(m.git_sha));
+  Value& arr = doc.set("series", Value::make_array());
+  for (const Series& s : series_) arr.push(s.to_value());
+  return doc;
+}
+
+bool Suite::write(const std::string& path) const {
+  const std::string out_path = path.empty() ? default_path() : path;
+  const std::string text = obs::json::dump(to_value(), 2) + "\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu series)\n", out_path.c_str(), series_.size());
+  return true;
+}
+
+bool write_run_report(const std::string& bench_name, const std::string& path,
+                      double peak_gflops, double mem_bandwidth_gbs) {
+  const obs::RunReportDoc doc =
+      obs::build_run_report(obs::recorder(), bench_name, bench_name,
+                            peak_gflops, mem_bandwidth_gbs);
+  if (!doc.write(path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu stages)\n", path.c_str(), doc.stages.size());
+  return true;
+}
+
+}  // namespace xgw::bench

@@ -1,0 +1,89 @@
+#pragma once
+
+// Human-readable output half of the bench harness: the fixed-width table
+// printer and numeric formatters behind every paper-table reproduction.
+// (The machine-readable half is suite.h; the two deliberately share
+// nothing — tables are for eyes, JSON goes through obs::json.)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace xgw::bench {
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& r) {
+      std::printf("|");
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < r.size() ? r[c] : std::string{};
+        std::printf(" %-*s |", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_sci(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", prec, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+/// FLOP/s with automatic unit (GF/TF/PF/EF per second).
+inline std::string fmt_flops(double flops_per_s) {
+  const char* units[] = {"FLOP/s", "kF/s", "MF/s", "GF/s",
+                         "TF/s",   "PF/s", "EF/s"};
+  int u = 0;
+  while (flops_per_s >= 1000.0 && u < 6) {
+    flops_per_s /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", flops_per_s, units[u]);
+  return buf;
+}
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace xgw::bench

@@ -47,6 +47,142 @@ const Value* Value::find(std::string_view key) const {
   return nullptr;
 }
 
+Value Value::make_null() { return Value{}; }
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind = Value::Kind::kBool;
+  v.boolean = b;
+  return v;
+}
+
+Value Value::make_number(double n) {
+  Value v;
+  v.kind = Value::Kind::kNumber;
+  v.number = n;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.str = std::move(s);
+  return v;
+}
+
+Value Value::make_array() {
+  Value v;
+  v.kind = Value::Kind::kArray;
+  return v;
+}
+
+Value Value::make_object() {
+  Value v;
+  v.kind = Value::Kind::kObject;
+  return v;
+}
+
+Value& Value::set(std::string key, Value v) {
+  obj.emplace_back(std::move(key), std::move(v));
+  return obj.back().second;
+}
+
+Value& Value::push(Value v) {
+  arr.push_back(std::move(v));
+  return arr.back();
+}
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  char buf[40];
+  // Integral values within the exact-double range print as integers.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  // Shortest precision that round-trips exactly.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) return buf;
+  }
+  return buf;
+}
+
+namespace {
+
+void dump_impl(const Value& v, int indent, int depth, std::string& out) {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<std::size_t>(indent) *
+                               static_cast<std::size_t>(depth + 1),
+                           ' ')
+             : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<std::size_t>(indent) *
+                               static_cast<std::size_t>(depth),
+                           ' ')
+             : std::string();
+  switch (v.kind) {
+    case Value::Kind::kNull: out += "null"; break;
+    case Value::Kind::kBool: out += v.boolean ? "true" : "false"; break;
+    case Value::Kind::kNumber: out += format_number(v.number); break;
+    case Value::Kind::kString: out += quote(v.str); break;
+    case Value::Kind::kArray: {
+      if (v.arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < v.arr.size(); ++i) {
+        if (i > 0) out += ',';
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        dump_impl(v.arr[i], indent, depth + 1, out);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      if (v.obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < v.obj.size(); ++i) {
+        if (i > 0) out += ',';
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        out += quote(v.obj[i].first);
+        out += pretty ? ": " : ":";
+        dump_impl(v.obj[i].second, indent, depth + 1, out);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& v, int indent) {
+  std::string out;
+  dump_impl(v, indent, 0, out);
+  return out;
+}
+
 namespace {
 
 struct Parser {

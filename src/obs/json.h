@@ -46,7 +46,34 @@ class Value {
 
   /// First member with `key`, or nullptr (objects only).
   const Value* find(std::string_view key) const;
+
+  // Builder factories, so emitters can assemble a Value tree and serialize
+  // it with dump() instead of hand-rolling fprintf JSON (the drift between
+  // hand-rolled writers and the parser is what these exist to kill).
+  static Value make_null();
+  static Value make_bool(bool b);
+  static Value make_number(double n);
+  static Value make_string(std::string s);
+  static Value make_array();
+  static Value make_object();
+
+  /// Appends a member to an object Value; returns a reference to the
+  /// stored value so nested structures chain naturally.
+  Value& set(std::string key, Value v);
+  /// Appends an element to an array Value; returns the stored element.
+  Value& push(Value v);
 };
+
+/// Shortest decimal representation of `v` that round-trips exactly through
+/// strtod — THE number format of every xgw JSON emitter. Integral values up
+/// to 2^53 print without a fractional part.
+std::string format_number(double v);
+
+/// Serializes a Value as strict RFC 8259 JSON. `indent` < 0 produces a
+/// compact single line; otherwise nested levels are indented by `indent`
+/// spaces. dump() and parse() round-trip: parse(dump(v)) == v with numbers
+/// bit-exact (format_number guarantees it).
+std::string dump(const Value& v, int indent = -1);
 
 /// Parses `text`; on failure returns false and describes the problem (with
 /// a byte offset) in `error`.
