@@ -10,9 +10,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
+#include "io/iohooks.h"
+#include "mem/spill.h"
+#include "obs/metrics.h"
+#include "runtime/fault.h"
 #include "runtime/simcluster.h"
 
 using namespace xgw;
@@ -28,6 +35,13 @@ void spin_item(std::vector<cplx>& out) {
   }
   for (std::size_t j = 0; j < out.size(); ++j)
     out[j] = cplx{static_cast<double>(j), -static_cast<double>(j)};
+}
+
+ZMatrix random_matrix(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  ZMatrix m(n, n);
+  for (idx i = 0; i < m.size(); ++i) m.data()[i] = rng.normal_cplx();
+  return m;
 }
 
 struct SweepPoint {
@@ -77,11 +91,13 @@ void failure_rate_sweep(Suite& suite) {
            fmt_int(static_cast<long long>(pt.rep.failed_ranks.size())),
            fmt(pt.rep.recovery_s, 3), fmt(t2s, 3),
            fmt(100.0 * (t2s / t0 - 1.0), 1) + "%"});
-    // Retries/dead ranks are seeded-injector outputs: deterministic ints.
+    // Retries include wall-clock straggler cancellations (deadline vs the
+    // measured rank median), so they carry timing noise — recorded as
+    // report-only values, not exact-gated counters.
     suite.series("fault_sweep/p=" + fmt(pt.p_fail, 2))
-        .counter("retries", static_cast<double>(pt.rep.retries))
-        .counter("dead_ranks",
-                 static_cast<double>(pt.rep.failed_ranks.size()))
+        .value("retries", static_cast<double>(pt.rep.retries))
+        .value("dead_ranks",
+               static_cast<double>(pt.rep.failed_ranks.size()))
         .value("recovery_s", pt.rep.recovery_s)
         .value("t2s_s", t2s)
         .value("overhead_pct", 100.0 * (t2s / t0 - 1.0));
@@ -116,7 +132,7 @@ void node_loss_sweep(Suite& suite) {
            fmt(t2s, 3), fmt(t2s / t0, 2) + "x"});
     suite.series("node_loss/k=" + fmt_int(k))
         .counter("ranks_lost", static_cast<double>(k))
-        .counter("retries", static_cast<double>(rep.retries))
+        .value("retries", static_cast<double>(rep.retries))
         .value("recovery_s", rep.recovery_s)
         .value("t2s_s", t2s)
         .value("slowdown", t2s / t0);
@@ -128,13 +144,115 @@ void node_loss_sweep(Suite& suite) {
       "finishes correctly at reduced parallel width.\n");
 }
 
+/// Storage-fault recovery ladder: the SpillPool (verify/rewrite,
+/// re-materialize) + retry/backoff layer beneath a seeded IoFaultInjector.
+/// Every number here is a deterministic function of the seed and the fixed
+/// relative paths, so the perf gate compares them EXACTLY — a change in
+/// injected/recovered counts is a behavior change, not noise.
+void io_recovery_sweep(Suite& suite) {
+  section("storage-fault recovery ladder (SpillPool under seeded injector)");
+  const std::string dir = "bench_fault_io_scratch";
+  const idx n = 16;
+  const std::size_t one = static_cast<std::size_t>(n) * n * sizeof(cplx);
+  const int n_entries = 8;
+  const int n_rounds = 4;
+
+  auto recovered_total = [] {
+    std::uint64_t total = 0;
+    for (const char* name :
+         {"transient", "nospace", "torn", "bitflip", "stall"})
+      total += obs::metrics().counter_value(
+          std::string("fault/io/recovered/") + name);
+    return total;
+  };
+
+  Table t({"p_fault/op", "injected", "recovered", "rewrites", "remat",
+           "retries", "virtual backoff (ms)"});
+  for (double p : {0.02, 0.05, 0.1}) {
+    const io::IoRetryPolicy prev_policy = io::io_retry_policy();
+    io::IoRetryPolicy rp;
+    rp.max_attempts = 6;
+    rp.backoff_base_s = 1e-3;
+    rp.sleep = false;  // charge backoff virtually: counters, not wall time
+    io::set_io_retry_policy(rp);
+
+    IoFaultSpec spec;
+    spec.seed = 2026;
+    spec.p_transient = 0.5 * p;
+    spec.p_torn = 0.25 * p;
+    spec.p_bitflip = 0.25 * p;
+    spec.max_per_path = 2;
+    spec.path_contains = dir;
+    IoFaultInjector inj(spec);
+
+    const std::uint64_t retries0 =
+        obs::metrics().counter_value("fault/io/retries");
+    const std::uint64_t backoff0 =
+        obs::metrics().counter_value("fault/io/backoff_us");
+    const std::uint64_t recovered0 = recovered_total();
+    std::uint64_t rewrites = 0;
+    std::uint64_t remat = 0;
+    {
+      mem::SpillPool pool(dir, 2 * one);
+      // kSize: torn writes are caught (and rewritten) at eviction, but
+      // silent bit flips slip past and surface at page-in — so the sweep
+      // exercises retry, rewrite, AND re-materialization.
+      pool.set_verify(mem::SpillVerify::kSize);
+      std::vector<ZMatrix> originals;
+      for (int i = 0; i < n_entries; ++i)
+        originals.push_back(random_matrix(n, static_cast<std::uint64_t>(i)));
+      pool.set_recompute([&](const std::string& key) {
+        return originals[static_cast<std::size_t>(std::stoi(key))];
+      });
+      io::ScopedIoHooks hooks(&inj);
+      for (int i = 0; i < n_entries; ++i)
+        pool.put(std::to_string(i), originals[i]);
+      for (int round = 0; round < n_rounds; ++round)
+        for (int i = 0; i < n_entries; ++i)
+          pool.get(std::to_string(i));  // page-in storm under faults
+      rewrites = pool.rewrites();
+      remat = pool.rematerializations();
+    }
+    io::set_io_retry_policy(prev_policy);
+
+    const std::uint64_t injected = inj.injected();
+    const std::uint64_t recovered = recovered_total() - recovered0;
+    const std::uint64_t retries =
+        obs::metrics().counter_value("fault/io/retries") - retries0;
+    const double backoff_ms =
+        static_cast<double>(
+            obs::metrics().counter_value("fault/io/backoff_us") - backoff0) /
+        1e3;
+    t.row({fmt(p, 2), fmt_int(static_cast<long long>(injected)),
+           fmt_int(static_cast<long long>(recovered)),
+           fmt_int(static_cast<long long>(rewrites)),
+           fmt_int(static_cast<long long>(remat)),
+           fmt_int(static_cast<long long>(retries)), fmt(backoff_ms, 3)});
+    suite.series("io_recovery/p=" + fmt(p, 2))
+        .counter("injected", static_cast<double>(injected))
+        .counter("recovered", static_cast<double>(recovered))
+        .counter("rewrites", static_cast<double>(rewrites))
+        .counter("rematerializations", static_cast<double>(remat))
+        .counter("retries", static_cast<double>(retries))
+        .value("backoff_ms", backoff_ms);
+  }
+  t.print();
+  std::filesystem::remove_all(dir);
+  std::printf(
+      "\nEvery fault is neutralized by exactly one layer — retry "
+      "(transient),\nverified rewrite (torn/flip at evict), "
+      "re-materialization (at-rest\ncorruption at page-in) — and the "
+      "results stay bitwise identical\n(enforced by test_chaos).\n");
+}
+
 }  // namespace
 
 int main() {
   std::printf("xgw — fault-tolerant runtime: recovery cost sweep\n");
-  Suite suite("fault_recovery");
+  Suite suite("fault");
   failure_rate_sweep(suite);
   node_loss_sweep(suite);
+  io_recovery_sweep(suite);
   suite.write();
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "bse/bse.h"
 #include "common/error.h"
 #include "common/quadrature.h"
+#include "common/validate.h"
 #include "core/cohsex.h"
 #include "core/evgw.h"
 #include "core/rpa.h"
@@ -15,9 +16,11 @@
 #include "gwpt/gwpt.h"
 #include "gwpt/phonons.h"
 #include "io/binio.h"
+#include "io/iohooks.h"
 #include "la/gemm.h"
 #include "mf/bandstructure.h"
 #include "mem/planner.h"
+#include "mem/spill.h"
 #include "mem/tracker.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -41,7 +44,9 @@ const std::vector<std::string>& known_input_keys() {
       "vacuum",      "checkpoint",   "checkpoint_every",
       "trace",       "trace_detail", "metrics",      "run_report",
       "peak_gflops", "mem_gbps",     "memory_budget_mb",
-      "memory_budget_machine",       "spill_dir",
+      "memory_budget_machine",       "spill_dir",    "validate",
+      "io_retry_attempts",           "io_retry_backoff_ms",
+      "spill_verify",
   };
   return keys;
 }
@@ -413,6 +418,31 @@ std::string canonical_config(const InputFile& in) {
 
 int run_job(const InputFile& in, std::ostream& os) {
   const std::string job = in.require_string("job");
+
+  // Robustness knobs. Each is assigned unconditionally from
+  // input-or-default so one run never inherits the previous run's modes
+  // (run_job is re-entered in-process by tests and batch drivers).
+  set_validate_mode(parse_validate_mode(in.get_string("validate", "error")));
+  {
+    io::IoRetryPolicy rp;  // defaults = seed behavior (retries disabled)
+    rp.max_attempts = static_cast<int>(
+        in.get_int("io_retry_attempts", rp.max_attempts));
+    XGW_REQUIRE(rp.max_attempts >= 1, "io_retry_attempts must be >= 1");
+    rp.backoff_base_s =
+        in.get_double("io_retry_backoff_ms", rp.backoff_base_s * 1e3) * 1e-3;
+    XGW_REQUIRE(rp.backoff_base_s >= 0.0,
+                "io_retry_backoff_ms must be >= 0");
+    io::set_io_retry_policy(rp);
+    if (in.has("io_retry_attempts") || in.has("io_retry_backoff_ms"))
+      os << "io_retry attempts " << rp.max_attempts << " backoff_ms "
+         << rp.backoff_base_s * 1e3 << "\n";
+  }
+  mem::set_spill_verify(
+      mem::parse_spill_verify(in.get_string("spill_verify", "size")));
+  if (in.has("validate"))
+    os << "validate_mode " << to_string(validate_mode()) << "\n";
+  if (in.has("spill_verify"))
+    os << "spill_verify " << mem::to_string(mem::spill_verify()) << "\n";
 
   const std::string trace_path = in.get_string("trace", "");
   const std::string metrics_path = in.get_string("metrics", "");

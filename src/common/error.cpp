@@ -2,14 +2,36 @@
 
 #include <sstream>
 
-namespace xgw::detail {
+namespace xgw {
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kGeneric:
+      return "generic";
+    case ErrorKind::kIoTransient:
+      return "io_transient";
+    case ErrorKind::kIoNoSpace:
+      return "io_nospace";
+    case ErrorKind::kIoCorrupt:
+      return "io_corrupt";
+    case ErrorKind::kIoTruncated:
+      return "io_truncated";
+    case ErrorKind::kValidation:
+      return "validation";
+  }
+  return "unknown";
+}
+
+namespace detail {
 
 void throw_error(const char* expr, const char* file, int line,
-                 const std::string& msg) {
+                 const std::string& msg, ErrorKind kind) {
   std::ostringstream os;
   os << "xgw requirement failed: (" << expr << ") at " << file << ":" << line
      << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), kind);
 }
 
-}  // namespace xgw::detail
+}  // namespace detail
+
+}  // namespace xgw

@@ -1,11 +1,48 @@
 #include "common/validate.h"
 
+#include <atomic>
 #include <cmath>
 #include <string>
 
 #include "common/error.h"
+#include "common/log.h"
 
 namespace xgw {
+
+namespace {
+
+std::atomic<ValidateMode> g_mode{ValidateMode::kError};
+
+}  // namespace
+
+const char* to_string(ValidateMode m) {
+  switch (m) {
+    case ValidateMode::kError:
+      return "error";
+    case ValidateMode::kWarn:
+      return "warn";
+    case ValidateMode::kOff:
+      return "off";
+  }
+  return "unknown";
+}
+
+ValidateMode parse_validate_mode(const std::string& s) {
+  if (s == "error") return ValidateMode::kError;
+  if (s == "warn") return ValidateMode::kWarn;
+  if (s == "off") return ValidateMode::kOff;
+  throw Error("validate: unknown mode '" + s +
+                  "' (expected error, warn, or off)",
+              ErrorKind::kValidation);
+}
+
+void set_validate_mode(ValidateMode m) noexcept {
+  g_mode.store(m, std::memory_order_relaxed);
+}
+
+ValidateMode validate_mode() noexcept {
+  return g_mode.load(std::memory_order_relaxed);
+}
 
 bool all_finite(std::span<const double> x) {
   for (double v : x)
@@ -21,23 +58,37 @@ bool all_finite(std::span<const cplx> x) {
 
 namespace {
 
-[[noreturn]] void fail(const char* what, std::size_t at) {
+void fail(const char* what, std::size_t at) {
+  if (validate_mode() == ValidateMode::kWarn) {
+    log_warn(what, ": non-finite value at element ", at,
+             " (NaN/Inf caught at kernel boundary; validate=warn, "
+             "continuing)");
+    return;
+  }
   throw Error(std::string(what) + ": non-finite value at element " +
-              std::to_string(at) +
-              " (NaN/Inf caught at kernel boundary)");
+                  std::to_string(at) +
+                  " (NaN/Inf caught at kernel boundary)",
+              ErrorKind::kValidation);
 }
 
 }  // namespace
 
 void require_finite(std::span<const double> x, const char* what) {
+  if (validate_mode() == ValidateMode::kOff) return;
   for (std::size_t i = 0; i < x.size(); ++i)
-    if (!std::isfinite(x[i])) fail(what, i);
+    if (!std::isfinite(x[i])) {
+      fail(what, i);
+      return;  // warn mode: one diagnostic per boundary, not per element
+    }
 }
 
 void require_finite(std::span<const cplx> x, const char* what) {
+  if (validate_mode() == ValidateMode::kOff) return;
   for (std::size_t i = 0; i < x.size(); ++i)
-    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag()))
+    if (!std::isfinite(x[i].real()) || !std::isfinite(x[i].imag())) {
       fail(what, i);
+      return;
+    }
 }
 
 }  // namespace xgw

@@ -10,18 +10,37 @@
 // data instead of preconditions: fail loudly where the corruption enters,
 // not where it is finally observed.
 
+#include <cstdint>
 #include <span>
+#include <string>
 
 #include "common/types.h"
 
 namespace xgw {
 
+/// What a failed finite-check does. kError is the default and the only
+/// mode that keeps the fail-where-corruption-enters guarantee; kWarn logs
+/// and keeps going (triage: find every poisoned boundary in one run); kOff
+/// skips the scan entirely (timing studies on trusted data).
+enum class ValidateMode : std::uint8_t { kError = 0, kWarn, kOff };
+
+const char* to_string(ValidateMode m);
+/// Parses "error" / "warn" / "off" (throws xgw::Error, kind kValidation,
+/// on anything else — a typo must not silently disable validation).
+ValidateMode parse_validate_mode(const std::string& s);
+
+/// Process-wide mode consulted by require_finite. Default: kError.
+void set_validate_mode(ValidateMode m) noexcept;
+ValidateMode validate_mode() noexcept;
+
 /// True iff every element is finite (no NaN, no +-Inf).
 bool all_finite(std::span<const double> x);
 bool all_finite(std::span<const cplx> x);
 
-/// Throws xgw::Error naming `what` and the first offending index if any
-/// element is non-finite. `what` should identify the kernel boundary, e.g.
+/// Under kError (default): throws xgw::Error (kind kValidation) naming
+/// `what` and the first offending index if any element is non-finite.
+/// Under kWarn: logs the same diagnostic and returns. Under kOff: no scan.
+/// `what` should identify the kernel boundary, e.g.
 /// "chi_sum: accumulated chi(omega)".
 void require_finite(std::span<const double> x, const char* what);
 void require_finite(std::span<const cplx> x, const char* what);

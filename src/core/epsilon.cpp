@@ -180,7 +180,7 @@ std::vector<ZMatrix> epsilon_inverse_multi(
     c.total = nfreq;
     c.config_hash = cfg;
     c.payload = w.take();
-    checkpoint_save(loop.checkpoint_path, c);
+    checkpoint_save_best_effort(loop.checkpoint_path, c, "epsilon");
   };
 
   // Every iteration needs the same chi + inversion temporaries, so they

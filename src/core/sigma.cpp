@@ -278,7 +278,7 @@ std::vector<QpResult> GwCalculation::sigma_diag_checkpointed(
     c.total = n_total;
     c.config_hash = cfg;
     c.payload = w.take();
-    checkpoint_save(ckpt.path, c);
+    checkpoint_save_best_effort(ckpt.path, c, "sigma");
   };
 
   for (idx k = static_cast<idx>(results.size()); k < n_total; ++k) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/error.h"
 #include "la/gemm.h"
@@ -40,11 +41,13 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
   copt.eta = opt.eta;
 
   // Optional static subspace: built once from chi(0) at full PW cost, then
-  // every omega > 0 runs in the reduced basis (Sec. 5.2).
-  std::optional<Subspace> sub;
+  // every omega > 0 runs in the reduced basis (Sec. 5.2). Shared with the
+  // spill-store recompute closure below, which may outlive this scope.
+  std::shared_ptr<Subspace> sub;
   if (opt.n_eig > 0 || opt.subspace_fraction > 0.0) {
     obs::Span scope(gw.timers(),"ff_subspace_build");
-    sub = build_subspace(gw.chi0(), v, opt.n_eig, opt.subspace_fraction);
+    sub = std::make_shared<Subspace>(
+        build_subspace(gw.chi0(), v, opt.n_eig, opt.subspace_fraction));
     scr.n_eig_used = sub->n_eig();
   }
 
@@ -84,6 +87,46 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
       scr.bv.enable_spill(opt.spill_dir, plan.spill_resident_bytes, "ffbv_");
   }
 
+  // Storage-fault resilience for the spilled B^k v set: each matrix is a
+  // pure function of (omega_k, weight_k, head_k) and the run's inputs, and
+  // chi_multi frequency chunking is bitwise invariant, so a single-frequency
+  // rebuild reproduces the batched original EXACTLY. If a spill page is
+  // torn or bit-flipped past the retry budget, the pool re-derives it
+  // instead of killing the campaign — at recompute cost, never at accuracy
+  // cost. Captures gw by reference: the screening must not outlive the
+  // calculation (already required — sigma_ff_* take both).
+  {
+    const std::vector<double> omegas = scr.omegas;
+    const std::vector<double> weights = scr.weights;
+    const std::vector<cplx> heads_c = heads;
+    const ChiOptions copt_c = copt;  // AFTER the planner fixed nv_block
+    scr.bv.set_recompute([&gw, omegas, weights, heads_c, copt_c,
+                          sub](idx k) -> ZMatrix {
+      const Wavefunctions& wfr = gw.wavefunctions();
+      const CoulombPotential& vr = gw.coulomb();
+      const idx ngr = gw.n_g();
+      std::vector<ZMatrix> chis = chi_multi(
+          gw.mtxel(), wfr,
+          std::span<const double>(omegas).subspan(static_cast<std::size_t>(k),
+                                                  1),
+          copt_c, sub.get(),
+          std::span<const cplx>(heads_c).subspan(static_cast<std::size_t>(k),
+                                                 1));
+      ZMatrix epsinv;
+      if (sub) {
+        epsinv = epsilon_inverse_subspace(*sub, chis[0], vr).dense();
+      } else {
+        epsinv = epsilon_inverse(chis[0], vr);
+      }
+      ZMatrix bv(ngr, ngr);
+      const double pref = -weights[static_cast<std::size_t>(k)] / kPi;
+      for (idx g = 0; g < ngr; ++g)
+        for (idx gp = 0; gp < ngr; ++gp)
+          bv(g, gp) = pref * epsinv(g, gp).imag() * vr(gp);
+      return bv;
+    });
+  }
+
   // CHI-0/Transf/CHI-Freq in batches: MTXEL (and the subspace projection)
   // are paid once per PASS, so the planner maximizes the batch first. Each
   // batch's eps^{-1} matrices become B^k v rows of the store immediately,
@@ -98,7 +141,7 @@ FfScreening build_ff_screening(GwCalculation& gw, const FfOptions& opt) {
           gw.mtxel(), wf,
           std::span<const double>(scr.omegas)
               .subspan(static_cast<std::size_t>(f0), static_cast<std::size_t>(fb)),
-          copt, sub ? &*sub : nullptr,
+          copt, sub.get(),
           std::span<const cplx>(heads).subspan(static_cast<std::size_t>(f0),
                                                static_cast<std::size_t>(fb)));
     }

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <string>
@@ -28,6 +29,27 @@
 #include "la/matrix.h"
 
 namespace xgw::mem {
+
+/// How an eviction write is verified BEFORE the in-memory copy is released.
+/// The eviction-ordering invariant — never drop the only copy until the
+/// disk copy is proven good — is what makes spill safe under torn writes
+/// and silent corruption (storage-fault chaos, runtime/fault.h).
+enum class SpillVerify : std::uint8_t {
+  kOff = 0,   ///< trust the write (seed behavior)
+  kSize,      ///< file size must match the expected encoded size (cheap,
+              ///< catches torn writes; silent flips surface at page-in)
+  kChecksum,  ///< full read-back + bitwise compare (catches everything)
+};
+
+const char* to_string(SpillVerify v);
+/// Parses "off" | "size" | "checksum" (the driver's `spill_verify` key);
+/// throws a kValidation Error on anything else.
+SpillVerify parse_spill_verify(const std::string& s);
+
+/// Process-wide default picked up by every new SpillPool (overridable per
+/// pool with set_verify). Seed default: kSize.
+void set_spill_verify(SpillVerify v) noexcept;
+SpillVerify spill_verify() noexcept;
 
 class SpillPool {
  public:
@@ -57,6 +79,20 @@ class SpillPool {
 
   bool contains(const std::string& key) const;
 
+  /// Eviction-write verification mode for THIS pool (defaults to the
+  /// process-wide spill_verify() at construction).
+  void set_verify(SpillVerify v) noexcept { verify_ = v; }
+  SpillVerify verify() const noexcept { return verify_; }
+
+  /// Registers a recompute callback: when a page-in fails with persistent
+  /// corruption (torn spill file, at-rest bit flip), the pool re-derives
+  /// the matrix from scratch instead of dying. The callback must be
+  /// deterministic and bitwise-reproducible for the bit-exactness guarantee
+  /// to survive re-materialization.
+  void set_recompute(std::function<ZMatrix(const std::string& key)> fn) {
+    recompute_ = std::move(fn);
+  }
+
   std::size_t size() const noexcept { return entries_.size(); }
   std::size_t resident_bytes() const noexcept { return resident_bytes_; }
   std::size_t budget_bytes() const noexcept { return budget_; }
@@ -64,6 +100,16 @@ class SpillPool {
   std::uint64_t page_ins() const noexcept { return page_ins_; }
   std::uint64_t bytes_written() const noexcept { return bytes_written_; }
   std::uint64_t bytes_read() const noexcept { return bytes_read_; }
+  /// Entries re-derived by the recompute callback after corrupt page-ins.
+  std::uint64_t rematerializations() const noexcept {
+    return rematerializations_;
+  }
+  /// Eviction writes redone because verification rejected the file.
+  std::uint64_t rewrites() const noexcept { return rewrites_; }
+  /// True once the pool stopped evicting (ENOSPC / persistent write
+  /// failure): everything stays resident, results stay correct, the memory
+  /// budget is knowingly exceeded.
+  bool degraded() const noexcept { return degraded_; }
 
   const std::string& dir() const noexcept { return dir_; }
 
@@ -79,7 +125,8 @@ class SpillPool {
   std::string file_for(const std::string& key) const;
   void touch(Entry& e, const std::string& key);
   void make_room(std::size_t incoming_bytes, const Entry* keep);
-  void evict(const std::string& key, Entry& e);
+  bool evict(const std::string& key, Entry& e);
+  bool write_verified(const std::string& key, const Entry& e);
   void page_in(const std::string& key, Entry& e);
 
   std::string dir_;
@@ -90,6 +137,11 @@ class SpillPool {
   std::uint64_t page_ins_ = 0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
+  std::uint64_t rematerializations_ = 0;
+  std::uint64_t rewrites_ = 0;
+  bool degraded_ = false;
+  SpillVerify verify_ = SpillVerify::kSize;
+  std::function<ZMatrix(const std::string&)> recompute_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  // front = most recent
 };
@@ -114,16 +166,22 @@ class MatrixStore {
   /// Valid until the next store operation when spilling; stable otherwise.
   const ZMatrix& get(idx i) const;
 
+  /// Indexed recompute callback for corrupt-page-in re-materialization;
+  /// may be called before or after enable_spill. See SpillPool.
+  void set_recompute(std::function<ZMatrix(idx i)> fn);
+
   idx size() const noexcept { return n_; }
   bool empty() const noexcept { return n_ == 0; }
 
   const SpillPool* pool() const noexcept { return pool_.get(); }
+  SpillPool* mutable_pool() noexcept { return pool_.get(); }
 
  private:
   std::string key(idx i) const { return std::to_string(i); }
 
   std::vector<ZMatrix> in_core_;
   std::unique_ptr<SpillPool> pool_;
+  std::function<ZMatrix(idx)> recompute_;
   idx n_ = 0;
 };
 

@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "common/log.h"
+#include "io/iohooks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -70,29 +72,30 @@ void checkpoint_save(const std::string& path, const Checkpoint& c) {
   h.config_hash = c.config_hash;
   h.payload_bytes = static_cast<std::int64_t>(c.payload.size());
 
+  // The CRC is computed over the INTENDED bytes before the I/O hooks see
+  // them (same rule as binio): an injected torn write or bit flip yields a
+  // file whose stored CRC disagrees with its contents, so loaders detect
+  // it and fall back a generation instead of resuming from garbage.
   std::uint32_t crc = crc32(&h, sizeof(h));
   crc = crc32(c.payload.data(), c.payload.size(), crc);
 
   const std::string tmp = tmp_path(path);
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    XGW_REQUIRE(os.good(), "checkpoint_save: cannot open " + tmp);
-    os.write(reinterpret_cast<const char*>(&h), sizeof(h));
-    os.write(reinterpret_cast<const char*>(c.payload.data()),
-             static_cast<std::streamsize>(c.payload.size()));
-    os.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-    os.flush();
-    XGW_REQUIRE(os.good(), "checkpoint_save: write failed for " + tmp);
-  }
-
-  // Keep the previous generation for corruption fallback, then promote the
-  // fully-written tmp file in one rename — readers never observe a partial
-  // checkpoint at `path`.
-  std::error_code ec;
-  if (std::filesystem::exists(path, ec))
-    std::filesystem::rename(path, prev_path(path), ec);
-  std::filesystem::rename(tmp, path, ec);
-  XGW_REQUIRE(!ec, "checkpoint_save: atomic rename failed: " + ec.message());
+  io::io_retry_run("checkpoint_save", path, /*retry_corruption=*/false, [&] {
+    {
+      io::HookedFileWriter os(tmp);
+      os.put(&h, sizeof(h));
+      os.put(c.payload.data(), c.payload.size());
+      os.put(&crc, sizeof(crc));
+      os.finish();
+    }
+    // Keep the previous generation for corruption fallback, then promote
+    // the fully-written tmp file in one rename — readers never observe a
+    // partial checkpoint at `path`.
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec))
+      std::filesystem::rename(path, prev_path(path), ec);
+    io::hooked_rename(tmp, path);
+  });
 
   obs::metrics().counter("checkpoint.writes").inc();
   obs::metrics()
@@ -106,54 +109,126 @@ void checkpoint_save(const std::string& path, const Checkpoint& c) {
             std::to_string(c.payload.size()));
 }
 
+bool checkpoint_save_best_effort(const std::string& path, const Checkpoint& c,
+                                 const char* stage_name) {
+  try {
+    checkpoint_save(path, c);
+    return true;
+  } catch (const Error& e) {
+    if (e.kind() == ErrorKind::kGeneric || e.kind() == ErrorKind::kValidation)
+      throw;  // caller bug (bad step/total), not a storage condition
+    log_warn("checkpoint: SKIPPING save for stage ", stage_name, " at step ",
+             c.step, "/", c.total, " (", c.payload.size(),
+             " payload bytes to ", path, "): ", e.what(),
+             " -- the loop continues; restart coverage resumes at the next "
+             "successful save");
+    obs::metrics().counter("checkpoint/skipped").inc();
+    obs::metrics()
+        .counter(std::string("fault/io/recovered/") +
+                 io::recovered_fault_name(e.kind()))
+        .inc();
+    return false;
+  }
+}
+
 Checkpoint checkpoint_load_strict(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  XGW_REQUIRE(is.good(), "checkpoint: cannot open " + path);
-
-  FileHeader h{};
-  is.read(reinterpret_cast<char*>(&h), sizeof(h));
-  XGW_REQUIRE(is.gcount() == sizeof(h), "checkpoint: truncated header");
-  XGW_REQUIRE(std::memcmp(h.magic, kMagic, 4) == 0,
-              "checkpoint: bad magic (not an xgw checkpoint)");
-  XGW_REQUIRE(h.version == kCheckpointVersion,
-              "checkpoint: format version mismatch (file v" +
-                  std::to_string(h.version) + ", reader v" +
-                  std::to_string(kCheckpointVersion) + ")");
-  XGW_REQUIRE(h.payload_bytes >= 0 && h.step >= 0 && h.total >= 0 &&
-                  h.step <= h.total,
-              "checkpoint: corrupt header fields");
-
   Checkpoint c;
-  c.stage = static_cast<CheckpointStage>(h.stage);
-  c.step = h.step;
-  c.total = h.total;
-  c.config_hash = h.config_hash;
-  c.payload.resize(static_cast<std::size_t>(h.payload_bytes));
-  is.read(reinterpret_cast<char*>(c.payload.data()),
-          static_cast<std::streamsize>(c.payload.size()));
-  XGW_REQUIRE(is.gcount() == static_cast<std::streamsize>(c.payload.size()),
-              "checkpoint: truncated payload");
+  // Transient read blips are retried here; corruption is NOT (the bytes at
+  // rest are wrong) — it surfaces as a classified error so checkpoint_load
+  // can fall back a generation.
+  io::io_retry_run("checkpoint_load", path, /*retry_corruption=*/false, [&] {
+    io::HookedFileReader is(path);
 
-  std::uint32_t stored = 0;
-  is.read(reinterpret_cast<char*>(&stored), sizeof(stored));
-  XGW_REQUIRE(is.gcount() == sizeof(stored), "checkpoint: missing CRC");
-  std::uint32_t computed = crc32(&h, sizeof(h));
-  computed = crc32(c.payload.data(), c.payload.size(), computed);
-  XGW_REQUIRE(stored == computed,
-              "checkpoint: CRC-32 mismatch (corrupt file)");
+    FileHeader h{};
+    const std::size_t got = is.get_some(&h, sizeof(h));
+    XGW_REQUIRE_KIND(got == sizeof(h),
+                     "checkpoint: truncated header: '" + path + "': got " +
+                         std::to_string(got) + " of " +
+                         std::to_string(sizeof(h)) + " bytes",
+                     ErrorKind::kIoTruncated);
+    XGW_REQUIRE_KIND(std::memcmp(h.magic, kMagic, 4) == 0,
+                     "checkpoint: bad magic (not an xgw checkpoint): '" +
+                         path + "'",
+                     ErrorKind::kIoCorrupt);
+    XGW_REQUIRE_KIND(h.version == kCheckpointVersion,
+                     "checkpoint: format version mismatch: '" + path +
+                         "' (file v" + std::to_string(h.version) +
+                         ", reader v" + std::to_string(kCheckpointVersion) +
+                         ")",
+                     ErrorKind::kIoCorrupt);
+    XGW_REQUIRE_KIND(h.payload_bytes >= 0 && h.step >= 0 && h.total >= 0 &&
+                         h.step <= h.total,
+                     "checkpoint: corrupt header fields: '" + path + "'",
+                     ErrorKind::kIoCorrupt);
+
+    c = Checkpoint{};
+    c.stage = static_cast<CheckpointStage>(h.stage);
+    c.step = h.step;
+    c.total = h.total;
+    c.config_hash = h.config_hash;
+    c.payload.resize(static_cast<std::size_t>(h.payload_bytes));
+    const std::size_t pay =
+        is.get_some(c.payload.data(), c.payload.size());
+    XGW_REQUIRE_KIND(pay == c.payload.size(),
+                     "checkpoint: truncated payload: '" + path + "': got " +
+                         std::to_string(pay) + " of " +
+                         std::to_string(c.payload.size()) + " bytes",
+                     ErrorKind::kIoTruncated);
+
+    std::uint32_t stored = 0;
+    XGW_REQUIRE_KIND(is.get_some(&stored, sizeof(stored)) == sizeof(stored),
+                     "checkpoint: missing CRC: '" + path + "'",
+                     ErrorKind::kIoTruncated);
+    std::uint32_t computed = crc32(&h, sizeof(h));
+    computed = crc32(c.payload.data(), c.payload.size(), computed);
+    XGW_REQUIRE_KIND(stored == computed,
+                     "checkpoint: CRC-32 mismatch (corrupt file): '" + path +
+                         "': payload of " + std::to_string(c.payload.size()) +
+                         " bytes",
+                     ErrorKind::kIoCorrupt);
+  });
   return c;
 }
 
 std::optional<Checkpoint> checkpoint_load(const std::string& path) {
+  bool primary_existed = false;
+  ErrorKind primary_kind = ErrorKind::kGeneric;
   for (const std::string& candidate : {path, prev_path(path)}) {
+    const bool is_fallback = candidate != path;
     std::error_code ec;
     if (!std::filesystem::exists(candidate, ec)) continue;
+    if (!is_fallback) primary_existed = true;
     try {
-      return checkpoint_load_strict(candidate);
-    } catch (const Error&) {
+      Checkpoint c = checkpoint_load_strict(candidate);
+      if (is_fallback && primary_existed) {
+        // Latest generation was unusable but .prev carried the run: the
+        // defining event of the two-generation scheme. Loud on purpose.
+        obs::metrics().counter("checkpoint/fallback").inc();
+        obs::metrics()
+            .counter(std::string("fault/io/recovered/") +
+                     io::recovered_fault_name(primary_kind))
+            .inc();
+        if (obs::trace_enabled())
+          obs::recorder().record_instant(
+              "checkpoint_fallback", "ckpt",
+              "\"path\":\"" + path + "\",\"resumed_step\":" +
+                  std::to_string(c.step) + ",\"primary_error\":\"" +
+                  to_string(primary_kind) + "\"");
+      }
+      return c;
+    } catch (const Error& e) {
       // Corrupt/truncated/foreign-version file: fall through to the
       // previous generation.
+      if (!is_fallback) primary_kind = e.kind();
     }
+  }
+  if (primary_existed) {
+    // Both generations were unusable: the caller restarts from step 0.
+    // Correct but expensive — surfaced so operators see it happened.
+    obs::metrics().counter("checkpoint/cold_start").inc();
+    if (obs::trace_enabled())
+      obs::recorder().record_instant("checkpoint_cold_start", "ckpt",
+                                     "\"path\":\"" + path + "\"");
   }
   return std::nullopt;
 }

@@ -63,6 +63,15 @@ struct Checkpoint {
 /// preserved as `path + ".prev"` before the rename.
 void checkpoint_save(const std::string& path, const Checkpoint& c);
 
+/// checkpoint_save that survives a full scratch filesystem: ENOSPC (and
+/// any exhausted-retry storage failure) degrades to SKIPPING this
+/// checkpoint with an actionable warning naming the stage, path and
+/// payload bytes — the loop keeps computing and restart coverage resumes
+/// at the next successful save. Returns false when the save was skipped.
+/// Non-storage errors still throw.
+bool checkpoint_save_best_effort(const std::string& path, const Checkpoint& c,
+                                 const char* stage_name);
+
 /// Loads `path`, falling back to `path + ".prev"` when the primary file is
 /// missing, truncated, corrupt, or from a different format version.
 /// Returns nullopt when no usable checkpoint exists.

@@ -1,0 +1,320 @@
+// Tests: the storage-fault chaos layer end to end. The headline claim:
+// running the full out-of-core FF pipeline (epsilon screening build ->
+// sigma band loop) under seeded I/O + compute fault schedules produces QP
+// energies BITWISE identical to the fault-free run — EXPECT_EQ on doubles,
+// not tolerance — with every injected fault accounted as recovered
+// (fault/io/injected/* == fault/io/recovered/* deltas). Schedules are pure
+// functions of the seed, so every one of these tests is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "mf/epm.h"
+#include "obs/metrics.h"
+#include "runtime/chaos.h"
+
+namespace xgw {
+namespace {
+
+// Deterministic spill directory: fault decisions hash the file PATH, so the
+// path must be identical across invocations for a seed to reproduce the
+// same schedule in every run of this binary.
+std::string temp_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("xgw_chaos_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const std::vector<idx> kBands{2, 3, 4};
+
+FfOptions ff_options(const std::string& spill_dir) {
+  FfOptions fo;
+  fo.n_freq = 5;
+  // Pin the valence blocking: the tiny budget forces the planner to
+  // nv_block = 1 anyway, and NV-blocking is only roundoff-invariant.
+  // Frequency chunking, the spill round trip, and single-frequency
+  // re-materialization ARE bitwise — that is what these tests certify.
+  fo.chi.nv_block = 1;
+  fo.memory_budget_mb = 0.01;  // far below the working set: must spill
+  fo.spill_dir = spill_dir;
+  return fo;
+}
+
+/// Fault-free in-core reference for the pipeline above (computed once).
+const std::vector<FfResult>& reference_results() {
+  static const std::vector<FfResult> ref = [] {
+    GwCalculation gw(EpmModel::silicon(1));
+    FfOptions fo;
+    fo.n_freq = 5;
+    fo.chi.nv_block = 1;
+    const FfScreening scr = build_ff_screening(gw, fo);
+    return sigma_ff_diag(gw, scr, kBands);
+  }();
+  return ref;
+}
+
+void expect_bitwise_equal(const std::vector<FfResult>& got,
+                          const char* label) {
+  const std::vector<FfResult>& ref = reference_results();
+  ASSERT_EQ(ref.size(), got.size()) << label;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i].sigma_x, got[i].sigma_x) << label << " band " << i;
+    EXPECT_EQ(ref[i].sigma_c, got[i].sigma_c) << label << " band " << i;
+    EXPECT_EQ(ref[i].e_qp, got[i].e_qp) << label << " band " << i;
+    EXPECT_EQ(ref[i].z, got[i].z) << label << " band " << i;
+  }
+}
+
+ChaosSpec mixed_spec(std::uint64_t seed, const std::string& dir) {
+  ChaosSpec spec;
+  spec.ff = ff_options(dir);
+  spec.bands = kBands;
+  spec.faults.io.seed = seed;
+  spec.faults.io.p_transient = 0.05;
+  spec.faults.io.p_torn = 0.03;
+  spec.faults.io.p_bitflip = 0.03;
+  spec.faults.io.p_stall = 0.02;
+  // One fault per file keeps injected == recovered EXACT: coalescing (two
+  // silent faults corrupting the same file, discovered as one failure)
+  // cannot happen, and the retry budget (6) out-budgets the cap.
+  spec.faults.io.max_per_path = 1;
+  return spec;
+}
+
+ChaosReport run_chaos(const ChaosSpec& spec) {
+  GwCalculation gw(EpmModel::silicon(1));
+  return run_ff_chaos(gw, spec);
+}
+
+// --- the headline ---------------------------------------------------------
+
+TEST(ChaosFf, TenSeededSchedulesAreBitwiseIdenticalWithExactRecovery) {
+  std::uint64_t total_injected = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const std::string dir = temp_dir("seed" + std::to_string(seed));
+    const ChaosReport rep = run_chaos(mixed_spec(seed, dir));
+    EXPECT_TRUE(rep.spill_used) << "seed " << seed;
+    EXPECT_EQ(rep.io_injected, rep.io_recovered) << "seed " << seed;
+    EXPECT_EQ(rep.io_injected, rep.schedule.size()) << "seed " << seed;
+    expect_bitwise_equal(rep.results,
+                         ("seed " + std::to_string(seed)).c_str());
+    total_injected += rep.io_injected;
+    std::filesystem::remove_all(dir);
+  }
+  // The sweep as a whole must actually have exercised the fault paths.
+  EXPECT_GT(total_injected, 10u);
+}
+
+TEST(ChaosFf, SameSeedReproducesTheSameSchedule) {
+  const std::string dir = temp_dir("sched");
+  const ChaosSpec spec = mixed_spec(7, dir);
+
+  const ChaosReport a = run_chaos(spec);
+  std::filesystem::remove_all(dir);  // identical paths for the second run
+  const ChaosReport b = run_chaos(spec);
+  std::filesystem::remove_all(dir);
+
+  ASSERT_GT(a.schedule.size(), 0u);
+  ASSERT_EQ(a.schedule.size(), b.schedule.size());
+  for (std::size_t i = 0; i < a.schedule.size(); ++i) {
+    EXPECT_EQ(a.schedule[i].path, b.schedule[i].path) << i;
+    EXPECT_EQ(a.schedule[i].op, b.schedule[i].op) << i;
+    EXPECT_EQ(a.schedule[i].ordinal, b.schedule[i].ordinal) << i;
+    EXPECT_EQ(a.schedule[i].kind, b.schedule[i].kind) << i;
+  }
+
+  // A different seed must produce a different schedule.
+  ChaosSpec other = spec;
+  other.faults.io.seed = 8;
+  const ChaosReport c = run_chaos(other);
+  std::filesystem::remove_all(dir);
+  bool differs = c.schedule.size() != a.schedule.size();
+  for (std::size_t i = 0; !differs && i < a.schedule.size(); ++i)
+    differs = a.schedule[i].path != c.schedule[i].path ||
+              a.schedule[i].op != c.schedule[i].op ||
+              a.schedule[i].ordinal != c.schedule[i].ordinal ||
+              a.schedule[i].kind != c.schedule[i].kind;
+  EXPECT_TRUE(differs);
+}
+
+// --- targeted recovery paths ---------------------------------------------
+
+TEST(ChaosFf, SilentCorruptionRecoveredByRematerialization) {
+  // verify=off forces discovery at page-in (checksum / truncation), which
+  // only the recompute path can neutralize.
+  const std::string dir = temp_dir("remat");
+  ChaosSpec spec = mixed_spec(3, dir);
+  spec.faults.io.p_transient = 0.0;
+  spec.faults.io.p_stall = 0.0;
+  spec.faults.io.p_torn = 0.2;
+  spec.faults.io.p_bitflip = 0.2;
+  spec.spill_verify = mem::SpillVerify::kOff;
+  const ChaosReport rep = run_chaos(spec);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_GT(rep.io_injected, 0u);
+  EXPECT_EQ(rep.io_injected, rep.io_recovered);
+  EXPECT_GT(rep.rematerializations, 0u);
+  EXPECT_EQ(rep.rewrites, 0u);  // verification was off
+  expect_bitwise_equal(rep.results, "remat");
+}
+
+TEST(ChaosFf, SilentCorruptionCaughtByEvictionVerifyRewrites) {
+  // checksum verification catches both torn and bit-flipped eviction
+  // writes at the evict site, before the in-memory copy is dropped.
+  const std::string dir = temp_dir("verify");
+  ChaosSpec spec = mixed_spec(5, dir);
+  spec.faults.io.p_transient = 0.0;
+  spec.faults.io.p_stall = 0.0;
+  spec.faults.io.p_torn = 0.2;
+  spec.faults.io.p_bitflip = 0.2;
+  spec.spill_verify = mem::SpillVerify::kChecksum;
+  const ChaosReport rep = run_chaos(spec);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_GT(rep.io_injected, 0u);
+  EXPECT_EQ(rep.io_injected, rep.io_recovered);
+  EXPECT_GT(rep.rewrites, 0u);
+  EXPECT_EQ(rep.rematerializations, 0u);  // nothing survived to page-in
+  expect_bitwise_equal(rep.results, "verify");
+}
+
+TEST(ChaosFf, EnospcDegradesToInCoreWithoutChangingResults) {
+  const std::string dir = temp_dir("nospc");
+  ChaosSpec spec = mixed_spec(1, dir);
+  spec.faults.io.p_transient = 0.0;
+  spec.faults.io.p_torn = 0.0;
+  spec.faults.io.p_bitflip = 0.0;
+  spec.faults.io.p_stall = 0.0;
+  spec.faults.io.p_nospace = 1.0;  // the scratch filesystem is full
+  const ChaosReport rep = run_chaos(spec);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_TRUE(rep.spill_used);
+  EXPECT_TRUE(rep.degraded);
+  EXPECT_GT(rep.io_injected, 0u);
+  EXPECT_EQ(rep.io_injected, rep.io_recovered);
+  expect_bitwise_equal(rep.results, "nospc");
+}
+
+TEST(ChaosFf, StallsChargeVirtualTimeOnly) {
+  const std::string dir = temp_dir("stall");
+  ChaosSpec spec = mixed_spec(2, dir);
+  spec.faults.io.p_transient = 0.0;
+  spec.faults.io.p_torn = 0.0;
+  spec.faults.io.p_bitflip = 0.0;
+  spec.faults.io.p_stall = 0.5;
+  spec.faults.io.max_per_path = 100;
+  const ChaosReport rep = run_chaos(spec);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_GT(rep.io_injected, 0u);
+  EXPECT_EQ(rep.io_injected, rep.io_recovered);
+  EXPECT_GT(rep.stalled_s, 0.0);
+  expect_bitwise_equal(rep.results, "stall");
+}
+
+TEST(ChaosFf, ComputeFaultsRecoveredByStageRetry) {
+  const std::string dir = temp_dir("compute");
+  ChaosSpec spec = mixed_spec(4, dir);
+  spec.faults.seed = 4;
+  spec.faults.p_crash = 0.3;
+  spec.faults.p_corrupt = 0.3;
+  const ChaosReport rep = run_chaos(spec);
+  std::filesystem::remove_all(dir);
+
+  EXPECT_GT(rep.compute_faults, 0u);
+  EXPECT_GT(rep.stage_retries, 0u);
+  EXPECT_EQ(rep.io_injected, rep.io_recovered);
+  expect_bitwise_equal(rep.results, "compute");
+}
+
+// --- injector unit behavior ----------------------------------------------
+
+TEST(IoFaultInjector, RejectsInvalidSpecs) {
+  IoFaultSpec bad;
+  bad.p_transient = 0.8;
+  bad.p_torn = 0.5;  // sums past 1
+  EXPECT_THROW(IoFaultInjector{bad}, Error);
+  IoFaultSpec neg;
+  neg.p_stall = -0.1;
+  EXPECT_THROW(IoFaultInjector{neg}, Error);
+}
+
+TEST(IoFaultInjector, MaxPerPathBoundsTotalFaults) {
+  IoFaultSpec spec;
+  spec.seed = 11;
+  spec.p_transient = 1.0;  // every op wants to fail...
+  spec.max_per_path = 3;   // ...but only 3 may
+  IoFaultInjector inj(spec);
+  int thrown = 0;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      inj.before("some/file.xgw", io::IoOp::kWrite, 0, 64);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kIoTransient);
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 3);
+  EXPECT_EQ(inj.injected(), 3u);
+  EXPECT_EQ(inj.injected(IoFaultKind::kTransient), 3u);
+}
+
+TEST(IoFaultInjector, PathFilterTargetsInjection) {
+  IoFaultSpec spec;
+  spec.seed = 13;
+  spec.p_transient = 1.0;
+  spec.max_per_path = 100;
+  spec.path_contains = "spill";
+  IoFaultInjector inj(spec);
+  EXPECT_NO_THROW(inj.before("ckpt/run.ckpt", io::IoOp::kWrite, 0, 8));
+  EXPECT_THROW(inj.before("scratch/spill_3.xgw", io::IoOp::kWrite, 0, 8),
+               Error);
+}
+
+TEST(IoFaultInjector, DecisionsAreOrderIndependent) {
+  IoFaultSpec spec;
+  spec.seed = 17;
+  spec.p_transient = 0.3;
+  spec.p_stall = 0.2;
+  spec.max_per_path = 1000;
+  // Drive two injectors over the same (path, op) multiset in different
+  // interleavings; per-path ordinals make the schedules identical.
+  IoFaultInjector a(spec), b(spec);
+  auto drive = [](IoFaultInjector& inj, const std::string& path) {
+    try {
+      inj.before(path, io::IoOp::kRead, 0, 8);
+    } catch (const Error&) {
+    }
+  };
+  for (int i = 0; i < 10; ++i) {
+    drive(a, "x");
+    drive(a, "y");
+  }
+  for (int i = 0; i < 10; ++i) drive(b, "x");
+  for (int i = 0; i < 10; ++i) drive(b, "y");
+  EXPECT_GT(a.schedule().size(), 0u);
+  ASSERT_EQ(a.injected(), b.injected());
+  // Compare per-path (ordinal, kind) sets: interleaving must not matter.
+  auto key_of = [](const IoFaultInjector::Event& e) {
+    return e.path + "#" + std::to_string(e.ordinal) + "#" +
+           std::to_string(static_cast<int>(e.kind));
+  };
+  std::vector<std::string> ka, kb;
+  for (const auto& e : a.schedule()) ka.push_back(key_of(e));
+  for (const auto& e : b.schedule()) kb.push_back(key_of(e));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  EXPECT_EQ(ka, kb);
+}
+
+}  // namespace
+}  // namespace xgw

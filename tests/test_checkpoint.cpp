@@ -12,7 +12,10 @@
 
 #include "core/epsilon.h"
 #include "core/sigma.h"
+#include "io/iohooks.h"
+#include "obs/metrics.h"
 #include "runtime/checkpoint.h"
+#include "runtime/fault.h"
 #include "test_helpers.h"
 
 namespace xgw {
@@ -183,6 +186,57 @@ TEST(Checkpoint, CorruptPrimaryFallsBackToPrev) {
   EXPECT_THROW(checkpoint_load_strict(path), Error);
 }
 
+TEST(Checkpoint, FallbackPublishesRecoveryMetrics) {
+  const std::string path = temp_path("fallback_obs.ckpt");
+  CkptGuard guard(path);
+  Checkpoint c = sample_checkpoint();
+  c.step = 1;
+  checkpoint_save(path, c);
+  c.step = 2;
+  checkpoint_save(path, c);
+  corrupt_byte(path, 48);  // payload flip -> CRC mismatch -> kIoCorrupt
+
+  const std::uint64_t fallback_before =
+      obs::metrics().counter_value("checkpoint/fallback");
+  const std::uint64_t recovered_before =
+      obs::metrics().counter_value("fault/io/recovered/bitflip");
+  const auto back = checkpoint_load(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->step, 1);
+  // The generation walk is itself a recovery: the fallback event fires AND
+  // the corruption it neutralized is accounted under fault/io/recovered/*.
+  EXPECT_EQ(obs::metrics().counter_value("checkpoint/fallback"),
+            fallback_before + 1);
+  EXPECT_EQ(obs::metrics().counter_value("fault/io/recovered/bitflip"),
+            recovered_before + 1);
+}
+
+TEST(Checkpoint, BestEffortSaveSkipsOnNoSpaceAndKeepsOldGeneration) {
+  const std::string path = temp_path("besteffort.ckpt");
+  CkptGuard guard(path);
+  Checkpoint c = sample_checkpoint();
+  c.step = 1;
+  EXPECT_TRUE(checkpoint_save_best_effort(path, c, "test"));
+
+  IoFaultSpec spec;
+  spec.seed = 21;
+  spec.p_nospace = 1.0;  // the checkpoint filesystem is full
+  spec.max_per_path = 100;
+  spec.path_contains = "besteffort";
+  IoFaultInjector inj(spec);
+  const std::uint64_t skipped_before =
+      obs::metrics().counter_value("checkpoint/skipped");
+  c.step = 2;
+  {
+    io::ScopedIoHooks hooks(&inj);
+    EXPECT_FALSE(checkpoint_save_best_effort(path, c, "test"));
+  }
+  EXPECT_EQ(obs::metrics().counter_value("checkpoint/skipped"),
+            skipped_before + 1);
+  // Restart coverage degrades (resumes at step 1), it does not vanish.
+  EXPECT_EQ(checkpoint_load_strict(path).step, 1);
+}
+
 TEST(Checkpoint, RemoveCleansAllGenerations) {
   const std::string path = temp_path("remove.ckpt");
   Checkpoint c = sample_checkpoint();
@@ -296,6 +350,43 @@ TEST(CheckpointResume, SigmaBandLoopResumesBitwise) {
     EXPECT_EQ(resumed[i].e_qp, ref[i].e_qp);
   }
   EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(CheckpointResume, SigmaLoopResumesFromPrevWhenLatestCorrupted) {
+  // The full degraded-restart story: the newest checkpoint generation is
+  // damaged at rest, the loader walks back to `.prev` (publishing the
+  // fallback event), and the sigma band loop resumes from the older step —
+  // recomputing one extra band, changing no bits.
+  GwCalculation& gw = testutil::si_prim_gw();
+  const std::vector<idx> bands = {2, 3, 4, 5};
+  const idx n_e = 3;
+  const double e_step = 0.02;
+  const std::vector<QpResult> ref = gw.sigma_diag(bands, n_e, e_step);
+
+  const std::string path = temp_path("sigma_prev_resume.ckpt");
+  CkptGuard guard(path);
+  GwCalculation::CheckpointOptions ckpt;
+  ckpt.path = path;
+  ckpt.abort_after = 2;  // two saves: latest = step 2, .prev = step 1
+  EXPECT_THROW(gw.sigma_diag_checkpointed(bands, n_e, e_step, ckpt), Error);
+  ASSERT_TRUE(std::filesystem::exists(path + ".prev"));
+  corrupt_byte(path, 48);  // newest generation damaged at rest
+
+  const std::uint64_t fallback_before =
+      obs::metrics().counter_value("checkpoint/fallback");
+  ckpt.abort_after = -1;
+  const std::vector<QpResult> resumed =
+      gw.sigma_diag_checkpointed(bands, n_e, e_step, ckpt);
+  EXPECT_EQ(obs::metrics().counter_value("checkpoint/fallback"),
+            fallback_before + 1);
+
+  ASSERT_EQ(resumed.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(resumed[i].sigma.sx, ref[i].sigma.sx);
+    EXPECT_EQ(resumed[i].sigma.ch, ref[i].sigma.ch);
+    EXPECT_EQ(resumed[i].z, ref[i].z);
+    EXPECT_EQ(resumed[i].e_qp, ref[i].e_qp);
+  }
 }
 
 }  // namespace

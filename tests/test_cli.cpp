@@ -9,6 +9,7 @@
 
 #include "cli/driver.h"
 #include "common/error.h"
+#include "common/validate.h"
 
 namespace xgw {
 namespace {
@@ -144,6 +145,43 @@ TEST(Driver, PseudobandsFlagCompresses) {
   ASSERT_NE(pos, std::string::npos);
   const long nb = std::stol(out.substr(pos + 6));
   EXPECT_LT(nb, 40);
+}
+
+TEST(Driver, RobustnessKeysAcceptedAndEchoed) {
+  const InputFile in = InputFile::parse(
+      "job bands\nmaterial silicon\n"
+      "validate warn\nio_retry_attempts 4\nio_retry_backoff_ms 0.5\n"
+      "spill_verify checksum\n",
+      known_input_keys());
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("validate_mode warn"), std::string::npos);
+  EXPECT_NE(out.find("io_retry attempts 4"), std::string::npos);
+  EXPECT_NE(out.find("spill_verify checksum"), std::string::npos);
+
+  // A later run WITHOUT the keys resets every mode to its default — modes
+  // must never leak between in-process runs.
+  const InputFile plain =
+      InputFile::parse("job bands\nmaterial silicon\n", known_input_keys());
+  std::ostringstream os2;
+  EXPECT_EQ(run_job(plain, os2), 0);
+  EXPECT_EQ(os2.str().find("validate_mode"), std::string::npos);
+  EXPECT_EQ(validate_mode(), ValidateMode::kError);
+}
+
+TEST(Driver, RobustnessKeysRejectTypos) {
+  std::ostringstream os;
+  const InputFile bad_mode = InputFile::parse(
+      "job bands\nmaterial silicon\nvalidate of\n", known_input_keys());
+  EXPECT_THROW(run_job(bad_mode, os), Error);
+  const InputFile bad_verify = InputFile::parse(
+      "job bands\nmaterial silicon\nspill_verify crc\n", known_input_keys());
+  EXPECT_THROW(run_job(bad_verify, os), Error);
+  const InputFile bad_attempts = InputFile::parse(
+      "job bands\nmaterial silicon\nio_retry_attempts 0\n",
+      known_input_keys());
+  EXPECT_THROW(run_job(bad_attempts, os), Error);
 }
 
 TEST(Driver, UnknownJobFails) {

@@ -1,14 +1,18 @@
-// Unit tests: common substrate (rng, error handling, timers, flop model).
+// Unit tests: common substrate (rng, error handling, validation modes,
+// timers, flop model).
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <vector>
 
 #include "common/error.h"
 #include "common/flops.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/validate.h"
 
 namespace xgw {
 namespace {
@@ -146,6 +150,59 @@ TEST(FlopModel, GppOffdiagEq8MatchesClosedForm) {
 
 TEST(FlopModel, ZgemmCanonicalCount) {
   EXPECT_DOUBLE_EQ(flop_model::zgemm(2, 3, 4), 8.0 * 24);
+}
+
+// --- validation modes ----------------------------------------------------
+
+/// Restores the process-wide validate mode on scope exit so one test's mode
+/// never leaks into another.
+struct ScopedValidateMode {
+  explicit ScopedValidateMode(ValidateMode m) : prev(validate_mode()) {
+    set_validate_mode(m);
+  }
+  ~ScopedValidateMode() { set_validate_mode(prev); }
+  ValidateMode prev;
+};
+
+std::vector<double> poisoned_vector() {
+  return {1.0, std::numeric_limits<double>::quiet_NaN(), 3.0};
+}
+
+TEST(Validate, ErrorModeThrowsClassifiedValidationError) {
+  ScopedValidateMode scope(ValidateMode::kError);
+  const std::vector<double> v = poisoned_vector();
+  try {
+    require_finite(std::span<const double>(v), "test boundary");
+    FAIL() << "expected a validation throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kValidation);
+    EXPECT_NE(std::string(e.what()).find("test boundary"),
+              std::string::npos);
+  }
+}
+
+TEST(Validate, WarnModeLogsAndContinues) {
+  ScopedValidateMode scope(ValidateMode::kWarn);
+  const std::vector<double> v = poisoned_vector();
+  EXPECT_NO_THROW(require_finite(std::span<const double>(v), "warn case"));
+}
+
+TEST(Validate, OffModeSkipsTheScan) {
+  ScopedValidateMode scope(ValidateMode::kOff);
+  const std::vector<double> v = poisoned_vector();
+  EXPECT_NO_THROW(require_finite(std::span<const double>(v), "off case"));
+}
+
+TEST(Validate, ParseAcceptsTheThreeModesAndRejectsTypos) {
+  EXPECT_EQ(parse_validate_mode("error"), ValidateMode::kError);
+  EXPECT_EQ(parse_validate_mode("warn"), ValidateMode::kWarn);
+  EXPECT_EQ(parse_validate_mode("off"), ValidateMode::kOff);
+  try {
+    parse_validate_mode("of");  // a typo must not disable validation
+    FAIL() << "expected a throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kValidation);
+  }
 }
 
 }  // namespace

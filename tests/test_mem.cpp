@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -22,9 +23,12 @@
 #include "mem/tracker.h"
 #include "mf/hamiltonian.h"
 #include "mf/solver.h"
+#include "io/iohooks.h"
+#include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 #include "runtime/checkpoint.h"
+#include "runtime/fault.h"
 
 namespace xgw {
 namespace {
@@ -338,6 +342,130 @@ TEST(MemSpill, MatrixStoreSpillModeIsBitwise) {
     for (idx i = 0; i < back.size(); ++i)
       ASSERT_EQ(back.data()[i], originals[s].data()[i]) << "entry " << s;
   }
+  std::filesystem::remove_all(dir);
+}
+
+// --- eviction safety under storage faults --------------------------------
+// The eviction-ordering invariant: the in-memory copy is released ONLY
+// after the disk copy is proven good. These drive the SpillPool directly
+// beneath a seeded IoFaultInjector.
+
+TEST(MemSpillFault, EvictionVerifyCatchesTornWriteBeforeMemoryRelease) {
+  const std::string dir = temp_dir("tornverify");
+  const idx n = 8;
+  const std::size_t one = static_cast<std::size_t>(n) * n * sizeof(cplx);
+  IoFaultSpec spec;
+  spec.seed = 9;
+  spec.p_torn = 1.0;  // the first write of each file is torn short
+  spec.max_per_path = 1;
+  spec.path_contains = "tornverify";
+  IoFaultInjector inj(spec);
+  {
+    mem::SpillPool pool(dir, one);
+    pool.set_verify(mem::SpillVerify::kSize);
+    const ZMatrix a = random_matrix(n, 1);
+    io::ScopedIoHooks hooks(&inj);
+    pool.put("a", a);
+    pool.put("b", random_matrix(n, 2));  // evicts a; torn write caught
+    EXPECT_GE(pool.rewrites(), 1u);
+    EXPECT_FALSE(pool.degraded());
+    const ZMatrix& back = pool.get("a");
+    for (idx i = 0; i < back.size(); ++i)
+      ASSERT_EQ(back.data()[i], a.data()[i]);
+  }
+  EXPECT_GT(inj.injected(IoFaultKind::kTorn), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MemSpillFault, ChecksumVerifyCatchesSilentBitFlips) {
+  const std::string dir = temp_dir("flipverify");
+  const idx n = 8;
+  const std::size_t one = static_cast<std::size_t>(n) * n * sizeof(cplx);
+  IoFaultSpec spec;
+  spec.seed = 10;
+  spec.p_bitflip = 1.0;  // one bit of the first write of each file flips
+  spec.max_per_path = 1;
+  spec.path_contains = "flipverify";
+  IoFaultInjector inj(spec);
+  {
+    mem::SpillPool pool(dir, one);
+    pool.set_verify(mem::SpillVerify::kChecksum);
+    const ZMatrix a = random_matrix(n, 1);
+    io::ScopedIoHooks hooks(&inj);
+    pool.put("a", a);
+    pool.put("b", random_matrix(n, 2));  // evicts a; flip caught, rewritten
+    EXPECT_GE(pool.rewrites(), 1u);
+    const ZMatrix& back = pool.get("a");
+    for (idx i = 0; i < back.size(); ++i)
+      ASSERT_EQ(back.data()[i], a.data()[i]);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MemSpillFault, PageInRematerializesWhenFileCorruptAtRest) {
+  const std::string dir = temp_dir("remat");
+  const idx n = 8;
+  const std::size_t one = static_cast<std::size_t>(n) * n * sizeof(cplx);
+  const ZMatrix a = random_matrix(n, 1);
+  const std::uint64_t remat_before =
+      obs::metrics().counter_value("spill/rematerializations");
+  {
+    mem::SpillPool pool(dir, one);
+    pool.set_recompute([&](const std::string& key) {
+      EXPECT_EQ(key, "a");
+      return a;
+    });
+    pool.put("a", a);
+    pool.put("b", random_matrix(n, 2));  // evicts a cleanly
+    // Corrupt a's spill file at rest (one payload byte).
+    const std::string file = dir + "/spill_a.xgw";
+    {
+      std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+      ASSERT_TRUE(f.good());
+      f.seekp(48);
+      char b = 0;
+      f.read(&b, 1);
+      f.seekp(48);
+      b = static_cast<char>(b ^ 0x20);
+      f.write(&b, 1);
+    }
+    const ZMatrix& back = pool.get("a");  // checksum fails -> recompute
+    for (idx i = 0; i < back.size(); ++i)
+      ASSERT_EQ(back.data()[i], a.data()[i]);
+    EXPECT_EQ(pool.rematerializations(), 1u);
+  }
+  EXPECT_EQ(obs::metrics().counter_value("spill/rematerializations"),
+            remat_before + 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(MemSpillFault, NoSpaceDegradesPoolToInCoreWithDataIntact) {
+  const std::string dir = temp_dir("nospc");
+  const idx n = 8;
+  const std::size_t one = static_cast<std::size_t>(n) * n * sizeof(cplx);
+  IoFaultSpec spec;
+  spec.seed = 11;
+  spec.p_nospace = 1.0;  // the scratch filesystem is full
+  spec.max_per_path = 100;
+  spec.path_contains = "nospc";
+  IoFaultInjector inj(spec);
+  {
+    mem::SpillPool pool(dir, one);
+    const ZMatrix a = random_matrix(n, 1);
+    const ZMatrix b = random_matrix(n, 2);
+    io::ScopedIoHooks hooks(&inj);
+    pool.put("a", a);
+    pool.put("b", b);  // eviction write hits ENOSPC -> degrade, keep a
+    EXPECT_TRUE(pool.degraded());
+    EXPECT_EQ(pool.evictions(), 0u);
+    const ZMatrix& ra = pool.get("a");
+    for (idx i = 0; i < ra.size(); ++i) ASSERT_EQ(ra.data()[i], a.data()[i]);
+    const ZMatrix& rb = pool.get("b");
+    for (idx i = 0; i < rb.size(); ++i) ASSERT_EQ(rb.data()[i], b.data()[i]);
+  }
+  // Exactly one fault fired (the first eviction's open); after degradation
+  // the pool never touches storage again.
+  EXPECT_EQ(inj.injected(), 1u);
   std::filesystem::remove_all(dir);
 }
 
