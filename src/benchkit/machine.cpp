@@ -8,45 +8,20 @@
 
 #include <unistd.h>
 
+// cpu_model_name()/compiler_id() live in common/hostinfo so the GEMM
+// autotune cache (la/autotune.*) keys on the SAME host fields this
+// fingerprint records.
+#include "common/hostinfo.h"
 #include "la/gemm.h"
 
 namespace xgw::bench {
 
 namespace {
 
-std::string cpu_model_name() {
-  std::ifstream in("/proc/cpuinfo");
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    if (line.compare(0, 10, "model name") == 0) {
-      std::string v = line.substr(colon + 1);
-      const auto first = v.find_first_not_of(" \t");
-      return first == std::string::npos ? "unknown" : v.substr(first);
-    }
-  }
-  return "unknown";
-}
-
 std::string host_name() {
   char buf[256] = {0};
   if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
   return "unknown";
-}
-
-std::string compiler_id() {
-#if defined(__clang__)
-  return std::string("clang ") + std::to_string(__clang_major__) + "." +
-         std::to_string(__clang_minor__) + "." +
-         std::to_string(__clang_patchlevel__);
-#elif defined(__GNUC__)
-  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
-         std::to_string(__GNUC_MINOR__) + "." +
-         std::to_string(__GNUC_PATCHLEVEL__);
-#else
-  return "unknown";
-#endif
 }
 
 /// Resolves HEAD from a `.git` directory found at or above `start`.

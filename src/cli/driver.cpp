@@ -17,6 +17,7 @@
 #include "gwpt/phonons.h"
 #include "io/binio.h"
 #include "io/iohooks.h"
+#include "la/autotune.h"
 #include "la/gemm.h"
 #include "mf/bandstructure.h"
 #include "mem/planner.h"
@@ -479,8 +480,12 @@ int run_job(const InputFile& in, std::ostream& os) {
     os << "metrics_written " << metrics_path << "\n";
   }
   if (!report_path.empty()) {
-    const double peak = in.get_double("peak_gflops", 0.0);
+    double peak = in.get_double("peak_gflops", 0.0);
     const double bw = in.get_double("mem_gbps", 0.0);
+    // No nominal peak in the job file: fall back to the MEASURED FMA peak
+    // from the autotune probe so report efficiencies are relative to what
+    // this machine can actually execute, not a datasheet number.
+    if (peak <= 0.0) peak = la::autotune_result().fma_peak_gflops;
     obs::RunReportDoc doc = obs::build_run_report(
         obs::recorder(), job, canonical_config(in), peak, bw);
     if (peak > 0.0 && bw > 0.0) {

@@ -1,0 +1,45 @@
+#include "common/hostinfo.h"
+
+#include <fstream>
+
+namespace xgw {
+
+namespace {
+
+std::string read_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      std::string v = line.substr(colon + 1);
+      const auto first = v.find_first_not_of(" \t");
+      return first == std::string::npos ? "unknown" : v.substr(first);
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+const std::string& cpu_model_name() {
+  static const std::string model = read_cpu_model();
+  return model;
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace xgw

@@ -74,12 +74,13 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
   for (idx c = 0; c < nc; ++c)
     c_list[static_cast<std::size_t>(c)] = nv + c;
 
-  ZMatrix m_pw(nc, ng);                   // per-valence M rows on plane waves
+  // Per-valence M rows on plane waves. Under a subspace the WHOLE valence
+  // block's M^G matrices are held at once so the Transf projection runs as
+  // one zgemm_batch sharing the basis operand (packed once per block);
+  // without a subspace a single buffer is reused band by band.
+  std::vector<ZMatrix> m_pw(static_cast<std::size_t>(project ? nv_block : 1));
+  for (auto& m : m_pw) m = ZMatrix(nc, ng);
   ZMatrix m_block(nv_block * nc, ncols);  // NV-Block pair workspace
-  // Transf target, hoisted out of the per-valence loop (was a fresh
-  // allocation per (block, dv) iteration). Only needed under a subspace.
-  ZMatrix proj_rows;
-  if (project) proj_rows = ZMatrix(nc, ncols);
 
   // Per-thread scaled-M workspaces for the CHI-Freq loop, preallocated
   // OUTSIDE the parallel region at the full nv_block height: the frequency
@@ -98,20 +99,26 @@ std::vector<ZMatrix> chi_multi(const Mtxel& mtxel, const Wavefunctions& wf,
       for (auto& w : scaled_ws) w.resize(vb * nc, ncols);
     }
 
-    for (idx dv = 0; dv < vb; ++dv) {
-      const idx v = v0 + dv;
-      mtxel.compute_left_fixed(v, c_list, m_pw);
-      if (project) {
-        // Transf: M^B = M^G C, (nc x ng) * (ng x ncols).
-        zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, m_pw, *project, cplx{},
-              proj_rows, opt.gemm, opt.flops);
+    if (project) {
+      // Transf: M^B = M^G C, (nc x ng) * (ng x ncols), for every band of
+      // the block as ONE batch sharing the basis C — the shared operand is
+      // packed once and each product lands directly in its m_block window.
+      std::vector<GemmBatchItem> batch;
+      batch.reserve(static_cast<std::size_t>(vb));
+      for (idx dv = 0; dv < vb; ++dv) {
+        ZMatrix& m = m_pw[static_cast<std::size_t>(dv)];
+        mtxel.compute_left_fixed(v0 + dv, c_list, m);
+        batch.push_back({&m, &m_block, dv * nc});
+      }
+      zgemm_batch(Op::kNone, Op::kNone, cplx{1.0, 0.0}, batch, *project,
+                  cplx{}, opt.flops);
+    } else {
+      for (idx dv = 0; dv < vb; ++dv) {
+        ZMatrix& m = m_pw.front();
+        mtxel.compute_left_fixed(v0 + dv, c_list, m);
         for (idx c = 0; c < nc; ++c)
           for (idx j = 0; j < ncols; ++j)
-            m_block(dv * nc + c, j) = proj_rows(c, j);
-      } else {
-        for (idx c = 0; c < nc; ++c)
-          for (idx j = 0; j < ncols; ++j)
-            m_block(dv * nc + c, j) = m_pw(c, j);
+            m_block(dv * nc + c, j) = m(c, j);
       }
     }
     // A NaN here would silently poison every chi(omega) through the rank-k

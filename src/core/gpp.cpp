@@ -354,7 +354,11 @@ std::vector<ZMatrix> GppOffdiagKernel::compute_perturbed(
   for (auto& s : dsigma) s = ZMatrix(n_sigma, n_sigma);
 
   ZMatrix p(ng, ng);
-  ZMatrix mc(n_sigma, ng), dmc(n_sigma, ng), t(n_sigma, ng);
+  ZMatrix mc(n_sigma, ng), dmc(n_sigma, ng), t(n_sigma, ng), t2(n_sigma, ng);
+  // Both first-stage products share the P operand; the batch packs P once
+  // per energy instead of once per product. Pointers are stable, so the
+  // item list is built once.
+  const std::vector<GemmBatchItem> stage1{{&dmc, &t}, {&mc, &t2}};
 
   for (idx n = 0; n < nb; ++n) {
     const ZMatrix& m_n = m_all[static_cast<std::size_t>(n)];
@@ -374,15 +378,13 @@ std::vector<ZMatrix> GppOffdiagKernel::compute_perturbed(
                         band_energy[static_cast<std::size_t>(n)];
       build_p_matrix(de, occ, p);
       ZMatrix& out = dsigma[static_cast<std::size_t>(ie)];
-      // conj(dM) P M^T
-      zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, dmc, p, cplx{}, t, gemm,
-            flops);
+      // T = conj(dM) P and T2 = conj(M) P as one batch sharing P; the
+      // rank-updates into out keep the original accumulation order.
+      zgemm_batch(Op::kNone, Op::kNone, cplx{1.0, 0.0}, stage1, p, cplx{},
+                  flops);
       zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, m_n, cplx{1.0, 0.0},
             out, gemm, flops);
-      // conj(M) P dM^T
-      zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, mc, p, cplx{}, t, gemm,
-            flops);
-      zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t, dm_n, cplx{1.0, 0.0},
+      zgemm(Op::kNone, Op::kTrans, cplx{1.0, 0.0}, t2, dm_n, cplx{1.0, 0.0},
             out, gemm, flops);
     }
   }

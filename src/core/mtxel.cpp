@@ -85,6 +85,28 @@ void Mtxel::compute_left_fixed(idx m, std::span<const idx> n_list,
     compute_pair(m, n_list[i], out.row(static_cast<idx>(i)));
 }
 
+void Mtxel::to_realspace(const cplx* coeff, cplx* out) const {
+  std::fill(out, out + box_.size(), cplx{});
+  scatter_to_box(psi_sphere_, coeff, box_, out);
+  fft_.backward(out);
+  ++fft_count_;
+}
+
+void Mtxel::compute_pair_sum_realspace(std::span<const RealspacePair> pairs,
+                                       cplx* out) const {
+  thread_local std::vector<cplx> prod;
+  prod.assign(static_cast<std::size_t>(box_.size()), cplx{});
+  for (const RealspacePair& p : pairs)
+    for (idx i = 0; i < box_.size(); ++i)
+      prod[static_cast<std::size_t>(i)] +=
+          std::conj(p.bra[i]) * p.ket[i];
+  fft_.backward(prod.data());
+  ++fft_count_;
+  gather_from_box(eps_sphere_, box_, prod.data(), out);
+  const double inv = 1.0 / static_cast<double>(box_.size());
+  for (idx ig = 0; ig < n_g(); ++ig) out[ig] *= inv;
+}
+
 void Mtxel::compute_pair_raw(const cplx* cm, const cplx* cn, cplx* out) const {
   thread_local std::vector<cplx> bm, bn;
   bm.assign(static_cast<std::size_t>(box_.size()), cplx{});

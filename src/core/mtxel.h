@@ -46,6 +46,34 @@ class Mtxel {
   /// wavefunction is transformed once and reused across the list.
   void compute_left_fixed(idx m, std::span<const idx> n_list, ZMatrix& out) const;
 
+  /// One conj(bra) * ket product term for compute_pair_sum_realspace; both
+  /// pointers are box-sized real-space data (see to_realspace).
+  struct RealspacePair {
+    const cplx* bra;
+    const cplx* ket;
+  };
+
+  /// Transforms a psi-sphere coefficient vector to the real-space box:
+  /// out[0..box().size()) = scatter + backward FFT (one FFT). Callers that
+  /// reuse a vector across many pairs (GWPT's d psi rows) hoist the
+  /// transform here instead of paying it inside every compute_pair_raw.
+  void to_realspace(const cplx* coeff, cplx* out) const;
+
+  /// Real-space psi of a band through the FIFO cache (at most one FFT).
+  /// The reference is valid only until the next call that may evict —
+  /// copy it out before triggering further cached transforms.
+  const std::vector<cplx>& band_realspace(idx band) const {
+    return realspace(band);
+  }
+
+  /// M^G for a SUM of pair products already in real space:
+  ///   out(G) = (1/N) FFT[ sum_p conj(bra_p) ket_p ](G), gathered on the
+  /// eps sphere. FFT linearity makes this ONE transform regardless of the
+  /// number of terms — GWPT's dM (two terms per element) assembles with a
+  /// single FFT per matrix-element row instead of one per term.
+  void compute_pair_sum_realspace(std::span<const RealspacePair> pairs,
+                                  cplx* out) const;
+
   /// Accumulates weight * |psi_band(r)|^2 into rho_real (box-sized) —
   /// building block for the valence charge density the GPP model needs.
   void accumulate_density(idx band, double weight,

@@ -73,14 +73,43 @@ GwptResult GwptCalculation::run_perturbation(const Perturbation& p,
             : e_lo + (e_hi - e_lo) * static_cast<double>(i) /
                          static_cast<double>(opt_.n_e_points - 1);
 
-  // M and dM blocks per internal band.
+  // M and dM blocks per internal band. The external set is tiny and fixed,
+  // so its real-space functions (psi_l from the mtxel cache, d psi_l
+  // transformed here) are hoisted out of the band loop — dm_matrix's
+  // per-band compute_pair_raw calls would re-transform them N_b times.
+  // Each dM element then sums its two product terms IN REAL SPACE and pays
+  // a single FFT (compute_pair_sum_realspace), cutting the stage from
+  // 3 * N_Sigma * 2 FFTs per band to N_Sigma + 1.
   std::vector<ZMatrix> m_all(static_cast<std::size_t>(wf.n_bands()));
   std::vector<ZMatrix> dm_all(static_cast<std::size_t>(wf.n_bands()));
   {
     obs::Span scope(gw_.timers(),"gwpt_mtxel");
+    const Mtxel& mt = gw_.mtxel();
+    const idx box = mt.box().size();
+    const std::size_t ne = bands.size();
+    std::vector<std::vector<cplx>> psi_l(ne), dpsi_l(ne);
+    for (std::size_t i = 0; i < ne; ++i) {
+      // Copy out of the cache: later cached transforms may evict.
+      psi_l[i] = mt.band_realspace(bands[i]);
+      dpsi_l[i].resize(static_cast<std::size_t>(box));
+      mt.to_realspace(dpsi.row(bands[i]), dpsi_l[i].data());
+    }
+    std::vector<cplx> dpsi_n(static_cast<std::size_t>(box));
     for (idx n = 0; n < wf.n_bands(); ++n) {
       m_all[static_cast<std::size_t>(n)] = gw_.m_matrix_right(bands, n);
-      dm_all[static_cast<std::size_t>(n)] = dm_matrix(bands, n, dpsi);
+      // psi_n is hot in the cache from m_matrix_right's pairs; the
+      // reference stays valid through the uncached calls below.
+      const std::vector<cplx>& psi_n = mt.band_realspace(n);
+      mt.to_realspace(dpsi.row(n), dpsi_n.data());
+      ZMatrix dm(static_cast<idx>(ne), gw_.n_g());
+      for (std::size_t i = 0; i < ne; ++i) {
+        // dM_{ln} = M(d psi_l, psi_n) + M(psi_l, d psi_n), one FFT.
+        const Mtxel::RealspacePair terms[2] = {
+            {dpsi_l[i].data(), psi_n.data()},
+            {psi_l[i].data(), dpsi_n.data()}};
+        mt.compute_pair_sum_realspace(terms, dm.row(static_cast<idx>(i)));
+      }
+      dm_all[static_cast<std::size_t>(n)] = std::move(dm);
     }
   }
 

@@ -52,6 +52,10 @@ class GwptCalculation {
                                   FlopCounter* flops = nullptr);
 
   /// dM_{l n}(G) for fixed n over the external set, given d psi rows.
+  /// Reference path (3 FFTs per element via compute_pair_raw);
+  /// run_perturbation assembles the same matrices with hoisted real-space
+  /// transforms and one FFT per element — this stays as the independently
+  /// simple implementation the tests compare against.
   ZMatrix dm_matrix(const std::vector<idx>& ext, idx n,
                     const ZMatrix& dpsi) const;
 

@@ -7,6 +7,8 @@
 #include <omp.h>
 #endif
 
+#include "la/autotune.h"
+#include "la/microkernel.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -19,6 +21,7 @@ const char* variant_name(GemmVariant v) {
     case GemmVariant::kReference: return "reference";
     case GemmVariant::kBlocked: return "blocked";
     case GemmVariant::kSplit: return "split";
+    case GemmVariant::kSimd: return "simd";
     case GemmVariant::kParallel: return "parallel";
     case GemmVariant::kAuto: return "auto";
   }
@@ -397,13 +400,216 @@ void gemm_split(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
   }
 }
 
-GemmVariant resolve_auto(idx m, idx n, idx k) {
-  const double work = static_cast<double>(m) * static_cast<double>(n) *
-                      static_cast<double>(k);
-  if (work <= kAutoTiny) return GemmVariant::kReference;
-  if (work < kAutoParallel || in_parallel_region() || xgw_num_threads() <= 1)
-    return GemmVariant::kSplit;
-  return GemmVariant::kParallel;
+// ---------------------------------------------------------------------------
+// Gen-3 engine (kSimd / kParallel / zgemm_batch): planar layout as in gen-2,
+// but operands are packed into zero-padded MR/NR strips and each C tile is
+// computed by an explicit register-blocked micro-kernel
+// (la/microkernel.*) that keeps the tile FMA-resident across the whole KC
+// block instead of streaming the accumulator through memory. Kernel + tile
+// sizes come from the GemmV3Config (cpuid dispatch + disk-cached autotune).
+
+/// Per-thread strip-packed workspace of the gen-3 engine. Capacities are
+/// CLAMPED to the actual problem dimensions: a block never exceeds
+/// min(tile, dim), so small products (the GWPT/GPP perturbed chains, tiny
+/// batch members) allocate and zero only what one block can touch instead
+/// of the full autotuned-tile footprint. Clamping changes capacity only —
+/// block boundaries, loop order, and therefore results are untouched.
+struct V3Buffers {
+  std::vector<double> are, aim, cre, cim;
+  V3Buffers(const GemmV3Config& cfg, idx m, idx n, idx k)
+      : are(padded_a(cfg, m, k)),
+        aim(padded_a(cfg, m, k)),
+        cre(static_cast<std::size_t>(std::min(cfg.mc, m) *
+                                     std::min(cfg.nc, n))),
+        cim(static_cast<std::size_t>(std::min(cfg.mc, m) *
+                                     std::min(cfg.nc, n))) {}
+  static std::size_t padded_a(const GemmV3Config& cfg, idx m, idx k) {
+    const idx strips = (std::min(cfg.mc, m) + cfg.mr - 1) / cfg.mr;
+    return static_cast<std::size_t>(strips * cfg.mr * std::min(cfg.kc, k));
+  }
+  static std::size_t padded_b(const GemmV3Config& cfg, idx n, idx k) {
+    const idx strips = (std::min(cfg.nc, n) + cfg.nr - 1) / cfg.nr;
+    return static_cast<std::size_t>(strips * cfg.nr * std::min(cfg.kc, k));
+  }
+};
+
+// One row panel of one output against the current shared B panel: pack the
+// A strips, run the micro-kernel over the tile grid (masked stores handle
+// the n edge; zero-padded strips handle the m/k edges), convert-add the
+// planar accumulator into interleaved C with alpha.
+void v3_panel_work(const GemmV3Config& cfg, la::MicroKernelFn kern, Op opa,
+                   const ZMatrix& a, ZMatrix& c, idx crow0, double alr,
+                   double ali, idx m, idx panel, idx l0, idx kb, idx j0,
+                   idx nb, const double* bre, const double* bim,
+                   V3Buffers& w) {
+  const idx i0 = panel * cfg.mc;
+  const idx mb = std::min(cfg.mc, m - i0);
+  la::pack_a_strips(opa, a, i0, mb, l0, kb, cfg.mr, w.are.data(),
+                    w.aim.data());
+  const idx smb = (mb + cfg.mr - 1) / cfg.mr;
+  const idx snb = (nb + cfg.nr - 1) / cfg.nr;
+  for (idx t = 0; t < snb; ++t) {
+    const int nrem = static_cast<int>(std::min<idx>(cfg.nr, nb - t * cfg.nr));
+    const double* btr = bre + t * kb * cfg.nr;
+    const double* bti = bim + t * kb * cfg.nr;
+    for (idx s = 0; s < smb; ++s) {
+      const int mrem =
+          static_cast<int>(std::min<idx>(cfg.mr, mb - s * cfg.mr));
+      kern(kb, w.are.data() + s * kb * cfg.mr, w.aim.data() + s * kb * cfg.mr,
+           btr, bti, w.cre.data() + (s * cfg.mr) * nb + t * cfg.nr,
+           w.cim.data() + (s * cfg.mr) * nb + t * cfg.nr, nb, mrem, nrem);
+    }
+  }
+  for (idx i = 0; i < mb; ++i) {
+    cplx* crow = c.row(crow0 + i0 + i) + j0;
+    const double* rr = w.cre.data() + i * nb;
+    const double* ri = w.cim.data() + i * nb;
+    for (idx j = 0; j < nb; ++j)
+      crow[j] += cplx{alr * rr[j] - ali * ri[j], alr * ri[j] + ali * rr[j]};
+  }
+}
+
+// Gen-3 blocked engine; same loop order and shared-B-panel teamwork as
+// gemm_split, so serial and parallel runs stay bitwise identical (every C
+// tile receives its k-blocks in fixed l0 order regardless of thread count).
+void gemm_v3(const GemmV3Config& cfg, Op opa, Op opb, cplx alpha,
+             const ZMatrix& a, const ZMatrix& b, cplx beta, ZMatrix& c,
+             bool parallel) {
+  la::MicroKernelFn kern = la::select_microkernel(cfg.isa, cfg.mr, cfg.nr);
+  XGW_REQUIRE(kern != nullptr,
+              "gemm_v3: no compiled micro-kernel for this (isa, mr, nr)");
+  const auto [m, k] = op_shape(opa, a);
+  const idx n = op_shape(opb, b).second;
+  scale_c(beta, c);
+
+  const idx n_row_panels = (m + cfg.mc - 1) / cfg.mc;
+  std::vector<double> bre(V3Buffers::padded_b(cfg, n, k));
+  std::vector<double> bim(V3Buffers::padded_b(cfg, n, k));
+  const double alr = alpha.real(), ali = alpha.imag();
+
+  if (should_parallelize(parallel, n_row_panels)) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(xgw_num_threads())
+    {
+      V3Buffers w(cfg, m, n, k);
+      for (idx l0 = 0; l0 < k; l0 += cfg.kc) {
+        const idx kb = std::min(cfg.kc, k - l0);
+        for (idx j0 = 0; j0 < n; j0 += cfg.nc) {
+          const idx nb = std::min(cfg.nc, n - j0);
+#pragma omp for schedule(static)
+          for (idx l = 0; l < kb; ++l)
+            la::pack_b_strips_row(opb, b, l0, l, j0, nb, cfg.nr, kb,
+                                  bre.data(), bim.data());
+          // implicit barrier: the B panel is complete before any tile reads
+          // it, and fully consumed before the next re-pack.
+#pragma omp for schedule(dynamic)
+          for (idx panel = 0; panel < n_row_panels; ++panel)
+            v3_panel_work(cfg, kern, opa, a, c, 0, alr, ali, m, panel, l0,
+                          kb, j0, nb, bre.data(), bim.data(), w);
+        }
+      }
+    }
+#endif
+  } else {
+    V3Buffers w(cfg, m, n, k);
+    for (idx l0 = 0; l0 < k; l0 += cfg.kc) {
+      const idx kb = std::min(cfg.kc, k - l0);
+      for (idx j0 = 0; j0 < n; j0 += cfg.nc) {
+        const idx nb = std::min(cfg.nc, n - j0);
+        for (idx l = 0; l < kb; ++l)
+          la::pack_b_strips_row(opb, b, l0, l, j0, nb, cfg.nr, kb, bre.data(),
+                                bim.data());
+        for (idx panel = 0; panel < n_row_panels; ++panel)
+          v3_panel_work(cfg, kern, opa, a, c, 0, alr, ali, m, panel, l0, kb,
+                        j0, nb, bre.data(), bim.data(), w);
+      }
+    }
+  }
+}
+
+// Gen-3 Hermitian rank-k: C(upper) += A^H B, panels entirely below the
+// diagonal skipped, partial tiles masked at write-back (the micro-kernel
+// computes the full tile into the planar scratch; only the upper-triangle
+// part is added to C).
+void herk_v3(const GemmV3Config& cfg, const ZMatrix& a, const ZMatrix& b,
+             ZMatrix& c, bool parallel) {
+  la::MicroKernelFn kern = la::select_microkernel(cfg.isa, cfg.mr, cfg.nr);
+  XGW_REQUIRE(kern != nullptr,
+              "herk_v3: no compiled micro-kernel for this (isa, mr, nr)");
+  const idx p = a.rows();  // contraction length
+  const idx n = a.cols();  // C dimension
+  const idx n_row_panels = (n + cfg.mc - 1) / cfg.mc;
+
+  std::vector<double> bre(V3Buffers::padded_b(cfg, n, p));
+  std::vector<double> bim(V3Buffers::padded_b(cfg, n, p));
+
+  auto panel_work = [&](idx panel, idx l0, idx kb, idx j0, idx nb,
+                        V3Buffers& w) {
+    const idx i0 = panel * cfg.mc;
+    if (j0 + nb <= i0) return;  // tile entirely below the diagonal
+    const idx mb = std::min(cfg.mc, n - i0);
+    la::pack_a_strips(Op::kConjTrans, a, i0, mb, l0, kb, cfg.mr,
+                      w.are.data(), w.aim.data());
+    const idx smb = (mb + cfg.mr - 1) / cfg.mr;
+    const idx snb = (nb + cfg.nr - 1) / cfg.nr;
+    for (idx t = 0; t < snb; ++t) {
+      const int nrem =
+          static_cast<int>(std::min<idx>(cfg.nr, nb - t * cfg.nr));
+      const double* btr = bre.data() + t * kb * cfg.nr;
+      const double* bti = bim.data() + t * kb * cfg.nr;
+      for (idx s = 0; s < smb; ++s) {
+        const int mrem =
+            static_cast<int>(std::min<idx>(cfg.mr, mb - s * cfg.mr));
+        kern(kb, w.are.data() + s * kb * cfg.mr,
+             w.aim.data() + s * kb * cfg.mr, btr, bti,
+             w.cre.data() + (s * cfg.mr) * nb + t * cfg.nr,
+             w.cim.data() + (s * cfg.mr) * nb + t * cfg.nr, nb, mrem, nrem);
+      }
+    }
+    for (idx i = 0; i < mb; ++i) {
+      // Upper triangle only: global column >= global row.
+      const idx jstart = std::max<idx>(0, (i0 + i) - j0);
+      cplx* crow = c.row(i0 + i) + j0;
+      const double* rr = w.cre.data() + i * nb;
+      const double* ri = w.cim.data() + i * nb;
+      for (idx j = jstart; j < nb; ++j) crow[j] += cplx{rr[j], ri[j]};
+    }
+  };
+
+  if (should_parallelize(parallel, n_row_panels)) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(xgw_num_threads())
+    {
+      V3Buffers w(cfg, n, n, p);
+      for (idx l0 = 0; l0 < p; l0 += cfg.kc) {
+        const idx kb = std::min(cfg.kc, p - l0);
+        for (idx j0 = 0; j0 < n; j0 += cfg.nc) {
+          const idx nb = std::min(cfg.nc, n - j0);
+#pragma omp for schedule(static)
+          for (idx l = 0; l < kb; ++l)
+            la::pack_b_strips_row(Op::kNone, b, l0, l, j0, nb, cfg.nr, kb,
+                                  bre.data(), bim.data());
+#pragma omp for schedule(dynamic)
+          for (idx panel = 0; panel < n_row_panels; ++panel)
+            panel_work(panel, l0, kb, j0, nb, w);
+        }
+      }
+    }
+#endif
+  } else {
+    V3Buffers w(cfg, n, n, p);
+    for (idx l0 = 0; l0 < p; l0 += cfg.kc) {
+      const idx kb = std::min(cfg.kc, p - l0);
+      for (idx j0 = 0; j0 < n; j0 += cfg.nc) {
+        const idx nb = std::min(cfg.nc, n - j0);
+        for (idx l = 0; l < kb; ++l)
+          la::pack_b_strips_row(Op::kNone, b, l0, l, j0, nb, cfg.nr, kb,
+                                bre.data(), bim.data());
+        for (idx panel = 0; panel < n_row_panels; ++panel)
+          panel_work(panel, l0, kb, j0, nb, w);
+      }
+    }
+  }
 }
 
 // Hermitian rank-k: C(upper) += A^H B with the split engine, panels
@@ -488,7 +694,52 @@ void herk_reference(const ZMatrix& a, const ZMatrix& b, ZMatrix& c) {
 
 }  // namespace
 
-GemmTiling gemm_tiling() { return {kMC, kKC, kNC}; }
+GemmTiling gemm_tiling() {
+  const GemmV3Config& cfg = gemm_v3_active_config();
+  return {cfg.mc, cfg.kc, cfg.nc};
+}
+
+const GemmV3Config& gemm_v3_active_config() {
+  static const GemmV3Config cfg = [] {
+    const la::AutotuneResult& r = la::autotune_result();
+    return GemmV3Config{r.isa, r.mr, r.nr, r.mc, r.kc, r.nc};
+  }();
+  return cfg;
+}
+
+GemmVariant resolved_gemm_variant(GemmVariant requested, idx m, idx n,
+                                  idx k) {
+  if (requested == GemmVariant::kAuto) {
+    const double work = static_cast<double>(m) * static_cast<double>(n) *
+                        static_cast<double>(k);
+    if (work <= kAutoTiny) return GemmVariant::kReference;
+    if (work < kAutoParallel || in_parallel_region() ||
+        xgw_num_threads() <= 1)
+      return GemmVariant::kSimd;
+    return GemmVariant::kParallel;
+  }
+  // Nested-call guard at the DISPATCH point (not only inside the kernel):
+  // an explicit kParallel issued from inside an active parallel region, or
+  // without an OpenMP team to spawn, runs (and is trace-attributed as) the
+  // serial gen-3 engine — the caller already owns the cores.
+  if (requested == GemmVariant::kParallel &&
+      (in_parallel_region() || xgw_num_threads() <= 1))
+    return GemmVariant::kSimd;
+  return requested;
+}
+
+void zgemm_v3_explicit(const GemmV3Config& cfg, Op opa, Op opb, cplx alpha,
+                       const ZMatrix& a, const ZMatrix& b, cplx beta,
+                       ZMatrix& c, bool parallel) {
+  const auto [m, ka] = op_shape(opa, a);
+  const auto [kb, n] = op_shape(opb, b);
+  XGW_REQUIRE(ka == kb,
+              "zgemm_v3_explicit: inner dimensions of op(A), op(B) must "
+              "match");
+  XGW_REQUIRE(c.rows() == m && c.cols() == n,
+              "zgemm_v3_explicit: C shape must be op(A).rows x op(B).cols");
+  gemm_v3(cfg, opa, opb, alpha, a, b, beta, c, parallel);
+}
 
 void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
            cplx beta, ZMatrix& c, GemmVariant variant, FlopCounter* flops) {
@@ -498,7 +749,10 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
   XGW_REQUIRE(c.rows() == m && c.cols() == n,
               "zgemm: C shape must be op(A).rows x op(B).cols");
 
-  if (variant == GemmVariant::kAuto) variant = resolve_auto(m, n, ka);
+  variant = resolved_gemm_variant(variant, m, n, ka);
+  const bool v3 = variant == GemmVariant::kSimd ||
+                  variant == GemmVariant::kParallel;
+  const idx engine_mc = v3 ? gemm_v3_active_config().mc : kMC;
 
   obs::Span span("zgemm", "la", obs::detail_level::kFine);
   if (span.active()) {
@@ -506,9 +760,18 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
     span.arg("n", static_cast<long long>(n));
     span.arg("k", static_cast<long long>(ka));
     span.arg("variant", variant_name(variant));
-    // Packed-panel reuse: each of the m/kMC row panels is repacked once per
-    // (kKC x kNC) B tile it meets, so this is the split engine's A-reuse.
-    span.arg("row_panels", static_cast<long long>((m + kMC - 1) / kMC));
+    // Packed-panel reuse: each of the m/MC row panels is repacked once per
+    // (KC x NC) B tile it meets, so this is the engine's A-reuse.
+    span.arg("row_panels",
+             static_cast<long long>((m + engine_mc - 1) / engine_mc));
+    if (v3) {
+      const GemmV3Config& cfg = gemm_v3_active_config();
+      span.arg("isa", la::simd_isa_name(cfg.isa));
+      span.arg("mr", static_cast<long long>(cfg.mr));
+      span.arg("nr", static_cast<long long>(cfg.nr));
+      span.arg("kc", static_cast<long long>(cfg.kc));
+      span.arg("nc", static_cast<long long>(cfg.nc));
+    }
   }
 
   switch (variant) {
@@ -521,9 +784,14 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
     case GemmVariant::kSplit:
       gemm_split(opa, opb, alpha, a, b, beta, c, /*parallel=*/false);
       break;
+    case GemmVariant::kSimd:
+      gemm_v3(gemm_v3_active_config(), opa, opb, alpha, a, b, beta, c,
+              /*parallel=*/false);
+      break;
     case GemmVariant::kParallel:
     case GemmVariant::kAuto:  // unreachable: resolved above
-      gemm_split(opa, opb, alpha, a, b, beta, c, /*parallel=*/true);
+      gemm_v3(gemm_v3_active_config(), opa, opb, alpha, a, b, beta, c,
+              /*parallel=*/true);
       break;
   }
 
@@ -531,6 +799,175 @@ void zgemm(Op opa, Op opb, cplx alpha, const ZMatrix& a, const ZMatrix& b,
   obs::attribute_flops(counted);
   obs::attribute_bytes(16u * static_cast<std::uint64_t>(m * ka + ka * n +
                                                         2 * m * n));
+  if (flops != nullptr) flops->add(counted);
+}
+
+void zgemm_batch(Op opa, Op opb, cplx alpha,
+                 const std::vector<GemmBatchItem>& items, const ZMatrix& b,
+                 cplx beta, FlopCounter* flops) {
+  if (items.empty()) return;
+  const auto [k, n] = op_shape(opb, b);
+
+  std::uint64_t counted = 0;
+  for (const GemmBatchItem& it : items) {
+    XGW_REQUIRE(it.a != nullptr && it.c != nullptr,
+                "zgemm_batch: null item operand");
+    const auto [mi, ki] = op_shape(opa, *it.a);
+    XGW_REQUIRE(ki == k,
+                "zgemm_batch: every op(A_i) must share k = op(B).rows");
+    XGW_REQUIRE(it.c_row0 >= 0 && it.c->rows() >= it.c_row0 + mi &&
+                    it.c->cols() == n,
+                "zgemm_batch: C_i row window [c_row0, c_row0 + op(A_i).rows) "
+                "out of bounds or cols != op(B).cols");
+    counted += static_cast<std::uint64_t>(flop_model::zgemm(mi, n, k));
+  }
+
+  // Tiny-batch dispatch mirrors kAuto's small-matrix cutoff: when the
+  // AVERAGE item sits below the reference crossover, packing the shared B
+  // panel and zeroing planar scratch cost more than they save (the GWPT
+  // perturbed chain hits this with n_sigma x N_G blocks at toy N_G), so run
+  // the canonical loops instead. Results follow gemm_reference exactly and
+  // row windows are honoured; the path is serial, hence trivially
+  // thread-count-invariant.
+  double batch_work = 0.0;
+  for (const GemmBatchItem& it : items)
+    batch_work += static_cast<double>(op_shape(opa, *it.a).first) *
+                  static_cast<double>(n) * static_cast<double>(k);
+  if (batch_work <=
+      kAutoTiny * static_cast<double>(items.size())) {
+    obs::Span tiny_span("zgemm_batch", "la", obs::detail_level::kFine);
+    if (tiny_span.active()) {
+      tiny_span.arg("items", static_cast<long long>(items.size()));
+      tiny_span.arg("n", static_cast<long long>(n));
+      tiny_span.arg("k", static_cast<long long>(k));
+      tiny_span.arg("variant", "reference");
+    }
+    std::uint64_t tiny_bytes = 16u * static_cast<std::uint64_t>(k * n);
+    for (const GemmBatchItem& it : items) {
+      const idx mi = op_shape(opa, *it.a).first;
+      for (idx i = 0; i < mi; ++i) {
+        cplx* row = it.c->row(it.c_row0 + i);
+        for (idx j = 0; j < n; ++j) {
+          cplx acc{};
+          for (idx l = 0; l < k; ++l)
+            acc += op_elem(opa, *it.a, i, l) * op_elem(opb, b, l, j);
+          row[j] = alpha * acc + beta * row[j];
+        }
+      }
+      tiny_bytes += 16u * static_cast<std::uint64_t>(mi * k + 2 * mi * n);
+    }
+    obs::attribute_flops(counted);
+    obs::attribute_bytes(tiny_bytes);
+    if (flops != nullptr) flops->add(counted);
+    return;
+  }
+
+  const GemmV3Config& cfg = gemm_v3_active_config();
+  la::MicroKernelFn kern = la::select_microkernel(cfg.isa, cfg.mr, cfg.nr);
+  XGW_REQUIRE(kern != nullptr,
+              "zgemm_batch: no compiled micro-kernel for this (isa, mr, nr)");
+
+  // Flatten to (item, row-panel) pairs: the parallel unit. Each pair owns
+  // disjoint C rows, and the serial outer l0 loop fixes each C tile's
+  // accumulation order, so results are bitwise thread-count-invariant.
+  struct Pair {
+    int item;
+    idx panel;
+  };
+  std::vector<Pair> pairs;
+  std::uint64_t total_bytes = 0;
+  for (std::size_t ii = 0; ii < items.size(); ++ii) {
+    const auto [mi, ki] = op_shape(opa, *items[ii].a);
+    (void)ki;
+    const idx n_panels = (mi + cfg.mc - 1) / cfg.mc;
+    for (idx p = 0; p < n_panels; ++p)
+      pairs.push_back({static_cast<int>(ii), p});
+    total_bytes += 16u * static_cast<std::uint64_t>(mi * k + 2 * mi * n);
+  }
+  total_bytes += 16u * static_cast<std::uint64_t>(k * n);  // shared B, once
+
+  obs::Span span("zgemm_batch", "la", obs::detail_level::kFine);
+  if (span.active()) {
+    span.arg("items", static_cast<long long>(items.size()));
+    span.arg("n", static_cast<long long>(n));
+    span.arg("k", static_cast<long long>(k));
+    span.arg("pairs", static_cast<long long>(pairs.size()));
+    span.arg("isa", la::simd_isa_name(cfg.isa));
+    span.arg("mr", static_cast<long long>(cfg.mr));
+    span.arg("nr", static_cast<long long>(cfg.nr));
+    span.arg("kc", static_cast<long long>(cfg.kc));
+    span.arg("nc", static_cast<long long>(cfg.nc));
+  }
+
+  // beta-scale each item's row window up front so tiles pure-accumulate.
+  for (const GemmBatchItem& it : items) {
+    if (beta == cplx{1.0, 0.0}) continue;
+    const idx mi = op_shape(opa, *it.a).first;
+    for (idx i = 0; i < mi; ++i) {
+      cplx* row = it.c->row(it.c_row0 + i);
+      if (beta == cplx{0.0, 0.0})
+        std::fill(row, row + n, cplx{});
+      else
+        for (idx j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+
+  const idx n_pairs = static_cast<idx>(pairs.size());
+  idx m_max = 0;
+  for (const GemmBatchItem& it : items)
+    m_max = std::max(m_max, op_shape(opa, *it.a).first);
+  std::vector<double> bre(V3Buffers::padded_b(cfg, n, k));
+  std::vector<double> bim(V3Buffers::padded_b(cfg, n, k));
+  const double alr = alpha.real(), ali = alpha.imag();
+
+  auto pair_work = [&](const Pair& pr, idx l0, idx kb, idx j0, idx nb,
+                       V3Buffers& w) {
+    const ZMatrix& a = *items[static_cast<std::size_t>(pr.item)].a;
+    ZMatrix& c = *items[static_cast<std::size_t>(pr.item)].c;
+    const idx mi = op_shape(opa, a).first;
+    v3_panel_work(cfg, kern, opa, a, c,
+                  items[static_cast<std::size_t>(pr.item)].c_row0, alr, ali,
+                  mi, pr.panel, l0, kb, j0, nb, bre.data(), bim.data(), w);
+  };
+
+  if (should_parallelize(true, n_pairs)) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(xgw_num_threads())
+    {
+      V3Buffers w(cfg, m_max, n, k);
+      for (idx l0 = 0; l0 < k; l0 += cfg.kc) {
+        const idx kb = std::min(cfg.kc, k - l0);
+        for (idx j0 = 0; j0 < n; j0 += cfg.nc) {
+          const idx nb = std::min(cfg.nc, n - j0);
+#pragma omp for schedule(static)
+          for (idx l = 0; l < kb; ++l)
+            la::pack_b_strips_row(opb, b, l0, l, j0, nb, cfg.nr, kb,
+                                  bre.data(), bim.data());
+          // implicit barrier: B panel complete before any pair reads it.
+#pragma omp for schedule(dynamic)
+          for (idx p = 0; p < n_pairs; ++p)
+            pair_work(pairs[static_cast<std::size_t>(p)], l0, kb, j0, nb, w);
+        }
+      }
+    }
+#endif
+  } else {
+    V3Buffers w(cfg, m_max, n, k);
+    for (idx l0 = 0; l0 < k; l0 += cfg.kc) {
+      const idx kb = std::min(cfg.kc, k - l0);
+      for (idx j0 = 0; j0 < n; j0 += cfg.nc) {
+        const idx nb = std::min(cfg.nc, n - j0);
+        for (idx l = 0; l < kb; ++l)
+          la::pack_b_strips_row(opb, b, l0, l, j0, nb, cfg.nr, kb, bre.data(),
+                                bim.data());
+        for (idx p = 0; p < n_pairs; ++p)
+          pair_work(pairs[static_cast<std::size_t>(p)], l0, kb, j0, nb, w);
+      }
+    }
+  }
+
+  obs::attribute_flops(counted);
+  obs::attribute_bytes(total_bytes);
   if (flops != nullptr) flops->add(counted);
 }
 
@@ -543,20 +980,35 @@ void zherk_update(const ZMatrix& a, const ZMatrix& b, ZMatrix& c,
   XGW_REQUIRE(c.rows() == n && c.cols() == n,
               "zherk_update: C must be n x n");
 
-  if (variant == GemmVariant::kAuto) variant = resolve_auto(n, n, p);
+  variant = resolved_gemm_variant(variant, n, n, p);
+  const bool v3 = variant == GemmVariant::kSimd ||
+                  variant == GemmVariant::kParallel;
+  const idx engine_mc = v3 ? gemm_v3_active_config().mc : kMC;
 
   obs::Span span("zherk_update", "la", obs::detail_level::kFine);
   if (span.active()) {
     span.arg("n", static_cast<long long>(n));
     span.arg("k", static_cast<long long>(p));
     span.arg("variant", variant_name(variant));
-    span.arg("row_panels", static_cast<long long>((n + kMC - 1) / kMC));
+    span.arg("row_panels",
+             static_cast<long long>((n + engine_mc - 1) / engine_mc));
+    if (v3) {
+      const GemmV3Config& cfg = gemm_v3_active_config();
+      span.arg("isa", la::simd_isa_name(cfg.isa));
+      span.arg("mr", static_cast<long long>(cfg.mr));
+      span.arg("nr", static_cast<long long>(cfg.nr));
+      span.arg("kc", static_cast<long long>(cfg.kc));
+      span.arg("nc", static_cast<long long>(cfg.nc));
+    }
   }
 
   if (variant == GemmVariant::kReference) {
     herk_reference(a, b, c);
+  } else if (v3) {
+    herk_v3(gemm_v3_active_config(), a, b, c,
+            /*parallel=*/variant == GemmVariant::kParallel);
   } else {
-    herk_split(a, b, c, /*parallel=*/variant == GemmVariant::kParallel);
+    herk_split(a, b, c, /*parallel=*/false);
   }
 
   // Mirror: the product is Hermitian by contract, so the lower triangle is

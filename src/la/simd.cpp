@@ -1,0 +1,149 @@
+#include "la/simd.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__x86_64__) && !defined(XGW_DISABLE_SIMD)
+#include <cpuid.h>
+#define XGW_X86_SIMD 1
+#endif
+
+namespace xgw::la {
+
+namespace {
+
+#ifdef XGW_X86_SIMD
+
+// XCR0 via XGETBV(0): which register state the OS saves on context switch.
+std::uint64_t xgetbv0() {
+  std::uint32_t eax = 0, edx = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;
+  bool fma = false;
+  bool avx2 = false;
+  bool avx512f = false;
+  bool os_ymm = false;  ///< OS saves XMM+YMM state
+  bool os_zmm = false;  ///< OS additionally saves opmask+ZMM state
+};
+
+CpuFeatures query_cpu() {
+  CpuFeatures f;
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
+  f.sse2 = (edx >> 26) & 1u;
+  f.avx = (ecx >> 28) & 1u;
+  f.fma = (ecx >> 12) & 1u;
+  const bool osxsave = (ecx >> 27) & 1u;
+  if (osxsave) {
+    const std::uint64_t xcr0 = xgetbv0();
+    f.os_ymm = (xcr0 & 0x6) == 0x6;    // XMM (bit 1) + YMM (bit 2)
+    f.os_zmm = (xcr0 & 0xe6) == 0xe6;  // + opmask (5), ZMM0-15 (6), ZMM16+ (7)
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1u;
+    f.avx512f = (ebx >> 16) & 1u;
+  }
+  return f;
+}
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = query_cpu();
+  return f;
+}
+
+#endif  // XGW_X86_SIMD
+
+SimdIsa env_cap() {
+  const char* e = std::getenv("XGW_SIMD");
+  if (!e) return SimdIsa::kAvx512;
+  SimdIsa isa;
+  if (parse_simd_isa(e, &isa)) return isa;
+  return SimdIsa::kAvx512;  // unknown value: ignore the override
+}
+
+}  // namespace
+
+SimdIsa hardware_simd_isa() {
+#ifdef XGW_X86_SIMD
+  const CpuFeatures& f = cpu_features();
+  if (f.avx512f && f.fma && f.os_zmm) return SimdIsa::kAvx512;
+  if (f.avx2 && f.fma && f.os_ymm) return SimdIsa::kAvx2;
+#endif
+  return SimdIsa::kScalar;
+}
+
+SimdIsa detected_simd_isa() {
+  static const SimdIsa isa = [] {
+    const SimdIsa hw = hardware_simd_isa();
+    const SimdIsa cap = env_cap();
+    return static_cast<int>(cap) < static_cast<int>(hw) ? cap : hw;
+  }();
+  return isa;
+}
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse_simd_isa(const std::string& s, SimdIsa* out) {
+  if (s == "scalar") {
+    *out = SimdIsa::kScalar;
+    return true;
+  }
+  if (s == "avx2") {
+    *out = SimdIsa::kAvx2;
+    return true;
+  }
+  if (s == "avx512") {
+    *out = SimdIsa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+std::string simd_feature_string() {
+  std::string s;
+#ifdef XGW_X86_SIMD
+  const CpuFeatures& f = cpu_features();
+  if (f.sse2) s += "sse2 ";
+  if (f.avx) s += "avx ";
+  if (f.avx2) s += "avx2 ";
+  if (f.fma) s += "fma ";
+  if (f.avx512f) s += "avx512f ";
+  if (!f.os_ymm) s += "no-os-ymm ";
+  if (f.avx512f && !f.os_zmm) s += "no-os-zmm ";
+#else
+  s += "simd-disabled ";
+#endif
+  s += "(dispatch: ";
+  s += simd_isa_name(detected_simd_isa());
+  s += ")";
+  return s;
+}
+
+int simd_vector_width(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return 1;
+    case SimdIsa::kAvx2:
+      return 4;
+    case SimdIsa::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+}  // namespace xgw::la

@@ -38,9 +38,10 @@ std::size_t chi_workspace_bytes(const PlannerInput& in, idx nv_block,
 
   std::size_t b = 0;
   b += fb * ncols * ncols * kElem;        // chi accumulators (the results)
-  b += nc * ng * kElem;                   // m_pw: per-valence M rows
+  // m_pw: per-valence M rows; under a subspace (ncols < ng) the whole
+  // valence block is held at once for the batched Transf projection.
+  b += (ncols < ng ? nvb : 1) * nc * ng * kElem;
   b += nvb * nc * ncols * kElem;          // m_block: NV-Block pair workspace
-  if (ncols < ng) b += nc * ncols * kElem;  // proj_rows (subspace Transf)
   b += nthreads * nvb * nc * ncols * kElem;  // per-thread scaled copies
   b += nc * sizeof(idx);                  // conduction band list
   return b;

@@ -42,8 +42,10 @@ std::vector<double> rayleigh_ritz(ZMatrix& v, ZMatrix& hv) {
   const EigResult eig = heev(proj);
 
   ZMatrix vr(v.rows(), m), hvr(v.rows(), m);
-  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, v, eig.vectors, cplx{}, vr);
-  zgemm(Op::kNone, Op::kNone, cplx{1.0, 0.0}, hv, eig.vectors, cplx{}, hvr);
+  // V and HV rotate by the SAME eigenvector matrix: batch the two products
+  // so the shared right operand is packed once.
+  zgemm_batch(Op::kNone, Op::kNone, cplx{1.0, 0.0}, {{&v, &vr}, {&hv, &hvr}},
+              eig.vectors, cplx{});
   v = std::move(vr);
   hv = std::move(hvr);
   return eig.values;

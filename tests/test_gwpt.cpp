@@ -222,6 +222,50 @@ TEST(Gwpt, GwCouplingDiffersFromDfpt) {
   EXPECT_EQ(res.g_gw.rows(), 2);
 }
 
+TEST(Gwpt, FusedDmAssemblyMatchesReferenceDmMatrix) {
+  // run_perturbation assembles dM with hoisted real-space transforms and a
+  // single FFT per element (sum-before-transform); dm_matrix is the
+  // straightforward 3-FFTs-per-term path. FFT linearity makes them equal
+  // to rounding; verify through the mtxel primitives they are built from.
+  GwParameters gp;
+  gp.eps_cutoff = 0.9;
+  GwCalculation gw(EpmModel::silicon(1), gp);
+  const Wavefunctions& wf = gw.wavefunctions();
+  const std::vector<idx> ext{gw.n_valence() - 1, gw.n_valence()};
+  GwptCalculation gwpt(gw);
+
+  // A deterministic stand-in for d psi: mix of neighbouring band rows.
+  ZMatrix dpsi(wf.n_bands(), wf.n_pw());
+  for (idx n = 0; n < wf.n_bands(); ++n) {
+    const idx o = (n + 1) % wf.n_bands();
+    for (idx g = 0; g < wf.n_pw(); ++g)
+      dpsi(n, g) = 0.3 * wf.coeff(n, g) + cplx{0.1, 0.05} * wf.coeff(o, g);
+  }
+
+  const Mtxel& mt = gw.mtxel();
+  const idx box = mt.box().size();
+  std::vector<std::vector<cplx>> psi_l(ext.size()), dpsi_l(ext.size());
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    psi_l[i] = mt.band_realspace(ext[i]);
+    dpsi_l[i].resize(static_cast<std::size_t>(box));
+    mt.to_realspace(dpsi.row(ext[i]), dpsi_l[i].data());
+  }
+  std::vector<cplx> dpsi_n(static_cast<std::size_t>(box));
+  for (idx n : {idx{0}, gw.n_valence(), wf.n_bands() - 1}) {
+    const ZMatrix ref = gwpt.dm_matrix(ext, n, dpsi);
+    const std::vector<cplx> psi_n = mt.band_realspace(n);
+    mt.to_realspace(dpsi.row(n), dpsi_n.data());
+    ZMatrix fused(static_cast<idx>(ext.size()), gw.n_g());
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+      const Mtxel::RealspacePair terms[2] = {
+          {dpsi_l[i].data(), psi_n.data()},
+          {psi_l[i].data(), dpsi_n.data()}};
+      mt.compute_pair_sum_realspace(terms, fused.row(static_cast<idx>(i)));
+    }
+    EXPECT_LT(max_abs_diff(fused, ref), 1e-11) << "band " << n;
+  }
+}
+
 TEST(Gwpt, IndependentPerturbationsRunAll) {
   GwParameters gp;
   gp.eps_cutoff = 0.9;

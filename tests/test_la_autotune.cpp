@@ -1,0 +1,249 @@
+// Autotune cache robustness: round-trips, torn writes, corruption, stale
+// fingerprints. Everything runs against throwaway paths with fast probe
+// options so no test pollutes (or depends on) the real per-user cache.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+#include "la/autotune.h"
+#include "la/microkernel.h"
+#include "la/simd.h"
+
+namespace xgw::la {
+namespace {
+
+// Small enough that a full probe+sweep is fast, large enough to exercise
+// every cache-loop remainder.
+AutotuneOptions fast_opts() {
+  AutotuneOptions o;
+  o.probe_ms = 2.0;
+  o.sweep_reps = 1;
+  o.sweep_n = 96;
+  return o;
+}
+
+std::string tmp_cache_path(const char* tag) {
+  const ::testing::TestInfo* ti =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string(::testing::TempDir()) + "xgw_autotune_" + ti->name() +
+         "_" + tag + ".cache";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class AutotuneCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { isa_ = detected_simd_isa(); }
+
+  // A deterministic, plausible result to write without running a sweep.
+  AutotuneResult sample() const {
+    AutotuneResult r = default_autotune(isa_);
+    r.fma_peak_gflops = 12.5;
+    r.best_gflops = 7.25;
+    r.swept = true;
+    return r;
+  }
+
+  SimdIsa isa_ = SimdIsa::kScalar;
+};
+
+TEST_F(AutotuneCacheTest, SaveLoadRoundTrip) {
+  const std::string path = tmp_cache_path("roundtrip");
+  const AutotuneResult want = sample();
+  save_autotune_cache(path, want);
+
+  AutotuneResult got;
+  ASSERT_TRUE(load_autotune_cache(path, isa_, &got));
+  EXPECT_EQ(got.isa, want.isa);
+  EXPECT_EQ(got.mr, want.mr);
+  EXPECT_EQ(got.nr, want.nr);
+  EXPECT_EQ(got.mc, want.mc);
+  EXPECT_EQ(got.kc, want.kc);
+  EXPECT_EQ(got.nc, want.nc);
+  EXPECT_DOUBLE_EQ(got.fma_peak_gflops, want.fma_peak_gflops);
+  EXPECT_DOUBLE_EQ(got.best_gflops, want.best_gflops);
+  EXPECT_TRUE(got.from_cache);
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, MissingFileIsStaleNotError) {
+  AutotuneResult got;
+  EXPECT_FALSE(load_autotune_cache(tmp_cache_path("missing"), isa_, &got));
+}
+
+TEST_F(AutotuneCacheTest, EmptyFileReportsTruncated) {
+  const std::string path = tmp_cache_path("empty");
+  spit(path, "");
+  AutotuneResult got;
+  try {
+    load_autotune_cache(path, isa_, &got);
+    FAIL() << "empty cache must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIoTruncated) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, GarbageMagicReportsCorrupt) {
+  const std::string path = tmp_cache_path("magic");
+  spit(path, "not-an-autotune-cache\n1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n");
+  AutotuneResult got;
+  try {
+    load_autotune_cache(path, isa_, &got);
+    FAIL() << "bad magic must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIoCorrupt) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, FlippedByteFailsChecksum) {
+  const std::string path = tmp_cache_path("bitflip");
+  save_autotune_cache(path, sample());
+  std::string bytes = slurp(path);
+  ASSERT_FALSE(bytes.empty());
+  // Flip a digit inside the payload (not the magic, not the trailing
+  // newline) so only the checksum can catch it.
+  const std::size_t pos = bytes.find("12.5");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = '9';
+  spit(path, bytes);
+
+  AutotuneResult got;
+  try {
+    load_autotune_cache(path, isa_, &got);
+    FAIL() << "flipped byte must fail the checksum";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kIoCorrupt) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, StaleFingerprintIsSilentlyRefused) {
+  const std::string path = tmp_cache_path("stale");
+  save_autotune_cache(path, sample());
+  std::string bytes = slurp(path);
+  // Rewrite the key line with a different hex digest of the same length;
+  // recompute nothing — a stale key is refused before the checksum runs.
+  const std::size_t key = bytes.find("key ");
+  ASSERT_NE(key, std::string::npos);
+  const std::size_t eol = bytes.find('\n', key);
+  bytes.replace(key, eol - key, "key 00000000deadbeef");
+  spit(path, bytes);
+
+  AutotuneResult got;
+  EXPECT_FALSE(load_autotune_cache(path, isa_, &got))
+      << "foreign fingerprint must read as stale, not as damage";
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, TornWriteAtEveryPrefixEitherLoadsOrThrowsIoKind) {
+  // Chaos-style sweep: truncate a valid cache at every byte offset. Each
+  // prefix must either throw a typed io error, read as stale (a cut inside
+  // the key digest yields a well-formed foreign key), or — only when no
+  // payload byte is missing (e.g. just the trailing newline) — load with
+  // values bit-identical to the intact file. Never crash, never return
+  // half-parsed tiles.
+  const std::string path = tmp_cache_path("torn");
+  const AutotuneResult want = sample();
+  save_autotune_cache(path, want);
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 20u);
+  const std::size_t payload_end = bytes.find_last_not_of('\n') + 1;
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    spit(path, bytes.substr(0, cut));
+    AutotuneResult got;
+    try {
+      const bool ok = load_autotune_cache(path, isa_, &got);
+      if (ok) {
+        EXPECT_GE(cut, payload_end)
+            << "prefix of " << cut << "/" << bytes.size()
+            << " bytes parsed as a complete cache";
+        EXPECT_EQ(got.mr, want.mr);
+        EXPECT_EQ(got.nr, want.nr);
+        EXPECT_EQ(got.kc, want.kc);
+        EXPECT_EQ(got.nc, want.nc);
+        EXPECT_DOUBLE_EQ(got.fma_peak_gflops, want.fma_peak_gflops);
+        EXPECT_DOUBLE_EQ(got.best_gflops, want.best_gflops);
+      }
+    } catch (const Error& e) {
+      EXPECT_TRUE(e.kind() == ErrorKind::kIoTruncated ||
+                  e.kind() == ErrorKind::kIoCorrupt)
+          << "cut=" << cut << ": " << e.what();
+    }
+  }
+
+  // The intact file still loads after the sweep.
+  spit(path, bytes);
+  AutotuneResult got;
+  EXPECT_TRUE(load_autotune_cache(path, isa_, &got));
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, ResolveRecoversFromDamageAndRewritesCache) {
+  const std::string path = tmp_cache_path("resolve");
+  spit(path, "xgw-autotune-v1\ntorn");  // damaged: cut mid-file
+
+  const AutotuneResult r = resolve_autotune(path, isa_, fast_opts());
+  EXPECT_FALSE(r.from_cache) << "damaged cache must force a re-probe";
+  EXPECT_TRUE(r.swept);
+  EXPECT_GT(r.fma_peak_gflops, 0.0);
+  EXPECT_GT(r.best_gflops, 0.0);
+
+  // The re-probe must have rewritten a valid cache; a second resolve loads.
+  const AutotuneResult r2 = resolve_autotune(path, isa_, fast_opts());
+  EXPECT_TRUE(r2.from_cache);
+  EXPECT_EQ(r2.mr, r.mr);
+  EXPECT_EQ(r2.nr, r.nr);
+  EXPECT_EQ(r2.kc, r.kc);
+  EXPECT_EQ(r2.nc, r.nc);
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, ResolvedTileIsACompiledCandidate) {
+  const std::string path = tmp_cache_path("candidate");
+  const AutotuneResult r = resolve_autotune(path, isa_, fast_opts());
+  bool found = false;
+  for (const TileShape t : kernel_candidates(r.isa))
+    found = found || (t.mr == r.mr && t.nr == r.nr);
+  EXPECT_TRUE(found) << "autotune picked mr=" << r.mr << " nr=" << r.nr
+                     << " which is not a compiled kernel for "
+                     << simd_isa_name(r.isa);
+  std::remove(path.c_str());
+}
+
+TEST_F(AutotuneCacheTest, DefaultsAreSaneForEveryIsa) {
+  for (const SimdIsa isa :
+       {SimdIsa::kScalar, SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    const AutotuneResult d = default_autotune(isa);
+    EXPECT_GT(d.mr, 0);
+    EXPECT_GT(d.nr, 0);
+    EXPECT_GT(d.mc, 0);
+    EXPECT_GT(d.kc, 0);
+    EXPECT_GT(d.nc, 0);
+    EXPECT_FALSE(d.swept);
+    bool found = false;
+    for (const TileShape t : kernel_candidates(isa))
+      found = found || (t.mr == d.mr && t.nr == d.nr);
+    EXPECT_TRUE(found);
+  }
+}
+
+}  // namespace
+}  // namespace xgw::la

@@ -11,8 +11,14 @@
 #include <tuple>
 #include <vector>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "common/rng.h"
 #include "la/gemm.h"
+#include "la/microkernel.h"
+#include "la/simd.h"
 
 namespace xgw {
 namespace {
@@ -40,7 +46,7 @@ TEST_P(GemmShapes, BlockedMatchesReferenceAllOps) {
       const ZMatrix b = (opb == Op::kNone) ? random_matrix(k, n, rng)
                                            : random_matrix(n, k, rng);
       ZMatrix c0 = random_matrix(m, n, rng);
-      ZMatrix c1 = c0, c2 = c0, c3 = c0, c4 = c0;
+      ZMatrix c1 = c0, c2 = c0, c3 = c0, c4 = c0, c5 = c0;
 
       const cplx alpha{1.3, -0.4}, beta{0.2, 0.7};
       zgemm(opa, opb, alpha, a, b, beta, c0, GemmVariant::kReference);
@@ -48,6 +54,7 @@ TEST_P(GemmShapes, BlockedMatchesReferenceAllOps) {
       zgemm(opa, opb, alpha, a, b, beta, c2, GemmVariant::kParallel);
       zgemm(opa, opb, alpha, a, b, beta, c3, GemmVariant::kSplit);
       zgemm(opa, opb, alpha, a, b, beta, c4, GemmVariant::kAuto);
+      zgemm(opa, opb, alpha, a, b, beta, c5, GemmVariant::kSimd);
 
       const double tol = 1e-11 * static_cast<double>(k + 1);
       EXPECT_LT(max_abs_diff(c0, c1), tol)
@@ -58,10 +65,14 @@ TEST_P(GemmShapes, BlockedMatchesReferenceAllOps) {
           << "split mismatch at opa=" << static_cast<int>(opa)
           << " opb=" << static_cast<int>(opb);
       EXPECT_LT(max_abs_diff(c0, c4), tol) << "auto mismatch";
-      // The split engine's k-block accumulation order is fixed, so the
-      // serial and team-parallel drivers must agree bitwise.
-      EXPECT_EQ(max_abs_diff(c2, c3), 0.0)
-          << "split serial/parallel not bitwise-equal";
+      EXPECT_LT(max_abs_diff(c0, c5), tol)
+          << "simd mismatch at opa=" << static_cast<int>(opa)
+          << " opb=" << static_cast<int>(opb);
+      // Both run the gen-3 engine with a fixed k-block accumulation order
+      // per C tile, so the serial (kSimd) and team-parallel (kParallel)
+      // drivers must agree bitwise.
+      EXPECT_EQ(max_abs_diff(c2, c5), 0.0)
+          << "gen-3 serial/parallel not bitwise-equal";
     }
   }
 }
@@ -147,14 +158,20 @@ TEST_P(ZherkShapes, MatchesZgemmAndIsHermitian) {
   }
   ZMatrix c1 = c0, c2 = c0;
 
+  ZMatrix c3 = c0, c4 = c0;
   zgemm(Op::kConjTrans, Op::kNone, cplx{1, 0}, a, b, cplx{1, 0}, c0,
         GemmVariant::kReference);
   zherk_update(a, b, c1, GemmVariant::kSplit);
   zherk_update(a, b, c2, GemmVariant::kAuto);
+  zherk_update(a, b, c3, GemmVariant::kSimd);
+  zherk_update(a, b, c4, GemmVariant::kParallel);
 
   const double tol = 1e-11 * static_cast<double>(p + 1);
   EXPECT_LT(max_abs_diff(c0, c1), tol) << "zherk(split) vs zgemm";
   EXPECT_LT(max_abs_diff(c0, c2), tol) << "zherk(auto) vs zgemm";
+  EXPECT_LT(max_abs_diff(c0, c3), tol) << "zherk(simd) vs zgemm";
+  EXPECT_EQ(max_abs_diff(c3, c4), 0.0)
+      << "zherk gen-3 serial/parallel not bitwise-equal";
   for (idx i = 0; i < n; ++i) {
     EXPECT_EQ(c1(i, i).imag(), 0.0) << "diagonal must be exactly real";
     for (idx j = i + 1; j < n; ++j)
@@ -207,6 +224,303 @@ TEST(Gemm, NestedCallInsideParallelRegionStaysCorrect) {
 
   for (const ZMatrix& c : cs)
     EXPECT_LT(max_abs_diff(c, cref), 1e-11 * static_cast<double>(k + 1));
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Gen-3 engine: dispatch policy, micro-kernel parity, batched API.
+
+// Every ISA level the host can actually execute, scalar first.
+std::vector<la::SimdIsa> reachable_isas() {
+  std::vector<la::SimdIsa> v{la::SimdIsa::kScalar};
+  if (la::detected_simd_isa() >= la::SimdIsa::kAvx2)
+    v.push_back(la::SimdIsa::kAvx2);
+  if (la::detected_simd_isa() >= la::SimdIsa::kAvx512)
+    v.push_back(la::SimdIsa::kAvx512);
+  return v;
+}
+
+TEST(GemmDispatch, AutoNeverPicksParallelInsideParallelRegion) {
+  // Large enough that kAuto picks kParallel when a team is available.
+  const idx big = 128;
+  // Tiny / mid shapes for the crossover half of the regression.
+  const idx mid = 48;
+
+  EXPECT_EQ(resolved_gemm_variant(GemmVariant::kAuto, 2, 2, 2),
+            GemmVariant::kReference);
+  EXPECT_EQ(resolved_gemm_variant(GemmVariant::kAuto, mid, mid, mid),
+            GemmVariant::kSimd);
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(4);
+  if (xgw_num_threads() > 1) {
+    EXPECT_EQ(resolved_gemm_variant(GemmVariant::kAuto, big, big, big),
+              GemmVariant::kParallel);
+    EXPECT_EQ(resolved_gemm_variant(GemmVariant::kParallel, big, big, big),
+              GemmVariant::kParallel);
+
+    // Inside an active region the SAME shapes must cross over to the serial
+    // gen-3 engine at the dispatch point — including an EXPLICIT kParallel
+    // request — so traces attribute the variant that actually ran.
+#pragma omp parallel num_threads(2)
+    {
+#pragma omp single
+      {
+        EXPECT_EQ(resolved_gemm_variant(GemmVariant::kAuto, big, big, big),
+                  GemmVariant::kSimd);
+        EXPECT_EQ(
+            resolved_gemm_variant(GemmVariant::kParallel, big, big, big),
+            GemmVariant::kSimd);
+        EXPECT_EQ(resolved_gemm_variant(GemmVariant::kAuto, 2, 2, 2),
+                  GemmVariant::kReference);
+      }
+    }
+  }
+  omp_set_num_threads(saved);
+#endif
+
+  // Explicit serial variants are never rewritten.
+  EXPECT_EQ(resolved_gemm_variant(GemmVariant::kSplit, big, big, big),
+            GemmVariant::kSplit);
+  EXPECT_EQ(resolved_gemm_variant(GemmVariant::kSimd, 2, 2, 2),
+            GemmVariant::kSimd);
+}
+
+#ifdef _OPENMP
+TEST(GemmDispatch, NestedAutoAtShapeCrossoverMatchesReference) {
+  // Regression for the nested-call shape crossover: shapes straddling the
+  // parallel cutoff, issued from inside a parallel region, must all run
+  // correctly through the degraded (serial gen-3) path.
+  Rng rng(61);
+  const std::vector<Shape> shapes = {Shape{16, 16, 16}, Shape{48, 48, 48},
+                                     Shape{64, 64, 65}, Shape{80, 90, 100}};
+  for (const auto& [m, n, k] : shapes) {
+    const ZMatrix a = random_matrix(m, k, rng);
+    const ZMatrix b = random_matrix(k, n, rng);
+    ZMatrix cref(m, n);
+    zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{}, cref,
+          GemmVariant::kReference);
+
+    std::vector<ZMatrix> cs(4, ZMatrix(m, n));
+#pragma omp parallel for num_threads(4)
+    for (int t = 0; t < 4; ++t)
+      zgemm(Op::kNone, Op::kNone, cplx{1, 0}, a, b, cplx{},
+            cs[static_cast<std::size_t>(t)],
+            t % 2 == 0 ? GemmVariant::kParallel : GemmVariant::kAuto);
+
+    for (const ZMatrix& c : cs)
+      EXPECT_LT(max_abs_diff(c, cref), 1e-11 * static_cast<double>(k + 1))
+          << "shape " << m << "x" << n << "x" << k;
+  }
+}
+#endif
+
+TEST(SimdMicroKernels, ParitySweepPrimeAndRemainderShapesAllReachableIsas) {
+  // Satellite: every compiled micro-kernel on every ISA path reachable on
+  // THIS host must match kReference across prime/remainder shapes.
+  const idx dims[] = {1, 7, 31, 33, 97, 128};
+  const cplx alpha{1.1, -0.3}, beta{0.4, 0.2};
+
+  for (const idx m : dims) {
+    for (const idx n : dims) {
+      for (const idx k : dims) {
+        Rng rng(101 + static_cast<std::uint64_t>(m * 10000 + n * 100 + k));
+        const ZMatrix a = random_matrix(m, k, rng);
+        const ZMatrix b = random_matrix(k, n, rng);
+        ZMatrix cref = random_matrix(m, n, rng);
+        const ZMatrix cinit = cref;
+        zgemm(Op::kNone, Op::kNone, alpha, a, b, beta, cref,
+              GemmVariant::kReference);
+        const double tol = 1e-11 * static_cast<double>(k + 1);
+
+        for (const la::SimdIsa isa : reachable_isas()) {
+          for (const la::TileShape tile : la::kernel_candidates(isa)) {
+            const GemmV3Config cfg{isa, tile.mr, tile.nr, 64, 128, 256};
+            ZMatrix c = cinit;
+            zgemm_v3_explicit(cfg, Op::kNone, Op::kNone, alpha, a, b, beta,
+                              c, /*parallel=*/false);
+            EXPECT_LT(max_abs_diff(cref, c), tol)
+                << "isa=" << la::simd_isa_name(isa) << " mr=" << tile.mr
+                << " nr=" << tile.nr << " shape " << m << "x" << n << "x"
+                << k;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdMicroKernels, ParityAllOpsAndOddCacheTilesOnRemainderShapes) {
+  // All nine op combinations plus deliberately awkward KC/NC (remainder in
+  // every cache loop) on a couple of prime shapes, per reachable ISA.
+  const std::vector<Shape> shapes = {Shape{31, 33, 97}, Shape{33, 97, 31}};
+  const cplx alpha{0.8, 0.5}, beta{-0.2, 0.9};
+
+  for (const auto& [m, n, k] : shapes) {
+    for (Op opa : {Op::kNone, Op::kTrans, Op::kConjTrans}) {
+      for (Op opb : {Op::kNone, Op::kTrans, Op::kConjTrans}) {
+        Rng rng(211 + static_cast<std::uint64_t>(m + n + k) +
+                static_cast<std::uint64_t>(opa) * 7 +
+                static_cast<std::uint64_t>(opb) * 3);
+        const ZMatrix a = (opa == Op::kNone) ? random_matrix(m, k, rng)
+                                             : random_matrix(k, m, rng);
+        const ZMatrix b = (opb == Op::kNone) ? random_matrix(k, n, rng)
+                                             : random_matrix(n, k, rng);
+        ZMatrix cref = random_matrix(m, n, rng);
+        const ZMatrix cinit = cref;
+        zgemm(opa, opb, alpha, a, b, beta, cref, GemmVariant::kReference);
+        const double tol = 1e-11 * static_cast<double>(k + 1);
+
+        for (const la::SimdIsa isa : reachable_isas()) {
+          for (const la::TileShape tile : la::kernel_candidates(isa)) {
+            const GemmV3Config cfg{isa, tile.mr, tile.nr, 32, 48, 80};
+            ZMatrix c = cinit;
+            zgemm_v3_explicit(cfg, opa, opb, alpha, a, b, beta, c,
+                              /*parallel=*/false);
+            EXPECT_LT(max_abs_diff(cref, c), tol)
+                << "isa=" << la::simd_isa_name(isa) << " mr=" << tile.mr
+                << " nr=" << tile.nr << " opa=" << static_cast<int>(opa)
+                << " opb=" << static_cast<int>(opb);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ZgemmBatch, MatchesPerCallReferenceWithHeterogeneousRowCounts) {
+  Rng rng(307);
+  const idx n = 64, k = 96;
+  const std::vector<idx> ms = {5, 64, 33, 128, 1, 97};
+  const ZMatrix b = random_matrix(k, n, rng);
+  const cplx alpha{1.2, 0.1}, beta{0.3, -0.4};
+
+  std::vector<ZMatrix> as, cs, crefs;
+  for (const idx m : ms) {
+    as.push_back(random_matrix(m, k, rng));
+    cs.push_back(random_matrix(m, n, rng));
+    crefs.push_back(cs.back());
+  }
+  std::vector<GemmBatchItem> items;
+  for (std::size_t i = 0; i < ms.size(); ++i)
+    items.push_back({&as[i], &cs[i]});
+
+  FlopCounter fc;
+  zgemm_batch(Op::kNone, Op::kNone, alpha, items, b, beta, &fc);
+
+  std::uint64_t want_flops = 0;
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    zgemm(Op::kNone, Op::kNone, alpha, as[i], b, beta, crefs[i],
+          GemmVariant::kReference);
+    EXPECT_LT(max_abs_diff(cs[i], crefs[i]),
+              1e-11 * static_cast<double>(k + 1))
+        << "batch item " << i;
+    want_flops += static_cast<std::uint64_t>(
+        flop_model::zgemm(ms[i], n, k));
+  }
+  EXPECT_EQ(fc.total(), want_flops)
+      << "batch must count the canonical sum of per-item FLOPs";
+}
+
+TEST(ZgemmBatch, TransposedSharedOperandAndEmptyBatch) {
+  Rng rng(311);
+  const idx m = 40, n = 48, k = 56;
+  const ZMatrix a = random_matrix(k, m, rng);   // op(A) = A^H
+  const ZMatrix b = random_matrix(n, k, rng);   // op(B) = B^T
+  ZMatrix c = random_matrix(m, n, rng);
+  ZMatrix cref = c;
+
+  std::vector<GemmBatchItem> items{{&a, &c}};
+  zgemm_batch(Op::kConjTrans, Op::kTrans, cplx{0.9, -0.7}, items, b,
+              cplx{0.1, 0.2});
+  zgemm(Op::kConjTrans, Op::kTrans, cplx{0.9, -0.7}, a, b, cplx{0.1, 0.2},
+        cref, GemmVariant::kReference);
+  EXPECT_LT(max_abs_diff(c, cref), 1e-11 * static_cast<double>(k + 1));
+
+  const std::vector<GemmBatchItem> none;
+  zgemm_batch(Op::kNone, Op::kNone, cplx{1, 0}, none, b, cplx{});  // no-op
+
+  // Wrong column count and an out-of-bounds row window both reject.
+  ZMatrix badcols(m, n + 1);
+  std::vector<GemmBatchItem> baditems{{&a, &badcols}};
+  EXPECT_THROW(zgemm_batch(Op::kConjTrans, Op::kTrans, cplx{1, 0}, baditems,
+                           b, cplx{}),
+               Error);
+  ZMatrix tall(m + 3, n);
+  std::vector<GemmBatchItem> oob{{&a, &tall, 4}};
+  EXPECT_THROW(zgemm_batch(Op::kConjTrans, Op::kTrans, cplx{1, 0}, oob, b,
+                           cplx{}),
+               Error);
+}
+
+TEST(ZgemmBatch, RowWindowsIntoSharedTallCMatchTightC) {
+  // chi's Transf shape: every item writes its own row window of ONE tall C.
+  Rng rng(317);
+  const idx n = 48, k = 64, mi = 16;
+  const int nitems = 4;
+  const ZMatrix b = random_matrix(k, n, rng);
+
+  std::vector<ZMatrix> as, tight;
+  for (int i = 0; i < nitems; ++i) {
+    as.push_back(random_matrix(mi, k, rng));
+    tight.push_back(ZMatrix(mi, n));
+  }
+  ZMatrix tall(nitems * mi, n);
+  tall.fill(cplx{7.0, -7.0});  // beta = 0 must overwrite this
+
+  std::vector<GemmBatchItem> witems, titems;
+  for (int i = 0; i < nitems; ++i) {
+    witems.push_back({&as[static_cast<std::size_t>(i)], &tall, i * mi});
+    titems.push_back({&as[static_cast<std::size_t>(i)],
+                      &tight[static_cast<std::size_t>(i)]});
+  }
+  zgemm_batch(Op::kNone, Op::kNone, cplx{1.1, 0.4}, witems, b, cplx{});
+  zgemm_batch(Op::kNone, Op::kNone, cplx{1.1, 0.4}, titems, b, cplx{});
+
+  for (int i = 0; i < nitems; ++i)
+    for (idx r = 0; r < mi; ++r)
+      for (idx j = 0; j < n; ++j)
+        EXPECT_EQ(tall(i * mi + r, j),
+                  tight[static_cast<std::size_t>(i)](r, j))
+            << "window " << i << " row " << r;
+}
+
+#ifdef _OPENMP
+TEST(ZgemmBatch, BitwiseDeterministicAcross1And2And4Threads) {
+  // Satellite: the batch API's results must not depend on team size — each
+  // C tile accumulates its k-blocks in the fixed serial l0 order no matter
+  // which thread owns the (item, panel) pair.
+  Rng rng(313);
+  const idx n = 64, k = 128;
+  const std::vector<idx> ms = {64, 33, 128, 97, 64, 5, 64, 64};
+  const ZMatrix b = random_matrix(k, n, rng);
+
+  std::vector<ZMatrix> as, cinit;
+  for (const idx m : ms) {
+    as.push_back(random_matrix(m, k, rng));
+    cinit.push_back(random_matrix(m, n, rng));
+  }
+
+  const int saved = omp_get_max_threads();
+  std::vector<std::vector<ZMatrix>> results;
+  for (const int nt : {1, 2, 4}) {
+    omp_set_num_threads(nt);
+    std::vector<ZMatrix> cs = cinit;
+    std::vector<GemmBatchItem> items;
+    for (std::size_t i = 0; i < ms.size(); ++i)
+      items.push_back({&as[i], &cs[i]});
+    zgemm_batch(Op::kNone, Op::kNone, cplx{1.3, -0.4}, items, b,
+                cplx{0.2, 0.7});
+    results.push_back(std::move(cs));
+  }
+  omp_set_num_threads(saved);
+
+  for (std::size_t t = 1; t < results.size(); ++t)
+    for (std::size_t i = 0; i < ms.size(); ++i)
+      EXPECT_EQ(max_abs_diff(results[0][i], results[t][i]), 0.0)
+          << "thread-count " << (t == 1 ? 2 : 4) << " diverges at item "
+          << i;
 }
 #endif
 
