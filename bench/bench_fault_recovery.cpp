@@ -8,7 +8,6 @@
 // time-to-solution relative to the fault-free baseline — the numerical
 // results stay bitwise identical throughout (enforced by test_fault).
 
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -27,12 +26,16 @@ using namespace xgw::bench;
 
 namespace {
 
-/// One work item: a fixed spin so every rank has measurable compute.
-void spin_item(std::vector<cplx>& out) {
-  const auto t0 = std::chrono::steady_clock::now();
-  while (std::chrono::steady_clock::now() - t0 <
-         std::chrono::microseconds(400)) {
-  }
+/// Modeled seconds per work item on the virtual clock. With
+/// FtOptions::virtual_item_cost_s set, attempt costs — and therefore
+/// straggler deadlines, retries, dead ranks, and recovery seconds — are
+/// pure functions of the fault seed, so the perf gate can compare the
+/// ledger EXACTLY instead of tolerating wall-clock noise.
+constexpr double kVirtCostS = 1e-3;
+
+/// One work item: fill the output slot (compute cost is charged by the
+/// virtual clock, not by spinning).
+void fill_item(std::vector<cplx>& out) {
   for (std::size_t j = 0; j < out.size(); ++j)
     out[j] = cplx{static_cast<double>(j), -static_cast<double>(j)};
 }
@@ -55,7 +58,7 @@ SimCluster::RunReport run_campaign(const SimCluster& cluster, idx n_items,
       static_cast<std::size_t>(n_items), std::vector<cplx>(64));
   auto item_fn = [&](idx item, RankContext& ctx) {
     auto& dst = out[static_cast<std::size_t>(item)];
-    spin_item(dst);
+    fill_item(dst);
     ctx.expose(std::span<cplx>(dst));
   };
   return cluster.run_items_ft(n_items, item_fn, opt);
@@ -68,6 +71,7 @@ void failure_rate_sweep(Suite& suite) {
   const SimCluster cluster(n_ranks);
 
   SimCluster::FtOptions clean;
+  clean.virtual_item_cost_s = kVirtCostS;
   const SimCluster::RunReport base = run_campaign(cluster, n_items, clean);
   const double t0 = base.time_to_solution();
 
@@ -80,6 +84,7 @@ void failure_rate_sweep(Suite& suite) {
     opt.faults.p_corrupt = 0.5 * p;
     opt.max_attempts = 5;
     opt.backoff_base_s = 0.01;
+    opt.virtual_item_cost_s = kVirtCostS;
     points.push_back({p, run_campaign(cluster, n_items, opt)});
   }
 
@@ -91,13 +96,15 @@ void failure_rate_sweep(Suite& suite) {
            fmt_int(static_cast<long long>(pt.rep.failed_ranks.size())),
            fmt(pt.rep.recovery_s, 3), fmt(t2s, 3),
            fmt(100.0 * (t2s / t0 - 1.0), 1) + "%"});
-    // Retries include wall-clock straggler cancellations (deadline vs the
-    // measured rank median), so they carry timing noise — recorded as
-    // report-only values, not exact-gated counters.
+    // On the virtual clock, straggler deadlines compare modeled rank times
+    // (item count x kVirtCostS), so retries and dead ranks are exact
+    // functions of the fault seed — gated as counters again. The seconds
+    // figures are deterministic too but stay noise-aware values: their FP
+    // summation may contract differently across compilers.
     suite.series("fault_sweep/p=" + fmt(pt.p_fail, 2))
-        .value("retries", static_cast<double>(pt.rep.retries))
-        .value("dead_ranks",
-               static_cast<double>(pt.rep.failed_ranks.size()))
+        .counter("retries", static_cast<double>(pt.rep.retries))
+        .counter("dead_ranks",
+                 static_cast<double>(pt.rep.failed_ranks.size()))
         .value("recovery_s", pt.rep.recovery_s)
         .value("t2s_s", t2s)
         .value("overhead_pct", 100.0 * (t2s / t0 - 1.0));
@@ -115,9 +122,9 @@ void node_loss_sweep(Suite& suite) {
   const idx n_ranks = 16;
   const idx n_items = 128;
   const SimCluster cluster(n_ranks);
-  const double t0 =
-      run_campaign(cluster, n_items, SimCluster::FtOptions{})
-          .time_to_solution();
+  SimCluster::FtOptions clean;
+  clean.virtual_item_cost_s = kVirtCostS;
+  const double t0 = run_campaign(cluster, n_items, clean).time_to_solution();
 
   Table t({"ranks lost", "retries", "recovery (s)", "t2s (s)",
            "slowdown vs fault-free"});
@@ -125,6 +132,7 @@ void node_loss_sweep(Suite& suite) {
     SimCluster::FtOptions opt;
     opt.max_attempts = 2;
     opt.backoff_base_s = 0.01;
+    opt.virtual_item_cost_s = kVirtCostS;
     for (idx r = 0; r < k; ++r) opt.faults.kill_ranks.push_back(r * 3);
     const SimCluster::RunReport rep = run_campaign(cluster, n_items, opt);
     const double t2s = rep.time_to_solution();
@@ -132,7 +140,7 @@ void node_loss_sweep(Suite& suite) {
            fmt(t2s, 3), fmt(t2s / t0, 2) + "x"});
     suite.series("node_loss/k=" + fmt_int(k))
         .counter("ranks_lost", static_cast<double>(k))
-        .value("retries", static_cast<double>(rep.retries))
+        .counter("retries", static_cast<double>(rep.retries))
         .value("recovery_s", rep.recovery_s)
         .value("t2s_s", t2s)
         .value("slowdown", t2s / t0);

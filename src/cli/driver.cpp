@@ -30,6 +30,7 @@
 #include "perf/machines.h"
 #include "perf/progmodel.h"
 #include "pseudobands/pseudobands.h"
+#include "sched/executor.h"
 
 namespace xgw {
 
@@ -47,7 +48,7 @@ const std::vector<std::string>& known_input_keys() {
       "peak_gflops", "mem_gbps",     "memory_budget_mb",
       "memory_budget_machine",       "spill_dir",    "validate",
       "io_retry_attempts",           "io_retry_backoff_ms",
-      "spill_verify",
+      "spill_verify", "sched_workers",
   };
   return keys;
 }
@@ -440,6 +441,15 @@ int run_job(const InputFile& in, std::ostream& os) {
   }
   mem::set_spill_verify(
       mem::parse_spill_verify(in.get_string("spill_verify", "size")));
+  {
+    // 0 = fall back to XGW_SCHED_WORKERS / serial; results are bitwise
+    // identical at any worker count, so this is a speed knob, not physics.
+    const idx workers = in.get_int("sched_workers", 0);
+    XGW_REQUIRE(workers >= 0, "sched_workers must be >= 0");
+    sched::Executor::set_default_workers(static_cast<int>(workers));
+    if (in.has("sched_workers"))
+      os << "sched_workers " << sched::Executor::default_workers() << "\n";
+  }
   if (in.has("validate"))
     os << "validate_mode " << to_string(validate_mode()) << "\n";
   if (in.has("spill_verify"))

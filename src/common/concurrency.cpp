@@ -1,0 +1,17 @@
+#include "common/concurrency.h"
+
+namespace xgw {
+
+namespace {
+thread_local int t_worker_team_size = 0;
+}  // namespace
+
+int worker_team_size() { return t_worker_team_size; }
+
+WorkerTeamScope::WorkerTeamScope(int team_size) : prev_(t_worker_team_size) {
+  t_worker_team_size = team_size;
+}
+
+WorkerTeamScope::~WorkerTeamScope() { t_worker_team_size = prev_; }
+
+}  // namespace xgw

@@ -1,0 +1,42 @@
+#pragma once
+
+// Cross-layer concurrency markers. The task-graph scheduler (src/sched)
+// runs work on std::thread workers that OpenMP knows nothing about:
+// omp_in_parallel() is false on them, so without a separate marker every
+// worker would happily spawn its own full-width OpenMP team and
+// oversubscribe the machine W-fold. Workers therefore publish their team
+// size through this thread-local, and nested-parallel degrade decisions
+// (the single dispatch point in la/gemm, the chi frequency team, the GPP
+// band loops) treat "inside a sched worker team of size > 1" exactly like
+// "inside an OpenMP parallel region". This lives in common — not sched —
+// because la and core cannot depend on the scheduler.
+//
+// Determinism note: degrading to the serial/SIMD path never changes
+// results; kParallel is bitwise-identical to kSimd by construction (fixed
+// k-block reduction order), so this marker only affects speed.
+
+namespace xgw {
+
+/// Size of the scheduler worker team the current thread belongs to.
+/// 0 on threads that are not scheduler workers (the main thread, OpenMP
+/// threads); >= 1 on an Executor worker. A value > 1 means sibling workers
+/// may be computing concurrently and nested parallelism should degrade.
+int worker_team_size();
+
+/// RAII marker set by sched::Executor around each worker's run loop.
+class WorkerTeamScope {
+ public:
+  explicit WorkerTeamScope(int team_size);
+  ~WorkerTeamScope();
+  WorkerTeamScope(const WorkerTeamScope&) = delete;
+  WorkerTeamScope& operator=(const WorkerTeamScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// True when the current thread must not spawn wide nested parallelism:
+/// it is a scheduler worker with live siblings.
+inline bool in_worker_team() { return worker_team_size() > 1; }
+
+}  // namespace xgw

@@ -6,6 +6,7 @@
 namespace xgw {
 
 std::string TimerRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << std::left << std::setw(28) << "region" << std::right << std::setw(12)
      << "seconds" << std::setw(10) << "calls" << '\n';

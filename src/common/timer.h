@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace xgw {
@@ -56,18 +57,22 @@ class TimerRegistry {
     Stopwatch sw_;
   };
 
+  /// Thread-safe: regions may close on concurrent scheduler workers.
   void add(const std::string& name, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
     auto& slot = slots_[name];
     slot.seconds += seconds;
     slot.count += 1;
   }
 
   double seconds(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = slots_.find(name);
     return it == slots_.end() ? 0.0 : it->second.seconds;
   }
 
   long calls(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = slots_.find(name);
     return it == slots_.end() ? 0 : it->second.count;
   }
@@ -75,13 +80,17 @@ class TimerRegistry {
   /// Formatted per-region report, sorted by name.
   std::string report() const;
 
-  void clear() { slots_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    slots_.clear();
+  }
 
  private:
   struct Slot {
     double seconds = 0.0;
     long count = 0;
   };
+  mutable std::mutex mu_;
   std::map<std::string, Slot> slots_;
 };
 

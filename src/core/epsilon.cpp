@@ -15,6 +15,8 @@
 #include "mem/planner.h"
 #include "obs/span.h"
 #include "runtime/checkpoint.h"
+#include "sched/executor.h"
+#include "sched/taskgraph.h"
 
 namespace xgw {
 
@@ -183,48 +185,98 @@ std::vector<ZMatrix> epsilon_inverse_multi(
     checkpoint_save_best_effort(loop.checkpoint_path, c, "epsilon");
   };
 
-  // Every iteration needs the same chi + inversion temporaries, so they
-  // live on one arena that rewinds between frequencies: the loop performs
-  // zero steady-state heap allocations (test_mem asserts this).
-  std::unique_ptr<mem::Arena> arena;
-  if (loop.use_arena) {
-    const std::size_t cap =
-        loop.arena_bytes > 0
-            ? loop.arena_bytes
-            : mem::epsilon_step_arena_bytes(mtxel.n_g(), wf.n_valence,
-                                            wf.n_conduction(),
-                                            xgw_num_threads());
-    arena = std::make_unique<mem::Arena>(cap);
-  }
-
-  for (idx k = static_cast<idx>(out.size()); k < nfreq; ++k) {
-    std::optional<mem::ArenaScope> scope;
-    if (arena) scope.emplace(*arena);
-    // One frequency at a time through the same NV-Block accumulation as
-    // the batched path: bitwise-equal to chi_multi over the full grid.
-    const std::vector<ZMatrix> chik =
-        chi_multi(mtxel, wf, omegas.subspan(static_cast<std::size_t>(k), 1),
-                  opt, nullptr,
-                  head_values.empty()
-                      ? std::span<const cplx>{}
-                      : head_values.subspan(static_cast<std::size_t>(k), 1));
-    const ZMatrix einv = epsilon_inverse(chik.front(), v);
-    require_finite(einv, "epsilon_inverse_multi: eps^{-1}(omega)");
+  // Commits (append + checkpoint cadence + simulated kill) are shared by
+  // the serial and scheduled paths so their observable behavior cannot
+  // drift apart.
+  auto commit_one = [&](ZMatrix&& einv) {
     {
-      // The result outlives the arena scope: copy it onto the tracked heap
-      // (a move would carry arena-backed storage out of the scope).
+      // The result may outlive an arena scope: copy it onto the tracked
+      // heap (a move could carry arena-backed storage out of the scope).
       mem::HeapScope heap;
       out.push_back(einv);
     }
-    // NOTE: `scope` must outlive `chik`/`einv` (declared before them), so
-    // their arena-backed storage is still bound when they destruct at the
-    // end of this iteration.
-
     const idx done = static_cast<idx>(out.size());
     if (ckpt && (done % loop.checkpoint_every == 0 || done == nfreq)) save();
     if (loop.abort_after >= 0 && done >= loop.abort_after && done < nfreq)
       throw Error("epsilon_inverse_multi: simulated job kill after " +
                   std::to_string(done) + " frequencies");
+  };
+
+  auto compute_one = [&](idx k) {
+    // One frequency at a time through the same NV-Block accumulation as
+    // the batched path: bitwise-equal to chi_multi over the full grid.
+    std::vector<ZMatrix> chik =
+        chi_multi(mtxel, wf, omegas.subspan(static_cast<std::size_t>(k), 1),
+                  opt, nullptr,
+                  head_values.empty()
+                      ? std::span<const cplx>{}
+                      : head_values.subspan(static_cast<std::size_t>(k), 1));
+    ZMatrix einv = epsilon_inverse(chik.front(), v);
+    require_finite(einv, "epsilon_inverse_multi: eps^{-1}(omega)");
+    return einv;
+  };
+
+  const int workers =
+      loop.workers >= 1 ? loop.workers : sched::Executor::default_workers();
+  const idx k0 = static_cast<idx>(out.size());
+
+  if (workers <= 1) {
+    // Serial loop. Every iteration needs the same chi + inversion
+    // temporaries, so they live on one arena that rewinds between
+    // frequencies: the loop performs zero steady-state heap allocations
+    // (test_mem asserts this).
+    std::unique_ptr<mem::Arena> arena;
+    if (loop.use_arena) {
+      const std::size_t cap =
+          loop.arena_bytes > 0
+              ? loop.arena_bytes
+              : mem::epsilon_step_arena_bytes(mtxel.n_g(), wf.n_valence,
+                                              wf.n_conduction(),
+                                              xgw_num_threads());
+      arena = std::make_unique<mem::Arena>(cap);
+    }
+    for (idx k = k0; k < nfreq; ++k) {
+      // `scope` outlives the frequency's temporaries, so their
+      // arena-backed storage is still bound when they destruct.
+      std::optional<mem::ArenaScope> scope;
+      if (arena) scope.emplace(*arena);
+      commit_one(compute_one(k));
+    }
+  } else {
+    // Task-graph loop: frequency k's COMPUTE (chi + inversion, the heavy
+    // part) runs concurrently across workers; its COMMIT is a node on a
+    // serial chain (commit k needs compute k and commit k-1), preserving
+    // the contiguous-prefix checkpoint/abort semantics and the append
+    // order bitwise. A sliding window (compute k waits for commit k-W)
+    // bounds uncommitted results in flight to ~W matrices. The arena is
+    // bypassed: its scopes are thread-bound, and tasks migrate.
+    const idx n_rem = nfreq - k0;
+    std::vector<ZMatrix> slot(static_cast<std::size_t>(n_rem));
+    sched::TaskGraph graph;
+    std::vector<sched::TaskId> compute(static_cast<std::size_t>(n_rem));
+    std::vector<sched::TaskId> commit(static_cast<std::size_t>(n_rem));
+    for (idx j = 0; j < n_rem; ++j) {
+      const idx k = k0 + j;
+      compute[static_cast<std::size_t>(j)] = graph.add_task(
+          "eps freq " + std::to_string(k),
+          [&, j, k] { slot[static_cast<std::size_t>(j)] = compute_one(k); },
+          "eps.freq");
+    }
+    for (idx j = 0; j < n_rem; ++j) {
+      commit[static_cast<std::size_t>(j)] = graph.add_task(
+          "eps commit " + std::to_string(k0 + j),
+          [&, j] { commit_one(std::move(slot[static_cast<std::size_t>(j)])); },
+          "eps.commit");
+      graph.add_edge(compute[static_cast<std::size_t>(j)],
+                     commit[static_cast<std::size_t>(j)]);
+      if (j > 0)
+        graph.add_edge(commit[static_cast<std::size_t>(j - 1)],
+                       commit[static_cast<std::size_t>(j)]);
+      if (j >= static_cast<idx>(workers))
+        graph.add_edge(commit[static_cast<std::size_t>(j - workers)],
+                       compute[static_cast<std::size_t>(j)]);
+    }
+    sched::Executor(workers).run(graph);
   }
 
   if (ckpt) checkpoint_remove(loop.checkpoint_path);

@@ -70,6 +70,14 @@ struct EpsilonLoopOptions {
   /// Arena capacity; 0 = auto-size from mem::epsilon_step_arena_bytes. An
   /// undersized arena falls back to the tracked heap (never an error).
   std::size_t arena_bytes = 0;
+  /// Scheduler workers for the frequency loop: <= 0 uses
+  /// sched::Executor::default_workers(); 1 is the exact serial loop
+  /// (including the zero-allocation arena path). With W > 1 the
+  /// frequencies run as concurrent compute tasks feeding a serial commit
+  /// chain, so checkpoint prefixes, abort_after semantics and the results
+  /// themselves are bitwise identical to the serial loop; the arena is
+  /// bypassed (its scopes are thread-bound).
+  int workers = 0;
 };
 
 /// Dense eps^{-1}(omega_k) for every grid frequency, checkpointing the

@@ -194,7 +194,11 @@ void GppDiagKernel::compute(const ZMatrix& m_ln,
         // contiguous rows of the transposed model matrices, divisions
         // replaced by a single reciprocal-multiply.
 #ifdef _OPENMP
-#pragma omp parallel for schedule(dynamic) num_threads(xgw_num_threads())
+// The chunk partials are a fixed-order reduction, so the team size never
+// changes results; skip the team entirely when the caller already owns
+// the cores (OpenMP region or sched worker team).
+#pragma omp parallel for schedule(dynamic) num_threads(xgw_num_threads()) \
+    if (!in_parallel_region())
 #endif
         for (idx chunk = 0; chunk < nchunks; ++chunk) {
           const idx lo = gprime_begin + chunk * gprime_span / nchunks;
@@ -268,7 +272,7 @@ void GppOffdiagKernel::build_p_matrix(double de, bool occupied,
   const double de2 = de * de;
 
 #ifdef _OPENMP
-#pragma omp parallel for schedule(static)
+#pragma omp parallel for schedule(static) if (!in_parallel_region())
 #endif
   for (idx g = 0; g < ng; ++g) {
     for (idx gp = 0; gp < ng; ++gp) {

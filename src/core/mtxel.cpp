@@ -50,6 +50,11 @@ const std::vector<cplx>& Mtxel::realspace(idx band, idx protect) const {
 }
 
 void Mtxel::compute_pair(idx m, idx n, cplx* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  compute_pair_unlocked(m, n, out);
+}
+
+void Mtxel::compute_pair_unlocked(idx m, idx n, cplx* out) const {
   const std::vector<cplx>& pm = realspace(m);
   const std::vector<cplx>& pn = realspace(n, /*protect=*/m);
 
@@ -79,13 +84,17 @@ void Mtxel::compute_left_fixed(idx m, std::span<const idx> n_list,
     span.arg("band", static_cast<long long>(m));
     span.add_items(static_cast<std::uint64_t>(n_list.size()));
   }
+  // One lock for the whole row-block: serializes MTXEL work across
+  // concurrent tasks while their chi/GEMM phases still overlap.
+  std::lock_guard<std::mutex> lock(mu_);
   // Pin m in the cache by touching it first.
   (void)realspace(m);
   for (std::size_t i = 0; i < n_list.size(); ++i)
-    compute_pair(m, n_list[i], out.row(static_cast<idx>(i)));
+    compute_pair_unlocked(m, n_list[i], out.row(static_cast<idx>(i)));
 }
 
 void Mtxel::to_realspace(const cplx* coeff, cplx* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::fill(out, out + box_.size(), cplx{});
   scatter_to_box(psi_sphere_, coeff, box_, out);
   fft_.backward(out);
@@ -94,6 +103,7 @@ void Mtxel::to_realspace(const cplx* coeff, cplx* out) const {
 
 void Mtxel::compute_pair_sum_realspace(std::span<const RealspacePair> pairs,
                                        cplx* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   thread_local std::vector<cplx> prod;
   prod.assign(static_cast<std::size_t>(box_.size()), cplx{});
   for (const RealspacePair& p : pairs)
@@ -108,6 +118,7 @@ void Mtxel::compute_pair_sum_realspace(std::span<const RealspacePair> pairs,
 }
 
 void Mtxel::compute_pair_raw(const cplx* cm, const cplx* cn, cplx* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   thread_local std::vector<cplx> bm, bn;
   bm.assign(static_cast<std::size_t>(box_.size()), cplx{});
   bn.assign(static_cast<std::size_t>(box_.size()), cplx{});
@@ -130,6 +141,7 @@ void Mtxel::accumulate_density(idx band, double weight,
                                std::vector<cplx>& rho_real) const {
   XGW_REQUIRE(static_cast<idx>(rho_real.size()) == box_.size(),
               "accumulate_density: box size mismatch");
+  std::lock_guard<std::mutex> lock(mu_);
   const std::vector<cplx>& psi = realspace(band);
   for (idx i = 0; i < box_.size(); ++i)
     rho_real[static_cast<std::size_t>(i)] +=
@@ -137,6 +149,7 @@ void Mtxel::accumulate_density(idx band, double weight,
 }
 
 void Mtxel::clear_cache() const {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
   cache_order_.clear();
 }

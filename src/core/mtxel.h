@@ -11,7 +11,16 @@
 // Both stream over a FIXED left band m with many right bands n, so the
 // kernel caches real-space wavefunctions psi(r) per band with an explicit,
 // bounded cache (the memory wall the NV-Block algorithm manages).
+//
+// Thread safety: every public compute method takes an internal mutex for
+// its full duration, so one Mtxel may be shared by concurrent scheduler
+// tasks (sigma bands, epsilon frequencies). The FIFO cache means results
+// never depend on call order — serialization only affects timing. The
+// references returned by band_realspace() are only stable while no other
+// thread can trigger an eviction; concurrent callers must copy under
+// their own task-local storage instead of holding them.
 
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -61,8 +70,10 @@ class Mtxel {
 
   /// Real-space psi of a band through the FIFO cache (at most one FFT).
   /// The reference is valid only until the next call that may evict —
-  /// copy it out before triggering further cached transforms.
+  /// copy it out before triggering further cached transforms (and never
+  /// hold it across concurrent compute calls from other threads).
   const std::vector<cplx>& band_realspace(idx band) const {
+    std::lock_guard<std::mutex> lock(mu_);
     return realspace(band);
   }
 
@@ -83,11 +94,17 @@ class Mtxel {
   const Fft3d& fft() const { return fft_; }
 
   /// Number of FFTs executed so far (performance accounting).
-  long fft_count() const { return fft_count_; }
+  long fft_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fft_count_;
+  }
 
   /// Peak number of cached real-space bands so far (memory accounting,
   /// exercised by the NV-Block benchmark).
-  idx peak_cache_entries() const { return peak_cache_; }
+  idx peak_cache_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_cache_;
+  }
 
   /// Drop all cached real-space wavefunctions.
   void clear_cache() const;
@@ -95,8 +112,12 @@ class Mtxel {
  private:
   /// Real-space psi_n on the box, from cache or computed (and cached if the
   /// cache has room; eviction is FIFO). `protect` (if >= 0) is never
-  /// evicted — compute_pair holds a live reference to it.
+  /// evicted — compute_pair holds a live reference to it. Caller must hold
+  /// mu_.
   const std::vector<cplx>& realspace(idx band, idx protect = -1) const;
+
+  /// compute_pair body without the lock (shared by compute_left_fixed).
+  void compute_pair_unlocked(idx m, idx n, cplx* out) const;
 
   const GSphere& psi_sphere_;
   const GSphere& eps_sphere_;
@@ -105,6 +126,9 @@ class Mtxel {
   Fft3d fft_;
   idx max_cached_;
 
+  /// Serializes cache access, the shared FFT object, and the accounting
+  /// counters across concurrent scheduler tasks.
+  mutable std::mutex mu_;
   mutable std::unordered_map<idx, std::vector<cplx>> cache_;
   mutable std::vector<idx> cache_order_;
   mutable long fft_count_ = 0;

@@ -10,6 +10,7 @@
 #include "la/eig.h"
 #include "obs/span.h"
 #include "runtime/checkpoint.h"
+#include "sched/run_items.h"
 
 namespace xgw {
 
@@ -155,10 +156,10 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
   const Wavefunctions& wf = wavefunctions();
   const GppDiagKernel kernel(gpp(), coulomb_);
 
-  std::vector<QpResult> results;
-  results.reserve(bands.size());
+  std::vector<QpResult> results(bands.size());
 
-  for (idx l : bands) {
+  auto compute_band = [&](idx bi) {
+    const idx l = bands[static_cast<std::size_t>(bi)];
     XGW_REQUIRE(l >= 0 && l < wf.n_bands(), "sigma_diag: band out of range");
     ZMatrix m_ln;
     {
@@ -196,7 +197,21 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
     r.dsigma_de = qp.dsigma_de;
     r.z = qp.z;
     r.e_qp = qp.e_qp;
-    results.push_back(r);
+    results[static_cast<std::size_t>(bi)] = r;
+  };
+
+  // Bands write disjoint result slots and the GPP kernel's two-stage
+  // reduction is thread-count invariant, so the band loop runs as
+  // scheduler tasks when workers are available (kernel construction above
+  // already primed every lazy cache). The shared FlopCounter is the one
+  // non-disjoint accumulator — callers that count FLOPs get the serial
+  // loop.
+  const int workers = sched::Executor::default_workers();
+  const idx nb = static_cast<idx>(bands.size());
+  if (workers > 1 && nb > 1 && flops == nullptr) {
+    sched::run_items(nb, compute_band, workers, "sigma.band");
+  } else {
+    for (idx bi = 0; bi < nb; ++bi) compute_band(bi);
   }
   return results;
 }

@@ -9,6 +9,7 @@
 #include "mem/planner.h"
 #include "mem/tracker.h"
 #include "obs/span.h"
+#include "sched/run_items.h"
 
 namespace xgw {
 
@@ -182,10 +183,10 @@ std::vector<FfResult> sigma_ff_diag(GwCalculation& gw, const FfScreening& scr,
   const idx ng = gw.n_g();
   const idx nk = static_cast<idx>(scr.omegas.size());
 
-  std::vector<FfResult> out;
-  out.reserve(bands.size());
+  std::vector<FfResult> out(bands.size());
 
-  for (idx l : bands) {
+  auto compute_band = [&](idx bi) {
+    const idx l = bands[static_cast<std::size_t>(bi)];
     XGW_REQUIRE(l >= 0 && l < wf.n_bands(), "sigma_ff_diag: band range");
     const ZMatrix m_ln = gw.m_matrix_left(l);
     const double e0 = wf.energy[static_cast<std::size_t>(l)];
@@ -244,7 +245,23 @@ std::vector<FfResult> sigma_ff_diag(GwCalculation& gw, const FfScreening& scr,
     if (!(z > 0.0) || z > 2.0) z = std::clamp(z, 0.0, 2.0);
     r.z = z;
     r.e_qp = e0 + z * (sx.real() + sc[0].real());
-    out.push_back(r);
+    out[static_cast<std::size_t>(bi)] = r;
+  };
+
+  // Bands are independent (disjoint out slots, per-band locals), so they
+  // run as scheduler tasks — UNLESS the B^k v store is spilling: get(k)
+  // then pages entries in and out (reference stability and LRU state are
+  // single-thread contracts, mem/spill.h). Mtxel is internally locked, so
+  // concurrent m_matrix_left calls serialize on the FFT cache while the
+  // correlation kernels overlap. Results are bitwise identical at any
+  // worker count.
+  const int workers = sched::Executor::default_workers();
+  const idx nb = static_cast<idx>(bands.size());
+  if (workers > 1 && nb > 1 && !scr.bv.spilling()) {
+    (void)gw.mtxel();  // prime the lazy cache before tasks race to it
+    sched::run_items(nb, compute_band, workers, "sigma_ff.band");
+  } else {
+    for (idx bi = 0; bi < nb; ++bi) compute_band(bi);
   }
   return out;
 }

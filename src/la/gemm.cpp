@@ -7,6 +7,7 @@
 #include <omp.h>
 #endif
 
+#include "common/concurrency.h"
 #include "la/autotune.h"
 #include "la/microkernel.h"
 #include "obs/metrics.h"
@@ -36,6 +37,7 @@ std::pair<idx, idx> op_shape(Op op, const ZMatrix& a) {
 }
 
 bool in_parallel_region() {
+  if (in_worker_team()) return true;
 #ifdef _OPENMP
   return omp_in_parallel() != 0;
 #else

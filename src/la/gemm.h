@@ -151,9 +151,13 @@ void zgemm_v3_explicit(const GemmV3Config& cfg, Op opa, Op opb, cplx alpha,
 /// traces can attribute the true execution path. Never returns kAuto.
 GemmVariant resolved_gemm_variant(GemmVariant requested, idx m, idx n, idx k);
 
-/// True when called from inside an ACTIVE OpenMP parallel region (team
-/// size > 1); false in serial builds. Kernels that spawn teams use this to
-/// degrade to their serial variant instead of oversubscribing.
+/// True when the calling thread must not spawn a wide team: inside an
+/// ACTIVE OpenMP parallel region (team size > 1), or on a task-graph
+/// scheduler worker with live siblings (common/concurrency.h — OpenMP
+/// cannot see those std::thread workers, so omp_in_parallel() alone would
+/// let W workers each spawn a full team and oversubscribe W-fold).
+/// Kernels that spawn teams use this to degrade to their serial variant;
+/// the degraded variants are bitwise-identical, so only speed changes.
 bool in_parallel_region();
 
 /// Thread budget for xgw's own parallel kernels: XGW_NUM_THREADS when set

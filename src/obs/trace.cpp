@@ -35,6 +35,7 @@ void TraceRecorder::clear() {
   process_names_.clear();
   track_names_.clear();
   next_vpid_ = 100;
+  next_vseq_ = 0;
   orphan_flops_.store(0, std::memory_order_relaxed);
 }
 
@@ -76,6 +77,7 @@ void TraceRecorder::record_complete(const char* name, const char* cat,
   e.tid = buf.tid;
   e.ts_us = ts_us;
   e.dur_us = dur_us;
+  e.seq = buf.next_seq++;
   e.counters = counters;
   e.args = std::move(args);
 }
@@ -92,6 +94,7 @@ void TraceRecorder::record_instant(const char* name, const char* cat,
   e.pid = kRealPid;
   e.tid = buf.tid;
   e.ts_us = ts;
+  e.seq = buf.next_seq++;
   e.args = std::move(args);
 }
 
@@ -121,6 +124,7 @@ void TraceRecorder::virtual_complete(std::uint32_t pid, std::uint32_t tid,
   e.tid = tid;
   e.ts_us = ts_s * 1e6;
   e.dur_us = dur_s * 1e6;
+  e.seq = next_vseq_++;
   e.args = std::move(args);
 }
 
@@ -135,6 +139,7 @@ void TraceRecorder::virtual_instant(std::uint32_t pid, std::uint32_t tid,
   e.pid = pid;
   e.tid = tid;
   e.ts_us = ts_s * 1e6;
+  e.seq = next_vseq_++;
   e.args = std::move(args);
 }
 
@@ -149,14 +154,17 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
     all.insert(all.end(), virtual_events_.begin(), virtual_events_.end());
   }
   // Each (pid, tid) track monotonic in ts; at equal ts the longer span
-  // first so nested children follow their parent.
-  std::stable_sort(all.begin(), all.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     if (a.pid != b.pid) return a.pid < b.pid;
-                     if (a.tid != b.tid) return a.tid < b.tid;
-                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
-                     return a.dur_us > b.dur_us;
-                   });
+  // first so nested children follow their parent; remaining ties fall back
+  // to the per-track sequence number, so the order is independent of how
+  // concurrent writers interleaved their appends.
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.pid != b.pid) return a.pid < b.pid;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.seq < b.seq;
+            });
   return all;
 }
 
@@ -171,16 +179,30 @@ std::string TraceRecorder::chrome_trace_json() const {
   };
 
   {
+    // Registration order of names is racy when scheduler workers announce
+    // their tracks concurrently; sort by id so the export is deterministic
+    // at any worker count (stable: re-registrations keep arrival order, the
+    // last one wins in Perfetto).
     std::lock_guard<std::mutex> lock(mu_);
+    auto pnames = process_names_;
+    std::stable_sort(pnames.begin(), pnames.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    auto tnames = track_names_;
+    std::stable_sort(tnames.begin(), tnames.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
     sep();
     os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kRealPid
        << ",\"tid\":0,\"args\":{\"name\":\"xgw (real time)\"}}";
-    for (const auto& [pid, name] : process_names_) {
+    for (const auto& [pid, name] : pnames) {
       sep();
       os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
          << ",\"tid\":0,\"args\":{\"name\":" << json::quote(name) << "}}";
     }
-    for (const auto& [key, name] : track_names_) {
+    for (const auto& [key, name] : tnames) {
       sep();
       os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
          << ",\"tid\":" << key.second

@@ -80,6 +80,15 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   double ts_us = 0.0;
   double dur_us = 0.0;
+  /// Recorder-assigned sequence number, the final sort tie-break in
+  /// snapshot(). Each track has one writer at a time (a thread owns its
+  /// real-time buffer; a virtual rank track is written by whichever task
+  /// simulates that rank, and those writes form a happens-before chain), so
+  /// the per-track subsequence of seq values is increasing in program order
+  /// no matter how tracks from concurrent scheduler workers interleave in
+  /// the shared buffer. Exports are therefore deterministic at any worker
+  /// count.
+  std::uint64_t seq = 0;
   TraceCounters counters;
   std::string args;
 };
@@ -139,8 +148,10 @@ class TraceRecorder {
 
   // --- export -----------------------------------------------------------
 
-  /// All buffered events, sorted by (pid, tid, ts, -dur) so each track is
-  /// monotonic and nested spans appear parent-first.
+  /// All buffered events, sorted by (pid, tid, ts, -dur, seq) so each track
+  /// is monotonic, nested spans appear parent-first, and same-timestamp
+  /// events keep their per-track program order regardless of how concurrent
+  /// writers interleaved. The result is deterministic at any worker count.
   std::vector<TraceEvent> snapshot() const;
 
   /// Chrome trace_event JSON ({"traceEvents": [...]}).
@@ -173,6 +184,7 @@ class TraceRecorder {
   struct ThreadBuf {
     std::mutex mu;
     std::uint32_t tid = 0;
+    std::uint64_t next_seq = 0;
     std::vector<TraceEvent> events;
   };
 
@@ -187,6 +199,7 @@ class TraceRecorder {
   std::vector<std::pair<std::pair<std::uint32_t, std::uint32_t>, std::string>>
       track_names_;
   std::uint32_t next_vpid_ = 100;
+  std::uint64_t next_vseq_ = 0;
 
   std::atomic<std::uint64_t> orphan_flops_{0};
   std::chrono::steady_clock::time_point epoch_ =

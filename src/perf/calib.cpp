@@ -1,0 +1,32 @@
+#include "perf/calib.h"
+
+#include <algorithm>
+
+namespace xgw::perf {
+
+double parallel_efficiency(const MeasuredRun& run) {
+  if (run.workers <= 0 || run.wall_s <= 0.0 || run.busy_s <= 0.0) return 1.0;
+  const double eff =
+      run.busy_s / (static_cast<double>(run.workers) * run.wall_s);
+  return std::clamp(eff, 1e-6, 1.0);
+}
+
+double calibrated_eff_scale(std::span<const MeasuredRun> runs) {
+  const MeasuredRun* widest = nullptr;
+  for (const MeasuredRun& r : runs)
+    if (widest == nullptr || r.workers > widest->workers) widest = &r;
+  return widest != nullptr ? parallel_efficiency(*widest) : 1.0;
+}
+
+SigmaWorkload calibrate_workload(SigmaWorkload w,
+                                 std::span<const MeasuredRun> runs) {
+  w.eff_scale *= calibrated_eff_scale(runs);
+  return w;
+}
+
+MeasuredRun measured_run(const SimCluster::RunReport& report) {
+  return MeasuredRun{report.workers, report.measured_wall_s,
+                     report.measured_busy_s};
+}
+
+}  // namespace xgw::perf

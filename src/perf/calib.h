@@ -1,0 +1,46 @@
+#pragma once
+
+// Calibration bridge between MEASURED scheduler runs and the alpha-beta
+// machine-scale projector (perf/scaling.h). The projector's "what-if at
+// 9,408 nodes" numbers used to be anchored on serial replay; with the
+// task-graph runtime the same workload runs for real at 1..N workers, and
+// the measured parallel efficiency at the widest worker count becomes the
+// honest on-node efficiency anchor: it multiplies into the workload's
+// eff_scale exactly like the paper's own fitted efficiency factors.
+
+#include <span>
+
+#include "perf/scaling.h"
+#include "runtime/simcluster.h"
+
+namespace xgw::perf {
+
+/// One measured scheduler run of a fixed workload at a given worker count
+/// (taken from SimCluster::RunReport's measured_* fields, or directly from
+/// sched::ExecStats).
+struct MeasuredRun {
+  idx workers = 1;
+  double wall_s = 0.0;  ///< real wall time of the run
+  double busy_s = 0.0;  ///< summed task execution time across workers
+};
+
+/// busy / (workers * wall): 1.0 = perfect strong scaling on this host.
+/// Clamped to (0, 1] — measurement jitter must not "improve" the model.
+double parallel_efficiency(const MeasuredRun& run);
+
+/// The calibration factor the projector should fold into
+/// SigmaWorkload::eff_scale: the measured efficiency at the WIDEST worker
+/// count in `runs` (the closest measured analogue of a full node).
+/// Returns 1.0 (no correction) for an empty sample set.
+double calibrated_eff_scale(std::span<const MeasuredRun> runs);
+
+/// Convenience: workload with eff_scale multiplied by the measured-run
+/// calibration — feed this to ScalingSimulator instead of the raw
+/// workload for measurement-anchored projections.
+SigmaWorkload calibrate_workload(SigmaWorkload w,
+                                 std::span<const MeasuredRun> runs);
+
+/// Extracts the calibration sample from a cluster run report.
+MeasuredRun measured_run(const SimCluster::RunReport& report);
+
+}  // namespace xgw::perf

@@ -11,6 +11,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/dist.h"
+#include "sched/executor.h"
+#include "sched/taskgraph.h"
 
 namespace xgw {
 
@@ -49,14 +51,14 @@ std::string SimCluster::RunReport::gantt(idx width) const {
   return os.str();
 }
 
-SimCluster::RunReport SimCluster::run(
-    const std::function<void(idx rank)>& fn) const {
+SimCluster::RunReport SimCluster::run(const std::function<void(idx rank)>& fn,
+                                      int workers) const {
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(n_ranks_));
 
-  // One virtual-time track per simulated rank: ranks execute sequentially
-  // on the host, but the modeled machine runs them concurrently, so every
-  // rank's work is drawn from virtual t = 0.
+  // One virtual-time track per simulated rank: the modeled machine runs
+  // every rank concurrently, so each rank's work is drawn from virtual
+  // t = 0 regardless of when the host actually executed it.
   const bool tr = obs::trace_enabled();
   std::uint32_t vpid = 0;
   if (tr) {
@@ -67,16 +69,34 @@ SimCluster::RunReport SimCluster::run(
                                          "rank " + std::to_string(r));
   }
 
+  // One task per rank; the join node gives the graph its barrier edge
+  // structure. Per-rank times land in disjoint slots and are summed in
+  // rank order below, so serial_s is bitwise-deterministic.
+  std::vector<double> rank_time(static_cast<std::size_t>(n_ranks_), 0.0);
+  sched::TaskGraph graph;
+  for (idx r = 0; r < n_ranks_; ++r)
+    graph.add_task("rank " + std::to_string(r),
+                   [&fn, &rank_time, r] {
+                     Stopwatch sw;
+                     fn(r);
+                     rank_time[static_cast<std::size_t>(r)] = sw.elapsed();
+                   },
+                   "sim.rank");
+  const sched::TaskId join = graph.add_task("ranks join", [] {}, "sim.join");
+  for (idx r = 0; r < n_ranks_; ++r) graph.add_edge(r, join);
+  const sched::ExecStats stats = sched::Executor(workers).run(graph);
+
   for (idx r = 0; r < n_ranks_; ++r) {
-    Stopwatch sw;
-    fn(r);
-    const double t = sw.elapsed();
+    const double t = rank_time[static_cast<std::size_t>(r)];
     report.ranks[static_cast<std::size_t>(r)].compute_s = t;
     report.serial_s += t;
     if (tr)
       obs::recorder().virtual_complete(vpid, static_cast<std::uint32_t>(r),
                                        "run", "sim", 0.0, t);
   }
+  report.workers = static_cast<idx>(stats.workers);
+  report.measured_wall_s = stats.wall_s;
+  report.measured_busy_s = stats.busy_s;
   return report;
 }
 
@@ -109,6 +129,7 @@ SimCluster::RunReport SimCluster::run_items_ft(
   const BlockDist dist(n_items, n_ranks_);
   const FaultInjector inj(opt.faults);
   const bool inject = opt.faults.enabled();
+  const bool virt = opt.virtual_item_cost_s > 0.0;
 
   RunReport report;
   report.ranks.resize(static_cast<std::size_t>(n_ranks_));
@@ -133,7 +154,11 @@ SimCluster::RunReport SimCluster::run_items_ft(
   // Executes items [b, e) as one attempt of `rank`; applies the injected
   // fate, then validates the exposed outputs (catching both injected and
   // genuine NaN/Inf at the rank edge). Recovery re-executions pass
-  // inject = false: they model re-running on a known-good node.
+  // inject = false: they model re-running on a known-good node. With the
+  // virtual clock enabled, the attempt is charged a deterministic modeled
+  // cost instead of measured wall time — fault decisions stay identical,
+  // but every downstream time-derived decision (straggler deadlines) and
+  // accumulator becomes exactly reproducible.
   auto attempt_items = [&](idx rank, int attempt, idx b, idx e,
                            bool with_faults) -> AttemptResult {
     const FaultKind kind =
@@ -143,7 +168,8 @@ SimCluster::RunReport SimCluster::run_items_ft(
     ctx.attempt_ = attempt;
     Stopwatch sw;
     for (idx i = b; i < e; ++i) item_fn(i, ctx);
-    double t = sw.elapsed();
+    double t = virt ? static_cast<double>(e - b) * opt.virtual_item_cost_s
+                    : sw.elapsed();
 
     if (kind == FaultKind::kCrash) {
       // Node died partway through: the completed fraction of the attempt
@@ -168,11 +194,22 @@ SimCluster::RunReport SimCluster::run_items_ft(
     return {true, kind, t};
   };
 
-  std::vector<double> rank_time(static_cast<std::size_t>(n_ranks_), 0.0);
-  std::vector<idx> dead;
+  // Per-rank accounting slots: each rank task writes ONLY its own slot,
+  // and the final report sums them in fixed rank order — the disjoint-
+  // writes + fixed-order-reduction discipline that makes the ledger (and
+  // the floating-point recovery_s) bitwise identical at any worker count.
+  struct RankSlot {
+    double time = 0.0;      ///< accumulated attempt time (virtual or wall)
+    double recovery = 0.0;  ///< backoff + respawn cost of this rank's retries
+    long retries = 0;
+    bool dead = false;
+  };
+  std::vector<RankSlot> slot(static_cast<std::size_t>(n_ranks_));
 
-  for (idx r = 0; r < n_ranks_; ++r) {
+  // Attempt loop for one rank — the body of that rank's task node.
+  auto run_rank = [&](idx r) {
     const idx b = dist.begin(r), e = dist.end(r);
+    RankSlot& s = slot[static_cast<std::size_t>(r)];
     double acc = 0.0;
     bool ok = false;
     for (int attempt = 0; attempt < opt.max_attempts; ++attempt) {
@@ -200,128 +237,161 @@ SimCluster::RunReport SimCluster::run_items_ft(
       // Failed attempt: exponential-backoff restart plus re-fetching the
       // rank's input state — charged through the network model so recovery
       // shows up honestly in time_to_solution().
-      report.retries += 1;
+      s.retries += 1;
       obs::metrics().counter("simcluster.retries").inc();
-      report.recovery_s += opt.backoff_base_s * std::ldexp(1.0, attempt) +
-                           net_.p2p(opt.respawn_bytes);
+      s.recovery += opt.backoff_base_s * std::ldexp(1.0, attempt) +
+                    net_.p2p(opt.respawn_bytes);
       if (tr)
         obs::recorder().virtual_instant(
             vpid, vtid(r), "retry", "sim", acc,
             "\"attempt\":" + std::to_string(attempt));
     }
-    rank_time[static_cast<std::size_t>(r)] = acc;
+    s.time = acc;
     if (!ok) {
-      dead.push_back(r);
+      s.dead = true;
       obs::metrics().counter("simcluster.rank_deaths").inc();
       if (tr)
         obs::recorder().virtual_instant(vpid, vtid(r), "rank_dead", "fault",
                                         acc);
     }
-  }
+  };
 
-  std::vector<idx> survivors;
-  for (idx r = 0; r < n_ranks_; ++r)
-    if (std::find(dead.begin(), dead.end(), r) == dead.end())
-      survivors.push_back(r);
-  XGW_REQUIRE(!survivors.empty(),
-              "run_items_ft: every rank failed; cluster lost");
+  // State written by the (exclusive) recovery nodes below; `rank_time`
+  // aliasing the slots keeps the recovery code close to the math.
+  std::vector<idx> dead, survivors;
+  double redist_recovery_s = 0.0;
+  double straggler_recovery_s = 0.0;
+  long straggler_retries = 0;
+  bool degraded = false;
 
-  // Dead ranks: re-decompose their item blocks over the survivors.
-  for (idx d : dead) {
-    const idx nb = dist.count(d);
-    if (nb > 0) {
-      if (tr)
-        obs::recorder().virtual_instant(
-            vpid, vtid(d), "redistribute", "sim",
-            rank_time[static_cast<std::size_t>(d)],
-            "\"items\":" + std::to_string(nb) + ",\"survivors\":" +
-                std::to_string(survivors.size()));
-      const BlockDist redist(nb, static_cast<idx>(survivors.size()));
-      for (std::size_t si = 0; si < survivors.size(); ++si) {
-        const idx s = survivors[si];
-        const idx gb = dist.begin(d) + redist.begin(static_cast<idx>(si));
-        const idx ge = dist.begin(d) + redist.end(static_cast<idx>(si));
-        if (gb == ge) continue;
-        const double t0 = rank_time[static_cast<std::size_t>(s)];
-        const AttemptResult res =
-            attempt_items(s, opt.max_attempts, gb, ge, false);
-        XGW_REQUIRE(res.ok, "run_items_ft: recovery execution failed");
-        rank_time[static_cast<std::size_t>(s)] += res.compute_s;
+  // Dead-rank redistribution node: depends on EVERY rank task, so by the
+  // time it runs it is the only task in flight and may read all slots.
+  auto redistribute = [&] {
+    for (idx r = 0; r < n_ranks_; ++r)
+      (slot[static_cast<std::size_t>(r)].dead ? dead : survivors).push_back(r);
+    XGW_REQUIRE(!survivors.empty(),
+                "run_items_ft: every rank failed; cluster lost");
+    for (idx d : dead) {
+      const idx nb = dist.count(d);
+      if (nb > 0) {
         if (tr)
-          obs::recorder().virtual_complete(
-              vpid, vtid(s), "recover", "sim", t0, res.compute_s,
-              "\"from_rank\":" + std::to_string(d) + ",\"items\":\"[" +
-                  std::to_string(gb) + "," + std::to_string(ge) + ")\"");
+          obs::recorder().virtual_instant(
+              vpid, vtid(d), "redistribute", "sim",
+              slot[static_cast<std::size_t>(d)].time,
+              "\"items\":" + std::to_string(nb) + ",\"survivors\":" +
+                  std::to_string(survivors.size()));
+        const BlockDist redist(nb, static_cast<idx>(survivors.size()));
+        for (std::size_t si = 0; si < survivors.size(); ++si) {
+          const idx s = survivors[si];
+          const idx gb = dist.begin(d) + redist.begin(static_cast<idx>(si));
+          const idx ge = dist.begin(d) + redist.end(static_cast<idx>(si));
+          if (gb == ge) continue;
+          const double t0 = slot[static_cast<std::size_t>(s)].time;
+          const AttemptResult res =
+              attempt_items(s, opt.max_attempts, gb, ge, false);
+          XGW_REQUIRE(res.ok, "run_items_ft: recovery execution failed");
+          slot[static_cast<std::size_t>(s)].time += res.compute_s;
+          if (tr)
+            obs::recorder().virtual_complete(
+                vpid, vtid(s), "recover", "sim", t0, res.compute_s,
+                "\"from_rank\":" + std::to_string(d) + ",\"items\":\"[" +
+                    std::to_string(gb) + "," + std::to_string(ge) + ")\"");
+        }
+        // The dead rank's inputs are shipped to every survivor.
+        redist_recovery_s +=
+            net_.bcast(opt.respawn_bytes, static_cast<idx>(survivors.size()));
       }
-      // The dead rank's inputs are shipped to every survivor.
-      report.recovery_s +=
-          net_.bcast(opt.respawn_bytes, static_cast<idx>(survivors.size()));
+      degraded = true;
     }
-    report.degraded = true;
-  }
-  report.failed_ranks = dead;
+  };
 
-  // Straggler detection: surviving ranks far beyond the median are
-  // cancelled at the deadline and their items re-decomposed, mirroring the
-  // dead-rank path (work-stealing recovery).
-  if (opt.straggler_deadline > 0.0 && survivors.size() >= 2) {
+  // Straggler node (depends on redistribution): surviving ranks far beyond
+  // the median are cancelled at the deadline and their items re-decomposed,
+  // mirroring the dead-rank path (work-stealing recovery). On the virtual
+  // clock the rank times — and therefore every cancellation decision — are
+  // exact model quantities, reproducible at any worker count.
+  auto cancel_stragglers = [&] {
+    if (!(opt.straggler_deadline > 0.0) || survivors.size() < 2) return;
     std::vector<double> times;
     times.reserve(survivors.size());
     for (idx s : survivors)
-      times.push_back(rank_time[static_cast<std::size_t>(s)]);
+      times.push_back(slot[static_cast<std::size_t>(s)].time);
     std::nth_element(times.begin(), times.begin() + times.size() / 2,
                      times.end());
     const double median = times[times.size() / 2];
     const double deadline =
         std::max(opt.straggler_deadline * median, opt.straggler_min_s);
-    if (median > 0.0) {
-      std::vector<idx> stragglers, healthy;
-      for (idx s : survivors)
-        (rank_time[static_cast<std::size_t>(s)] > deadline ? stragglers
-                                                           : healthy)
-            .push_back(s);
-      if (!healthy.empty()) {
-        for (idx r : stragglers) {
-          const idx nb = dist.count(r);
-          if (nb > 0) {
-            const BlockDist redist(nb, static_cast<idx>(healthy.size()));
-            for (std::size_t si = 0; si < healthy.size(); ++si) {
-              const idx s = healthy[si];
-              const idx gb =
-                  dist.begin(r) + redist.begin(static_cast<idx>(si));
-              const idx ge = dist.begin(r) + redist.end(static_cast<idx>(si));
-              if (gb == ge) continue;
-              const double t0 = rank_time[static_cast<std::size_t>(s)];
-              const AttemptResult res =
-                  attempt_items(s, opt.max_attempts, gb, ge, false);
-              XGW_REQUIRE(res.ok,
-                          "run_items_ft: straggler recovery failed");
-              rank_time[static_cast<std::size_t>(s)] += res.compute_s;
-              if (tr)
-                obs::recorder().virtual_complete(
-                    vpid, vtid(s), "recover", "sim", t0, res.compute_s,
-                    "\"from_rank\":" + std::to_string(r));
-            }
-            report.recovery_s += net_.bcast(
-                opt.respawn_bytes, static_cast<idx>(healthy.size()));
-          }
-          // The straggler is cancelled the moment the deadline fires.
-          rank_time[static_cast<std::size_t>(r)] = deadline;
-          report.retries += 1;
+    if (median <= 0.0) return;
+    std::vector<idx> stragglers, healthy;
+    for (idx s : survivors)
+      (slot[static_cast<std::size_t>(s)].time > deadline ? stragglers
+                                                         : healthy)
+          .push_back(s);
+    if (healthy.empty()) return;
+    for (idx r : stragglers) {
+      const idx nb = dist.count(r);
+      if (nb > 0) {
+        const BlockDist redist(nb, static_cast<idx>(healthy.size()));
+        for (std::size_t si = 0; si < healthy.size(); ++si) {
+          const idx s = healthy[si];
+          const idx gb = dist.begin(r) + redist.begin(static_cast<idx>(si));
+          const idx ge = dist.begin(r) + redist.end(static_cast<idx>(si));
+          if (gb == ge) continue;
+          const double t0 = slot[static_cast<std::size_t>(s)].time;
+          const AttemptResult res =
+              attempt_items(s, opt.max_attempts, gb, ge, false);
+          XGW_REQUIRE(res.ok, "run_items_ft: straggler recovery failed");
+          slot[static_cast<std::size_t>(s)].time += res.compute_s;
           if (tr)
-            obs::recorder().virtual_instant(vpid, vtid(r),
-                                            "straggler_cancelled", "fault",
-                                            deadline);
+            obs::recorder().virtual_complete(
+                vpid, vtid(s), "recover", "sim", t0, res.compute_s,
+                "\"from_rank\":" + std::to_string(r));
         }
+        straggler_recovery_s +=
+            net_.bcast(opt.respawn_bytes, static_cast<idx>(healthy.size()));
       }
+      // The straggler is cancelled the moment the deadline fires.
+      slot[static_cast<std::size_t>(r)].time = deadline;
+      straggler_retries += 1;
+      if (tr)
+        obs::recorder().virtual_instant(vpid, vtid(r), "straggler_cancelled",
+                                        "fault", deadline);
     }
-  }
+  };
 
+  // The fault-tolerant run as an explicit task graph: R concurrent rank
+  // nodes -> redistribution -> straggler cancellation. One worker executes
+  // the graph in deterministic Kahn order — exactly the old serial code
+  // path; W workers overlap the rank attempts for real.
+  sched::TaskGraph graph;
+  for (idx r = 0; r < n_ranks_; ++r)
+    graph.add_task("ft rank " + std::to_string(r), [&run_rank, r] { run_rank(r); },
+                   "ft.rank", static_cast<double>(dist.count(r)));
+  const sched::TaskId redist_id =
+      graph.add_task("redistribute", redistribute, "ft.redistribute");
+  for (idx r = 0; r < n_ranks_; ++r) graph.add_edge(r, redist_id);
+  const sched::TaskId straggle_id =
+      graph.add_task("stragglers", cancel_stragglers, "ft.straggler");
+  graph.add_edge(redist_id, straggle_id);
+  const sched::ExecStats stats = sched::Executor(opt.workers).run(graph);
+
+  // Fixed-order reduction of the per-rank slots (rank ascending, then the
+  // redistribution and straggler phases) — the exact accumulation order of
+  // the old serial implementation.
   for (idx r = 0; r < n_ranks_; ++r) {
-    report.ranks[static_cast<std::size_t>(r)].compute_s =
-        rank_time[static_cast<std::size_t>(r)];
-    report.serial_s += rank_time[static_cast<std::size_t>(r)];
+    const RankSlot& s = slot[static_cast<std::size_t>(r)];
+    report.ranks[static_cast<std::size_t>(r)].compute_s = s.time;
+    report.serial_s += s.time;
+    report.retries += s.retries;
+    report.recovery_s += s.recovery;
   }
+  report.recovery_s += redist_recovery_s + straggler_recovery_s;
+  report.retries += straggler_retries;
+  report.failed_ranks = dead;
+  report.degraded = degraded;
+  report.workers = static_cast<idx>(stats.workers);
+  report.measured_wall_s = stats.wall_s;
+  report.measured_busy_s = stats.busy_s;
   return report;
 }
 

@@ -1,12 +1,24 @@
 #pragma once
 
 // Simulated-cluster execution engine: run a rank-decomposed computation
-// rank-by-rank ON THIS MACHINE, measure each rank's real compute time, and
-// assemble the distributed-run timeline (slowest-rank time-to-solution plus
-// modeled collective costs). This is the "functional MPI" layer behind the
+// ON THIS MACHINE, measure each rank's real compute time, and assemble the
+// distributed-run timeline (slowest-rank time-to-solution plus modeled
+// collective costs). This is the "functional MPI" layer behind the
 // measured strong/weak-scaling parts of the figure benches: the
 // decomposition logic and the per-rank work are real; only the network is
 // a model.
+//
+// Hybrid simulated/real runtime (ROADMAP item 2): ranks execute as nodes
+// of a sched::TaskGraph on a worker pool, so with W > 1 workers they run
+// ACTUALLY CONCURRENTLY — real comm/compute overlap, honest multicore
+// wall time — while the alpha-beta network model stays in place as the
+// "what-if at 9,408 nodes" projector. The measured_{wall,busy}_s fields
+// of the report feed the projector's calibration (perf/calib.h): measured
+// 1..N-worker efficiency replaces serial replay as its anchor. Results
+// are bitwise identical at any worker count because rank lambdas write
+// disjoint outputs and every cross-rank reduction here sums in fixed rank
+// order (the GEMM engine's determinism discipline, applied to the
+// runtime).
 //
 // Fault-tolerant path (run_items_ft): work items are block-distributed over
 // ranks and each rank attempt is subject to the seeded FaultInjector.
@@ -74,6 +86,11 @@ class SimCluster {
     double recovery_s = 0.0;        ///< modeled backoff + redistribution time
     bool degraded = false;          ///< finished on fewer ranks than launched
 
+    // Scheduler measurement (alpha-beta calibration inputs, perf/calib.h).
+    idx workers = 1;               ///< scheduler workers this run used
+    double measured_wall_s = 0.0;  ///< real wall time of the whole run
+    double measured_busy_s = 0.0;  ///< summed task execution time
+
     /// Distributed time-to-solution: slowest rank + communication +
     /// recovery overhead.
     double time_to_solution() const;
@@ -83,10 +100,13 @@ class SimCluster {
     std::string gantt(idx width = 50) const;
   };
 
-  /// Executes fn(rank) for every rank, timing each. The lambdas run
-  /// sequentially in-process — results are bitwise those of a real
-  /// distributed run with deterministic reduction order.
-  RunReport run(const std::function<void(idx rank)>& fn) const;
+  /// Executes fn(rank) for every rank as scheduler tasks, timing each.
+  /// `workers` <= 0 uses sched::Executor::default_workers() (the
+  /// XGW_SCHED_WORKERS / `sched_workers` knob); 1 reproduces the old
+  /// serial rank-by-rank execution exactly. Lambdas must write disjoint
+  /// outputs — then results are bitwise identical at every worker count.
+  RunReport run(const std::function<void(idx rank)>& fn,
+                int workers = 0) const;
 
   /// Fault-tolerant execution policy.
   struct FtOptions {
@@ -101,6 +121,18 @@ class SimCluster {
     /// Absolute floor for the straggler deadline (seconds): sub-millisecond
     /// timing jitter must never cancel a healthy rank.
     double straggler_min_s = 1e-3;
+    /// Scheduler workers for the rank tasks; <= 0 means
+    /// sched::Executor::default_workers().
+    int workers = 0;
+    /// > 0 switches the fault timeline to a DETERMINISTIC virtual clock:
+    /// an attempt over k items costs k * virtual_item_cost_s modeled
+    /// seconds (scaled by the injector's crash fraction / straggle factor)
+    /// instead of measured wall time. Straggler detection then operates on
+    /// virtual times, so retries / failed_ranks / recovery_s become exact
+    /// reproducible counters — identical at any worker count and on any
+    /// host — which is what bench_fault_recovery gates on. 0 keeps the
+    /// measured-wall-clock behavior (honest timelines, jittery ledger).
+    double virtual_item_cost_s = 0.0;
   };
 
   /// Fault-tolerant execution of `n_items` work items block-distributed

@@ -1,0 +1,17 @@
+#include "sched/run_items.h"
+
+namespace xgw::sched {
+
+ExecStats run_items(idx n_items, const std::function<void(idx)>& item_fn,
+                    int workers, const std::string& tag) {
+  if (n_items <= 0) return ExecStats{};
+  TaskGraph g;
+  for (idx i = 0; i < n_items; ++i)
+    g.add_task(tag + " " + std::to_string(i), [&item_fn, i] { item_fn(i); },
+               tag);
+  const TaskId join = g.add_task(tag + " join", [] {}, tag + ".join");
+  for (idx i = 0; i < n_items; ++i) g.add_edge(i, join);
+  return Executor(workers).run(g);
+}
+
+}  // namespace xgw::sched

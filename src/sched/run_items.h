@@ -1,0 +1,29 @@
+#pragma once
+
+// Flat item-parallel adapter: builds the degenerate task graph for "n
+// independent items + one join barrier" and runs it on an Executor. This
+// is the shape SimCluster's rank loops, epsilon's frequency compute tasks
+// and sigma's band tasks share; expressing it through TaskGraph (instead
+// of a bare parallel-for) keeps one scheduler, one degrade path, and one
+// set of exact-gated task/edge counters for everything.
+//
+// Items must follow the graph determinism contract: disjoint outputs,
+// reductions elsewhere in fixed order. The join node carries no work; it
+// exists so the graph has real edges (n of them) and so callers can hang
+// downstream tasks off the barrier when composing larger graphs.
+
+#include <functional>
+#include <string>
+
+#include "sched/executor.h"
+#include "sched/taskgraph.h"
+
+namespace xgw::sched {
+
+/// Runs item_fn(0..n_items) as independent tasks on `workers` threads
+/// (<= 0: Executor::default_workers()). Returns the executor stats
+/// (tasks = n_items + 1 including the join node, edges = n_items).
+ExecStats run_items(idx n_items, const std::function<void(idx)>& item_fn,
+                    int workers = 0, const std::string& tag = "item");
+
+}  // namespace xgw::sched

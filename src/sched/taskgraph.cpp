@@ -1,0 +1,72 @@
+#include "sched/taskgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.h"
+
+namespace xgw::sched {
+
+TaskId TaskGraph::add_task(std::string name, std::function<void()> fn,
+                           std::string tag, double flops) {
+  Task t;
+  t.name = std::move(name);
+  t.fn = std::move(fn);
+  t.tag = std::move(tag);
+  t.flops = flops;
+  tasks_.push_back(std::move(t));
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  XGW_REQUIRE(from >= 0 && from < n_tasks() && to >= 0 && to < n_tasks(),
+              "TaskGraph::add_edge: id out of range");
+  XGW_REQUIRE(from != to, "TaskGraph::add_edge: self-edge");
+  auto& deps = tasks_[static_cast<std::size_t>(to)].deps;
+  if (std::find(deps.begin(), deps.end(), from) != deps.end()) return;
+  deps.push_back(from);
+  tasks_[static_cast<std::size_t>(from)].outs.push_back(to);
+  n_edges_ += 1;
+}
+
+std::vector<TaskId> TaskGraph::topo_order() const {
+  const idx n = n_tasks();
+  std::vector<idx> indeg(static_cast<std::size_t>(n), 0);
+  for (idx i = 0; i < n; ++i)
+    indeg[static_cast<std::size_t>(i)] =
+        static_cast<idx>(tasks_[static_cast<std::size_t>(i)].deps.size());
+
+  std::deque<TaskId> ready;
+  for (idx i = 0; i < n; ++i)
+    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+
+  std::vector<TaskId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop_front();
+    order.push_back(id);
+    for (TaskId out : tasks_[static_cast<std::size_t>(id)].outs)
+      if (--indeg[static_cast<std::size_t>(out)] == 0) ready.push_back(out);
+  }
+  XGW_REQUIRE(static_cast<idx>(order.size()) == n,
+              "TaskGraph::topo_order: dependency cycle");
+  return order;
+}
+
+double TaskGraph::critical_path_flops() const {
+  const std::vector<TaskId> order = topo_order();
+  std::vector<double> cost(tasks_.size(), 0.0);
+  double best = 0.0;
+  for (TaskId id : order) {
+    const Task& t = tasks_[static_cast<std::size_t>(id)];
+    double pre = 0.0;
+    for (TaskId d : t.deps)
+      pre = std::max(pre, cost[static_cast<std::size_t>(d)]);
+    cost[static_cast<std::size_t>(id)] = pre + t.flops;
+    best = std::max(best, cost[static_cast<std::size_t>(id)]);
+  }
+  return best;
+}
+
+}  // namespace xgw::sched

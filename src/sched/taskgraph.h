@@ -1,0 +1,67 @@
+#pragma once
+
+// Dependency-driven task graph: the execution layer behind the hybrid
+// simulated/real runtime (ROADMAP item 2). A TaskGraph is a DAG of tasks
+// with EXPLICIT in/out edges — epsilon frequency batches, Sigma
+// pools/bands, and NV-blocks become nodes, and comm/compute overlap falls
+// out of the dependency structure instead of being hand-scheduled (the
+// OpenAtom GW phase-graph idea, PAPERS.md).
+//
+// Determinism contract (the rule every producer of nodes must follow so
+// results are bitwise-identical at any worker count):
+//   1. tasks write DISJOINT outputs (slot-per-task), and
+//   2. any cross-task reduction happens in a dedicated node that reads its
+//      inputs in a FIXED order independent of completion order (the same
+//      fixed-order discipline as the GEMM engine's two-stage reductions).
+// The scheduler then only changes WHEN tasks run, never what they compute
+// or the order anything is summed.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace xgw::sched {
+
+using TaskId = idx;
+
+struct Task {
+  std::string name;          ///< label for traces and error messages
+  std::function<void()> fn;  ///< the work; must only touch its own outputs
+  std::string tag;           ///< coarse kind ("eps.freq", "sigma.band", ...)
+  double flops = 0.0;        ///< estimate for critical-path / alpha-beta use
+  std::vector<TaskId> deps;  ///< in-edges: tasks that must finish first
+  std::vector<TaskId> outs;  ///< out-edges (derived; kept for traversal)
+};
+
+class TaskGraph {
+ public:
+  /// Adds a node; returns its id. Ids are dense [0, n_tasks).
+  TaskId add_task(std::string name, std::function<void()> fn,
+                  std::string tag = "task", double flops = 0.0);
+
+  /// Declares "to depends on from" (from -> to). Both ids must exist;
+  /// duplicate edges are allowed and deduplicated here.
+  void add_edge(TaskId from, TaskId to);
+
+  idx n_tasks() const { return static_cast<idx>(tasks_.size()); }
+  idx n_edges() const { return n_edges_; }
+  const Task& task(TaskId id) const { return tasks_[static_cast<std::size_t>(id)]; }
+
+  /// Kahn topological order with FIFO tie-breaking by task id — the
+  /// deterministic serial schedule (what a 1-worker Executor runs).
+  /// Throws Error on a cycle.
+  std::vector<TaskId> topo_order() const;
+
+  /// Sum of `flops` along the most expensive dependency chain — the
+  /// alpha-beta projector's lower bound on parallel time.
+  double critical_path_flops() const;
+
+ private:
+  friend class Executor;
+  std::vector<Task> tasks_;
+  idx n_edges_ = 0;
+};
+
+}  // namespace xgw::sched

@@ -288,6 +288,47 @@ TEST(CheckpointResume, EpsilonFrequencyLoopResumesBitwise) {
   EXPECT_FALSE(std::filesystem::exists(path));
 }
 
+// Same interrupted-sweep story, but with the frequency loop running on
+// four scheduler workers: the serial commit chain must keep checkpoint
+// prefixes exact (abort_after = 2 means exactly frequencies 0 and 1 are
+// committed, never a later one that finished computing early) and the
+// resumed results bitwise.
+TEST(CheckpointResume, EpsilonFrequencyLoopResumesBitwiseAtFourWorkers) {
+  GwCalculation& gw = testutil::si_prim_gw();
+  const Mtxel& mtxel = gw.mtxel();
+  const Wavefunctions& wf = gw.wavefunctions();
+  const std::vector<double> omegas = {0.0, 0.08, 0.16, 0.24, 0.32};
+  ChiOptions copt;
+  copt.nv_block = 2;
+
+  const std::vector<ZMatrix> ref = epsilon_inverse_multi(
+      mtxel, wf, gw.coulomb(), std::span<const double>(omegas), copt);
+
+  const std::string path = temp_path("eps_resume_w4.ckpt");
+  CkptGuard guard(path);
+  EpsilonLoopOptions loop;
+  loop.checkpoint_path = path;
+  loop.workers = 4;
+  loop.abort_after = 2;
+  EXPECT_THROW(epsilon_inverse_multi(mtxel, wf, gw.coulomb(),
+                                     std::span<const double>(omegas), copt,
+                                     loop),
+               Error);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(checkpoint_load_strict(path).step, 2);
+
+  loop.abort_after = -1;
+  const std::vector<ZMatrix> resumed = epsilon_inverse_multi(
+      mtxel, wf, gw.coulomb(), std::span<const double>(omegas), copt, loop);
+
+  ASSERT_EQ(resumed.size(), ref.size());
+  for (std::size_t k = 0; k < ref.size(); ++k)
+    for (idx i = 0; i < ref[k].size(); ++i)
+      ASSERT_EQ(resumed[k].data()[i], ref[k].data()[i])
+          << "omega index " << k << ", element " << i;
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
 TEST(CheckpointResume, EpsilonConfigChangeStartsFresh) {
   GwCalculation& gw = testutil::si_prim_gw();
   const Mtxel& mtxel = gw.mtxel();

@@ -87,6 +87,27 @@ TEST(Driver, SigmaJobWithCheckpointMatchesPlainRun) {
   EXPECT_FALSE(std::filesystem::exists(path));
 }
 
+TEST(Driver, SigmaJobWithSchedWorkersMatchesSerial) {
+  const std::string base =
+      "job sigma\nmaterial silicon\neps_cutoff 0.9\nsigma_bands 2 3\n";
+  std::ostringstream serial, pooled;
+  EXPECT_EQ(run_job(InputFile::parse(base, known_input_keys()), serial), 0);
+  EXPECT_EQ(run_job(InputFile::parse(base + "sched_workers 4\n",
+                                     known_input_keys()),
+                    pooled),
+            0);
+  EXPECT_NE(pooled.str().find("sched_workers 4"), std::string::npos);
+  const auto qp_rows = [](const std::string& s) {
+    std::istringstream is(s);
+    std::vector<std::string> rows;
+    for (std::string line; std::getline(is, line);)
+      if (!line.empty() && std::isdigit(static_cast<unsigned char>(line[0])))
+        rows.push_back(line);
+    return rows;
+  };
+  EXPECT_EQ(qp_rows(serial.str()), qp_rows(pooled.str()));
+}
+
 TEST(Driver, EpsilonFrequencySweepWithCheckpoint) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "xgw_cli_eps.ckpt").string();

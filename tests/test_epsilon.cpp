@@ -129,5 +129,32 @@ TEST_F(EpsFixture, ShapeChecks) {
   EXPECT_THROW(epsilon_matrix(bad, *v), Error);
 }
 
+// The frequency loop runs compute tasks concurrently behind a serial
+// commit chain: every eps^{-1}(omega_k) and their order of arrival must be
+// bitwise independent of the worker count.
+TEST_F(EpsFixture, InverseMultiIsBitwiseInvariantAcrossWorkers) {
+  const std::vector<double> omegas = {0.0, 0.07, 0.14, 0.21, 0.28, 0.35};
+  ChiOptions copt;
+  copt.nv_block = 2;
+
+  EpsilonLoopOptions loop;
+  loop.workers = 1;
+  const std::vector<ZMatrix> ref = epsilon_inverse_multi(
+      *mtxel, *wf, *v, std::span<const double>(omegas), copt, loop);
+
+  for (int workers : {2, 4}) {
+    loop.workers = workers;
+    const std::vector<ZMatrix> got = epsilon_inverse_multi(
+        *mtxel, *wf, *v, std::span<const double>(omegas), copt, loop);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      ASSERT_EQ(got[k].rows(), ref[k].rows());
+      for (idx i = 0; i < ref[k].size(); ++i)
+        ASSERT_EQ(got[k].data()[i], ref[k].data()[i])
+            << workers << " workers, omega index " << k << ", element " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace xgw

@@ -254,6 +254,58 @@ TEST(RunItemsFt, GenuineStragglerIsCancelledAndRecovered) {
   EXPECT_LT(rep.ranks[2].compute_s, 0.030);
 }
 
+// --- scheduler determinism: seeded schedules x {1, 2, 4} workers ----------
+
+// Ten seeded fault schedules, each replayed at 1, 2, and 4 scheduler
+// workers on the virtual clock. The whole recovery ledger — retries, dead
+// ranks, degraded flag, recovery seconds, per-rank virtual times — and the
+// payloads must be identical to the serial run: concurrency may change
+// wall time, never the simulated fault story or a single output bit.
+TEST(RunItemsFt, SeededSchedulesAreWorkerCountInvariant) {
+  const SimCluster cluster(6);
+  const idx n_items = 30, w = 4;
+  for (std::uint64_t schedule = 0; schedule < 10; ++schedule) {
+    SimCluster::FtOptions opt;
+    opt.faults.seed = 1000 + schedule;
+    opt.faults.p_crash = 0.15;
+    opt.faults.p_corrupt = 0.15;
+    opt.faults.p_straggle = 0.1;
+    opt.faults.straggle_factor = 6.0;
+    opt.max_attempts = 6;
+    opt.backoff_base_s = 0.01;
+    opt.virtual_item_cost_s = 1e-3;
+
+    opt.workers = 1;
+    SimCluster::RunReport serial;
+    ASSERT_TRUE(
+        payload_exact(run_payload(cluster, n_items, w, opt, &serial), w))
+        << "schedule " << schedule;
+
+    for (int workers : {2, 4}) {
+      opt.workers = workers;
+      SimCluster::RunReport rep;
+      const auto out = run_payload(cluster, n_items, w, opt, &rep);
+      EXPECT_TRUE(payload_exact(out, w))
+          << "schedule " << schedule << ", " << workers << " workers";
+      EXPECT_EQ(rep.retries, serial.retries) << "schedule " << schedule;
+      EXPECT_EQ(rep.failed_ranks, serial.failed_ranks)
+          << "schedule " << schedule;
+      EXPECT_EQ(rep.degraded, serial.degraded) << "schedule " << schedule;
+      // Doubles compared bitwise: the virtual clock and the fixed-order
+      // final reduction make them exact, not approximately reproducible.
+      EXPECT_EQ(rep.recovery_s, serial.recovery_s)
+          << "schedule " << schedule;
+      EXPECT_EQ(rep.serial_s, serial.serial_s) << "schedule " << schedule;
+      EXPECT_EQ(rep.comm_s, serial.comm_s) << "schedule " << schedule;
+      ASSERT_EQ(rep.ranks.size(), serial.ranks.size());
+      for (std::size_t r = 0; r < rep.ranks.size(); ++r)
+        EXPECT_EQ(rep.ranks[r].compute_s, serial.ranks[r].compute_s)
+            << "schedule " << schedule << ", rank " << r;
+      EXPECT_EQ(rep.workers, workers);
+    }
+  }
+}
+
 // --- end-to-end acceptance: epsilon sweep losing a rank mid-run -----------
 
 TEST(RunItemsFt, EpsilonSweepSurvivesRankLossBitwise) {

@@ -19,6 +19,7 @@
 #include "obs/trace.h"
 #include "obs/trace_check.h"
 #include "runtime/simcluster.h"
+#include "sched/run_items.h"
 
 namespace xgw {
 namespace {
@@ -406,6 +407,92 @@ TEST(ObsReport, BuildsFromRecorderAndSerializes) {
   ASSERT_TRUE(obs::json::parse(doc.to_json(), v, err)) << err;
   EXPECT_EQ(v.find("job")->str, "unit");
   EXPECT_DOUBLE_EQ(v.find("total_flops")->number, 1000.0);
+}
+
+// ----------------------------------------------- scheduler concurrency --
+
+// Hammer the metrics registry and the trace recorder from scheduler worker
+// teams: registration races, concurrent increments, real spans on worker
+// threads, and many tasks writing virtual tracks at once. The counters must
+// come out exact and the trace schema-valid — this is the safety contract
+// the concurrent SimCluster rank execution relies on.
+TEST(ObsConcurrency, MetricsAndRecorderSurviveWorkerTeams) {
+  auto& rec = obs::recorder();
+  auto& reg = obs::metrics();
+  rec.enable(obs::detail_level::kFine);
+  reg.counter("obs.stress.total");  // pre-exists; tasks race on lookup only
+
+  const idx kItems = 64;
+  const std::uint32_t pid = rec.new_virtual_process("stress cluster");
+  sched::run_items(
+      kItems,
+      [&](idx i) {
+        const auto tid = static_cast<std::uint32_t>(i);
+        rec.name_virtual_track(pid, tid, "rank " + std::to_string(i));
+        reg.counter("obs.stress.total").add(3);
+        reg.counter("obs.stress.rank" + std::to_string(i % 4)).inc();
+        reg.gauge("obs.stress.gauge").set(static_cast<double>(i));
+        reg.histogram("obs.stress.hist").observe(
+            static_cast<std::uint64_t>(i) + 1);
+        obs::Span span("stress_item", "test");
+        span.add_flops(10);
+        for (int k = 0; k < 3; ++k)
+          rec.virtual_complete(pid, tid, "work", "stress",
+                               static_cast<double>(k), 0.5);
+        rec.virtual_instant(pid, tid, "done", "stress", 3.0);
+      },
+      4, "obs.stress");
+  rec.disable();
+
+  EXPECT_EQ(reg.counter_value("obs.stress.total"),
+            static_cast<std::uint64_t>(kItems) * 3);
+  std::uint64_t per_rank = 0;
+  for (int r = 0; r < 4; ++r)
+    per_rank += reg.counter_value("obs.stress.rank" + std::to_string(r));
+  EXPECT_EQ(per_rank, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(reg.histogram("obs.stress.hist").count(),
+            static_cast<std::uint64_t>(kItems));
+
+  EXPECT_EQ(obs::check_chrome_trace(rec.chrome_trace_json()), "");
+  const auto agg = rec.aggregate();
+  ASSERT_TRUE(agg.count("test/stress_item"));
+  EXPECT_EQ(agg.at("test/stress_item").calls, static_cast<long>(kItems));
+  EXPECT_EQ(agg.at("test/stress_item").flops,
+            static_cast<std::uint64_t>(kItems) * 10);
+  ASSERT_TRUE(agg.count("stress/work"));
+  EXPECT_EQ(agg.at("stress/work").calls, static_cast<long>(kItems) * 3);
+}
+
+// Virtual-track exports must be byte-identical no matter how many workers
+// interleaved the appends: per-track sequence numbers restore program order
+// and track metadata is sorted by id at export.
+TEST(ObsConcurrency, VirtualTrackExportIsDeterministicAcrossWorkerCounts) {
+  auto emit = [](int workers) {
+    auto& rec = obs::recorder();
+    rec.enable(obs::detail_level::kKernel);
+    const std::uint32_t pid = rec.new_virtual_process("determinism cluster");
+    sched::run_items(
+        16,
+        [&](idx i) {
+          const auto tid = static_cast<std::uint32_t>(i);
+          rec.name_virtual_track(pid, tid, "rank " + std::to_string(i));
+          // Same-timestamp events on one track: seq must keep program order.
+          rec.virtual_complete(pid, tid, "attempt", "ft", 0.0, 1.0,
+                               "\"try\":1");
+          rec.virtual_instant(pid, tid, "fault", "ft", 1.0);
+          rec.virtual_complete(pid, tid, "attempt", "ft", 1.0, 1.0,
+                               "\"try\":2");
+        },
+        workers, "det");
+    rec.disable();
+    const std::string doc = rec.chrome_trace_json();
+    rec.clear();
+    return doc;
+  };
+  const std::string serial = emit(1);
+  EXPECT_EQ(obs::check_chrome_trace(serial), "");
+  EXPECT_EQ(emit(2), serial);
+  EXPECT_EQ(emit(4), serial);
 }
 
 }  // namespace

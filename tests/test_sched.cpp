@@ -1,0 +1,250 @@
+// Tests: task-graph scheduler — graph construction and validation, Kahn
+// topological order, serial (W=1) execution exactly matching the legacy
+// loop order, worker-pool execution respecting dependencies, exception
+// propagation with cancellation, bitwise determinism across worker counts,
+// the run_items adapter, the nested-parallel degrade marker, and a stress
+// graph.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/concurrency.h"
+#include "common/error.h"
+#include "sched/executor.h"
+#include "sched/run_items.h"
+#include "sched/taskgraph.h"
+
+namespace xgw {
+namespace {
+
+using sched::ExecStats;
+using sched::Executor;
+using sched::TaskGraph;
+using sched::TaskId;
+
+TEST(TaskGraph, TopoOrderIsKahnWithFifoTieBreak) {
+  // Diamond plus a detached root: 0 -> {1, 2} -> 3, plus 4.
+  TaskGraph g;
+  for (int i = 0; i < 5; ++i)
+    g.add_task("t" + std::to_string(i), [] {});
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+
+  EXPECT_EQ(g.n_tasks(), 5);
+  EXPECT_EQ(g.n_edges(), 4);
+  // FIFO tie-break: roots in id order (0 before 4), then 1 before 2.
+  const std::vector<TaskId> want = {0, 4, 1, 2, 3};
+  EXPECT_EQ(g.topo_order(), want);
+}
+
+TEST(TaskGraph, EdgeValidationAndDedup) {
+  TaskGraph g;
+  g.add_task("a", [] {});
+  g.add_task("b", [] {});
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // duplicate: ignored
+  EXPECT_EQ(g.n_edges(), 1);
+  EXPECT_THROW(g.add_edge(0, 0), Error);  // self-edge
+  EXPECT_THROW(g.add_edge(0, 7), Error);  // out of range
+  EXPECT_THROW(g.add_edge(-1, 1), Error);
+}
+
+TEST(TaskGraph, CycleIsDetected) {
+  TaskGraph g;
+  g.add_task("a", [] {});
+  g.add_task("b", [] {});
+  g.add_task("c", [] {});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_THROW(g.topo_order(), Error);
+  EXPECT_THROW(Executor(1).run(g), Error);
+}
+
+TEST(TaskGraph, CriticalPathSumsFlopsAlongLongestChain) {
+  TaskGraph g;
+  g.add_task("a", [] {}, "t", 10.0);
+  g.add_task("b", [] {}, "t", 5.0);
+  g.add_task("c", [] {}, "t", 20.0);
+  g.add_task("d", [] {}, "t", 1.0);
+  g.add_edge(0, 1);  // chain a->b->d: 16
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);  // chain c->d: 21  <- critical
+  EXPECT_DOUBLE_EQ(g.critical_path_flops(), 21.0);
+}
+
+TEST(Executor, SerialRunExecutesInTopoOrder) {
+  TaskGraph g;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i)
+    g.add_task("t" + std::to_string(i), [&order, i] { order.push_back(i); });
+  g.add_edge(3, 0);
+  g.add_edge(5, 2);
+  g.add_edge(2, 0);
+
+  const ExecStats st = Executor(1).run(g);
+  EXPECT_EQ(st.tasks, 6);
+  EXPECT_EQ(st.edges, 3);
+  EXPECT_EQ(st.workers, 1);
+  EXPECT_EQ(st.steals, 0);
+  std::vector<int> want;
+  for (TaskId id : g.topo_order()) want.push_back(static_cast<int>(id));
+  EXPECT_EQ(order, want);
+}
+
+TEST(Executor, WorkerPoolRunsEveryTaskOnceRespectingDeps) {
+  // Layered random-ish DAG: each task depends on two tasks of the previous
+  // layer. Completion stamps must respect every edge.
+  const int layers = 8, width = 12;
+  TaskGraph g;
+  std::atomic<int> clock{0};
+  std::vector<int> stamp(static_cast<std::size_t>(layers * width), -1);
+  std::vector<int> runs(static_cast<std::size_t>(layers * width), 0);
+  for (int l = 0; l < layers; ++l)
+    for (int w = 0; w < width; ++w) {
+      const int id = l * width + w;
+      g.add_task("t" + std::to_string(id), [&, id] {
+        runs[static_cast<std::size_t>(id)] += 1;
+        stamp[static_cast<std::size_t>(id)] =
+            clock.fetch_add(1, std::memory_order_relaxed);
+      });
+      if (l > 0) {
+        g.add_edge((l - 1) * width + w, id);
+        g.add_edge((l - 1) * width + (w + 3) % width, id);
+      }
+    }
+
+  const ExecStats st = Executor(4).run(g);
+  EXPECT_EQ(st.tasks, layers * width);
+  EXPECT_EQ(st.workers, 4);
+  for (int r : runs) EXPECT_EQ(r, 1);
+  for (idx to = 0; to < g.n_tasks(); ++to)
+    for (TaskId from : g.task(to).deps)
+      EXPECT_LT(stamp[static_cast<std::size_t>(from)],
+                stamp[static_cast<std::size_t>(to)])
+          << "edge " << from << " -> " << to;
+}
+
+TEST(Executor, ExceptionPropagatesAndCancelsDependents) {
+  for (int workers : {1, 4}) {
+    TaskGraph g;
+    std::atomic<int> late_runs{0};
+    const TaskId bad =
+        g.add_task("bad", [] { throw Error("injected task failure"); });
+    for (int i = 0; i < 16; ++i) {
+      const TaskId dep = g.add_task("dep" + std::to_string(i),
+                                    [&] { late_runs.fetch_add(1); });
+      g.add_edge(bad, dep);
+    }
+    EXPECT_THROW(Executor(workers).run(g), Error) << workers << " workers";
+    // Dependents of the failed task must never have started.
+    EXPECT_EQ(late_runs.load(), 0) << workers << " workers";
+  }
+}
+
+TEST(Executor, ResultsAreBitwiseIdenticalAcrossWorkerCounts) {
+  // Tasks write disjoint slots; a final reduce reads them in fixed order.
+  // The sum must be bitwise identical at every worker count.
+  auto run_at = [](int workers) {
+    TaskGraph g;
+    std::vector<double> slot(64);
+    double total = 0.0;
+    for (int i = 0; i < 64; ++i)
+      g.add_task("w" + std::to_string(i), [&slot, i] {
+        double a = 1.0;
+        for (int k = 0; k < 1000; ++k)
+          a = a * 0.999 + 1e-3 * static_cast<double>((i + k) % 11);
+        slot[static_cast<std::size_t>(i)] = a;
+      });
+    const TaskId red = g.add_task("reduce", [&] {
+      total = std::accumulate(slot.begin(), slot.end(), 0.0);
+    });
+    for (TaskId i = 0; i < 64; ++i) g.add_edge(i, red);
+    Executor(workers).run(g);
+    return total;
+  };
+  const double serial = run_at(1);
+  EXPECT_EQ(run_at(2), serial);
+  EXPECT_EQ(run_at(4), serial);
+}
+
+TEST(Executor, WorkerTeamMarkerDegradesNestedParallelism) {
+  // Inside a multi-worker team every task sees in_worker_team() == true —
+  // the marker la/gemm's in_parallel_region() keys on to fall back to the
+  // serial kernel path. A 1-worker run is the plain serial loop and must
+  // not publish a team.
+  TaskGraph g1;
+  int team1 = -1;
+  g1.add_task("probe", [&] { team1 = worker_team_size(); });
+  Executor(1).run(g1);
+  EXPECT_EQ(team1, 0);
+  EXPECT_FALSE(in_worker_team());  // never leaks out of run()
+
+  TaskGraph g4;
+  std::vector<int> team(8, -1);
+  std::vector<int> windex(8, -1);
+  for (int i = 0; i < 8; ++i)
+    g4.add_task("probe" + std::to_string(i), [&, i] {
+      team[static_cast<std::size_t>(i)] = worker_team_size();
+      windex[static_cast<std::size_t>(i)] = Executor::worker_index();
+    });
+  Executor(4).run(g4);
+  for (int t : team) EXPECT_EQ(t, 4);
+  for (int w : windex) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 4);
+  }
+  EXPECT_FALSE(in_worker_team());
+  EXPECT_EQ(Executor::worker_index(), -1);
+}
+
+TEST(Executor, DefaultWorkersOverride) {
+  const int before = Executor::default_workers();
+  Executor::set_default_workers(3);
+  EXPECT_EQ(Executor::default_workers(), 3);
+  EXPECT_EQ(Executor(0).n_workers(), 3);
+  EXPECT_EQ(Executor(2).n_workers(), 2);  // explicit beats default
+  Executor::set_default_workers(0);       // back to the env default
+  EXPECT_EQ(Executor::default_workers(), before);
+}
+
+TEST(RunItems, AdapterFillsEverySlotAtAnyWorkerCount) {
+  for (int workers : {1, 2, 4}) {
+    std::vector<idx> out(37, -1);
+    const ExecStats st = sched::run_items(
+        37, [&](idx i) { out[static_cast<std::size_t>(i)] = i * i; },
+        workers);
+    EXPECT_EQ(st.tasks, 38);  // items + join barrier
+    EXPECT_EQ(st.edges, 37);
+    for (idx i = 0; i < 37; ++i)
+      EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+  // Zero items is a no-op, not an error.
+  const ExecStats empty = sched::run_items(0, [](idx) { FAIL(); }, 4);
+  EXPECT_EQ(empty.tasks, 0);
+}
+
+TEST(Executor, StressManySmallTasks) {
+  // 2000 tiny tasks in 40 sequential waves of 50 — enough churn through
+  // the ready queue and condvar to shake out lost-wakeup bugs, kept fast.
+  const int waves = 40, per = 50;
+  TaskGraph g;
+  std::atomic<long> sum{0};
+  for (int w = 0; w < waves; ++w)
+    for (int i = 0; i < per; ++i) {
+      const TaskId id = g.add_task("s", [&sum] { sum.fetch_add(1); });
+      if (w > 0) g.add_edge((w - 1) * per + (id % per), id);
+    }
+  const ExecStats st = Executor(8).run(g);
+  EXPECT_EQ(st.tasks, waves * per);
+  EXPECT_EQ(sum.load(), waves * per);
+}
+
+}  // namespace
+}  // namespace xgw

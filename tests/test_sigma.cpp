@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sched/executor.h"
 #include "test_helpers.h"
 
 namespace xgw {
@@ -150,6 +151,33 @@ TEST(Sigma, PseudobandSwapInvalidatesCache) {
   const double head_after = gw.epsinv0()(0, 0).real();
   // Severely truncating the conduction space weakens screening: head rises.
   EXPECT_GT(head_after, head_before);
+}
+
+// GPP diag bands run as scheduler tasks when a worker team is requested
+// (and the FLOP counter is not attached); results must be bitwise identical
+// to the serial loop at any worker count.
+TEST(Sigma, DiagIsBitwiseInvariantAcrossWorkers) {
+  GwCalculation& gw = si_prim_gw();
+  const std::vector<idx> bands = {0, gw.n_valence() - 1, gw.n_valence(),
+                                  gw.n_valence() + 1};
+
+  sched::Executor::set_default_workers(1);
+  const auto ref = gw.sigma_diag(bands, 5, 0.02);
+  for (int workers : {2, 4}) {
+    sched::Executor::set_default_workers(workers);
+    const auto got = gw.sigma_diag(bands, 5, 0.02);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].band, ref[i].band) << workers << " workers";
+      EXPECT_EQ(got[i].e_mf, ref[i].e_mf) << workers << " workers";
+      EXPECT_EQ(got[i].sigma.sx, ref[i].sigma.sx) << workers << " workers";
+      EXPECT_EQ(got[i].sigma.ch, ref[i].sigma.ch) << workers << " workers";
+      EXPECT_EQ(got[i].dsigma_de, ref[i].dsigma_de) << workers << " workers";
+      EXPECT_EQ(got[i].z, ref[i].z) << workers << " workers";
+      EXPECT_EQ(got[i].e_qp, ref[i].e_qp) << workers << " workers";
+    }
+  }
+  sched::Executor::set_default_workers(0);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sigma_ff.h"
+#include "sched/executor.h"
 #include "test_helpers.h"
 
 namespace xgw {
@@ -104,6 +105,34 @@ TEST(SigmaFF, FrequencyGridTrapezoidWeights) {
   double total = 0.0;
   for (double w : scr.weights) total += w;
   EXPECT_NEAR(total, 2.0, 1e-12);  // integrates 1 over [0, omega_max]
+}
+
+// Bands write disjoint result slots and every per-band reduction runs in a
+// fixed order, so the diagonal must be bitwise independent of the worker
+// count feeding the scheduler.
+TEST(SigmaFF, DiagIsBitwiseInvariantAcrossWorkers) {
+  GwCalculation& gw = si_prim_gw_big_eps();
+  FfOptions opt;
+  opt.n_freq = 8;
+  const FfScreening scr = build_ff_screening(gw, opt);
+  const std::vector<idx> bands = {0, gw.n_valence() - 1, gw.n_valence()};
+
+  sched::Executor::set_default_workers(1);
+  const auto ref = sigma_ff_diag(gw, scr, bands);
+  for (int workers : {2, 4}) {
+    sched::Executor::set_default_workers(workers);
+    const auto got = sigma_ff_diag(gw, scr, bands);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].band, ref[i].band) << workers << " workers";
+      EXPECT_EQ(got[i].e_mf, ref[i].e_mf) << workers << " workers";
+      EXPECT_EQ(got[i].sigma_x, ref[i].sigma_x) << workers << " workers";
+      EXPECT_EQ(got[i].sigma_c, ref[i].sigma_c) << workers << " workers";
+      EXPECT_EQ(got[i].e_qp, ref[i].e_qp) << workers << " workers";
+      EXPECT_EQ(got[i].z, ref[i].z) << workers << " workers";
+    }
+  }
+  sched::Executor::set_default_workers(0);
 }
 
 }  // namespace
