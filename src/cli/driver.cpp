@@ -1,5 +1,8 @@
 #include "cli/driver.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 
@@ -417,6 +420,61 @@ std::string canonical_config(const InputFile& in) {
 }
 
 }  // namespace
+
+EpmModel build_material_from_input(const InputFile& in) {
+  return build_material(in);
+}
+
+GwParameters build_params_from_input(const InputFile& in) {
+  return build_params(in);
+}
+
+double resolve_memory_budget_mb(const InputFile& in) {
+  return resolve_budget_mb(in);
+}
+
+std::vector<std::string> read_job_manifest(const std::string& path) {
+  std::ifstream is(path);
+  XGW_REQUIRE(is.good(), "cannot open manifest '" + path + "'");
+  const std::filesystem::path base = std::filesystem::path(path).parent_path();
+  std::vector<std::string> paths;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    std::filesystem::path p(line.substr(b, e - b + 1));
+    if (p.is_relative()) p = base / p;
+    paths.push_back(p.string());
+  }
+  XGW_REQUIRE(!paths.empty(), "manifest '" + path + "' lists no input files");
+  return paths;
+}
+
+int run_job_files(const std::vector<std::string>& paths, std::ostream& os) {
+  XGW_REQUIRE(!paths.empty(), "run_job_files: no input files");
+  int worst = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    os << "=== job " << i + 1 << "/" << paths.size() << " " << paths[i]
+       << " ===\n";
+    int rc = 0;
+    std::string err;
+    try {
+      rc = run_job(InputFile::load(paths[i], known_input_keys()), os);
+    } catch (const Error& e) {
+      rc = 1;
+      err = e.what();
+    }
+    os << "job " << i + 1 << "/" << paths.size() << " " << paths[i] << " rc "
+       << rc;
+    if (!err.empty()) os << " error " << err;
+    os << "\n";
+    worst = std::max(worst, rc);
+  }
+  return worst;
+}
 
 int run_job(const InputFile& in, std::ostream& os) {
   const std::string job = in.require_string("job");

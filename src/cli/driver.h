@@ -20,6 +20,7 @@
 #include <iosfwd>
 
 #include "cli/input.h"
+#include "core/sigma.h"
 
 namespace xgw {
 
@@ -27,5 +28,34 @@ namespace xgw {
 const std::vector<std::string>& known_input_keys();
 
 int run_job(const InputFile& in, std::ostream& os);
+
+// --- shared spec builders -------------------------------------------------
+//
+// The serve batch layer canonicalizes job specs through the SAME builders
+// the per-job dispatchers use, so a spec means one thing whether it runs
+// standalone or through the cache.
+
+/// The material an input file describes (material/supercell/vacancy/vacuum).
+EpmModel build_material_from_input(const InputFile& in);
+
+/// The GW parameter set (cutoffs, eta, nv_block, coulomb scheme).
+GwParameters build_params_from_input(const InputFile& in);
+
+/// Memory budget in MB from `memory_budget_mb` / `memory_budget_machine`;
+/// 0 = no budget.
+double resolve_memory_budget_mb(const InputFile& in);
+
+// --- batch mode -----------------------------------------------------------
+
+/// Reads a batch manifest: one input-file path per line; '#' starts a
+/// comment; blank lines are skipped; relative paths resolve against the
+/// manifest's directory.
+std::vector<std::string> read_job_manifest(const std::string& path);
+
+/// Runs several input files in one process (shared autotune cache, one
+/// scheduler pool), echoing a `job i/n <path> rc <rc>` status line after
+/// each job's output. A failing job is reported and does not stop the
+/// batch. Returns the worst per-job rc.
+int run_job_files(const std::vector<std::string>& paths, std::ostream& os);
 
 }  // namespace xgw

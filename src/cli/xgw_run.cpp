@@ -1,11 +1,15 @@
-// xgw_run — the command-line driver: one input file, one workflow stage,
-// mirroring BerkeleyGW's executable-per-stage production layout.
+// xgw_run — the command-line driver: input file(s), one workflow stage per
+// job, mirroring BerkeleyGW's executable-per-stage production layout.
 //
 //   $ xgw_run sigma.inp
+//   $ xgw_run epsilon.inp sigma.inp        # batch: one process, N jobs
+//   $ xgw_run --manifest jobs.txt          # batch from a manifest file
 //   $ xgw_run --help
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "cli/driver.h"
 #include "common/error.h"
@@ -14,10 +18,14 @@ namespace {
 
 void print_usage() {
   std::printf(
-      "usage: xgw_run <input-file>\n"
+      "usage: xgw_run <input-file> [<input-file> ...]\n"
+      "       xgw_run --manifest <list-file>\n"
       "\n"
-      "Runs one stage of the GW workflow described by a plain-text input\n"
-      "file of `key value` lines ('#' comments). Jobs:\n"
+      "Runs one stage of the GW workflow per input file (plain-text\n"
+      "`key value` lines, '#' comments). Several files — or a manifest\n"
+      "listing one file per line — run as a batch in one process, sharing\n"
+      "the autotune cache and scheduler pool, with a per-job status line.\n"
+      "Jobs:\n"
       "  bands | epsilon | sigma | sigma_offdiag | ff | cohsex | evgw |\n"
       "  rpa | bse | gwpt | phonons\n"
       "\n"
@@ -34,15 +42,26 @@ void print_usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2 || std::string(argv[1]) == "--help" ||
-      std::string(argv[1]) == "-h") {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
     print_usage();
-    return argc == 2 ? 0 : 1;
+    return args.empty() ? 1 : 0;
   }
   try {
-    const xgw::InputFile in =
-        xgw::InputFile::load(argv[1], xgw::known_input_keys());
-    return xgw::run_job(in, std::cout);
+    std::vector<std::string> paths;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--manifest") {
+        XGW_REQUIRE(i + 1 < args.size(), "--manifest needs a list file");
+        const auto listed = xgw::read_job_manifest(args[++i]);
+        paths.insert(paths.end(), listed.begin(), listed.end());
+      } else {
+        paths.push_back(args[i]);
+      }
+    }
+    if (paths.size() == 1)
+      return xgw::run_job(
+          xgw::InputFile::load(paths[0], xgw::known_input_keys()), std::cout);
+    return xgw::run_job_files(paths, std::cout);
   } catch (const xgw::Error& e) {
     std::fprintf(stderr, "xgw_run: %s\n", e.what());
     return 1;

@@ -48,6 +48,23 @@ void GwCalculation::set_wavefunctions(Wavefunctions wf) {
   gpp_.reset();
 }
 
+void GwCalculation::set_chi0(ZMatrix chi) {
+  XGW_REQUIRE(chi.rows() == eps_sphere_.size() &&
+                  chi.cols() == eps_sphere_.size(),
+              "set_chi0: shape mismatch with eps sphere");
+  chi0_ = std::move(chi);
+  epsinv0_.reset();
+  gpp_.reset();
+}
+
+void GwCalculation::set_epsinv0(ZMatrix epsinv) {
+  XGW_REQUIRE(epsinv.rows() == eps_sphere_.size() &&
+                  epsinv.cols() == eps_sphere_.size(),
+              "set_epsinv0: shape mismatch with eps sphere");
+  epsinv0_ = std::move(epsinv);
+  gpp_.reset();
+}
+
 const Mtxel& GwCalculation::mtxel() const {
   if (!mtxel_) {
     mtxel_ = std::make_unique<Mtxel>(ham_.sphere(), eps_sphere_,
@@ -162,9 +179,19 @@ std::vector<QpResult> GwCalculation::sigma_diag(const std::vector<idx>& bands,
     const idx l = bands[static_cast<std::size_t>(bi)];
     XGW_REQUIRE(l >= 0 && l < wf.n_bands(), "sigma_diag: band out of range");
     ZMatrix m_ln;
-    {
-      obs::Span scope(timers_,"sigma_mtxel");
-      m_ln = m_matrix_left(l);
+    bool m_cached = false;
+    if (mtxel_load_) {
+      if (std::optional<ZMatrix> hit = mtxel_load_(l)) {
+        m_ln = std::move(*hit);
+        m_cached = true;
+      }
+    }
+    if (!m_cached) {
+      {
+        obs::Span scope(timers_,"sigma_mtxel");
+        m_ln = m_matrix_left(l);
+      }
+      if (mtxel_store_) mtxel_store_(l, m_ln);
     }
     // Corruption entering Sigma is caught at the kernel edge, not in the
     // final QP energies (fault-tolerance contract; common/validate.h).

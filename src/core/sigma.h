@@ -14,6 +14,7 @@
 // (differences between states) are the physically meaningful observable,
 // exactly as in the paper's defect-level workloads.
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -79,6 +80,32 @@ class GwCalculation {
 
   /// Replace the band set (pseudobands compression plugs in here).
   void set_wavefunctions(Wavefunctions wf);
+
+  /// Inject a precomputed static chi / eps^{-1}(0) instead of building it
+  /// from the band set (the serve layer's content-addressed sub-result
+  /// cache plugs in here; binio round-trips are byte-exact, so an injected
+  /// cached matrix reproduces the lazily computed one bitwise). Stages
+  /// downstream of the injected one are invalidated.
+  void set_chi0(ZMatrix chi);
+  void set_epsinv0(ZMatrix epsinv);
+
+  bool has_wavefunctions() const { return wf_.has_value(); }
+  bool has_chi0() const { return chi0_.has_value(); }
+  bool has_epsinv0() const { return epsinv0_.has_value(); }
+
+  /// External cache for sigma_diag's per-band M_{l n}(G) block: `load` may
+  /// return a previously computed block for band l (or nullopt to compute),
+  /// `store` observes each freshly computed block. Both are called
+  /// concurrently from band tasks, so implementations must lock. Pass empty
+  /// functions to detach. The block is a pure function of the band set, so
+  /// a cached block replayed through the GPP kernel is bitwise identical to
+  /// a recomputed one.
+  void set_mtxel_cache(
+      std::function<std::optional<ZMatrix>(idx band)> load,
+      std::function<void(idx band, const ZMatrix& m)> store) {
+    mtxel_load_ = std::move(load);
+    mtxel_store_ = std::move(store);
+  }
 
   /// Override the NV-Block size after construction (the mem::Planner plugs
   /// in here once a memory budget is known). NV-Block results are bitwise
@@ -161,6 +188,9 @@ class GwCalculation {
   mutable std::optional<ZMatrix> chi0_;
   mutable std::optional<ZMatrix> epsinv0_;
   mutable std::optional<GppModel> gpp_;
+
+  std::function<std::optional<ZMatrix>(idx)> mtxel_load_;
+  std::function<void(idx, const ZMatrix&)> mtxel_store_;
 };
 
 /// Linearized QP solve from sampled Sigma values: fits Re Sigma(E) linearly

@@ -1,0 +1,117 @@
+#pragma once
+
+// Job-spec canonicalization for the serving layer: turns an xgw_run input
+// file into STAGE-SCOPED cache keys, one per sub-result of the GW pipeline
+//
+//   mf   — mean-field band set {psi_n, E_n}
+//   mtx  — MTXEL block M_{l n}(G) for one external band l
+//   chi  — static chi(q=0) (NV-Block CHI_SUM)
+//   eps  — eps^{-1}(0)
+//   epsf — eps^{-1}(i omega_k), one per imaginary-axis frequency node
+//   sig  — Sigma_ll + QP solve for one band l
+//
+// A key is `<stage>-<fnv1a64 hex>` of a canonical text block: fixed schema
+// header, then only the fields that stage's result depends on, sorted by
+// field name, defaults materialized, floats printed as shortest-round-trip
+// %.17g. Runtime knobs (checkpoint, trace, sched_workers, spill/retry
+// modes, memory budget) are deliberately EXCLUDED: they never change
+// result bytes — the budget enters only through the resolved nv_block,
+// which DOES change bits (NV-Block summation order) and is therefore part
+// of every chi-and-downstream key.
+//
+// The canonical text and its hash are pinned by a golden test
+// (test_serve CacheKeyGolden): accidental canonicalization changes would
+// silently invalidate every store, so they must show up as a test diff.
+
+#include <string>
+#include <vector>
+
+#include "cli/input.h"
+#include "common/types.h"
+
+namespace xgw::serve {
+
+enum class Stage : int { kMf = 0, kMtxel, kChi, kEps, kEpsFreq, kSigmaBand };
+
+const char* stage_prefix(Stage s);
+
+/// Shortest-round-trip decimal text of a double ("%.17g" would pad; "%g"
+/// would lose bits): the shortest precision in [1, 17] that parses back to
+/// exactly `v`. Canonical key material only — never for physics.
+std::string canon_double(double v);
+
+/// Problem dimensions the budget planner needs, derived WITHOUT
+/// diagonalizing the mean field (keys must be cheap to compute).
+struct SpecDims {
+  idx nv = 0;  ///< valence bands of the material
+  idx nc = 0;  ///< conduction bands of the (uncompressed) basis
+  idx ng = 0;  ///< chi/eps sphere size
+};
+
+/// The serve-normalized view of one job spec: every field a sub-result can
+/// depend on, resolved to its final value (defaults applied, bands
+/// defaulted, nv_block solved under the job's byte budget).
+struct ResolvedSpec {
+  std::string job;  ///< "sigma" | "epsilon"
+  // mean-field identity
+  std::string material;
+  idx supercell = 1;
+  bool has_vacancy = false;
+  idx vacancy = 0;
+  double vacuum = 16.0;
+  double psi_cutoff = -1.0;
+  idx n_bands = -1;
+  bool pseudobands = false;
+  idx pseudobands_nxi = 3;
+  // screening identity
+  double eps_cutoff = -1.0;
+  double eta = 1e-3;
+  idx nv_block = 8;  ///< RESOLVED block size (see resolve_spec)
+  std::string coulomb = "spherical_average";
+  // sigma identity
+  idx n_e_points = 3;
+  double e_step = 0.02;
+  std::vector<idx> bands;  ///< resolved sigma bands (default {nv-1, nv})
+  // epsilon identity
+  idx n_freq = 0;             ///< 0 = static only
+  std::vector<double> freqs;  ///< imaginary-axis nodes (when n_freq > 0)
+};
+
+/// Normalizes an input file into a ResolvedSpec. Throws kValidation for
+/// jobs the serving layer cannot key (anything but sigma/epsilon, or specs
+/// whose identity lives outside the text: input_wfn) and for side-output
+/// keys (output_wfn/output_epsmat) that a cache hit could not produce.
+///
+/// nv_block resolution is a PURE function of the spec: when the job
+/// carries a byte budget, the planner is solved with fixed_bytes = 0 and
+/// threads = 1 over `dims`, so identical manifests re-hash identically on
+/// any host. (This is serve's own planning point — the single-job driver
+/// plans against live tracker state instead.) `default_budget_mb` applies
+/// when the spec names no budget of its own.
+ResolvedSpec resolve_spec(const InputFile& in, const SpecDims& dims,
+                          double default_budget_mb = 0.0);
+
+/// Canonical text block a stage key hashes. `band` indexes per-band stages
+/// (kMtxel, kSigmaBand); `freq_index` indexes kEpsFreq.
+std::string canonical_stage_spec(const ResolvedSpec& s, Stage stage,
+                                 idx band = -1, idx freq_index = -1);
+
+/// `<stage>-<fnv1a hex>` — the CasStore key (filesystem-safe).
+std::string cache_key(const ResolvedSpec& s, Stage stage, idx band = -1,
+                      idx freq_index = -1);
+
+/// One manifest entry: the job's display name (file stem) and parsed spec.
+struct JobSpec {
+  std::string name;
+  std::string path;
+  InputFile input;
+};
+
+/// Loads one job file (validated against the driver's known keys).
+JobSpec load_job(const std::string& path);
+
+/// Loads a manifest (one .inp path per line, '#' comments, paths relative
+/// to the manifest file) into parsed job specs.
+std::vector<JobSpec> load_manifest(const std::string& path);
+
+}  // namespace xgw::serve

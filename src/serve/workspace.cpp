@@ -1,0 +1,62 @@
+#include "serve/workspace.h"
+
+#include <limits>
+
+namespace xgw::serve {
+
+BatchWorkspace::BatchWorkspace(const std::string& dir,
+                               std::size_t resident_budget_bytes)
+    : pool_(dir,
+            resident_budget_bytes == 0
+                ? std::numeric_limits<std::size_t>::max()
+                : resident_budget_bytes,
+            "ws_") {}
+
+void BatchWorkspace::put_matrix(const std::string& key, ZMatrix m) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pool_.put(key, std::move(m));
+  matrix_keys_.insert(key);
+}
+
+bool BatchWorkspace::has_matrix(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return matrix_keys_.count(key) != 0;
+}
+
+std::optional<ZMatrix> BatchWorkspace::get_matrix(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (matrix_keys_.count(key) == 0) return std::nullopt;
+  return pool_.get(key);  // copies out: pool references are not stable
+}
+
+void BatchWorkspace::put_wavefunctions(const std::string& key,
+                                       Wavefunctions wf) {
+  std::lock_guard<std::mutex> lk(mu_);
+  wfn_[key] = std::make_shared<const Wavefunctions>(std::move(wf));
+}
+
+std::shared_ptr<const Wavefunctions> BatchWorkspace::get_wavefunctions(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = wfn_.find(key);
+  return it == wfn_.end() ? nullptr : it->second;
+}
+
+void BatchWorkspace::put_qp(const std::string& key, const QpResult& r) {
+  std::lock_guard<std::mutex> lk(mu_);
+  qp_[key] = r;
+}
+
+std::optional<QpResult> BatchWorkspace::get_qp(const std::string& key) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = qp_.find(key);
+  if (it == qp_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t BatchWorkspace::evictions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pool_.evictions();
+}
+
+}  // namespace xgw::serve

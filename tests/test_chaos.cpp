@@ -13,10 +13,14 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
+#include "cli/driver.h"
 #include "common/error.h"
 #include "mf/epm.h"
 #include "obs/metrics.h"
 #include "runtime/chaos.h"
+#include "serve/batch.h"
 
 namespace xgw {
 namespace {
@@ -234,6 +238,170 @@ TEST(ChaosFf, ComputeFaultsRecoveredByStageRetry) {
   EXPECT_GT(rep.stage_retries, 0u);
   EXPECT_EQ(rep.io_injected, rep.io_recovered);
   expect_bitwise_equal(rep.results, "compute");
+}
+
+// --- serving-layer CAS under seeded fault schedules -----------------------
+//
+// Same contract as the FF pipeline above, now for the serve store: batches
+// run under injected torn writes / bit flips / ENOSPC produce QP energies
+// bitwise identical to a fault-free batch, every injected fault is
+// accounted as recovered, and a corrupt committed entry surfaces at read
+// as a checksum MISS that recomputes instead of serving bad bytes.
+// path_contains targets `cas_` so only entry files (never the cas-index,
+// whose name uses a hyphen) draw faults and accounting stays exact.
+
+std::uint64_t cas_recovered_total() {
+  std::uint64_t total = 0;
+  for (const char* name : kIoFaultNames)
+    total += obs::metrics().counter_value(std::string("fault/io/recovered/") +
+                                          name);
+  return total;
+}
+
+std::vector<serve::JobSpec> cas_chaos_jobs() {
+  auto parse = [](const char* name, const char* text) {
+    serve::JobSpec j;
+    j.name = name;
+    j.path = std::string(name) + ".inp";
+    j.input = InputFile::parse(text, known_input_keys());
+    return j;
+  };
+  return {parse("gap",
+                "job sigma\nmaterial silicon\nsupercell 1\nsigma_bands 2 3\n"),
+          parse("eps", "job epsilon\nmaterial silicon\nsupercell 1\nn_freq 2\n")};
+}
+
+/// Fault-free serve reference (clean store, no hooks), computed once.
+const serve::BatchReport& serve_reference() {
+  static const serve::BatchReport ref = [] {
+    serve::ServeOptions opt;
+    opt.store_dir = temp_dir("serve_ref");
+    std::ostringstream os;
+    return serve::run_batch(cas_chaos_jobs(), opt, os);
+  }();
+  return ref;
+}
+
+void expect_serve_bitwise(const serve::BatchReport& got, const char* label) {
+  const serve::BatchReport& ref = serve_reference();
+  ASSERT_TRUE(got.all_ok()) << label;
+  ASSERT_EQ(ref.jobs.size(), got.jobs.size()) << label;
+  ASSERT_EQ(ref.jobs[0].qp.size(), got.jobs[0].qp.size()) << label;
+  for (std::size_t i = 0; i < ref.jobs[0].qp.size(); ++i) {
+    EXPECT_EQ(ref.jobs[0].qp[i].e_qp, got.jobs[0].qp[i].e_qp)
+        << label << " band " << i;
+    EXPECT_EQ(ref.jobs[0].qp[i].z, got.jobs[0].qp[i].z)
+        << label << " band " << i;
+  }
+  ASSERT_EQ(ref.jobs[1].eps_heads.size(), got.jobs[1].eps_heads.size());
+  for (std::size_t k = 0; k < ref.jobs[1].eps_heads.size(); ++k)
+    EXPECT_EQ(ref.jobs[1].eps_heads[k], got.jobs[1].eps_heads[k])
+        << label << " freq " << k;
+}
+
+TEST(ChaosServe, SeededTornAndFlipSchedulesCaughtAtCommit) {
+  // verify=checksum: silent write corruption is caught by the commit
+  // read-back and rewritten before the entry is ever visible — so the
+  // second pass replays everything from the store untouched.
+  std::uint64_t total_injected = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    IoFaultSpec fs;
+    fs.seed = seed;
+    fs.p_torn = 0.08;
+    fs.p_bitflip = 0.08;
+    fs.p_transient = 0.05;
+    fs.max_per_path = 1;  // one fault per file: coalescing cannot happen
+    fs.path_contains = "cas_";
+    IoFaultInjector inj(fs);
+
+    serve::ServeOptions opt;
+    opt.store_dir = temp_dir("serve_torn_" + std::to_string(seed));
+    opt.verify = mem::SpillVerify::kChecksum;
+    const std::uint64_t recovered_before = cas_recovered_total();
+    std::ostringstream os1, os2;
+    serve::BatchReport cold, warm;
+    {
+      io::ScopedIoHooks hooks(&inj);
+      cold = serve::run_batch(cas_chaos_jobs(), opt, os1);
+    }
+    expect_serve_bitwise(cold, "torn/flip cold");
+    EXPECT_EQ(inj.injected(), cas_recovered_total() - recovered_before)
+        << "seed " << seed;
+    total_injected += inj.injected();
+
+    warm = serve::run_batch(cas_chaos_jobs(), opt, os2);
+    expect_serve_bitwise(warm, "torn/flip warm");
+    EXPECT_EQ(warm.total_builds(), 0u) << "seed " << seed;
+    EXPECT_EQ(warm.cas.misses, 0u) << "seed " << seed;
+  }
+  // The schedules must actually have exercised the recovery paths.
+  EXPECT_GT(total_injected, 0u);
+}
+
+TEST(ChaosServe, SilentFlipSurfacesAtReadAsMissAndRecomputes) {
+  // verify=size: a bit flip does not change the byte count, so the corrupt
+  // entry COMMITS. The next read catches it via binio's checksum, drops
+  // the entry, reports a miss, and the batch recomputes — bitwise.
+  IoFaultSpec fs;
+  fs.seed = 23;
+  fs.p_bitflip = 1.0;
+  fs.max_per_path = 1;
+  fs.path_contains = "cas_";
+  IoFaultInjector inj(fs);
+
+  serve::ServeOptions opt;
+  opt.store_dir = temp_dir("serve_flip");
+  opt.verify = mem::SpillVerify::kSize;
+  std::ostringstream os1, os2;
+  serve::BatchReport cold;
+  {
+    io::ScopedIoHooks hooks(&inj);
+    cold = serve::run_batch(cas_chaos_jobs(), opt, os1);
+  }
+  expect_serve_bitwise(cold, "flip cold");
+  EXPECT_GT(inj.injected(), 0u);
+
+  // Hooks removed: the warm pass reads the poisoned store fault-free.
+  const serve::BatchReport warm =
+      serve::run_batch(cas_chaos_jobs(), opt, os2);
+  expect_serve_bitwise(warm, "flip warm");
+  EXPECT_GT(warm.cas.corrupt, 0u);  // detected, dropped, recomputed
+  EXPECT_GT(warm.total_builds(), 0u);
+
+  // Third pass: the recommitted entries are clean — full replay.
+  std::ostringstream os3;
+  const serve::BatchReport third =
+      serve::run_batch(cas_chaos_jobs(), opt, os3);
+  expect_serve_bitwise(third, "flip third");
+  EXPECT_EQ(third.total_builds(), 0u);
+  EXPECT_EQ(third.cas.corrupt, 0u);
+}
+
+TEST(ChaosServe, EnospcDegradesToUncachedWithoutChangingResults) {
+  // Every CAS write fails with ENOSPC: commits degrade to uncached, the
+  // batch computes everything in-memory, results stay bitwise, and every
+  // injected fault is recovered (none escapes the commit loop).
+  IoFaultSpec fs;
+  fs.seed = 7;
+  fs.p_nospace = 1.0;
+  fs.max_per_path = 1000;  // the disk stays full for the whole run
+  fs.path_contains = "cas_";
+  IoFaultInjector inj(fs);
+
+  serve::ServeOptions opt;
+  opt.store_dir = temp_dir("serve_nospace");
+  const std::uint64_t recovered_before = cas_recovered_total();
+  std::ostringstream os;
+  serve::BatchReport rep;
+  {
+    io::ScopedIoHooks hooks(&inj);
+    rep = serve::run_batch(cas_chaos_jobs(), opt, os);
+  }
+  expect_serve_bitwise(rep, "nospace");
+  EXPECT_GT(inj.injected(), 0u);
+  EXPECT_EQ(inj.injected(), cas_recovered_total() - recovered_before);
+  EXPECT_GT(rep.cas.put_failures, 0u);
+  EXPECT_EQ(rep.cas.puts, 0u);  // nothing committed
 }
 
 // --- injector unit behavior ----------------------------------------------

@@ -4,6 +4,7 @@
 
 #include <cctype>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -203,6 +204,70 @@ TEST(Driver, RobustnessKeysRejectTypos) {
       "job bands\nmaterial silicon\nio_retry_attempts 0\n",
       known_input_keys());
   EXPECT_THROW(run_job(bad_attempts, os), Error);
+}
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory for manifest/batch tests.
+std::string cli_scratch(const char* tag) {
+  const fs::path d =
+      fs::temp_directory_path() / (std::string("xgw_test_cli_") + tag);
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d.string();
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream os(path);
+  os << text;
+}
+
+TEST(Batch, ManifestResolvesRelativePathsAndSkipsComments) {
+  const std::string dir = cli_scratch("manifest");
+  write_text(dir + "/jobs.manifest",
+             "# fleet of two\n"
+             "a.inp   # trailing comment\n"
+             "\n"
+             "   sub/b.inp\n");
+  const std::vector<std::string> paths =
+      read_job_manifest(dir + "/jobs.manifest");
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], (fs::path(dir) / "a.inp").string());
+  EXPECT_EQ(paths[1], (fs::path(dir) / "sub/b.inp").string());
+}
+
+TEST(Batch, ManifestRejectsMissingOrEmpty) {
+  const std::string dir = cli_scratch("manifest_bad");
+  EXPECT_THROW(read_job_manifest(dir + "/absent.manifest"), Error);
+  write_text(dir + "/empty.manifest", "# only comments\n\n");
+  EXPECT_THROW(read_job_manifest(dir + "/empty.manifest"), Error);
+}
+
+TEST(Batch, RunsEveryJobAndReturnsWorstRc) {
+  const std::string dir = cli_scratch("batch");
+  write_text(dir + "/good1.inp", "job bands\nmaterial silicon\n");
+  write_text(dir + "/bad.inp", "job frobnicate\nmaterial silicon\n");
+  write_text(dir + "/good2.inp", "job bands\nmaterial silicon\n");
+  std::ostringstream os;
+  const int rc = run_job_files(
+      {dir + "/good1.inp", dir + "/bad.inp", dir + "/good2.inp"}, os);
+  EXPECT_EQ(rc, 1);  // worst of {0, 1, 0}
+  const std::string out = os.str();
+  // A failing job reports its error and does not stop the batch.
+  EXPECT_NE(out.find("=== job 1/3 "), std::string::npos);
+  EXPECT_NE(out.find("=== job 3/3 "), std::string::npos);
+  EXPECT_NE(out.find("good1.inp rc 0"), std::string::npos);
+  EXPECT_NE(out.find("bad.inp rc 1 error"), std::string::npos);
+  EXPECT_NE(out.find("good2.inp rc 0"), std::string::npos);
+}
+
+TEST(Batch, AllGoodReturnsZero) {
+  const std::string dir = cli_scratch("batch_ok");
+  write_text(dir + "/a.inp", "job bands\nmaterial silicon\n");
+  write_text(dir + "/m.manifest", "a.inp\n");
+  std::ostringstream os;
+  EXPECT_EQ(run_job_files(read_job_manifest(dir + "/m.manifest"), os), 0);
+  EXPECT_NE(os.str().find("a.inp rc 0"), std::string::npos);
 }
 
 TEST(Driver, UnknownJobFails) {
