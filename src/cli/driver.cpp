@@ -16,6 +16,7 @@
 #include "core/evgw.h"
 #include "core/rpa.h"
 #include "core/sigma_ff.h"
+#include "core/sigma_st.h"
 #include "gwpt/gwpt.h"
 #include "gwpt/phonons.h"
 #include "io/binio.h"
@@ -52,6 +53,7 @@ const std::vector<std::string>& known_input_keys() {
       "memory_budget_machine",       "spill_dir",    "validate",
       "io_retry_attempts",           "io_retry_backoff_ms",
       "spill_verify", "sched_workers",
+      "sigma_method", "n_tau",
   };
   return keys;
 }
@@ -210,12 +212,49 @@ int job_epsilon(const InputFile& in, std::ostream& os) {
   return 0;
 }
 
+/// Space-time (minimax i tau / i omega) route for job `sigma`, selected
+/// with `sigma_method space_time`. The memory budget goes to StOptions
+/// (build_st_screening runs its own planner pass) instead of apply_budget.
+int run_sigma_st(const InputFile& in, GwCalculation& gw, std::ostream& os) {
+  StOptions so;
+  so.n_tau = in.get_int("n_tau", 14);
+  so.eta = gw.params().eta;
+  so.chi.nv_block = gw.params().nv_block;
+  so.memory_budget_mb = resolve_budget_mb(in);
+  so.spill_dir = in.get_string("spill_dir", "xgw_spill");
+  if (in.has("n_tau")) os << "n_tau " << so.n_tau << "\n";
+  const StScreening scr = build_st_screening(gw, so);
+  if (scr.wtau.spilling())
+    os << "mem_spill resident_mb "
+       << static_cast<double>(scr.wtau.pool()->budget_bytes()) /
+              (1024.0 * 1024.0)
+       << "\n";
+  const auto res = sigma_st_diag(gw, scr, sigma_bands(in, gw), so);
+  // Deterministic counters (exact-gated by bench_spacetime / CI smoke).
+  os << "st_grid_n_tau " << scr.n_tau << "\n"
+     << "st_tau_batches " << scr.tau_batches << "\n";
+  os << std::fixed << std::setprecision(4);
+  os << "band   E_MF(eV)   SigX(eV)   SigC(eV)   Z      E_QP(eV)\n";
+  for (const StResult& r : res)
+    os << r.band << "  " << r.e_mf * kHartreeToEv << "  "
+       << r.sigma_x.real() * kHartreeToEv << "  "
+       << r.sigma_c.real() * kHartreeToEv << "  " << r.z << "  "
+       << r.e_qp * kHartreeToEv << "\n";
+  os << gw.timers().report();
+  return 0;
+}
+
 int job_sigma(const InputFile& in, std::ostream& os) {
   GwCalculation gw(build_material(in), build_params(in));
   if (in.has("input_wfn"))
     gw.set_wavefunctions(read_wavefunctions(in.require_string("input_wfn")));
   maybe_compress(in, gw);
   print_header(os, gw);
+  const std::string method = in.get_string("sigma_method", "gpp");
+  XGW_REQUIRE(method == "gpp" || method == "space_time",
+              "unknown sigma_method '" + method + "'");
+  if (in.has("sigma_method")) os << "sigma_method " << method << "\n";
+  if (method == "space_time") return run_sigma_st(in, gw, os);
   apply_budget(in, gw, 1, os);
   GwCalculation::CheckpointOptions ckpt;
   ckpt.path = in.get_string("checkpoint", "");

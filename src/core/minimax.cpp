@@ -1,0 +1,460 @@
+#include "core/minimax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace xgw {
+
+namespace {
+
+/// Dense logarithmic sample of [lo, hi] — the discrete minimax domain. The
+/// sample count is fixed so grids are bitwise reproducible everywhere.
+constexpr int kSamples = 384;
+
+std::vector<double> log_space(double lo, double hi, int m) {
+  std::vector<double> x(static_cast<std::size_t>(m));
+  const double h = std::log(hi / lo) / static_cast<double>(m - 1);
+  for (int i = 0; i < m; ++i)
+    x[static_cast<std::size_t>(i)] = lo * std::exp(h * static_cast<double>(i));
+  x.front() = lo;
+  x.back() = hi;
+  return x;
+}
+
+/// Solves the n x n system A c = b by Gaussian elimination with partial
+/// pivoting (A is a small dense normal-equations matrix).
+std::vector<double> solve_dense(DMatrix a, std::vector<double> b) {
+  const idx n = a.rows();
+  for (idx col = 0; col < n; ++col) {
+    idx piv = col;
+    for (idx r = col + 1; r < n; ++r)
+      if (std::abs(a(r, col)) > std::abs(a(piv, col))) piv = r;
+    if (piv != col) {
+      for (idx j = 0; j < n; ++j) std::swap(a(col, j), a(piv, j));
+      std::swap(b[static_cast<std::size_t>(col)],
+                b[static_cast<std::size_t>(piv)]);
+    }
+    const double d = a(col, col);
+    XGW_REQUIRE(d != 0.0, "minimax: singular normal equations");
+    for (idx r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / d;
+      if (f == 0.0) continue;
+      for (idx j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[static_cast<std::size_t>(r)] -= f * b[static_cast<std::size_t>(col)];
+    }
+  }
+  std::vector<double> c(static_cast<std::size_t>(n));
+  for (idx r = n - 1; r >= 0; --r) {
+    double acc = b[static_cast<std::size_t>(r)];
+    for (idx j = r + 1; j < n; ++j) acc -= a(r, j) * c[static_cast<std::size_t>(j)];
+    c[static_cast<std::size_t>(r)] = acc / a(r, r);
+  }
+  return c;
+}
+
+/// Lawson's iteratively reweighted least squares: minimizes the sup norm of
+/// the scaled residual (phi c - y)_i / scale_i over the sample. Each
+/// iteration solves a WEIGHTED least-squares problem via its (ridge-
+/// stabilized) normal equations and re-weights by the residual magnitudes;
+/// the weighted L2 solutions converge toward the discrete minimax solution.
+/// Returns the coefficients with the smallest observed sup error; `sup_err`
+/// (if non-null) receives that error.
+std::vector<double> lawson_fit(const DMatrix& phi, const std::vector<double>& y,
+                               const std::vector<double>& scale,
+                               double* sup_err) {
+  const idx m = phi.rows();
+  const idx n = phi.cols();
+  std::vector<double> l(static_cast<std::size_t>(m),
+                        1.0 / static_cast<double>(m));
+  std::vector<double> best;
+  double best_err = std::numeric_limits<double>::infinity();
+
+  DMatrix a(n, n);
+  std::vector<double> rhs(static_cast<std::size_t>(n));
+  std::vector<double> r(static_cast<std::size_t>(m));
+
+  for (int iter = 0; iter < 48; ++iter) {
+    a.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    for (idx i = 0; i < m; ++i) {
+      const double s = scale[static_cast<std::size_t>(i)];
+      const double w = l[static_cast<std::size_t>(i)] / (s * s);
+      const double* row = phi.row(i);
+      for (idx j = 0; j < n; ++j) {
+        const double wj = w * row[j];
+        rhs[static_cast<std::size_t>(j)] += wj * y[static_cast<std::size_t>(i)];
+        for (idx k = j; k < n; ++k) a(j, k) += wj * row[k];
+      }
+    }
+    double dmax = 0.0;
+    for (idx j = 0; j < n; ++j) dmax = std::max(dmax, a(j, j));
+    const double ridge = 1e-13 * std::max(dmax, 1e-300);
+    for (idx j = 0; j < n; ++j) {
+      a(j, j) += ridge;
+      for (idx k = j + 1; k < n; ++k) a(k, j) = a(j, k);
+    }
+    const std::vector<double> c = solve_dense(a, rhs);
+
+    double err = 0.0;
+    for (idx i = 0; i < m; ++i) {
+      double acc = 0.0;
+      const double* row = phi.row(i);
+      for (idx j = 0; j < n; ++j) acc += row[j] * c[static_cast<std::size_t>(j)];
+      r[static_cast<std::size_t>(i)] =
+          std::abs(acc - y[static_cast<std::size_t>(i)]) /
+          scale[static_cast<std::size_t>(i)];
+      err = std::max(err, r[static_cast<std::size_t>(i)]);
+    }
+    if (err < best_err) {
+      best_err = err;
+      best = c;
+    }
+    // Lawson re-weighting (residual-proportional, normalized).
+    double lsum = 0.0;
+    for (idx i = 0; i < m; ++i) {
+      l[static_cast<std::size_t>(i)] *=
+          std::max(r[static_cast<std::size_t>(i)], 1e-18);
+      lsum += l[static_cast<std::size_t>(i)];
+    }
+    XGW_REQUIRE(lsum > 0.0, "minimax: Lawson weights collapsed");
+    for (double& li : l) li /= lsum;
+  }
+  if (sup_err) *sup_err = best_err;
+  return best;
+}
+
+/// Geometric nodes from t_first to t_last (n >= 2, both > 0).
+std::vector<double> geometric_nodes(double t_first, double t_last, idx n) {
+  std::vector<double> t(static_cast<std::size_t>(n));
+  const double rho = std::pow(t_last / t_first, 1.0 / static_cast<double>(n - 1));
+  double v = t_first;
+  for (idx j = 0; j < n; ++j) {
+    t[static_cast<std::size_t>(j)] = v;
+    v *= rho;
+  }
+  t.back() = t_last;
+  return t;
+}
+
+/// Tabulated tempering parameters per decade band of R = e_max / e_min.
+/// Time nodes:      tau_1 = a / e_max,  tau_n = b / e_min.
+/// Frequency nodes: w_1 = a * e_min,    w_n = b * e_max.
+struct Temper {
+  double a, b;
+};
+
+Temper tau_temper(double ratio) {
+  if (ratio <= 10.0) return {0.15, 5.0};
+  if (ratio <= 100.0) return {0.12, 6.0};
+  if (ratio <= 1000.0) return {0.10, 7.0};
+  if (ratio <= 10000.0) return {0.08, 8.0};
+  return {0.06, 9.0};
+}
+
+Temper omega_temper(double ratio) {
+  if (ratio <= 10.0) return {0.20, 8.0};
+  if (ratio <= 100.0) return {0.15, 10.0};
+  if (ratio <= 1000.0) return {0.12, 12.0};
+  if (ratio <= 10000.0) return {0.10, 14.0};
+  return {0.08, 16.0};
+}
+
+struct QuadFit {
+  std::vector<double> nodes, weights;
+  double err = std::numeric_limits<double>::infinity();
+};
+
+/// Time quadrature: sum_j w_j e^{-2 x tau_j} = 1/(2x) on [e_min, e_max],
+/// relative sup norm. The tabulated (a, b) seed a deterministic 3 x 3
+/// refinement over {0.6, 1, 1.8} scalings — the coarse node placement is
+/// tabulated, the weights are minimax-fitted, and the refinement absorbs
+/// within-decade ratio variation.
+QuadFit fit_tau_quadrature(idx n, double e_min, double e_max,
+                           const std::vector<double>& x) {
+  const Temper t0 = tau_temper(e_max / e_min);
+  const idx m = static_cast<idx>(x.size());
+  std::vector<double> y(static_cast<std::size_t>(m));
+  for (idx i = 0; i < m; ++i)
+    y[static_cast<std::size_t>(i)] = 1.0 / (2.0 * x[static_cast<std::size_t>(i)]);
+  static constexpr double kFactors[3] = {0.6, 1.0, 1.8};
+  QuadFit best;
+  DMatrix phi(m, n);
+  for (const double fa : kFactors) {
+    for (const double fb : kFactors) {
+      const std::vector<double> t =
+          geometric_nodes(t0.a * fa / e_max, t0.b * fb / e_min, n);
+      for (idx i = 0; i < m; ++i)
+        for (idx j = 0; j < n; ++j)
+          phi(i, j) = std::exp(-2.0 * x[static_cast<std::size_t>(i)] *
+                               t[static_cast<std::size_t>(j)]);
+      double err = 0.0;
+      std::vector<double> w = lawson_fit(phi, y, y, &err);
+      if (err < best.err) {
+        best.err = err;
+        best.nodes = t;
+        best.weights = std::move(w);
+      }
+    }
+  }
+  return best;
+}
+
+/// Frequency quadrature: sum_k w_k 2x/(x^2 + omega_k^2) = pi on
+/// [e_min, e_max] (the closure the RPA-energy integral needs), relative
+/// sup norm. Same tabulate-then-refine scheme as the time grid.
+QuadFit fit_omega_quadrature(idx n, double e_min, double e_max,
+                             const std::vector<double>& x) {
+  const Temper t0 = omega_temper(e_max / e_min);
+  const idx m = static_cast<idx>(x.size());
+  const std::vector<double> y(static_cast<std::size_t>(m), kPi);
+  static constexpr double kFactors[3] = {0.6, 1.0, 1.8};
+  QuadFit best;
+  DMatrix phi(m, n);
+  for (const double fa : kFactors) {
+    for (const double fb : kFactors) {
+      const std::vector<double> w =
+          geometric_nodes(t0.a * fa * e_min, t0.b * fb * e_max, n);
+      for (idx i = 0; i < m; ++i) {
+        const double xi = x[static_cast<std::size_t>(i)];
+        for (idx j = 0; j < n; ++j) {
+          const double wk = w[static_cast<std::size_t>(j)];
+          phi(i, j) = 2.0 * xi / (xi * xi + wk * wk);
+        }
+      }
+      double err = 0.0;
+      std::vector<double> g = lawson_fit(phi, y, y, &err);
+      if (err < best.err) {
+        best.err = err;
+        best.nodes = w;
+        best.weights = std::move(g);
+      }
+    }
+  }
+  return best;
+}
+
+enum class Kind { kCosTauToOmega, kSinTauToOmega, kCosOmegaToTau };
+
+/// One transform matrix: each output row is an independent minimax fit of
+/// the target transform image in the source-node basis over [x_min, x_max].
+DMatrix fit_transform(const MinimaxGrid& g, Kind kind, double x_min,
+                      double x_max, double* err_out) {
+  const idx n = g.n;
+  const std::vector<double> x = log_space(x_min, x_max, kSamples);
+  const idx m = static_cast<idx>(x.size());
+  DMatrix phi(m, n);
+  std::vector<double> y(static_cast<std::size_t>(m));
+  std::vector<double> scale(static_cast<std::size_t>(m));
+  DMatrix out(n, n);
+  double worst = 0.0;
+
+  // Source basis sampled on the x grid.
+  for (idx i = 0; i < m; ++i) {
+    const double xi = x[static_cast<std::size_t>(i)];
+    for (idx j = 0; j < n; ++j) {
+      if (kind == Kind::kCosOmegaToTau) {
+        const double wk = g.omega[static_cast<std::size_t>(j)];
+        phi(i, j) = 2.0 * xi / (xi * xi + wk * wk);
+      } else {
+        phi(i, j) = std::exp(-xi * g.tau[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+
+  for (idx row = 0; row < n; ++row) {
+    double y_max = 0.0;
+    for (idx i = 0; i < m; ++i) {
+      const double xi = x[static_cast<std::size_t>(i)];
+      double t = 0.0;
+      switch (kind) {
+        case Kind::kCosTauToOmega: {
+          const double wk = g.omega[static_cast<std::size_t>(row)];
+          t = 2.0 * xi / (xi * xi + wk * wk);
+          break;
+        }
+        case Kind::kSinTauToOmega: {
+          const double wk = g.omega[static_cast<std::size_t>(row)];
+          t = 2.0 * wk / (xi * xi + wk * wk);
+          break;
+        }
+        case Kind::kCosOmegaToTau:
+          t = std::exp(-xi * g.tau[static_cast<std::size_t>(row)]);
+          break;
+      }
+      y[static_cast<std::size_t>(i)] = t;
+      y_max = std::max(y_max, std::abs(t));
+    }
+    // Lorentzian targets are bounded away from zero on the range, so their
+    // fits control RELATIVE error; the decaying-exponential targets of the
+    // inverse transform underflow at large x, so those fit ABSOLUTE error
+    // normalized by the row's sup.
+    for (idx i = 0; i < m; ++i)
+      scale[static_cast<std::size_t>(i)] =
+          kind == Kind::kCosOmegaToTau
+              ? std::max(y_max, 1e-300)
+              : std::abs(y[static_cast<std::size_t>(i)]);
+    double err = 0.0;
+    const std::vector<double> c = lawson_fit(phi, y, scale, &err);
+    worst = std::max(worst, err);
+    for (idx j = 0; j < n; ++j) out(row, j) = c[static_cast<std::size_t>(j)];
+  }
+  if (err_out) *err_out = worst;
+  return out;
+}
+
+/// Round-trip bound: sup over the sample and over j of
+/// | sum_k cos_wt(j,k) sum_j' cos_tw(k,j') e^{-x tau_j'} - e^{-x tau_j} |.
+double duality_bound(const MinimaxGrid& g) {
+  const std::vector<double> x = log_space(g.e_min, g.e_max, kSamples);
+  const idx n = g.n;
+  DMatrix round(n, n);  // cos_wt * cos_tw
+  for (idx i = 0; i < n; ++i)
+    for (idx j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (idx k = 0; k < n; ++k) acc += g.cos_wt(i, k) * g.cos_tw(k, j);
+      round(i, j) = acc;
+    }
+  double worst = 0.0;
+  std::vector<double> basis(static_cast<std::size_t>(n));
+  for (const double xi : x) {
+    for (idx j = 0; j < n; ++j)
+      basis[static_cast<std::size_t>(j)] =
+          std::exp(-xi * g.tau[static_cast<std::size_t>(j)]);
+    for (idx i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (idx j = 0; j < n; ++j)
+        acc += round(i, j) * basis[static_cast<std::size_t>(j)];
+      worst = std::max(worst,
+                       std::abs(acc - basis[static_cast<std::size_t>(i)]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+MinimaxGrid minimax_grid(idx n, double e_min, double e_max) {
+  XGW_REQUIRE(n >= 6 && n <= 34, "minimax_grid: order must be in [6, 34]");
+  XGW_REQUIRE(e_min > 0.0 && e_max > e_min,
+              "minimax_grid: need 0 < e_min < e_max");
+  MinimaxGrid g;
+  g.n = n;
+  g.e_min = e_min;
+  g.e_max = e_max;
+
+  const std::vector<double> x = log_space(e_min, e_max, kSamples);
+  QuadFit tq = fit_tau_quadrature(n, e_min, e_max, x);
+  g.tau = std::move(tq.nodes);
+  g.tau_w = std::move(tq.weights);
+  g.tau_quad_err = tq.err;
+
+  QuadFit wq = fit_omega_quadrature(n, e_min, e_max, x);
+  g.omega = std::move(wq.nodes);
+  g.omega_w = std::move(wq.weights);
+  g.omega_quad_err = wq.err;
+
+  g.cos_tw = fit_transform(g, Kind::kCosTauToOmega, e_min, e_max, &g.cos_tw_err);
+  g.sin_tw = fit_transform(g, Kind::kSinTauToOmega, e_min, e_max, &g.sin_tw_err);
+  g.cos_wt = fit_transform(g, Kind::kCosOmegaToTau, e_min, e_max, &g.cos_wt_err);
+  g.duality_err = duality_bound(g);
+  return g;
+}
+
+DMatrix fit_cos_tau_to_omega(const MinimaxGrid& g, double x_min, double x_max,
+                             double* err) {
+  return fit_transform(g, Kind::kCosTauToOmega, x_min, x_max, err);
+}
+
+DMatrix fit_sin_tau_to_omega(const MinimaxGrid& g, double x_min, double x_max,
+                             double* err) {
+  return fit_transform(g, Kind::kSinTauToOmega, x_min, x_max, err);
+}
+
+DMatrix fit_cos_omega_to_tau(const MinimaxGrid& g, double x_min, double x_max,
+                             double* err) {
+  return fit_transform(g, Kind::kCosOmegaToTau, x_min, x_max, err);
+}
+
+PadeApproximant::PadeApproximant(std::span<const cplx> z,
+                                 std::span<const cplx> f, double guard) {
+  XGW_REQUIRE(z.size() == f.size() && !z.empty(),
+              "PadeApproximant: need matching non-empty support points");
+  const std::size_t n = z.size();
+  // Thiele inverse-differences table, one row at a time: g_p(z_i) for
+  // i >= p, with a_p = g_p(z_p).
+  std::vector<cplx> g(f.begin(), f.end());
+  std::vector<cplx> zs(z.begin(), z.end());
+  a_.reserve(n);
+  z_.reserve(n);
+  double amax = std::abs(g[0]);
+  double amin = amax;
+  a_.push_back(g[0]);
+  z_.push_back(zs[0]);
+
+  for (std::size_t p = 1; p < n; ++p) {
+    // g_p(z_i) = (g_{p-1}(z_{p-1}) - g_{p-1}(z_i)) / ((z_i - z_{p-1}) g_{p-1}(z_i))
+    const cplx gp_prev = g[p - 1];
+    bool ok = true;
+    for (std::size_t i = p; i < n; ++i) {
+      const cplx den = (zs[i] - zs[p - 1]) * g[i];
+      const cplx num = gp_prev - g[i];
+      g[i] = num / den;
+      if (!std::isfinite(g[i].real()) || !std::isfinite(g[i].imag())) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      truncated_ = true;
+      break;
+    }
+    const double mag = std::abs(g[p]);
+    const double nmax = std::max(amax, mag);
+    const double nmin = std::min(amin, mag);
+    // Condition-number guard: an exploding (or vanishing) coefficient means
+    // the divided-difference recursion has lost all significant digits —
+    // truncate the fraction at the last stable depth.
+    if (!(mag > 0.0) || nmax / std::max(nmin, 1e-300) > guard) {
+      truncated_ = true;
+      break;
+    }
+    amax = nmax;
+    amin = nmin;
+    a_.push_back(g[p]);
+    z_.push_back(zs[p]);
+  }
+  condition_ = amax / std::max(amin, 1e-300);
+  truncated_ = truncated_ || a_.size() < n;
+}
+
+cplx PadeApproximant::eval(cplx z) const {
+  // Wallis recurrence for the inverse-difference continued fraction the
+  // constructor builds (Vidberg-Serene form),
+  //   a_0 / (1 + a_1 (z - z_0) / (1 + a_2 (z - z_1) / (1 + ...))),
+  // rescaled when the partial numerators/denominators grow.
+  cplx a_prev{0.0, 0.0}, b_prev{1.0, 0.0};
+  cplx a_cur = a_[0], b_cur{1.0, 0.0};
+  for (std::size_t p = 1; p < a_.size(); ++p) {
+    const cplx u = a_[p] * (z - z_[p - 1]);
+    const cplx a_next = a_cur + u * a_prev;
+    const cplx b_next = b_cur + u * b_prev;
+    a_prev = a_cur;
+    b_prev = b_cur;
+    a_cur = a_next;
+    b_cur = b_next;
+    const double s = std::max(std::abs(a_cur), std::abs(b_cur));
+    if (s > 1e120) {
+      const double inv = 1.0 / s;
+      a_prev *= inv;
+      b_prev *= inv;
+      a_cur *= inv;
+      b_cur *= inv;
+    }
+  }
+  return a_cur / b_cur;
+}
+
+}  // namespace xgw

@@ -1,0 +1,116 @@
+#pragma once
+
+// Minimax imaginary-time / imaginary-frequency grids and the sine/cosine
+// transform matrices between them — the numerical backbone of the
+// low-scaling space-time GW route (Wilhelm et al., "Toward GW Calculations
+// on Thousands of Atoms"; ROADMAP item 3).
+//
+// The space-time method represents every propagator as a sum of decaying
+// exponentials in imaginary time,
+//   f(i tau) = sum_p A_p e^{-x_p |tau|},     x_p in [e_min, e_max],
+// whose exact even-frequency image is a sum of Lorentzians,
+//   F(i omega) = sum_p A_p 2 x_p / (x_p^2 + omega^2).
+// A grid of n time nodes {tau_j} and n frequency nodes {omega_k} therefore
+// only has to be accurate on this one-parameter family: the grids and all
+// three transform matrices are solved as DISCRETE MINIMAX problems over a
+// dense logarithmic sample of the transition-energy range [e_min, e_max]
+// (Lawson's iteratively reweighted least squares, which converges to the
+// best sup-norm solution of the linear sub-problems). Node placement is
+// geometric with TABULATED tempering parameters per decade band of the
+// ratio R = e_max / e_min, locally refined at build time by a deterministic
+// 3 x 3 candidate search on the measured quadrature error.
+//
+// Conventions (fixed; tests pin the round trip):
+//   cos_tw (omega <- tau):  e^{-x tau_j}          -> 2 x / (x^2 + omega_k^2)
+//   sin_tw (omega <- tau):  e^{-x tau_j}          -> 2 omega_k / (x^2 + omega_k^2)
+//   cos_wt (tau <- omega):  2 x / (x^2 + omega_k^2) -> e^{-x tau_j}
+// i.e. F(i omega_k) = sum_j cos_tw(k, j) f(tau_j) for even f, and
+// f(tau_j) = sum_k cos_wt(j, k) F(i omega_k). The composition
+// cos_wt * cos_tw acts as the identity on the e^{-x tau} family to the
+// tested duality bound.
+//
+// Everything here is deterministic: same (n, e_min, e_max) -> bitwise
+// identical grids on every host, so grid data can sit inside serve cache
+// keys and worker-invariance contracts.
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "la/matrix.h"
+
+namespace xgw {
+
+struct MinimaxGrid {
+  idx n = 0;             ///< grid order (n time AND n frequency nodes)
+  double e_min = 0.0;    ///< smallest transition energy covered (Ha)
+  double e_max = 0.0;    ///< largest transition energy covered (Ha)
+
+  std::vector<double> tau;      ///< time nodes (ascending, > 0)
+  std::vector<double> tau_w;    ///< time quadrature weights
+  std::vector<double> omega;    ///< frequency nodes (ascending, > 0)
+  std::vector<double> omega_w;  ///< frequency quadrature weights
+
+  DMatrix cos_tw;  ///< (n x n) cosine transform, omega <- tau
+  DMatrix cos_wt;  ///< (n x n) inverse cosine transform, tau <- omega
+  DMatrix sin_tw;  ///< (n x n) sine transform, omega <- tau
+
+  // Measured sup-norm diagnostics over the dense fitting sample (relative
+  // where the target is bounded away from zero):
+  double tau_quad_err = 0.0;    ///< | sum_j w_j e^{-2 x tau_j} * 2x - 1 |
+  double omega_quad_err = 0.0;  ///< | sum_k w_k 2x/(x^2+w_k^2) / pi - 1 |
+  double cos_tw_err = 0.0;      ///< cosine-transform fit error
+  double cos_wt_err = 0.0;      ///< inverse-cosine fit error
+  double sin_tw_err = 0.0;      ///< sine-transform fit error
+  double duality_err = 0.0;     ///< round trip cos_wt(cos_tw(e^{-x tau}))
+};
+
+/// Builds the order-n grid covering transition energies [e_min, e_max]
+/// (both > 0, e_max > e_min). n in [6, 34].
+MinimaxGrid minimax_grid(idx n, double e_min, double e_max);
+
+/// Re-fits a transform matrix on the SAME nodes over a different energy
+/// range [x_min, x_max] — the self-energy transforms need a wider range
+/// than chi's (pair energies + screening poles, not pair energies alone).
+/// `err` (if non-null) receives the sup-norm fit error.
+DMatrix fit_cos_tau_to_omega(const MinimaxGrid& g, double x_min, double x_max,
+                             double* err = nullptr);
+DMatrix fit_sin_tau_to_omega(const MinimaxGrid& g, double x_min, double x_max,
+                             double* err = nullptr);
+DMatrix fit_cos_omega_to_tau(const MinimaxGrid& g, double x_min, double x_max,
+                             double* err = nullptr);
+
+/// Thiele continued-fraction (Pade) interpolation through the support
+/// points (z_i, f_i), used to continue Sigma(i omega) to real frequencies.
+///
+/// Condition-number guard: the recursive divided differences g_p are exactly
+/// where analytic continuation becomes ill-posed — a tiny denominator or an
+/// exploding coefficient means the remaining support points carry no stable
+/// information. Construction monitors |a_p| and the recursion denominators
+/// and TRUNCATES the fraction at the last well-conditioned depth instead of
+/// interpolating noise; points_used() and condition() expose what survived.
+class PadeApproximant {
+ public:
+  /// `guard` bounds the acceptable coefficient-magnitude spread
+  /// max|a_p| / min|a_p| (a condition estimate of the interpolation).
+  PadeApproximant(std::span<const cplx> z, std::span<const cplx> f,
+                  double guard = 1e10);
+
+  /// Evaluates the continued fraction at z (backward recurrence with
+  /// overflow rescaling).
+  cplx eval(cplx z) const;
+
+  idx points_used() const { return static_cast<idx>(a_.size()); }
+  /// max|a_p| / min|a_p| over the RETAINED coefficients.
+  double condition() const { return condition_; }
+  /// True when the guard truncated the fraction below the input size.
+  bool truncated() const { return truncated_; }
+
+ private:
+  std::vector<cplx> z_;
+  std::vector<cplx> a_;
+  double condition_ = 1.0;
+  bool truncated_ = false;
+};
+
+}  // namespace xgw

@@ -1,0 +1,89 @@
+#pragma once
+
+// Low-scaling space-time GW self-energy (ROADMAP item 3; Liu et al.
+// space-time method on minimax grids).
+//
+// Pipeline (all on the n-point minimax grid of core/minimax.h):
+//
+//   chi^0(i tau_j)          occupied x virtual Green's-function products
+//                           (core/chi_itau.h), tau nodes as scheduler tasks
+//   chi^0(i omega_k)        cosine transform, cos_tw
+//   eps^{-1}(i omega_k)     existing symmetrized-dielectric machinery
+//   W^c(i omega_k)          [eps^{-1} - I] v
+//   W^c(i tau_j)            inverse cosine transform, cos_wt; spillable
+//                           mem::MatrixStore for Si128-class supercells
+//   Sigma^c(i tau_j)        -G(i tau) W^c(i tau) contractions per band
+//                           (zgemm_batch: every tau shares one packed M)
+//   Sigma^c(i nu_k)         even/odd split, cosine + sine transforms refit
+//                           on the WIDER self-energy energy range
+//   Sigma^c(E)              Thiele-Pade continuation with condition guard
+//
+// Every tau/omega point runs with disjoint output slots and fixed
+// accumulation order, so results are bitwise identical at any scheduler
+// worker count. The whole route costs O(N_tau) chi builds instead of
+// O(N_omega >> N_tau) — the "low-scaling" in low-scaling GW — and
+// cross-validates against sigma_ff on the same inputs to the minimax fit
+// tolerance (tier-1 gate).
+
+#include <string>
+#include <vector>
+
+#include "core/chi_itau.h"
+#include "core/minimax.h"
+#include "core/sigma.h"
+#include "mem/spill.h"
+
+namespace xgw {
+
+struct StOptions {
+  idx n_tau = 14;            ///< minimax grid order (tau AND omega points)
+  double pade_guard = 1e10;  ///< Pade coefficient-spread guard
+  double eta = 1e-3;         ///< evaluation offset above the real axis (Ha)
+  ChiItauOptions chi;        ///< chi(i tau) build options
+  /// Memory budget (MB); 0 = unlimited. Under a budget mem::plan fixes the
+  /// chi NV-Block and the taus per pass, and pages the W^c(i tau) store
+  /// out-of-core when it cannot stay resident (bitwise identical either
+  /// way: the spilled path issues the same per-item kernels).
+  double memory_budget_mb = 0.0;
+  std::string spill_dir = "xgw_spill";
+};
+
+/// Per-band space-time result (mirrors FfResult).
+struct StResult {
+  idx band = 0;
+  double e_mf = 0.0;
+  cplx sigma_x;        ///< exchange (exact, frequency independent)
+  cplx sigma_c;        ///< Pade-continued correlation at E = e_mf
+  double e_qp = 0.0;   ///< linearized QP energy
+  double z = 1.0;
+  idx pade_points = 0;       ///< support points the guard retained
+  bool pade_truncated = false;
+};
+
+/// The tau-resolved screened interaction reused across bands, plus the
+/// grid and the self-energy transform matrices (refit on the wider
+/// pair-energy + screening-pole range).
+struct StScreening {
+  MinimaxGrid grid;
+  double mu = 0.0;           ///< mid-gap chemical potential (Ha)
+  /// W^c(i tau_j) = sum_k cos_wt(j, k) [eps^{-1}(i omega_k) - I] v,
+  /// N_G x N_G per tau node. Pages through a spill pool out-of-core.
+  mem::MatrixStore wtau;
+  DMatrix cos_tw_sigma;      ///< Sigma-even transform (wide-range refit)
+  DMatrix sin_tw_sigma;      ///< Sigma-odd transform (wide-range refit)
+  double sigma_fit_err = 0.0;  ///< worst sup error of the two refits
+  // Deterministic counters (exact-gated by bench_spacetime):
+  idx n_tau = 0;             ///< grid order actually used
+  idx tau_batches = 0;       ///< chi(i tau) passes the planner chose
+};
+
+/// Builds the minimax grid, chi(i tau), eps^{-1}(i omega) and the
+/// tau-domain screened interaction. The space-time Epsilon stage.
+StScreening build_st_screening(GwCalculation& gw, const StOptions& opt);
+
+/// Diagonal space-time Sigma + linearized QP for the given bands.
+std::vector<StResult> sigma_st_diag(GwCalculation& gw, const StScreening& scr,
+                                    const std::vector<idx>& bands,
+                                    const StOptions& opt = {});
+
+}  // namespace xgw

@@ -22,6 +22,9 @@ const char* stage_prefix(Stage s) {
     case Stage::kEps: return "eps";
     case Stage::kEpsFreq: return "epsf";
     case Stage::kSigmaBand: return "sig";
+    case Stage::kChiTau: return "chit";
+    case Stage::kWTau: return "wtau";
+    case Stage::kSigmaStBand: return "sigst";
   }
   return "?";
 }
@@ -64,7 +67,7 @@ bool is_serve_key(const std::string& k) {
       "vacuum",     "psi_cutoff",  "eps_cutoff",      "coulomb",
       "n_bands",    "eta",         "nv_block",        "sigma_bands",
       "n_e_points", "e_step",      "n_freq",          "pseudobands",
-      "pseudobands_nxi",
+      "pseudobands_nxi",           "sigma_method",    "n_tau",
   };
   for (const std::string& s : serve)
     if (s == k) return true;
@@ -146,6 +149,20 @@ ResolvedSpec resolve_spec(const InputFile& in, const SpecDims& dims,
   }
 
   if (s.job == "sigma") {
+    s.sigma_method = in.get_string("sigma_method", "gpp");
+    XGW_REQUIRE_KIND(
+        s.sigma_method == "gpp" || s.sigma_method == "space_time",
+        "serve: unknown sigma_method '" + s.sigma_method + "'",
+        ErrorKind::kValidation);
+    // The batch executor runs the GPP route only. Accepting a space_time
+    // spec here would compute GPP numbers and file them under this job's
+    // keys — a poisoned cache every later run would trust. Reject instead.
+    XGW_REQUIRE_KIND(s.sigma_method == "gpp",
+                     "serve: sigma_method 'space_time' is not servable yet "
+                     "(batch executor runs the GPP route; run space-time "
+                     "jobs through xgw_run)",
+                     ErrorKind::kValidation);
+    s.n_tau = in.get_int("n_tau", 14);
     s.n_e_points = in.get_int("n_e_points", 3);
     s.e_step = in.get_double("e_step", 0.02);
     s.bands = in.get_int_list("sigma_bands");
@@ -202,6 +219,33 @@ std::string canonical_stage_spec(const ResolvedSpec& s, Stage stage,
       f.emplace_back("band", std::to_string(band));
       f.emplace_back("e_step", canon_double(s.e_step));
       f.emplace_back("n_e_points", std::to_string(s.n_e_points));
+      break;
+    // Space-time stages (NEW cases only — every pre-existing canonical
+    // text above stays byte-identical). They carry the method tag and the
+    // minimax order so no space-time entry can ever collide with a GPP or
+    // full-frequency one, even if the method-blind fields match.
+    case Stage::kChiTau:
+      XGW_REQUIRE(freq_index >= 0, "chit key needs a tau index");
+      add_chi_fields(s, f);
+      f.emplace_back("axis", "imaginary_time");
+      f.emplace_back("n_tau", std::to_string(s.n_tau));
+      f.emplace_back("sigma_method", "space_time");
+      f.emplace_back("tau_index", std::to_string(freq_index));
+      break;
+    case Stage::kWTau:
+      add_chi_fields(s, f);
+      f.emplace_back("axis", "imaginary_time");
+      f.emplace_back("coulomb", s.coulomb);
+      f.emplace_back("n_tau", std::to_string(s.n_tau));
+      f.emplace_back("sigma_method", "space_time");
+      break;
+    case Stage::kSigmaStBand:
+      XGW_REQUIRE(band >= 0, "sigst key needs a band");
+      add_chi_fields(s, f);
+      f.emplace_back("band", std::to_string(band));
+      f.emplace_back("coulomb", s.coulomb);
+      f.emplace_back("n_tau", std::to_string(s.n_tau));
+      f.emplace_back("sigma_method", "space_time");
       break;
   }
   std::sort(f.begin(), f.end());

@@ -9,6 +9,9 @@
 //   eps  — eps^{-1}(0)
 //   epsf — eps^{-1}(i omega_k), one per imaginary-axis frequency node
 //   sig  — Sigma_ll + QP solve for one band l
+//   chit — chi^0(i tau_j), one per minimax imaginary-time node
+//   wtau — W^c(i tau) store of the space-time route (all tau nodes)
+//   sigst— space-time Sigma_ll + Pade QP solve for one band l
 //
 // A key is `<stage>-<fnv1a64 hex>` of a canonical text block: fixed schema
 // header, then only the fields that stage's result depends on, sorted by
@@ -31,7 +34,20 @@
 
 namespace xgw::serve {
 
-enum class Stage : int { kMf = 0, kMtxel, kChi, kEps, kEpsFreq, kSigmaBand };
+enum class Stage : int {
+  kMf = 0,
+  kMtxel,
+  kChi,
+  kEps,
+  kEpsFreq,
+  kSigmaBand,
+  // Space-time (minimax i tau / i omega) route. Key-able today so the
+  // canonical form is frozen by the golden test; the batch executor does
+  // not run this route yet (resolve_spec rejects such specs, see below).
+  kChiTau,
+  kWTau,
+  kSigmaStBand,
+};
 
 const char* stage_prefix(Stage s);
 
@@ -69,6 +85,8 @@ struct ResolvedSpec {
   idx nv_block = 8;  ///< RESOLVED block size (see resolve_spec)
   std::string coulomb = "spherical_average";
   // sigma identity
+  std::string sigma_method = "gpp";  ///< "gpp" | "space_time"
+  idx n_tau = 14;  ///< minimax grid order (space-time stages only)
   idx n_e_points = 3;
   double e_step = 0.02;
   std::vector<idx> bands;  ///< resolved sigma bands (default {nv-1, nv})
@@ -81,6 +99,9 @@ struct ResolvedSpec {
 /// jobs the serving layer cannot key (anything but sigma/epsilon, or specs
 /// whose identity lives outside the text: input_wfn) and for side-output
 /// keys (output_wfn/output_epsmat) that a cache hit could not produce.
+/// `sigma_method space_time` is also rejected: the batch executor runs the
+/// GPP route, so accepting such a spec would cache GPP numbers under a
+/// space-time job's keys (cache poisoning). Run those through xgw_run.
 ///
 /// nv_block resolution is a PURE function of the spec: when the job
 /// carries a byte budget, the planner is solved with fixed_bytes = 0 and

@@ -192,6 +192,50 @@ TEST(Driver, RobustnessKeysAcceptedAndEchoed) {
   EXPECT_EQ(validate_mode(), ValidateMode::kError);
 }
 
+TEST(Driver, SigmaMethodSpaceTimeProducesQpTable) {
+  const InputFile in = InputFile::parse(
+      "job sigma\nmaterial silicon\neps_cutoff 0.9\n"
+      "sigma_method space_time\nn_tau 12\n",
+      known_input_keys());
+  std::ostringstream os;
+  EXPECT_EQ(run_job(in, os), 0);
+  const std::string out = os.str();
+  // Keys present in the input are echoed back; absent keys are not.
+  EXPECT_NE(out.find("sigma_method space_time"), std::string::npos);
+  EXPECT_NE(out.find("n_tau 12"), std::string::npos);
+  EXPECT_NE(out.find("E_QP(eV)"), std::string::npos);
+  // Deterministic counters the CI smoke + bench exact-gate on.
+  EXPECT_NE(out.find("st_grid_n_tau 12"), std::string::npos);
+  EXPECT_NE(out.find("st_tau_batches 1"), std::string::npos);
+  EXPECT_NE(out.find("st_sigma_kernel"), std::string::npos);  // timer report
+
+  // A later run WITHOUT sigma_method takes the GPP route (unconditional
+  // assignment from input-or-default: the method never leaks between
+  // in-process runs, and the echo line only appears when the key does).
+  const InputFile plain = InputFile::parse(
+      "job sigma\nmaterial silicon\neps_cutoff 0.9\n", known_input_keys());
+  std::ostringstream os2;
+  EXPECT_EQ(run_job(plain, os2), 0);
+  EXPECT_EQ(os2.str().find("sigma_method"), std::string::npos);
+  EXPECT_NE(os2.str().find("gpp_diag_kernel"), std::string::npos);
+}
+
+TEST(Driver, SigmaMethodRejectsTypos) {
+  std::ostringstream os;
+  // Bad value: fails fast, not a silent fall-through to the default route.
+  const InputFile bad_value = InputFile::parse(
+      "job sigma\nmaterial silicon\nsigma_method spacetime\n",
+      known_input_keys());
+  EXPECT_THROW(run_job(bad_value, os), Error);
+  // Misspelled key: caught by the known-key check at parse time.
+  EXPECT_THROW(
+      InputFile::parse("job sigma\nsigma_methd space_time\n",
+                       known_input_keys()),
+      Error);
+  EXPECT_THROW(
+      InputFile::parse("job sigma\nntau 12\n", known_input_keys()), Error);
+}
+
 TEST(Driver, RobustnessKeysRejectTypos) {
   std::ostringstream os;
   const InputFile bad_mode = InputFile::parse(

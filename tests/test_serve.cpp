@@ -118,6 +118,67 @@ TEST(ServeSpec, CacheKeyGolden) {
             std::string::npos);
 }
 
+TEST(ServeSpec, SpaceTimeStageKeysGolden) {
+  // The space-time stages are key-able before they are servable, so their
+  // canonical form is frozen HERE, before any executor writes entries
+  // under them. Built by hand: resolve_spec refuses space_time specs
+  // until the batch executor runs that route.
+  ResolvedSpec s = resolve_spec(si_sigma_input(), si_dims());
+  s.sigma_method = "space_time";
+  s.n_tau = 14;
+
+  EXPECT_EQ(canonical_stage_spec(s, Stage::kChiTau, -1, 2),
+            "schema xgw-cas-key-v1\n"
+            "stage chit\n"
+            "axis imaginary_time\n"
+            "eps_cutoff -1\n"
+            "eta 0.001\n"
+            "material silicon\n"
+            "n_bands -1\n"
+            "n_tau 14\n"
+            "nv_block 8\n"
+            "pseudobands 0\n"
+            "pseudobands_nxi 3\n"
+            "psi_cutoff -1\n"
+            "q 0\n"
+            "sigma_method space_time\n"
+            "supercell 1\n"
+            "tau_index 2\n"
+            "vacancy none\n"
+            "vacuum 16\n");
+  EXPECT_EQ(cache_key(s, Stage::kChiTau, -1, 2), "chit-68c8288a6084cdf3");
+  EXPECT_EQ(cache_key(s, Stage::kWTau), "wtau-0830c9ec46ae1abf");
+  EXPECT_EQ(cache_key(s, Stage::kSigmaStBand, 3), "sigst-83e452e0d2aa907a");
+
+  // Method tag + grid order are key material: a space-time entry can
+  // never collide with a GPP one, and n_tau changes invalidate.
+  ResolvedSpec finer = s;
+  finer.n_tau = 16;
+  EXPECT_NE(cache_key(s, Stage::kWTau), cache_key(finer, Stage::kWTau));
+  EXPECT_NE(cache_key(s, Stage::kSigmaStBand, 3),
+            cache_key(s, Stage::kSigmaBand, 3));
+}
+
+TEST(ServeSpec, RejectsSpaceTimeSpecAsUnservable) {
+  // Cache-poisoning protection: the batch executor runs the GPP route, so
+  // a space_time spec must be refused outright, not silently keyed.
+  const InputFile st = InputFile::parse(
+      "job sigma\nmaterial silicon\nsigma_method space_time\nn_tau 12\n",
+      known_input_keys());
+  try {
+    resolve_spec(st, si_dims());
+    FAIL() << "space_time spec must be unservable";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kValidation);
+    EXPECT_NE(std::string(e.what()).find("space_time"), std::string::npos);
+  }
+  // Typos are a validation error too (not a silent fall-through to gpp).
+  const InputFile typo = InputFile::parse(
+      "job sigma\nmaterial silicon\nsigma_method spacetime\n",
+      known_input_keys());
+  EXPECT_THROW(resolve_spec(typo, si_dims()), Error);
+}
+
 TEST(ServeSpec, CanonDoubleShortestRoundTrip) {
   EXPECT_EQ(canon_double(0.02), "0.02");
   EXPECT_EQ(canon_double(0.001), "0.001");
